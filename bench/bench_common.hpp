@@ -1,0 +1,54 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench binaries. Every bench
+// regenerates its workload from the Table III profiles at kDefaultScale
+// and reports simulated RTX 3090 time, so runs are deterministic and
+// machine-independent.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/format.hpp"
+#include "parti/parti_executor.hpp"
+#include "scalfrag/scalfrag.hpp"
+
+namespace scalfrag::bench {
+
+inline FactorList random_factors(const CooTensor& t, index_t rank,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+/// The rank every paper experiment uses here.
+inline constexpr index_t kRank = 16;
+
+/// Train the default adaptive-launch selector (the offline phase of
+/// Fig. 7). Prints the one-line training report.
+inline LaunchSelector make_selector(const gpusim::DeviceSpec& spec,
+                                    bool verbose = true) {
+  AutoTunerConfig cfg;
+  cfg.rank = kRank;
+  cfg.corpus_size = 48;
+  cfg.seed = 2024;
+  AutoTuner tuner(spec, cfg);
+  const TrainingReport rep = tuner.train();
+  if (verbose) {
+    std::printf(
+        "[autotune] model=%s train=%.0f ms (%zu rows)  "
+        "test MAPE=%.1f%%  R2=%.3f\n",
+        rep.model_name.c_str(), rep.train_seconds * 1e3, rep.train_rows,
+        rep.mape_test, rep.r2_test);
+  }
+  return tuner.selector();
+}
+
+inline std::string us(sim_ns ns) { return fmt_double(ns / 1e3, 1); }
+
+}  // namespace scalfrag::bench

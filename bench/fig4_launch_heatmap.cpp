@@ -1,0 +1,64 @@
+// Figure 4 reproduction: GFlops of the MTTKRP kernel under every
+// (gridSize, blockSize) launch combination, one heatmap per tensor.
+// The paper's observations to verify in the output:
+//   * performance is poor at small grid/block, improves, then falls;
+//   * the heat distribution — and the optimum — differs per tensor.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace scalfrag;
+  using namespace scalfrag::bench;
+
+  const auto spec = gpusim::DeviceSpec::rtx3090();
+  const gpusim::CostModel cost(spec);
+
+  std::printf(
+      "Figure 4 — GFlops of MTTKRP kernel with different launch "
+      "settings (rank %u)\nrows = blockSize, cols = gridSize; '-' = "
+      "infeasible (shared memory)\n",
+      kRank);
+
+  for (const char* name : {"vast", "nell-2", "nips", "deli-3d"}) {
+    const CooTensor t = make_frostt_tensor(name);
+    const auto feat = TensorFeatures::extract(t, 0);
+    const auto prof = mttkrp_profile(feat, kRank);
+
+    std::printf("\n=== %s (nnz %s) ===\n", name,
+                human_count(t.nnz()).c_str());
+    std::vector<std::string> header{"blk\\grid"};
+    for (std::uint32_t grid = 16; grid <= 65536; grid *= 4) {
+      header.push_back(std::to_string(grid));
+    }
+    ConsoleTable table(header);
+
+    double best = 0.0;
+    gpusim::LaunchConfig best_cfg;
+    for (std::uint32_t block = 32;
+         block <= static_cast<std::uint32_t>(spec.max_threads_per_block);
+         block *= 2) {
+      std::vector<std::string> row{std::to_string(block)};
+      for (std::uint32_t grid = 16; grid <= 65536; grid *= 4) {
+        gpusim::LaunchConfig cfg{grid, block,
+                                 kernel_shmem_bytes(block, kRank)};
+        if (!gpusim::compute_occupancy(spec, cfg).feasible) {
+          row.push_back("-");
+          continue;
+        }
+        const double g = cost.gflops(cfg, prof);
+        if (g > best) {
+          best = g;
+          best_cfg = cfg;
+        }
+        row.push_back(fmt_double(g, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+    std::printf("optimum: %s at %.1f GFlop/s\n", best_cfg.str().c_str(),
+                best);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 8 reproduction: the segmented pipeline timeline itself.
+// Fig. 8 is the paper's *method* diagram — H2D copies of segments
+// streaming on multiple CUDA streams while earlier segments compute.
+// This bench renders the actual simulated timeline of one pipelined
+// MTTKRP as an ASCII Gantt chart and writes a Chrome-trace JSON
+// (open in chrome://tracing or ui.perfetto.dev) for the real thing.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpusim/trace.hpp"
+
+int main() {
+  using namespace scalfrag;
+  using namespace scalfrag::bench;
+
+  const auto spec = gpusim::DeviceSpec::rtx3090();
+  const LaunchSelector sel = make_selector(spec);
+  gpusim::SimDevice dev(spec);
+  PipelineExecutor exec(dev, &sel);
+
+  const CooTensor x = make_frostt_tensor("nell-2");
+  const auto f = random_factors(x, kRank, 21);
+  PipelineOptions opt;
+  opt.num_segments = 4;  // the paper's canonical diagram shows 4
+  opt.num_streams = 4;
+  const auto res = exec.run(x, f, 0, opt);
+
+  std::printf(
+      "\nFigure 8 — pipeline timeline for nell-2 (4 segments, 4 streams, "
+      "rank %u)\ntotal %0.1f us, overlap saved %0.1f us\n\n",
+      kRank, res.total_ns / 1e3, res.breakdown.overlap_saved() / 1e3);
+
+  std::fputs(gpusim::ascii_gantt(dev).c_str(), stdout);
+  std::printf("\n'=' H2D copy   '#' kernel   '<' D2H   '~' host\n");
+
+  const std::string path = "fig8_pipeline_trace.json";
+  gpusim::write_chrome_trace_file(path, dev);
+  std::printf("Chrome trace written to ./%s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks for the host-side primitives the
+// framework's own overhead consists of: reference MTTKRP, mode sorting,
+// feature extraction, segmentation, and model inference. These are the
+// costs that must stay negligible next to the simulated device times.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace scalfrag;
+using namespace scalfrag::bench;
+
+const CooTensor& nips_tensor() {
+  static const CooTensor t = make_frostt_tensor("nips", 1.0 / 512, 3);
+  return t;
+}
+
+void BM_MttkrpReference(benchmark::State& state) {
+  const CooTensor& t = nips_tensor();
+  const auto f = random_factors(t, static_cast<index_t>(state.range(0)), 4);
+  DenseMatrix out(t.dim(0), static_cast<index_t>(state.range(0)));
+  for (auto _ : state) {
+    mttkrp_coo_ref(t, f, 0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.nnz()));
+}
+BENCHMARK(BM_MttkrpReference)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MttkrpCsf(benchmark::State& state) {
+  const CooTensor& t = nips_tensor();
+  const auto f = random_factors(t, 16, 4);
+  const CsfTensor c = CsfTensor::build(t, 0);
+  DenseMatrix out(t.dim(0), 16);
+  for (auto _ : state) {
+    mttkrp_csf(c, f, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.nnz()));
+}
+BENCHMARK(BM_MttkrpCsf);
+
+void BM_SortByMode(benchmark::State& state) {
+  const CooTensor base = nips_tensor();
+  for (auto _ : state) {
+    CooTensor t = base;
+    t.sort_by_mode(2);
+    benchmark::DoNotOptimize(t.nnz());
+  }
+}
+BENCHMARK(BM_SortByMode);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const CooTensor& t = nips_tensor();
+  for (auto _ : state) {
+    const auto f = TensorFeatures::extract(t, 0);
+    benchmark::DoNotOptimize(f.num_fibers);
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_Segmentation(benchmark::State& state) {
+  const CooTensor& t = nips_tensor();
+  for (auto _ : state) {
+    const auto plan =
+        make_segments(t, 0, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(plan.segments.data());
+  }
+}
+BENCHMARK(BM_Segmentation)->Arg(4)->Arg(16);
+
+void BM_SelectorInference(benchmark::State& state) {
+  const auto spec = gpusim::DeviceSpec::rtx3090();
+  static const LaunchSelector sel = make_selector(spec, /*verbose=*/false);
+  const auto feat = TensorFeatures::extract(nips_tensor(), 0);
+  for (auto _ : state) {
+    const Selection s = sel.select(feat);
+    benchmark::DoNotOptimize(s.config.grid);
+  }
+}
+BENCHMARK(BM_SelectorInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

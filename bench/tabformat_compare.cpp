@@ -1,0 +1,74 @@
+// Format comparison (paper §II-D background + §VI-A's SpTFS): storage
+// footprint and host MTTKRP time of COO / CSF / HiCOO / F-COO on every
+// Table III stand-in, plus the trained format selector's pick.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/fcoo.hpp"
+#include "tensor/hicoo.hpp"
+
+int main() {
+  using namespace scalfrag;
+  using namespace scalfrag::bench;
+
+  std::printf("Sparse-format comparison on Table III stand-ins (mode-0 "
+              "MTTKRP, rank %u, host time)\n\n",
+              kRank);
+
+  FormatSelectorConfig cfg;
+  cfg.rank = kRank;
+  cfg.corpus_size = 32;
+  cfg.reps = 3;
+  FormatSelector selector(cfg);
+  const double train_s = selector.train();
+  std::printf("[format-select] trained on %d measured tensors in %.1f s\n\n",
+              cfg.corpus_size, train_s);
+
+  ConsoleTable t({"Tensor", "COO bytes", "CSF", "HiCOO", "F-COO",
+                  "COO ms", "CSF ms", "HiCOO ms", "F-COO ms", "measured",
+                  "predicted", "regret"});
+  int agree = 0, total = 0;
+  double worst_regret = 0.0;
+  for (const auto& p : frostt_profiles()) {
+    const CooTensor x = make_frostt_tensor(p.name, kDefaultScale / 4);
+    const auto feat = TensorFeatures::extract(x, 0);
+
+    const CsfTensor csf = CsfTensor::build(x, 0);
+    const HicooTensor hicoo = HicooTensor::build(x);
+    const FcooTensor fcoo = FcooTensor::build(x, 0);
+    const FormatTiming timing = measure_formats(x, 0, kRank, 3);
+    const SparseFormat predicted = selector.predict(feat);
+    agree += predicted == timing.best;
+    ++total;
+    // Regret: how much slower the predicted format runs vs the best —
+    // the metric that matters when several formats are near ties.
+    const double regret =
+        timing.ms[static_cast<std::size_t>(predicted)] / timing.best_ms() -
+        1.0;
+    worst_regret = std::max(worst_regret, regret);
+
+    auto rel = [&](std::size_t b) {
+      return fmt_double(static_cast<double>(b) /
+                            static_cast<double>(x.bytes()),
+                        2) +
+             "x";
+    };
+    t.add_row(
+        {p.name, human_bytes(x.bytes()), rel(csf.bytes()),
+         rel(hicoo.bytes()), rel(fcoo.bytes()),
+         fmt_double(timing.ms[0], 2), fmt_double(timing.ms[1], 2),
+         fmt_double(timing.ms[2], 2), fmt_double(timing.ms[3], 2),
+         sparse_format_name(timing.best), sparse_format_name(predicted),
+         "+" + fmt_double(100.0 * regret, 1) + "%"});
+  }
+  t.print();
+  std::printf(
+      "\nselector picked the measured-fastest format on %d/%d tensors; "
+      "worst regret +%.1f%%\n(format bytes shown relative to COO; host "
+      "times are wall-clock and machine-dependent)\n",
+      agree, total, 100.0 * worst_regret);
+  return 0;
+}

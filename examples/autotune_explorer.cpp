@@ -1,0 +1,89 @@
+// Autotune explorer: inspect what the adaptive launching strategy sees
+// and decides for a tensor — its sparsity features, the predicted-vs-
+// oracle launch landscape, and the final selection.
+//
+// Usage:
+//   ./build/examples/autotune_explorer [profile-name | path.tns] [mode]
+// e.g.
+//   ./build/examples/autotune_explorer nell-2 0
+//   ./build/examples/autotune_explorer my_tensor.tns 1
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "scalfrag/scalfrag.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scalfrag;
+
+  const std::string source = argc > 1 ? argv[1] : "nell-2";
+  const order_t mode =
+      argc > 2 ? static_cast<order_t>(std::atoi(argv[2])) : 0;
+
+  CooTensor t;
+  if (source.size() > 4 && source.ends_with(".tns")) {
+    t = read_tns_file(source);
+    std::printf("loaded %s\n", source.c_str());
+  } else {
+    t = make_frostt_tensor(source);
+    std::printf("generated Table III stand-in '%s'\n", source.c_str());
+  }
+  if (mode >= t.order()) {
+    std::fprintf(stderr, "mode %d out of range for order-%d tensor\n", mode,
+                 t.order());
+    return 1;
+  }
+  t.sort_by_mode(mode);
+
+  // --- features the model consumes -----------------------------------
+  const auto feat = TensorFeatures::extract(t, mode);
+  const auto vec = feat.to_vector();
+  std::printf("\nmode-%d sparsity features:\n", mode);
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    std::printf("  %-22s %10.4f\n", TensorFeatures::names()[i], vec[i]);
+  }
+
+  // --- train + select --------------------------------------------------
+  const auto spec = gpusim::DeviceSpec::rtx3090();
+  AutoTuner tuner(spec);
+  const auto rep = tuner.train();
+  std::printf("\nmodel: %s (test MAPE %.1f%%, trained in %.0f ms)\n",
+              rep.model_name.c_str(), rep.mape_test, rep.train_seconds * 1e3);
+  const LaunchSelector sel = tuner.selector();
+  const Selection s = sel.select(feat);
+
+  // --- predicted vs oracle landscape ----------------------------------
+  const index_t rank = sel.rank();
+  const gpusim::CostModel cost(spec);
+  const auto prof = mttkrp_profile(feat, rank);
+
+  std::printf("\npredicted vs cost-model GFlops over the candidate grid "
+              "(block=256 row shown):\n");
+  std::printf("  %-8s %12s %12s\n", "grid", "predicted", "oracle");
+  for (std::uint32_t grid = 16; grid <= 65536; grid *= 4) {
+    gpusim::LaunchConfig cfg{grid, 256, kernel_shmem_bytes(256, rank)};
+    if (!gpusim::compute_occupancy(spec, cfg).feasible) continue;
+    std::printf("  %-8u %12.1f %12.1f\n", grid,
+                sel.predict_gflops(feat, cfg), cost.gflops(cfg, prof));
+  }
+
+  double best = 0.0;
+  gpusim::LaunchConfig best_cfg;
+  for (gpusim::LaunchConfig cfg : gpusim::launch_candidates(spec)) {
+    cfg.shmem_per_block = kernel_shmem_bytes(cfg.block, rank);
+    if (!gpusim::compute_occupancy(spec, cfg).feasible) continue;
+    const double g = cost.gflops(cfg, prof);
+    if (g > best) {
+      best = g;
+      best_cfg = cfg;
+    }
+  }
+  const double achieved = cost.gflops(s.config, prof);
+  std::printf(
+      "\nselected %s -> %.1f GFlop/s (oracle: %s at %.1f; regret %.1f%%)\n",
+      s.config.str().c_str(), achieved, best_cfg.str().c_str(), best,
+      100.0 * (1.0 - achieved / best));
+  std::printf("selection wall time: %.0f us\n", s.inference_seconds * 1e6);
+  return 0;
+}

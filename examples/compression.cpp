@@ -1,0 +1,67 @@
+// Lossy tensor compression via sparse Tucker (HOOI) — the classic
+// scientific-data use of the decomposition ParTI also ships.
+//
+// We take a Table III stand-in, decompose it at a few core sizes, and
+// report the storage of (core + factors) against the original COO
+// bytes next to the reconstruction fit — the compression/accuracy
+// frontier a practitioner tunes.
+//
+// Build & run:  ./build/examples/compression [profile] (default nell-2)
+
+#include <cstdio>
+#include <string>
+
+#include "scalfrag/scalfrag.hpp"
+
+namespace {
+
+std::size_t model_bytes(const scalfrag::TuckerResult& m) {
+  std::size_t b = m.core.size() * sizeof(scalfrag::value_t);
+  for (const auto& f : m.factors) b += f.bytes();
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scalfrag;
+
+  const std::string name = argc > 1 ? argv[1] : "nell-2";
+  // Keep the tensor small: HOOI's projection kernel is O(nnz · Π r).
+  const CooTensor x = make_frostt_tensor(name, 1.0 / 2048, 77);
+  std::printf("tensor '%s': nnz %s, COO storage %s\n\n", name.c_str(),
+              human_count(x.nnz()).c_str(), human_bytes(x.bytes()).c_str());
+
+  ConsoleTable t({"core", "model bytes", "ratio", "fit", "iters"});
+  for (index_t r : {2u, 4u, 8u, 16u}) {
+    TuckerOptions opt;
+    opt.core_dims.assign(x.order(), r);
+    for (order_t m = 0; m < x.order(); ++m) {
+      opt.core_dims[m] = std::min<index_t>(opt.core_dims[m], x.dim(m));
+    }
+    opt.max_iters = 8;
+    opt.tol = 1e-4;
+    const TuckerResult model = tucker_hooi(x, opt);
+
+    std::string core;
+    for (std::size_t m = 0; m < opt.core_dims.size(); ++m) {
+      core += std::to_string(opt.core_dims[m]);
+      if (m + 1 < opt.core_dims.size()) core += "x";
+    }
+    const std::size_t bytes = model_bytes(model);
+    t.add_row({core, human_bytes(bytes),
+               fmt_double(static_cast<double>(x.bytes()) /
+                              static_cast<double>(bytes),
+                          1) +
+                   ":1",
+               fmt_double(model.final_fit, 3),
+               std::to_string(model.iterations)});
+  }
+  t.print();
+  std::printf(
+      "\nLarger cores trade storage for fidelity; for heavy-tailed "
+      "FROSTT-like\ndata the fit climbs slowly — exactly why CPD/Tucker "
+      "serve as pattern\nminers rather than exact codecs on such "
+      "tensors.\n");
+  return 0;
+}

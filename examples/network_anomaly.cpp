@@ -1,0 +1,138 @@
+// Network-traffic anomaly detection via CPD residuals (the intro's
+// "cybersecurity" motivation, à la Bruns-Smith et al. [5]).
+//
+// We synthesize a 4-way (source × destination × port × hour) flow-count
+// tensor whose benign traffic is genuinely low-rank: hosts belong to a
+// handful of service groups (web tier → app tier on app ports, etc.),
+// each group being a (sources × dests × ports × diurnal curve) rank-one
+// pattern. A port-scan burst is injected — one source sweeping many
+// ports of one destination in one hour — which no low-rank pattern
+// explains. CPD-ALS on the simulated GPU fits the benign structure;
+// aggregating positive residuals per (source, dest, hour) flags the
+// scan at the top of the suspicion list.
+//
+// Build & run:  ./build/examples/network_anomaly
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "scalfrag/scalfrag.hpp"
+
+namespace {
+
+using namespace scalfrag;
+
+constexpr index_t kSources = 128;
+constexpr index_t kDests = 128;
+constexpr index_t kPorts = 256;
+constexpr index_t kHours = 24;
+constexpr int kGroups = 6;  // service groups → benign rank ≈ 6
+
+constexpr index_t kScanSource = 77;
+constexpr index_t kScanDest = 13;
+constexpr index_t kScanHour = 3;
+
+double diurnal(index_t h, int group) {
+  // Office-hours groups vs nightly-batch groups.
+  if (group % 3 == 2) return (h >= 1 && h <= 5) ? 1.0 : 0.1;
+  return (h >= 8 && h <= 20) ? 1.0 : 0.15;
+}
+
+CooTensor synthesize_traffic(std::uint64_t seed) {
+  Rng rng(seed);
+  CooTensor t({kSources, kDests, kPorts, kHours});
+  // Benign: group g's sources talk to group g's dests on group g's
+  // service ports, modulated by the group's diurnal curve. This is a
+  // sum of kGroups near-rank-one patterns.
+  for (index_t s = 0; s < kSources; ++s) {
+    const int g = static_cast<int>(s) % kGroups;
+    for (index_t d = static_cast<index_t>(g); d < kDests;
+         d += static_cast<index_t>(kGroups) * 4) {
+      for (index_t port = static_cast<index_t>(g * 2);
+           port < static_cast<index_t>(g * 2 + 2); ++port) {
+        for (index_t h = 0; h < kHours; ++h) {
+          const double base = 40.0 + 8.0 * (g + 1);
+          const double flows =
+              base * diurnal(h, g) * (0.9 + 0.2 * rng.next_double());
+          if (flows > 6.0) {
+            t.push({s, d, port, h}, static_cast<value_t>(flows));
+          }
+        }
+      }
+    }
+  }
+  // The injected port scan: one (src,dst,hour), many ports, few flows
+  // each — structurally unlike anything the benign rank explains.
+  for (index_t port = 0; port < kPorts; port += 2) {
+    t.push({kScanSource, kScanDest, port, kScanHour}, 6.0f);
+  }
+  t.sort_by_mode(0);
+  t.coalesce_duplicates();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace scalfrag;
+
+  const CooTensor traffic = synthesize_traffic(2026);
+  std::printf("traffic tensor: %u src x %u dst x %u ports x %u hours, %s "
+              "flow records\n",
+              kSources, kDests, kPorts, kHours,
+              human_count(traffic.nnz()).c_str());
+
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  AutoTuner tuner(dev.spec());
+  tuner.train();
+  const LaunchSelector selector = tuner.selector();
+
+  CpdOptions opt;
+  opt.rank = 12;
+  opt.max_iters = 20;
+  opt.tol = 1e-5;
+  opt.backend = CpdBackend::ScalFrag;
+  opt.pipeline.hybrid_cpu_threshold = 4;  // scan slices are tiny: CPU them
+  const CpdResult model = cpd_als(traffic, opt, &dev, &selector);
+  std::printf("benign-structure CPD fit %.4f (%d iterations)\n\n",
+              model.final_fit, model.iterations);
+
+  // Aggregate per-(src, dst, hour) positive relative residuals: a scan
+  // is many under-explained entries concentrated in one flow group.
+  std::map<std::tuple<index_t, index_t, index_t>, double> suspicion;
+  for (nnz_t e = 0; e < traffic.nnz(); ++e) {
+    const index_t coord[4] = {traffic.index(0, e), traffic.index(1, e),
+                              traffic.index(2, e), traffic.index(3, e)};
+    const double pred = cpd_predict(model, coord);
+    const double rel = (traffic.value(e) - pred) /
+                       (std::abs(pred) + 1.0);
+    if (rel > 0.5) {
+      suspicion[{coord[0], coord[1], coord[3]}] += rel;
+    }
+  }
+  std::vector<std::pair<double, std::tuple<index_t, index_t, index_t>>> top;
+  top.reserve(suspicion.size());
+  for (const auto& [key, score] : suspicion) top.emplace_back(score, key);
+  std::sort(top.rbegin(), top.rend());
+
+  std::printf("top suspicious (source, dest, hour) flow groups:\n");
+  const std::size_t show = std::min<std::size_t>(5, top.size());
+  bool scan_is_first = false;
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto [s, d, h] = top[i].second;
+    const bool is_scan =
+        s == kScanSource && d == kScanDest && h == kScanHour;
+    if (i == 0) scan_is_first = is_scan;
+    std::printf("  #%zu  src=%3u dst=%3u hour=%2u  score %8.1f %s\n", i + 1,
+                s, d, h, top[i].first, is_scan ? "<-- injected scan" : "");
+  }
+  if (scan_is_first) {
+    std::printf("\n=> port scan isolated by CPD residual analysis\n");
+    return 0;
+  }
+  std::printf("\n=> WARNING: detection weaker than expected\n");
+  return 1;
+}

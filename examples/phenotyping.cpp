@@ -1,0 +1,137 @@
+// Computational phenotyping from electronic health records via
+// non-negative CPD (the intro's "healthcare" motivation, à la He,
+// Henderson & Ho [12]).
+//
+// We synthesize a (patient × diagnosis × medication) count tensor from
+// four planted phenotypes — e.g. "cardiovascular": hypertension-family
+// diagnoses co-occurring with beta-blocker-family prescriptions in a
+// subpopulation — plus background noise. Non-negative CPD factors the
+// counts into interpretable phenotype components; we verify each
+// recovered component concentrates its diagnosis and medication mass
+// on one planted phenotype's code families.
+//
+// Build & run:  ./build/examples/phenotyping
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "scalfrag/scalfrag.hpp"
+
+namespace {
+
+using namespace scalfrag;
+
+constexpr index_t kPatients = 800;
+constexpr index_t kDiagnoses = 200;
+constexpr index_t kMedications = 150;
+constexpr int kPhenotypes = 4;
+
+// Each phenotype owns a contiguous family of diagnosis and medication
+// codes; patients are assigned one dominant phenotype.
+index_t diag_family(int ph) { return static_cast<index_t>(ph * 40); }
+index_t med_family(int ph) { return static_cast<index_t>(ph * 30); }
+
+CooTensor synthesize_ehr(std::uint64_t seed) {
+  Rng rng(seed);
+  CooTensor t({kPatients, kDiagnoses, kMedications});
+  for (index_t p = 0; p < kPatients; ++p) {
+    const int ph = static_cast<int>(p) % kPhenotypes;
+    // Dominant phenotype: clustered codes, high counts.
+    for (int enc = 0; enc < 12; ++enc) {
+      const auto d = diag_family(ph) +
+                     static_cast<index_t>(rng.next_below(12));
+      const auto m =
+          med_family(ph) + static_cast<index_t>(rng.next_below(10));
+      t.push({p, d, m}, 1.0f + static_cast<value_t>(rng.next_below(3)));
+    }
+    // Background noise: anything, low counts.
+    for (int enc = 0; enc < 3; ++enc) {
+      const auto d = static_cast<index_t>(rng.next_below(kDiagnoses));
+      const auto m = static_cast<index_t>(rng.next_below(kMedications));
+      t.push({p, d, m}, 1.0f);
+    }
+  }
+  t.sort_by_mode(0);
+  t.coalesce_duplicates();
+  return t;
+}
+
+/// Fraction of a factor column's mass inside phenotype `ph`'s family.
+double family_mass(const DenseMatrix& factor, index_t f, index_t base,
+                   index_t width) {
+  double inside = 0.0, total = 0.0;
+  for (index_t i = 0; i < factor.rows(); ++i) {
+    const double v = std::abs(factor(i, f));
+    total += v;
+    if (i >= base && i < base + width) inside += v;
+  }
+  return total > 0 ? inside / total : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace scalfrag;
+
+  const CooTensor ehr = synthesize_ehr(314);
+  std::printf(
+      "EHR tensor: %u patients x %u diagnoses x %u medications, %s "
+      "records\n",
+      kPatients, kDiagnoses, kMedications, human_count(ehr.nnz()).c_str());
+
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  AutoTuner tuner(dev.spec());
+  tuner.train();
+  const LaunchSelector selector = tuner.selector();
+
+  CpdOptions opt;
+  // Slightly overcomplete rank: ALS from a random start can park two
+  // components on one phenotype; spare components absorb that without
+  // leaving any phenotype uncovered.
+  opt.rank = kPhenotypes + 2;
+  opt.max_iters = 25;
+  opt.tol = 1e-5;
+  opt.nonnegative = true;  // counts → parts-based factors
+  opt.backend = CpdBackend::ScalFrag;
+  const CpdResult model = cpd_als(ehr, opt, &dev, &selector);
+  std::printf("non-negative CPD fit %.4f (%d iterations, %.2f ms simulated "
+              "MTTKRP)\n\n",
+              model.final_fit, model.iterations, model.mttkrp_sim_ns / 1e6);
+
+  // For each planted phenotype, find the component whose diagnosis AND
+  // medication mass concentrate on that phenotype's code families.
+  std::printf("phenotype -> best component (diagnosis / medication family "
+              "concentration):\n");
+  int clean = 0;
+  for (int ph = 0; ph < kPhenotypes; ++ph) {
+    index_t best_f = 0;
+    double best_score = -1.0;
+    for (index_t f = 0; f < model.factors[1].cols(); ++f) {
+      const double diag = family_mass(model.factors[1], f, diag_family(ph),
+                                      40);
+      const double med = family_mass(model.factors[2], f, med_family(ph),
+                                     30);
+      const double score = std::min(diag, med);
+      if (score > best_score) {
+        best_score = score;
+        best_f = f;
+      }
+    }
+    const double diag = family_mass(model.factors[1], best_f,
+                                    diag_family(ph), 40);
+    const double med = family_mass(model.factors[2], best_f, med_family(ph),
+                                   30);
+    std::printf("  phenotype %d -> component %u  (diag %.0f%%, med %.0f%%)\n",
+                ph, best_f, 100.0 * diag, 100.0 * med);
+    clean += best_score > 0.6;
+  }
+  std::printf("\n%d/%d phenotypes recovered as clean components\n", clean,
+              kPhenotypes);
+  if (clean == kPhenotypes) {
+    std::printf("=> phenotyping succeeded\n");
+    return 0;
+  }
+  std::printf("=> WARNING: phenotype recovery incomplete\n");
+  return 1;
+}

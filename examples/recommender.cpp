@@ -1,0 +1,116 @@
+// Context-aware recommendation via CPD (the intro's "recommended
+// systems" motivation, à la TFMAP [29]).
+//
+// We synthesize a (user × item × time-of-day) ratings tensor with three
+// planted taste communities — each community of users rates its own
+// item cluster highly in its favourite time slot — plus background
+// noise. CPD-ALS on the simulated GPU recovers the communities, and the
+// factors then score unseen (user, item, time) triples: candidates
+// inside a user's community rank above random ones.
+//
+// Build & run:  ./build/examples/recommender
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "scalfrag/scalfrag.hpp"
+
+namespace {
+
+using namespace scalfrag;
+
+constexpr index_t kUsers = 600;
+constexpr index_t kItems = 400;
+constexpr index_t kSlots = 8;
+constexpr int kCommunities = 3;
+
+index_t community_of_user(index_t u) { return u % kCommunities; }
+index_t community_of_item(index_t i) { return i % kCommunities; }
+index_t slot_of_community(index_t c) { return static_cast<index_t>(c * 2); }
+
+CooTensor synthesize_ratings(std::uint64_t seed, nnz_t n_ratings) {
+  Rng rng(seed);
+  CooTensor t({kUsers, kItems, kSlots});
+  t.reserve(n_ratings);
+  for (nnz_t e = 0; e < n_ratings; ++e) {
+    const auto u = static_cast<index_t>(rng.next_below(kUsers));
+    index_t item, slot;
+    float rating;
+    if (rng.next_double() < 0.8) {
+      // In-community rating: own item cluster, favourite slot, 4-5 stars.
+      const index_t c = community_of_user(u);
+      item = static_cast<index_t>(rng.next_below(kItems / kCommunities)) *
+                 kCommunities +
+             c;
+      slot = slot_of_community(c);
+      rating = 4.0f + rng.next_float();
+    } else {
+      // Exploration noise: anything, 1-3 stars.
+      item = static_cast<index_t>(rng.next_below(kItems));
+      slot = static_cast<index_t>(rng.next_below(kSlots));
+      rating = 1.0f + 2.0f * rng.next_float();
+    }
+    t.push({u, item, slot}, rating);
+  }
+  t.sort_by_mode(0);
+  t.coalesce_duplicates();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace scalfrag;
+
+  const CooTensor ratings = synthesize_ratings(7, 60000);
+  std::printf("ratings tensor: %u users x %u items x %u slots, %s ratings\n",
+              kUsers, kItems, kSlots, human_count(ratings.nnz()).c_str());
+
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  AutoTuner tuner(dev.spec());
+  tuner.train();
+  const LaunchSelector selector = tuner.selector();
+
+  CpdOptions opt;
+  opt.rank = 12;
+  opt.max_iters = 15;
+  opt.tol = 1e-5;
+  opt.backend = CpdBackend::ScalFrag;
+  const CpdResult model = cpd_als(ratings, opt, &dev, &selector);
+  std::printf("CPD fit %.4f in %d iterations (%.2f ms simulated MTTKRP)\n\n",
+              model.final_fit, model.iterations, model.mttkrp_sim_ns / 1e6);
+
+  // Recommendation check: for a sample of users, score one in-community
+  // candidate vs one out-of-community candidate at the community's slot.
+  int correct = 0, total = 0;
+  Rng rng(99);
+  for (index_t u = 0; u < kUsers; u += 17) {
+    const index_t c = community_of_user(u);
+    const index_t good_item =
+        static_cast<index_t>(rng.next_below(kItems / kCommunities)) *
+            kCommunities +
+        c;
+    index_t bad_item;
+    do {
+      bad_item = static_cast<index_t>(rng.next_below(kItems));
+    } while (community_of_item(bad_item) == c);
+    const index_t slot = slot_of_community(c);
+
+    const index_t good[3] = {u, good_item, slot};
+    const index_t bad[3] = {u, bad_item, slot};
+    correct += cpd_predict(model, good) > cpd_predict(model, bad);
+    ++total;
+  }
+  std::printf(
+      "pairwise ranking accuracy (in-community vs out-of-community "
+      "candidates): %d/%d = %.0f%%\n",
+      correct, total, 100.0 * correct / total);
+
+  if (correct * 100 >= total * 80) {
+    std::printf("=> factors recovered the planted taste communities\n");
+  } else {
+    std::printf("=> WARNING: community recovery weaker than expected\n");
+  }
+  return correct * 100 >= total * 80 ? 0 : 1;
+}

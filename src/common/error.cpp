@@ -1,0 +1,26 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace scalfrag {
+
+DeviceOutOfMemory::DeviceOutOfMemory(std::size_t requested,
+                                     std::size_t available)
+    : Error("simulated device out of memory: requested " +
+            std::to_string(requested) + " B, " + std::to_string(available) +
+            " B free"),
+      requested_(requested),
+      available_(available) {}
+
+namespace detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "SF_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace scalfrag

@@ -1,0 +1,49 @@
+#pragma once
+// Error handling for ScalFrag.
+//
+// Library code throws scalfrag::Error (an std::runtime_error) for
+// recoverable misuse (bad arguments, malformed files, simulated
+// out-of-device-memory). SF_CHECK is for API-boundary validation and is
+// always on; SF_ASSERT documents internal invariants and compiles to a
+// check in all build types as well — the library is not hot enough on the
+// host side for assertion cost to matter, and silent corruption in a
+// research artifact is worse than a branch.
+
+#include <stdexcept>
+#include <string>
+
+namespace scalfrag {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by the simulated device allocator when capacity is exhausted.
+class DeviceOutOfMemory : public Error {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t available);
+  std::size_t requested() const noexcept { return requested_; }
+  std::size_t available() const noexcept { return available_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t available_;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace scalfrag
+
+#define SF_CHECK(expr, msg)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::scalfrag::detail::throw_check_failure(#expr, __FILE__, __LINE__,  \
+                                              (msg));                     \
+    }                                                                     \
+  } while (0)
+
+#define SF_ASSERT(expr, msg) SF_CHECK(expr, msg)

@@ -1,0 +1,108 @@
+#include "common/format.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace scalfrag {
+
+std::string human_count(std::uint64_t n) {
+  const char* suffix[] = {"", "K", "M", "B"};
+  double v = static_cast<double>(n);
+  int s = 0;
+  while (v >= 1000.0 && s < 3) {
+    v /= 1000.0;
+    ++s;
+  }
+  char buf[32];
+  if (s == 0) {
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+  } else if (v < 10.0 && std::fmod(v, 1.0) > 1e-9) {
+    std::snprintf(buf, sizeof buf, "%.1f%s", v, suffix[s]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f%s", v, suffix[s]);
+  }
+  return buf;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  const char* suffix[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int s = 0;
+  while (v >= 1024.0 && s < 4) {
+    v /= 1024.0;
+    ++s;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f %s", v, suffix[s]);
+  return buf;
+}
+
+std::string fmt_double(double v, int max_prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", max_prec, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string fmt_density(double d) {
+  if (d <= 0.0) return "0";
+  const int exp = static_cast<int>(std::floor(std::log10(d)));
+  const double mant = d / std::pow(10.0, exp);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.1fe%d", mant, exp);
+  return buf;
+}
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SF_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  SF_CHECK(cells.size() == headers_.size(),
+           "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(width[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void ConsoleTable::print() const { std::cout << str() << std::flush; }
+
+}  // namespace scalfrag

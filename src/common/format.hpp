@@ -1,0 +1,38 @@
+#pragma once
+// Human-readable formatting helpers and a fixed-width console table
+// printer used by the benchmark harnesses to emit paper-shaped rows.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalfrag {
+
+/// "26M", "113M", "3.2K" — the style Table III uses for nnz counts.
+std::string human_count(std::uint64_t n);
+
+/// "24.3 GB/s", "936.2 GB/s"-style byte counts ("24.0 GB", "128 KB").
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed precision without trailing-zero noise ("1.3", "2.25").
+std::string fmt_double(double v, int max_prec = 3);
+
+/// Scientific-ish density formatting like the paper's "6.9 × 10-3".
+std::string fmt_density(double d);
+
+/// Simple console table: set headers, add rows, print with padding.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column alignment; returns the full string.
+  std::string str() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scalfrag

@@ -1,0 +1,54 @@
+#pragma once
+// Small integer/float helpers used across the codebase.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace scalfrag {
+
+template <typename T, typename U>
+constexpr auto ceil_div(T a, U b) noexcept {
+  static_assert(std::is_integral_v<T> && std::is_integral_v<U>);
+  return (a + b - 1) / b;
+}
+
+template <typename T, typename U>
+constexpr auto round_up(T a, U multiple) noexcept {
+  return ceil_div(a, multiple) * multiple;
+}
+
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  x |= x >> 32;
+  return x + 1;
+}
+
+template <typename T>
+constexpr T clamp(T v, T lo, T hi) noexcept {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); symmetric, scale-free.
+inline double rel_diff(double a, double b, double eps = 1e-30) noexcept {
+  const double m = [&] {
+    double aa = a < 0 ? -a : a;
+    double bb = b < 0 ? -b : b;
+    double mm = aa > bb ? aa : bb;
+    return mm > eps ? mm : eps;
+  }();
+  const double d = a - b;
+  return (d < 0 ? -d : d) / m;
+}
+
+}  // namespace scalfrag

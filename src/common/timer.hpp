@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timer for measuring *host* time (ML training, inference,
+// preprocessing). Simulated GPU time lives in gpusim and is unrelated.
+
+#include <chrono>
+
+namespace scalfrag {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+  double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace scalfrag

@@ -1,0 +1,31 @@
+#pragma once
+// Fundamental scalar types shared by every ScalFrag subsystem.
+//
+// GPU sparse-tensor codes (ParTI, SPLATT, BCSF) almost universally use
+// 32-bit indices and single-precision values: FROSTT mode sizes fit in
+// 32 bits and fp32 doubles the effective memory bandwidth of the
+// memory-bound MTTKRP kernel. We follow that convention.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scalfrag {
+
+/// Index along one tensor mode (row of a factor matrix).
+using index_t = std::uint32_t;
+
+/// Count of non-zero entries. 64-bit: FROSTT tensors exceed 2^32 bytes.
+using nnz_t = std::uint64_t;
+
+/// Numeric value type of tensor entries and factor matrices.
+using value_t = float;
+
+/// Simulated time, in nanoseconds (gpusim timeline domain).
+using sim_ns = std::uint64_t;
+
+/// Tensor order (number of modes). Kept small on purpose.
+using order_t = std::uint8_t;
+
+inline constexpr order_t kMaxOrder = 8;
+
+}  // namespace scalfrag

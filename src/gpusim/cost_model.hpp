@@ -1,0 +1,88 @@
+#pragma once
+// Analytical kernel-time model.
+//
+// A kernel is summarized by a KernelProfile — how much work it does and
+// how it touches memory — and the model converts (DeviceSpec,
+// LaunchConfig, KernelProfile) into simulated nanoseconds. The model is
+// deliberately *mechanistic*, not fitted: each term corresponds to a
+// real GPU bottleneck, so launch-parameter sweeps reproduce the
+// qualitative structure of paper Fig. 4:
+//
+//  * too few threads  → bandwidth starved (latency-hiding curve),
+//  * too-large blocks → occupancy quantization + shared-mem caps,
+//  * too-large grids  → per-block scheduling overhead + pure tail waste,
+//  * grid ≪ machine   → idle SMs (util term),
+//  * atomics          → serialized L2 update term (ParTI's bane),
+//  * good reuse       → fewer DRAM bytes (ScalFrag's shared-memory win).
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace scalfrag::gpusim {
+
+struct KernelProfile {
+  /// Independent work items (for MTTKRP: non-zeros), distributed over
+  /// threads grid-stride style.
+  std::uint64_t work_items = 0;
+
+  /// Total useful floating-point operations.
+  std::uint64_t flops = 0;
+
+  /// DRAM traffic after cache/shared-memory reuse has been discounted
+  /// (the kernel author computes this from tensor features).
+  std::uint64_t dram_bytes = 0;
+
+  /// Fraction of peak bandwidth the access pattern can realize
+  /// (1 = fully coalesced, ~0.25 = scattered gathers).
+  double coalescing = 1.0;
+
+  /// Number of atomic read-modify-write operations issued.
+  std::uint64_t atomic_updates = 0;
+
+  /// Longest same-address serialization chain (updates that MUST retire
+  /// one after another because they hit one address — e.g. all
+  /// non-zeros of the heaviest output slice in an atomicAdd kernel).
+  /// 1 = conflict-free.
+  double atomic_max_chain = 1.0;
+};
+
+struct KernelTimeBreakdown {
+  sim_ns total = 0;
+  sim_ns launch = 0;
+  sim_ns memory = 0;
+  sim_ns compute = 0;
+  sim_ns atomics = 0;
+  sim_ns scheduling = 0;
+  double occupancy = 0.0;
+  double utilization = 0.0;  // fraction of SM capacity the grid can fill
+  bool feasible = true;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Simulated kernel duration; infeasible configs return
+  /// feasible=false and total=UINT64_MAX so callers can rank them last.
+  KernelTimeBreakdown kernel_time(const LaunchConfig& cfg,
+                                  const KernelProfile& prof) const;
+
+  /// Shorthand for the total.
+  sim_ns kernel_ns(const LaunchConfig& cfg, const KernelProfile& prof) const {
+    return kernel_time(cfg, prof).total;
+  }
+
+  /// GFlop/s this (config, profile) pair achieves — the Fig. 4 metric.
+  double gflops(const LaunchConfig& cfg, const KernelProfile& prof) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,100 @@
+#pragma once
+// Simulated device-memory accounting.
+//
+// Because kernels execute functionally on the host, "device memory" is
+// host memory — but capacity is accounted against the simulated device
+// so that over-allocation fails exactly where it would on the real
+// card. This is what forces ScalFrag-style segmentation for tensors
+// that don't fit: the paper's blocking approach exists precisely to
+// bound device-memory footprint.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scalfrag::gpusim {
+
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+  std::size_t available() const noexcept { return capacity_ - used_; }
+  std::size_t peak() const noexcept { return peak_; }
+
+  /// Reserve `bytes`; throws DeviceOutOfMemory if it doesn't fit.
+  void allocate(std::size_t bytes) {
+    if (bytes > available()) throw DeviceOutOfMemory(bytes, available());
+    used_ += bytes;
+    peak_ = std::max(peak_, used_);
+  }
+
+  /// Release a prior allocation (caller passes the same byte count).
+  void release(std::size_t bytes) noexcept {
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
+
+  void reset_peak() noexcept { peak_ = used_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// RAII typed device buffer: owns host backing storage (the functional
+/// mirror) and an accounting reservation against a DeviceAllocator.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(DeviceAllocator& alloc, std::size_t count) : alloc_(&alloc) {
+    // Account against the simulated device *before* reserving host
+    // backing, so an allocation the device could never hold fails with
+    // DeviceOutOfMemory rather than exhausting host memory.
+    alloc_->allocate(count * sizeof(T));
+    try {
+      data_.resize(count);
+    } catch (...) {
+      alloc_->release(count * sizeof(T));
+      alloc_ = nullptr;
+      throw;
+    }
+  }
+  ~DeviceBuffer() { release(); }
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& o) noexcept { *this = std::move(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      alloc_ = o.alloc_;
+      data_ = std::move(o.data_);
+      o.alloc_ = nullptr;
+      o.data_.clear();
+    }
+    return *this;
+  }
+
+  std::size_t count() const noexcept { return data_.size(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(T); }
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+  bool valid() const noexcept { return alloc_ != nullptr; }
+
+ private:
+  void release() noexcept {
+    if (alloc_) {
+      alloc_->release(data_.size() * sizeof(T));
+      alloc_ = nullptr;
+    }
+  }
+
+  DeviceAllocator* alloc_ = nullptr;
+  std::vector<T> data_;
+};
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,70 @@
+#pragma once
+// Hardware descriptions for the simulated platform (paper Table II).
+//
+// Nothing in this repository touches a physical GPU: `DeviceSpec` feeds
+// the analytical cost model (occupancy, bandwidth, launch overheads) and
+// the transfer model (PCIe), while kernels execute functionally on the
+// host. The shipped preset mirrors the paper's NVIDIA GeForce RTX 3090 /
+// Intel Core i7-11700K testbed.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace scalfrag::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Compute resources.
+  int num_sms = 0;
+  int cuda_cores = 0;           // total FP32 lanes
+  double core_clock_ghz = 0.0;  // boost clock used for peak estimates
+  int warp_size = 32;
+  int max_threads_per_sm = 0;
+  int max_blocks_per_sm = 0;
+  int max_threads_per_block = 0;
+
+  // Memory system.
+  std::size_t shared_mem_per_sm = 0;     // usable shared memory per SM
+  std::size_t shared_mem_per_block = 0;  // per-block cap
+  std::size_t l2_bytes = 0;
+  std::size_t global_mem_bytes = 0;
+  double hbm_bandwidth_gbps = 0.0;  // device-memory bandwidth (GB/s)
+
+  // Host link (what Fig. 5's H2D/D2H costs come from).
+  double pcie_bandwidth_gbps = 0.0;  // effective host<->device bandwidth
+  double pcie_latency_us = 0.0;      // fixed per-transfer setup cost
+
+  // Driver / runtime overheads.
+  double kernel_launch_us = 0.0;    // fixed per-launch cost
+  double per_block_sched_ns = 0.0;  // block dispatch cost (per block / SM)
+  double atomic_ns = 0.0;           // serialized L2 atomic op latency
+
+  /// Peak FP32 throughput in GFlop/s (2 flops per FMA lane per cycle).
+  double peak_gflops() const {
+    return 2.0 * static_cast<double>(cuda_cores) * core_clock_ghz;
+  }
+
+  /// The paper's platform: RTX 3090 (GA102), Table II values.
+  static DeviceSpec rtx3090();
+};
+
+struct CpuSpec {
+  std::string name;
+  int cores = 0;
+  int threads = 0;
+  double clock_ghz = 0.0;
+  double mem_bandwidth_gbps = 0.0;
+  int simd_flops_per_cycle = 0;  // per core (AVX2 fp32 FMA: 2×8×2)
+
+  double peak_gflops() const {
+    return static_cast<double>(cores) * clock_ghz *
+           static_cast<double>(simd_flops_per_cycle);
+  }
+
+  /// Intel Core i7-11700K, Table II values.
+  static CpuSpec i7_11700k();
+};
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,30 @@
+#include "gpusim/energy.hpp"
+
+namespace scalfrag::gpusim {
+
+PowerModel PowerModel::rtx3090() { return PowerModel{}; }
+
+EnergyEstimate estimate_energy(const SimDevice& dev,
+                               const PowerModel& power) {
+  EnergyEstimate e;
+  constexpr double kNsToS = 1e-9;
+  for (const auto& r : dev.timeline()) {
+    const double secs = static_cast<double>(r.duration()) * kNsToS;
+    switch (r.kind) {
+      case OpKind::Kernel:
+        e.kernel_j += power.kernel_w * secs;
+        break;
+      case OpKind::H2D:
+      case OpKind::D2H:
+        e.transfer_j += power.copy_w * secs;
+        break;
+      case OpKind::Host:
+        e.host_j += power.host_w * secs;
+        break;
+    }
+  }
+  e.idle_j = power.idle_w * static_cast<double>(dev.now()) * kNsToS;
+  return e;
+}
+
+}  // namespace scalfrag::gpusim

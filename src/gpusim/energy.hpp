@@ -1,0 +1,39 @@
+#pragma once
+// First-order energy estimation over a simulated timeline — the
+// "energy benefit" axis the paper's related-work accelerators (§VI-C:
+// "significant speedup and energy benefit") report. The model is the
+// standard busy/idle decomposition: each engine draws its busy power
+// while an op occupies it, and the board draws idle power for the whole
+// makespan. Overlapping transfers with kernels therefore saves energy
+// twice: shorter makespan (less idle draw) and no change in busy joules.
+
+#include "gpusim/engine.hpp"
+
+namespace scalfrag::gpusim {
+
+struct PowerModel {
+  double idle_w = 30.0;     // board idle draw, applied over the makespan
+  double kernel_w = 250.0;  // SM busy draw above idle
+  double copy_w = 25.0;     // copy-engine + PCIe PHY draw above idle
+  double host_w = 65.0;     // CPU package draw above idle (hybrid tasks)
+
+  /// Approximate RTX 3090 figures (350 W board limit).
+  static PowerModel rtx3090();
+};
+
+struct EnergyEstimate {
+  double kernel_j = 0.0;
+  double transfer_j = 0.0;
+  double host_j = 0.0;
+  double idle_j = 0.0;
+
+  double total_j() const noexcept {
+    return kernel_j + transfer_j + host_j + idle_j;
+  }
+};
+
+/// Integrate the power model over a device's recorded timeline.
+EnergyEstimate estimate_energy(const SimDevice& dev,
+                               const PowerModel& power = PowerModel::rtx3090());
+
+}  // namespace scalfrag::gpusim

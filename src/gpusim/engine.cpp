@@ -1,0 +1,129 @@
+#include "gpusim/engine.hpp"
+
+#include <algorithm>
+
+namespace scalfrag::gpusim {
+
+const char* op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::H2D:
+      return "H2D";
+    case OpKind::D2H:
+      return "D2H";
+    case OpKind::Kernel:
+      return "Kernel";
+    case OpKind::Host:
+      return "Host";
+  }
+  return "?";
+}
+
+SimDevice::SimDevice(DeviceSpec spec)
+    : spec_(std::move(spec)), cost_(spec_), alloc_(spec_.global_mem_bytes) {
+  streams_.resize(1);  // default stream
+}
+
+StreamId SimDevice::create_stream() {
+  streams_.emplace_back();
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+void SimDevice::check_stream(StreamId s) const {
+  SF_CHECK(s >= 0 && s < static_cast<StreamId>(streams_.size()),
+           "invalid stream id");
+}
+
+sim_ns SimDevice::submit(OpKind kind, StreamId s, sim_ns duration,
+                         std::size_t bytes, std::function<void()> fn,
+                         std::string label) {
+  check_stream(s);
+  auto& st = streams_[s];
+  const int engine = static_cast<int>(kind);
+  const sim_ns ready = std::max(st.tail, st.wait_until);
+  const sim_ns start = std::max(ready, engine_free_[engine]);
+  const sim_ns end = start + duration;
+  st.tail = end;
+  engine_free_[engine] = end;
+  horizon_ = std::max(horizon_, end);
+  records_.push_back({kind, s, start, end, bytes, std::move(label)});
+  if (fn) fn();  // eager functional execution (see header)
+  return end;
+}
+
+void SimDevice::memcpy_h2d(StreamId s, std::size_t bytes,
+                           std::function<void()> fn, std::string label) {
+  submit(OpKind::H2D, s, transfer_ns(spec_, bytes), bytes, std::move(fn),
+         std::move(label));
+}
+
+void SimDevice::memcpy_d2h(StreamId s, std::size_t bytes,
+                           std::function<void()> fn, std::string label) {
+  submit(OpKind::D2H, s, transfer_ns(spec_, bytes), bytes, std::move(fn),
+         std::move(label));
+}
+
+KernelTimeBreakdown SimDevice::launch_kernel(StreamId s,
+                                             const LaunchConfig& cfg,
+                                             const KernelProfile& prof,
+                                             std::function<void()> fn,
+                                             std::string label) {
+  const KernelTimeBreakdown t = cost_.kernel_time(cfg, prof);
+  SF_CHECK(t.feasible, "infeasible launch configuration " + cfg.str());
+  submit(OpKind::Kernel, s, t.total, 0, std::move(fn), std::move(label));
+  return t;
+}
+
+void SimDevice::host_task(StreamId s, sim_ns duration,
+                          std::function<void()> fn, std::string label) {
+  submit(OpKind::Host, s, duration, 0, std::move(fn), std::move(label));
+}
+
+EventId SimDevice::record_event(StreamId s) {
+  check_stream(s);
+  events_.push_back(streams_[s].tail);
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+void SimDevice::wait_event(StreamId s, EventId e) {
+  check_stream(s);
+  SF_CHECK(e >= 0 && e < static_cast<EventId>(events_.size()),
+           "invalid event id");
+  streams_[s].wait_until = std::max(streams_[s].wait_until, events_[e]);
+}
+
+sim_ns SimDevice::synchronize() { return horizon_; }
+
+TimelineBreakdown SimDevice::breakdown() const {
+  TimelineBreakdown b;
+  for (const auto& r : records_) {
+    switch (r.kind) {
+      case OpKind::H2D:
+        b.h2d += r.duration();
+        break;
+      case OpKind::D2H:
+        b.d2h += r.duration();
+        break;
+      case OpKind::Kernel:
+        b.kernel += r.duration();
+        break;
+      case OpKind::Host:
+        b.host += r.duration();
+        break;
+    }
+  }
+  b.makespan = horizon_;
+  return b;
+}
+
+void SimDevice::reset_timeline() {
+  records_.clear();
+  events_.clear();
+  for (auto& st : streams_) {
+    st.tail = 0;
+    st.wait_until = 0;
+  }
+  for (auto& e : engine_free_) e = 0;
+  horizon_ = 0;
+}
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,138 @@
+#pragma once
+// The simulated CUDA runtime: streams, events, async copies, kernel
+// launches, and a timeline.
+//
+// Semantics mirror the CUDA execution model closely enough for the
+// paper's experiments:
+//  * ops issued to one stream run in FIFO order;
+//  * H2D copies share one copy engine, D2H copies another, kernels the
+//    compute engine, and host tasks a host "engine" — each engine
+//    serves ops one at a time in issue order (CUDA's per-engine queues);
+//  * events provide cross-stream ordering.
+//
+// Functional execution is *eager*: an op's closure runs at submit time,
+// in submission order. That is sound because executors never create
+// cross-stream write-write conflicts except commutative accumulations.
+// Simulated time is computed greedily with the standard FIFO-resource
+// recurrence: start = max(stream tail, engine free, dependencies).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/dev_memory.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/transfer.hpp"
+
+namespace scalfrag::gpusim {
+
+enum class OpKind : std::uint8_t { H2D, D2H, Kernel, Host };
+
+const char* op_kind_name(OpKind k);
+
+struct OpRecord {
+  OpKind kind;
+  int stream;
+  sim_ns start;
+  sim_ns end;
+  std::size_t bytes;  // transfers only
+  std::string label;
+
+  sim_ns duration() const noexcept { return end - start; }
+};
+
+/// Per-kind busy totals + makespan, for Fig. 5-style breakdowns.
+struct TimelineBreakdown {
+  sim_ns h2d = 0;
+  sim_ns d2h = 0;
+  sim_ns kernel = 0;
+  sim_ns host = 0;
+  sim_ns makespan = 0;
+
+  sim_ns serial_sum() const noexcept { return h2d + d2h + kernel + host; }
+  /// Time hidden by overlap (0 when everything serialized).
+  sim_ns overlap_saved() const noexcept {
+    return serial_sum() > makespan ? serial_sum() - makespan : 0;
+  }
+};
+
+using StreamId = int;
+using EventId = int;
+
+class SimDevice {
+ public:
+  explicit SimDevice(DeviceSpec spec);
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+  DeviceAllocator& allocator() noexcept { return alloc_; }
+
+  /// Streams. Stream 0 always exists (the default stream).
+  StreamId create_stream();
+  int num_streams() const noexcept { return static_cast<int>(streams_.size()); }
+
+  /// Asynchronous host->device copy of `bytes`; `fn` performs the
+  /// functional copy into the device buffer's host mirror.
+  void memcpy_h2d(StreamId s, std::size_t bytes, std::function<void()> fn,
+                  std::string label = {});
+  void memcpy_d2h(StreamId s, std::size_t bytes, std::function<void()> fn,
+                  std::string label = {});
+
+  /// Launch a kernel: duration from the cost model, functional body `fn`.
+  /// Returns the kernel's time breakdown (for diagnostics).
+  KernelTimeBreakdown launch_kernel(StreamId s, const LaunchConfig& cfg,
+                                    const KernelProfile& prof,
+                                    std::function<void()> fn,
+                                    std::string label = {});
+
+  /// Host-side task of a given simulated duration (hybrid CPU work).
+  void host_task(StreamId s, sim_ns duration, std::function<void()> fn,
+                 std::string label = {});
+
+  /// Record an event after the last op currently in stream `s`.
+  EventId record_event(StreamId s);
+  /// Make subsequent ops in stream `s` wait for `e`.
+  void wait_event(StreamId s, EventId e);
+
+  /// Complete all outstanding work; returns the makespan (ns since the
+  /// last reset).
+  sim_ns synchronize();
+
+  /// Simulated wall-clock now = maximum op end time so far.
+  sim_ns now() const noexcept { return horizon_; }
+
+  const std::vector<OpRecord>& timeline() const noexcept { return records_; }
+  TimelineBreakdown breakdown() const;
+
+  /// Clear the timeline and stream clocks (device memory accounting is
+  /// left alone). Use between repetitions of an experiment.
+  void reset_timeline();
+
+ private:
+  sim_ns submit(OpKind kind, StreamId s, sim_ns duration, std::size_t bytes,
+                std::function<void()> fn, std::string label);
+  void check_stream(StreamId s) const;
+
+  DeviceSpec spec_;
+  CostModel cost_;
+  DeviceAllocator alloc_;
+
+  struct StreamState {
+    sim_ns tail = 0;      // end of the last submitted op
+    sim_ns wait_until = 0;  // pending event dependencies
+  };
+  std::vector<StreamState> streams_;
+  std::vector<sim_ns> events_;
+
+  // One FIFO server per engine.
+  sim_ns engine_free_[4] = {0, 0, 0, 0};
+
+  sim_ns horizon_ = 0;
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace scalfrag::gpusim

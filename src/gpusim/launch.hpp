@@ -1,0 +1,40 @@
+#pragma once
+// Kernel launch configuration — the quantity ScalFrag's adaptive
+// strategy tunes. Following CUDA convention (and unlike the paper's
+// loose wording), `grid` is the number of thread blocks and `block` the
+// number of threads per block.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+
+namespace scalfrag::gpusim {
+
+struct LaunchConfig {
+  std::uint32_t grid = 0;   // thread blocks in the grid
+  std::uint32_t block = 0;  // threads per block
+  std::size_t shmem_per_block = 0;
+
+  std::uint64_t total_threads() const {
+    return static_cast<std::uint64_t>(grid) * block;
+  }
+
+  std::string str() const {
+    return "<" + std::to_string(grid) + "x" + std::to_string(block) + ">";
+  }
+
+  bool operator==(const LaunchConfig& o) const {
+    return grid == o.grid && block == o.block &&
+           shmem_per_block == o.shmem_per_block;
+  }
+};
+
+/// The candidate grid the autotuner (and the Fig. 4 heatmap) sweeps:
+/// power-of-two blocks 32..max_threads_per_block crossed with
+/// power-of-two grids 16..65536.
+std::vector<LaunchConfig> launch_candidates(const DeviceSpec& spec);
+
+}  // namespace scalfrag::gpusim

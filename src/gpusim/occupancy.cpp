@@ -1,0 +1,51 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+
+namespace scalfrag::gpusim {
+
+std::vector<LaunchConfig> launch_candidates(const DeviceSpec& spec) {
+  std::vector<LaunchConfig> out;
+  for (std::uint32_t block = 32;
+       block <= static_cast<std::uint32_t>(spec.max_threads_per_block);
+       block *= 2) {
+    for (std::uint32_t grid = 16; grid <= 65536; grid *= 2) {
+      out.push_back({grid, block, 0});
+    }
+  }
+  return out;
+}
+
+Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg) {
+  Occupancy occ;
+  if (cfg.grid == 0 || cfg.block == 0) return occ;
+  if (cfg.block > static_cast<std::uint32_t>(spec.max_threads_per_block)) {
+    return occ;
+  }
+  if (cfg.shmem_per_block > spec.shared_mem_per_block) return occ;
+
+  // Hardware allocates whole warps.
+  const std::uint32_t alloc_threads =
+      round_up(cfg.block, static_cast<std::uint32_t>(spec.warp_size));
+
+  int by_threads = spec.max_threads_per_sm / static_cast<int>(alloc_threads);
+  int by_slots = spec.max_blocks_per_sm;
+  int by_shmem = cfg.shmem_per_block == 0
+                     ? by_slots
+                     : static_cast<int>(spec.shared_mem_per_sm /
+                                        cfg.shmem_per_block);
+  const int blocks = std::min({by_threads, by_slots, by_shmem});
+  if (blocks <= 0) return occ;
+
+  occ.feasible = true;
+  occ.blocks_per_sm = blocks;
+  occ.threads_per_sm = blocks * static_cast<int>(alloc_threads);
+  occ.fraction = static_cast<double>(occ.threads_per_sm) /
+                 static_cast<double>(spec.max_threads_per_sm);
+  occ.resident_blocks = blocks * spec.num_sms;
+  return occ;
+}
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,32 @@
+#pragma once
+// CUDA-style occupancy calculation: how many blocks of a given launch
+// configuration are simultaneously resident per SM, limited by the
+// thread, block-slot, and shared-memory budgets. This is the main
+// driver of the rise-then-fall launch-parameter heatmaps (paper Fig. 4).
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launch.hpp"
+
+namespace scalfrag::gpusim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;       // resident blocks per SM
+  int threads_per_sm = 0;      // resident threads per SM
+  double fraction = 0.0;       // threads_per_sm / max_threads_per_sm
+  int resident_blocks = 0;     // across the whole device
+  bool feasible = false;       // false if the config can never launch
+
+  /// Number of full scheduling waves needed for `grid` blocks.
+  double waves(std::uint32_t grid) const {
+    if (resident_blocks == 0) return 0.0;
+    return static_cast<double>(grid) / resident_blocks;
+  }
+};
+
+/// Compute occupancy for a launch configuration. Infeasible configs
+/// (block > device cap, non-multiple-of-warp block size rounded up past
+/// the cap, shared memory over the per-block limit) report
+/// feasible == false.
+Occupancy compute_occupancy(const DeviceSpec& spec, const LaunchConfig& cfg);
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,59 @@
+#include "gpusim/sim_metrics.hpp"
+
+#include <cstdio>
+
+namespace scalfrag::gpusim {
+
+UtilizationReport utilization(const SimDevice& dev) {
+  UtilizationReport r;
+  sim_ns h2d_busy = 0, d2h_busy = 0, kernel_busy = 0, host_busy = 0;
+  for (const auto& op : dev.timeline()) {
+    switch (op.kind) {
+      case OpKind::H2D:
+        h2d_busy += op.duration();
+        r.h2d_bytes += op.bytes;
+        break;
+      case OpKind::D2H:
+        d2h_busy += op.duration();
+        r.d2h_bytes += op.bytes;
+        break;
+      case OpKind::Kernel:
+        kernel_busy += op.duration();
+        ++r.kernel_launches;
+        break;
+      case OpKind::Host:
+        host_busy += op.duration();
+        break;
+    }
+  }
+  const double span = static_cast<double>(dev.now());
+  if (span > 0) {
+    r.h2d = static_cast<double>(h2d_busy) / span;
+    r.d2h = static_cast<double>(d2h_busy) / span;
+    r.kernel = static_cast<double>(kernel_busy) / span;
+    r.host = static_cast<double>(host_busy) / span;
+  }
+  // bytes / busy-ns == GB/s with GB = 1e9.
+  if (h2d_busy > 0) {
+    r.h2d_gbps = static_cast<double>(r.h2d_bytes) /
+                 static_cast<double>(h2d_busy);
+  }
+  if (d2h_busy > 0) {
+    r.d2h_gbps = static_cast<double>(r.d2h_bytes) /
+                 static_cast<double>(d2h_busy);
+  }
+  return r;
+}
+
+std::string utilization_summary(const SimDevice& dev) {
+  const UtilizationReport r = utilization(dev);
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "H2D %2.0f%% @ %.1f GB/s | D2H %2.0f%% @ %.1f GB/s | "
+                "kernel %2.0f%% (%d launches) | host %2.0f%%",
+                100.0 * r.h2d, r.h2d_gbps, 100.0 * r.d2h, r.d2h_gbps,
+                100.0 * r.kernel, r.kernel_launches, 100.0 * r.host);
+  return buf;
+}
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,35 @@
+#pragma once
+// Derived metrics over a simulated timeline: per-engine utilization,
+// achieved PCIe bandwidth, and per-kernel throughput — the numbers a
+// profiler (nsys/ncu) would report on real hardware, computed from the
+// recorded ops instead.
+
+#include <string>
+
+#include "gpusim/engine.hpp"
+
+namespace scalfrag::gpusim {
+
+struct UtilizationReport {
+  double h2d = 0.0;     // busy fraction of the makespan, per engine
+  double d2h = 0.0;
+  double kernel = 0.0;
+  double host = 0.0;
+
+  /// Achieved host→device bandwidth over H2D busy time (GB/s,
+  /// bytes / busy-ns — setup latency included, hence below peak).
+  double h2d_gbps = 0.0;
+  double d2h_gbps = 0.0;
+
+  std::size_t h2d_bytes = 0;
+  std::size_t d2h_bytes = 0;
+  int kernel_launches = 0;
+};
+
+/// Compute the report from the device's current timeline.
+UtilizationReport utilization(const SimDevice& dev);
+
+/// One-line summary ("H2D 61% @ 22.1 GB/s | kernel 34% (6 launches) ...").
+std::string utilization_summary(const SimDevice& dev);
+
+}  // namespace scalfrag::gpusim

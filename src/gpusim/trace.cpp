@@ -1,0 +1,83 @@
+#include "gpusim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace scalfrag::gpusim {
+
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const SimDevice& dev) {
+  out << "[\n";
+  bool first = true;
+  for (const auto& r : dev.timeline()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"(  {"name": ")";
+    write_escaped(out, r.label.empty() ? op_kind_name(r.kind) : r.label);
+    out << R"(", "cat": ")" << op_kind_name(r.kind)
+        << R"(", "ph": "X", "pid": 1, "tid": ")" << op_kind_name(r.kind)
+        << R"(", "ts": )" << static_cast<double>(r.start) / 1e3
+        << R"(, "dur": )" << static_cast<double>(r.duration()) / 1e3
+        << R"(, "args": {"stream": )" << r.stream << R"(, "bytes": )"
+        << r.bytes << "}}";
+  }
+  out << "\n]\n";
+}
+
+std::string ascii_gantt(const SimDevice& dev, int columns) {
+  SF_CHECK(columns > 0, "need at least one column");
+  std::string out;
+  const double span = static_cast<double>(dev.now());
+  if (span <= 0.0) return out;
+  char line[512];
+  for (const auto& r : dev.timeline()) {
+    const int beg =
+        static_cast<int>(columns * static_cast<double>(r.start) / span);
+    const int end = std::max(
+        beg + 1,
+        static_cast<int>(columns * static_cast<double>(r.end) / span));
+    std::string bar(columns, '.');
+    const char glyph = r.kind == OpKind::H2D      ? '='
+                       : r.kind == OpKind::Kernel ? '#'
+                       : r.kind == OpKind::D2H    ? '<'
+                                                  : '~';
+    for (int c = beg; c < std::min(end, columns); ++c) bar[c] = glyph;
+    std::snprintf(line, sizeof line, "s%-2d [%s] %-24s %9.1fus\n", r.stream,
+                  bar.c_str(), r.label.substr(0, 24).c_str(),
+                  static_cast<double>(r.duration()) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+void write_chrome_trace_file(const std::string& path, const SimDevice& dev) {
+  std::ofstream out(path);
+  SF_CHECK(out.good(), "cannot open " + path + " for writing");
+  write_chrome_trace(out, dev);
+  SF_CHECK(out.good(), "write failure on " + path);
+}
+
+}  // namespace scalfrag::gpusim

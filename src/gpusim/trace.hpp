@@ -1,0 +1,27 @@
+#pragma once
+// Chrome trace-event export of a SimDevice timeline: open the JSON in
+// chrome://tracing (or Perfetto) to see the Fig. 8-style pipeline —
+// per-engine rows with H2D copies overlapping kernels across streams.
+
+#include <iosfwd>
+#include <string>
+
+#include "gpusim/engine.hpp"
+
+namespace scalfrag::gpusim {
+
+/// Write the timeline as a Chrome trace-event JSON array. Rows (tids)
+/// are engines (H2D / D2H / Kernel / Host); each op becomes a complete
+/// ("X") event carrying its stream and byte count as args. Timestamps
+/// are microseconds as the format requires.
+void write_chrome_trace(std::ostream& out, const SimDevice& dev);
+
+/// Convenience: write to a file (throws scalfrag::Error on I/O failure).
+void write_chrome_trace_file(const std::string& path, const SimDevice& dev);
+
+/// Render the timeline as a fixed-width ASCII Gantt chart (one row per
+/// op): '=' H2D, '#' kernel, '<' D2H, '~' host. Good enough to eyeball
+/// pipeline overlap in a terminal; use the Chrome trace for real work.
+std::string ascii_gantt(const SimDevice& dev, int columns = 72);
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,15 @@
+#include "gpusim/transfer.hpp"
+
+namespace scalfrag::gpusim {
+
+sim_ns transfer_ns(const DeviceSpec& spec, std::size_t bytes) {
+  const double latency_ns = spec.pcie_latency_us * 1e3;
+  // bytes / (GB/s) = ns when GB = 1e9 bytes.
+  const double wire_ns =
+      spec.pcie_bandwidth_gbps > 0
+          ? static_cast<double>(bytes) / spec.pcie_bandwidth_gbps
+          : 0.0;
+  return static_cast<sim_ns>(latency_ns + wire_ns);
+}
+
+}  // namespace scalfrag::gpusim

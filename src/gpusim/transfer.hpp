@@ -1,0 +1,17 @@
+#pragma once
+// Host<->device transfer-time model (the paper's Fig. 5 bottleneck).
+// A transfer costs a fixed setup latency plus bytes over the effective
+// PCIe bandwidth. Small transfers are latency-dominated, which is why
+// over-segmenting in the pipeline executor (Fig. 11) eventually hurts.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace scalfrag::gpusim {
+
+/// Simulated duration of a host->device or device->host copy.
+sim_ns transfer_ns(const DeviceSpec& spec, std::size_t bytes);
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,85 @@
+#include "ml/adaboost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace scalfrag::ml {
+
+void AdaBoostR2Regressor::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit AdaBoost on empty data");
+  trees_.clear();
+  log_inv_beta_.clear();
+
+  const std::size_t n = data.size();
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  Rng rng(cfg_.seed);
+
+  for (int round = 0; round < cfg_.n_estimators; ++round) {
+    DTreeConfig tc = cfg_.tree;
+    tc.seed = rng.next_u64();
+    DecisionTreeRegressor tree(tc);
+    tree.fit_weighted(data, w);
+
+    // Linear loss normalized by the max residual.
+    std::vector<double> loss(n, 0.0);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      loss[i] = std::abs(tree.predict(data.row(i)) - data.target(i));
+      max_err = std::max(max_err, loss[i]);
+    }
+    if (max_err <= 0.0) {
+      // Perfect fit: keep this estimator with dominating weight, stop.
+      trees_.push_back(std::move(tree));
+      log_inv_beta_.push_back(std::log(1e12));
+      break;
+    }
+    for (auto& l : loss) l /= max_err;
+
+    double lbar = 0.0;
+    for (std::size_t i = 0; i < n; ++i) lbar += w[i] * loss[i];
+    if (lbar >= 0.5) break;  // weak learner no better than chance: stop
+
+    const double beta = lbar / (1.0 - lbar);
+    trees_.push_back(std::move(tree));
+    log_inv_beta_.push_back(std::log(1.0 / std::max(beta, 1e-12)));
+
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] *= std::pow(beta, 1.0 - loss[i]);
+      wsum += w[i];
+    }
+    SF_ASSERT(wsum > 0.0, "AdaBoost weights collapsed");
+    for (auto& x : w) x /= wsum;
+  }
+
+  if (trees_.empty()) {
+    // Degenerate data (first learner already >= 0.5 loss): fall back to
+    // a single unweighted tree so predict() still works.
+    DecisionTreeRegressor tree(cfg_.tree);
+    tree.fit(data);
+    trees_.push_back(std::move(tree));
+    log_inv_beta_.push_back(1.0);
+  }
+}
+
+double AdaBoostR2Regressor::predict(std::span<const double> x) const {
+  SF_CHECK(!trees_.empty(), "predict() before fit()");
+  // Weighted median of estimator outputs.
+  std::vector<std::pair<double, double>> preds;  // (value, weight)
+  preds.reserve(trees_.size());
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    preds.emplace_back(trees_[i].predict(x), log_inv_beta_[i]);
+  }
+  std::sort(preds.begin(), preds.end());
+  double total = 0.0;
+  for (const auto& [v, wt] : preds) total += wt;
+  double acc = 0.0;
+  for (const auto& [v, wt] : preds) {
+    acc += wt;
+    if (acc >= 0.5 * total) return v;
+  }
+  return preds.back().first;
+}
+
+}  // namespace scalfrag::ml

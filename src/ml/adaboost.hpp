@@ -1,0 +1,32 @@
+#pragma once
+// AdaBoost.R2 (Drucker 1997) with shallow CART weak learners — the
+// paper's "AdaBoost" candidate. Prediction is the classic weighted
+// median of the estimators.
+
+#include "ml/dtree.hpp"
+
+namespace scalfrag::ml {
+
+struct AdaBoostConfig {
+  int n_estimators = 30;
+  DTreeConfig tree{.max_depth = 5};
+  std::uint64_t seed = 29;
+};
+
+class AdaBoostR2Regressor final : public Regressor {
+ public:
+  explicit AdaBoostR2Regressor(AdaBoostConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "AdaBoost"; }
+
+  std::size_t size() const noexcept { return trees_.size(); }
+
+ private:
+  AdaBoostConfig cfg_;
+  std::vector<DecisionTreeRegressor> trees_;
+  std::vector<double> log_inv_beta_;  // estimator confidence weights
+};
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,48 @@
+#include "ml/bagging.hpp"
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+
+namespace scalfrag::ml {
+
+void BaggingRegressor::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit bagging on empty data");
+  SF_CHECK(cfg_.n_estimators > 0, "need at least one estimator");
+  trees_.clear();
+  trees_.reserve(cfg_.n_estimators);
+
+  const auto n_draw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(cfg_.sample_frac * static_cast<double>(data.size()))));
+
+  // Prepare per-member bootstrap datasets and configs up front (serial,
+  // deterministic), then fit members in parallel.
+  std::vector<Dataset> boots;
+  boots.reserve(cfg_.n_estimators);
+  Rng rng(cfg_.seed);
+  for (int t = 0; t < cfg_.n_estimators; ++t) {
+    std::vector<std::size_t> rows(n_draw);
+    for (auto& r : rows) r = rng.next_below(data.size());
+    boots.push_back(data.subset(rows));
+
+    DTreeConfig tc = cfg_.tree;
+    tc.feature_frac = cfg_.feature_frac;
+    tc.seed = rng.next_u64();
+    trees_.emplace_back(tc);
+  }
+
+  ThreadPool::global().parallel_for(
+      0, trees_.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) trees_[i].fit(boots[i]);
+      });
+}
+
+double BaggingRegressor::predict(std::span<const double> x) const {
+  SF_CHECK(!trees_.empty(), "predict() before fit()");
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.predict(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,33 @@
+#pragma once
+// Bagging ensemble of CART trees (paper §IV-B's "Bagging" candidate —
+// with feature subsampling it is a random forest). Members train
+// concurrently on the global thread pool.
+
+#include "ml/dtree.hpp"
+
+namespace scalfrag::ml {
+
+struct BaggingConfig {
+  int n_estimators = 24;
+  double sample_frac = 1.0;   // bootstrap sample size fraction
+  double feature_frac = 0.7;  // per-split feature subsample
+  DTreeConfig tree;
+  std::uint64_t seed = 13;
+};
+
+class BaggingRegressor final : public Regressor {
+ public:
+  explicit BaggingRegressor(BaggingConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "Bagging"; }
+
+  std::size_t size() const noexcept { return trees_.size(); }
+
+ private:
+  BaggingConfig cfg_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace scalfrag::ml

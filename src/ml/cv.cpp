@@ -1,0 +1,58 @@
+#include "ml/cv.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/timer.hpp"
+
+namespace scalfrag::ml {
+
+CvResult k_fold_cv(
+    const Dataset& data, int folds,
+    const std::function<std::unique_ptr<Regressor>()>& make_model,
+    const std::function<double(const std::vector<double>&,
+                               const std::vector<double>&)>& metric,
+    std::uint64_t seed) {
+  SF_CHECK(folds >= 2, "need at least two folds");
+  SF_CHECK(data.size() >= static_cast<std::size_t>(folds),
+           "need at least one row per fold");
+
+  std::vector<std::size_t> perm(data.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  Rng rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+
+  CvResult res;
+  WallTimer timer;
+  const std::size_t per_fold = data.size() / folds;
+  for (int f = 0; f < folds; ++f) {
+    const std::size_t lo = f * per_fold;
+    const std::size_t hi =
+        f + 1 == folds ? data.size() : (f + 1) * per_fold;
+    std::vector<std::size_t> test_rows(perm.begin() + lo, perm.begin() + hi);
+    std::vector<std::size_t> train_rows;
+    train_rows.reserve(data.size() - test_rows.size());
+    train_rows.insert(train_rows.end(), perm.begin(), perm.begin() + lo);
+    train_rows.insert(train_rows.end(), perm.begin() + hi, perm.end());
+
+    const Dataset train = data.subset(train_rows);
+    const Dataset test = data.subset(test_rows);
+
+    auto model = make_model();
+    model->fit(train);
+    res.fold_metric.push_back(
+        metric(test.targets(), model->predict_all(test)));
+  }
+  res.total_train_seconds = timer.seconds();
+
+  for (double m : res.fold_metric) res.mean += m;
+  res.mean /= static_cast<double>(folds);
+  double var = 0.0;
+  for (double m : res.fold_metric) var += (m - res.mean) * (m - res.mean);
+  res.stddev = std::sqrt(var / static_cast<double>(folds));
+  return res;
+}
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,30 @@
+#pragma once
+// K-fold cross-validation for the launch-model zoo: the evaluation
+// protocol behind the paper's model comparison ("we evaluate the
+// trained model in terms of prediction accuracy, training and inference
+// time", §IV-B). Folds are contiguous slices of a shuffled permutation,
+// so every row is tested exactly once.
+
+#include <functional>
+
+#include "ml/regressor.hpp"
+
+namespace scalfrag::ml {
+
+struct CvResult {
+  std::vector<double> fold_metric;  // one entry per fold
+  double mean = 0.0;
+  double stddev = 0.0;
+  double total_train_seconds = 0.0;
+};
+
+/// `make_model` builds a fresh untrained model per fold; `metric`
+/// scores (truth, prediction) vectors — e.g. ml::mape or ml::rmse.
+CvResult k_fold_cv(
+    const Dataset& data, int folds,
+    const std::function<std::unique_ptr<Regressor>()>& make_model,
+    const std::function<double(const std::vector<double>&,
+                               const std::vector<double>&)>& metric,
+    std::uint64_t seed = 1);
+
+}  // namespace scalfrag::ml

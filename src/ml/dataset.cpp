@@ -1,0 +1,63 @@
+#include "ml/dataset.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace scalfrag::ml {
+
+void Dataset::add(std::span<const double> features, double target) {
+  if (dim_ == 0) dim_ = features.size();
+  SF_CHECK(features.size() == dim_, "feature arity mismatch");
+  x_.insert(x_.end(), features.begin(), features.end());
+  y_.push_back(target);
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  Dataset out(dim_);
+  for (std::size_t r : rows) {
+    SF_CHECK(r < size(), "subset row out of range");
+    out.add(row(r), y_[r]);
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::train_test_split(
+    double test_frac, std::uint64_t seed) const {
+  SF_CHECK(test_frac >= 0.0 && test_frac <= 1.0, "test_frac must be in [0,1]");
+  std::vector<std::size_t> perm(size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  Rng rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  const auto n_test = static_cast<std::size_t>(
+      std::llround(test_frac * static_cast<double>(size())));
+  std::vector<std::size_t> test_rows(perm.begin(), perm.begin() + n_test);
+  std::vector<std::size_t> train_rows(perm.begin() + n_test, perm.end());
+  return {subset(train_rows), subset(test_rows)};
+}
+
+void Dataset::column_stats(std::vector<double>& mean,
+                           std::vector<double>& std) const {
+  mean.assign(dim_, 0.0);
+  std.assign(dim_, 0.0);
+  if (empty()) return;
+  for (std::size_t i = 0; i < size(); ++i) {
+    auto r = row(i);
+    for (std::size_t j = 0; j < dim_; ++j) mean[j] += r[j];
+  }
+  for (auto& m : mean) m /= static_cast<double>(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    auto r = row(i);
+    for (std::size_t j = 0; j < dim_; ++j) {
+      const double d = r[j] - mean[j];
+      std[j] += d * d;
+    }
+  }
+  for (auto& s : std) {
+    s = std::sqrt(s / static_cast<double>(size()));
+    if (s < 1e-12) s = 1.0;  // constant column: identity scaling
+  }
+}
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,50 @@
+#pragma once
+// Tabular regression dataset for the adaptive-launch models: rows are
+// (tensor features ⊕ launch-config features), targets are achieved
+// GFlops from the cost-model sweep.
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace scalfrag::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t dim) : dim_(dim) {}
+
+  std::size_t size() const noexcept { return y_.size(); }
+  std::size_t dim() const noexcept { return dim_; }
+  bool empty() const noexcept { return y_.empty(); }
+
+  void add(std::span<const double> features, double target);
+
+  std::span<const double> row(std::size_t i) const {
+    return {x_.data() + i * dim_, dim_};
+  }
+  double target(std::size_t i) const { return y_[i]; }
+  const std::vector<double>& targets() const noexcept { return y_; }
+
+  /// Row subset (bootstrap / split helper).
+  Dataset subset(const std::vector<std::size_t>& rows) const;
+
+  /// Shuffled train/test split; test gets round(test_frac · size) rows.
+  std::pair<Dataset, Dataset> train_test_split(double test_frac,
+                                               std::uint64_t seed) const;
+
+  /// Per-column mean/stddev (stddev floored at tiny epsilon) — used by
+  /// models that need standardized inputs (SVR, k-NN).
+  void column_stats(std::vector<double>& mean, std::vector<double>& std) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<double> x_;  // row-major size()×dim()
+  std::vector<double> y_;
+};
+
+}  // namespace scalfrag::ml

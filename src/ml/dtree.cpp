@@ -1,0 +1,182 @@
+#include "ml/dtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+namespace scalfrag::ml {
+
+void DecisionTreeRegressor::fit(const Dataset& data) {
+  fit_weighted(data, std::vector<double>(data.size(), 1.0));
+}
+
+void DecisionTreeRegressor::fit_weighted(const Dataset& data,
+                                         const std::vector<double>& weights) {
+  SF_CHECK(!data.empty(), "cannot fit a tree on an empty dataset");
+  SF_CHECK(weights.size() == data.size(), "one weight per sample");
+  nodes_.clear();
+  depth_ = 0;
+  importance_.assign(data.dim(), 0.0);
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  Rng rng(cfg_.seed);
+  build(data, weights, rows, 0, rng);
+  double total = 0.0;
+  for (double g : importance_) total += g;
+  if (total > 0.0) {
+    for (double& g : importance_) g /= total;
+  }
+}
+
+std::int32_t DecisionTreeRegressor::build(const Dataset& data,
+                                          const std::vector<double>& w,
+                                          std::vector<std::size_t>& rows,
+                                          int depth, Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  double wsum = 0.0, wysum = 0.0;
+  for (std::size_t r : rows) {
+    wsum += w[r];
+    wysum += w[r] * data.target(r);
+  }
+  const double mean = wsum > 0 ? wysum / wsum : 0.0;
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.value = mean;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= cfg_.max_depth || rows.size() < cfg_.min_samples_split) {
+    return make_leaf();
+  }
+
+  // Candidate features (optionally subsampled for ensembles).
+  std::vector<std::size_t> feats(data.dim());
+  std::iota(feats.begin(), feats.end(), std::size_t{0});
+  if (cfg_.feature_frac < 1.0) {
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(cfg_.feature_frac * static_cast<double>(data.dim()))));
+    for (std::size_t i = feats.size(); i > 1; --i) {
+      std::swap(feats[i - 1], feats[rng.next_below(i)]);
+    }
+    feats.resize(keep);
+  }
+
+  // Best split: sort rows by feature, scan boundaries between distinct
+  // values; maximize SSE reduction == minimize left+right weighted SSE.
+  double best_gain = 0.0;
+  std::size_t best_feat = 0;
+  double best_thresh = 0.0;
+
+  const double total_sse_base = [&] {
+    double s = 0.0;
+    for (std::size_t r : rows) {
+      const double d = data.target(r) - mean;
+      s += w[r] * d * d;
+    }
+    return s;
+  }();
+
+  std::vector<std::size_t> order(rows);
+  for (std::size_t f : feats) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return data.row(a)[f] < data.row(b)[f];
+    });
+    double lw = 0.0, lwy = 0.0, lwy2 = 0.0;
+    double rw = wsum, rwy = wysum, rwy2 = 0.0;
+    for (std::size_t r : rows) {
+      const double y = data.target(r);
+      rwy2 += w[r] * y * y;
+    }
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      const std::size_t r = order[i];
+      const double y = data.target(r);
+      lw += w[r];
+      lwy += w[r] * y;
+      lwy2 += w[r] * y * y;
+      rw -= w[r];
+      rwy -= w[r] * y;
+      rwy2 -= w[r] * y * y;
+      const double xv = data.row(r)[f];
+      const double xn = data.row(order[i + 1])[f];
+      if (xv == xn) continue;  // can't split inside equal values
+      if (i + 1 < cfg_.min_samples_leaf ||
+          order.size() - (i + 1) < cfg_.min_samples_leaf) {
+        continue;
+      }
+      if (lw <= 0.0 || rw <= 0.0) continue;
+      const double lsse = lwy2 - lwy * lwy / lw;
+      const double rsse = rwy2 - rwy * rwy / rw;
+      const double gain = total_sse_base - (lsse + rsse);
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_feat = f;
+        best_thresh = 0.5 * (xv + xn);
+      }
+    }
+  }
+
+  if (best_gain <= 0.0) return make_leaf();
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    (data.row(r)[best_feat] <= best_thresh ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf();
+
+  importance_[best_feat] += best_gain;
+
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[id].feature = static_cast<int>(best_feat);
+  nodes_[id].threshold = best_thresh;
+  const std::int32_t l = build(data, w, left_rows, depth + 1, rng);
+  const std::int32_t r = build(data, w, right_rows, depth + 1, rng);
+  nodes_[id].left = l;
+  nodes_[id].right = r;
+  return id;
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> x) const {
+  SF_CHECK(trained(), "predict() before fit()");
+  std::int32_t n = 0;
+  for (;;) {
+    const Node& node = nodes_[n];
+    if (node.feature < 0) return node.value;
+    SF_CHECK(static_cast<std::size_t>(node.feature) < x.size(),
+             "feature vector too short for this tree");
+    n = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+void DecisionTreeRegressor::save(std::ostream& out) const {
+  out << "dtree " << nodes_.size() << ' ' << depth_ << '\n';
+  out.precision(17);
+  for (const auto& n : nodes_) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.value << ' ' << n.left
+        << ' ' << n.right << '\n';
+  }
+}
+
+DecisionTreeRegressor DecisionTreeRegressor::load(std::istream& in) {
+  std::string tag;
+  std::size_t count = 0;
+  int depth = 0;
+  in >> tag >> count >> depth;
+  SF_CHECK(in.good() && tag == "dtree", "bad decision-tree stream header");
+  DecisionTreeRegressor t;
+  t.depth_ = depth;
+  t.nodes_.resize(count);
+  for (auto& n : t.nodes_) {
+    in >> n.feature >> n.threshold >> n.value >> n.left >> n.right;
+  }
+  SF_CHECK(!in.fail(), "truncated decision-tree stream");
+  return t;
+}
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,69 @@
+#pragma once
+// CART regression tree — the model the paper's evaluation picks
+// ("the DecisionTree regressor has the lowest MAPE, less than 15%").
+// Splits minimize the sum of squared errors; split search is the
+// standard sort-and-scan over each feature.
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "ml/regressor.hpp"
+
+namespace scalfrag::ml {
+
+struct DTreeConfig {
+  int max_depth = 14;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 1;
+  /// Consider only a random subset of ceil(frac · dim) features per
+  /// split (1.0 = all). Used by the bagging/boosting ensembles.
+  double feature_frac = 1.0;
+  std::uint64_t seed = 7;
+};
+
+class DecisionTreeRegressor final : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(DTreeConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "DecisionTree"; }
+
+  bool trained() const noexcept { return !nodes_.empty(); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  int depth() const noexcept { return depth_; }
+
+  /// Gain-weighted feature importance (sums to 1 unless the tree is a
+  /// single leaf, then all-zero). Index = feature position.
+  const std::vector<double>& feature_importance() const noexcept {
+    return importance_;
+  }
+
+  /// Text (de)serialization — one node per line.
+  void save(std::ostream& out) const;
+  static DecisionTreeRegressor load(std::istream& in);
+
+  /// Fit on a weighted sample (AdaBoost.R2 support): `weights` must sum
+  /// to a positive value; the tree minimizes weighted SSE.
+  void fit_weighted(const Dataset& data, const std::vector<double>& weights);
+
+ private:
+  struct Node {
+    // Leaf iff feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  std::int32_t build(const Dataset& data, const std::vector<double>& w,
+                     std::vector<std::size_t>& rows, int depth, Rng& rng);
+
+  DTreeConfig cfg_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  int depth_ = 0;
+};
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,38 @@
+#include "ml/grid_search.hpp"
+
+#include <limits>
+
+namespace scalfrag::ml {
+
+GridSearchResult grid_search_dtree(
+    const Dataset& data, const std::vector<int>& max_depths,
+    const std::vector<std::size_t>& min_leaf_sizes, int folds,
+    const std::function<double(const std::vector<double>&,
+                               const std::vector<double>&)>& metric,
+    std::uint64_t seed) {
+  SF_CHECK(!max_depths.empty() && !min_leaf_sizes.empty(),
+           "grid must be non-empty");
+
+  GridSearchResult res;
+  res.best_score = std::numeric_limits<double>::infinity();
+  for (int depth : max_depths) {
+    for (std::size_t leaf : min_leaf_sizes) {
+      DTreeConfig cfg;
+      cfg.max_depth = depth;
+      cfg.min_samples_leaf = leaf;
+      cfg.seed = seed;
+      const CvResult cv = k_fold_cv(
+          data, folds,
+          [&] { return std::make_unique<DecisionTreeRegressor>(cfg); },
+          metric, seed);
+      res.trials.emplace_back(cfg, cv.mean);
+      if (cv.mean < res.best_score) {
+        res.best_score = cv.mean;
+        res.best = cfg;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace scalfrag::ml

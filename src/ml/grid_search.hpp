@@ -1,0 +1,29 @@
+#pragma once
+// Hyper-parameter grid search over decision-tree configurations, scored
+// by k-fold cross-validation — the tuning loop behind "to obtain the
+// best prediction performance, we try various machine learning models"
+// (§IV-B), applied within the winning model family.
+
+#include "ml/cv.hpp"
+#include "ml/dtree.hpp"
+
+namespace scalfrag::ml {
+
+struct GridSearchResult {
+  DTreeConfig best;
+  double best_score = 0.0;  // lower is better (metric mean across folds)
+  /// All evaluated (config, score) pairs, in evaluation order.
+  std::vector<std::pair<DTreeConfig, double>> trials;
+};
+
+/// Exhaustively evaluate the cross product of `max_depths` ×
+/// `min_leaf_sizes` with `folds`-fold CV under `metric` (lower =
+/// better); returns the winner and the full trial log.
+GridSearchResult grid_search_dtree(
+    const Dataset& data, const std::vector<int>& max_depths,
+    const std::vector<std::size_t>& min_leaf_sizes, int folds,
+    const std::function<double(const std::vector<double>&,
+                               const std::vector<double>&)>& metric,
+    std::uint64_t seed = 11);
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,37 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scalfrag::ml {
+
+void KnnRegressor::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit k-NN on empty data");
+  SF_CHECK(cfg_.k > 0, "k must be positive");
+  train_ = data;
+  train_.column_stats(x_mean_, x_std_);
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+  SF_CHECK(!train_.empty(), "predict() before fit()");
+  SF_CHECK(x.size() == train_.dim(), "feature arity mismatch");
+  const auto k = std::min<std::size_t>(cfg_.k, train_.size());
+
+  std::vector<std::pair<double, double>> dist;  // (distance², target)
+  dist.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    auto r = train_.row(i);
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double d = (x[j] - r[j]) / x_std_[j];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, train_.target(i));
+  }
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+  double s = 0.0;
+  for (std::size_t i = 0; i < k; ++i) s += dist[i].second;
+  return s / static_cast<double>(k);
+}
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,28 @@
+#pragma once
+// Brute-force k-nearest-neighbours regression on standardized features.
+// Not in the paper's candidate list; included as a sanity baseline for
+// the model-comparison bench (a good tree should beat it).
+
+#include "ml/regressor.hpp"
+
+namespace scalfrag::ml {
+
+struct KnnConfig {
+  int k = 5;
+};
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "kNN"; }
+
+ private:
+  KnnConfig cfg_;
+  Dataset train_;
+  std::vector<double> x_mean_, x_std_;
+};
+
+}  // namespace scalfrag::ml

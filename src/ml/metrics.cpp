@@ -1,0 +1,59 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace scalfrag::ml {
+
+namespace {
+void check_sizes(const std::vector<double>& a, const std::vector<double>& b) {
+  SF_CHECK(a.size() == b.size() && !a.empty(),
+           "metric inputs must be equal-length and non-empty");
+}
+}  // namespace
+
+double mape(const std::vector<double>& truth, const std::vector<double>& pred,
+            double floor) {
+  check_sizes(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double denom = std::max(std::abs(truth[i]), floor);
+    s += std::abs(truth[i] - pred[i]) / denom;
+  }
+  return 100.0 * s / static_cast<double>(truth.size());
+}
+
+double mae(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    s += std::abs(truth[i] - pred[i]);
+  }
+  return s / static_cast<double>(truth.size());
+}
+
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(truth.size()));
+}
+
+double r2(const std::vector<double>& truth, const std::vector<double>& pred) {
+  check_sizes(truth, pred);
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  return ss_tot > 0 ? 1.0 - ss_res / ss_tot : 0.0;
+}
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,21 @@
+#pragma once
+// Regression quality metrics. MAPE is the paper's headline number for
+// the launch model ("DecisionTree regressor has the lowest MAPE, less
+// than 15%").
+
+#include <vector>
+
+namespace scalfrag::ml {
+
+/// Mean absolute percentage error, in percent. Targets with |y| below
+/// `floor` are clamped to avoid division blow-ups.
+double mape(const std::vector<double>& truth, const std::vector<double>& pred,
+            double floor = 1e-9);
+
+double mae(const std::vector<double>& truth, const std::vector<double>& pred);
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred);
+
+/// Coefficient of determination.
+double r2(const std::vector<double>& truth, const std::vector<double>& pred);
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,32 @@
+#pragma once
+// Common interface of all launch-parameter prediction models (paper
+// §IV-B tries DecisionTree, SVM, AdaBoost, Bagging; we add k-NN).
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace scalfrag::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual void fit(const Dataset& data) = 0;
+  virtual double predict(std::span<const double> features) const = 0;
+  virtual std::string name() const = 0;
+
+  std::vector<double> predict_all(const Dataset& data) const {
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      out.push_back(predict(data.row(i)));
+    }
+    return out;
+  }
+};
+
+}  // namespace scalfrag::ml

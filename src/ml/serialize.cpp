@@ -1,0 +1,20 @@
+#include "ml/serialize.hpp"
+
+#include <fstream>
+
+namespace scalfrag::ml {
+
+void save_tree_file(const std::string& path, const DecisionTreeRegressor& t) {
+  std::ofstream out(path);
+  SF_CHECK(out.good(), "cannot open " + path + " for writing");
+  t.save(out);
+  SF_CHECK(out.good(), "write failure on " + path);
+}
+
+DecisionTreeRegressor load_tree_file(const std::string& path) {
+  std::ifstream in(path);
+  SF_CHECK(in.good(), "cannot open " + path);
+  return DecisionTreeRegressor::load(in);
+}
+
+}  // namespace scalfrag::ml

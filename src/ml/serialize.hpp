@@ -1,0 +1,15 @@
+#pragma once
+// File-level (de)serialization helpers for trained models, so the
+// autotuner's offline training phase ("training needs to be performed
+// only once", §IV-B) can persist its model between runs.
+
+#include <string>
+
+#include "ml/dtree.hpp"
+
+namespace scalfrag::ml {
+
+void save_tree_file(const std::string& path, const DecisionTreeRegressor& t);
+DecisionTreeRegressor load_tree_file(const std::string& path);
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,87 @@
+#include "ml/svr.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace scalfrag::ml {
+
+void LinearSvrRegressor::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit SVR on empty data");
+  const std::size_t d = data.dim();
+  data.column_stats(x_mean_, x_std_);
+
+  double ysum = 0.0, ysq = 0.0;
+  for (double y : data.targets()) {
+    ysum += y;
+    ysq += y * y;
+  }
+  y_mean_ = ysum / static_cast<double>(data.size());
+  const double yvar =
+      std::max(0.0, ysq / static_cast<double>(data.size()) - y_mean_ * y_mean_);
+  y_std_ = yvar > 1e-24 ? std::sqrt(yvar) : 1.0;
+
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  std::vector<double> w_avg(d, 0.0);
+  double b_avg = 0.0;
+  std::size_t avg_n = 0;
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(cfg_.seed);
+  std::vector<double> xs(d);
+
+  long step = 0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    for (std::size_t r : order) {
+      ++step;
+      const double lr = cfg_.lr / (1.0 + 1e-3 * static_cast<double>(step));
+      auto row = data.row(r);
+      for (std::size_t j = 0; j < d; ++j) {
+        xs[j] = (row[j] - x_mean_[j]) / x_std_[j];
+      }
+      const double yt = (data.target(r) - y_mean_) / y_std_;
+      double pred = b_;
+      for (std::size_t j = 0; j < d; ++j) pred += w_[j] * xs[j];
+      const double err = pred - yt;
+      // Subgradient of ε-insensitive loss + L2.
+      double g = 0.0;
+      if (err > cfg_.epsilon) {
+        g = 1.0;
+      } else if (err < -cfg_.epsilon) {
+        g = -1.0;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        w_[j] -= lr * (g * xs[j] + cfg_.lambda * w_[j]);
+      }
+      b_ -= lr * g;
+      // Polyak averaging over the second half of training.
+      if (epoch >= cfg_.epochs / 2) {
+        for (std::size_t j = 0; j < d; ++j) w_avg[j] += w_[j];
+        b_avg += b_;
+        ++avg_n;
+      }
+    }
+  }
+  if (avg_n > 0) {
+    for (std::size_t j = 0; j < d; ++j) {
+      w_[j] = w_avg[j] / static_cast<double>(avg_n);
+    }
+    b_ = b_avg / static_cast<double>(avg_n);
+  }
+}
+
+double LinearSvrRegressor::predict(std::span<const double> x) const {
+  SF_CHECK(!w_.empty(), "predict() before fit()");
+  SF_CHECK(x.size() == w_.size(), "feature arity mismatch");
+  double pred = b_;
+  for (std::size_t j = 0; j < w_.size(); ++j) {
+    pred += w_[j] * (x[j] - x_mean_[j]) / x_std_[j];
+  }
+  return pred * y_std_ + y_mean_;
+}
+
+}  // namespace scalfrag::ml

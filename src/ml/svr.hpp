@@ -1,0 +1,36 @@
+#pragma once
+// Linear ε-insensitive support vector regression trained by averaged
+// SGD — the paper's "SVM" candidate. Features and targets are
+// standardized internally; the linear hypothesis is a weak fit for the
+// launch-tuning surface, which is exactly the paper's finding (the
+// tree-based models win).
+
+#include "ml/regressor.hpp"
+
+namespace scalfrag::ml {
+
+struct SvrConfig {
+  double epsilon = 0.05;  // ε-tube, in standardized-target units
+  double lambda = 1e-4;   // L2 regularization
+  double lr = 0.05;       // initial learning rate
+  int epochs = 60;
+  std::uint64_t seed = 31;
+};
+
+class LinearSvrRegressor final : public Regressor {
+ public:
+  explicit LinearSvrRegressor(SvrConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  std::string name() const override { return "LinearSVR"; }
+
+ private:
+  SvrConfig cfg_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> x_mean_, x_std_;
+  double y_mean_ = 0.0, y_std_ = 1.0;
+};
+
+}  // namespace scalfrag::ml

@@ -1,0 +1,50 @@
+#pragma once
+// The ParTI end-to-end flow (the baseline of Figs. 5, 9, 10):
+// synchronous single-stream H2D(tensor) → H2D(factors) → kernel →
+// D2H(output). No segmentation, no overlap — the device waits for the
+// full transfer before computing (§III-B's "waste of computational
+// resources").
+
+#include <optional>
+
+#include "gpusim/engine.hpp"
+#include "parti/parti_kernel.hpp"
+#include "tensor/spttm.hpp"
+
+namespace scalfrag::parti {
+
+struct ExecOptions {
+  /// Override the static heuristic (used by the Fig. 4 sweep).
+  std::optional<gpusim::LaunchConfig> launch;
+};
+
+struct ExecResult {
+  DenseMatrix output;
+  gpusim::LaunchConfig launch;
+  gpusim::TimelineBreakdown breakdown;
+  sim_ns total_ns = 0;
+  sim_ns kernel_ns = 0;
+  double kernel_gflops = 0.0;
+};
+
+/// Run one mode-`mode` MTTKRP end to end on the simulated device.
+/// `t` must be sorted by `mode`; `factors` are host-resident.
+/// The device timeline is reset first; breakdown/total reflect this run.
+ExecResult run_mttkrp(gpusim::SimDevice& dev, const CooTensor& t,
+                      const FactorList& factors, order_t mode,
+                      const ExecOptions& opt = {});
+
+/// ParTI's SpTTM on the simulated device (same synchronous flow):
+/// H2D tensor + U, fiber-parallel kernel, D2H of the semi-sparse
+/// result. Functional output in `result`.
+struct SpttmResult {
+  SemiSparseTensor output;
+  gpusim::LaunchConfig launch;
+  gpusim::TimelineBreakdown breakdown;
+  sim_ns total_ns = 0;
+};
+
+SpttmResult run_spttm(gpusim::SimDevice& dev, const CooTensor& t,
+                      const DenseMatrix& u, order_t mode);
+
+}  // namespace scalfrag::parti

@@ -1,0 +1,75 @@
+#include "parti/parti_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace scalfrag::parti {
+
+gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat,
+                                     index_t rank) {
+  gpusim::KernelProfile p;
+  const auto nnz = feat.nnz;
+  const auto order = static_cast<std::uint64_t>(feat.order);
+  const std::uint64_t fbytes = sizeof(value_t) * rank;
+
+  p.work_items = nnz;
+  p.flops = nnz * 2ull * rank * (order > 1 ? order - 1 : 1);
+
+  // COO entry reads: `order` indices + one value per non-zero, streamed.
+  const std::uint64_t coo_bytes =
+      nnz * (order * sizeof(index_t) + sizeof(value_t));
+
+  // Factor-row gathers: (order-1) rows of F floats per non-zero. Rows
+  // repeat within a fiber; the L2 catches a share of those repeats.
+  // fiber_ratio → 1 means no repeats (every nnz its own fiber), → 0
+  // means long fibers with strong reuse. ParTI does not stage rows in
+  // shared memory, so it only gets the cache-side discount.
+  const double factor_miss = 0.35 + 0.65 * feat.fiber_ratio;
+  const auto factor_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(nnz * (order - 1) * fbytes) * factor_miss);
+
+  // Output updates: F atomicAdds per non-zero. Atomics retire in the
+  // L2, so DRAM only sees the share of rows that spill: when the whole
+  // output matrix fits in L2 (small mode sizes), RMW traffic stays
+  // on-chip and only the final writeback reaches DRAM.
+  const double out_matrix_bytes =
+      static_cast<double>(feat.mode_dim) * fbytes;
+  const double out_miss =
+      clamp(out_matrix_bytes / (6.0 * 1024 * 1024), 0.05, 1.0);
+  const auto out_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(nnz * fbytes * 2) * out_miss);
+
+  p.dram_bytes = coo_bytes + factor_bytes + out_bytes;
+
+  // Mixed streamed + gathered access.
+  p.coalescing = 0.40;
+
+  // One atomic per rank element per non-zero. Every non-zero of a slice
+  // updates the same output row, so the heaviest slice forms the
+  // longest same-address chain (per rank column; columns retire in
+  // parallel).
+  p.atomic_updates = nnz * rank;
+  p.atomic_max_chain = static_cast<double>(feat.max_nnz_per_slice);
+  return p;
+}
+
+gpusim::LaunchConfig default_launch(const gpusim::DeviceSpec& spec,
+                                    nnz_t nnz) {
+  gpusim::LaunchConfig cfg;
+  cfg.block = 256;
+  const auto blocks = ceil_div(std::max<nnz_t>(nnz, 1), cfg.block);
+  cfg.grid = static_cast<std::uint32_t>(
+      std::min<nnz_t>(blocks, 32768));
+  cfg.grid = std::max(cfg.grid, 1u);
+  (void)spec;
+  return cfg;
+}
+
+void mttkrp_exec(const CooTensor& t, const FactorList& factors, order_t mode,
+                 DenseMatrix& out) {
+  mttkrp_coo_ref(t, factors, mode, out, /*accumulate=*/true);
+}
+
+}  // namespace scalfrag::parti

@@ -1,0 +1,34 @@
+#pragma once
+// ParTI-style COO SpMTTKRP kernel (Li et al., the paper's baseline).
+//
+// Algorithmic structure being modeled (ParTI's GPU SpMTTKRP):
+//  * one thread per non-zero, grid-stride loop;
+//  * per non-zero: read its COO entry, gather (order-1) factor rows from
+//    global memory, and atomicAdd each of the F partial products into
+//    the output row — "the performance of their method is constrained
+//    by the overhead of atomic operations during slice updates" (§VI-B).
+//
+// The profile builder turns a tensor segment's statistics into the
+// KernelProfile the cost model consumes; the functional executor
+// computes the bit-exact result on the host.
+
+#include "gpusim/cost_model.hpp"
+#include "tensor/features.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag::parti {
+
+/// Cost-model profile for the ParTI COO kernel over `feat`'s tensor.
+gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank);
+
+/// ParTI's static launch heuristic: 256-thread blocks, one thread per
+/// non-zero, grid capped at 32768 blocks ("the optimal parameter
+/// configuration suggested by the authors").
+gpusim::LaunchConfig default_launch(const gpusim::DeviceSpec& spec, nnz_t nnz);
+
+/// Functional kernel body: accumulate mode-`mode` MTTKRP of `t` into
+/// `out` (atomicAdd semantics — order-independent commutative sums).
+void mttkrp_exec(const CooTensor& t, const FactorList& factors, order_t mode,
+                 DenseMatrix& out);
+
+}  // namespace scalfrag::parti

@@ -1,0 +1,230 @@
+#include "scalfrag/autotune.hpp"
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
+#include "ml/dtree.hpp"
+#include "ml/knn.hpp"
+#include "ml/metrics.hpp"
+#include "ml/serialize.hpp"
+#include "ml/svr.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+
+const char* model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::DecisionTree:
+      return "DecisionTree";
+    case ModelKind::Bagging:
+      return "Bagging";
+    case ModelKind::AdaBoost:
+      return "AdaBoost";
+    case ModelKind::LinearSVR:
+      return "LinearSVR";
+    case ModelKind::Knn:
+      return "kNN";
+  }
+  return "?";
+}
+
+std::unique_ptr<ml::Regressor> make_model(ModelKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::DecisionTree: {
+      ml::DTreeConfig c;
+      c.seed = seed;
+      return std::make_unique<ml::DecisionTreeRegressor>(c);
+    }
+    case ModelKind::Bagging: {
+      ml::BaggingConfig c;
+      c.seed = seed;
+      return std::make_unique<ml::BaggingRegressor>(c);
+    }
+    case ModelKind::AdaBoost: {
+      ml::AdaBoostConfig c;
+      c.seed = seed;
+      return std::make_unique<ml::AdaBoostR2Regressor>(c);
+    }
+    case ModelKind::LinearSVR: {
+      ml::SvrConfig c;
+      c.seed = seed;
+      return std::make_unique<ml::LinearSvrRegressor>(c);
+    }
+    case ModelKind::Knn:
+      return std::make_unique<ml::KnnRegressor>();
+  }
+  throw Error("unknown model kind");
+}
+
+std::vector<double> launch_feature_vector(const TensorFeatures& feat,
+                                          const gpusim::DeviceSpec& spec,
+                                          const gpusim::LaunchConfig& cfg,
+                                          index_t rank) {
+  const auto tf = feat.to_vector();
+  std::vector<double> x(tf.begin(), tf.end());
+  x.push_back(std::log2(static_cast<double>(cfg.grid)));
+  x.push_back(std::log2(static_cast<double>(cfg.block)));
+  const double threads = static_cast<double>(cfg.total_threads());
+  x.push_back(std::log2(threads / std::max<double>(1.0,
+                                                   static_cast<double>(feat.nnz))));
+  const auto occ = gpusim::compute_occupancy(spec, cfg);
+  x.push_back(occ.fraction);
+  (void)rank;
+  return x;
+}
+
+// ---------------------------------------------------------------------
+// LaunchSelector
+
+LaunchSelector::LaunchSelector(gpusim::DeviceSpec spec,
+                               std::shared_ptr<const ml::Regressor> model,
+                               index_t rank)
+    : spec_(std::move(spec)), model_(std::move(model)), rank_(rank) {
+  SF_CHECK(model_ != nullptr, "selector needs a trained model");
+  candidates_ = gpusim::launch_candidates(spec_);
+}
+
+double LaunchSelector::predict_gflops(const TensorFeatures& feat,
+                                      const gpusim::LaunchConfig& cfg) const {
+  // Models are trained on log2(GFlops) — see build_dataset.
+  return std::exp2(
+      model_->predict(launch_feature_vector(feat, spec_, cfg, rank_)));
+}
+
+Selection LaunchSelector::select(const TensorFeatures& feat) const {
+  WallTimer timer;
+  Selection best;
+  best.predicted_gflops = -1.0;
+  for (gpusim::LaunchConfig cfg : candidates_) {
+    cfg.shmem_per_block = kernel_shmem_bytes(cfg.block, rank_);
+    const auto occ = gpusim::compute_occupancy(spec_, cfg);
+    if (!occ.feasible) continue;
+    const double pred = predict_gflops(feat, cfg);
+    if (pred > best.predicted_gflops) {
+      best.predicted_gflops = pred;
+      best.config = cfg;
+    }
+  }
+  SF_CHECK(best.config.grid != 0, "no feasible launch candidate");
+  best.inference_seconds = timer.seconds();
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// AutoTuner
+
+AutoTuner::AutoTuner(gpusim::DeviceSpec spec, AutoTunerConfig cfg)
+    : spec_(std::move(spec)), cfg_(cfg) {}
+
+ml::Dataset AutoTuner::build_dataset(const gpusim::DeviceSpec& spec,
+                                     index_t rank, int corpus_size,
+                                     std::uint64_t seed) {
+  SF_CHECK(corpus_size > 0, "corpus must be non-empty");
+  const gpusim::CostModel cost(spec);
+  const auto candidates = gpusim::launch_candidates(spec);
+  Rng rng(seed);
+  ml::Dataset data;
+
+  for (int i = 0; i < corpus_size; ++i) {
+    // Random tensor recipe: order 3 or 4, log-uniform mode sizes and
+    // nnz, mixed skew — spanning the regimes of Table III.
+    GeneratorConfig g;
+    const int order = rng.next_below(2) == 0 ? 3 : 4;
+    for (int m = 0; m < order; ++m) {
+      const double log_dim = rng.uniform(6.0, 17.0);
+      g.dims.push_back(static_cast<index_t>(std::pow(2.0, log_dim)));
+      g.skew.push_back(rng.uniform(1.0, 3.0));
+    }
+    const double log_nnz = rng.uniform(10.0, 18.0);
+    g.nnz = static_cast<nnz_t>(std::pow(2.0, log_nnz));
+    g.seed = rng.next_u64();
+
+    const CooTensor t = generate_coo(g);
+    const TensorFeatures feat = TensorFeatures::extract(t, 0);
+    const gpusim::KernelProfile prof = mttkrp_profile(feat, rank);
+
+    for (gpusim::LaunchConfig cfg : candidates) {
+      cfg.shmem_per_block = kernel_shmem_bytes(cfg.block, rank);
+      const auto occ = gpusim::compute_occupancy(spec, cfg);
+      if (!occ.feasible) continue;
+      const double gflops = cost.gflops(cfg, prof);
+      // Targets are log2(GFlops): achieved throughput spans ~4 orders
+      // of magnitude across tensors, and a tree minimizing SSE on the
+      // raw scale would sacrifice all relative accuracy on the small
+      // tensors — exactly the ones launch tuning helps most.
+      data.add(launch_feature_vector(feat, spec, cfg, rank),
+               std::log2(std::max(gflops, 1e-6)));
+    }
+  }
+  return data;
+}
+
+const ml::Dataset& AutoTuner::dataset() {
+  if (!data_built_) {
+    data_ = build_dataset(spec_, cfg_.rank, cfg_.corpus_size, cfg_.seed);
+    data_built_ = true;
+  }
+  return data_;
+}
+
+TrainingReport AutoTuner::train() {
+  const ml::Dataset& all = dataset();
+  auto [train_set, test_set] = all.train_test_split(cfg_.test_frac,
+                                                    cfg_.seed ^ 0x9e3779b9);
+
+  auto model = make_model(cfg_.model, cfg_.seed);
+  TrainingReport rep;
+  rep.model_name = model->name();
+  rep.train_rows = train_set.size();
+  rep.test_rows = test_set.size();
+
+  WallTimer fit_timer;
+  model->fit(train_set);
+  rep.train_seconds = fit_timer.seconds();
+
+  if (!test_set.empty()) {
+    WallTimer inf_timer;
+    const auto pred_log = model->predict_all(test_set);
+    rep.inference_us_per_row =
+        inf_timer.micros() / static_cast<double>(test_set.size());
+    // Report quality in the GFlops domain (what the paper quotes), not
+    // the log domain the model is fitted in.
+    std::vector<double> truth(test_set.size()), pred(test_set.size());
+    for (std::size_t i = 0; i < test_set.size(); ++i) {
+      truth[i] = std::exp2(test_set.target(i));
+      pred[i] = std::exp2(pred_log[i]);
+    }
+    rep.mape_test = ml::mape(truth, pred);
+    rep.mae_test = ml::mae(truth, pred);
+    rep.r2_test = ml::r2(test_set.targets(), pred_log);
+  }
+
+  model_ = std::move(model);
+  return rep;
+}
+
+LaunchSelector AutoTuner::selector() const {
+  SF_CHECK(trained(), "train() must run before selector()");
+  return LaunchSelector(spec_, model_, cfg_.rank);
+}
+
+void AutoTuner::save_model(const std::string& path) const {
+  SF_CHECK(trained(), "train() must run before save_model()");
+  const auto* tree =
+      dynamic_cast<const ml::DecisionTreeRegressor*>(model_.get());
+  SF_CHECK(tree != nullptr,
+           "only the DecisionTree model kind is serializable");
+  ml::save_tree_file(path, *tree);
+}
+
+LaunchSelector AutoTuner::load_selector(const gpusim::DeviceSpec& spec,
+                                        const std::string& path,
+                                        index_t rank) {
+  auto tree = std::make_shared<ml::DecisionTreeRegressor>(
+      ml::load_tree_file(path));
+  return LaunchSelector(spec, std::move(tree), rank);
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,125 @@
+#pragma once
+// The adaptive launching strategy (paper §IV-B, Fig. 7):
+//
+//   Generating Tensors → Executing MTTKRP → Data Collecting & Training
+//   → Evaluating & Predicting
+//
+// Offline, the AutoTuner generates a corpus of synthetic tensors,
+// sweeps the launch-parameter grid with the ScalFrag kernel's cost
+// model, and fits a regression model mapping (tensor features, launch
+// config) → GFlops. Online, the LaunchSelector evaluates the trained
+// model over the candidate grid for the current tensor's features and
+// returns the arg-max configuration — the "optimal launch parameter
+// combination" the paper's model outputs.
+
+#include <memory>
+
+#include "gpusim/cost_model.hpp"
+#include "ml/dataset.hpp"
+#include "ml/regressor.hpp"
+#include "scalfrag/kernel.hpp"
+#include "tensor/features.hpp"
+
+namespace scalfrag {
+
+/// The model families the paper compares (§IV-B: "DecisionTree, SVM,
+/// AdaBoost, Bagging, etc."), plus k-NN as a sanity baseline.
+enum class ModelKind { DecisionTree, Bagging, AdaBoost, LinearSVR, Knn };
+
+const char* model_kind_name(ModelKind kind);
+std::unique_ptr<ml::Regressor> make_model(ModelKind kind,
+                                          std::uint64_t seed = 7);
+
+/// Model input row: tensor features ⊕ launch-config features.
+std::vector<double> launch_feature_vector(const TensorFeatures& feat,
+                                          const gpusim::DeviceSpec& spec,
+                                          const gpusim::LaunchConfig& cfg,
+                                          index_t rank);
+
+struct AutoTunerConfig {
+  index_t rank = 16;
+  int corpus_size = 48;       // synthetic training tensors
+  std::uint64_t seed = 1234;
+  ModelKind model = ModelKind::DecisionTree;
+  double test_frac = 0.2;     // held-out fraction for the report
+};
+
+struct TrainingReport {
+  std::string model_name;
+  std::size_t train_rows = 0;
+  std::size_t test_rows = 0;
+  double train_seconds = 0.0;      // paper: "< 0.5 seconds"
+  double mape_test = 0.0;          // paper: DecisionTree "< 15%"
+  double mae_test = 0.0;
+  double r2_test = 0.0;
+  double inference_us_per_row = 0.0;
+};
+
+struct Selection {
+  gpusim::LaunchConfig config;
+  double predicted_gflops = 0.0;
+  double inference_seconds = 0.0;  // host wall time of the selection
+};
+
+/// Online side: the trained model + the candidate grid.
+class LaunchSelector {
+ public:
+  LaunchSelector(gpusim::DeviceSpec spec,
+                 std::shared_ptr<const ml::Regressor> model, index_t rank);
+
+  /// Pick the best launch configuration for a tensor (or segment) with
+  /// the given features.
+  Selection select(const TensorFeatures& feat) const;
+
+  double predict_gflops(const TensorFeatures& feat,
+                        const gpusim::LaunchConfig& cfg) const;
+
+  index_t rank() const noexcept { return rank_; }
+  const gpusim::DeviceSpec& spec() const noexcept { return spec_; }
+
+ private:
+  gpusim::DeviceSpec spec_;
+  std::shared_ptr<const ml::Regressor> model_;
+  index_t rank_;
+  std::vector<gpusim::LaunchConfig> candidates_;
+};
+
+/// Offline side: corpus generation + sweep + model fitting.
+class AutoTuner {
+ public:
+  explicit AutoTuner(gpusim::DeviceSpec spec, AutoTunerConfig cfg = {});
+
+  /// Build the corpus dataset (idempotent; cached) and fit the
+  /// configured model. Returns quality/time metrics.
+  TrainingReport train();
+
+  bool trained() const noexcept { return model_ != nullptr; }
+  LaunchSelector selector() const;
+
+  /// The collected (features, GFlops) sweep data.
+  const ml::Dataset& dataset();
+
+  /// Build a sweep dataset without constructing an AutoTuner (used by
+  /// the model-comparison bench to train many models on one corpus).
+  static ml::Dataset build_dataset(const gpusim::DeviceSpec& spec,
+                                   index_t rank, int corpus_size,
+                                   std::uint64_t seed);
+
+  /// Persist the trained model to a text file ("the training needs to
+  /// be performed only once", §IV-B — including across processes).
+  /// Only the DecisionTree model kind is serializable.
+  void save_model(const std::string& path) const;
+
+  /// Reconstruct a ready-to-use selector from a saved model.
+  static LaunchSelector load_selector(const gpusim::DeviceSpec& spec,
+                                      const std::string& path, index_t rank);
+
+ private:
+  gpusim::DeviceSpec spec_;
+  AutoTunerConfig cfg_;
+  ml::Dataset data_;
+  bool data_built_ = false;
+  std::shared_ptr<ml::Regressor> model_;
+};
+
+}  // namespace scalfrag

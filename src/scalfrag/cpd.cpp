@@ -1,0 +1,192 @@
+#include "scalfrag/cpd.hpp"
+
+#include <cmath>
+
+#include "parti/parti_executor.hpp"
+#include "tensor/linalg.hpp"
+
+namespace scalfrag {
+
+const char* cpd_backend_name(CpdBackend b) {
+  switch (b) {
+    case CpdBackend::Reference:
+      return "Reference";
+    case CpdBackend::ParTI:
+      return "ParTI";
+    case CpdBackend::ScalFrag:
+      return "ScalFrag";
+  }
+  return "?";
+}
+
+namespace {
+
+/// V = ∘_{m≠mode} A⁽ᵐ⁾ᵀA⁽ᵐ⁾ (Algorithm 1, line 3).
+DenseMatrix gram_hadamard(const FactorList& factors,
+                          const std::vector<DenseMatrix>& grams,
+                          order_t mode) {
+  DenseMatrix v(factors[0].cols(), factors[0].cols(), 1.0f);
+  for (order_t m = 0; m < factors.size(); ++m) {
+    if (m == mode) continue;
+    linalg::hadamard_inplace(v, grams[m]);
+  }
+  return v;
+}
+
+}  // namespace
+
+CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
+                  gpusim::SimDevice* dev, const LaunchSelector* selector) {
+  SF_CHECK(opt.rank > 0, "rank must be positive");
+  SF_CHECK(opt.max_iters > 0, "max_iters must be positive");
+  SF_CHECK(x.nnz() > 0, "cannot decompose an empty tensor");
+  if (opt.backend != CpdBackend::Reference) {
+    SF_CHECK(dev != nullptr,
+             "ParTI/ScalFrag backends need a simulated device");
+  }
+
+  const order_t order = x.order();
+  const index_t rank = opt.rank;
+
+  // One mode-sorted copy per mode (MTTKRP kernels require mode order);
+  // the ScalFrag backend's MttkrpPlan holds its own sorted copies.
+  std::vector<CooTensor> sorted;
+  if (opt.backend != CpdBackend::ScalFrag) {
+    sorted.resize(order);
+    for (order_t m = 0; m < order; ++m) {
+      sorted[m] = x;
+      sorted[m].sort_by_mode(m);
+    }
+  }
+
+  CpdResult res;
+  res.factors.reserve(order);
+  Rng rng(opt.seed);
+  for (order_t m = 0; m < order; ++m) {
+    DenseMatrix f(x.dim(m), rank);
+    f.randomize(rng);
+    res.factors.push_back(std::move(f));
+  }
+  res.lambda.assign(rank, 1.0);
+
+  std::vector<DenseMatrix> grams(order);
+  for (order_t m = 0; m < order; ++m) grams[m] = linalg::gram(res.factors[m]);
+
+  double norm_x_sq = 0.0;
+  for (value_t v : x.values()) {
+    norm_x_sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const double norm_x = std::sqrt(norm_x_sq);
+
+  // ScalFrag backend: plan once (per-mode sorting, segmentation, and
+  // launch selection are factor-independent), replay every iteration.
+  std::optional<MttkrpPlan> plan;
+  if (opt.backend == CpdBackend::ScalFrag) {
+    plan.emplace(x, rank, *dev, selector, opt.pipeline);
+  }
+
+  auto run_mttkrp = [&](order_t mode) -> DenseMatrix {
+    switch (opt.backend) {
+      case CpdBackend::Reference:
+        return mttkrp_coo_ref(sorted[mode], res.factors, mode);
+      case CpdBackend::ParTI: {
+        auto r = parti::run_mttkrp(*dev, sorted[mode], res.factors, mode);
+        res.mttkrp_sim_ns += r.total_ns;
+        ++res.mttkrp_calls;
+        return std::move(r.output);
+      }
+      case CpdBackend::ScalFrag: {
+        auto r = plan->run(res.factors, mode);
+        res.mttkrp_sim_ns += r.total_ns;
+        ++res.mttkrp_calls;
+        return std::move(r.output);
+      }
+    }
+    throw Error("unknown backend");
+  };
+
+  double prev_fit = 0.0;
+  for (int it = 0; it < opt.max_iters; ++it) {
+    DenseMatrix last_m;  // MTTKRP result of the final mode (fit calc)
+    for (order_t mode = 0; mode < order; ++mode) {
+      DenseMatrix m = run_mttkrp(mode);
+      const DenseMatrix v = gram_hadamard(res.factors, grams, mode);
+      DenseMatrix updated = linalg::matmul(m, linalg::pinv_spd(v));
+
+      if (opt.nonnegative) {
+        // Projected ALS: clamp to the non-negative orthant (a small
+        // positive floor keeps Gram matrices from going singular when
+        // whole columns would otherwise zero out).
+        value_t* p = updated.data();
+        for (std::size_t i = 0; i < updated.size(); ++i) {
+          if (p[i] < 0.0f) p[i] = 1e-9f;
+        }
+      }
+
+      // Column-normalize; absorb scales into lambda.
+      auto norms = linalg::column_norms(updated);
+      for (index_t f = 0; f < rank; ++f) {
+        res.lambda[f] = norms[f] > 1e-30 ? norms[f] : 1.0;
+      }
+      for (index_t i = 0; i < updated.rows(); ++i) {
+        value_t* row = updated.row(i);
+        for (index_t f = 0; f < rank; ++f) {
+          row[f] = static_cast<value_t>(row[f] / res.lambda[f]);
+        }
+      }
+      res.factors[mode] = std::move(updated);
+      grams[mode] = linalg::gram(res.factors[mode]);
+      if (mode + 1 == order) last_m = std::move(m);
+    }
+
+    // Fit via the standard SPLATT identity:
+    //   ||X̂||² = Σ_{f,g} λ_f λ_g Π_m Gram_m(f,g)
+    //   <X, X̂> = Σ_{i,f} λ_f · M(i,f) · A⁽ᴺ⁾(i,f)
+    double norm_model_sq = 0.0;
+    for (index_t f = 0; f < rank; ++f) {
+      for (index_t g = 0; g < rank; ++g) {
+        double prod = res.lambda[f] * res.lambda[g];
+        for (order_t m = 0; m < order; ++m) prod *= grams[m](f, g);
+        norm_model_sq += prod;
+      }
+    }
+    const order_t last = static_cast<order_t>(order - 1);
+    double inner = 0.0;
+    for (index_t i = 0; i < res.factors[last].rows(); ++i) {
+      const value_t* mrow = last_m.row(i);
+      const value_t* arow = res.factors[last].row(i);
+      for (index_t f = 0; f < rank; ++f) {
+        inner += res.lambda[f] * static_cast<double>(mrow[f]) *
+                 static_cast<double>(arow[f]);
+      }
+    }
+    const double resid_sq =
+        std::max(0.0, norm_x_sq - 2.0 * inner + norm_model_sq);
+    const double fit = 1.0 - std::sqrt(resid_sq) / norm_x;
+    res.fit_history.push_back(fit);
+    res.iterations = it + 1;
+    if (it > 0 && std::abs(fit - prev_fit) < opt.tol) break;
+    prev_fit = fit;
+  }
+
+  res.final_fit = res.fit_history.empty() ? 0.0 : res.fit_history.back();
+  return res;
+}
+
+double cpd_predict(const CpdResult& model, std::span<const index_t> coord) {
+  SF_CHECK(coord.size() == model.factors.size(),
+           "coordinate arity must match tensor order");
+  const index_t rank = model.factors[0].cols();
+  double s = 0.0;
+  for (index_t f = 0; f < rank; ++f) {
+    double prod = model.lambda[f];
+    for (std::size_t m = 0; m < coord.size(); ++m) {
+      SF_CHECK(coord[m] < model.factors[m].rows(), "coordinate out of range");
+      prod *= static_cast<double>(model.factors[m](coord[m], f));
+    }
+    s += prod;
+  }
+  return s;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,61 @@
+#pragma once
+// CPD-ALS (paper Algorithm 1): alternating least squares for the
+// canonical polyadic decomposition, with MTTKRP pluggable across three
+// backends — the host reference, the ParTI baseline flow, and the
+// ScalFrag pipeline. This is the application that motivates the whole
+// paper ("the computation of the CPD for a sparse tensor is
+// predominantly influenced by the MTTKRP operation").
+
+#include <optional>
+
+#include "gpusim/engine.hpp"
+#include "scalfrag/pipeline.hpp"
+#include "scalfrag/plan.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+enum class CpdBackend { Reference, ParTI, ScalFrag };
+
+const char* cpd_backend_name(CpdBackend b);
+
+struct CpdOptions {
+  index_t rank = 16;
+  int max_iters = 10;
+  /// Stop when the fit improves by less than this between iterations.
+  double tol = 1e-4;
+  std::uint64_t seed = 5;
+  CpdBackend backend = CpdBackend::Reference;
+  /// Project factors onto the non-negative orthant after each update
+  /// (projected ALS). For inherently non-negative data (counts,
+  /// ratings) this yields interpretable parts-based factors at a small
+  /// fit cost.
+  bool nonnegative = false;
+  /// ScalFrag backend settings (ignored by the others).
+  PipelineOptions pipeline;
+};
+
+struct CpdResult {
+  FactorList factors;          // column-normalized
+  std::vector<double> lambda;  // column weights
+  std::vector<double> fit_history;
+  double final_fit = 0.0;
+  int iterations = 0;
+
+  /// Simulated accelerator time spent in MTTKRP across the run
+  /// (Reference backend leaves this 0).
+  sim_ns mttkrp_sim_ns = 0;
+  int mttkrp_calls = 0;
+};
+
+/// Run CPD-ALS on `x`. For the ParTI/ScalFrag backends a SimDevice is
+/// required; `selector` enables adaptive launching for ScalFrag.
+CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
+                  gpusim::SimDevice* dev = nullptr,
+                  const LaunchSelector* selector = nullptr);
+
+/// Reconstruct one tensor entry from the factors (model evaluation):
+/// x̂(i…) = Σ_f λ_f Π_m A⁽ᵐ⁾(i_m, f).
+double cpd_predict(const CpdResult& model, std::span<const index_t> coord);
+
+}  // namespace scalfrag

@@ -1,0 +1,142 @@
+#include "scalfrag/format_select.hpp"
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/fcoo.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/hicoo.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+const char* sparse_format_name(SparseFormat f) {
+  switch (f) {
+    case SparseFormat::Coo:
+      return "COO";
+    case SparseFormat::Csf:
+      return "CSF";
+    case SparseFormat::HiCoo:
+      return "HiCOO";
+    case SparseFormat::FCoo:
+      return "F-COO";
+  }
+  return "?";
+}
+
+namespace {
+
+FactorList make_factors(const CooTensor& t, index_t rank,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+}  // namespace
+
+FormatTiming measure_formats(const CooTensor& t, order_t mode, index_t rank,
+                             int reps) {
+  SF_CHECK(reps > 0, "need at least one repetition");
+  CooTensor sorted = t;
+  if (!sorted.is_sorted_by_mode(mode)) sorted.sort_by_mode(mode);
+  const FactorList factors = make_factors(sorted, rank, 17);
+  DenseMatrix out(sorted.dim(mode), rank);
+
+  const CsfTensor csf = CsfTensor::build(sorted, mode);
+  const HicooTensor hicoo = HicooTensor::build(sorted);
+  const FcooTensor fcoo = FcooTensor::build(sorted, mode);
+
+  FormatTiming res;
+  auto time_min = [&](auto&& fn) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      WallTimer timer;
+      fn();
+      best = std::min(best, timer.millis());
+    }
+    return best;
+  };
+
+  res.ms[static_cast<std::size_t>(SparseFormat::Coo)] =
+      time_min([&] { mttkrp_coo_ref(sorted, factors, mode, out); });
+  res.ms[static_cast<std::size_t>(SparseFormat::Csf)] =
+      time_min([&] { mttkrp_csf(csf, factors, out); });
+  res.ms[static_cast<std::size_t>(SparseFormat::HiCoo)] =
+      time_min([&] { hicoo.mttkrp(factors, mode, out); });
+  res.ms[static_cast<std::size_t>(SparseFormat::FCoo)] =
+      time_min([&] { fcoo.mttkrp(factors, out); });
+
+  for (SparseFormat f : kAllFormats) {
+    if (res.ms[static_cast<std::size_t>(f)] < res.best_ms()) res.best = f;
+  }
+  return res;
+}
+
+double FormatSelector::train() {
+  WallTimer total;
+  Rng rng(cfg_.seed);
+  std::array<ml::Dataset, 4> data;
+
+  for (int i = 0; i < cfg_.corpus_size; ++i) {
+    GeneratorConfig g;
+    const int order = rng.next_below(2) == 0 ? 3 : 4;
+    for (int m = 0; m < order; ++m) {
+      g.dims.push_back(
+          static_cast<index_t>(std::pow(2.0, rng.uniform(5.0, 14.0))));
+      g.skew.push_back(rng.uniform(1.0, 3.0));
+    }
+    g.nnz = static_cast<nnz_t>(std::pow(2.0, rng.uniform(11.0, 15.0)));
+    g.seed = rng.next_u64();
+    const CooTensor t = generate_coo(g);
+
+    const TensorFeatures feat = TensorFeatures::extract(t, 0);
+    const auto x = feat.to_vector();
+    const FormatTiming timing = measure_formats(t, 0, cfg_.rank, cfg_.reps);
+    for (SparseFormat f : kAllFormats) {
+      const double ms = timing.ms[static_cast<std::size_t>(f)];
+      data[static_cast<std::size_t>(f)].add(
+          std::span<const double>(x.data(), x.size()),
+          std::log2(std::max(ms, 1e-6)));
+    }
+  }
+
+  for (std::size_t k = 0; k < models_.size(); ++k) {
+    ml::DTreeConfig tc;
+    tc.max_depth = 8;
+    tc.min_samples_leaf = 2;
+    tc.seed = cfg_.seed + k;
+    models_[k] = std::make_unique<ml::DecisionTreeRegressor>(tc);
+    models_[k]->fit(data[k]);
+  }
+  return total.seconds();
+}
+
+double FormatSelector::predict_ms(const TensorFeatures& feat,
+                                  SparseFormat f) const {
+  SF_CHECK(trained(), "predict before train()");
+  const auto x = feat.to_vector();
+  return std::exp2(models_[static_cast<std::size_t>(f)]->predict(
+      std::span<const double>(x.data(), x.size())));
+}
+
+SparseFormat FormatSelector::predict(const TensorFeatures& feat) const {
+  SparseFormat best = SparseFormat::Coo;
+  double best_ms = 1e300;
+  for (SparseFormat f : kAllFormats) {
+    const double ms = predict_ms(feat, f);
+    if (ms < best_ms) {
+      best_ms = ms;
+      best = f;
+    }
+  }
+  return best;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,71 @@
+#pragma once
+// Input-aware sparse-format selection for MTTKRP, after SpTFS (Sun et
+// al., IEEE TC 2022 — the paper's §VI-A: "adopts supervised ... methods
+// to predict the best of COO, HiCOO, and CSF formats to compute MTTKRP
+// for a given sparse tensor").
+//
+// ScalFrag's adaptive-launch machinery generalizes directly: the same
+// sparsity features feed one regressor per candidate format, each
+// predicting the log of that format's (host-measured) MTTKRP time;
+// prediction is the arg-min. This module measures real host kernels —
+// it is the one place the repository uses wall time rather than the
+// GPU cost model, because format choice is a property of the data
+// structure, not of the simulated device.
+
+#include <array>
+#include <memory>
+
+#include "ml/dtree.hpp"
+#include "tensor/features.hpp"
+
+namespace scalfrag {
+
+enum class SparseFormat : std::uint8_t { Coo, Csf, HiCoo, FCoo };
+inline constexpr std::array<SparseFormat, 4> kAllFormats = {
+    SparseFormat::Coo, SparseFormat::Csf, SparseFormat::HiCoo,
+    SparseFormat::FCoo};
+
+const char* sparse_format_name(SparseFormat f);
+
+/// Host MTTKRP milliseconds per format for one tensor (min over `reps`
+/// repetitions), plus the measured winner.
+struct FormatTiming {
+  std::array<double, 4> ms{};  // indexed by SparseFormat
+  SparseFormat best = SparseFormat::Coo;
+
+  double best_ms() const { return ms[static_cast<std::size_t>(best)]; }
+};
+
+FormatTiming measure_formats(const CooTensor& t, order_t mode, index_t rank,
+                             int reps = 3);
+
+struct FormatSelectorConfig {
+  index_t rank = 16;
+  int corpus_size = 24;
+  std::uint64_t seed = 4242;
+  int reps = 3;
+};
+
+class FormatSelector {
+ public:
+  explicit FormatSelector(FormatSelectorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Generate the corpus, measure every format on every tensor, and
+  /// fit one log-time regressor per format. Returns the wall seconds
+  /// spent (dominated by the measurements, not the fitting).
+  double train();
+
+  bool trained() const noexcept { return models_[0] != nullptr; }
+
+  /// Predicted-fastest format for a tensor with the given features.
+  SparseFormat predict(const TensorFeatures& feat) const;
+
+  /// Predicted host milliseconds for one (features, format) pair.
+  double predict_ms(const TensorFeatures& feat, SparseFormat f) const;
+
+ private:
+  FormatSelectorConfig cfg_;
+  std::array<std::unique_ptr<ml::DecisionTreeRegressor>, 4> models_;
+};
+
+}  // namespace scalfrag

@@ -1,0 +1,131 @@
+#include "scalfrag/hybrid.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace scalfrag {
+
+HybridPartition partition_for_hybrid(const CooTensor& t, order_t mode,
+                                     nnz_t slice_nnz_threshold) {
+  SF_CHECK(t.is_sorted_by_mode(mode), "hybrid partition needs sorted input");
+  HybridPartition part;
+  part.threshold = slice_nnz_threshold;
+  part.gpu_part = CooTensor(t.dims());
+  part.cpu_part = CooTensor(t.dims());
+
+  if (slice_nnz_threshold == 0 || t.nnz() == 0) {
+    part.gpu_part = t;
+    // Count slices for the report even in the trivial case.
+    for (nnz_t e = 0; e < t.nnz(); ++e) {
+      if (e == 0 || t.index(mode, e) != t.index(mode, e - 1)) {
+        ++part.gpu_slices;
+      }
+    }
+    return part;
+  }
+
+  std::vector<index_t> coord(t.order());
+  nnz_t slice_begin = 0;
+  auto flush_slice = [&](nnz_t slice_end) {
+    const nnz_t len = slice_end - slice_begin;
+    CooTensor& dst = len < slice_nnz_threshold ? part.cpu_part : part.gpu_part;
+    (len < slice_nnz_threshold ? part.cpu_slices : part.gpu_slices) += 1;
+    for (nnz_t e = slice_begin; e < slice_end; ++e) {
+      for (order_t m = 0; m < t.order(); ++m) coord[m] = t.index(m, e);
+      dst.push(std::span<const index_t>(coord.data(), coord.size()),
+               t.value(e));
+    }
+    slice_begin = slice_end;
+  };
+
+  for (nnz_t e = 1; e < t.nnz(); ++e) {
+    if (t.index(mode, e) != t.index(mode, e - 1)) flush_slice(e);
+  }
+  flush_slice(t.nnz());
+  return part;
+}
+
+sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, nnz_t nnz, order_t order,
+                     index_t rank) {
+  if (nnz == 0) return 0;
+  const auto ord = static_cast<std::uint64_t>(order);
+  const std::uint64_t flops =
+      nnz * 2ull * rank * (ord > 1 ? ord - 1 : 1);
+  // Traffic: COO stream + factor gathers (caches help less on short
+  // slices — charge them fully) + output rows.
+  const std::uint64_t bytes =
+      nnz * (ord * sizeof(index_t) + sizeof(value_t)) +
+      nnz * (ord - 1) * rank * sizeof(value_t) +
+      nnz * rank * sizeof(value_t);
+  // Sparse gather code sustains a fraction of peak on both rooflines.
+  const double eff_flops = cpu.peak_gflops() * 0.25;
+  const double eff_bw = cpu.mem_bandwidth_gbps * 0.6;
+  const double ns = std::max(static_cast<double>(flops) / eff_flops,
+                             static_cast<double>(bytes) / eff_bw);
+  return static_cast<sim_ns>(ns);
+}
+
+sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, const CooTensor& part,
+                     index_t rank) {
+  return cpu_mttkrp_ns(cpu, part.nnz(), part.order(), rank);
+}
+
+nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
+                            const gpusim::CpuSpec& cpu, sim_ns budget_ns) {
+  SF_CHECK(t.is_sorted_by_mode(mode), "auto threshold needs sorted input");
+  if (t.nnz() == 0 || budget_ns == 0) return 0;
+
+  // Slice-length census (one pass, mode-sorted).
+  std::vector<nnz_t> lens;
+  nnz_t len = 0;
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    if (e > 0 && t.index(mode, e) != t.index(mode, e - 1)) {
+      lens.push_back(len);
+      len = 0;
+    }
+    ++len;
+  }
+  lens.push_back(len);
+  std::sort(lens.begin(), lens.end());
+
+  // Walk thresholds upward; the CPU share is the prefix of the sorted
+  // census below the threshold. Keep the largest affordable threshold.
+  nnz_t best = 0;
+  nnz_t cpu_share = 0;
+  std::size_t i = 0;
+  for (nnz_t thr = 2; thr <= lens.back() + 1; thr *= 2) {
+    while (i < lens.size() && lens[i] < thr) cpu_share += lens[i++];
+    if (cpu_mttkrp_ns(cpu, cpu_share, t.order(), rank) <= budget_ns) {
+      best = thr;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+void cpu_mttkrp_exec(const CooTensor& part, const FactorList& factors,
+                     order_t mode, DenseMatrix& out) {
+  // Slices are disjoint output rows; the partition's CPU share is
+  // slice-contiguous, so chunking on slice boundaries is race-free.
+  if (part.nnz() == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.size() <= 1 || part.nnz() < 4096) {
+    mttkrp_coo_ref(part, factors, mode, out, /*accumulate=*/true);
+    return;
+  }
+  // Find slice boundaries, then assign whole slices to chunks.
+  std::vector<nnz_t> bounds{0};
+  for (nnz_t e = 1; e < part.nnz(); ++e) {
+    if (part.index(mode, e) != part.index(mode, e - 1)) bounds.push_back(e);
+  }
+  bounds.push_back(part.nnz());
+  const std::size_t n_slices = bounds.size() - 1;
+  pool.parallel_for(0, n_slices, [&](std::size_t lo, std::size_t hi) {
+    const CooTensor chunk = part.extract(bounds[lo], bounds[hi]);
+    mttkrp_coo_ref(chunk, factors, mode, out, /*accumulate=*/true);
+  });
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,53 @@
+#pragma once
+// CPU–GPU heterogeneous hybrid execution (paper contribution #4: "we
+// put the parts with low parallelism to the CPU for execution").
+//
+// Slices with very few non-zeros expose almost no thread-level
+// parallelism on a GPU (a warp gathers one row and idles) yet they are
+// exactly what a latency-optimized CPU core chews through. The
+// partitioner routes slices below an nnz threshold to the host; the
+// pipeline runs the host task on the simulated CPU concurrently with
+// the GPU segments, and both halves accumulate into the same output.
+
+#include "gpusim/device_spec.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+struct HybridPartition {
+  CooTensor gpu_part;  // slices with nnz >= threshold (mode-sorted)
+  CooTensor cpu_part;  // low-parallelism slices (mode-sorted)
+  nnz_t threshold = 0;
+  nnz_t cpu_slices = 0;
+  nnz_t gpu_slices = 0;
+};
+
+/// Split a mode-sorted tensor by per-slice nnz. Threshold 0 disables
+/// (everything goes to the GPU part).
+HybridPartition partition_for_hybrid(const CooTensor& t, order_t mode,
+                                     nnz_t slice_nnz_threshold);
+
+/// Simulated host time for the CPU's share of the MTTKRP: roofline of
+/// the CPU's memory bandwidth and (derated) FP throughput.
+sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, const CooTensor& part,
+                     index_t rank);
+
+/// Same roofline from raw counts (no tensor materialization needed).
+sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, nnz_t nnz, order_t order,
+                     index_t rank);
+
+/// Choose a slice-nnz threshold automatically: the largest power of two
+/// whose CPU share is predicted to finish within `budget_ns` (typically
+/// a fraction of the GPU pipeline's transfer time, so the CPU never
+/// becomes the critical path). Returns 0 (hybrid off) when even the
+/// singleton slices would blow the budget.
+nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
+                            const gpusim::CpuSpec& cpu, sim_ns budget_ns);
+
+/// Functional CPU-side MTTKRP (accumulating, thread-pool parallel over
+/// slice-disjoint chunks).
+void cpu_mttkrp_exec(const CooTensor& part, const FactorList& factors,
+                     order_t mode, DenseMatrix& out);
+
+}  // namespace scalfrag

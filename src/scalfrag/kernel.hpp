@@ -1,0 +1,42 @@
+#pragma once
+// ScalFrag's tiled shared-memory MTTKRP kernel (paper §IV-A: "the
+// frequently accessed data in the kernel and intermediate results
+// (e.g., computation result mvals, factor matrices times_mat) are
+// stored in shared memory").
+//
+// Modeled structure, per thread block:
+//  * a `times_mat` staging tile of gathered factor rows lives in shared
+//    memory, so repeated rows within a fiber/slice are read from DRAM
+//    once per block instead of once per non-zero;
+//  * partial outputs (`mvals`) accumulate in a shared-memory tile and
+//    flush to the global output once per slice — turning ParTI's
+//    per-non-zero atomics into per-slice-flush atomics.
+//
+// The shared-memory footprint grows with blockSize and rank, which is
+// exactly what makes blockSize a real tuning knob (occupancy cliff).
+
+#include "gpusim/cost_model.hpp"
+#include "tensor/features.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+struct ScalFragKernelOptions {
+  bool use_shared_mem = true;  // ablation switch
+};
+
+/// Shared memory per block for a given blockSize/rank: the times_mat
+/// tile (one F-row per thread) plus the mvals accumulation tile.
+std::size_t kernel_shmem_bytes(std::uint32_t block, index_t rank);
+
+/// Cost-model profile of the ScalFrag kernel over a (segment's)
+/// feature summary.
+gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
+                                     const ScalFragKernelOptions& opt = {});
+
+/// Functional kernel body: accumulate mode-`mode` MTTKRP of the segment
+/// into `out` (commutative adds; cross-segment accumulation safe).
+void mttkrp_exec(const CooTensor& segment, const FactorList& factors,
+                 order_t mode, DenseMatrix& out);
+
+}  // namespace scalfrag

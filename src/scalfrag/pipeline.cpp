@@ -1,0 +1,183 @@
+#include "scalfrag/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "parti/parti_kernel.hpp"
+
+namespace scalfrag {
+
+int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
+                       order_t mode, index_t rank,
+                       const PipelineOptions& opt) {
+  if (t.nnz() == 0) return 1;
+  // Pick the k ∈ [1, 8] minimizing the predicted makespan of a k-deep
+  // pipeline. Splitting pays (k−1) extra PCIe setups and extra kernel
+  // launches but lets all-but-the-first segment's copies hide behind
+  // compute (and vice versa):
+  //   makespan(k) ≈ first-copy + max(remaining copies, total kernels)
+  // Kernel time is estimated with the whole-tensor profile under the
+  // static launch — a heuristic, so exactness doesn't matter, only the
+  // crossover between copy-bound and overhead-bound regimes.
+  const auto& spec = dev.spec();
+  const double latency = spec.pcie_latency_us * 1e3;
+  const double launch = spec.kernel_launch_us * 1e3;
+  const double wire =
+      static_cast<double>(t.bytes()) / spec.pcie_bandwidth_gbps;
+  const TensorFeatures whole = TensorFeatures::extract(t, mode);
+  const ScalFragKernelOptions kopt{.use_shared_mem = opt.use_shared_mem};
+  gpusim::LaunchConfig probe = parti::default_launch(spec, t.nnz());
+  if (opt.use_shared_mem) {
+    probe.shmem_per_block = kernel_shmem_bytes(probe.block, rank);
+  }
+  const double kernel_work = static_cast<double>(
+      dev.cost_model().kernel_ns(probe, mttkrp_profile(whole, rank, kopt)));
+
+  int best_k = 1;
+  double best = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 8; ++k) {
+    const double seg_copy = latency + wire / k;
+    const double copies_rest = (k - 1) * seg_copy;
+    const double kernels = kernel_work + (k - 1) * launch;
+    const double makespan = seg_copy + std::max(copies_rest, kernels);
+    if (makespan < best) {
+      best = makespan;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+gpusim::StreamId PipelineExecutor::stream(int i) {
+  while (static_cast<int>(pool_.size()) <= i) {
+    pool_.push_back(dev_->create_stream());
+  }
+  return pool_[i];
+}
+
+PipelineResult PipelineExecutor::run(const CooTensor& t,
+                                     const FactorList& factors, order_t mode,
+                                     const PipelineOptions& opt) {
+  const index_t rank = check_factors(t, factors);
+  SF_CHECK(t.is_sorted_by_mode(mode), "pipeline requires mode-sorted input");
+  SF_CHECK(opt.num_segments >= 0 && opt.num_streams > 0,
+           "segments must be >= 0 (0 = auto), streams positive");
+
+  PipelineResult res;
+  res.output = DenseMatrix(t.dim(mode), rank);
+
+  // --- hybrid partition (optional) -----------------------------------
+  const CooTensor* gpu_tensor = &t;
+  HybridPartition part;
+  if (opt.hybrid_cpu_threshold > 0) {
+    part = partition_for_hybrid(t, mode, opt.hybrid_cpu_threshold);
+    gpu_tensor = &part.gpu_part;
+    res.cpu_nnz = part.cpu_part.nnz();
+  }
+
+  // --- segmentation ---------------------------------------------------
+  const int want_segments =
+      opt.num_segments == 0
+          ? auto_segment_count(*dev_, *gpu_tensor, mode, rank, opt)
+          : opt.num_segments;
+  res.plan = make_segments(*gpu_tensor, mode, want_segments);
+  const auto n_seg = static_cast<int>(res.plan.size());
+
+  dev_->reset_timeline();
+
+  // --- device allocations ---------------------------------------------
+  // Per-stream segment staging (the memory-frugality win of blocking:
+  // only min(streams, segments) segments are resident at once), plus
+  // persistent factors + output.
+  std::size_t factor_bytes = 0;
+  for (const auto& f : factors) factor_bytes += f.bytes();
+  gpusim::DeviceBuffer<char> d_factors(dev_->allocator(), factor_bytes);
+  gpusim::DeviceBuffer<char> d_out(
+      dev_->allocator(),
+      static_cast<std::size_t>(t.dim(mode)) * rank * sizeof(value_t));
+  const int resident = std::min(opt.num_streams, std::max(n_seg, 1));
+  const nnz_t max_seg = res.plan.max_nnz();
+  const std::size_t seg_bytes_cap =
+      max_seg * (t.order() * sizeof(index_t) + sizeof(value_t));
+  std::vector<gpusim::DeviceBuffer<char>> d_segs;
+  d_segs.reserve(resident);
+  for (int i = 0; i < resident; ++i) {
+    d_segs.emplace_back(dev_->allocator(), seg_bytes_cap);
+  }
+
+  // --- factors upload (all streams depend on it) ----------------------
+  const gpusim::StreamId s0 = stream(0);
+  dev_->memcpy_h2d(s0, factor_bytes, nullptr, "H2D factors");
+  const gpusim::EventId ev_factors = dev_->record_event(s0);
+  for (int i = 1; i < opt.num_streams; ++i) {
+    dev_->wait_event(stream(i), ev_factors);
+  }
+
+  // --- hybrid CPU task (concurrent with the GPU pipeline) -------------
+  if (res.cpu_nnz > 0) {
+    res.cpu_task_ns = cpu_mttkrp_ns(opt.cpu, part.cpu_part, rank);
+    // Host engine is independent of the GPU engines; use a dedicated
+    // stream so it never serializes behind GPU ops in stream order.
+    const gpusim::StreamId host_s = stream(opt.num_streams);
+    dev_->host_task(
+        host_s, res.cpu_task_ns,
+        [&] { cpu_mttkrp_exec(part.cpu_part, factors, mode, res.output); },
+        "CPU hybrid MTTKRP");
+  }
+
+  // --- segment pipeline ------------------------------------------------
+  ScalFragKernelOptions kopt{.use_shared_mem = opt.use_shared_mem};
+  for (int i = 0; i < n_seg; ++i) {
+    const Segment& seg = res.plan.segments[i];
+    if (seg.nnz() == 0) {
+      res.launches.push_back({});
+      continue;
+    }
+    const gpusim::StreamId s = stream(i % opt.num_streams);
+    const CooTensor segment = gpu_tensor->extract(seg.begin, seg.end);
+    const std::size_t bytes =
+        segment.nnz() * (t.order() * sizeof(index_t) + sizeof(value_t));
+    dev_->memcpy_h2d(s, bytes, nullptr,
+                     "H2D segment " + std::to_string(i));
+
+    const TensorFeatures feat = TensorFeatures::extract(segment, mode);
+    gpusim::LaunchConfig launch;
+    if (static_cast<std::size_t>(i) < opt.launch_schedule.size()) {
+      launch = opt.launch_schedule[i];
+    } else if (opt.launch_override) {
+      launch = *opt.launch_override;
+    } else if (opt.adaptive_launch && selector_ != nullptr) {
+      const Selection sel = selector_->select(feat);
+      launch = sel.config;
+      res.selection_seconds += sel.inference_seconds;
+    } else {
+      launch = parti::default_launch(dev_->spec(), segment.nnz());
+    }
+    if (opt.use_shared_mem) {
+      launch.shmem_per_block = kernel_shmem_bytes(launch.block, rank);
+    }
+    const gpusim::KernelProfile prof = mttkrp_profile(feat, rank, kopt);
+    // SimDevice runs functional bodies eagerly inside launch_kernel, so
+    // capturing the loop-local segment by reference is safe.
+    dev_->launch_kernel(
+        s, launch, prof,
+        [&] { mttkrp_exec(segment, factors, mode, res.output); },
+        "ScalFrag kernel seg " + std::to_string(i));
+    res.launches.push_back(launch);
+  }
+
+  // --- gather results ---------------------------------------------------
+  for (int i = 1; i < opt.num_streams; ++i) {
+    dev_->wait_event(s0, dev_->record_event(stream(i)));
+  }
+  if (res.cpu_nnz > 0) {
+    dev_->wait_event(s0, dev_->record_event(stream(opt.num_streams)));
+  }
+  dev_->memcpy_d2h(s0, d_out.bytes(), nullptr, "D2H output");
+
+  res.total_ns = dev_->synchronize();
+  res.breakdown = dev_->breakdown();
+  return res;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,80 @@
+#pragma once
+// The ScalFrag pipelined executor (paper §IV-C, Fig. 8): the
+// mode-sorted tensor is cut into segments, each segment's H2D copy and
+// kernel are issued asynchronously on a CUDA stream, and transfers
+// overlap the previous segments' compute. Optionally, low-parallelism
+// slices run on the host CPU concurrently (hybrid mode), and the launch
+// configuration of every segment's kernel comes from the adaptive
+// selector.
+
+#include <optional>
+
+#include "gpusim/engine.hpp"
+#include "scalfrag/autotune.hpp"
+#include "scalfrag/hybrid.hpp"
+#include "scalfrag/kernel.hpp"
+#include "scalfrag/segmenter.hpp"
+
+namespace scalfrag {
+
+struct PipelineOptions {
+  /// 0 = auto: pick a segment count so each segment's copy is large
+  /// enough to amortize PCIe latency (the paper "empirically determines
+  /// the appropriate number of segments"); small tensors then run
+  /// unsegmented. Explicit values (e.g. the paper's Fig. 11 sweep) are
+  /// honored as-is.
+  int num_segments = 0;
+  int num_streams = 4;
+  bool use_shared_mem = true;
+  bool adaptive_launch = true;
+  /// Force a specific launch config (overrides adaptive/static choice).
+  std::optional<gpusim::LaunchConfig> launch_override;
+  /// Precomputed per-segment launches (from MttkrpPlan); entry i is
+  /// used for segment i and takes precedence over everything above.
+  std::vector<gpusim::LaunchConfig> launch_schedule;
+  /// Slice-nnz threshold below which work routes to the CPU (0 = off).
+  nnz_t hybrid_cpu_threshold = 0;
+  gpusim::CpuSpec cpu = gpusim::CpuSpec::i7_11700k();
+};
+
+struct PipelineResult {
+  DenseMatrix output;
+  gpusim::TimelineBreakdown breakdown;
+  sim_ns total_ns = 0;
+
+  SegmentPlan plan;
+  std::vector<gpusim::LaunchConfig> launches;  // one per segment
+  double selection_seconds = 0.0;  // host time spent in the selector
+  nnz_t cpu_nnz = 0;               // hybrid share
+  sim_ns cpu_task_ns = 0;
+};
+
+/// The auto-segmentation rule (PipelineOptions::num_segments == 0):
+/// pick the k ∈ [1, 8] minimizing the predicted pipelined makespan.
+/// Exposed so MttkrpPlan segments exactly the way the executor would.
+int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
+                       order_t mode, index_t rank,
+                       const PipelineOptions& opt);
+
+class PipelineExecutor {
+ public:
+  /// `selector` may be null — then adaptive_launch falls back to the
+  /// ParTI-style static heuristic.
+  PipelineExecutor(gpusim::SimDevice& dev,
+                   const LaunchSelector* selector = nullptr)
+      : dev_(&dev), selector_(selector) {}
+
+  /// Run one end-to-end mode-`mode` MTTKRP. `t` must be mode-sorted.
+  /// The device timeline is reset at entry.
+  PipelineResult run(const CooTensor& t, const FactorList& factors,
+                     order_t mode, const PipelineOptions& opt = {});
+
+ private:
+  gpusim::StreamId stream(int i);
+
+  gpusim::SimDevice* dev_;
+  const LaunchSelector* selector_;
+  std::vector<gpusim::StreamId> pool_;
+};
+
+}  // namespace scalfrag

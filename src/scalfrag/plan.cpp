@@ -1,0 +1,66 @@
+#include "scalfrag/plan.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+#include "parti/parti_kernel.hpp"
+
+namespace scalfrag {
+
+MttkrpPlan::MttkrpPlan(const CooTensor& x, index_t rank,
+                       gpusim::SimDevice& dev, const LaunchSelector* selector,
+                       PipelineOptions options)
+    : dev_(&dev), selector_(selector), rank_(rank),
+      options_(std::move(options)) {
+  SF_CHECK(x.nnz() > 0, "cannot plan for an empty tensor");
+  SF_CHECK(rank > 0, "rank must be positive");
+  WallTimer timer;
+
+  modes_.resize(x.order());
+  for (order_t m = 0; m < x.order(); ++m) {
+    ModePlan& plan = modes_[m];
+    plan.sorted = x;
+    plan.sorted.sort_by_mode(m);
+    plan.features = TensorFeatures::extract(plan.sorted, m);
+
+    // Segment exactly the way the executor will (auto rule included).
+    const int want =
+        options_.num_segments == 0
+            ? auto_segment_count(dev, plan.sorted, m, rank, options_)
+            : options_.num_segments;
+    plan.segments = make_segments(plan.sorted, m, want);
+
+    // One selector sweep per segment, paid once.
+    WallTimer sel_timer;
+    for (const Segment& seg : plan.segments.segments) {
+      if (seg.nnz() == 0) {
+        plan.launch_schedule.push_back(
+            parti::default_launch(dev.spec(), 1));
+        continue;
+      }
+      const CooTensor segment = plan.sorted.extract(seg.begin, seg.end);
+      const TensorFeatures feat = TensorFeatures::extract(segment, m);
+      if (options_.adaptive_launch && selector_ != nullptr) {
+        plan.launch_schedule.push_back(selector_->select(feat).config);
+      } else {
+        plan.launch_schedule.push_back(
+            parti::default_launch(dev.spec(), segment.nnz()));
+      }
+    }
+    plan.selection_seconds = sel_timer.seconds();
+  }
+  prepare_seconds_ = timer.seconds();
+}
+
+PipelineResult MttkrpPlan::run(const FactorList& factors,
+                               order_t mode) const {
+  SF_CHECK(mode < order(), "mode out of range");
+  const ModePlan& plan = modes_[mode];
+  PipelineOptions opt = options_;
+  opt.num_segments = static_cast<int>(plan.segments.size());
+  opt.launch_schedule = plan.launch_schedule;
+  PipelineExecutor exec(*dev_, selector_);
+  return exec.run(plan.sorted, factors, mode, opt);
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,42 @@
+#pragma once
+// Umbrella public header: everything an application needs to decompose
+// sparse tensors with ScalFrag.
+//
+//   #include "scalfrag/scalfrag.hpp"
+//
+//   auto t = scalfrag::make_frostt_tensor("nips");
+//   scalfrag::gpusim::SimDevice dev(scalfrag::gpusim::DeviceSpec::rtx3090());
+//   scalfrag::AutoTuner tuner(dev.spec());
+//   tuner.train();
+//   auto selector = tuner.selector();
+//   scalfrag::CpdOptions opt{.backend = scalfrag::CpdBackend::ScalFrag};
+//   auto model = scalfrag::cpd_als(t, opt, &dev, &selector);
+
+#include "common/format.hpp"
+#include "gpusim/engine.hpp"
+#include "gpusim/sim_metrics.hpp"
+#include "gpusim/trace.hpp"
+#include "scalfrag/autotune.hpp"
+#include "scalfrag/cpd.hpp"
+#include "scalfrag/format_select.hpp"
+#include "scalfrag/hybrid.hpp"
+#include "scalfrag/kernel.hpp"
+#include "scalfrag/pipeline.hpp"
+#include "scalfrag/plan.hpp"
+#include "scalfrag/segmenter.hpp"
+#include "scalfrag/tucker.hpp"
+#include "gpusim/energy.hpp"
+#include "tensor/arith.hpp"
+#include "tensor/bcsf.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/fcoo.hpp"
+#include "tensor/features.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/hicoo.hpp"
+#include "tensor/io_tns.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/mttkrp_ref.hpp"
+#include "tensor/reorder.hpp"
+#include "tensor/spttm.hpp"
+#include "tensor/stats.hpp"

@@ -1,0 +1,72 @@
+#include "scalfrag/segmenter.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+
+namespace scalfrag {
+
+nnz_t SegmentPlan::max_nnz() const noexcept {
+  nnz_t m = 0;
+  for (const auto& s : segments) m = std::max(m, s.nnz());
+  return m;
+}
+
+SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
+                          bool align_to_slices) {
+  SF_CHECK(num_segments > 0, "need at least one segment");
+  SF_CHECK(t.is_sorted_by_mode(mode), "segmenter requires mode-sorted input");
+
+  SegmentPlan plan;
+  plan.mode = mode;
+  if (t.nnz() == 0) {
+    plan.segments.push_back({0, 0, 0, 0, true});
+    return plan;
+  }
+
+  const nnz_t n = t.nnz();
+  const auto k = static_cast<nnz_t>(num_segments);
+  const nnz_t target = ceil_div(n, k);
+
+  nnz_t cursor = 0;
+  while (cursor < n) {
+    Segment seg;
+    seg.begin = cursor;
+    nnz_t cut = std::min<nnz_t>(cursor + target, n);
+    if (align_to_slices && cut < n) {
+      // Snap forward to the end of the slice containing `cut-1`.
+      const index_t slice = t.index(mode, cut - 1);
+      nnz_t fwd = cut;
+      while (fwd < n && t.index(mode, fwd) == slice) ++fwd;
+      // Snapping forward keeps segments ≥ target; only accept if the
+      // slice tail is not absurdly long (> one extra target), else
+      // split the slice mid-way (non-aligned).
+      if (fwd - cursor <= 2 * target) {
+        cut = fwd;
+      } else {
+        seg.slice_aligned = false;
+      }
+    }
+    seg.end = cut;
+    seg.first_slice = t.index(mode, seg.begin);
+    seg.last_slice = t.index(mode, seg.end - 1);
+    plan.segments.push_back(seg);
+    cursor = cut;
+  }
+
+  // A forward-snapping cut can exhaust the tensor early; that's fine —
+  // the plan simply has fewer segments than requested.
+  return plan;
+}
+
+int segments_for_budget(const CooTensor& t, index_t rank,
+                        std::size_t budget_bytes) {
+  SF_CHECK(budget_bytes > 0, "budget must be positive");
+  const std::size_t total =
+      t.bytes() +
+      static_cast<std::size_t>(t.dim(0)) * rank * sizeof(value_t);
+  return static_cast<int>(std::max<std::size_t>(
+      1, ceil_div(total, budget_bytes)));
+}
+
+}  // namespace scalfrag

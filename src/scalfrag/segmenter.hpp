@@ -1,0 +1,50 @@
+#pragma once
+// Tensor segmentation (the paper's "new blocking approach", §IV-C).
+//
+// The mode-sorted COO tensor is cut into nnz-balanced segments; each
+// segment is transferred and computed independently by the pipeline.
+// Cuts prefer slice boundaries: a slice processed wholly inside one
+// segment needs no cross-segment reduction, and the shared-memory
+// kernel can privatize its accumulator. The planner also derives the
+// segment count from a device-memory budget ("based on the resource
+// constraints of hardware ... to reduce memory usage").
+
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/features.hpp"
+
+namespace scalfrag {
+
+struct Segment {
+  nnz_t begin = 0;  // entry range [begin, end) in the sorted tensor
+  nnz_t end = 0;
+  index_t first_slice = 0;  // mode-index range covered
+  index_t last_slice = 0;   // inclusive
+  bool slice_aligned = true;  // no slice spans this segment's boundary
+
+  nnz_t nnz() const noexcept { return end - begin; }
+};
+
+struct SegmentPlan {
+  order_t mode = 0;
+  std::vector<Segment> segments;
+
+  std::size_t size() const noexcept { return segments.size(); }
+  /// Max over segments of nnz (load balance quality).
+  nnz_t max_nnz() const noexcept;
+};
+
+/// Cut `t` (sorted by `mode`) into `num_segments` nnz-balanced segments.
+/// When `align_to_slices` is set, each cut snaps to the nearest slice
+/// boundary unless a single slice exceeds the per-segment target (then
+/// the slice is split and flagged non-aligned).
+SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
+                          bool align_to_slices = true);
+
+/// Smallest segment count such that one segment's device footprint
+/// (COO bytes + output tile) fits `budget_bytes`.
+int segments_for_budget(const CooTensor& t, index_t rank,
+                        std::size_t budget_bytes);
+
+}  // namespace scalfrag

@@ -1,0 +1,184 @@
+#include "scalfrag/tucker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/linalg.hpp"
+
+namespace scalfrag {
+
+namespace {
+
+/// Kronecker row of the non-`mode` factor rows for one non-zero:
+/// out[col(r…)] = Π_{m≠mode} U⁽ᵐ⁾(i_m, r_m), mixed radix with the
+/// *highest* non-mode mode fastest (consistent everywhere below).
+void kron_row(const CooTensor& x, const FactorList& factors, order_t mode,
+              nnz_t e, std::vector<value_t>& out) {
+  out.assign(out.size(), value_t{1});
+  std::size_t stride = 1;
+  // Walk modes from highest to lowest so `stride` grows as radices do.
+  for (int m = static_cast<int>(x.order()) - 1; m >= 0; --m) {
+    if (static_cast<order_t>(m) == mode) continue;
+    const index_t r_m = factors[m].cols();
+    const value_t* frow = factors[m].row(x.index(static_cast<order_t>(m), e));
+    // out[col] *= frow[(col / stride) % r_m]
+    for (std::size_t col = 0; col < out.size(); ++col) {
+      out[col] *= frow[(col / stride) % r_m];
+    }
+    stride *= r_m;
+  }
+}
+
+}  // namespace
+
+DenseMatrix ttm_chain_all_but(const CooTensor& x, const FactorList& factors,
+                              order_t mode) {
+  SF_CHECK(mode < x.order(), "mode out of range");
+  SF_CHECK(factors.size() == x.order(), "one factor per mode");
+  std::size_t s = 1;
+  for (order_t m = 0; m < x.order(); ++m) {
+    SF_CHECK(factors[m].rows() == x.dim(m), "factor row count mismatch");
+    if (m != mode) s *= factors[m].cols();
+  }
+  SF_CHECK(s > 0 && s <= (1u << 20), "projected width out of range");
+
+  DenseMatrix w(x.dim(mode), static_cast<index_t>(s));
+  std::vector<value_t> krow(s);
+  for (nnz_t e = 0; e < x.nnz(); ++e) {
+    kron_row(x, factors, mode, e, krow);
+    const value_t val = x.value(e);
+    value_t* wrow = w.row(x.index(mode, e));
+    for (std::size_t c = 0; c < s; ++c) wrow[c] += val * krow[c];
+  }
+  return w;
+}
+
+TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt) {
+  SF_CHECK(x.nnz() > 0, "cannot decompose an empty tensor");
+  SF_CHECK(opt.core_dims.size() == x.order(),
+           "need one core dimension per mode");
+  SF_CHECK(opt.max_iters > 0, "max_iters must be positive");
+  const order_t order = x.order();
+  for (order_t n = 0; n < order; ++n) {
+    SF_CHECK(opt.core_dims[n] > 0 && opt.core_dims[n] <= x.dim(n),
+             "core dims must be in [1, mode size]");
+    std::size_t s = 1;
+    for (order_t m = 0; m < order; ++m) {
+      if (m != n) s *= opt.core_dims[m];
+    }
+    SF_CHECK(opt.core_dims[n] <= s,
+             "core dim exceeds the rank the projection can provide");
+  }
+
+  TuckerResult res;
+  Rng rng(opt.seed);
+  for (order_t n = 0; n < order; ++n) {
+    DenseMatrix u(x.dim(n), opt.core_dims[n]);
+    u.randomize(rng);
+    linalg::gram_schmidt(u, rng.next_u64());
+    res.factors.push_back(std::move(u));
+  }
+
+  double norm_x_sq = 0.0;
+  for (value_t v : x.values()) {
+    norm_x_sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const double norm_x = std::sqrt(norm_x_sq);
+
+  double prev_fit = -1.0;
+  for (int it = 0; it < opt.max_iters; ++it) {
+    for (order_t n = 0; n < order; ++n) {
+      const DenseMatrix w = ttm_chain_all_but(x, res.factors, n);
+      // Top-rₙ left singular vectors of W via the small Gram matrix:
+      // WᵀW = V Σ² Vᵀ  →  U = W V Σ⁻¹ (columns sorted by σ desc).
+      const DenseMatrix g = linalg::gram(w);
+      DenseMatrix evec;
+      const auto evals = linalg::jacobi_eigen_symmetric(g, evec);
+      std::vector<index_t> order_idx(evals.size());
+      std::iota(order_idx.begin(), order_idx.end(), index_t{0});
+      std::sort(order_idx.begin(), order_idx.end(),
+                [&](index_t a, index_t b) { return evals[a] > evals[b]; });
+
+      DenseMatrix u(x.dim(n), opt.core_dims[n]);
+      for (index_t k = 0; k < opt.core_dims[n]; ++k) {
+        const index_t src = order_idx[k];
+        const double sigma = std::sqrt(std::max(0.0, evals[src]));
+        if (sigma > 1e-8) {
+          for (index_t i = 0; i < u.rows(); ++i) {
+            double dot = 0.0;
+            for (index_t c = 0; c < w.cols(); ++c) {
+              dot += static_cast<double>(w(i, c)) * evec(c, src);
+            }
+            u(i, k) = static_cast<value_t>(dot / sigma);
+          }
+        } else {
+          // Deficient direction: random fill, fixed by Gram-Schmidt.
+          for (index_t i = 0; i < u.rows(); ++i) {
+            u(i, k) = static_cast<value_t>(rng.normal());
+          }
+        }
+      }
+      linalg::gram_schmidt(u, rng.next_u64());
+      res.factors[n] = std::move(u);
+    }
+
+    // Core + fit. G = X ×_1 U¹ᵀ ⋯: reuse the projection of mode 0 and
+    // contract the remaining mode-0 factor.
+    const DenseMatrix w0 = ttm_chain_all_but(x, res.factors, 0);
+    const DenseMatrix core_mat = linalg::matmul_tn(res.factors[0], w0);
+    double norm_g_sq = 0.0;
+    for (std::size_t i = 0; i < core_mat.size(); ++i) {
+      norm_g_sq += static_cast<double>(core_mat.data()[i]) *
+                   static_cast<double>(core_mat.data()[i]);
+    }
+    const double resid = std::sqrt(std::max(0.0, norm_x_sq - norm_g_sq));
+    const double fit = 1.0 - resid / norm_x;
+    res.fit_history.push_back(fit);
+    res.iterations = it + 1;
+    if (prev_fit >= 0.0 && std::abs(fit - prev_fit) < opt.tol) break;
+    prev_fit = fit;
+  }
+
+  // Materialize the core tensor from the final factors. core_mat is
+  // r₀ × Π_{m>0} r_m with the same mixed-radix layout (highest mode
+  // fastest) DenseTensor uses — a direct copy.
+  const DenseMatrix w0 = ttm_chain_all_but(x, res.factors, 0);
+  const DenseMatrix core_mat = linalg::matmul_tn(res.factors[0], w0);
+  res.core = DenseTensor(opt.core_dims);
+  SF_ASSERT(res.core.size() == core_mat.size(), "core layout mismatch");
+  std::copy(core_mat.data(), core_mat.data() + core_mat.size(),
+            res.core.data());
+
+  res.final_fit = res.fit_history.empty() ? 0.0 : res.fit_history.back();
+  return res;
+}
+
+double tucker_predict(const TuckerResult& model,
+                      std::span<const index_t> coord) {
+  const order_t order = model.core.order();
+  SF_CHECK(coord.size() == order, "coordinate arity");
+  for (order_t n = 0; n < order; ++n) {
+    SF_CHECK(coord[n] < model.factors[n].rows(), "coordinate out of range");
+  }
+  // Σ over the core, multiplying each core entry by its factor weights.
+  std::vector<index_t> r(order, 0);
+  double s = 0.0;
+  for (;;) {
+    double prod = model.core.at(std::span<const index_t>(r.data(), order));
+    for (order_t n = 0; n < order; ++n) {
+      prod *= model.factors[n](coord[n], r[n]);
+    }
+    s += prod;
+    // Mixed-radix increment (last mode fastest, matching DenseTensor).
+    int n = static_cast<int>(order) - 1;
+    while (n >= 0 && ++r[n] == model.core.dims()[n]) {
+      r[n] = 0;
+      --n;
+    }
+    if (n < 0) break;
+  }
+  return s;
+}
+
+}  // namespace scalfrag

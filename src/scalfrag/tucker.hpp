@@ -1,0 +1,52 @@
+#pragma once
+// Sparse Tucker decomposition via HOOI (higher-order orthogonal
+// iteration) — the second decomposition ParTI ships ("SpCPD, sparse
+// Tucker decomposition", paper §V-A3).
+//
+// Model: X ≈ G ×_1 U⁽¹⁾ ×_2 U⁽²⁾ ⋯ ×_N U⁽ᴺ⁾ with orthonormal factor
+// matrices U⁽ⁿ⁾ ∈ R^{Iₙ×rₙ} and a small dense core G ∈ R^{r₁×⋯×r_N}.
+//
+// HOOI iterates: for each mode n, project X onto all other factors
+// (a TTM chain, realized here as one fused sparse kernel producing
+// Wₙ = X₍ₙ₎ (⊗_{m≠n} U⁽ᵐ⁾)), then set U⁽ⁿ⁾ to Wₙ's top-rₙ left
+// singular vectors. Because the factors are orthonormal, the fit is
+// computable from ‖G‖ alone: ‖X−X̂‖² = ‖X‖² − ‖G‖².
+
+#include "tensor/coo.hpp"
+#include "tensor/dense_tensor.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+struct TuckerOptions {
+  /// Core size per mode (rₙ); must satisfy rₙ ≤ Iₙ and
+  /// rₙ ≤ Π_{m≠n} r_m (else Wₙ cannot have rank rₙ).
+  std::vector<index_t> core_dims;
+  int max_iters = 15;
+  double tol = 1e-5;
+  std::uint64_t seed = 7;
+};
+
+struct TuckerResult {
+  FactorList factors;  // orthonormal, one per mode
+  DenseTensor core;
+  std::vector<double> fit_history;
+  double final_fit = 0.0;
+  int iterations = 0;
+};
+
+/// Run HOOI on `x`. Throws on inconsistent core dims.
+TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt);
+
+/// Reconstruct one entry: X̂(i…) = Σ_r G(r…) Π_n U⁽ⁿ⁾(i_n, r_n).
+double tucker_predict(const TuckerResult& model,
+                      std::span<const index_t> coord);
+
+/// The fused projection kernel: Wₙ = X₍ₙ₎ (⊗_{m≠n} U⁽ᵐ⁾), i.e.
+/// Wₙ(i_n, col(r…)) = Σ_{x∈nnz sliced at i_n} val · Π_{m≠n} U⁽ᵐ⁾(i_m, r_m),
+/// with col() the mixed-radix index over (r_m)_{m≠n} in increasing mode
+/// order. Exposed for testing and for building other TTM chains.
+DenseMatrix ttm_chain_all_but(const CooTensor& x, const FactorList& factors,
+                              order_t mode);
+
+}  // namespace scalfrag

@@ -1,0 +1,159 @@
+#include "tensor/arith.hpp"
+
+#include <cmath>
+
+namespace scalfrag::tensor_ops {
+
+namespace {
+
+/// Lexicographic comparison of entry `ea` of `a` vs `eb` of `b`.
+int compare_coords(const CooTensor& a, nnz_t ea, const CooTensor& b,
+                   nnz_t eb) {
+  for (order_t m = 0; m < a.order(); ++m) {
+    if (a.index(m, ea) != b.index(m, eb)) {
+      return a.index(m, ea) < b.index(m, eb) ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+void check_same_shape(const CooTensor& a, const CooTensor& b) {
+  SF_CHECK(a.dims() == b.dims(), "tensor shapes must match");
+}
+
+/// Sorted, coalesced copy (mode-0 lexicographic).
+CooTensor canonical(const CooTensor& t) {
+  CooTensor c = t;
+  c.sort_by_mode(0);
+  c.coalesce_duplicates();
+  return c;
+}
+
+template <typename Merge>
+CooTensor merge_union(const CooTensor& a_in, const CooTensor& b_in,
+                      Merge&& merge) {
+  check_same_shape(a_in, b_in);
+  const CooTensor a = canonical(a_in);
+  const CooTensor b = canonical(b_in);
+
+  CooTensor out(a.dims());
+  out.reserve(a.nnz() + b.nnz());
+  std::vector<index_t> coord(a.order());
+  auto push_from = [&](const CooTensor& src, nnz_t e, value_t v) {
+    for (order_t m = 0; m < src.order(); ++m) coord[m] = src.index(m, e);
+    out.push(std::span<const index_t>(coord.data(), coord.size()), v);
+  };
+
+  nnz_t i = 0, j = 0;
+  while (i < a.nnz() && j < b.nnz()) {
+    const int c = compare_coords(a, i, b, j);
+    if (c < 0) {
+      push_from(a, i, merge(a.value(i), value_t{0}));
+      ++i;
+    } else if (c > 0) {
+      push_from(b, j, merge(value_t{0}, b.value(j)));
+      ++j;
+    } else {
+      push_from(a, i, merge(a.value(i), b.value(j)));
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.nnz(); ++i) push_from(a, i, merge(a.value(i), value_t{0}));
+  for (; j < b.nnz(); ++j) push_from(b, j, merge(value_t{0}, b.value(j)));
+  return out;
+}
+
+}  // namespace
+
+CooTensor add(const CooTensor& a, const CooTensor& b) {
+  return merge_union(a, b, [](value_t x, value_t y) { return x + y; });
+}
+
+CooTensor sub(const CooTensor& a, const CooTensor& b) {
+  return merge_union(a, b, [](value_t x, value_t y) { return x - y; });
+}
+
+CooTensor hadamard(const CooTensor& a_in, const CooTensor& b_in) {
+  check_same_shape(a_in, b_in);
+  const CooTensor a = canonical(a_in);
+  const CooTensor b = canonical(b_in);
+
+  CooTensor out(a.dims());
+  std::vector<index_t> coord(a.order());
+  nnz_t i = 0, j = 0;
+  while (i < a.nnz() && j < b.nnz()) {
+    const int c = compare_coords(a, i, b, j);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      for (order_t m = 0; m < a.order(); ++m) coord[m] = a.index(m, i);
+      out.push(std::span<const index_t>(coord.data(), coord.size()),
+               a.value(i) * b.value(j));
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+void scale(CooTensor& t, value_t s) {
+  for (auto& v : t.values()) v *= s;
+}
+
+double dot(const CooTensor& a_in, const CooTensor& b_in) {
+  check_same_shape(a_in, b_in);
+  const CooTensor a = canonical(a_in);
+  const CooTensor b = canonical(b_in);
+  double s = 0.0;
+  nnz_t i = 0, j = 0;
+  while (i < a.nnz() && j < b.nnz()) {
+    const int c = compare_coords(a, i, b, j);
+    if (c < 0) {
+      ++i;
+    } else if (c > 0) {
+      ++j;
+    } else {
+      s += static_cast<double>(a.value(i)) * static_cast<double>(b.value(j));
+      ++i;
+      ++j;
+    }
+  }
+  return s;
+}
+
+double norm(const CooTensor& t) {
+  double s = 0.0;
+  for (value_t v : t.values()) {
+    s += static_cast<double>(v) * static_cast<double>(v);
+  }
+  return std::sqrt(s);
+}
+
+double sum(const CooTensor& t) {
+  double s = 0.0;
+  for (value_t v : t.values()) s += static_cast<double>(v);
+  return s;
+}
+
+nnz_t prune(CooTensor& t, value_t eps) {
+  CooTensor out(t.dims());
+  out.reserve(t.nnz());
+  std::vector<index_t> coord(t.order());
+  nnz_t removed = 0;
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    if (std::abs(t.value(e)) <= eps) {
+      ++removed;
+      continue;
+    }
+    for (order_t m = 0; m < t.order(); ++m) coord[m] = t.index(m, e);
+    out.push(std::span<const index_t>(coord.data(), coord.size()),
+             t.value(e));
+  }
+  t = std::move(out);
+  return removed;
+}
+
+}  // namespace scalfrag::tensor_ops

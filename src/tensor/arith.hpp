@@ -1,0 +1,36 @@
+#pragma once
+// Element-wise sparse tensor arithmetic — the "arithmetic operations"
+// half of ParTI's feature list (§V-A3). All operations are value-level
+// and preserve coordinates; binary operations require identical dims.
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag::tensor_ops {
+
+/// c = a + b (union of supports, coincident coordinates summed).
+/// Exact zeros produced by cancellation are kept (matching ParTI's
+/// semantics: structural nonzeros are never dropped implicitly).
+CooTensor add(const CooTensor& a, const CooTensor& b);
+
+/// c = a - b.
+CooTensor sub(const CooTensor& a, const CooTensor& b);
+
+/// c = a ⊙ b (Hadamard: intersection of supports, values multiplied).
+CooTensor hadamard(const CooTensor& a, const CooTensor& b);
+
+/// t *= s in place.
+void scale(CooTensor& t, value_t s);
+
+/// Σ a(x)·b(x) over the common support.
+double dot(const CooTensor& a, const CooTensor& b);
+
+/// Frobenius norm √(Σ v²).
+double norm(const CooTensor& t);
+
+/// Σ v.
+double sum(const CooTensor& t);
+
+/// Drop entries with |v| <= eps; returns the number removed.
+nnz_t prune(CooTensor& t, value_t eps = value_t{0});
+
+}  // namespace scalfrag::tensor_ops

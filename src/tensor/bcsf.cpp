@@ -1,0 +1,123 @@
+#include "tensor/bcsf.hpp"
+
+#include <algorithm>
+
+namespace scalfrag {
+
+BcsfTensor BcsfTensor::build(const CooTensor& coo, order_t mode,
+                             nnz_t max_nnz_per_slice) {
+  SF_CHECK(mode < coo.order(), "mode out of range");
+  SF_CHECK(max_nnz_per_slice > 0, "split threshold must be positive");
+
+  CooTensor sorted = coo;
+  if (!sorted.is_sorted_by_mode(mode)) sorted.sort_by_mode(mode);
+
+  BcsfTensor b;
+  b.mode_ = mode;
+  if (sorted.nnz() == 0) {
+    b.csf_ = CsfTensor::build(sorted, mode);
+    return b;
+  }
+
+  // Build a *virtual* tensor: heavy slices get fresh virtual ids. The
+  // virtual mode size is the number of virtual slices; owner_ maps
+  // back. The virtual tensor reuses the original coordinates for the
+  // non-split modes, so the CSF below the root is unchanged.
+  std::vector<index_t> vdims = sorted.dims();
+  // First pass: count virtual slices.
+  nnz_t virtual_slices = 0;
+  {
+    nnz_t run = 0;
+    for (nnz_t e = 0; e < sorted.nnz(); ++e) {
+      const bool new_slice =
+          e == 0 || sorted.index(mode, e) != sorted.index(mode, e - 1);
+      if (new_slice) run = 0;
+      if (new_slice || run == max_nnz_per_slice) {
+        ++virtual_slices;
+        run = 0;
+      }
+      ++run;
+    }
+  }
+  vdims[mode] = static_cast<index_t>(virtual_slices);
+
+  CooTensor vt(vdims);
+  vt.reserve(sorted.nnz());
+  b.owner_.reserve(virtual_slices);
+
+  std::vector<index_t> coord(sorted.order());
+  nnz_t run = 0;
+  index_t vid = 0;
+  bool first = true;
+  for (nnz_t e = 0; e < sorted.nnz(); ++e) {
+    const bool new_slice =
+        e == 0 || sorted.index(mode, e) != sorted.index(mode, e - 1);
+    if (new_slice) run = 0;
+    if (new_slice || run == max_nnz_per_slice) {
+      if (!first) ++vid;
+      first = false;
+      if (!new_slice) ++b.slices_split_;
+      b.owner_.push_back(sorted.index(mode, e));
+      run = 0;
+    }
+    ++run;
+    for (order_t m = 0; m < sorted.order(); ++m) {
+      coord[m] = m == mode ? vid : sorted.index(m, e);
+    }
+    vt.push(std::span<const index_t>(coord.data(), coord.size()),
+            sorted.value(e));
+  }
+  // slices_split_ counted extra chunks above; report *distinct*
+  // original slices that were split (owners with ≥ 2 virtual slices).
+  if (b.slices_split_ > 0) {
+    nnz_t distinct = 0;
+    for (std::size_t v = 0; v < b.owner_.size();) {
+      std::size_t w = v;
+      while (w < b.owner_.size() && b.owner_[w] == b.owner_[v]) ++w;
+      distinct += (w - v) > 1;
+      v = w;
+    }
+    b.slices_split_ = distinct;
+  }
+
+  b.csf_ = CsfTensor::build(vt, mode);
+  return b;
+}
+
+nnz_t BcsfTensor::max_virtual_slice_nnz() const {
+  if (csf_.nnz() == 0) return 0;
+  // Leaf count below each root node. Walk fptr chains level by level.
+  nnz_t max_leaves = 0;
+  const order_t levels = csf_.order();
+  for (nnz_t s = 0; s < csf_.num_nodes(0); ++s) {
+    nnz_t begin = s, end = s + 1;
+    for (order_t l = 0; l + 1 < levels; ++l) {
+      begin = csf_.fptr(l)[begin];
+      end = csf_.fptr(l)[end];
+    }
+    max_leaves = std::max(max_leaves, end - begin);
+  }
+  return max_leaves;
+}
+
+void BcsfTensor::mttkrp(const FactorList& factors, DenseMatrix& out,
+                        bool accumulate) const {
+  SF_CHECK(factors.size() == csf_.order(), "one factor per mode");
+  const index_t rank = factors[0].cols();
+  SF_CHECK(out.cols() == rank, "output rank mismatch");
+  if (!accumulate) out.set_zero();
+  if (csf_.nnz() == 0) return;
+
+  // Compute into a virtual-slice staging matrix via the plain CSF
+  // kernel, then scatter rows to their owners (the atomic adds).
+  DenseMatrix virt(static_cast<index_t>(num_virtual_slices()), rank);
+  mttkrp_csf(csf_, factors, virt);
+  for (nnz_t v = 0; v < num_virtual_slices(); ++v) {
+    SF_CHECK(owner_[v] < out.rows(), "owner out of output range");
+    value_t* dst = out.row(owner_[v]);
+    const value_t* src = virt.row(static_cast<index_t>(v));
+    for (index_t f = 0; f < rank; ++f) dst[f] += src[f];
+  }
+}
+
+}  // namespace scalfrag

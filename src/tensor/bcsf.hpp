@@ -1,0 +1,52 @@
+#pragma once
+// B-CSF — balanced CSF (Nisa et al., IPDPS '19: "Load-balanced sparse
+// MTTKRP on GPUs", paper §II-D). Plain CSF assigns one slice per
+// thread block; power-law tensors then give one block millions of
+// non-zeros and most blocks a handful. B-CSF splits heavy slices into
+// sub-slices capped at `max_nnz_per_slice` so every block receives
+// comparable work, at the cost of atomic adds when sub-slices of the
+// same original slice flush to one output row.
+//
+// We realize the idea as a *slice-split CSF*: the tree is built from a
+// virtual tensor whose heavy mode-n slices are split; `owner()` maps
+// each virtual slice back to its original index for the output update.
+
+#include "tensor/csf.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+class BcsfTensor {
+ public:
+  /// Build from a COO tensor for `mode`, splitting any slice with more
+  /// than `max_nnz_per_slice` non-zeros.
+  static BcsfTensor build(const CooTensor& coo, order_t mode,
+                          nnz_t max_nnz_per_slice = 4096);
+
+  const CsfTensor& csf() const noexcept { return csf_; }
+  order_t mode() const noexcept { return mode_; }
+  nnz_t nnz() const noexcept { return csf_.nnz(); }
+
+  /// Virtual slice count (≥ the original occupied-slice count).
+  nnz_t num_virtual_slices() const noexcept { return owner_.size(); }
+  /// Original mode index the virtual slice v writes to.
+  index_t owner(nnz_t v) const { return owner_[v]; }
+  /// Number of original slices that were split.
+  nnz_t slices_split() const noexcept { return slices_split_; }
+
+  /// Max non-zeros any virtual slice holds (the balance guarantee).
+  nnz_t max_virtual_slice_nnz() const;
+
+  /// MTTKRP: CSF traversal over virtual slices, accumulating via
+  /// owner() (atomic-add semantics where splits share a row).
+  void mttkrp(const FactorList& factors, DenseMatrix& out,
+              bool accumulate = false) const;
+
+ private:
+  CsfTensor csf_;          // root level indexes *virtual* slices
+  order_t mode_ = 0;
+  std::vector<index_t> owner_;
+  nnz_t slices_split_ = 0;
+};
+
+}  // namespace scalfrag

@@ -1,0 +1,159 @@
+#include "tensor/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scalfrag {
+
+CooTensor::CooTensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
+  SF_CHECK(!dims_.empty() && dims_.size() <= kMaxOrder,
+           "tensor order must be in [1, kMaxOrder]");
+  for (index_t d : dims_) SF_CHECK(d > 0, "every mode size must be positive");
+  idx_.resize(dims_.size());
+}
+
+void CooTensor::reserve(nnz_t n) {
+  for (auto& v : idx_) v.reserve(n);
+  vals_.reserve(n);
+}
+
+void CooTensor::push(std::span<const index_t> idx, value_t val) {
+  SF_CHECK(idx.size() == dims_.size(), "coordinate arity mismatch");
+  for (order_t m = 0; m < order(); ++m) {
+    SF_CHECK(idx[m] < dims_[m], "coordinate out of range");
+    idx_[m].push_back(idx[m]);
+  }
+  vals_.push_back(val);
+}
+
+namespace {
+/// Mode comparison order: `mode` first, then remaining modes ascending.
+std::vector<order_t> key_order(order_t order, order_t mode) {
+  std::vector<order_t> keys;
+  keys.reserve(order);
+  keys.push_back(mode);
+  for (order_t m = 0; m < order; ++m) {
+    if (m != mode) keys.push_back(m);
+  }
+  return keys;
+}
+}  // namespace
+
+template <typename Less>
+void CooTensor::sort_with(Less&& less) {
+  std::vector<nnz_t> perm(nnz());
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  std::sort(perm.begin(), perm.end(), less);
+
+  // Apply the permutation to every index array and the values.
+  auto apply = [&](auto& vec) {
+    using V = std::remove_reference_t<decltype(vec)>;
+    V out;
+    out.resize(vec.size());
+    for (nnz_t e = 0; e < perm.size(); ++e) out[e] = vec[perm[e]];
+    vec = std::move(out);
+  };
+  for (auto& v : idx_) apply(v);
+  apply(vals_);
+}
+
+void CooTensor::sort_by_mode(order_t mode) {
+  SF_CHECK(mode < order(), "mode out of range");
+  const auto keys = key_order(order(), mode);
+  sort_by_key_order(keys);
+}
+
+void CooTensor::sort_by_key_order(std::span<const order_t> keys) {
+  SF_CHECK(keys.size() == order(), "keys must cover every mode");
+  std::vector<bool> seen(order(), false);
+  for (order_t k : keys) {
+    SF_CHECK(k < order() && !seen[k], "keys must be a mode permutation");
+    seen[k] = true;
+  }
+  sort_with([&](nnz_t a, nnz_t b) {
+    for (order_t k : keys) {
+      if (idx_[k][a] != idx_[k][b]) return idx_[k][a] < idx_[k][b];
+    }
+    return false;
+  });
+}
+
+bool CooTensor::is_sorted_by_mode(order_t mode) const {
+  SF_CHECK(mode < order(), "mode out of range");
+  const auto keys = key_order(order(), mode);
+  for (nnz_t e = 1; e < nnz(); ++e) {
+    for (order_t k : keys) {
+      if (idx_[k][e - 1] != idx_[k][e]) {
+        if (idx_[k][e - 1] > idx_[k][e]) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+nnz_t CooTensor::coalesce_duplicates() {
+  SF_CHECK(is_sorted_by_mode(0), "coalesce requires sort_by_mode(0)");
+  if (nnz() < 2) return 0;
+  nnz_t w = 0;  // write cursor
+  for (nnz_t e = 1; e < nnz(); ++e) {
+    bool same = true;
+    for (order_t m = 0; m < order(); ++m) {
+      if (idx_[m][e] != idx_[m][w]) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      vals_[w] += vals_[e];
+    } else {
+      ++w;
+      for (order_t m = 0; m < order(); ++m) idx_[m][w] = idx_[m][e];
+      vals_[w] = vals_[e];
+    }
+  }
+  const nnz_t removed = nnz() - (w + 1);
+  for (auto& v : idx_) v.resize(w + 1);
+  vals_.resize(w + 1);
+  return removed;
+}
+
+std::vector<nnz_t> CooTensor::slice_ptr(order_t mode) const {
+  SF_CHECK(mode < order(), "mode out of range");
+  SF_CHECK(is_sorted_by_mode(mode), "slice_ptr requires mode-sorted tensor");
+  std::vector<nnz_t> ptr(static_cast<std::size_t>(dims_[mode]) + 1, 0);
+  for (nnz_t e = 0; e < nnz(); ++e) {
+    ++ptr[static_cast<std::size_t>(idx_[mode][e]) + 1];
+  }
+  for (std::size_t i = 1; i < ptr.size(); ++i) ptr[i] += ptr[i - 1];
+  return ptr;
+}
+
+CooTensor CooTensor::extract(nnz_t begin, nnz_t end) const {
+  SF_CHECK(begin <= end && end <= nnz(), "extract range out of bounds");
+  CooTensor out(dims_);
+  out.reserve(end - begin);
+  for (order_t m = 0; m < order(); ++m) {
+    out.idx_[m].assign(idx_[m].begin() + begin, idx_[m].begin() + end);
+  }
+  out.vals_.assign(vals_.begin() + begin, vals_.begin() + end);
+  return out;
+}
+
+double CooTensor::density() const noexcept {
+  double cells = 1.0;
+  for (index_t d : dims_) cells *= static_cast<double>(d);
+  return cells > 0.0 ? static_cast<double>(nnz()) / cells : 0.0;
+}
+
+void CooTensor::validate() const {
+  for (order_t m = 0; m < order(); ++m) {
+    SF_CHECK(idx_[m].size() == vals_.size(),
+             "index/value array length mismatch");
+    for (index_t v : idx_[m]) {
+      SF_CHECK(v < dims_[m], "stored coordinate out of range");
+    }
+  }
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,88 @@
+#pragma once
+// Coordinate (COO) sparse tensor: the canonical exchange format of this
+// library and the on-device layout both ParTI's and ScalFrag's kernels
+// consume. Indices are stored structure-of-arrays (one vector per mode)
+// to match how a GPU kernel would stream them, and to make segment
+// extraction (ScalFrag's tiling) a set of contiguous range copies.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace scalfrag {
+
+class CooTensor {
+ public:
+  CooTensor() = default;
+  explicit CooTensor(std::vector<index_t> dims);
+
+  order_t order() const noexcept { return static_cast<order_t>(dims_.size()); }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+  index_t dim(order_t mode) const { return dims_.at(mode); }
+  nnz_t nnz() const noexcept { return vals_.size(); }
+  bool empty() const noexcept { return vals_.empty(); }
+
+  void reserve(nnz_t n);
+
+  /// Append one non-zero; `idx` must have exactly order() entries.
+  void push(std::span<const index_t> idx, value_t val);
+  void push(std::initializer_list<index_t> idx, value_t val) {
+    push(std::span<const index_t>(idx.begin(), idx.size()), val);
+  }
+
+  index_t index(order_t mode, nnz_t e) const { return idx_.at(mode)[e]; }
+  value_t value(nnz_t e) const { return vals_[e]; }
+  value_t& value(nnz_t e) { return vals_[e]; }
+
+  const std::vector<index_t>& mode_indices(order_t mode) const {
+    return idx_.at(mode);
+  }
+  const std::vector<value_t>& values() const noexcept { return vals_; }
+  std::vector<value_t>& values() noexcept { return vals_; }
+
+  /// Lexicographic sort with `mode` as the most-significant key and the
+  /// remaining modes following in increasing mode number. This is the
+  /// order every mode-n kernel and the segmenter assume.
+  void sort_by_mode(order_t mode);
+  bool is_sorted_by_mode(order_t mode) const;
+
+  /// Lexicographic sort with an arbitrary key order (`keys` must be a
+  /// permutation of the modes). SpTTM groups fibers this way.
+  void sort_by_key_order(std::span<const order_t> keys);
+
+  /// Sum values of duplicate coordinates; requires sort_by_mode(0) first.
+  /// Returns the number of duplicates removed.
+  nnz_t coalesce_duplicates();
+
+  /// CSR-style pointer over mode-`mode` slices: result[i]..result[i+1]
+  /// is the nnz range of slice i (result has dim(mode)+1 entries).
+  /// Requires is_sorted_by_mode(mode).
+  std::vector<nnz_t> slice_ptr(order_t mode) const;
+
+  /// Copy of the non-zero range [begin, end) — a ScalFrag segment.
+  CooTensor extract(nnz_t begin, nnz_t end) const;
+
+  /// Storage footprint of indices + values (what must cross PCIe).
+  std::size_t bytes() const noexcept {
+    return nnz() * (order() * sizeof(index_t) + sizeof(value_t));
+  }
+
+  /// nnz / Π dims (using double; overflow-safe for huge mode products).
+  double density() const noexcept;
+
+  /// Throws if any index is out of range for its mode.
+  void validate() const;
+
+ private:
+  template <typename Less>
+  void sort_with(Less&& less);
+
+  std::vector<index_t> dims_;
+  std::vector<std::vector<index_t>> idx_;  // [mode][entry]
+  std::vector<value_t> vals_;
+};
+
+}  // namespace scalfrag

@@ -1,0 +1,96 @@
+#include "tensor/csf.hpp"
+
+namespace scalfrag {
+
+CsfTensor CsfTensor::build(const CooTensor& coo, order_t mode) {
+  SF_CHECK(mode < coo.order(), "mode out of range");
+  const CooTensor* src = &coo;
+  CooTensor sorted;
+  if (!coo.is_sorted_by_mode(mode)) {
+    sorted = coo;
+    sorted.sort_by_mode(mode);
+    src = &sorted;
+  }
+
+  CsfTensor csf;
+  csf.dims_ = src->dims();
+  csf.mode_order_.push_back(mode);
+  for (order_t m = 0; m < src->order(); ++m) {
+    if (m != mode) csf.mode_order_.push_back(m);
+  }
+  const order_t order = src->order();
+  csf.fids_.resize(order);
+  csf.fptr_.resize(order > 0 ? order - 1 : 0);
+  csf.vals_ = src->values();
+
+  if (src->nnz() == 0) return csf;
+
+  // A node at level l is a maximal run of entries sharing the coordinate
+  // prefix (levels 0..l). Because the tensor is sorted in exactly this
+  // key order, runs are contiguous, and each level's nodes partition the
+  // previous level's runs.
+  const nnz_t n = src->nnz();
+  for (order_t l = 0; l < order; ++l) {
+    const order_t m = csf.mode_order_[l];
+    auto& fids = csf.fids_[l];
+    std::vector<nnz_t> starts;  // entry index where each node begins
+    for (nnz_t e = 0; e < n; ++e) {
+      bool is_new = (e == 0);
+      if (!is_new) {
+        // New node when any coordinate in levels 0..l changed.
+        for (order_t ll = 0; ll <= l; ++ll) {
+          const order_t mm = csf.mode_order_[ll];
+          if (src->index(mm, e) != src->index(mm, e - 1)) {
+            is_new = true;
+            break;
+          }
+        }
+      }
+      if (is_new) {
+        fids.push_back(src->index(m, e));
+        starts.push_back(e);
+      }
+    }
+    if (l > 0) {
+      // fptr for the parent level: parent p owns children whose start
+      // falls inside the parent's entry range.
+      auto& parent_fptr = csf.fptr_[l - 1];
+      parent_fptr.assign(csf.fids_[l - 1].size() + 1, 0);
+      // Recompute parent starts the same way to map entry→parent.
+      std::size_t p = 0;
+      std::vector<nnz_t> parent_starts;
+      for (nnz_t e = 0; e < n; ++e) {
+        bool is_new = (e == 0);
+        if (!is_new) {
+          for (order_t ll = 0; ll + 1 <= l; ++ll) {
+            const order_t mm = csf.mode_order_[ll];
+            if (src->index(mm, e) != src->index(mm, e - 1)) {
+              is_new = true;
+              break;
+            }
+          }
+        }
+        if (is_new) parent_starts.push_back(e);
+      }
+      for (nnz_t c = 0; c < starts.size(); ++c) {
+        while (p + 1 < parent_starts.size() && parent_starts[p + 1] <= starts[c]) {
+          ++p;
+        }
+        ++parent_fptr[p + 1];
+      }
+      for (std::size_t i = 1; i < parent_fptr.size(); ++i) {
+        parent_fptr[i] += parent_fptr[i - 1];
+      }
+    }
+  }
+  return csf;
+}
+
+std::size_t CsfTensor::bytes() const noexcept {
+  std::size_t b = vals_.size() * sizeof(value_t);
+  for (const auto& v : fids_) b += v.size() * sizeof(index_t);
+  for (const auto& v : fptr_) b += v.size() * sizeof(nnz_t);
+  return b;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,62 @@
+#pragma once
+// Compressed Sparse Fiber (CSF) — the tree-based format of Smith &
+// Karypis (IA3 '15), generalizing CSR to higher orders. ScalFrag itself
+// computes on COO segments, but the paper's Background (§II-D) and the
+// feature extractor both reason about slices/fibers, and the CPU side of
+// the hybrid executor walks CSF because the tree amortizes index reads.
+//
+// Level l of the tree corresponds to mode mode_order[l]; level 0 nodes
+// are slices, level order-2 nodes are fibers, and the leaf level stores
+// the non-zero values.
+
+#include <vector>
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag {
+
+class CsfTensor {
+ public:
+  /// Build from a COO tensor. `mode` becomes the root level; remaining
+  /// modes follow in increasing mode number (matching
+  /// CooTensor::sort_by_mode). The input is copied and sorted if needed.
+  static CsfTensor build(const CooTensor& coo, order_t mode);
+
+  order_t order() const noexcept {
+    return static_cast<order_t>(mode_order_.size());
+  }
+  /// mode_order()[l] = original tensor mode stored at tree level l.
+  const std::vector<order_t>& mode_order() const noexcept {
+    return mode_order_;
+  }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+  nnz_t nnz() const noexcept { return vals_.size(); }
+
+  /// Number of nodes at tree level l (level 0 = slices with ≥1 nnz).
+  nnz_t num_nodes(order_t level) const { return fids_.at(level).size(); }
+
+  /// Node index arrays: fids(l)[n] is the coordinate (in mode
+  /// mode_order()[l]) of node n at level l.
+  const std::vector<index_t>& fids(order_t level) const {
+    return fids_.at(level);
+  }
+  /// Child ranges: children of node n at level l are
+  /// [fptr(l)[n], fptr(l)[n+1]) at level l+1. Defined for l < order-1.
+  const std::vector<nnz_t>& fptr(order_t level) const {
+    return fptr_.at(level);
+  }
+  const std::vector<value_t>& values() const noexcept { return vals_; }
+
+  /// Total bytes of all level arrays + values (storage-compression
+  /// comparisons vs COO).
+  std::size_t bytes() const noexcept;
+
+ private:
+  std::vector<order_t> mode_order_;
+  std::vector<index_t> dims_;              // original tensor dims
+  std::vector<std::vector<index_t>> fids_;  // [level][node]
+  std::vector<std::vector<nnz_t>> fptr_;    // [level][node] (order-1 levels)
+  std::vector<value_t> vals_;
+};
+
+}  // namespace scalfrag

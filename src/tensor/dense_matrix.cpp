@@ -1,0 +1,17 @@
+#include "tensor/dense_matrix.hpp"
+
+#include <cmath>
+
+namespace scalfrag {
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  SF_CHECK(a.same_shape(b), "max_abs_diff requires equal shapes");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a.data_[i]) -
+                             static_cast<double>(b.data_[i])));
+  }
+  return m;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,65 @@
+#pragma once
+// Row-major dense matrix of value_t. This is the representation of CPD
+// factor matrices and MTTKRP outputs. Row-major is the natural layout
+// for MTTKRP: one non-zero touches one contiguous row per factor.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace scalfrag {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols, value_t fill = value_t{0})
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {}
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(value_t); }
+
+  value_t& operator()(index_t i, index_t j) noexcept {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  value_t operator()(index_t i, index_t j) const noexcept {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  value_t* row(index_t i) noexcept {
+    return data_.data() + static_cast<std::size_t>(i) * cols_;
+  }
+  const value_t* row(index_t i) const noexcept {
+    return data_.data() + static_cast<std::size_t>(i) * cols_;
+  }
+
+  value_t* data() noexcept { return data_.data(); }
+  const value_t* data() const noexcept { return data_.data(); }
+
+  void set_zero() noexcept { std::fill(data_.begin(), data_.end(), 0.0f); }
+  void fill(value_t v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Uniform [0,1) initialization — the standard CPD-ALS factor init.
+  void randomize(Rng& rng) {
+    for (auto& v : data_) v = rng.next_float();
+  }
+
+  bool same_shape(const DenseMatrix& o) const noexcept {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  /// Max absolute element-wise difference; shapes must match.
+  static double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<value_t> data_;
+};
+
+}  // namespace scalfrag

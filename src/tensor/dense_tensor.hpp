@@ -1,0 +1,67 @@
+#pragma once
+// Small dense N-way tensor — the Tucker core array. Row-major-style
+// layout with the last mode fastest; sized for cores (a few hundred
+// elements), not data tensors.
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace scalfrag {
+
+class DenseTensor {
+ public:
+  DenseTensor() = default;
+  explicit DenseTensor(std::vector<index_t> dims) : dims_(std::move(dims)) {
+    SF_CHECK(!dims_.empty() && dims_.size() <= kMaxOrder,
+             "order must be in [1, kMaxOrder]");
+    std::size_t n = 1;
+    for (index_t d : dims_) {
+      SF_CHECK(d > 0, "every mode size must be positive");
+      n *= d;
+    }
+    data_.assign(n, value_t{0});
+  }
+
+  order_t order() const noexcept {
+    return static_cast<order_t>(dims_.size());
+  }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  /// Linear offset of a coordinate (last mode fastest).
+  std::size_t offset(std::span<const index_t> coord) const {
+    SF_CHECK(coord.size() == dims_.size(), "coordinate arity");
+    std::size_t off = 0;
+    for (std::size_t m = 0; m < dims_.size(); ++m) {
+      SF_CHECK(coord[m] < dims_[m], "coordinate out of range");
+      off = off * dims_[m] + coord[m];
+    }
+    return off;
+  }
+
+  value_t& at(std::span<const index_t> coord) { return data_[offset(coord)]; }
+  value_t at(std::span<const index_t> coord) const {
+    return data_[offset(coord)];
+  }
+
+  value_t* data() noexcept { return data_.data(); }
+  const value_t* data() const noexcept { return data_.data(); }
+
+  double norm() const noexcept {
+    double s = 0.0;
+    for (value_t v : data_) {
+      s += static_cast<double>(v) * static_cast<double>(v);
+    }
+    return std::sqrt(s);
+  }
+
+ private:
+  std::vector<index_t> dims_;
+  std::vector<value_t> data_;
+};
+
+}  // namespace scalfrag

@@ -1,0 +1,109 @@
+#include "tensor/fcoo.hpp"
+
+namespace scalfrag {
+
+FcooTensor FcooTensor::build(const CooTensor& coo, order_t mode,
+                             nnz_t partition_size) {
+  SF_CHECK(mode < coo.order(), "mode out of range");
+  SF_CHECK(partition_size > 0, "partition size must be positive");
+
+  const CooTensor* src = &coo;
+  CooTensor sorted;
+  if (!coo.is_sorted_by_mode(mode)) {
+    sorted = coo;
+    sorted.sort_by_mode(mode);
+    src = &sorted;
+  }
+
+  FcooTensor f;
+  f.dims_ = src->dims();
+  f.mode_ = mode;
+  f.partition_size_ = partition_size;
+  for (order_t m = 0; m < src->order(); ++m) {
+    if (m != mode) f.idx_modes_.push_back(m);
+  }
+  f.idx_.resize(f.idx_modes_.size());
+
+  const nnz_t n = src->nnz();
+  f.vals_.reserve(n);
+  f.bf_.reserve(n);
+  for (auto& v : f.idx_) v.reserve(n);
+
+  for (nnz_t e = 0; e < n; ++e) {
+    const bool new_row =
+        e == 0 || src->index(mode, e) != src->index(mode, e - 1);
+    f.bf_.push_back(new_row);
+    if (new_row) f.out_rows_.push_back(src->index(mode, e));
+    for (std::size_t k = 0; k < f.idx_modes_.size(); ++k) {
+      f.idx_[k].push_back(src->index(f.idx_modes_[k], e));
+    }
+    f.vals_.push_back(src->value(e));
+  }
+
+  // Start flags: partition p continues the previous segment iff its
+  // first element does not carry a bit flag.
+  const nnz_t parts = n == 0 ? 0 : 1 + (n - 1) / partition_size;
+  f.sf_.reserve(parts);
+  for (nnz_t p = 0; p < parts; ++p) {
+    f.sf_.push_back(!f.bf_[p * partition_size]);
+  }
+  return f;
+}
+
+index_t FcooTensor::index(order_t m, nnz_t e) const {
+  for (std::size_t k = 0; k < idx_modes_.size(); ++k) {
+    if (idx_modes_[k] == m) return idx_[k][e];
+  }
+  throw Error("F-COO does not store the target mode's per-entry indices");
+}
+
+std::size_t FcooTensor::bytes() const noexcept {
+  std::size_t b = vals_.size() * sizeof(value_t);
+  for (const auto& v : idx_) b += v.size() * sizeof(index_t);
+  b += (bf_.size() + 7) / 8;  // bit-packed flags
+  b += (sf_.size() + 7) / 8;
+  b += out_rows_.size() * sizeof(index_t);
+  return b;
+}
+
+void FcooTensor::mttkrp(const FactorList& factors, DenseMatrix& out,
+                        bool accumulate) const {
+  SF_CHECK(factors.size() == order(), "one factor per mode");
+  const index_t rank = factors[0].cols();
+  SF_CHECK(out.rows() == dims_[mode_] && out.cols() == rank,
+           "output shape must be dims[mode] × F");
+  if (!accumulate) out.set_zero();
+  if (nnz() == 0) return;
+
+  // Partition-local segmented reduction: within a partition, partial
+  // products accumulate into `acc` and flush (a plain store/add, no
+  // atomic) whenever a bit flag opens a new segment. Partition-
+  // boundary segments combine across partitions via the start flags —
+  // here executed in partition order, which is exactly the cross-
+  // partition fix-up pass of the GPU algorithm.
+  std::vector<value_t> acc(rank, value_t{0});
+  std::vector<value_t> prod(rank);
+  nnz_t segment = static_cast<nnz_t>(-1);
+
+  for (nnz_t e = 0; e < nnz(); ++e) {
+    if (bf_[e]) {
+      if (segment != static_cast<nnz_t>(-1)) {
+        value_t* orow = out.row(out_rows_[segment]);
+        for (index_t f = 0; f < rank; ++f) orow[f] += acc[f];
+      }
+      ++segment;
+      std::fill(acc.begin(), acc.end(), value_t{0});
+    }
+    const value_t val = vals_[e];
+    for (index_t f = 0; f < rank; ++f) prod[f] = val;
+    for (std::size_t k = 0; k < idx_modes_.size(); ++k) {
+      const value_t* frow = factors[idx_modes_[k]].row(idx_[k][e]);
+      for (index_t f = 0; f < rank; ++f) prod[f] *= frow[f];
+    }
+    for (index_t f = 0; f < rank; ++f) acc[f] += prod[f];
+  }
+  value_t* orow = out.row(out_rows_[segment]);
+  for (index_t f = 0; f < rank; ++f) orow[f] += acc[f];
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,73 @@
+#pragma once
+// F-COO — Flagged COO (Liu, Wen, Sarwate & Dehnavi, CLUSTER '17), the
+// format the paper's Background (§II-D) credits with "flag arrays to
+// eliminate atomic operations".
+//
+// F-COO is *mode-specific*: for a mode-n MTTKRP it stores, per
+// non-zero, only the indices of the non-target modes plus two bit
+// flags:
+//   * bf ("bit-flag")     — set when the non-zero starts a new output
+//     row (a new mode-n index), so a segmented scan can reduce partial
+//     products without atomics;
+//   * sf ("start-flag")   — set on the first non-zero of each fixed-
+//     size partition, marking whether the partition begins a fresh
+//     segment (needed when partitions are processed in parallel).
+// The target-mode indices themselves compress into one entry per
+// segment (`out_rows`).
+
+#include <cstdint>
+
+#include "tensor/coo.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+class FcooTensor {
+ public:
+  /// Build the mode-`mode` F-COO image of `coo` (copied & sorted if
+  /// necessary). `partition_size` models the per-thread-unit chunk the
+  /// GPU kernel would own (must be positive).
+  static FcooTensor build(const CooTensor& coo, order_t mode,
+                          nnz_t partition_size = 256);
+
+  order_t order() const noexcept {
+    return static_cast<order_t>(dims_.size());
+  }
+  order_t mode() const noexcept { return mode_; }
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+  nnz_t nnz() const noexcept { return vals_.size(); }
+  nnz_t num_segments() const noexcept { return out_rows_.size(); }
+  nnz_t partition_size() const noexcept { return partition_size_; }
+
+  bool bit_flag(nnz_t e) const { return bf_[e]; }
+  /// True when partition p's first non-zero continues the previous
+  /// partition's segment (no fresh bf at its start).
+  bool start_flag(nnz_t p) const { return sf_[p]; }
+  index_t out_row(nnz_t segment) const { return out_rows_[segment]; }
+  value_t value(nnz_t e) const { return vals_[e]; }
+  index_t index(order_t m, nnz_t e) const;
+
+  /// Storage footprint: flags are bit-packed; the target mode's index
+  /// array is replaced by one index per segment.
+  std::size_t bytes() const noexcept;
+
+  /// Atomic-free MTTKRP via segmented reduction (partition-parallel
+  /// semantics executed sequentially): each partition reduces locally
+  /// and only partition-boundary rows are combined across partitions.
+  void mttkrp(const FactorList& factors, DenseMatrix& out,
+              bool accumulate = false) const;
+
+ private:
+  std::vector<index_t> dims_;
+  order_t mode_ = 0;
+  nnz_t partition_size_ = 0;
+  std::vector<std::vector<index_t>> idx_;  // non-target modes only
+  std::vector<order_t> idx_modes_;         // which mode idx_[k] stores
+  std::vector<value_t> vals_;
+  std::vector<bool> bf_;           // per non-zero
+  std::vector<bool> sf_;           // per partition
+  std::vector<index_t> out_rows_;  // per segment (bf-started run)
+};
+
+}  // namespace scalfrag

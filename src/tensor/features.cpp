@@ -1,0 +1,124 @@
+#include "tensor/features.hpp"
+
+#include <cmath>
+
+namespace scalfrag {
+
+namespace {
+double log2_1p(double v) { return std::log2(1.0 + v); }
+}  // namespace
+
+std::array<double, TensorFeatures::kVectorSize> TensorFeatures::to_vector()
+    const {
+  return {
+      static_cast<double>(order),
+      log2_1p(static_cast<double>(nnz)),
+      log2_1p(static_cast<double>(mode_dim)),
+      log2_1p(static_cast<double>(num_slices)),
+      log2_1p(static_cast<double>(num_fibers)),
+      slice_ratio,
+      fiber_ratio,
+      log2_1p(avg_nnz_per_slice),
+      log2_1p(static_cast<double>(max_nnz_per_slice)),
+      cv_nnz_per_slice,
+      log2_1p(avg_nnz_per_fiber),
+      density > 0 ? std::log10(density) : -20.0,
+  };
+}
+
+const std::array<const char*, TensorFeatures::kVectorSize>&
+TensorFeatures::names() {
+  static const std::array<const char*, kVectorSize> kNames = {
+      "order",
+      "log2_nnz",
+      "log2_modeDim",
+      "log2_numSlices",
+      "log2_numFibers",
+      "sliceRatio",
+      "fiberRatio",
+      "log2_avgNnzPerSlice",
+      "log2_maxNnzPerSlice",
+      "cvNnzPerSlice",
+      "log2_avgNnzPerFiber",
+      "log10_density",
+  };
+  return kNames;
+}
+
+TensorFeatures TensorFeatures::extract(const CooTensor& t, order_t mode) {
+  SF_CHECK(mode < t.order(), "mode out of range");
+  const CooTensor* src = &t;
+  CooTensor sorted;
+  if (!t.is_sorted_by_mode(mode)) {
+    sorted = t;
+    sorted.sort_by_mode(mode);
+    src = &sorted;
+  }
+
+  TensorFeatures f;
+  f.order = t.order();
+  f.mode = mode;
+  f.nnz = t.nnz();
+  f.mode_dim = t.dim(mode);
+  f.density = t.density();
+
+  if (t.nnz() == 0) return f;
+
+  // The mode following `mode` in the sort-key order (fiber definition).
+  order_t next_mode = mode;
+  for (order_t m = 0; m < t.order(); ++m) {
+    if (m != mode) {
+      next_mode = m;
+      break;
+    }
+  }
+
+  nnz_t slice_len = 0, fiber_len = 0;
+  double slice_sum = 0.0, slice_sq = 0.0;
+  auto close_slice = [&] {
+    f.max_nnz_per_slice = std::max(f.max_nnz_per_slice, slice_len);
+    slice_sum += static_cast<double>(slice_len);
+    slice_sq += static_cast<double>(slice_len) * static_cast<double>(slice_len);
+    slice_len = 0;
+  };
+  auto close_fiber = [&] {
+    f.max_nnz_per_fiber = std::max(f.max_nnz_per_fiber, fiber_len);
+    fiber_len = 0;
+  };
+
+  for (nnz_t e = 0; e < src->nnz(); ++e) {
+    const bool new_slice = e == 0 || src->index(mode, e) != src->index(mode, e - 1);
+    const bool new_fiber =
+        new_slice || (t.order() > 1 &&
+                      src->index(next_mode, e) != src->index(next_mode, e - 1));
+    if (new_slice) {
+      if (e != 0) close_slice();
+      ++f.num_slices;
+    }
+    if (new_fiber) {
+      if (e != 0) close_fiber();
+      ++f.num_fibers;
+    }
+    ++slice_len;
+    ++fiber_len;
+  }
+  close_slice();
+  close_fiber();
+
+  f.slice_ratio =
+      static_cast<double>(f.num_slices) / static_cast<double>(f.mode_dim);
+  f.fiber_ratio =
+      static_cast<double>(f.num_fibers) / static_cast<double>(f.nnz);
+  f.avg_nnz_per_slice =
+      static_cast<double>(f.nnz) / static_cast<double>(f.num_slices);
+  f.avg_nnz_per_fiber =
+      static_cast<double>(f.nnz) / static_cast<double>(f.num_fibers);
+
+  const double n = static_cast<double>(f.num_slices);
+  const double mean = slice_sum / n;
+  const double var = std::max(0.0, slice_sq / n - mean * mean);
+  f.cv_nnz_per_slice = mean > 0 ? std::sqrt(var) / mean : 0.0;
+  return f;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,57 @@
+#pragma once
+// Sparsity feature extraction (paper §IV-B). These are the inputs to the
+// adaptive-launch model: "tensor size (dimension and number of elements)
+// and sparsity (distribution and proportion of nonzero elements) ...
+// numSlices, numFibers, sliceRatio, fiberRatio, maxNnzPerSlice".
+//
+// Conventions (the paper does not pin these down):
+//  * a slice is a distinct mode-n index with ≥1 nnz;
+//  * a fiber is a distinct (mode-n index, first-following-mode index)
+//    pair — i.e. a level-1 CSF node;
+//  * sliceRatio = numSlices / dim(n)   (fill fraction of the mode);
+//  * fiberRatio = numFibers / nnz      (1.0 → every nnz its own fiber,
+//    small → long fibers with heavy factor-row reuse).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag {
+
+struct TensorFeatures {
+  order_t order = 0;
+  order_t mode = 0;
+  nnz_t nnz = 0;
+  index_t mode_dim = 0;
+
+  nnz_t num_slices = 0;
+  nnz_t num_fibers = 0;
+  double slice_ratio = 0.0;
+  double fiber_ratio = 0.0;
+
+  double avg_nnz_per_slice = 0.0;
+  nnz_t max_nnz_per_slice = 0;
+  double cv_nnz_per_slice = 0.0;  // coefficient of variation (imbalance)
+  double avg_nnz_per_fiber = 0.0;
+  nnz_t max_nnz_per_fiber = 0;
+
+  double density = 0.0;
+
+  /// Number of entries to_vector() produces (ML feature dimension).
+  static constexpr std::size_t kVectorSize = 12;
+
+  /// Flatten into the ML feature vector. Heavy-tailed quantities are
+  /// log-compressed so tree splits / SVR margins see usable scales.
+  std::array<double, kVectorSize> to_vector() const;
+
+  /// Names matching to_vector() positions (for debugging / dumps).
+  static const std::array<const char*, kVectorSize>& names();
+
+  /// Extract features for mode-`mode` MTTKRP. Sorts a copy internally if
+  /// the tensor is not already mode-sorted.
+  static TensorFeatures extract(const CooTensor& t, order_t mode);
+};
+
+}  // namespace scalfrag

@@ -1,0 +1,72 @@
+#pragma once
+// Synthetic sparse-tensor generation.
+//
+// The paper evaluates on ten FROSTT tensors (Table III). Those files are
+// multi-GB downloads; this repository instead ships generator *profiles*
+// that reproduce each tensor's order, mode-size ratios, and skewed
+// per-slice non-zero distribution at a configurable scale, so every
+// bench regenerates its workload deterministically in milliseconds.
+// Real .tns files can still be used via read_tns_file().
+//
+// Sampling model: coordinate i_m of each candidate non-zero is drawn as
+// floor(dim_m · u^skew_m) with u ~ U[0,1). skew = 1 gives a uniform
+// mode; skew > 1 concentrates mass near low indices, producing the
+// power-law slice-size histograms real FROSTT tensors exhibit (a few
+// enormous slices, a long tail of tiny ones). Duplicates are coalesced
+// and the generator tops up until the nnz target is met.
+
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag {
+
+struct GeneratorConfig {
+  std::vector<index_t> dims;
+  nnz_t nnz = 0;
+  /// Per-mode skew exponent (>= 1.0); empty means all-uniform.
+  std::vector<double> skew;
+  std::uint64_t seed = 42;
+};
+
+/// Generate a coalesced COO tensor, sorted by mode 0, with values in
+/// (0, 1]. If the nnz target exceeds 30% of the dense cell count it is
+/// clamped (keeping the tensor meaningfully sparse).
+CooTensor generate_coo(const GeneratorConfig& cfg);
+
+/// One Table III dataset: the paper's published census plus the recipe
+/// for a scaled synthetic stand-in.
+struct FrosttProfile {
+  std::string name;
+  std::vector<std::uint64_t> paper_dims;
+  nnz_t paper_nnz = 0;
+  std::vector<double> skew;
+
+  order_t order() const { return static_cast<order_t>(paper_dims.size()); }
+  double paper_density() const;
+
+  /// Scaled recipe: nnz shrinks by `scale`; mode sizes shrink linearly
+  /// with `scale` too (preserving the original's factor-bytes-to-
+  /// tensor-bytes transfer ratio, which the pipeline experiments are
+  /// sensitive to), except that dense profiles are re-grown to keep
+  /// density at or below 5%.
+  GeneratorConfig scaled(double scale, std::uint64_t seed = 42) const;
+};
+
+/// All ten Table III profiles, in the paper's row order.
+const std::vector<FrosttProfile>& frostt_profiles();
+
+/// Look up a profile by name ("vast", "nell-2", ..., "deli-4d").
+const FrosttProfile& frostt_profile(const std::string& name);
+
+/// Default bench scale: tensors land in the ~6K–280K nnz range and
+/// every reproduction binary finishes in seconds on one host core.
+inline constexpr double kDefaultScale = 1.0 / 512.0;
+
+/// Generate the scaled stand-in for a named profile.
+CooTensor make_frostt_tensor(const std::string& name,
+                             double scale = kDefaultScale,
+                             std::uint64_t seed = 42);
+
+}  // namespace scalfrag

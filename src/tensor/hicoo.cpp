@@ -1,0 +1,141 @@
+#include "tensor/hicoo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "common/math_util.hpp"
+
+namespace scalfrag {
+
+HicooTensor HicooTensor::build(const CooTensor& coo, index_t block_size) {
+  SF_CHECK(is_pow2(block_size) && block_size >= 2 && block_size <= 256,
+           "block_size must be a power of two in [2, 256]");
+
+  HicooTensor h;
+  h.dims_ = coo.dims();
+  h.block_size_ = block_size;
+  h.block_bits_ = 0;
+  for (index_t b = block_size; b > 1; b >>= 1) ++h.block_bits_;
+
+  const order_t order = coo.order();
+  const nnz_t n = coo.nnz();
+  h.binds_.resize(order);
+  h.einds_.resize(order);
+  for (auto& e : h.einds_) e.reserve(n);
+  h.vals_.reserve(n);
+  if (n == 0) {
+    h.bptr_.push_back(0);
+    return h;
+  }
+
+  // Sort entries by block coordinate (lexicographic across modes), then
+  // by in-block offset — grouping each block's elements contiguously.
+  std::vector<nnz_t> perm(n);
+  std::iota(perm.begin(), perm.end(), nnz_t{0});
+  const auto block_of = [&](order_t m, nnz_t e) {
+    return coo.index(m, e) >> h.block_bits_;
+  };
+  std::sort(perm.begin(), perm.end(), [&](nnz_t a, nnz_t b) {
+    for (order_t m = 0; m < order; ++m) {
+      const index_t ba = block_of(m, a);
+      const index_t bb = block_of(m, b);
+      if (ba != bb) return ba < bb;
+    }
+    for (order_t m = 0; m < order; ++m) {
+      if (coo.index(m, a) != coo.index(m, b)) {
+        return coo.index(m, a) < coo.index(m, b);
+      }
+    }
+    return false;
+  });
+
+  const index_t mask = block_size - 1;
+  for (nnz_t i = 0; i < n; ++i) {
+    const nnz_t e = perm[i];
+    bool new_block = i == 0;
+    if (!new_block) {
+      for (order_t m = 0; m < order; ++m) {
+        if (block_of(m, e) != block_of(m, perm[i - 1])) {
+          new_block = true;
+          break;
+        }
+      }
+    }
+    if (new_block) {
+      h.bptr_.push_back(i);
+      for (order_t m = 0; m < order; ++m) {
+        h.binds_[m].push_back(block_of(m, e));
+      }
+    }
+    for (order_t m = 0; m < order; ++m) {
+      h.einds_[m].push_back(
+          static_cast<std::uint8_t>(coo.index(m, e) & mask));
+    }
+    h.vals_.push_back(coo.value(e));
+  }
+  h.bptr_.push_back(n);
+  return h;
+}
+
+index_t HicooTensor::coordinate(order_t m, nnz_t e) const {
+  // Locate the block containing element e (bptr_ is sorted).
+  const auto it = std::upper_bound(bptr_.begin(), bptr_.end(), e);
+  const auto b = static_cast<nnz_t>(it - bptr_.begin()) - 1;
+  return block_base(m, b) + einds_[m][e];
+}
+
+CooTensor HicooTensor::to_coo() const {
+  CooTensor out(dims_);
+  out.reserve(nnz());
+  std::vector<index_t> coord(order());
+  for (nnz_t b = 0; b < num_blocks(); ++b) {
+    for (nnz_t e = bptr_[b]; e < bptr_[b + 1]; ++e) {
+      for (order_t m = 0; m < order(); ++m) {
+        coord[m] = block_base(m, b) + einds_[m][e];
+      }
+      out.push(std::span<const index_t>(coord.data(), coord.size()),
+               vals_[e]);
+    }
+  }
+  return out;
+}
+
+std::size_t HicooTensor::bytes() const noexcept {
+  std::size_t b = vals_.size() * sizeof(value_t);
+  b += bptr_.size() * sizeof(nnz_t);
+  for (const auto& v : binds_) b += v.size() * sizeof(index_t);
+  for (const auto& v : einds_) b += v.size() * sizeof(std::uint8_t);
+  return b;
+}
+
+void HicooTensor::mttkrp(const FactorList& factors, order_t mode,
+                         DenseMatrix& out, bool accumulate) const {
+  SF_CHECK(factors.size() == order(), "one factor per mode");
+  SF_CHECK(mode < order(), "mode out of range");
+  const index_t rank = factors[0].cols();
+  SF_CHECK(out.rows() == dims_[mode] && out.cols() == rank,
+           "output shape must be dims[mode] × F");
+  if (!accumulate) out.set_zero();
+
+  std::vector<value_t> row(rank);
+  for (nnz_t b = 0; b < num_blocks(); ++b) {
+    // Block bases are loop-invariant — the cache-friendliness HiCOO
+    // kernels exploit.
+    std::array<index_t, kMaxOrder> base{};
+    for (order_t m = 0; m < order(); ++m) base[m] = block_base(m, b);
+    for (nnz_t e = bptr_[b]; e < bptr_[b + 1]; ++e) {
+      const value_t val = vals_[e];
+      for (index_t f = 0; f < rank; ++f) row[f] = val;
+      for (order_t m = 0; m < order(); ++m) {
+        if (m == mode) continue;
+        const value_t* frow = factors[m].row(base[m] + einds_[m][e]);
+        for (index_t f = 0; f < rank; ++f) row[f] *= frow[f];
+      }
+      value_t* orow = out.row(base[mode] + einds_[mode][e]);
+      for (index_t f = 0; f < rank; ++f) orow[f] += row[f];
+    }
+  }
+}
+
+}  // namespace scalfrag

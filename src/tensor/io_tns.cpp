@@ -1,0 +1,88 @@
+#include "tensor/io_tns.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace scalfrag {
+
+CooTensor read_tns(std::istream& in, const std::vector<index_t>& dims_hint) {
+  std::vector<std::vector<index_t>> idx;
+  std::vector<value_t> vals;
+  std::size_t order = dims_hint.size();
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::vector<double> tokens;
+    double v;
+    while (ls >> v) tokens.push_back(v);
+    if (tokens.empty()) continue;
+
+    if (order == 0) {
+      SF_CHECK(tokens.size() >= 2,
+               "line " + std::to_string(lineno) + ": need indices + value");
+      order = tokens.size() - 1;
+    }
+    SF_CHECK(tokens.size() == order + 1,
+             "line " + std::to_string(lineno) + ": expected " +
+                 std::to_string(order + 1) + " fields");
+    if (idx.empty()) idx.resize(order);
+    for (std::size_t m = 0; m < order; ++m) {
+      const double raw = tokens[m];
+      SF_CHECK(raw >= 1.0 && raw == static_cast<double>(
+                                        static_cast<std::uint64_t>(raw)),
+               "line " + std::to_string(lineno) +
+                   ": indices must be positive integers (1-based)");
+      idx[m].push_back(static_cast<index_t>(raw - 1.0));
+    }
+    vals.push_back(static_cast<value_t>(tokens[order]));
+  }
+  SF_CHECK(order > 0, "empty .tns input");
+
+  std::vector<index_t> dims = dims_hint;
+  if (dims.empty()) {
+    dims.assign(order, 1);
+    for (std::size_t m = 0; m < order; ++m) {
+      for (index_t i : idx[m]) dims[m] = std::max(dims[m], i + 1);
+    }
+  }
+  CooTensor t(dims);
+  t.reserve(vals.size());
+  std::vector<index_t> coord(order);
+  for (std::size_t e = 0; e < vals.size(); ++e) {
+    for (std::size_t m = 0; m < order; ++m) coord[m] = idx[m][e];
+    t.push(std::span<const index_t>(coord.data(), order), vals[e]);
+  }
+  return t;
+}
+
+CooTensor read_tns_file(const std::string& path,
+                        const std::vector<index_t>& dims_hint) {
+  std::ifstream in(path);
+  SF_CHECK(in.good(), "cannot open " + path);
+  return read_tns(in, dims_hint);
+}
+
+void write_tns(std::ostream& out, const CooTensor& t) {
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    for (order_t m = 0; m < t.order(); ++m) {
+      out << (t.index(m, e) + 1) << ' ';
+    }
+    out << t.value(e) << '\n';
+  }
+}
+
+void write_tns_file(const std::string& path, const CooTensor& t) {
+  std::ofstream out(path);
+  SF_CHECK(out.good(), "cannot open " + path + " for writing");
+  write_tns(out, t);
+  SF_CHECK(out.good(), "write failure on " + path);
+}
+
+}  // namespace scalfrag

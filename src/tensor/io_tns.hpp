@@ -1,0 +1,30 @@
+#pragma once
+// FROSTT `.tns` text format I/O.
+//
+// Each non-comment line is `i_1 i_2 ... i_N value` with 1-based indices;
+// `#` starts a comment. This is the format the paper's datasets ship in
+// (frostt.io), so real tensors can be dropped into any bench or example
+// in place of the synthetic profiles.
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag {
+
+/// Parse a .tns stream. Mode sizes are the max index seen per mode
+/// unless `dims_hint` is non-empty (then indices are validated against
+/// it). Throws scalfrag::Error on malformed input.
+CooTensor read_tns(std::istream& in,
+                   const std::vector<index_t>& dims_hint = {});
+
+/// Convenience: open and parse a file.
+CooTensor read_tns_file(const std::string& path,
+                        const std::vector<index_t>& dims_hint = {});
+
+/// Write in .tns format (1-based indices, `%g` values).
+void write_tns(std::ostream& out, const CooTensor& t);
+void write_tns_file(const std::string& path, const CooTensor& t);
+
+}  // namespace scalfrag

@@ -1,0 +1,234 @@
+#include "tensor/linalg.hpp"
+
+#include <cmath>
+
+namespace scalfrag::linalg {
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  SF_CHECK(a.cols() == b.rows(), "matmul shape mismatch");
+  DenseMatrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const value_t* arow = a.row(i);
+    value_t* crow = c.row(i);
+    for (index_t k = 0; k < a.cols(); ++k) {
+      const double av = arow[k];
+      if (av == 0.0) continue;
+      const value_t* brow = b.row(k);
+      for (index_t j = 0; j < b.cols(); ++j) {
+        crow[j] = static_cast<value_t>(crow[j] + av * brow[j]);
+      }
+    }
+  }
+  return c;
+}
+
+DenseMatrix matmul_tn(const DenseMatrix& a, const DenseMatrix& b) {
+  SF_CHECK(a.rows() == b.rows(), "matmul_tn shape mismatch");
+  DenseMatrix c(a.cols(), b.cols());
+  // Accumulate in double then store; k is the shared (long) dimension.
+  std::vector<double> acc(static_cast<std::size_t>(a.cols()) * b.cols(), 0.0);
+  for (index_t k = 0; k < a.rows(); ++k) {
+    const value_t* arow = a.row(k);
+    const value_t* brow = b.row(k);
+    for (index_t i = 0; i < a.cols(); ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* arow_acc = acc.data() + static_cast<std::size_t>(i) * b.cols();
+      for (index_t j = 0; j < b.cols(); ++j) {
+        arow_acc[j] += av * brow[j];
+      }
+    }
+  }
+  for (index_t i = 0; i < c.rows(); ++i) {
+    for (index_t j = 0; j < c.cols(); ++j) {
+      c(i, j) = static_cast<value_t>(
+          acc[static_cast<std::size_t>(i) * c.cols() + j]);
+    }
+  }
+  return c;
+}
+
+DenseMatrix gram(const DenseMatrix& a) { return matmul_tn(a, a); }
+
+void hadamard_inplace(DenseMatrix& a, const DenseMatrix& b) {
+  SF_CHECK(a.same_shape(b), "hadamard shape mismatch");
+  value_t* pa = a.data();
+  const value_t* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) pa[i] *= pb[i];
+}
+
+DenseMatrix transpose(const DenseMatrix& a) {
+  DenseMatrix t(a.cols(), a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+std::vector<double> jacobi_eigen_symmetric(const DenseMatrix& m,
+                                           DenseMatrix& vectors,
+                                           int max_sweeps) {
+  SF_CHECK(m.rows() == m.cols(), "eigendecomposition needs a square matrix");
+  const index_t n = m.rows();
+  // Work in double throughout.
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i) * n + j] =
+          0.5 * (static_cast<double>(m(i, j)) + static_cast<double>(m(j, i)));
+    }
+  }
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+  for (index_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i) * n + i] = 1.0;
+
+  auto A = [&](index_t i, index_t j) -> double& {
+    return a[static_cast<std::size_t>(i) * n + j];
+  };
+  auto V = [&](index_t i, index_t j) -> double& {
+    return v[static_cast<std::size_t>(i) * n + j];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i + 1; j < n; ++j) off += A(i, j) * A(i, j);
+    }
+    if (off < 1e-24) break;
+    for (index_t p = 0; p < n; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = A(p, p);
+        const double aqq = A(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (index_t k = 0; k < n; ++k) {
+          const double akp = A(k, p);
+          const double akq = A(k, q);
+          A(k, p) = c * akp - s * akq;
+          A(k, q) = s * akp + c * akq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double apk = A(p, k);
+          const double aqk = A(q, k);
+          A(p, k) = c * apk - s * aqk;
+          A(q, k) = s * apk + c * aqk;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double vkp = V(k, p);
+          const double vkq = V(k, q);
+          V(k, p) = c * vkp - s * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  vectors = DenseMatrix(n, n);
+  std::vector<double> eigvals(n);
+  for (index_t i = 0; i < n; ++i) {
+    eigvals[i] = A(i, i);
+    for (index_t j = 0; j < n; ++j) {
+      vectors(i, j) = static_cast<value_t>(V(i, j));
+    }
+  }
+  return eigvals;
+}
+
+DenseMatrix pinv_spd(const DenseMatrix& m, double rel_tol) {
+  DenseMatrix vec;
+  std::vector<double> w = jacobi_eigen_symmetric(m, vec);
+  const index_t n = m.rows();
+  double wmax = 0.0;
+  for (double x : w) wmax = std::max(wmax, std::abs(x));
+  const double cutoff = wmax * rel_tol;
+
+  // pinv = V diag(1/w) Vᵀ with small eigenvalues dropped.
+  DenseMatrix out(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (index_t k = 0; k < n; ++k) {
+        if (std::abs(w[k]) <= cutoff) continue;
+        s += static_cast<double>(vec(i, k)) * static_cast<double>(vec(j, k)) /
+             w[k];
+      }
+      out(i, j) = static_cast<value_t>(s);
+    }
+  }
+  return out;
+}
+
+double frobenius_norm(const DenseMatrix& a) {
+  double s = 0.0;
+  const value_t* p = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  }
+  return std::sqrt(s);
+}
+
+double max_abs(const DenseMatrix& a) {
+  double s = 0.0;
+  const value_t* p = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s = std::max(s, std::abs(static_cast<double>(p[i])));
+  }
+  return s;
+}
+
+void gram_schmidt(DenseMatrix& a, std::uint64_t rescue_seed) {
+  SF_CHECK(a.rows() >= a.cols(), "need rows >= cols to orthonormalize");
+  Rng rng(rescue_seed);
+  const index_t n = a.rows();
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      // Project out the previous basis vectors (twice is enough).
+      for (int pass = 0; pass < 2; ++pass) {
+        for (index_t k = 0; k < j; ++k) {
+          double dot = 0.0;
+          for (index_t i = 0; i < n; ++i) {
+            dot += static_cast<double>(a(i, j)) * a(i, k);
+          }
+          for (index_t i = 0; i < n; ++i) {
+            a(i, j) = static_cast<value_t>(a(i, j) - dot * a(i, k));
+          }
+        }
+      }
+      double norm = 0.0;
+      for (index_t i = 0; i < n; ++i) {
+        norm += static_cast<double>(a(i, j)) * a(i, j);
+      }
+      norm = std::sqrt(norm);
+      if (norm > 1e-6) {
+        for (index_t i = 0; i < n; ++i) {
+          a(i, j) = static_cast<value_t>(a(i, j) / norm);
+        }
+        break;
+      }
+      // Dependent column: rescue with a random draw and retry.
+      for (index_t i = 0; i < n; ++i) {
+        a(i, j) = static_cast<value_t>(rng.normal());
+      }
+    }
+  }
+}
+
+std::vector<double> column_norms(const DenseMatrix& a) {
+  std::vector<double> norms(a.cols(), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const value_t* row = a.row(i);
+    for (index_t j = 0; j < a.cols(); ++j) {
+      norms[j] += static_cast<double>(row[j]) * static_cast<double>(row[j]);
+    }
+  }
+  for (auto& x : norms) x = std::sqrt(x);
+  return norms;
+}
+
+}  // namespace scalfrag::linalg

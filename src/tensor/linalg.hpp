@@ -1,0 +1,54 @@
+#pragma once
+// Dense linear algebra needed by CPD-ALS: products, Gram matrices,
+// Hadamard products, and the Moore–Penrose pseudo-inverse of the small
+// F×F normal-equations matrix. Accumulation is in double even though
+// storage is float — the F×F solves are tiny, so the extra precision is
+// free and keeps ALS stable.
+
+#include "tensor/dense_matrix.hpp"
+
+namespace scalfrag::linalg {
+
+/// C = A * B. Shapes: (m×k) * (k×n) = (m×n).
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = Aᵀ * B. Shapes: (k×m)ᵀ * (k×n) = (m×n).
+DenseMatrix matmul_tn(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Gram matrix AᵀA (m×m for an n×m input). Symmetric by construction.
+DenseMatrix gram(const DenseMatrix& a);
+
+/// a := a ∘ b (element-wise / Hadamard product).
+void hadamard_inplace(DenseMatrix& a, const DenseMatrix& b);
+
+/// Transposed copy.
+DenseMatrix transpose(const DenseMatrix& a);
+
+/// Moore–Penrose pseudo-inverse of a symmetric PSD matrix (the CPD
+/// normal-equations matrix V = ∘ of Grams). Uses cyclic Jacobi
+/// eigendecomposition; eigenvalues below rel_tol·λmax are treated as 0.
+DenseMatrix pinv_spd(const DenseMatrix& m, double rel_tol = 1e-6);
+
+/// Jacobi eigendecomposition of a symmetric matrix.
+/// Returns eigenvalues (ascending? no — unsorted) and fills `vectors`
+/// with eigenvectors in columns: m = V diag(w) Vᵀ.
+std::vector<double> jacobi_eigen_symmetric(const DenseMatrix& m,
+                                           DenseMatrix& vectors,
+                                           int max_sweeps = 64);
+
+/// Frobenius norm.
+double frobenius_norm(const DenseMatrix& a);
+
+/// Max |a(i,j)| over all entries.
+double max_abs(const DenseMatrix& a);
+
+/// Column-wise 2-norms; used to normalize CPD factors into lambdas.
+std::vector<double> column_norms(const DenseMatrix& a);
+
+/// In-place modified Gram–Schmidt: orthonormalize the columns of `a`
+/// (rows ≥ cols required). Columns that become numerically dependent
+/// are replaced with pseudo-random vectors re-orthogonalized against
+/// the basis, so the result always has full column rank.
+void gram_schmidt(DenseMatrix& a, std::uint64_t rescue_seed = 99);
+
+}  // namespace scalfrag::linalg

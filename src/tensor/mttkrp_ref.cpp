@@ -1,0 +1,132 @@
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+index_t check_factors(const CooTensor& t, const FactorList& factors) {
+  SF_CHECK(factors.size() == t.order(),
+           "need exactly one factor matrix per mode");
+  const index_t rank = factors.empty() ? 0 : factors[0].cols();
+  SF_CHECK(rank > 0, "factor rank must be positive");
+  for (order_t m = 0; m < t.order(); ++m) {
+    SF_CHECK(factors[m].rows() == t.dim(m),
+             "factor row count must equal the mode size");
+    SF_CHECK(factors[m].cols() == rank, "all factors must share rank F");
+  }
+  return rank;
+}
+
+void mttkrp_coo_ref(const CooTensor& t, const FactorList& factors,
+                    order_t mode, DenseMatrix& out, bool accumulate) {
+  const index_t rank = check_factors(t, factors);
+  SF_CHECK(mode < t.order(), "mode out of range");
+  SF_CHECK(out.rows() == t.dim(mode) && out.cols() == rank,
+           "output shape must be dims[mode] × F");
+  if (!accumulate) out.set_zero();
+
+  std::vector<value_t> row(rank);
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    const value_t val = t.value(e);
+    for (index_t f = 0; f < rank; ++f) row[f] = val;
+    for (order_t m = 0; m < t.order(); ++m) {
+      if (m == mode) continue;
+      const value_t* frow = factors[m].row(t.index(m, e));
+      for (index_t f = 0; f < rank; ++f) row[f] *= frow[f];
+    }
+    value_t* orow = out.row(t.index(mode, e));
+    for (index_t f = 0; f < rank; ++f) orow[f] += row[f];
+  }
+}
+
+DenseMatrix mttkrp_coo_ref(const CooTensor& t, const FactorList& factors,
+                           order_t mode) {
+  DenseMatrix out(t.dim(mode), factors.at(0).cols());
+  mttkrp_coo_ref(t, factors, mode, out);
+  return out;
+}
+
+namespace {
+
+/// Accumulate the subtree rooted at node range [begin, end) of `level`
+/// into `acc` (rank-length). Each node multiplies its children's sum by
+/// its own factor row.
+void csf_subtree(const CsfTensor& t, const FactorList& factors,
+                 order_t level, nnz_t node, index_t rank, value_t* acc,
+                 std::vector<std::vector<value_t>>& scratch) {
+  const order_t leaf = static_cast<order_t>(t.order() - 1);
+  const order_t m = t.mode_order()[level];
+  if (level == leaf) {
+    const value_t* frow = factors[m].row(t.fids(level)[node]);
+    const value_t val = t.values()[node];
+    for (index_t f = 0; f < rank; ++f) acc[f] += val * frow[f];
+    return;
+  }
+  value_t* child_acc = scratch[level].data();
+  const nnz_t cb = t.fptr(level)[node];
+  const nnz_t ce = t.fptr(level)[node + 1];
+  for (nnz_t c = cb; c < ce; ++c) {
+    std::fill(child_acc, child_acc + rank, value_t{0});
+    csf_subtree(t, factors, static_cast<order_t>(level + 1), c, rank,
+                child_acc, scratch);
+    const order_t cm = t.mode_order()[level + 1];
+    // Only multiply by the child's factor row when the child is an
+    // internal node; leaf nodes already folded their factor in.
+    if (level + 1 == leaf) {
+      for (index_t f = 0; f < rank; ++f) acc[f] += child_acc[f];
+    } else {
+      const value_t* frow = factors[cm].row(t.fids(level + 1)[c]);
+      for (index_t f = 0; f < rank; ++f) acc[f] += child_acc[f] * frow[f];
+    }
+  }
+}
+
+}  // namespace
+
+void mttkrp_csf(const CsfTensor& t, const FactorList& factors,
+                DenseMatrix& out, bool accumulate) {
+  SF_CHECK(factors.size() == t.order(), "one factor per mode");
+  const index_t rank = factors[0].cols();
+  const order_t root_mode = t.mode_order()[0];
+  SF_CHECK(out.rows() == t.dims()[root_mode] && out.cols() == rank,
+           "output shape must be dims[root] × F");
+  if (!accumulate) out.set_zero();
+  if (t.nnz() == 0) return;
+
+  std::vector<std::vector<value_t>> scratch(t.order());
+  for (auto& s : scratch) s.resize(rank);
+
+  std::vector<value_t> acc(rank);
+  const nnz_t slices = t.num_nodes(0);
+  for (nnz_t s = 0; s < slices; ++s) {
+    std::fill(acc.begin(), acc.end(), value_t{0});
+    if (t.order() == 1) {
+      // Degenerate: MTTKRP of a vector is the vector itself.
+      const value_t val = t.values()[s];
+      for (index_t f = 0; f < rank; ++f) acc[f] += val;
+    } else {
+      const nnz_t cb = t.fptr(0)[s];
+      const nnz_t ce = t.fptr(0)[s + 1];
+      const order_t leaf = static_cast<order_t>(t.order() - 1);
+      for (nnz_t c = cb; c < ce; ++c) {
+        auto& child_acc = scratch[0];
+        std::fill(child_acc.begin(), child_acc.end(), value_t{0});
+        csf_subtree(t, factors, 1, c, rank, child_acc.data(), scratch);
+        if (1 == leaf) {
+          for (index_t f = 0; f < rank; ++f) acc[f] += child_acc[f];
+        } else {
+          const order_t cm = t.mode_order()[1];
+          const value_t* frow = factors[cm].row(t.fids(1)[c]);
+          for (index_t f = 0; f < rank; ++f) acc[f] += child_acc[f] * frow[f];
+        }
+      }
+    }
+    value_t* orow = out.row(t.fids(0)[s]);
+    for (index_t f = 0; f < rank; ++f) orow[f] += acc[f];
+  }
+}
+
+std::uint64_t mttkrp_flops(const CooTensor& t, index_t rank) {
+  return static_cast<std::uint64_t>(t.nnz()) * 2ull * rank *
+         (t.order() > 1 ? t.order() - 1 : 1);
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,44 @@
+#pragma once
+// Reference MTTKRP implementations. These define correctness for every
+// other backend in the repository (ParTI-style simulated kernel,
+// ScalFrag's tiled kernel, the hybrid CPU path): all of them must agree
+// with mttkrp_coo_ref to float tolerance.
+//
+// Mode-n MTTKRP (Eq. 4 of the paper):
+//   M(i_n, f) = Σ_{x ∈ nnz}  val(x) · Π_{m ≠ n} A⁽ᵐ⁾(i_m(x), f)
+
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/csf.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace scalfrag {
+
+/// Factor matrices, one per mode; factors[m] has shape dims[m] × F.
+using FactorList = std::vector<DenseMatrix>;
+
+/// Validate that `factors` matches the tensor's shape and share rank F.
+/// Returns the common rank F.
+index_t check_factors(const CooTensor& t, const FactorList& factors);
+
+/// Naive sequential COO MTTKRP into `out` (must be dims[mode] × F; it is
+/// zeroed first unless `accumulate` is true).
+void mttkrp_coo_ref(const CooTensor& t, const FactorList& factors,
+                    order_t mode, DenseMatrix& out, bool accumulate = false);
+
+/// Convenience wrapper allocating the output.
+DenseMatrix mttkrp_coo_ref(const CooTensor& t, const FactorList& factors,
+                           order_t mode);
+
+/// CSF MTTKRP for the CSF's root mode. Exploits fiber/slice reuse: each
+/// level's factor row is applied once per node instead of once per nnz.
+void mttkrp_csf(const CsfTensor& t, const FactorList& factors,
+                DenseMatrix& out, bool accumulate = false);
+
+/// Flop count of one mode-n MTTKRP: each nnz does (order-1) fused
+/// multiply-accumulate passes over F columns → 2·F·(order-1) flops per
+/// nnz (the convention ParTI and the paper's GFlops plots use).
+std::uint64_t mttkrp_flops(const CooTensor& t, index_t rank);
+
+}  // namespace scalfrag

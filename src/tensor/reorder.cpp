@@ -1,0 +1,89 @@
+#include "tensor/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scalfrag {
+
+std::vector<index_t> slice_order_by_nnz(const CooTensor& t, order_t mode) {
+  SF_CHECK(mode < t.order(), "mode out of range");
+  std::vector<nnz_t> counts(t.dim(mode), 0);
+  for (nnz_t e = 0; e < t.nnz(); ++e) ++counts[t.index(mode, e)];
+
+  std::vector<index_t> perm(t.dim(mode));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+    return counts[a] > counts[b];
+  });
+  return perm;
+}
+
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm) {
+  std::vector<index_t> inv(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    SF_CHECK(perm[i] < perm.size() && !seen[perm[i]],
+             "perm must be a bijection");
+    seen[perm[i]] = true;
+    inv[perm[i]] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+CooTensor relabel_mode(const CooTensor& t, order_t mode,
+                       const std::vector<index_t>& perm) {
+  SF_CHECK(mode < t.order(), "mode out of range");
+  SF_CHECK(perm.size() == t.dim(mode), "perm size must equal mode size");
+  const std::vector<index_t> inv = invert_permutation(perm);
+
+  CooTensor out(t.dims());
+  out.reserve(t.nnz());
+  std::vector<index_t> coord(t.order());
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    for (order_t m = 0; m < t.order(); ++m) coord[m] = t.index(m, e);
+    coord[mode] = inv[coord[mode]];
+    out.push(std::span<const index_t>(coord.data(), coord.size()),
+             t.value(e));
+  }
+  out.sort_by_mode(mode);
+  return out;
+}
+
+DenseMatrix permute_rows(const DenseMatrix& m,
+                         const std::vector<index_t>& perm) {
+  SF_CHECK(perm.size() == m.rows(), "perm size must equal row count");
+  DenseMatrix out(m.rows(), m.cols());
+  for (index_t i = 0; i < m.rows(); ++i) {
+    SF_CHECK(perm[i] < m.rows(), "perm entry out of range");
+    const value_t* src = m.row(perm[i]);
+    value_t* dst = out.row(i);
+    std::copy(src, src + m.cols(), dst);
+  }
+  return out;
+}
+
+double chunked_imbalance(const CooTensor& t, order_t mode, index_t chunk) {
+  SF_CHECK(chunk > 0, "chunk must be positive");
+  SF_CHECK(t.is_sorted_by_mode(mode), "imbalance needs mode-sorted input");
+  if (t.nnz() == 0) return 1.0;
+
+  std::vector<nnz_t> counts(t.dim(mode), 0);
+  for (nnz_t e = 0; e < t.nnz(); ++e) ++counts[t.index(mode, e)];
+
+  nnz_t max_group = 0;
+  nnz_t groups = 0;
+  for (index_t base = 0; base < t.dim(mode); base += chunk) {
+    nnz_t group = 0;
+    for (index_t i = base; i < std::min<index_t>(base + chunk, t.dim(mode));
+         ++i) {
+      group += counts[i];
+    }
+    max_group = std::max(max_group, group);
+    ++groups;
+  }
+  const double mean =
+      static_cast<double>(t.nnz()) / static_cast<double>(groups);
+  return mean > 0 ? static_cast<double>(max_group) / mean : 1.0;
+}
+
+}  // namespace scalfrag

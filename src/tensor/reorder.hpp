@@ -1,0 +1,43 @@
+#pragma once
+// Slice reordering for load balance — the optimization family BCSF
+// (Nisa et al., IPDPS '19, paper §II-D: "mainly optimize the load
+// imbalance issue of CSF") applies before kernel launch.
+//
+// Sorting mode-n slices by descending non-zero count makes the heavy
+// slices contiguous, which (a) lets the segmenter pack them evenly and
+// (b) groups similar-length slices into the same thread blocks,
+// shrinking warp divergence. Relabeling is a bijection on the mode's
+// index space; callers must permute the corresponding factor matrix /
+// output rows with the same permutation to preserve semantics.
+
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace scalfrag {
+
+/// Permutation `perm` with perm[new_index] = old_index, ordering
+/// mode-`mode` slices by descending nnz (empty slices last, ties by
+/// original index for determinism).
+std::vector<index_t> slice_order_by_nnz(const CooTensor& t, order_t mode);
+
+/// Relabel mode-`mode` indices: entry with old index perm[i] gets new
+/// index i. Returns the relabeled tensor sorted by `mode`.
+CooTensor relabel_mode(const CooTensor& t, order_t mode,
+                       const std::vector<index_t>& perm);
+
+/// Apply the same relabeling to a row-indexed matrix (factor/output):
+/// out.row(i) = in.row(perm[i]).
+DenseMatrix permute_rows(const DenseMatrix& m,
+                         const std::vector<index_t>& perm);
+
+/// Inverse permutation (perm must be a bijection on [0, n)).
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm);
+
+/// Load-imbalance metric after blocking slices into `chunk` groups:
+/// max-group-nnz / mean-group-nnz over consecutive chunks of `chunk`
+/// slices (1.0 = perfectly balanced). Requires mode-sorted input.
+double chunked_imbalance(const CooTensor& t, order_t mode, index_t chunk);
+
+}  // namespace scalfrag

@@ -1,0 +1,115 @@
+#include "tensor/spttm.hpp"
+
+#include <algorithm>
+
+namespace scalfrag {
+
+std::size_t SemiSparseTensor::bytes() const noexcept {
+  std::size_t b = values.bytes();
+  for (const auto& v : fiber_coords) b += v.size() * sizeof(index_t);
+  return b;
+}
+
+value_t SemiSparseTensor::at(std::span<const index_t> coord) const {
+  SF_CHECK(coord.size() == kept_modes.size() + 1, "coordinate arity");
+  const index_t r = coord[mode];
+  SF_CHECK(r < values.cols(), "rank coordinate out of range");
+
+  // Fibers are sorted lexicographically in kept-mode order; binary
+  // search for the fiber matching coord's retained coordinates.
+  const auto key_less = [&](nnz_t f, std::span<const index_t> c) {
+    for (std::size_t k = 0; k < kept_modes.size(); ++k) {
+      const index_t fv = fiber_coords[k][f];
+      const index_t cv = c[kept_modes[k]];
+      if (fv != cv) return fv < cv;
+    }
+    return false;
+  };
+  nnz_t lo = 0, hi = num_fibers();
+  while (lo < hi) {
+    const nnz_t mid = lo + (hi - lo) / 2;
+    if (key_less(mid, coord)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == num_fibers()) return value_t{0};
+  for (std::size_t k = 0; k < kept_modes.size(); ++k) {
+    if (fiber_coords[k][lo] != coord[kept_modes[k]]) return value_t{0};
+  }
+  return values(static_cast<index_t>(lo), r);
+}
+
+SemiSparseTensor spttm(const CooTensor& x, const DenseMatrix& u,
+                       order_t mode) {
+  SF_CHECK(mode < x.order(), "mode out of range");
+  SF_CHECK(u.rows() == x.dim(mode), "U row count must match mode size");
+  const index_t rank = u.cols();
+  SF_CHECK(rank > 0, "U must have at least one column");
+
+  // Sort so each mode-`mode` fiber (fixed non-mode coordinates) is a
+  // contiguous run: non-mode keys first, `mode` last.
+  CooTensor t = x;
+  std::vector<order_t> keys;
+  for (order_t m = 0; m < x.order(); ++m) {
+    if (m != mode) keys.push_back(m);
+  }
+  keys.push_back(mode);
+  t.sort_by_key_order(keys);
+
+  SemiSparseTensor out;
+  out.dims = x.dims();
+  out.dims[mode] = rank;
+  out.mode = mode;
+  out.kept_modes.assign(keys.begin(), keys.end() - 1);
+  out.fiber_coords.resize(out.kept_modes.size());
+
+  // First pass: count fibers.
+  nnz_t fibers = 0;
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    bool new_fiber = e == 0;
+    if (!new_fiber) {
+      for (order_t m : out.kept_modes) {
+        if (t.index(m, e) != t.index(m, e - 1)) {
+          new_fiber = true;
+          break;
+        }
+      }
+    }
+    fibers += new_fiber;
+  }
+  out.values = DenseMatrix(static_cast<index_t>(fibers), rank);
+  for (auto& v : out.fiber_coords) v.reserve(fibers);
+
+  // Second pass: accumulate Y(fiber, :) += val · U(i_mode, :).
+  nnz_t fiber = 0;
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    bool new_fiber = e == 0;
+    if (!new_fiber) {
+      for (order_t m : out.kept_modes) {
+        if (t.index(m, e) != t.index(m, e - 1)) {
+          new_fiber = true;
+          break;
+        }
+      }
+    }
+    if (new_fiber) {
+      if (e != 0) ++fiber;
+      for (std::size_t k = 0; k < out.kept_modes.size(); ++k) {
+        out.fiber_coords[k].push_back(t.index(out.kept_modes[k], e));
+      }
+    }
+    const value_t val = t.value(e);
+    const value_t* urow = u.row(t.index(mode, e));
+    value_t* yrow = out.values.row(static_cast<index_t>(fiber));
+    for (index_t r = 0; r < rank; ++r) yrow[r] += val * urow[r];
+  }
+  return out;
+}
+
+std::uint64_t spttm_flops(const CooTensor& x, index_t rank) {
+  return static_cast<std::uint64_t>(x.nnz()) * 2ull * rank;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,45 @@
+#pragma once
+// SpTTM — sparse tensor-times-matrix, the other core ParTI kernel the
+// paper names (§V-A3: "ParTI supports a variety of tensor operations,
+// including arithmetic operations, SpTTM, SpMTTKRP, SpCPD, ...") and
+// the subject of Li et al. [20].
+//
+// Mode-n product of a sparse tensor X with a dense matrix U ∈ R^{In×R}:
+//   Y(i1,…,r,…,iN) = Σ_{in} X(i1,…,in,…,iN) · U(in, r)
+//
+// The result is *semi-sparse*: sparse in every mode except n, dense
+// (length R) along mode n. It is stored as the set of distinct mode-n
+// fibers of X, each carrying a dense R-vector.
+
+#include "tensor/coo.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace scalfrag {
+
+/// Semi-sparse result of an SpTTM: `fiber_coords` holds the (order-1)
+/// retained coordinates of each fiber (mode-major layout matching the
+/// source tensor's modes, with `mode` removed); row f of `values` is
+/// that fiber's dense mode-n vector.
+struct SemiSparseTensor {
+  std::vector<index_t> dims;  // source dims with dims[mode] = R
+  order_t mode = 0;
+  std::vector<order_t> kept_modes;            // source modes, minus `mode`
+  std::vector<std::vector<index_t>> fiber_coords;  // [kept][fiber]
+  DenseMatrix values;                          // num_fibers × R
+
+  nnz_t num_fibers() const noexcept { return values.rows(); }
+  std::size_t bytes() const noexcept;
+
+  /// Dense lookup: value at (full coordinate with coord[mode] = r).
+  /// Missing fibers are zero. O(log fibers).
+  value_t at(std::span<const index_t> coord) const;
+};
+
+/// Compute Y = X ×_mode U. `u` must be dims[mode] × R.
+SemiSparseTensor spttm(const CooTensor& x, const DenseMatrix& u,
+                       order_t mode);
+
+/// Flop count: 2·R flops per non-zero.
+std::uint64_t spttm_flops(const CooTensor& x, index_t rank);
+
+}  // namespace scalfrag

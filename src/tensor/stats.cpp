@@ -1,0 +1,105 @@
+#include "tensor/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/format.hpp"
+
+namespace scalfrag {
+
+SliceDistribution slice_distribution(const CooTensor& t, order_t mode) {
+  SF_CHECK(mode < t.order(), "mode out of range");
+  SliceDistribution d;
+  d.mode = mode;
+
+  std::vector<nnz_t> counts(t.dim(mode), 0);
+  for (nnz_t e = 0; e < t.nnz(); ++e) ++counts[t.index(mode, e)];
+
+  std::vector<nnz_t> occupied;
+  occupied.reserve(counts.size());
+  for (nnz_t c : counts) {
+    if (c > 0) {
+      occupied.push_back(c);
+    } else {
+      ++d.empty_slices;
+    }
+  }
+  d.occupied_slices = occupied.size();
+  if (occupied.empty()) return d;
+
+  std::sort(occupied.begin(), occupied.end());
+  const auto q = [&](double frac) {
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(occupied.size() - 1));
+    return occupied[idx];
+  };
+  d.min = occupied.front();
+  d.p25 = q(0.25);
+  d.median = q(0.50);
+  d.p75 = q(0.75);
+  d.p99 = q(0.99);
+  d.max = occupied.back();
+  d.mean = static_cast<double>(t.nnz()) /
+           static_cast<double>(occupied.size());
+
+  // Gini over the sorted (ascending) sizes:
+  //   G = (2·Σ i·xᵢ) / (n·Σ xᵢ) − (n+1)/n,  i = 1..n.
+  double weighted = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    weighted += static_cast<double>(i + 1) *
+                static_cast<double>(occupied[i]);
+    total += static_cast<double>(occupied[i]);
+  }
+  const double n = static_cast<double>(occupied.size());
+  d.gini = total > 0 ? (2.0 * weighted) / (n * total) - (n + 1.0) / n : 0.0;
+
+  // Top-1% share (at least one slice).
+  const auto top = std::max<std::size_t>(
+      1, static_cast<std::size_t>(0.01 * n));
+  double top_sum = 0.0;
+  for (std::size_t i = occupied.size() - top; i < occupied.size(); ++i) {
+    top_sum += static_cast<double>(occupied[i]);
+  }
+  d.top1pct_share = total > 0 ? top_sum / total : 0.0;
+  return d;
+}
+
+std::string stats_report(const CooTensor& t) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "order %d, nnz %s, density %s, COO bytes %s\n",
+                t.order(), human_count(t.nnz()).c_str(),
+                fmt_density(t.density()).c_str(),
+                human_bytes(t.bytes()).c_str());
+  out += line;
+  for (order_t m = 0; m < t.order(); ++m) {
+    const SliceDistribution d = slice_distribution(t, m);
+    std::snprintf(
+        line, sizeof line,
+        "mode %d: dim %u, %llu occupied / %llu empty slices\n", m, t.dim(m),
+        static_cast<unsigned long long>(d.occupied_slices),
+        static_cast<unsigned long long>(d.empty_slices));
+    out += line;
+    if (d.occupied_slices == 0) continue;
+    std::snprintf(
+        line, sizeof line,
+        "        nnz/slice min %llu  p25 %llu  med %llu  p75 %llu  "
+        "p99 %llu  max %llu  mean %.1f\n",
+        static_cast<unsigned long long>(d.min),
+        static_cast<unsigned long long>(d.p25),
+        static_cast<unsigned long long>(d.median),
+        static_cast<unsigned long long>(d.p75),
+        static_cast<unsigned long long>(d.p99),
+        static_cast<unsigned long long>(d.max), d.mean);
+    out += line;
+    std::snprintf(line, sizeof line,
+                  "        gini %.3f  top-1%% slices hold %.1f%% of nnz\n",
+                  d.gini, 100.0 * d.top1pct_share);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,44 @@
+#pragma once
+// Extended sparsity statistics beyond the ML feature vector: slice-size
+// distribution quantiles, Gini concentration, and per-mode reports.
+// These feed the explorer/CLI diagnostics and give the synthetic
+// generator's realism something quantitative to be judged against.
+
+#include <array>
+#include <string>
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag {
+
+struct SliceDistribution {
+  order_t mode = 0;
+  nnz_t occupied_slices = 0;
+  nnz_t empty_slices = 0;
+
+  // Distribution over *occupied* slices.
+  nnz_t min = 0;
+  nnz_t p25 = 0;
+  nnz_t median = 0;
+  nnz_t p75 = 0;
+  nnz_t p99 = 0;
+  nnz_t max = 0;
+  double mean = 0.0;
+
+  /// Gini coefficient of the slice-size distribution in [0, 1):
+  /// 0 = perfectly even, →1 = a single slice holds everything. The
+  /// paper's "sparsity distribution" in one number.
+  double gini = 0.0;
+
+  /// Share of all non-zeros held by the heaviest 1% of slices.
+  double top1pct_share = 0.0;
+};
+
+/// Compute the mode-`mode` slice-size distribution (works on unsorted
+/// input; one counting pass + one sort over slice counts).
+SliceDistribution slice_distribution(const CooTensor& t, order_t mode);
+
+/// Multi-line human-readable report covering every mode.
+std::string stats_report(const CooTensor& t);
+
+}  // namespace scalfrag

@@ -1,0 +1,123 @@
+// Sparse tensor arithmetic tests: union/intersection merges, scaling,
+// reductions, pruning.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/arith.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+CooTensor make(std::initializer_list<std::tuple<index_t, index_t, value_t>>
+                   entries) {
+  CooTensor t({4, 4});
+  for (const auto& [i, j, v] : entries) t.push({i, j}, v);
+  return t;
+}
+
+value_t value_at(const CooTensor& t, index_t i, index_t j) {
+  value_t s = 0;
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    if (t.index(0, e) == i && t.index(1, e) == j) s += t.value(e);
+  }
+  return s;
+}
+
+TEST(TensorArith, AddMergesUnionOfSupports) {
+  const auto a = make({{0, 0, 1.0f}, {1, 1, 2.0f}});
+  const auto b = make({{1, 1, 3.0f}, {2, 2, 4.0f}});
+  const auto c = tensor_ops::add(a, b);
+  EXPECT_EQ(c.nnz(), 3u);
+  EXPECT_FLOAT_EQ(value_at(c, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(value_at(c, 1, 1), 5.0f);
+  EXPECT_FLOAT_EQ(value_at(c, 2, 2), 4.0f);
+}
+
+TEST(TensorArith, SubKeepsCancelledZeros) {
+  const auto a = make({{1, 1, 2.0f}});
+  const auto c = tensor_ops::sub(a, a);
+  ASSERT_EQ(c.nnz(), 1u);  // structural nonzero survives
+  EXPECT_FLOAT_EQ(c.value(0), 0.0f);
+}
+
+TEST(TensorArith, HadamardIntersectsSupports) {
+  const auto a = make({{0, 0, 2.0f}, {1, 1, 3.0f}});
+  const auto b = make({{1, 1, 4.0f}, {2, 2, 5.0f}});
+  const auto c = tensor_ops::hadamard(a, b);
+  ASSERT_EQ(c.nnz(), 1u);
+  EXPECT_FLOAT_EQ(value_at(c, 1, 1), 12.0f);
+}
+
+TEST(TensorArith, ShapeMismatchThrows) {
+  CooTensor a({4, 4});
+  CooTensor b({4, 5});
+  EXPECT_THROW(tensor_ops::add(a, b), Error);
+  EXPECT_THROW(tensor_ops::hadamard(a, b), Error);
+  EXPECT_THROW(tensor_ops::dot(a, b), Error);
+}
+
+TEST(TensorArith, MergeHandlesUnsortedDuplicatedInputs) {
+  CooTensor a({4, 4});
+  a.push({3, 3}, 1.0f);
+  a.push({0, 0}, 1.0f);
+  a.push({3, 3}, 1.0f);  // duplicate pre-coalesce
+  const auto c = tensor_ops::add(a, make({{3, 3, 1.0f}}));
+  EXPECT_FLOAT_EQ(value_at(c, 3, 3), 3.0f);
+  EXPECT_EQ(c.nnz(), 2u);
+}
+
+TEST(TensorArith, ScaleAndNormAndSum) {
+  auto a = make({{0, 0, 3.0f}, {1, 1, 4.0f}});
+  EXPECT_NEAR(tensor_ops::norm(a), 5.0, 1e-6);
+  EXPECT_NEAR(tensor_ops::sum(a), 7.0, 1e-6);
+  tensor_ops::scale(a, 2.0f);
+  EXPECT_NEAR(tensor_ops::norm(a), 10.0, 1e-5);
+}
+
+TEST(TensorArith, DotOverCommonSupport) {
+  const auto a = make({{0, 0, 2.0f}, {1, 1, 3.0f}, {2, 2, 7.0f}});
+  const auto b = make({{0, 0, 5.0f}, {1, 1, 1.0f}, {3, 3, 9.0f}});
+  EXPECT_NEAR(tensor_ops::dot(a, b), 2 * 5 + 3 * 1, 1e-6);
+  EXPECT_NEAR(tensor_ops::dot(a, a),
+              tensor_ops::norm(a) * tensor_ops::norm(a), 1e-4);
+}
+
+TEST(TensorArith, PruneDropsSmallEntries) {
+  auto a = make({{0, 0, 0.0f}, {1, 1, 1e-8f}, {2, 2, 1.0f}});
+  EXPECT_EQ(tensor_ops::prune(a, 1e-6f), 2u);
+  EXPECT_EQ(a.nnz(), 1u);
+  EXPECT_FLOAT_EQ(a.value(0), 1.0f);
+}
+
+TEST(TensorArith, AlgebraicIdentitiesOnRandomTensors) {
+  GeneratorConfig g{.dims = {32, 24, 16}, .nnz = 600, .skew = {}, .seed = 41};
+  const CooTensor a = generate_coo(g);
+  g.seed = 42;
+  const CooTensor b = generate_coo(g);
+
+  // (a + b) - b == a on a's support.
+  CooTensor back = tensor_ops::sub(tensor_ops::add(a, b), b);
+  tensor_ops::prune(back, 1e-6f);
+  const CooTensor a_copy = [&] {
+    CooTensor c = a;
+    c.sort_by_mode(0);
+    return c;
+  }();
+  ASSERT_EQ(back.nnz(), a_copy.nnz());
+  for (nnz_t e = 0; e < back.nnz(); ++e) {
+    EXPECT_NEAR(back.value(e), a_copy.value(e), 1e-4);
+  }
+
+  // ||a+b||² = ||a||² + 2<a,b> + ||b||².
+  const double lhs = std::pow(tensor_ops::norm(tensor_ops::add(a, b)), 2);
+  const double rhs = std::pow(tensor_ops::norm(a), 2) +
+                     2.0 * tensor_ops::dot(a, b) +
+                     std::pow(tensor_ops::norm(b), 2);
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+}  // namespace
+}  // namespace scalfrag

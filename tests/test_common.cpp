@@ -1,0 +1,215 @@
+// Tests for the common substrate: RNG, thread pool, math helpers,
+// formatting, and error macros.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace scalfrag {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = r.next_float();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(11);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng r(13);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Rng r(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next_u64() == child.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 100), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(MathUtil, RoundUp) {
+  EXPECT_EQ(round_up(10, 4), 12);
+  EXPECT_EQ(round_up(8, 4), 8);
+  EXPECT_EQ(round_up(1, 32), 32);
+}
+
+TEST(MathUtil, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(MathUtil, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(MathUtil, RelDiff) {
+  EXPECT_DOUBLE_EQ(rel_diff(1.0, 1.0), 0.0);
+  EXPECT_NEAR(rel_diff(1.0, 1.1), 0.0909, 1e-3);
+  EXPECT_NEAR(rel_diff(-2.0, 2.0), 2.0, 1e-12);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(pool.submit([&] { ++count; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(Format, HumanCount) {
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(26021854), "26M");
+  EXPECT_EQ(human_count(3101609), "3.1M");
+  EXPECT_EQ(human_count(1500), "1.5K");
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.0 B");
+  EXPECT_EQ(human_bytes(24ull * 1024 * 1024 * 1024), "24.0 GB");
+}
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmt_double(1.30), "1.3");
+  EXPECT_EQ(fmt_double(2.0), "2");
+  EXPECT_EQ(fmt_double(2.25, 2), "2.25");
+}
+
+TEST(Format, FmtDensity) {
+  EXPECT_EQ(fmt_density(6.9e-3), "6.9e-3");
+  EXPECT_EQ(fmt_density(0.0), "0");
+}
+
+TEST(Format, ConsoleTableRendersAlignedRows) {
+  ConsoleTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Error, SfCheckThrowsWithContext) {
+  try {
+    SF_CHECK(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+TEST(Error, DeviceOutOfMemoryCarriesSizes) {
+  DeviceOutOfMemory e(100, 50);
+  EXPECT_EQ(e.requested(), 100u);
+  EXPECT_EQ(e.available(), 50u);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.micros(), t.millis());
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,131 @@
+// CSF format tests: tree structure against hand-computed fixtures and
+// MTTKRP equivalence with the COO reference.
+
+#include <gtest/gtest.h>
+
+#include "tensor/csf.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+namespace {
+
+// The paper's Fig. 2 example shape: a 4×4×3-ish tensor with clustered
+// fibers so compression is visible.
+CooTensor fig2_like() {
+  CooTensor t({4, 4, 3});
+  t.push({0, 0, 0}, 1.0f);
+  t.push({0, 0, 2}, 2.0f);
+  t.push({0, 1, 1}, 3.0f);
+  t.push({1, 2, 0}, 4.0f);
+  t.push({1, 2, 1}, 5.0f);
+  t.push({1, 2, 2}, 6.0f);
+  t.push({3, 3, 0}, 7.0f);
+  return t;
+}
+
+TEST(Csf, BuildsExpectedTreeForMode0) {
+  const CsfTensor c = CsfTensor::build(fig2_like(), 0);
+  EXPECT_EQ(c.order(), 3);
+  EXPECT_EQ(c.nnz(), 7u);
+  ASSERT_EQ(c.mode_order(), (std::vector<order_t>{0, 1, 2}));
+
+  // Slices with nnz: 0, 1, 3.
+  ASSERT_EQ(c.num_nodes(0), 3u);
+  EXPECT_EQ(c.fids(0), (std::vector<index_t>{0, 1, 3}));
+
+  // Fibers: (0,0) (0,1) (1,2) (3,3).
+  ASSERT_EQ(c.num_nodes(1), 4u);
+  EXPECT_EQ(c.fids(1), (std::vector<index_t>{0, 1, 2, 3}));
+  EXPECT_EQ(c.fptr(0), (std::vector<nnz_t>{0, 2, 3, 4}));
+
+  // Leaves: one per nnz.
+  ASSERT_EQ(c.num_nodes(2), 7u);
+  EXPECT_EQ(c.fptr(1), (std::vector<nnz_t>{0, 2, 3, 6, 7}));
+  EXPECT_EQ(c.fids(2), (std::vector<index_t>{0, 2, 1, 0, 1, 2, 0}));
+}
+
+TEST(Csf, RootModeBecomesLevelZero) {
+  const CsfTensor c = CsfTensor::build(fig2_like(), 2);
+  EXPECT_EQ(c.mode_order(), (std::vector<order_t>{2, 0, 1}));
+  // Mode-2 values present: 0,1,2 → 3 slices.
+  EXPECT_EQ(c.num_nodes(0), 3u);
+}
+
+TEST(Csf, CompressesClusteredTensors) {
+  // Long fibers: many nnz share (i, j) prefixes.
+  CooTensor t({8, 8, 512});
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t k = 0; k < 256; ++k) {
+      t.push({i, static_cast<index_t>(i % 4), k}, 1.0f);
+    }
+  }
+  const CsfTensor c = CsfTensor::build(t, 0);
+  EXPECT_LT(c.bytes(), t.bytes());
+}
+
+TEST(Csf, EmptyTensor) {
+  CooTensor t({3, 3, 3});
+  const CsfTensor c = CsfTensor::build(t, 0);
+  EXPECT_EQ(c.nnz(), 0u);
+  EXPECT_EQ(c.num_nodes(0), 0u);
+}
+
+TEST(Csf, MttkrpMatchesReferenceOnFixture) {
+  const CooTensor t = fig2_like();
+  Rng rng(3);
+  FactorList factors;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix f(t.dim(m), 8);
+    f.randomize(rng);
+    factors.push_back(std::move(f));
+  }
+  const DenseMatrix expect = mttkrp_coo_ref(t, factors, 0);
+  const CsfTensor c = CsfTensor::build(t, 0);
+  DenseMatrix got(t.dim(0), 8);
+  mttkrp_csf(c, factors, got);
+  EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-4);
+}
+
+// Parameterized equivalence: CSF MTTKRP == COO reference over orders,
+// modes, and ranks.
+class CsfMttkrpProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CsfMttkrpProperty, MatchesCooReference) {
+  const auto [order, mode, rank] = GetParam();
+  if (mode >= order) GTEST_SKIP();
+  GeneratorConfig g;
+  for (int m = 0; m < order; ++m) {
+    g.dims.push_back(24 + 8 * m);
+    g.skew.push_back(1.5);
+  }
+  g.nnz = 800;
+  g.seed = 1000 + order * 100 + mode * 10 + rank;
+  const CooTensor t = generate_coo(g);
+
+  Rng rng(g.seed);
+  FactorList factors;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix f(t.dim(m), static_cast<index_t>(rank));
+    f.randomize(rng);
+    factors.push_back(std::move(f));
+  }
+
+  const DenseMatrix expect =
+      mttkrp_coo_ref(t, factors, static_cast<order_t>(mode));
+  const CsfTensor c = CsfTensor::build(t, static_cast<order_t>(mode));
+  DenseMatrix got(t.dim(static_cast<order_t>(mode)),
+                  static_cast<index_t>(rank));
+  mttkrp_csf(c, factors, got);
+  EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CsfMttkrpProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4), ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(4, 16)));
+
+}  // namespace
+}  // namespace scalfrag

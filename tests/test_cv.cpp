@@ -1,0 +1,100 @@
+// Cross-validation and feature-importance tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/cv.hpp"
+#include "ml/dtree.hpp"
+#include "ml/metrics.hpp"
+
+namespace scalfrag::ml {
+namespace {
+
+Dataset linearish_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0, 1), b = rng.uniform(0, 1),
+                 c = rng.uniform(0, 1);
+    const double row[3] = {a, b, c};
+    d.add(row, 4.0 * a + 0.02 * rng.normal());  // only feature 0 matters
+  }
+  return d;
+}
+
+TEST(CrossValidation, EveryRowTestedExactlyOnce) {
+  const Dataset d = linearish_data(103, 1);  // deliberately non-divisible
+  const auto cv = k_fold_cv(
+      d, 5, [] { return std::make_unique<DecisionTreeRegressor>(); }, rmse);
+  ASSERT_EQ(cv.fold_metric.size(), 5u);
+  // Fold sizes: 4×20 + 23 = 103 — just verify metrics are finite and
+  // the summary stats are consistent.
+  double mean = 0.0;
+  for (double m : cv.fold_metric) {
+    EXPECT_TRUE(std::isfinite(m));
+    mean += m;
+  }
+  EXPECT_NEAR(cv.mean, mean / 5.0, 1e-12);
+  EXPECT_GE(cv.stddev, 0.0);
+  EXPECT_GT(cv.total_train_seconds, 0.0);
+}
+
+TEST(CrossValidation, GoodModelScoresWellAcrossFolds) {
+  const Dataset d = linearish_data(400, 2);
+  const auto cv = k_fold_cv(
+      d, 4, [] { return std::make_unique<DecisionTreeRegressor>(); }, rmse);
+  // Target stddev is ~1.15 (uniform 0..4); a fitted tree should do far
+  // better on every fold.
+  for (double m : cv.fold_metric) EXPECT_LT(m, 0.4);
+}
+
+TEST(CrossValidation, Validation) {
+  const Dataset d = linearish_data(10, 3);
+  const auto mk = [] {
+    return std::unique_ptr<Regressor>(new DecisionTreeRegressor());
+  };
+  EXPECT_THROW(k_fold_cv(d, 1, mk, rmse), Error);
+  EXPECT_THROW(k_fold_cv(d, 11, mk, rmse), Error);
+}
+
+TEST(CrossValidation, SeedControlsFoldAssignment) {
+  const Dataset d = linearish_data(120, 4);
+  const auto mk = [] {
+    return std::unique_ptr<Regressor>(new DecisionTreeRegressor());
+  };
+  const auto a = k_fold_cv(d, 3, mk, rmse, 7);
+  const auto b = k_fold_cv(d, 3, mk, rmse, 7);
+  const auto c = k_fold_cv(d, 3, mk, rmse, 8);
+  EXPECT_EQ(a.fold_metric, b.fold_metric);
+  EXPECT_NE(a.fold_metric, c.fold_metric);
+}
+
+TEST(FeatureImportance, ConcentratesOnInformativeFeature) {
+  const Dataset d = linearish_data(500, 5);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  const auto& imp = tree.feature_importance();
+  ASSERT_EQ(imp.size(), 3u);
+  double sum = 0.0;
+  for (double g : imp) {
+    EXPECT_GE(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(imp[0], 0.9);  // the only signal-bearing feature
+}
+
+TEST(FeatureImportance, SingleLeafIsAllZero) {
+  Dataset d(2);
+  const double r[2] = {1.0, 2.0};
+  d.add(r, 5.0);
+  d.add(r, 5.0);
+  DecisionTreeRegressor tree;
+  tree.fit(d);
+  for (double g : tree.feature_importance()) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+}  // namespace
+}  // namespace scalfrag::ml

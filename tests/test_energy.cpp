@@ -1,0 +1,70 @@
+// Energy-model tests: busy/idle decomposition and the overlap-saves-
+// energy property the model exists to expose.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/energy.hpp"
+
+namespace scalfrag::gpusim {
+namespace {
+
+KernelProfile some_kernel() {
+  KernelProfile p;
+  p.work_items = 1 << 18;
+  p.flops = 1 << 24;
+  p.dram_bytes = 64 << 20;
+  return p;
+}
+
+TEST(Energy, BusyJoulesFollowTimeline) {
+  SimDevice dev(DeviceSpec::rtx3090());
+  dev.host_task(0, 1'000'000'000, nullptr);  // exactly 1 s of host work
+  const PowerModel pm;
+  const EnergyEstimate e = estimate_energy(dev, pm);
+  EXPECT_NEAR(e.host_j, pm.host_w, 1e-9);
+  EXPECT_NEAR(e.idle_j, pm.idle_w, 1e-9);
+  EXPECT_DOUBLE_EQ(e.kernel_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.transfer_j, 0.0);
+  EXPECT_NEAR(e.total_j(), pm.host_w + pm.idle_w, 1e-9);
+}
+
+TEST(Energy, EveryOpKindBills) {
+  SimDevice dev(DeviceSpec::rtx3090());
+  dev.memcpy_h2d(0, 32 << 20, nullptr);
+  dev.launch_kernel(0, {1024, 256, 0}, some_kernel(), nullptr);
+  dev.memcpy_d2h(0, 32 << 20, nullptr);
+  dev.host_task(0, 5000, nullptr);
+  const EnergyEstimate e = estimate_energy(dev);
+  EXPECT_GT(e.kernel_j, 0.0);
+  EXPECT_GT(e.transfer_j, 0.0);
+  EXPECT_GT(e.host_j, 0.0);
+  EXPECT_GT(e.idle_j, 0.0);
+}
+
+TEST(Energy, OverlapSavesIdleEnergyOnly) {
+  // Same ops serialized vs overlapped: busy joules equal, idle joules
+  // (∝ makespan) shrink.
+  const auto run = [&](bool overlap) {
+    SimDevice dev(DeviceSpec::rtx3090());
+    const StreamId s1 = dev.create_stream();
+    const StreamId s2 = overlap ? dev.create_stream() : s1;
+    dev.memcpy_h2d(s1, 256 << 20, nullptr);
+    dev.launch_kernel(s2, {1024, 256, 0}, some_kernel(), nullptr);
+    return estimate_energy(dev);
+  };
+  const EnergyEstimate serial = run(false);
+  const EnergyEstimate piped = run(true);
+  EXPECT_NEAR(serial.kernel_j, piped.kernel_j, 1e-12);
+  EXPECT_NEAR(serial.transfer_j, piped.transfer_j, 1e-12);
+  EXPECT_LT(piped.idle_j, serial.idle_j);
+  EXPECT_LT(piped.total_j(), serial.total_j());
+}
+
+TEST(Energy, ZeroTimelineIsZeroEnergy) {
+  SimDevice dev(DeviceSpec::rtx3090());
+  const EnergyEstimate e = estimate_energy(dev);
+  EXPECT_DOUBLE_EQ(e.total_j(), 0.0);
+}
+
+}  // namespace
+}  // namespace scalfrag::gpusim

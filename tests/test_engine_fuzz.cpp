@@ -1,0 +1,109 @@
+// Randomized scheduling invariants for the discrete-event engine: for
+// arbitrary op sequences across arbitrary streams, the produced
+// timeline must satisfy the CUDA-model contracts — per-stream FIFO,
+// per-engine mutual exclusion, event ordering, and functional bodies
+// executing exactly once each.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+#include "gpusim/engine.hpp"
+
+namespace scalfrag::gpusim {
+namespace {
+
+DeviceSpec fast_spec() {
+  DeviceSpec s = DeviceSpec::rtx3090();
+  s.pcie_latency_us = 1.0;
+  return s;
+}
+
+class EngineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineFuzz, TimelineInvariantsHold) {
+  Rng rng(GetParam());
+  SimDevice dev(fast_spec());
+
+  const int n_streams = 1 + static_cast<int>(rng.next_below(6));
+  std::vector<StreamId> streams{0};
+  for (int i = 1; i < n_streams; ++i) streams.push_back(dev.create_stream());
+
+  KernelProfile prof;
+  prof.work_items = 1 << 12;
+  prof.flops = 1 << 18;
+  prof.dram_bytes = 1 << 18;
+
+  int executed = 0;
+  std::vector<EventId> events;
+  const int n_ops = 60 + static_cast<int>(rng.next_below(60));
+  for (int i = 0; i < n_ops; ++i) {
+    const StreamId s = streams[rng.next_below(streams.size())];
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1:
+        dev.memcpy_h2d(s, 1024 + rng.next_below(1 << 20),
+                       [&] { ++executed; });
+        break;
+      case 2:
+        dev.memcpy_d2h(s, 1024 + rng.next_below(1 << 20),
+                       [&] { ++executed; });
+        break;
+      case 3:
+        dev.launch_kernel(s, {64u + static_cast<std::uint32_t>(
+                                        rng.next_below(1024)),
+                              256, 0},
+                          prof, [&] { ++executed; });
+        break;
+      case 4:
+        dev.host_task(s, 100 + rng.next_below(100000), [&] { ++executed; });
+        break;
+      default:
+        if (!events.empty() && rng.next_below(2) == 0) {
+          dev.wait_event(s, events[rng.next_below(events.size())]);
+        } else {
+          events.push_back(dev.record_event(s));
+        }
+        break;
+    }
+  }
+
+  const auto& tl = dev.timeline();
+
+  // 1. Every functional body ran exactly once (count matches op count).
+  EXPECT_EQ(static_cast<std::size_t>(executed), tl.size());
+
+  // 2. Per-stream FIFO: ops of one stream are non-overlapping and in
+  //    submission order.
+  std::map<int, sim_ns> stream_cursor;
+  for (const auto& r : tl) {
+    EXPECT_GE(r.start, stream_cursor[r.stream]) << "stream FIFO violated";
+    EXPECT_GE(r.end, r.start);
+    stream_cursor[r.stream] = r.end;
+  }
+
+  // 3. Per-engine mutual exclusion: ops sharing an engine never overlap
+  //    (and are served in submission order).
+  std::map<OpKind, sim_ns> engine_cursor;
+  for (const auto& r : tl) {
+    EXPECT_GE(r.start, engine_cursor[r.kind]) << "engine overlap";
+    engine_cursor[r.kind] = r.end;
+  }
+
+  // 4. Makespan consistency.
+  sim_ns max_end = 0;
+  for (const auto& r : tl) max_end = std::max(max_end, r.end);
+  EXPECT_EQ(dev.synchronize(), max_end);
+  const auto b = dev.breakdown();
+  EXPECT_EQ(b.makespan, max_end);
+  EXPECT_GE(b.serial_sum(), max_end);  // overlap can only shrink makespan
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace scalfrag::gpusim

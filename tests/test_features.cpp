@@ -1,0 +1,131 @@
+// Feature-extraction tests: slice/fiber censuses against hand counts,
+// ratio definitions, and vectorization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/features.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+TEST(Features, HandComputedCensus) {
+  // Slices (mode 0): {0: 3 nnz, 2: 1 nnz} → 2 slices, max 3.
+  // Fibers (mode 0, next mode 1): (0,0)x2, (0,1), (2,3) → 3 fibers.
+  CooTensor t({3, 4, 2});
+  t.push({0, 0, 0}, 1.0f);
+  t.push({0, 0, 1}, 1.0f);
+  t.push({0, 1, 0}, 1.0f);
+  t.push({2, 3, 1}, 1.0f);
+  const auto f = TensorFeatures::extract(t, 0);
+
+  EXPECT_EQ(f.order, 3);
+  EXPECT_EQ(f.nnz, 4u);
+  EXPECT_EQ(f.mode_dim, 3u);
+  EXPECT_EQ(f.num_slices, 2u);
+  EXPECT_EQ(f.num_fibers, 3u);
+  EXPECT_EQ(f.max_nnz_per_slice, 3u);
+  EXPECT_DOUBLE_EQ(f.slice_ratio, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f.fiber_ratio, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(f.avg_nnz_per_slice, 2.0);
+  EXPECT_DOUBLE_EQ(f.avg_nnz_per_fiber, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f.density, 4.0 / 24.0);
+  // Slice sizes {3,1}: mean 2, stdev 1 → cv 0.5.
+  EXPECT_NEAR(f.cv_nnz_per_slice, 0.5, 1e-12);
+}
+
+TEST(Features, ModeChangesCensus) {
+  CooTensor t({3, 4, 2});
+  t.push({0, 0, 0}, 1.0f);
+  t.push({0, 0, 1}, 1.0f);
+  t.push({0, 1, 0}, 1.0f);
+  t.push({2, 3, 1}, 1.0f);
+  const auto f1 = TensorFeatures::extract(t, 1);
+  // Mode-1 slices: {0: 2, 1: 1, 3: 1} → 3 slices.
+  EXPECT_EQ(f1.num_slices, 3u);
+  EXPECT_EQ(f1.mode_dim, 4u);
+  EXPECT_EQ(f1.mode, 1);
+}
+
+TEST(Features, DiagonalTensorHasUnitFibers) {
+  CooTensor t({8, 8, 8});
+  for (index_t i = 0; i < 8; ++i) t.push({i, i, i}, 1.0f);
+  const auto f = TensorFeatures::extract(t, 0);
+  EXPECT_EQ(f.num_slices, 8u);
+  EXPECT_EQ(f.num_fibers, 8u);
+  EXPECT_DOUBLE_EQ(f.fiber_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(f.slice_ratio, 1.0);
+  EXPECT_EQ(f.max_nnz_per_slice, 1u);
+  EXPECT_DOUBLE_EQ(f.cv_nnz_per_slice, 0.0);
+}
+
+TEST(Features, SingleDenseSliceExtreme) {
+  CooTensor t({4, 16, 1});
+  for (index_t j = 0; j < 16; ++j) t.push({1, j, 0}, 1.0f);
+  const auto f = TensorFeatures::extract(t, 0);
+  EXPECT_EQ(f.num_slices, 1u);
+  EXPECT_EQ(f.max_nnz_per_slice, 16u);
+  EXPECT_DOUBLE_EQ(f.slice_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(f.avg_nnz_per_slice, 16.0);
+}
+
+TEST(Features, EmptyTensorIsAllZero) {
+  CooTensor t({4, 4});
+  const auto f = TensorFeatures::extract(t, 0);
+  EXPECT_EQ(f.nnz, 0u);
+  EXPECT_EQ(f.num_slices, 0u);
+  EXPECT_EQ(f.num_fibers, 0u);
+}
+
+TEST(Features, WorksOnUnsortedInputWithoutMutating) {
+  CooTensor t({4, 4});
+  t.push({3, 0}, 1.0f);
+  t.push({0, 1}, 1.0f);
+  t.push({3, 2}, 1.0f);
+  const auto f = TensorFeatures::extract(t, 0);
+  EXPECT_EQ(f.num_slices, 2u);
+  EXPECT_EQ(f.max_nnz_per_slice, 2u);
+  // Input order untouched.
+  EXPECT_EQ(t.index(0, 0), 3u);
+}
+
+TEST(Features, VectorHasDocumentedLayout) {
+  CooTensor t({8, 8, 8});
+  for (index_t i = 0; i < 8; ++i) t.push({i, i, i}, 1.0f);
+  const auto f = TensorFeatures::extract(t, 0);
+  const auto v = f.to_vector();
+  ASSERT_EQ(v.size(), TensorFeatures::kVectorSize);
+  ASSERT_EQ(TensorFeatures::names().size(), TensorFeatures::kVectorSize);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);                       // order
+  EXPECT_DOUBLE_EQ(v[5], f.slice_ratio);
+  EXPECT_DOUBLE_EQ(v[6], f.fiber_ratio);
+  EXPECT_NEAR(v[1], std::log2(9.0), 1e-12);          // log2(1+nnz)
+}
+
+TEST(Features, SkewIncreasesImbalance) {
+  GeneratorConfig uniform{.dims = {256, 256, 256},
+                          .nnz = 20000,
+                          .skew = {1.0, 1.0, 1.0},
+                          .seed = 11};
+  GeneratorConfig skewed = uniform;
+  skewed.skew = {3.0, 3.0, 3.0};
+  const auto fu = TensorFeatures::extract(generate_coo(uniform), 0);
+  const auto fs = TensorFeatures::extract(generate_coo(skewed), 0);
+  EXPECT_GT(fs.cv_nnz_per_slice, fu.cv_nnz_per_slice);
+  EXPECT_GT(fs.max_nnz_per_slice, fu.max_nnz_per_slice);
+}
+
+TEST(Features, Order2FiberEqualsEntryRuns) {
+  CooTensor t({4, 4});
+  t.push({0, 0}, 1.0f);
+  t.push({0, 1}, 1.0f);
+  t.push({1, 1}, 1.0f);
+  const auto f = TensorFeatures::extract(t, 0);
+  // For a matrix, each (i, j) pair is its own "fiber".
+  EXPECT_EQ(f.num_fibers, 3u);
+}
+
+}  // namespace
+}  // namespace scalfrag

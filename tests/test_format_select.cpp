@@ -1,0 +1,65 @@
+// Format-selection tests (SpTFS-style): measurement plumbing, training,
+// and sane predictions. Time measurements are kept loose — this is the
+// one module that uses wall time.
+
+#include <gtest/gtest.h>
+
+#include "scalfrag/format_select.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+TEST(FormatSelect, Names) {
+  EXPECT_STREQ(sparse_format_name(SparseFormat::Coo), "COO");
+  EXPECT_STREQ(sparse_format_name(SparseFormat::Csf), "CSF");
+  EXPECT_STREQ(sparse_format_name(SparseFormat::HiCoo), "HiCOO");
+  EXPECT_STREQ(sparse_format_name(SparseFormat::FCoo), "F-COO");
+  EXPECT_EQ(kAllFormats.size(), 4u);
+}
+
+TEST(FormatSelect, MeasurementCoversAllFormatsAndPicksMin) {
+  const CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 231);
+  const FormatTiming timing = measure_formats(t, 0, 8, 2);
+  for (SparseFormat f : kAllFormats) {
+    EXPECT_GT(timing.ms[static_cast<std::size_t>(f)], 0.0);
+    EXPECT_GE(timing.ms[static_cast<std::size_t>(f)], timing.best_ms());
+  }
+}
+
+TEST(FormatSelect, MeasurementValidation) {
+  const CooTensor t = make_frostt_tensor("nips", 1.0 / 8192, 232);
+  EXPECT_THROW(measure_formats(t, 0, 8, 0), Error);
+}
+
+TEST(FormatSelect, PredictBeforeTrainThrows) {
+  FormatSelector sel;
+  const CooTensor t = make_frostt_tensor("nips", 1.0 / 8192, 233);
+  const auto feat = TensorFeatures::extract(t, 0);
+  EXPECT_FALSE(sel.trained());
+  EXPECT_THROW(sel.predict(feat), Error);
+}
+
+TEST(FormatSelect, TrainsAndPredictsConsistently) {
+  FormatSelectorConfig cfg;
+  cfg.corpus_size = 8;  // keep the measuring loop short in CI
+  cfg.reps = 1;
+  cfg.rank = 8;
+  FormatSelector sel(cfg);
+  const double secs = sel.train();
+  EXPECT_TRUE(sel.trained());
+  EXPECT_LT(secs, 60.0);
+
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 4096, 234);
+  const auto feat = TensorFeatures::extract(t, 0);
+  const SparseFormat a = sel.predict(feat);
+  const SparseFormat b = sel.predict(feat);
+  EXPECT_EQ(a, b);
+  // The predicted format's predicted time must be the arg-min.
+  for (SparseFormat f : kAllFormats) {
+    EXPECT_GE(sel.predict_ms(feat, f) + 1e-12, sel.predict_ms(feat, a));
+  }
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,149 @@
+// Synthetic tensor generator tests: determinism, target adherence,
+// sparsity cap, skew behaviour, and the Table III profile registry.
+
+#include <gtest/gtest.h>
+
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+TEST(Generator, HitsNnzTarget) {
+  GeneratorConfig g{.dims = {128, 128, 128}, .nnz = 5000, .skew = {}, .seed = 1};
+  const CooTensor t = generate_coo(g);
+  EXPECT_EQ(t.nnz(), 5000u);
+}
+
+TEST(Generator, OutputIsSortedCoalescedValid) {
+  GeneratorConfig g{
+      .dims = {64, 64, 64}, .nnz = 3000, .skew = {2.0, 2.0, 2.0}, .seed = 2};
+  CooTensor t = generate_coo(g);
+  EXPECT_TRUE(t.is_sorted_by_mode(0));
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.coalesce_duplicates(), 0u);  // already coalesced
+  for (value_t v : t.values()) EXPECT_GT(v, 0.0f);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorConfig g{.dims = {50, 60, 70}, .nnz = 2000, .skew = {}, .seed = 3};
+  const CooTensor a = generate_coo(g);
+  const CooTensor b = generate_coo(g);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (nnz_t e = 0; e < a.nnz(); ++e) {
+    EXPECT_EQ(a.index(0, e), b.index(0, e));
+    EXPECT_EQ(a.index(2, e), b.index(2, e));
+    EXPECT_FLOAT_EQ(a.value(e), b.value(e));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig g{.dims = {50, 60, 70}, .nnz = 2000, .skew = {}, .seed = 4};
+  GeneratorConfig g2 = g;
+  g2.seed = 5;
+  const CooTensor a = generate_coo(g);
+  const CooTensor b = generate_coo(g2);
+  int same = 0;
+  const nnz_t n = std::min(a.nnz(), b.nnz());
+  for (nnz_t e = 0; e < n; ++e) {
+    same += a.index(1, e) == b.index(1, e);
+  }
+  EXPECT_LT(same, static_cast<int>(n));
+}
+
+TEST(Generator, CapsNnzForDenseRequests) {
+  // 4×4×4 = 64 cells; asking for 1000 nnz must clamp to ≤ 30%.
+  GeneratorConfig g{.dims = {4, 4, 4}, .nnz = 1000, .skew = {}, .seed = 6};
+  const CooTensor t = generate_coo(g);
+  EXPECT_LE(t.nnz(), 20u);
+  EXPECT_GT(t.nnz(), 0u);
+}
+
+TEST(Generator, RejectsBadSkew) {
+  GeneratorConfig g{.dims = {8, 8}, .nnz = 10, .skew = {0.5, 1.0}, .seed = 1};
+  EXPECT_THROW(generate_coo(g), Error);
+  g.skew = {1.0};
+  EXPECT_THROW(generate_coo(g), Error);  // arity mismatch
+}
+
+TEST(FrosttProfiles, AllTenTableIIIEntriesPresent) {
+  const auto& ps = frostt_profiles();
+  ASSERT_EQ(ps.size(), 10u);
+  EXPECT_EQ(ps[0].name, "vast");
+  EXPECT_EQ(ps[4].name, "nell-1");
+  EXPECT_EQ(ps[9].name, "deli-4d");
+  int three = 0, four = 0;
+  for (const auto& p : ps) {
+    (p.order() == 3 ? three : four)++;
+    EXPECT_EQ(p.skew.size(), p.paper_dims.size());
+  }
+  EXPECT_EQ(three, 5);
+  EXPECT_EQ(four, 5);
+}
+
+TEST(FrosttProfiles, PaperDensitiesMatchTableIII) {
+  // Table III: vast 6.9e-3, nell-2 2.4e-5.
+  EXPECT_NEAR(frostt_profile("vast").paper_density(), 6.9e-3, 1e-3);
+  EXPECT_NEAR(frostt_profile("nell-2").paper_density(), 2.4e-5, 1e-5);
+}
+
+TEST(FrosttProfiles, UnknownNameThrows) {
+  EXPECT_THROW(frostt_profile("nonexistent"), Error);
+}
+
+TEST(FrosttProfiles, ScaledRecipeShrinksConsistently) {
+  const auto& p = frostt_profile("nell-2");
+  const auto cfg = p.scaled(1.0 / 1024);
+  ASSERT_EQ(cfg.dims.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(cfg.nnz),
+              static_cast<double>(p.paper_nnz) / 1024.0, 2.0);
+  // Density stays at or below the 5% cap.
+  double cells = 1.0;
+  for (index_t d : cfg.dims) cells *= static_cast<double>(d);
+  EXPECT_LE(static_cast<double>(cfg.nnz), 0.051 * cells);
+  // Hyper-sparse profiles shrink linearly (ratio preservation): for
+  // flickr-3d the density cap never binds, so dims scale by ~1/1024.
+  const auto f = frostt_profile("flickr-3d").scaled(1.0 / 1024);
+  EXPECT_NEAR(static_cast<double>(f.dims[1]),
+              static_cast<double>(frostt_profile("flickr-3d").paper_dims[1]) /
+                  1024.0,
+              2.0);
+}
+
+TEST(FrosttProfiles, ScaleValidation) {
+  EXPECT_THROW(frostt_profile("uber").scaled(0.0), Error);
+  EXPECT_THROW(frostt_profile("uber").scaled(1.5), Error);
+}
+
+TEST(FrosttProfiles, MakeTensorProducesUsableWorkload) {
+  const CooTensor t = make_frostt_tensor("nips", 1.0 / 2048, 7);
+  EXPECT_GT(t.nnz(), 500u);
+  EXPECT_EQ(t.order(), 4);
+  EXPECT_TRUE(t.is_sorted_by_mode(0));
+}
+
+// Every profile must generate a non-trivial tensor at the default scale.
+class ProfileGeneration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileGeneration, GeneratesAtDefaultScale) {
+  const CooTensor t = make_frostt_tensor(GetParam());
+  const auto& p = frostt_profile(GetParam());
+  EXPECT_EQ(t.order(), p.order());
+  EXPECT_GT(t.nnz(), 256u);
+  EXPECT_NO_THROW(t.validate());
+  // At default scale each stand-in keeps the right magnitude ordering:
+  // enron/deli/flickr/nell are "large", uber/nips/vast "small".
+  if (GetParam() == "deli-3d") {
+    EXPECT_GT(t.nnz(), 100000u);
+  }
+  if (GetParam() == "nips") {
+    EXPECT_LT(t.nnz(), 10000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileGeneration,
+    ::testing::Values("vast", "nell-2", "flickr-3d", "deli-3d", "nell-1",
+                      "uber", "nips", "enron", "flickr-4d", "deli-4d"));
+
+}  // namespace
+}  // namespace scalfrag

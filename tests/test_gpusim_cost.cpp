@@ -1,0 +1,182 @@
+// Cost-model tests: the mechanistic shape properties that drive every
+// paper figure — monotonicity in traffic, rise-then-fall in launch
+// parameters, atomic penalties, transfer-model linearity.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/transfer.hpp"
+
+namespace scalfrag::gpusim {
+namespace {
+
+const DeviceSpec kSpec = DeviceSpec::rtx3090();
+const CostModel kModel(kSpec);
+
+KernelProfile memory_bound_profile(std::uint64_t nnz = 1 << 20) {
+  KernelProfile p;
+  p.work_items = nnz;
+  p.flops = nnz * 64;
+  p.dram_bytes = nnz * 48;
+  p.coalescing = 0.6;
+  return p;
+}
+
+TEST(CostModel, MoreTrafficCostsMore) {
+  const LaunchConfig cfg{2048, 256, 0};
+  auto a = memory_bound_profile();
+  auto b = a;
+  b.dram_bytes *= 4;
+  EXPECT_LT(kModel.kernel_ns(cfg, a), kModel.kernel_ns(cfg, b));
+}
+
+TEST(CostModel, MoreFlopsCostMoreWhenComputeBound) {
+  const LaunchConfig cfg{2048, 256, 0};
+  KernelProfile a;
+  a.work_items = 1 << 20;
+  a.dram_bytes = 1 << 10;  // negligible memory
+  a.flops = 1ull << 34;
+  auto b = a;
+  b.flops *= 2;
+  EXPECT_LT(kModel.kernel_ns(cfg, a), kModel.kernel_ns(cfg, b));
+}
+
+TEST(CostModel, AtomicsAddTime) {
+  const LaunchConfig cfg{2048, 256, 0};
+  auto a = memory_bound_profile();
+  auto b = a;
+  b.atomic_updates = a.work_items * 16;
+  EXPECT_LT(kModel.kernel_ns(cfg, a), kModel.kernel_ns(cfg, b));
+}
+
+TEST(CostModel, LongSerializationChainDominatesThroughput) {
+  const LaunchConfig cfg{2048, 256, 0};
+  auto a = memory_bound_profile();
+  a.atomic_updates = 1000;  // negligible aggregate
+  a.atomic_max_chain = 1.0;
+  auto b = a;
+  b.atomic_max_chain = 1e6;  // one scorching-hot output row
+  EXPECT_LT(kModel.kernel_ns(cfg, a), kModel.kernel_ns(cfg, b));
+  // The chain bound is visible: ≥ chain · atomic_ns extra.
+  EXPECT_GE(kModel.kernel_ns(cfg, b) - kModel.kernel_ns(cfg, a),
+            static_cast<sim_ns>(0.9 * 1e6 * kSpec.atomic_ns));
+}
+
+TEST(CostModel, TinyGridStarvesTheMachine) {
+  const auto prof = memory_bound_profile();
+  const sim_ns tiny = kModel.kernel_ns({16, 64, 0}, prof);
+  const sim_ns good = kModel.kernel_ns({2048, 256, 0}, prof);
+  EXPECT_GT(tiny, 2 * good);
+}
+
+TEST(CostModel, HugeGridPaysSchedulingOverhead) {
+  // For a small kernel, 64K blocks of dispatch overhead dominate.
+  const auto prof = memory_bound_profile(1 << 14);
+  const sim_ns good = kModel.kernel_ns({512, 256, 0}, prof);
+  const sim_ns huge = kModel.kernel_ns({65536, 256, 0}, prof);
+  EXPECT_GT(huge, good);
+}
+
+TEST(CostModel, RiseThenFallAcrossGridSweep) {
+  // The Fig. 4 signature: performance (GFlops) improves with grid size,
+  // peaks, then degrades.
+  const auto prof = memory_bound_profile(1 << 16);
+  std::vector<double> g;
+  for (std::uint32_t grid = 16; grid <= 65536; grid *= 2) {
+    g.push_back(kModel.gflops({grid, 256, 0}, prof));
+  }
+  const auto best = std::max_element(g.begin(), g.end());
+  EXPECT_GT(best - g.begin(), 0) << "peak must not be the smallest grid";
+  EXPECT_LT(best - g.begin(), static_cast<long>(g.size()) - 1)
+      << "peak must not be the largest grid";
+  EXPECT_GT(*best, g.front() * 1.5);
+  EXPECT_GT(*best, g.back() * 1.05);
+}
+
+TEST(CostModel, SharedMemoryCostsOccupancyAndTime) {
+  // A per-thread shared-memory appetite lowers resident blocks, which
+  // lowers effective bandwidth and stretches a memory-bound kernel.
+  const auto prof = memory_bound_profile();
+  const LaunchConfig lean{4096, 256, 0};
+  const LaunchConfig heavy{4096, 256, 96 * 256};  // 24 KB/block → 4 blocks
+  const auto t_lean = kModel.kernel_time(lean, prof);
+  const auto t_heavy = kModel.kernel_time(heavy, prof);
+  ASSERT_TRUE(t_lean.feasible);
+  ASSERT_TRUE(t_heavy.feasible);
+  EXPECT_GT(t_lean.occupancy, t_heavy.occupancy);
+  EXPECT_LT(t_lean.total, t_heavy.total);
+  // And past the per-block cap, the config cannot launch at all:
+  // 104 B/thread × 1024 threads = 104 KB > the 99 KB block limit.
+  EXPECT_FALSE(
+      kModel.kernel_time({4096, 1024, 104 * 1024}, prof).feasible);
+}
+
+TEST(CostModel, InfeasibleConfigFlagsAndMaxes) {
+  const auto prof = memory_bound_profile();
+  const auto t = kModel.kernel_time({64, 2048, 0}, prof);
+  EXPECT_FALSE(t.feasible);
+  EXPECT_EQ(t.total, std::numeric_limits<sim_ns>::max());
+  EXPECT_DOUBLE_EQ(kModel.gflops({64, 2048, 0}, prof), 0.0);
+}
+
+TEST(CostModel, BreakdownComponentsAreConsistent) {
+  const auto prof = memory_bound_profile();
+  const auto t = kModel.kernel_time({2048, 256, 0}, prof);
+  ASSERT_TRUE(t.feasible);
+  EXPECT_GT(t.total, 0u);
+  EXPECT_GE(t.total, t.launch);
+  EXPECT_GT(t.memory, t.compute);  // this profile is memory bound
+  EXPECT_GT(t.occupancy, 0.9);
+  EXPECT_DOUBLE_EQ(t.utilization, 1.0);
+}
+
+TEST(CostModel, GflopsNeverExceedsPeak) {
+  KernelProfile p;
+  p.work_items = 1 << 20;
+  p.flops = 1ull << 36;
+  p.dram_bytes = 1;  // absurdly compute-dense
+  p.coalescing = 1.0;
+  for (std::uint32_t block : {64u, 256u, 1024u}) {
+    for (std::uint32_t grid : {256u, 4096u, 65536u}) {
+      EXPECT_LE(kModel.gflops({grid, block, 0}, p),
+                kSpec.peak_gflops() * 1.001);
+    }
+  }
+}
+
+TEST(Transfer, LatencyPlusBandwidth) {
+  // Zero bytes → pure latency.
+  const sim_ns lat = transfer_ns(kSpec, 0);
+  EXPECT_EQ(lat, static_cast<sim_ns>(kSpec.pcie_latency_us * 1e3));
+  // 24.3 GB at 24.3 GB/s ≈ 1 s.
+  const sim_ns big = transfer_ns(kSpec, static_cast<std::size_t>(24.3e9));
+  EXPECT_NEAR(static_cast<double>(big), 1e9, 1e7);
+}
+
+TEST(Transfer, MonotoneInBytes) {
+  EXPECT_LT(transfer_ns(kSpec, 1 << 10), transfer_ns(kSpec, 1 << 20));
+  EXPECT_LT(transfer_ns(kSpec, 1 << 20), transfer_ns(kSpec, 1 << 30));
+}
+
+TEST(Transfer, SmallCopiesAreLatencyDominated) {
+  // Fig. 11's over-segmentation penalty: 2 copies of N/2 bytes cost
+  // more than 1 copy of N bytes.
+  const std::size_t n = 1 << 20;
+  EXPECT_GT(2 * transfer_ns(kSpec, n / 2), transfer_ns(kSpec, n));
+}
+
+TEST(DeviceSpecTest, TableIIValues) {
+  EXPECT_EQ(kSpec.num_sms, 82);
+  EXPECT_EQ(kSpec.cuda_cores, 10496);
+  EXPECT_DOUBLE_EQ(kSpec.hbm_bandwidth_gbps, 936.2);
+  EXPECT_DOUBLE_EQ(kSpec.pcie_bandwidth_gbps, 24.3);
+  EXPECT_EQ(kSpec.global_mem_bytes, 24ull << 30);
+  const auto cpu = CpuSpec::i7_11700k();
+  EXPECT_EQ(cpu.cores, 8);
+  EXPECT_DOUBLE_EQ(cpu.mem_bandwidth_gbps, 31.2);
+  EXPECT_GT(cpu.peak_gflops(), 100.0);
+  EXPECT_GT(kSpec.peak_gflops(), 20000.0);  // ~29 TFlops fp32
+}
+
+}  // namespace
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,214 @@
+// Discrete-event engine tests: FIFO stream semantics, per-engine
+// serialization, cross-stream overlap, events, memory accounting.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/engine.hpp"
+
+namespace scalfrag::gpusim {
+namespace {
+
+DeviceSpec test_spec() {
+  DeviceSpec s = DeviceSpec::rtx3090();
+  s.pcie_latency_us = 0.0;  // crisp arithmetic in tests
+  s.kernel_launch_us = 0.0;
+  s.per_block_sched_ns = 0.0;
+  return s;
+}
+
+KernelProfile small_kernel() {
+  KernelProfile p;
+  p.work_items = 1 << 16;
+  p.flops = 1 << 20;
+  p.dram_bytes = 10 << 20;
+  return p;
+}
+
+TEST(Engine, SameStreamOpsAreFifo) {
+  SimDevice dev(test_spec());
+  dev.memcpy_h2d(0, 1 << 20, nullptr, "a");
+  dev.memcpy_h2d(0, 1 << 20, nullptr, "b");
+  dev.launch_kernel(0, {1024, 256, 0}, small_kernel(), nullptr, "k");
+  const auto& tl = dev.timeline();
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].start, 0u);
+  EXPECT_EQ(tl[1].start, tl[0].end);
+  EXPECT_EQ(tl[2].start, tl[1].end);
+}
+
+TEST(Engine, H2dEngineSerializesAcrossStreams) {
+  SimDevice dev(test_spec());
+  const StreamId s1 = dev.create_stream();
+  const StreamId s2 = dev.create_stream();
+  dev.memcpy_h2d(s1, 1 << 20, nullptr);
+  dev.memcpy_h2d(s2, 1 << 20, nullptr);
+  const auto& tl = dev.timeline();
+  // Both use the single H2D engine: second starts when first ends.
+  EXPECT_EQ(tl[1].start, tl[0].end);
+}
+
+TEST(Engine, CopyOverlapsKernelOnOtherStream) {
+  SimDevice dev(test_spec());
+  const StreamId s1 = dev.create_stream();
+  const StreamId s2 = dev.create_stream();
+  dev.launch_kernel(s1, {1024, 256, 0}, small_kernel(), nullptr, "k");
+  dev.memcpy_h2d(s2, 64 << 20, nullptr, "copy");
+  const auto& tl = dev.timeline();
+  // Different engines, different streams: both start at t=0.
+  EXPECT_EQ(tl[0].start, 0u);
+  EXPECT_EQ(tl[1].start, 0u);
+  EXPECT_GT(dev.breakdown().overlap_saved(), 0u);
+}
+
+TEST(Engine, H2dAndD2hAreIndependentEngines) {
+  SimDevice dev(test_spec());
+  const StreamId s1 = dev.create_stream();
+  const StreamId s2 = dev.create_stream();
+  dev.memcpy_h2d(s1, 32 << 20, nullptr);
+  dev.memcpy_d2h(s2, 32 << 20, nullptr);
+  const auto& tl = dev.timeline();
+  EXPECT_EQ(tl[0].start, 0u);
+  EXPECT_EQ(tl[1].start, 0u);  // full-duplex PCIe
+}
+
+TEST(Engine, KernelsSerializeOnComputeEngine) {
+  SimDevice dev(test_spec());
+  const StreamId s1 = dev.create_stream();
+  const StreamId s2 = dev.create_stream();
+  dev.launch_kernel(s1, {1024, 256, 0}, small_kernel(), nullptr);
+  dev.launch_kernel(s2, {1024, 256, 0}, small_kernel(), nullptr);
+  const auto& tl = dev.timeline();
+  EXPECT_EQ(tl[1].start, tl[0].end);
+}
+
+TEST(Engine, EventsOrderAcrossStreams) {
+  SimDevice dev(test_spec());
+  const StreamId s1 = dev.create_stream();
+  const StreamId s2 = dev.create_stream();
+  dev.memcpy_h2d(s1, 16 << 20, nullptr, "upload");
+  const EventId ev = dev.record_event(s1);
+  dev.wait_event(s2, ev);
+  dev.launch_kernel(s2, {1024, 256, 0}, small_kernel(), nullptr, "k");
+  const auto& tl = dev.timeline();
+  EXPECT_GE(tl[1].start, tl[0].end);
+}
+
+TEST(Engine, EventBeforeAnyOpIsZero) {
+  SimDevice dev(test_spec());
+  const EventId ev = dev.record_event(0);
+  const StreamId s = dev.create_stream();
+  dev.wait_event(s, ev);
+  dev.launch_kernel(s, {64, 64, 0}, small_kernel(), nullptr);
+  EXPECT_EQ(dev.timeline()[0].start, 0u);
+}
+
+TEST(Engine, FunctionalBodiesRun) {
+  SimDevice dev(test_spec());
+  int calls = 0;
+  dev.memcpy_h2d(0, 1024, [&] { ++calls; });
+  dev.launch_kernel(0, {64, 64, 0}, small_kernel(), [&] { ++calls; });
+  dev.memcpy_d2h(0, 1024, [&] { ++calls; });
+  dev.host_task(0, 100, [&] { ++calls; });
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Engine, BreakdownSumsPerKind) {
+  SimDevice dev(test_spec());
+  dev.memcpy_h2d(0, 1 << 20, nullptr);
+  dev.memcpy_d2h(0, 2 << 20, nullptr);
+  dev.host_task(0, 12345, nullptr);
+  const auto b = dev.breakdown();
+  EXPECT_GT(b.h2d, 0u);
+  EXPECT_NEAR(static_cast<double>(b.d2h), 2.0 * b.h2d, 2.0);
+  EXPECT_EQ(b.host, 12345u);
+  EXPECT_EQ(b.makespan, dev.synchronize());
+  EXPECT_EQ(b.serial_sum(), b.h2d + b.d2h + b.kernel + b.host);
+}
+
+TEST(Engine, ResetTimelineClearsClocks) {
+  SimDevice dev(test_spec());
+  dev.memcpy_h2d(0, 8 << 20, nullptr);
+  EXPECT_GT(dev.synchronize(), 0u);
+  dev.reset_timeline();
+  EXPECT_EQ(dev.synchronize(), 0u);
+  EXPECT_TRUE(dev.timeline().empty());
+  dev.memcpy_h2d(0, 1 << 20, nullptr);
+  EXPECT_EQ(dev.timeline()[0].start, 0u);
+}
+
+TEST(Engine, InvalidStreamAndEventThrow) {
+  SimDevice dev(test_spec());
+  EXPECT_THROW(dev.memcpy_h2d(99, 1, nullptr), Error);
+  EXPECT_THROW(dev.record_event(-1), Error);
+  EXPECT_THROW(dev.wait_event(0, 42), Error);
+}
+
+TEST(Engine, InfeasibleKernelLaunchThrows) {
+  SimDevice dev(test_spec());
+  EXPECT_THROW(
+      dev.launch_kernel(0, {64, 4096, 0}, small_kernel(), nullptr), Error);
+}
+
+TEST(DeviceMemory, AllocatorTracksUsageAndPeak) {
+  DeviceAllocator a(1000);
+  a.allocate(400);
+  EXPECT_EQ(a.used(), 400u);
+  a.allocate(500);
+  EXPECT_EQ(a.used(), 900u);
+  EXPECT_EQ(a.peak(), 900u);
+  a.release(500);
+  EXPECT_EQ(a.used(), 400u);
+  EXPECT_EQ(a.peak(), 900u);
+  EXPECT_EQ(a.available(), 600u);
+}
+
+TEST(DeviceMemory, OverAllocationThrows) {
+  DeviceAllocator a(100);
+  a.allocate(80);
+  EXPECT_THROW(a.allocate(21), DeviceOutOfMemory);
+  try {
+    a.allocate(50);
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 50u);
+    EXPECT_EQ(e.available(), 20u);
+  }
+}
+
+TEST(DeviceMemory, BufferRaiiReleasesOnDestruction) {
+  DeviceAllocator a(1 << 20);
+  {
+    DeviceBuffer<float> buf(a, 1024);
+    EXPECT_EQ(a.used(), 1024 * sizeof(float));
+    EXPECT_EQ(buf.count(), 1024u);
+    buf.data()[0] = 1.0f;
+  }
+  EXPECT_EQ(a.used(), 0u);
+}
+
+TEST(DeviceMemory, BufferMoveTransfersOwnership) {
+  DeviceAllocator a(1 << 20);
+  DeviceBuffer<int> b1(a, 256);
+  DeviceBuffer<int> b2 = std::move(b1);
+  EXPECT_FALSE(b1.valid());
+  EXPECT_TRUE(b2.valid());
+  EXPECT_EQ(a.used(), 256 * sizeof(int));
+  b2 = DeviceBuffer<int>(a, 16);
+  EXPECT_EQ(a.used(), 16 * sizeof(int));
+}
+
+TEST(DeviceMemory, SimDeviceExposes24GB) {
+  SimDevice dev(DeviceSpec::rtx3090());
+  EXPECT_EQ(dev.allocator().capacity(), 24ull << 30);
+  EXPECT_THROW(DeviceBuffer<char>(dev.allocator(), 25ull << 30),
+               DeviceOutOfMemory);
+}
+
+TEST(Engine, OpKindNames) {
+  EXPECT_STREQ(op_kind_name(OpKind::H2D), "H2D");
+  EXPECT_STREQ(op_kind_name(OpKind::D2H), "D2H");
+  EXPECT_STREQ(op_kind_name(OpKind::Kernel), "Kernel");
+  EXPECT_STREQ(op_kind_name(OpKind::Host), "Host");
+}
+
+}  // namespace
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,87 @@
+// Occupancy-calculator tests against hand-computed GA102 numbers.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/occupancy.hpp"
+
+namespace scalfrag::gpusim {
+namespace {
+
+const DeviceSpec kSpec = DeviceSpec::rtx3090();
+
+TEST(Occupancy, Block256NoShmemIsThreadLimited) {
+  const auto occ = compute_occupancy(kSpec, {1024, 256, 0});
+  ASSERT_TRUE(occ.feasible);
+  // 1536 / 256 = 6 blocks (< 16-block cap).
+  EXPECT_EQ(occ.blocks_per_sm, 6);
+  EXPECT_EQ(occ.threads_per_sm, 1536);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+  EXPECT_EQ(occ.resident_blocks, 6 * 82);
+}
+
+TEST(Occupancy, Block32IsBlockSlotLimited) {
+  const auto occ = compute_occupancy(kSpec, {1024, 32, 0});
+  ASSERT_TRUE(occ.feasible);
+  // 16-block cap binds before the 1536/32=48 thread limit.
+  EXPECT_EQ(occ.blocks_per_sm, 16);
+  EXPECT_EQ(occ.threads_per_sm, 512);
+  EXPECT_NEAR(occ.fraction, 512.0 / 1536.0, 1e-12);
+}
+
+TEST(Occupancy, Block1024LeavesThirdIdle) {
+  const auto occ = compute_occupancy(kSpec, {1024, 1024, 0});
+  ASSERT_TRUE(occ.feasible);
+  EXPECT_EQ(occ.blocks_per_sm, 1);
+  EXPECT_NEAR(occ.fraction, 1024.0 / 1536.0, 1e-12);
+}
+
+TEST(Occupancy, NonWarpMultipleRoundsUp) {
+  // 100 threads allocate 4 warps = 128 lanes.
+  const auto occ = compute_occupancy(kSpec, {64, 100, 0});
+  ASSERT_TRUE(occ.feasible);
+  EXPECT_EQ(occ.blocks_per_sm, 12);  // 1536/128
+  EXPECT_EQ(occ.threads_per_sm, 12 * 128);
+}
+
+TEST(Occupancy, SharedMemoryLimitsResidency) {
+  // 30 KB/block → floor(100/30) = 3 blocks despite 6 fitting by threads.
+  const auto occ = compute_occupancy(kSpec, {1024, 256, 30 * 1024});
+  ASSERT_TRUE(occ.feasible);
+  EXPECT_EQ(occ.blocks_per_sm, 3);
+}
+
+TEST(Occupancy, InfeasibleConfigs) {
+  EXPECT_FALSE(compute_occupancy(kSpec, {0, 256, 0}).feasible);
+  EXPECT_FALSE(compute_occupancy(kSpec, {64, 0, 0}).feasible);
+  EXPECT_FALSE(compute_occupancy(kSpec, {64, 2048, 0}).feasible);  // > 1024
+  EXPECT_FALSE(
+      compute_occupancy(kSpec, {64, 128, 128 * 1024}).feasible);  // > cap
+}
+
+TEST(Occupancy, WavesScaleWithGrid) {
+  const auto occ = compute_occupancy(kSpec, {984, 256, 0});
+  // 6 blocks/SM × 82 SMs = 492 resident → 2 exact waves at grid 984.
+  EXPECT_DOUBLE_EQ(occ.waves(984), 2.0);
+  EXPECT_DOUBLE_EQ(occ.waves(492), 1.0);
+}
+
+TEST(Occupancy, CandidateGridIsPowerOfTwoSweep) {
+  const auto cands = launch_candidates(kSpec);
+  EXPECT_FALSE(cands.empty());
+  // 6 block sizes (32..1024) × 13 grid sizes (16..65536).
+  EXPECT_EQ(cands.size(), 6u * 13u);
+  for (const auto& c : cands) {
+    EXPECT_TRUE(compute_occupancy(kSpec, c).feasible) << c.str();
+  }
+}
+
+TEST(Occupancy, LaunchConfigHelpers) {
+  LaunchConfig c{128, 256, 0};
+  EXPECT_EQ(c.total_threads(), 128ull * 256);
+  EXPECT_EQ(c.str(), "<128x256>");
+  EXPECT_TRUE((c == LaunchConfig{128, 256, 0}));
+  EXPECT_FALSE((c == LaunchConfig{128, 512, 0}));
+}
+
+}  // namespace
+}  // namespace scalfrag::gpusim

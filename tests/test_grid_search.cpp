@@ -1,0 +1,57 @@
+// Grid-search tests.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/metrics.hpp"
+
+namespace scalfrag::ml {
+namespace {
+
+Dataset noisy_step(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+    const double row[2] = {a, b};
+    d.add(row, (a < 0.5 ? 0.0 : 4.0) + 0.8 * rng.normal());
+  }
+  return d;
+}
+
+TEST(GridSearch, EvaluatesFullGridAndPicksMin) {
+  const Dataset d = noisy_step(300, 1);
+  const auto res = grid_search_dtree(d, {1, 4, 12}, {1, 8}, 3, rmse);
+  EXPECT_EQ(res.trials.size(), 6u);
+  for (const auto& [cfg, score] : res.trials) {
+    EXPECT_GE(score, res.best_score);
+  }
+  // The winning config must appear in the trials with the best score.
+  bool found = false;
+  for (const auto& [cfg, score] : res.trials) {
+    if (cfg.max_depth == res.best.max_depth &&
+        cfg.min_samples_leaf == res.best.min_samples_leaf &&
+        score == res.best_score) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GridSearch, DeepTreesOverfitNoisyData) {
+  // With heavy label noise, depth-1 (the true structure) should beat
+  // unconstrained depth on held-out folds.
+  const Dataset d = noisy_step(400, 2);
+  const auto res = grid_search_dtree(d, {1, 16}, {1}, 4, rmse);
+  EXPECT_EQ(res.best.max_depth, 1);
+}
+
+TEST(GridSearch, ValidatesGrid) {
+  const Dataset d = noisy_step(50, 3);
+  EXPECT_THROW(grid_search_dtree(d, {}, {1}, 3, rmse), Error);
+  EXPECT_THROW(grid_search_dtree(d, {3}, {}, 3, rmse), Error);
+}
+
+}  // namespace
+}  // namespace scalfrag::ml

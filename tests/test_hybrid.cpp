@@ -1,0 +1,109 @@
+// Hybrid CPU/GPU partition tests: conservation, threshold semantics,
+// functional equivalence and the CPU cost model.
+
+#include <gtest/gtest.h>
+
+#include "scalfrag/hybrid.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+TEST(Hybrid, PartitionConservesEntries) {
+  CooTensor t = make_frostt_tensor("enron", 1.0 / 4096, 51);
+  const auto part = partition_for_hybrid(t, 0, 8);
+  EXPECT_EQ(part.cpu_part.nnz() + part.gpu_part.nnz(), t.nnz());
+  double sum_t = 0, sum_p = 0;
+  for (value_t v : t.values()) sum_t += v;
+  for (value_t v : part.cpu_part.values()) sum_p += v;
+  for (value_t v : part.gpu_part.values()) sum_p += v;
+  EXPECT_NEAR(sum_t, sum_p, 1e-3);
+}
+
+TEST(Hybrid, ThresholdRoutesShortSlicesToCpu) {
+  CooTensor t({4, 100});
+  // Slice 0: 1 nnz (short). Slice 1: 50 nnz (long). Slice 3: 2 nnz.
+  t.push({0, 7}, 1.0f);
+  for (index_t j = 0; j < 50; ++j) t.push({1, j}, 1.0f);
+  t.push({3, 1}, 1.0f);
+  t.push({3, 2}, 1.0f);
+  t.sort_by_mode(0);
+  const auto part = partition_for_hybrid(t, 0, 4);
+  EXPECT_EQ(part.cpu_part.nnz(), 3u);  // slices 0 and 3
+  EXPECT_EQ(part.gpu_part.nnz(), 50u);
+  EXPECT_EQ(part.cpu_slices, 2u);
+  EXPECT_EQ(part.gpu_slices, 1u);
+}
+
+TEST(Hybrid, ZeroThresholdSendsAllToGpu) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 52);
+  const auto part = partition_for_hybrid(t, 0, 0);
+  EXPECT_EQ(part.cpu_part.nnz(), 0u);
+  EXPECT_EQ(part.gpu_part.nnz(), t.nnz());
+  EXPECT_GT(part.gpu_slices, 0u);
+}
+
+TEST(Hybrid, PartsRemainModeSorted) {
+  CooTensor t = make_frostt_tensor("enron", 1.0 / 8192, 53);
+  const auto part = partition_for_hybrid(t, 0, 6);
+  EXPECT_TRUE(part.cpu_part.is_sorted_by_mode(0));
+  EXPECT_TRUE(part.gpu_part.is_sorted_by_mode(0));
+}
+
+TEST(Hybrid, PartsSumToWholeMttkrp) {
+  CooTensor t = make_frostt_tensor("enron", 1.0 / 8192, 54);
+  const auto f = random_factors(t, 8, 55);
+  const auto whole = mttkrp_coo_ref(t, f, 0);
+
+  const auto part = partition_for_hybrid(t, 0, 6);
+  DenseMatrix acc(t.dim(0), 8);
+  cpu_mttkrp_exec(part.cpu_part, f, 0, acc);
+  mttkrp_coo_ref(part.gpu_part, f, 0, acc, /*accumulate=*/true);
+  EXPECT_LT(DenseMatrix::max_abs_diff(whole, acc), 2e-3);
+}
+
+TEST(Hybrid, CpuExecMatchesReferenceOnLargePart) {
+  // Force the threaded path (nnz > 4096).
+  GeneratorConfig g{.dims = {64, 128, 128},
+                    .nnz = 20000,
+                    .skew = {1.5, 1.5, 1.5},
+                    .seed = 56};
+  CooTensor t = generate_coo(g);
+  const auto f = random_factors(t, 8, 57);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  DenseMatrix got(t.dim(0), 8);
+  cpu_mttkrp_exec(t, f, 0, got);
+  EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 2e-3);
+}
+
+TEST(Hybrid, CpuTimeModelScalesWithWork) {
+  const auto cpu = gpusim::CpuSpec::i7_11700k();
+  CooTensor small = make_frostt_tensor("nips", 1.0 / 8192, 58);
+  CooTensor big = make_frostt_tensor("nips", 1.0 / 1024, 58);
+  EXPECT_LT(cpu_mttkrp_ns(cpu, small, 16), cpu_mttkrp_ns(cpu, big, 16));
+  EXPECT_LT(cpu_mttkrp_ns(cpu, small, 8), cpu_mttkrp_ns(cpu, small, 64));
+  CooTensor empty({4, 4});
+  EXPECT_EQ(cpu_mttkrp_ns(cpu, empty, 16), 0u);
+}
+
+TEST(Hybrid, RequiresSortedInput) {
+  CooTensor t({4, 4});
+  t.push({3, 0}, 1.0f);
+  t.push({0, 0}, 1.0f);
+  EXPECT_THROW(partition_for_hybrid(t, 0, 2), Error);
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,82 @@
+// FROSTT .tns I/O tests: parsing, comments, validation, round trips.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/generator.hpp"
+#include "tensor/io_tns.hpp"
+
+namespace scalfrag {
+namespace {
+
+TEST(IoTns, ParsesBasicFile) {
+  std::istringstream in(
+      "# a comment line\n"
+      "1 1 1 1.5\n"
+      "2 3 1 -2.0\n"
+      "\n"
+      "4 2 2 0.25  # trailing comment\n");
+  const CooTensor t = read_tns(in);
+  ASSERT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 3u);
+  // Dims inferred from max index.
+  EXPECT_EQ(t.dims(), (std::vector<index_t>{4, 3, 2}));
+  EXPECT_EQ(t.index(0, 0), 0u);  // 1-based → 0-based
+  EXPECT_FLOAT_EQ(t.value(1), -2.0f);
+}
+
+TEST(IoTns, DimsHintValidates) {
+  std::istringstream ok("1 1 2.0\n");
+  const CooTensor t = read_tns(ok, {5, 5});
+  EXPECT_EQ(t.dims(), (std::vector<index_t>{5, 5}));
+
+  std::istringstream bad("9 1 2.0\n");
+  EXPECT_THROW(read_tns(bad, {5, 5}), Error);
+}
+
+TEST(IoTns, RejectsMalformedLines) {
+  std::istringstream wrong_arity("1 1 1 1.0\n1 1 2.0\n");
+  EXPECT_THROW(read_tns(wrong_arity), Error);
+
+  std::istringstream zero_index("0 1 1.0\n");
+  EXPECT_THROW(read_tns(zero_index), Error);
+
+  std::istringstream frac_index("1.5 1 1.0\n");
+  EXPECT_THROW(read_tns(frac_index), Error);
+
+  std::istringstream empty("# only comments\n\n");
+  EXPECT_THROW(read_tns(empty), Error);
+}
+
+TEST(IoTns, RoundTripPreservesEntries) {
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 8192, 11);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+  // Hint dims: trailing empty slices would otherwise shrink the dims.
+  const CooTensor back = read_tns(in, t.dims());
+  ASSERT_EQ(back.nnz(), t.nnz());
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    for (order_t m = 0; m < t.order(); ++m) {
+      EXPECT_EQ(back.index(m, e), t.index(m, e));
+    }
+    EXPECT_NEAR(back.value(e), t.value(e), 1e-5);
+  }
+}
+
+TEST(IoTns, FileRoundTrip) {
+  const CooTensor t = make_frostt_tensor("nips", 1.0 / 8192, 13);
+  const std::string path = ::testing::TempDir() + "scalfrag_io_test.tns";
+  write_tns_file(path, t);
+  const CooTensor back = read_tns_file(path, t.dims());
+  EXPECT_EQ(back.nnz(), t.nnz());
+  std::remove(path.c_str());
+}
+
+TEST(IoTns, MissingFileThrows) {
+  EXPECT_THROW(read_tns_file("/nonexistent/dir/x.tns"), Error);
+}
+
+}  // namespace
+}  // namespace scalfrag

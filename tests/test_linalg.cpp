@@ -1,0 +1,170 @@
+// Dense linear algebra tests: products against hand calculations,
+// eigendecomposition and pseudo-inverse properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/linalg.hpp"
+
+namespace scalfrag {
+namespace {
+
+DenseMatrix from_rows(std::initializer_list<std::initializer_list<double>> rows) {
+  const auto r = static_cast<index_t>(rows.size());
+  const auto c = static_cast<index_t>(rows.begin()->size());
+  DenseMatrix m(r, c);
+  index_t i = 0;
+  for (const auto& row : rows) {
+    index_t j = 0;
+    for (double v : row) m(i, j++) = static_cast<value_t>(v);
+    ++i;
+  }
+  return m;
+}
+
+TEST(Linalg, MatmulKnownResult) {
+  const auto a = from_rows({{1, 2}, {3, 4}});
+  const auto b = from_rows({{5, 6}, {7, 8}});
+  const auto c = linalg::matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Linalg, MatmulShapeMismatchThrows) {
+  const auto a = from_rows({{1, 2, 3}});
+  const auto b = from_rows({{1, 2}});
+  EXPECT_THROW(linalg::matmul(a, b), Error);
+}
+
+TEST(Linalg, MatmulTnEqualsTransposeThenMultiply) {
+  Rng rng(5);
+  DenseMatrix a(7, 3), b(7, 4);
+  a.randomize(rng);
+  b.randomize(rng);
+  const auto direct = linalg::matmul_tn(a, b);
+  const auto via_t = linalg::matmul(linalg::transpose(a), b);
+  EXPECT_LT(DenseMatrix::max_abs_diff(direct, via_t), 1e-4);
+}
+
+TEST(Linalg, GramIsSymmetricPsd) {
+  Rng rng(6);
+  DenseMatrix a(20, 5);
+  a.randomize(rng);
+  const auto g = linalg::gram(a);
+  ASSERT_EQ(g.rows(), 5u);
+  ASSERT_EQ(g.cols(), 5u);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_GE(g(i, i), 0.0f);
+    for (index_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(g(i, j), g(j, i), 1e-4);
+    }
+  }
+}
+
+TEST(Linalg, HadamardInplace) {
+  auto a = from_rows({{1, 2}, {3, 4}});
+  const auto b = from_rows({{2, 3}, {4, 5}});
+  linalg::hadamard_inplace(a, b);
+  EXPECT_FLOAT_EQ(a(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(a(1, 1), 20.0f);
+}
+
+TEST(Linalg, TransposeRoundTrip) {
+  Rng rng(7);
+  DenseMatrix a(4, 9);
+  a.randomize(rng);
+  const auto tt = linalg::transpose(linalg::transpose(a));
+  EXPECT_LT(DenseMatrix::max_abs_diff(a, tt), 1e-7);
+}
+
+TEST(Linalg, JacobiEigenDiagonalMatrix) {
+  const auto m = from_rows({{3, 0, 0}, {0, 1, 0}, {0, 0, 2}});
+  DenseMatrix vec;
+  auto w = linalg::jacobi_eigen_symmetric(m, vec);
+  std::sort(w.begin(), w.end());
+  EXPECT_NEAR(w[0], 1.0, 1e-6);
+  EXPECT_NEAR(w[1], 2.0, 1e-6);
+  EXPECT_NEAR(w[2], 3.0, 1e-6);
+}
+
+TEST(Linalg, JacobiEigenReconstructs) {
+  // m = V diag(w) Vᵀ must reproduce the input.
+  Rng rng(8);
+  DenseMatrix b(6, 6);
+  b.randomize(rng);
+  const auto m = linalg::gram(b);  // symmetric PSD
+  DenseMatrix vec;
+  const auto w = linalg::jacobi_eigen_symmetric(m, vec);
+  DenseMatrix recon(6, 6);
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      double s = 0.0;
+      for (index_t k = 0; k < 6; ++k) {
+        s += static_cast<double>(vec(i, k)) * w[k] *
+             static_cast<double>(vec(j, k));
+      }
+      recon(i, j) = static_cast<value_t>(s);
+    }
+  }
+  EXPECT_LT(DenseMatrix::max_abs_diff(m, recon), 1e-3);
+}
+
+TEST(Linalg, PinvOfInvertibleIsInverse) {
+  const auto m = from_rows({{4, 1}, {1, 3}});
+  const auto inv = linalg::pinv_spd(m);
+  const auto prod = linalg::matmul(m, inv);
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-4);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-4);
+  EXPECT_NEAR(prod(1, 0), 0.0, 1e-4);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-4);
+}
+
+TEST(Linalg, PinvSatisfiesMoorePenroseOnSingular) {
+  // Rank-1 PSD matrix: m = v vᵀ.
+  const auto m = from_rows({{1, 2}, {2, 4}});
+  const auto p = linalg::pinv_spd(m);
+  // M P M = M.
+  const auto mpm = linalg::matmul(linalg::matmul(m, p), m);
+  EXPECT_LT(DenseMatrix::max_abs_diff(m, mpm), 1e-3);
+  // P M P = P.
+  const auto pmp = linalg::matmul(linalg::matmul(p, m), p);
+  EXPECT_LT(DenseMatrix::max_abs_diff(p, pmp), 1e-3);
+}
+
+TEST(Linalg, FrobeniusNorm) {
+  const auto m = from_rows({{3, 0}, {0, 4}});
+  EXPECT_NEAR(linalg::frobenius_norm(m), 5.0, 1e-6);
+}
+
+TEST(Linalg, MaxAbs) {
+  const auto m = from_rows({{-7, 2}, {3, 4}});
+  EXPECT_NEAR(linalg::max_abs(m), 7.0, 1e-6);
+}
+
+TEST(Linalg, ColumnNorms) {
+  const auto m = from_rows({{3, 0}, {4, 1}});
+  const auto n = linalg::column_norms(m);
+  EXPECT_NEAR(n[0], 5.0, 1e-5);
+  EXPECT_NEAR(n[1], 1.0, 1e-5);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiffRequiresSameShape) {
+  DenseMatrix a(2, 2), b(2, 3);
+  EXPECT_THROW(DenseMatrix::max_abs_diff(a, b), Error);
+}
+
+TEST(DenseMatrixTest, RandomizeFillsUnitInterval) {
+  Rng rng(9);
+  DenseMatrix a(10, 10);
+  a.randomize(rng);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a.data()[i], 0.0f);
+    EXPECT_LT(a.data()[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,171 @@
+// MTTKRP reference correctness: brute-force dense cross-check,
+// algebraic properties (linearity, permutation invariance), and
+// segment-sum decomposition — the invariant ScalFrag's tiling relies on.
+
+#include <gtest/gtest.h>
+
+#include "tensor/generator.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+namespace {
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+/// Brute-force MTTKRP by literally materializing Eq. 4's sum.
+DenseMatrix brute_force(const CooTensor& t, const FactorList& factors,
+                        order_t mode) {
+  const index_t rank = factors[0].cols();
+  DenseMatrix out(t.dim(mode), rank);
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    for (index_t f = 0; f < rank; ++f) {
+      double prod = t.value(e);
+      for (order_t m = 0; m < t.order(); ++m) {
+        if (m == mode) continue;
+        prod *= factors[m](t.index(m, e), f);
+      }
+      out(t.index(mode, e), f) += static_cast<value_t>(prod);
+    }
+  }
+  return out;
+}
+
+TEST(MttkrpRef, MatchesHandComputed2x2) {
+  // X(0,0)=1, X(1,1)=2; B = [[1,2],[3,4]]. Mode-0 MTTKRP with rank 2:
+  // M(0,:) = 1 * B(0,:) = (1,2); M(1,:) = 2 * B(1,:) = (6,8).
+  CooTensor t({2, 2});
+  t.push({0, 0}, 1.0f);
+  t.push({1, 1}, 2.0f);
+  FactorList f;
+  f.emplace_back(2, 2);  // A (unused by mode-0)
+  DenseMatrix b(2, 2);
+  b(0, 0) = 1;
+  b(0, 1) = 2;
+  b(1, 0) = 3;
+  b(1, 1) = 4;
+  f.push_back(b);
+  const auto m = mttkrp_coo_ref(t, f, 0);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 6.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 8.0f);
+}
+
+TEST(MttkrpRef, CheckFactorsRejectsBadShapes) {
+  CooTensor t({3, 4, 5});
+  t.push({0, 0, 0}, 1.0f);
+  FactorList f;
+  f.emplace_back(3, 8);
+  f.emplace_back(4, 8);
+  EXPECT_THROW(check_factors(t, f), Error);  // missing one factor
+  f.emplace_back(5, 4);                      // wrong rank
+  EXPECT_THROW(check_factors(t, f), Error);
+  f[2] = DenseMatrix(5, 8);
+  EXPECT_EQ(check_factors(t, f), 8u);
+  f[1] = DenseMatrix(3, 8);  // wrong row count
+  EXPECT_THROW(check_factors(t, f), Error);
+}
+
+TEST(MttkrpRef, AccumulateAddsOntoExisting) {
+  CooTensor t({2, 2});
+  t.push({0, 0}, 1.0f);
+  auto f = random_factors(t, 4, 1);
+  DenseMatrix out(2, 4, 1.0f);
+  mttkrp_coo_ref(t, f, 0, out, /*accumulate=*/true);
+  for (index_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out(1, j), 1.0f);  // untouched row keeps prior value
+    EXPECT_GT(out(0, j), 1.0f - 1e-6);
+  }
+}
+
+TEST(MttkrpRef, LinearInTensorValues) {
+  const CooTensor t = make_frostt_tensor("nips", 1.0 / 8192, 3);
+  auto f = random_factors(t, 8, 2);
+  const auto m1 = mttkrp_coo_ref(t, f, 0);
+  CooTensor t2 = t;
+  for (auto& v : t2.values()) v *= 3.0f;
+  const auto m3 = mttkrp_coo_ref(t2, f, 0);
+  double max_rel = 0.0;
+  for (index_t i = 0; i < m1.rows(); ++i) {
+    for (index_t j = 0; j < m1.cols(); ++j) {
+      max_rel = std::max(max_rel,
+                         std::abs(3.0 * m1(i, j) - m3(i, j)) /
+                             std::max(1e-6, std::abs(3.0 * m1(i, j))));
+    }
+  }
+  EXPECT_LT(max_rel, 1e-4);
+}
+
+TEST(MttkrpRef, InvariantToEntryOrder) {
+  GeneratorConfig g{.dims = {32, 40, 24}, .nnz = 600, .skew = {}, .seed = 4};
+  CooTensor t = generate_coo(g);
+  auto f = random_factors(t, 8, 5);
+  const auto sorted0 = mttkrp_coo_ref(t, f, 1);
+  t.sort_by_mode(2);  // different permutation of the same entries
+  const auto sorted2 = mttkrp_coo_ref(t, f, 1);
+  EXPECT_LT(DenseMatrix::max_abs_diff(sorted0, sorted2), 1e-3);
+}
+
+TEST(MttkrpRef, SegmentsSumToWhole) {
+  CooTensor t = make_frostt_tensor("uber", 1.0 / 4096, 6);
+  t.sort_by_mode(0);
+  auto f = random_factors(t, 8, 7);
+  const auto whole = mttkrp_coo_ref(t, f, 0);
+
+  DenseMatrix acc(t.dim(0), 8);
+  const nnz_t third = t.nnz() / 3;
+  for (int s = 0; s < 3; ++s) {
+    const nnz_t lo = s * third;
+    const nnz_t hi = s == 2 ? t.nnz() : (s + 1) * third;
+    const CooTensor seg = t.extract(lo, hi);
+    mttkrp_coo_ref(seg, f, 0, acc, /*accumulate=*/true);
+  }
+  EXPECT_LT(DenseMatrix::max_abs_diff(whole, acc), 1e-3);
+}
+
+TEST(MttkrpRef, FlopCountFormula) {
+  CooTensor t({4, 4, 4});
+  t.push({0, 0, 0}, 1.0f);
+  t.push({1, 1, 1}, 1.0f);
+  EXPECT_EQ(mttkrp_flops(t, 16), 2ull * 16 * 2 * 2);  // nnz·2·F·(order-1)
+}
+
+// Parameterized brute-force equivalence across order × mode × rank.
+class MttkrpBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MttkrpBruteForce, ReferenceMatchesBruteForce) {
+  const auto [order, mode, rank] = GetParam();
+  if (mode >= order) GTEST_SKIP();
+  GeneratorConfig g;
+  for (int m = 0; m < order; ++m) {
+    g.dims.push_back(10 + 6 * m);
+    g.skew.push_back(1.0 + 0.3 * m);
+  }
+  g.nnz = 400;
+  g.seed = 40 + order * 7 + mode * 3 + rank;
+  const CooTensor t = generate_coo(g);
+  const auto f = random_factors(t, static_cast<index_t>(rank), g.seed);
+  const auto a = mttkrp_coo_ref(t, f, static_cast<order_t>(mode));
+  const auto b = brute_force(t, f, static_cast<order_t>(mode));
+  EXPECT_LT(DenseMatrix::max_abs_diff(a, b), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MttkrpBruteForce,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                       ::testing::Values(0, 1, 3),
+                       ::testing::Values(1, 8, 32)));
+
+}  // namespace
+}  // namespace scalfrag

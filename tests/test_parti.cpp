@@ -1,0 +1,113 @@
+// ParTI baseline tests: functional correctness vs the reference, the
+// static launch heuristic, and the synchronous end-to-end timeline.
+
+#include <gtest/gtest.h>
+
+#include "parti/parti_executor.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+TEST(PartiKernel, DefaultLaunchHeuristic) {
+  const auto spec = gpusim::DeviceSpec::rtx3090();
+  auto cfg = parti::default_launch(spec, 1 << 20);
+  EXPECT_EQ(cfg.block, 256u);
+  EXPECT_EQ(cfg.grid, (1u << 20) / 256);
+  // Caps at 32768 blocks.
+  cfg = parti::default_launch(spec, 1ull << 30);
+  EXPECT_EQ(cfg.grid, 32768u);
+  // Tiny input still launches at least one block.
+  cfg = parti::default_launch(spec, 5);
+  EXPECT_EQ(cfg.grid, 1u);
+}
+
+TEST(PartiKernel, ProfileScalesWithTensor) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 2048, 31);
+  const auto feat = TensorFeatures::extract(t, 0);
+  const auto p16 = parti::mttkrp_profile(feat, 16);
+  const auto p32 = parti::mttkrp_profile(feat, 32);
+  EXPECT_EQ(p16.work_items, t.nnz());
+  EXPECT_EQ(p16.flops, mttkrp_flops(t, 16));
+  EXPECT_LT(p16.dram_bytes, p32.dram_bytes);
+  EXPECT_EQ(p16.atomic_updates, t.nnz() * 16);
+  EXPECT_EQ(p16.atomic_max_chain, static_cast<double>(feat.max_nnz_per_slice));
+}
+
+TEST(PartiExecutor, OutputMatchesReference) {
+  CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 32);
+  t.sort_by_mode(1);
+  const auto f = random_factors(t, 16, 33);
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  const auto res = parti::run_mttkrp(dev, t, f, 1);
+  const auto expect = mttkrp_coo_ref(t, f, 1);
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3);
+}
+
+TEST(PartiExecutor, TimelineIsFullySynchronous) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 34);
+  const auto f = random_factors(t, 16, 35);
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  const auto res = parti::run_mttkrp(dev, t, f, 0);
+  // Single stream → zero overlap: makespan equals the serial sum.
+  EXPECT_EQ(res.breakdown.overlap_saved(), 0u);
+  EXPECT_GT(res.breakdown.h2d, 0u);
+  EXPECT_GT(res.breakdown.kernel, 0u);
+  EXPECT_GT(res.breakdown.d2h, 0u);
+  EXPECT_EQ(res.total_ns, res.breakdown.makespan);
+}
+
+TEST(PartiExecutor, H2dDominatesForLargeTensors) {
+  // The Fig. 5 observation: transfers swamp the kernel.
+  CooTensor t = make_frostt_tensor("deli-3d", 1.0 / 1024, 36);
+  const auto f = random_factors(t, 16, 37);
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  const auto res = parti::run_mttkrp(dev, t, f, 0);
+  EXPECT_GT(res.breakdown.h2d, res.breakdown.kernel);
+  EXPECT_GT(res.breakdown.h2d, res.breakdown.d2h);
+}
+
+TEST(PartiExecutor, LaunchOverrideChangesKernelTime) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 2048, 38);
+  const auto f = random_factors(t, 16, 39);
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  parti::ExecOptions bad;
+  bad.launch = gpusim::LaunchConfig{16, 32, 0};  // starved machine
+  const auto res_bad = parti::run_mttkrp(dev, t, f, 0, bad);
+  const auto res_def = parti::run_mttkrp(dev, t, f, 0);
+  EXPECT_GT(res_bad.kernel_ns, res_def.kernel_ns);
+  EXPECT_LT(res_bad.kernel_gflops, res_def.kernel_gflops);
+}
+
+TEST(PartiExecutor, RequiresModeSortedInput) {
+  CooTensor t({4, 4});
+  t.push({3, 0}, 1.0f);
+  t.push({0, 0}, 1.0f);
+  const auto f = random_factors(t, 4, 40);
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  EXPECT_THROW(parti::run_mttkrp(dev, t, f, 0), Error);
+}
+
+TEST(PartiExecutor, DeviceMemoryIsReleasedAfterRun) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 2048, 41);
+  const auto f = random_factors(t, 16, 42);
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  parti::run_mttkrp(dev, t, f, 0);
+  EXPECT_EQ(dev.allocator().used(), 0u);
+  EXPECT_GT(dev.allocator().peak(), t.bytes());
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,224 @@
+// Pipeline executor tests: functional correctness across every option
+// combination, overlap/latency invariants, memory frugality.
+
+#include <gtest/gtest.h>
+
+#include "parti/parti_executor.hpp"
+#include "scalfrag/pipeline.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+const gpusim::DeviceSpec kSpec = gpusim::DeviceSpec::rtx3090();
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+TEST(Pipeline, OutputMatchesReferenceDefaults) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 71);
+  const auto f = random_factors(t, 16, 72);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  const auto res = exec.run(t, f, 0);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3);
+  EXPECT_EQ(res.launches.size(), res.plan.size());
+}
+
+TEST(Pipeline, OverlapBeatsSynchronousBaseline) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 2048, 73);
+  const auto f = random_factors(t, 16, 74);
+  gpusim::SimDevice dev(kSpec);
+
+  const auto sync = parti::run_mttkrp(dev, t, f, 0);
+  PipelineExecutor exec(dev);
+  const auto piped = exec.run(t, f, 0);
+
+  EXPECT_LT(piped.total_ns, sync.total_ns);
+  EXPECT_GT(piped.breakdown.overlap_saved(), 0u);
+}
+
+TEST(Pipeline, SingleStreamSingleSegmentHasNoOverlap) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 2048, 75);
+  const auto f = random_factors(t, 16, 76);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  PipelineOptions opt;
+  opt.num_segments = 1;
+  opt.num_streams = 1;
+  const auto res = exec.run(t, f, 0, opt);
+  EXPECT_EQ(res.breakdown.overlap_saved(), 0u);
+  ASSERT_EQ(res.plan.size(), 1u);
+}
+
+TEST(Pipeline, StaticLaunchFallbackWithoutSelector) {
+  CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 77);
+  const auto f = random_factors(t, 16, 78);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev, nullptr);
+  PipelineOptions opt;
+  opt.adaptive_launch = true;  // requested but no selector available
+  const auto res = exec.run(t, f, 0, opt);
+  for (const auto& l : res.launches) {
+    EXPECT_EQ(l.block, 256u);  // ParTI heuristic
+  }
+  EXPECT_DOUBLE_EQ(res.selection_seconds, 0.0);
+}
+
+TEST(Pipeline, LaunchOverrideIsHonored) {
+  CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 79);
+  const auto f = random_factors(t, 16, 80);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  PipelineOptions opt;
+  opt.launch_override = gpusim::LaunchConfig{512, 128, 0};
+  const auto res = exec.run(t, f, 0, opt);
+  for (const auto& l : res.launches) {
+    EXPECT_EQ(l.grid, 512u);
+    EXPECT_EQ(l.block, 128u);
+    // shmem injected for the shared-memory kernel.
+    EXPECT_EQ(l.shmem_per_block, kernel_shmem_bytes(128, 16));
+  }
+}
+
+TEST(Pipeline, HybridSplitsWorkAndStaysCorrect) {
+  CooTensor t = make_frostt_tensor("enron", 1.0 / 4096, 81);
+  const auto f = random_factors(t, 16, 82);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  PipelineOptions opt;
+  // Threshold just above the mean slice size: a skewed tensor always
+  // has sub-mean slices, so the CPU share is guaranteed non-empty.
+  const auto feat = TensorFeatures::extract(t, 0);
+  opt.hybrid_cpu_threshold = static_cast<nnz_t>(feat.avg_nnz_per_slice) + 1;
+  const auto res = exec.run(t, f, 0, opt);
+  EXPECT_GT(res.cpu_nnz, 0u);
+  EXPECT_GT(res.cpu_task_ns, 0u);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3);
+}
+
+TEST(Pipeline, SharedMemOffStillCorrectButSlowerKernels) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 83);
+  const auto f = random_factors(t, 16, 84);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  PipelineOptions on, off;
+  off.use_shared_mem = false;
+  const auto r_on = exec.run(t, f, 0, on);
+  const auto r_off = exec.run(t, f, 0, off);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  EXPECT_LT(DenseMatrix::max_abs_diff(r_off.output, expect), 2e-3);
+  EXPECT_GT(r_off.breakdown.kernel, r_on.breakdown.kernel);
+}
+
+TEST(Pipeline, MoreSegmentsBoundDeviceMemory) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 2048, 85);
+  const auto f = random_factors(t, 16, 86);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+
+  PipelineOptions few, many;
+  few.num_segments = 1;
+  few.num_streams = 1;
+  many.num_segments = 16;
+  many.num_streams = 2;
+
+  dev.allocator().reset_peak();
+  exec.run(t, f, 0, few);
+  const std::size_t peak_few = dev.allocator().peak();
+  dev.allocator().reset_peak();
+  exec.run(t, f, 0, many);
+  const std::size_t peak_many = dev.allocator().peak();
+  EXPECT_LT(peak_many, peak_few);
+}
+
+TEST(Pipeline, ResultInvariantToSegmentsAndStreams) {
+  CooTensor t = make_frostt_tensor("flickr-4d", 1.0 / 8192, 87);
+  const auto f = random_factors(t, 8, 88);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  for (int segs : {1, 3, 8}) {
+    for (int streams : {1, 4}) {
+      PipelineOptions opt;
+      opt.num_segments = segs;
+      opt.num_streams = streams;
+      const auto res = exec.run(t, f, 0, opt);
+      EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3)
+          << segs << "x" << streams;
+    }
+  }
+}
+
+TEST(Pipeline, RejectsBadOptions) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 89);
+  const auto f = random_factors(t, 8, 90);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  PipelineOptions opt;
+  opt.num_segments = -1;  // 0 means auto; negatives are invalid
+  EXPECT_THROW(exec.run(t, f, 0, opt), Error);
+  CooTensor unsorted({4, 4});
+  unsorted.push({3, 0}, 1.0f);
+  unsorted.push({0, 0}, 1.0f);
+  FactorList f2;
+  f2.emplace_back(4, 4);
+  f2.emplace_back(4, 4);
+  EXPECT_THROW(exec.run(unsorted, f2, 0), Error);
+}
+
+TEST(Pipeline, PartialLaunchScheduleFallsBackPerSegment) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 93);
+  const auto f = random_factors(t, 16, 94);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev, nullptr);
+  PipelineOptions opt;
+  opt.num_segments = 4;
+  // Schedule only the first segment; the rest use the static fallback.
+  opt.launch_schedule = {gpusim::LaunchConfig{64, 64, 0}};
+  const auto res = exec.run(t, f, 0, opt);
+  ASSERT_GE(res.launches.size(), 2u);
+  EXPECT_EQ(res.launches[0].grid, 64u);
+  EXPECT_EQ(res.launches[0].block, 64u);
+  EXPECT_EQ(res.launches[1].block, 256u);  // ParTI heuristic
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output, mttkrp_coo_ref(t, f, 0)),
+            2e-3);
+}
+
+// Sweep: every (segments, streams) cell of the Fig. 11 grid stays
+// functionally correct and finishes.
+class PipelineGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineGrid, CorrectAcrossFig11Grid) {
+  const auto [segs, streams] = GetParam();
+  CooTensor t = make_frostt_tensor("uber", 1.0 / 4096, 91);
+  const auto f = random_factors(t, 8, 92);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  PipelineOptions opt;
+  opt.num_segments = segs;
+  opt.num_streams = streams;
+  const auto res = exec.run(t, f, 0, opt);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3);
+  EXPECT_GT(res.total_ns, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig11Grid, PipelineGrid,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace scalfrag

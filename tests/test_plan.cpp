@@ -1,0 +1,119 @@
+// MttkrpPlan tests: planned execution equals ad-hoc execution,
+// selection cost is paid once, and CPD uses the plan transparently.
+// Also covers the simulated SpTTM executor.
+
+#include <gtest/gtest.h>
+
+#include "parti/parti_executor.hpp"
+#include "scalfrag/cpd.hpp"
+#include "scalfrag/plan.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+const gpusim::DeviceSpec kSpec = gpusim::DeviceSpec::rtx3090();
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+LaunchSelector trained_selector() {
+  AutoTunerConfig cfg;
+  cfg.corpus_size = 16;
+  cfg.seed = 501;
+  AutoTuner tuner(kSpec, cfg);
+  tuner.train();
+  return tuner.selector();
+}
+
+TEST(MttkrpPlan, PlannedRunMatchesAdHocRun) {
+  const LaunchSelector sel = trained_selector();
+  gpusim::SimDevice dev(kSpec);
+  const CooTensor t = make_frostt_tensor("nell-2", 1.0 / 2048, 502);
+  const auto f = random_factors(t, 16, 503);
+
+  const MttkrpPlan plan(t, 16, dev, &sel);
+  for (order_t m = 0; m < t.order(); ++m) {
+    const auto planned = plan.run(f, m);
+
+    CooTensor sorted = t;
+    sorted.sort_by_mode(m);
+    PipelineExecutor exec(dev, &sel);
+    PipelineOptions opt;
+    opt.num_segments = static_cast<int>(plan.mode(m).segments.size());
+    const auto adhoc = exec.run(sorted, f, m, opt);
+
+    EXPECT_LT(DenseMatrix::max_abs_diff(planned.output, adhoc.output), 2e-3);
+    EXPECT_EQ(planned.total_ns, adhoc.total_ns);
+    // The plan replays precomputed launches: no online selection cost.
+    EXPECT_DOUBLE_EQ(planned.selection_seconds, 0.0);
+    EXPECT_EQ(planned.launches, plan.mode(m).launch_schedule);
+  }
+  EXPECT_GT(plan.prepare_seconds(), 0.0);
+}
+
+TEST(MttkrpPlan, SchedulesOneLaunchPerSegment) {
+  gpusim::SimDevice dev(kSpec);
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 504);
+  const MttkrpPlan plan(t, 8, dev, nullptr);
+  for (order_t m = 0; m < t.order(); ++m) {
+    EXPECT_EQ(plan.mode(m).launch_schedule.size(),
+              plan.mode(m).segments.size());
+    EXPECT_TRUE(plan.mode(m).sorted.is_sorted_by_mode(m));
+    EXPECT_EQ(plan.mode(m).features.nnz, t.nnz());
+  }
+}
+
+TEST(MttkrpPlan, Validation) {
+  gpusim::SimDevice dev(kSpec);
+  CooTensor empty({4, 4});
+  EXPECT_THROW(MttkrpPlan(empty, 8, dev, nullptr), Error);
+  CooTensor t({4, 4});
+  t.push({0, 0}, 1.0f);
+  EXPECT_THROW(MttkrpPlan(t, 0, dev, nullptr), Error);
+  const MttkrpPlan plan(t, 8, dev, nullptr);
+  const auto f = random_factors(t, 8, 505);
+  EXPECT_THROW(plan.run(f, 5), Error);
+}
+
+TEST(MttkrpPlan, ExplicitSegmentCountIsHonored) {
+  gpusim::SimDevice dev(kSpec);
+  const CooTensor t = make_frostt_tensor("nell-2", 1.0 / 2048, 506);
+  PipelineOptions opt;
+  opt.num_segments = 3;
+  const MttkrpPlan plan(t, 8, dev, nullptr, opt);
+  EXPECT_LE(plan.mode(0).segments.size(), 3u);
+  EXPECT_GE(plan.mode(0).segments.size(), 2u);  // slice snapping may merge
+}
+
+TEST(Spttm, SimulatedExecutorMatchesHostKernel) {
+  gpusim::SimDevice dev(kSpec);
+  const CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 507);
+  Rng rng(508);
+  DenseMatrix u(t.dim(1), 8);
+  u.randomize(rng);
+
+  const auto res = parti::run_spttm(dev, t, u, 1);
+  const SemiSparseTensor expect = spttm(t, u, 1);
+  ASSERT_EQ(res.output.num_fibers(), expect.num_fibers());
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output.values, expect.values),
+            2e-3);
+  // Synchronous flow: transfers + kernel, no overlap.
+  EXPECT_EQ(res.breakdown.overlap_saved(), 0u);
+  EXPECT_GT(res.breakdown.kernel, 0u);
+  EXPECT_GT(res.breakdown.h2d, 0u);
+  EXPECT_GT(res.breakdown.d2h, 0u);
+  EXPECT_EQ(dev.allocator().used(), 0u);
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,124 @@
+// Segmenter tests: coverage, balance, slice alignment, budget sizing.
+
+#include <gtest/gtest.h>
+
+#include "scalfrag/segmenter.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+void expect_covers(const SegmentPlan& plan, nnz_t nnz) {
+  ASSERT_FALSE(plan.segments.empty());
+  EXPECT_EQ(plan.segments.front().begin, 0u);
+  EXPECT_EQ(plan.segments.back().end, nnz);
+  for (std::size_t i = 1; i < plan.segments.size(); ++i) {
+    EXPECT_EQ(plan.segments[i].begin, plan.segments[i - 1].end);
+  }
+}
+
+TEST(Segmenter, CoversWholeTensorContiguously) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 21);
+  for (int k : {1, 2, 4, 8, 16}) {
+    const auto plan = make_segments(t, 0, k);
+    expect_covers(plan, t.nnz());
+    EXPECT_LE(static_cast<int>(plan.size()), k);
+  }
+}
+
+TEST(Segmenter, BalancedWithinSliceGranularity) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 22);
+  const auto plan = make_segments(t, 0, 4);
+  const nnz_t target = (t.nnz() + 3) / 4;
+  for (const auto& s : plan.segments) {
+    EXPECT_LE(s.nnz(), 2 * target + 1);
+  }
+  EXPECT_GE(plan.max_nnz(), target);
+}
+
+TEST(Segmenter, AlignedCutsFallOnSliceBoundaries) {
+  CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 23);
+  const auto plan = make_segments(t, 0, 4, /*align_to_slices=*/true);
+  for (std::size_t i = 0; i + 1 < plan.segments.size(); ++i) {
+    const auto& s = plan.segments[i];
+    if (!s.slice_aligned) continue;
+    // Last entry of this segment and first of the next must differ in
+    // the mode index.
+    EXPECT_NE(t.index(0, s.end - 1), t.index(0, s.end));
+  }
+}
+
+TEST(Segmenter, HugeSliceGetsSplitAndFlagged) {
+  // One slice holds everything → alignment impossible.
+  CooTensor t({2, 100000});
+  for (index_t j = 0; j < 10000; ++j) t.push({0, j}, 1.0f);
+  const auto plan = make_segments(t, 0, 4, /*align_to_slices=*/true);
+  EXPECT_GT(plan.size(), 1u);
+  bool any_split = false;
+  for (const auto& s : plan.segments) any_split |= !s.slice_aligned;
+  EXPECT_TRUE(any_split);
+  expect_covers(plan, t.nnz());
+}
+
+TEST(Segmenter, UnalignedModeCutsExactly) {
+  CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 24);
+  const auto plan = make_segments(t, 0, 5, /*align_to_slices=*/false);
+  const nnz_t target = (t.nnz() + 4) / 5;
+  for (std::size_t i = 0; i + 1 < plan.segments.size(); ++i) {
+    EXPECT_EQ(plan.segments[i].nnz(), target);
+  }
+}
+
+TEST(Segmenter, SliceRangeMetadataIsConsistent) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 2048, 25);
+  const auto plan = make_segments(t, 0, 4);
+  for (const auto& s : plan.segments) {
+    EXPECT_EQ(s.first_slice, t.index(0, s.begin));
+    EXPECT_EQ(s.last_slice, t.index(0, s.end - 1));
+    EXPECT_LE(s.first_slice, s.last_slice);
+  }
+}
+
+TEST(Segmenter, SingleSegmentIsWholeTensor) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 26);
+  const auto plan = make_segments(t, 0, 1);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.segments[0].nnz(), t.nnz());
+}
+
+TEST(Segmenter, MoreSegmentsThanNnz) {
+  CooTensor t({8, 8});
+  t.push({0, 0}, 1.0f);
+  t.push({3, 1}, 1.0f);
+  const auto plan = make_segments(t, 0, 100);
+  expect_covers(plan, 2);
+  EXPECT_LE(plan.size(), 2u);
+}
+
+TEST(Segmenter, EmptyTensorGetsOneEmptySegment) {
+  CooTensor t({8, 8});
+  const auto plan = make_segments(t, 0, 4);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.segments[0].nnz(), 0u);
+}
+
+TEST(Segmenter, RequiresSortedInput) {
+  CooTensor t({4, 4});
+  t.push({3, 0}, 1.0f);
+  t.push({0, 0}, 1.0f);
+  EXPECT_THROW(make_segments(t, 0, 2), Error);
+  EXPECT_THROW(make_segments(t, 0, 0), Error);
+}
+
+TEST(Segmenter, BudgetDerivesSegmentCount) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 27);
+  const std::size_t footprint =
+      t.bytes() + static_cast<std::size_t>(t.dim(0)) * 16 * sizeof(value_t);
+  EXPECT_EQ(segments_for_budget(t, 16, footprint), 1);
+  EXPECT_EQ(segments_for_budget(t, 16, footprint / 4 + 1), 4);
+  EXPECT_GE(segments_for_budget(t, 16, 1024), 16);
+  EXPECT_THROW(segments_for_budget(t, 16, 0), Error);
+}
+
+}  // namespace
+}  // namespace scalfrag

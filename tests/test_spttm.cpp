@@ -1,0 +1,130 @@
+// SpTTM tests: hand-computed products, brute-force cross-check, and
+// semi-sparse structure invariants.
+
+#include <gtest/gtest.h>
+
+#include "tensor/generator.hpp"
+#include "tensor/spttm.hpp"
+
+namespace scalfrag {
+namespace {
+
+TEST(Spttm, HandComputedMode2Product) {
+  // X(0,0,0)=2, X(0,0,1)=3 share a mode-2 fiber;
+  // U = [[1,10],[2,20]] → Y(0,0,:) = 2·U(0,:) + 3·U(1,:) = (8, 80).
+  CooTensor x({2, 2, 2});
+  x.push({0, 0, 0}, 2.0f);
+  x.push({0, 0, 1}, 3.0f);
+  x.push({1, 1, 0}, 5.0f);
+  DenseMatrix u(2, 2);
+  u(0, 0) = 1;
+  u(0, 1) = 10;
+  u(1, 0) = 2;
+  u(1, 1) = 20;
+
+  const SemiSparseTensor y = spttm(x, u, 2);
+  EXPECT_EQ(y.num_fibers(), 2u);
+  EXPECT_EQ(y.dims, (std::vector<index_t>{2, 2, 2}));
+  EXPECT_EQ(y.kept_modes, (std::vector<order_t>{0, 1}));
+
+  const index_t c1[3] = {0, 0, 0};
+  const index_t c2[3] = {0, 0, 1};
+  EXPECT_FLOAT_EQ(y.at(c1), 8.0f);
+  EXPECT_FLOAT_EQ(y.at(c2), 80.0f);
+  const index_t c3[3] = {1, 1, 0};
+  EXPECT_FLOAT_EQ(y.at(c3), 5.0f);  // 5·U(0,0) = 5·1
+  const index_t c4[3] = {1, 1, 1};
+  EXPECT_FLOAT_EQ(y.at(c4), 50.0f);  // 5·U(0,1) = 5·10
+  const index_t missing[3] = {1, 0, 0};
+  EXPECT_FLOAT_EQ(y.at(missing), 0.0f);
+}
+
+TEST(Spttm, ShapeValidation) {
+  CooTensor x({3, 3});
+  x.push({0, 0}, 1.0f);
+  DenseMatrix u(2, 4);  // wrong row count for either mode
+  EXPECT_THROW(spttm(x, u, 0), Error);
+  EXPECT_THROW(spttm(x, DenseMatrix(3, 4), 2), Error);  // bad mode
+}
+
+TEST(Spttm, RankDimensionReplacesMode) {
+  const CooTensor x = make_frostt_tensor("nips", 1.0 / 8192, 211);
+  Rng rng(212);
+  DenseMatrix u(x.dim(1), 6);
+  u.randomize(rng);
+  const SemiSparseTensor y = spttm(x, u, 1);
+  EXPECT_EQ(y.dims[1], 6u);
+  EXPECT_EQ(y.dims[0], x.dim(0));
+  EXPECT_EQ(y.values.cols(), 6u);
+  EXPECT_EQ(y.mode, 1);
+}
+
+TEST(Spttm, MatchesBruteForce) {
+  GeneratorConfig g{
+      .dims = {12, 10, 8}, .nnz = 300, .skew = {}, .seed = 213};
+  const CooTensor x = generate_coo(g);
+  Rng rng(214);
+  DenseMatrix u(x.dim(2), 5);
+  u.randomize(rng);
+  const SemiSparseTensor y = spttm(x, u, 2);
+
+  // Brute force: dense accumulation over every (i, j, r).
+  std::vector<double> dense(12 * 10 * 5, 0.0);
+  for (nnz_t e = 0; e < x.nnz(); ++e) {
+    for (index_t r = 0; r < 5; ++r) {
+      dense[(x.index(0, e) * 10 + x.index(1, e)) * 5 + r] +=
+          static_cast<double>(x.value(e)) * u(x.index(2, e), r);
+    }
+  }
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t j = 0; j < 10; ++j) {
+      for (index_t r = 0; r < 5; ++r) {
+        const index_t coord[3] = {i, j, r};
+        EXPECT_NEAR(y.at(coord), dense[(i * 10 + j) * 5 + r], 1e-3);
+      }
+    }
+  }
+}
+
+TEST(Spttm, FiberCountEqualsDistinctKeptCoordinates) {
+  const CooTensor x = make_frostt_tensor("uber", 1.0 / 4096, 215);
+  Rng rng(216);
+  DenseMatrix u(x.dim(0), 4);
+  u.randomize(rng);
+  const SemiSparseTensor y = spttm(x, u, 0);
+
+  // Count distinct (i1, i2, i3) triples by sorting keys.
+  CooTensor s = x;
+  s.sort_by_key_order(std::array<order_t, 4>{1, 2, 3, 0});
+  nnz_t distinct = 0;
+  for (nnz_t e = 0; e < s.nnz(); ++e) {
+    bool is_new = e == 0;
+    for (order_t m : {1, 2, 3}) {
+      if (e > 0 && s.index(static_cast<order_t>(m), e) !=
+                       s.index(static_cast<order_t>(m), e - 1)) {
+        is_new = true;
+      }
+    }
+    distinct += is_new;
+  }
+  EXPECT_EQ(y.num_fibers(), distinct);
+}
+
+TEST(Spttm, FlopsFormula) {
+  CooTensor x({4, 4});
+  x.push({0, 0}, 1.0f);
+  x.push({1, 1}, 1.0f);
+  EXPECT_EQ(spttm_flops(x, 8), 2ull * 2 * 8);
+}
+
+TEST(SortByKeyOrder, ValidatesPermutation) {
+  CooTensor t({4, 4});
+  t.push({0, 0}, 1.0f);
+  const std::array<order_t, 2> dup = {0, 0};
+  EXPECT_THROW(t.sort_by_key_order(dup), Error);
+  const std::array<order_t, 1> incomplete = {0};
+  EXPECT_THROW(t.sort_by_key_order(incomplete), Error);
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,100 @@
+// Tensor statistics and simulator-metrics tests.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/sim_metrics.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/stats.hpp"
+
+namespace scalfrag {
+namespace {
+
+TEST(SliceDistribution, HandComputedCensus) {
+  CooTensor t({4, 16});
+  for (index_t j = 0; j < 8; ++j) t.push({0, j}, 1.0f);  // slice 0: 8
+  for (index_t j = 0; j < 2; ++j) t.push({1, j}, 1.0f);  // slice 1: 2
+  t.push({3, 0}, 1.0f);                                  // slice 3: 1
+  const auto d = slice_distribution(t, 0);
+  EXPECT_EQ(d.occupied_slices, 3u);
+  EXPECT_EQ(d.empty_slices, 1u);
+  EXPECT_EQ(d.min, 1u);
+  EXPECT_EQ(d.median, 2u);
+  EXPECT_EQ(d.max, 8u);
+  EXPECT_NEAR(d.mean, 11.0 / 3.0, 1e-12);
+  EXPECT_GT(d.gini, 0.2);  // clearly uneven
+  EXPECT_NEAR(d.top1pct_share, 8.0 / 11.0, 1e-12);  // top slice of 3
+}
+
+TEST(SliceDistribution, UniformSlicesHaveZeroGini) {
+  CooTensor t({8, 8});
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t j = 0; j < 4; ++j) t.push({i, j}, 1.0f);
+  }
+  const auto d = slice_distribution(t, 0);
+  EXPECT_EQ(d.min, d.max);
+  EXPECT_NEAR(d.gini, 0.0, 1e-9);
+}
+
+TEST(SliceDistribution, SkewRaisesGini) {
+  GeneratorConfig flat{.dims = {256, 64, 64},
+                       .nnz = 8000,
+                       .skew = {1.0, 1.0, 1.0},
+                       .seed = 601};
+  GeneratorConfig steep = flat;
+  steep.skew = {3.0, 1.0, 1.0};
+  const auto d_flat = slice_distribution(generate_coo(flat), 0);
+  const auto d_steep = slice_distribution(generate_coo(steep), 0);
+  EXPECT_GT(d_steep.gini, d_flat.gini + 0.1);
+  EXPECT_GT(d_steep.top1pct_share, d_flat.top1pct_share);
+}
+
+TEST(SliceDistribution, EmptyTensor) {
+  CooTensor t({5, 5});
+  const auto d = slice_distribution(t, 1);
+  EXPECT_EQ(d.occupied_slices, 0u);
+  EXPECT_EQ(d.empty_slices, 5u);
+  EXPECT_DOUBLE_EQ(d.gini, 0.0);
+}
+
+TEST(StatsReport, CoversEveryMode) {
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 4096, 602);
+  const std::string rep = stats_report(t);
+  EXPECT_NE(rep.find("mode 0"), std::string::npos);
+  EXPECT_NE(rep.find("mode 3"), std::string::npos);
+  EXPECT_NE(rep.find("gini"), std::string::npos);
+}
+
+TEST(SimMetrics, UtilizationFractionsAndBandwidth) {
+  gpusim::DeviceSpec spec = gpusim::DeviceSpec::rtx3090();
+  spec.pcie_latency_us = 0.0;
+  gpusim::SimDevice dev(spec);
+  // One 24.3 MB copy = exactly 1 ms at 24.3 GB/s; then 1 ms host task.
+  const std::size_t bytes = static_cast<std::size_t>(24.3e6);
+  dev.memcpy_h2d(0, bytes, nullptr);
+  dev.host_task(0, 1'000'000, nullptr);
+  const auto r = gpusim::utilization(dev);
+  EXPECT_NEAR(r.h2d, 0.5, 1e-3);
+  EXPECT_NEAR(r.host, 0.5, 1e-3);
+  EXPECT_NEAR(r.h2d_gbps, 24.3, 0.1);
+  EXPECT_EQ(r.h2d_bytes, bytes);
+  EXPECT_EQ(r.kernel_launches, 0);
+  EXPECT_DOUBLE_EQ(r.d2h, 0.0);
+}
+
+TEST(SimMetrics, SummaryMentionsAllEngines) {
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  dev.memcpy_h2d(0, 1 << 20, nullptr);
+  const std::string s = gpusim::utilization_summary(dev);
+  EXPECT_NE(s.find("H2D"), std::string::npos);
+  EXPECT_NE(s.find("kernel"), std::string::npos);
+  EXPECT_NE(s.find("GB/s"), std::string::npos);
+}
+
+TEST(SimMetrics, EmptyTimelineIsAllZero) {
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  const auto r = gpusim::utilization(dev);
+  EXPECT_DOUBLE_EQ(r.h2d + r.d2h + r.kernel + r.host, 0.0);
+}
+
+}  // namespace
+}  // namespace scalfrag

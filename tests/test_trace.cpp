@@ -1,0 +1,79 @@
+// Chrome trace export tests: structural JSON checks on a known
+// timeline.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gpusim/trace.hpp"
+
+namespace scalfrag::gpusim {
+namespace {
+
+SimDevice tiny_run() {
+  DeviceSpec spec = DeviceSpec::rtx3090();
+  SimDevice dev(spec);
+  const StreamId s1 = dev.create_stream();
+  dev.memcpy_h2d(s1, 1 << 20, nullptr, "upload \"tensor\"");
+  KernelProfile prof;
+  prof.work_items = 1024;
+  prof.flops = 1 << 16;
+  prof.dram_bytes = 1 << 16;
+  dev.launch_kernel(s1, {256, 256, 0}, prof, nullptr, "kernel0");
+  dev.memcpy_d2h(s1, 4096, nullptr);  // unlabeled: falls back to kind
+  return dev;
+}
+
+TEST(Trace, EmitsOneEventPerOp) {
+  const SimDevice dev = tiny_run();
+  std::ostringstream out;
+  write_chrome_trace(out, dev);
+  const std::string s = out.str();
+  std::size_t events = 0;
+  for (std::size_t p = s.find("\"ph\": \"X\""); p != std::string::npos;
+       p = s.find("\"ph\": \"X\"", p + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, dev.timeline().size());
+}
+
+TEST(Trace, EscapesLabelsAndNamesEngines) {
+  std::ostringstream out;
+  write_chrome_trace(out, tiny_run());
+  const std::string s = out.str();
+  EXPECT_NE(s.find("upload \\\"tensor\\\""), std::string::npos);
+  EXPECT_NE(s.find("\"tid\": \"H2D\""), std::string::npos);
+  EXPECT_NE(s.find("\"tid\": \"Kernel\""), std::string::npos);
+  // Unlabeled op falls back to its kind name.
+  EXPECT_NE(s.find("{\"name\": \"D2H\""), std::string::npos);
+  // Array-shaped document.
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s[s.size() - 2], ']');
+}
+
+TEST(Trace, TimestampsAreMicrosecondsInOrder) {
+  const SimDevice dev = tiny_run();
+  std::ostringstream out;
+  write_chrome_trace(out, dev);
+  const std::string s = out.str();
+  // First op starts at ts 0; durations are positive.
+  EXPECT_NE(s.find("\"ts\": 0"), std::string::npos);
+  EXPECT_EQ(s.find("\"dur\": 0,"), std::string::npos);
+}
+
+TEST(Trace, FileWriterRoundTrips) {
+  const std::string path = ::testing::TempDir() + "scalfrag_trace.json";
+  write_chrome_trace_file(path, tiny_run());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("kernel0"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_THROW(write_chrome_trace_file("/nonexistent/x.json", tiny_run()),
+               Error);
+}
+
+}  // namespace
+}  // namespace scalfrag::gpusim

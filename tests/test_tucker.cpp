@@ -1,0 +1,232 @@
+// Sparse Tucker (HOOI) tests: projection kernel against brute force,
+// factor orthonormality, planted-structure recovery, and reconstruction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scalfrag/tucker.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/linalg.hpp"
+
+namespace scalfrag {
+namespace {
+
+/// Block tensor with `b` disjoint rank-one blocks (each block's values
+/// are an outer product a⊗b⊗c): the whole tensor has multilinear rank
+/// exactly (b, b, b), so Tucker with core_dims = (b, b, b) fits ~exactly.
+CooTensor block_tensor(index_t blocks, index_t block_len,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t dim = blocks * block_len;
+  CooTensor t({dim, dim, dim});
+  for (index_t b = 0; b < blocks; ++b) {
+    std::vector<double> va(block_len), vb(block_len), vc(block_len);
+    for (auto* v : {&va, &vb, &vc}) {
+      for (auto& x : *v) x = 0.5 + rng.next_double();
+    }
+    for (index_t i = 0; i < block_len; ++i) {
+      for (index_t j = 0; j < block_len; ++j) {
+        for (index_t k = 0; k < block_len; ++k) {
+          t.push({b * block_len + i, b * block_len + j, b * block_len + k},
+                 static_cast<value_t>(va[i] * vb[j] * vc[k]));
+        }
+      }
+    }
+  }
+  t.sort_by_mode(0);
+  return t;
+}
+
+void expect_orthonormal(const DenseMatrix& u, double tol = 1e-3) {
+  const DenseMatrix g = linalg::gram(u);
+  for (index_t i = 0; i < g.rows(); ++i) {
+    for (index_t j = 0; j < g.cols(); ++j) {
+      EXPECT_NEAR(g(i, j), i == j ? 1.0 : 0.0, tol);
+    }
+  }
+}
+
+TEST(GramSchmidt, ProducesOrthonormalColumns) {
+  Rng rng(301);
+  DenseMatrix a(20, 5);
+  a.randomize(rng);
+  linalg::gram_schmidt(a);
+  expect_orthonormal(a, 1e-4);
+}
+
+TEST(GramSchmidt, RescuesDependentColumns) {
+  DenseMatrix a(8, 3);
+  for (index_t i = 0; i < 8; ++i) {
+    a(i, 0) = 1.0f;
+    a(i, 1) = 2.0f;  // dependent on column 0
+    a(i, 2) = static_cast<value_t>(i);
+  }
+  linalg::gram_schmidt(a);
+  expect_orthonormal(a, 1e-4);
+}
+
+TEST(GramSchmidt, RequiresTallMatrix) {
+  DenseMatrix a(2, 5);
+  EXPECT_THROW(linalg::gram_schmidt(a), Error);
+}
+
+TEST(TtmChain, MatchesBruteForceProjection) {
+  GeneratorConfig g{.dims = {10, 8, 6}, .nnz = 200, .skew = {}, .seed = 302};
+  const CooTensor x = generate_coo(g);
+  Rng rng(303);
+  FactorList u;
+  const index_t ranks[3] = {3, 2, 4};
+  for (order_t m = 0; m < 3; ++m) {
+    DenseMatrix f(x.dim(m), ranks[m]);
+    f.randomize(rng);
+    u.push_back(std::move(f));
+  }
+  const DenseMatrix w = ttm_chain_all_but(x, u, 1);
+  ASSERT_EQ(w.rows(), 8u);
+  ASSERT_EQ(w.cols(), 3u * 4u);
+
+  // Brute force: W(i1, r0*4 + r2) = Σ val·U0(i0,r0)·U2(i2,r2).
+  for (index_t i1 = 0; i1 < 8; ++i1) {
+    for (index_t r0 = 0; r0 < 3; ++r0) {
+      for (index_t r2 = 0; r2 < 4; ++r2) {
+        double expect = 0.0;
+        for (nnz_t e = 0; e < x.nnz(); ++e) {
+          if (x.index(1, e) != i1) continue;
+          expect += static_cast<double>(x.value(e)) *
+                    u[0](x.index(0, e), r0) * u[2](x.index(2, e), r2);
+        }
+        EXPECT_NEAR(w(i1, r0 * 4 + r2), expect, 1e-3);
+      }
+    }
+  }
+}
+
+TEST(Tucker, ValidatesOptions) {
+  const CooTensor x = block_tensor(2, 3, 304);
+  TuckerOptions opt;
+  EXPECT_THROW(tucker_hooi(x, opt), Error);  // missing core dims
+  opt.core_dims = {2, 2};                    // wrong arity
+  EXPECT_THROW(tucker_hooi(x, opt), Error);
+  opt.core_dims = {2, 2, 100};  // exceeds mode size
+  EXPECT_THROW(tucker_hooi(x, opt), Error);
+  CooTensor empty({4, 4, 4});
+  opt.core_dims = {2, 2, 2};
+  EXPECT_THROW(tucker_hooi(empty, opt), Error);
+}
+
+TEST(Tucker, FactorsAreOrthonormal) {
+  const CooTensor x = block_tensor(3, 4, 305);
+  TuckerOptions opt;
+  opt.core_dims = {3, 3, 3};
+  opt.max_iters = 6;
+  const TuckerResult res = tucker_hooi(x, opt);
+  ASSERT_EQ(res.factors.size(), 3u);
+  for (const auto& u : res.factors) expect_orthonormal(u);
+  EXPECT_EQ(res.core.dims(), (std::vector<index_t>{3, 3, 3}));
+}
+
+TEST(Tucker, RecoversPlantedMultilinearRank) {
+  const CooTensor x = block_tensor(3, 4, 306);
+  TuckerOptions opt;
+  opt.core_dims = {3, 3, 3};
+  opt.max_iters = 20;
+  opt.tol = 1e-8;
+  const TuckerResult res = tucker_hooi(x, opt);
+  EXPECT_GT(res.final_fit, 0.95);
+}
+
+TEST(Tucker, FitImprovesWithCoreSize) {
+  GeneratorConfig g{
+      .dims = {24, 24, 24}, .nnz = 2000, .skew = {2.0, 2.0, 2.0},
+      .seed = 307};
+  const CooTensor x = generate_coo(g);
+  TuckerOptions small;
+  small.core_dims = {2, 2, 2};
+  small.max_iters = 8;
+  TuckerOptions big = small;
+  big.core_dims = {8, 8, 8};
+  const double fit_small = tucker_hooi(x, small).final_fit;
+  const double fit_big = tucker_hooi(x, big).final_fit;
+  EXPECT_GT(fit_big, fit_small);
+}
+
+TEST(Tucker, FitHistoryMostlyIncreases) {
+  const CooTensor x = block_tensor(2, 4, 308);
+  TuckerOptions opt;
+  opt.core_dims = {2, 2, 2};
+  opt.max_iters = 10;
+  opt.tol = 0.0;
+  const TuckerResult res = tucker_hooi(x, opt);
+  for (std::size_t i = 1; i < res.fit_history.size(); ++i) {
+    EXPECT_GT(res.fit_history[i], res.fit_history[i - 1] - 1e-3);
+  }
+}
+
+TEST(Tucker, PredictReconstructsPlantedEntries) {
+  const CooTensor x = block_tensor(2, 4, 309);
+  TuckerOptions opt;
+  opt.core_dims = {2, 2, 2};
+  opt.max_iters = 20;
+  opt.tol = 1e-8;
+  const TuckerResult res = tucker_hooi(x, opt);
+  double err = 0.0, norm = 0.0;
+  for (nnz_t e = 0; e < x.nnz(); e += 7) {
+    const index_t coord[3] = {x.index(0, e), x.index(1, e), x.index(2, e)};
+    const double p = tucker_predict(res, coord);
+    err += (p - x.value(e)) * (p - x.value(e));
+    norm += static_cast<double>(x.value(e)) * x.value(e);
+  }
+  EXPECT_LT(std::sqrt(err / norm), 0.2);
+}
+
+TEST(Tucker, PredictValidatesCoordinates) {
+  const CooTensor x = block_tensor(2, 3, 310);
+  TuckerOptions opt;
+  opt.core_dims = {2, 2, 2};
+  opt.max_iters = 2;
+  const TuckerResult res = tucker_hooi(x, opt);
+  const index_t bad[3] = {100, 0, 0};
+  EXPECT_THROW(tucker_predict(res, bad), Error);
+}
+
+TEST(Tucker, WorksOn4dTensors) {
+  Rng rng(311);
+  CooTensor x({8, 8, 8, 8});
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) {
+      for (index_t k = 0; k < 4; ++k) {
+        for (index_t l = 0; l < 4; ++l) {
+          x.push({i, j, k, l}, 0.5f + rng.next_float());
+        }
+      }
+    }
+  }
+  TuckerOptions opt;
+  opt.core_dims = {4, 4, 4, 4};
+  opt.max_iters = 10;
+  const TuckerResult res = tucker_hooi(x, opt);
+  // The dense 4⁴ sub-block lives in a 4-dim subspace per mode, so a
+  // (4,4,4,4) core captures it exactly.
+  EXPECT_GT(res.final_fit, 0.95);
+}
+
+TEST(DenseTensorTest, OffsetsAndNorm) {
+  DenseTensor t({2, 3, 4});
+  EXPECT_EQ(t.size(), 24u);
+  const index_t c1[3] = {0, 0, 0};
+  const index_t c2[3] = {1, 2, 3};
+  EXPECT_EQ(t.offset(c1), 0u);
+  EXPECT_EQ(t.offset(c2), 23u);
+  t.at(c2) = 3.0f;
+  const index_t c3[3] = {0, 1, 0};
+  t.at(c3) = 4.0f;
+  EXPECT_NEAR(t.norm(), 5.0, 1e-6);
+  const index_t bad[3] = {2, 0, 0};
+  EXPECT_THROW(t.offset(bad), Error);
+  const index_t short_coord[2] = {0, 0};
+  EXPECT_THROW(t.offset(short_coord), Error);
+}
+
+}  // namespace
+}  // namespace scalfrag
