@@ -1,11 +1,22 @@
 // google-benchmark microbenchmarks for the host-side primitives the
-// framework's own overhead consists of: reference MTTKRP, mode sorting,
-// feature extraction, segmentation, and model inference. These are the
-// costs that must stay negligible next to the simulated device times.
+// framework's own overhead consists of: reference MTTKRP, the parallel
+// host engine, mode sorting, feature extraction, segmentation, and
+// model inference. These are the costs that must stay negligible next
+// to the simulated device times.
+//
+// main() first runs the host-engine thread sweep (1M-nnz synthetic
+// tensor, ref vs mttkrp_coo_par at 1/2/4/hw threads) and writes it to
+// BENCH_host_mttkrp.json, then hands over to google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+
 #include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "tensor/mttkrp_par.hpp"
 
 namespace {
 
@@ -29,6 +40,22 @@ void BM_MttkrpReference(benchmark::State& state) {
                           static_cast<std::int64_t>(t.nnz()));
 }
 BENCHMARK(BM_MttkrpReference)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MttkrpParallel(benchmark::State& state) {
+  const CooTensor& t = nips_tensor();
+  const auto f = random_factors(t, 16, 4);
+  DenseMatrix out(t.dim(0), 16);
+  HostExecOptions opt;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  opt.grain_nnz = 4096;
+  for (auto _ : state) {
+    mttkrp_coo_par(t, f, 0, out, /*accumulate=*/false, opt);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.nnz()));
+}
+BENCHMARK(BM_MttkrpParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(0);  // 0 = pool
 
 void BM_MttkrpCsf(benchmark::State& state) {
   const CooTensor& t = nips_tensor();
@@ -84,6 +111,88 @@ void BM_SelectorInference(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectorInference);
 
+// ---------------------------------------------------------------------
+// Host-engine thread sweep → BENCH_host_mttkrp.json.
+
+double best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+void run_host_mttkrp_sweep() {
+  GeneratorConfig g;
+  g.dims = {4096, 4096, 2048};
+  g.nnz = 1'000'000;
+  g.skew = {1.4, 1.2, 1.0};
+  g.seed = 7;
+  CooTensor t = generate_coo(g);
+  t.sort_by_mode(0);
+  // Features are computed once by the planner in real runs; pass them so
+  // strategy selection does not re-probe the index array per call.
+  const auto feat = TensorFeatures::extract(t, 0);
+  const auto f = random_factors(t, kRank, 8);
+  DenseMatrix out(t.dim(0), kRank);
+  const int reps = 3;
+
+  std::printf("[host_mttkrp] tensor %ux%ux%u nnz=%llu rank=%u\n", g.dims[0],
+              g.dims[1], g.dims[2],
+              static_cast<unsigned long long>(t.nnz()), kRank);
+  const double ref_s =
+      best_of(reps, [&] { mttkrp_coo_ref(t, f, 0, out); });
+  std::printf("[host_mttkrp] ref                 %8.2f ms\n", ref_s * 1e3);
+
+  const std::size_t hw = ThreadPool::global().size();
+  std::vector<std::size_t> counts{1, 2, 4};
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+
+  std::FILE* js = std::fopen("BENCH_host_mttkrp.json", "w");
+  if (js == nullptr) {
+    std::fprintf(stderr, "[host_mttkrp] cannot open BENCH_host_mttkrp.json\n");
+    return;
+  }
+  std::fprintf(js,
+               "{\n  \"bench\": \"host_mttkrp\",\n"
+               "  \"dims\": [%u, %u, %u],\n  \"nnz\": %llu,\n"
+               "  \"rank\": %u,\n  \"pool_threads\": %zu,\n"
+               "  \"ref_ms\": %.3f,\n  \"sweep\": [",
+               g.dims[0], g.dims[1], g.dims[2],
+               static_cast<unsigned long long>(t.nnz()), kRank, hw, ref_s * 1e3);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    HostExecOptions opt;
+    opt.threads = counts[i];
+    opt.features = &feat;
+    const HostStrategy strat = choose_host_strategy(t, 0, opt);
+    const double par_s = best_of(reps, [&] {
+      mttkrp_coo_par(t, f, 0, out, /*accumulate=*/false, opt);
+    });
+    const double speedup = ref_s / par_s;
+    std::printf("[host_mttkrp] par t=%-2zu %-13s %8.2f ms  %.2fx vs ref\n",
+                counts[i], host_strategy_name(strat), par_s * 1e3, speedup);
+    std::fprintf(js,
+                 "%s\n    {\"threads\": %zu, \"strategy\": \"%s\", "
+                 "\"par_ms\": %.3f, \"speedup_vs_ref\": %.3f}",
+                 i == 0 ? "" : ",", counts[i], host_strategy_name(strat),
+                 par_s * 1e3, speedup);
+  }
+  std::fprintf(js, "\n  ]\n}\n");
+  std::fclose(js);
+  std::printf("[host_mttkrp] wrote BENCH_host_mttkrp.json\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_host_mttkrp_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,7 +23,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
 void ThreadPool::worker_loop() {
+  t_on_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,11 +46,14 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, size());
-  if (chunks <= 1) {
+  if (grain == 0) grain = 1;
+  // At most one chunk per worker, and no chunk smaller than `grain`.
+  const std::size_t chunks = std::min(size(), (n + grain - 1) / grain);
+  if (chunks <= 1 || n <= grain || on_worker_thread()) {
     fn(begin, end);
     return;
   }

@@ -44,10 +44,21 @@ class ThreadPool {
     return fut;
   }
 
-  /// Run fn(begin..end) split into `size()` contiguous chunks; blocks
-  /// until every chunk is done. fn receives [chunk_begin, chunk_end).
+  /// Run fn over [begin, end) split into contiguous chunks of at least
+  /// `grain` items each (never more chunks than workers); blocks until
+  /// every chunk is done. fn receives [chunk_begin, chunk_end).
+  ///
+  /// Fast paths: the whole range runs inline on the caller when it is
+  /// smaller than `grain`, when the pool has a single worker, or when
+  /// the caller is itself a pool worker (a nested parallel_for would
+  /// otherwise block a worker on tasks that may never be scheduled —
+  /// the self-deadlock case).
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// True when called from one of this process's pool worker threads.
+  static bool on_worker_thread() noexcept;
 
   /// Process-wide pool (lazily constructed).
   static ThreadPool& global();

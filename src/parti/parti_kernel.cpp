@@ -67,9 +67,9 @@ gpusim::LaunchConfig default_launch(const gpusim::DeviceSpec& spec,
   return cfg;
 }
 
-void mttkrp_exec(const CooTensor& t, const FactorList& factors, order_t mode,
-                 DenseMatrix& out) {
-  mttkrp_coo_ref(t, factors, mode, out, /*accumulate=*/true);
+void mttkrp_exec(const CooSpan& t, const FactorList& factors, order_t mode,
+                 DenseMatrix& out, const HostExecOptions& opt) {
+  mttkrp_coo_par(t, factors, mode, out, /*accumulate=*/true, opt);
 }
 
 }  // namespace scalfrag::parti

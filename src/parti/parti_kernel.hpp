@@ -14,6 +14,7 @@
 
 #include "gpusim/cost_model.hpp"
 #include "tensor/features.hpp"
+#include "tensor/mttkrp_par.hpp"
 #include "tensor/mttkrp_ref.hpp"
 
 namespace scalfrag::parti {
@@ -28,7 +29,8 @@ gpusim::LaunchConfig default_launch(const gpusim::DeviceSpec& spec, nnz_t nnz);
 
 /// Functional kernel body: accumulate mode-`mode` MTTKRP of `t` into
 /// `out` (atomicAdd semantics — order-independent commutative sums).
-void mttkrp_exec(const CooTensor& t, const FactorList& factors, order_t mode,
-                 DenseMatrix& out);
+/// Runs on the host execution engine; `t` is a zero-copy view.
+void mttkrp_exec(const CooSpan& t, const FactorList& factors, order_t mode,
+                 DenseMatrix& out, const HostExecOptions& opt = {});
 
 }  // namespace scalfrag::parti

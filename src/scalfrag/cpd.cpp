@@ -88,7 +88,8 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
   auto run_mttkrp = [&](order_t mode) -> DenseMatrix {
     switch (opt.backend) {
       case CpdBackend::Reference:
-        return mttkrp_coo_ref(sorted[mode], res.factors, mode);
+        return mttkrp_coo_par(sorted[mode], res.factors, mode,
+                              opt.host_exec);
       case CpdBackend::ParTI: {
         auto r = parti::run_mttkrp(*dev, sorted[mode], res.factors, mode);
         res.mttkrp_sim_ns += r.total_ns;

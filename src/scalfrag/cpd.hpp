@@ -33,6 +33,10 @@ struct CpdOptions {
   bool nonnegative = false;
   /// ScalFrag backend settings (ignored by the others).
   PipelineOptions pipeline;
+  /// Host engine for the Reference backend's MTTKRP (the ScalFrag
+  /// backend takes its engine knob from pipeline.host_exec). Strategy
+  /// Serial reproduces the single-threaded reference exactly.
+  HostExecOptions host_exec;
 };
 
 struct CpdResult {

@@ -11,11 +11,9 @@ HybridPartition partition_for_hybrid(const CooTensor& t, order_t mode,
   SF_CHECK(t.is_sorted_by_mode(mode), "hybrid partition needs sorted input");
   HybridPartition part;
   part.threshold = slice_nnz_threshold;
-  part.gpu_part = CooTensor(t.dims());
-  part.cpu_part = CooTensor(t.dims());
 
   if (slice_nnz_threshold == 0 || t.nnz() == 0) {
-    part.gpu_part = t;
+    part.gpu_whole = true;
     // Count slices for the report even in the trivial case.
     for (nnz_t e = 0; e < t.nnz(); ++e) {
       if (e == 0 || t.index(mode, e) != t.index(mode, e - 1)) {
@@ -25,24 +23,47 @@ HybridPartition partition_for_hybrid(const CooTensor& t, order_t mode,
     return part;
   }
 
-  std::vector<index_t> coord(t.order());
+  // Pass 1: classify slices, collecting the CPU share as merged ranges.
   nnz_t slice_begin = 0;
   auto flush_slice = [&](nnz_t slice_end) {
     const nnz_t len = slice_end - slice_begin;
-    CooTensor& dst = len < slice_nnz_threshold ? part.cpu_part : part.gpu_part;
-    (len < slice_nnz_threshold ? part.cpu_slices : part.gpu_slices) += 1;
-    for (nnz_t e = slice_begin; e < slice_end; ++e) {
-      for (order_t m = 0; m < t.order(); ++m) coord[m] = t.index(m, e);
-      dst.push(std::span<const index_t>(coord.data(), coord.size()),
-               t.value(e));
+    if (len < slice_nnz_threshold) {
+      ++part.cpu_slices;
+      part.cpu_nnz += len;
+      if (!part.cpu_ranges.empty() &&
+          part.cpu_ranges.back().second == slice_begin) {
+        part.cpu_ranges.back().second = slice_end;  // extend the run
+      } else {
+        part.cpu_ranges.emplace_back(slice_begin, slice_end);
+      }
+    } else {
+      ++part.gpu_slices;
     }
     slice_begin = slice_end;
   };
-
   for (nnz_t e = 1; e < t.nnz(); ++e) {
     if (t.index(mode, e) != t.index(mode, e - 1)) flush_slice(e);
   }
   flush_slice(t.nnz());
+
+  if (part.cpu_ranges.empty()) {
+    part.gpu_whole = true;  // nothing routed to the CPU — no copy needed
+    return part;
+  }
+
+  // Pass 2: compact the GPU share (the complement of the CPU ranges)
+  // into an owning tensor — the one copy a non-trivial split requires.
+  part.gpu_part = CooTensor(t.dims());
+  part.gpu_part.reserve(t.nnz() - part.cpu_nnz);
+  std::vector<index_t> coord(t.order());
+  std::size_t r = 0;
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    while (r < part.cpu_ranges.size() && e >= part.cpu_ranges[r].second) ++r;
+    if (r < part.cpu_ranges.size() && e >= part.cpu_ranges[r].first) continue;
+    for (order_t m = 0; m < t.order(); ++m) coord[m] = t.index(m, e);
+    part.gpu_part.push(std::span<const index_t>(coord.data(), coord.size()),
+                       t.value(e));
+  }
   return part;
 }
 
@@ -105,27 +126,37 @@ nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
   return best;
 }
 
-void cpu_mttkrp_exec(const CooTensor& part, const FactorList& factors,
-                     order_t mode, DenseMatrix& out) {
+void cpu_mttkrp_exec(const CooSpan& part, const FactorList& factors,
+                     order_t mode, DenseMatrix& out,
+                     const HostExecOptions& opt) {
   // Slices are disjoint output rows; the partition's CPU share is
-  // slice-contiguous, so chunking on slice boundaries is race-free.
+  // slice-grouped, so the engine's slice-owner strategy applies.
   if (part.nnz() == 0) return;
-  ThreadPool& pool = ThreadPool::global();
-  if (pool.size() <= 1 || part.nnz() < 4096) {
-    mttkrp_coo_ref(part, factors, mode, out, /*accumulate=*/true);
+  mttkrp_coo_par(part, factors, mode, out, /*accumulate=*/true, opt);
+}
+
+void cpu_mttkrp_exec(const CooSpan& parent,
+                     std::span<const std::pair<nnz_t, nnz_t>> ranges,
+                     const FactorList& factors, order_t mode,
+                     DenseMatrix& out, const HostExecOptions& opt) {
+  if (ranges.empty()) return;
+  if (ranges.size() == 1) {
+    cpu_mttkrp_exec(parent.subspan(ranges[0].first, ranges[0].second),
+                    factors, mode, out, opt);
     return;
   }
-  // Find slice boundaries, then assign whole slices to chunks.
-  std::vector<nnz_t> bounds{0};
-  for (nnz_t e = 1; e < part.nnz(); ++e) {
-    if (part.index(mode, e) != part.index(mode, e - 1)) bounds.push_back(e);
-  }
-  bounds.push_back(part.nnz());
-  const std::size_t n_slices = bounds.size() - 1;
-  pool.parallel_for(0, n_slices, [&](std::size_t lo, std::size_t hi) {
-    const CooTensor chunk = part.extract(bounds[lo], bounds[hi]);
-    mttkrp_coo_ref(chunk, factors, mode, out, /*accumulate=*/true);
-  });
+  // Ranges hold whole slices, so they own disjoint output rows: run
+  // them concurrently, each serial inside (CPU slices are short — the
+  // parallelism worth having is across ranges).
+  HostExecOptions serial = opt;
+  serial.strategy = HostStrategy::Serial;
+  ThreadPool::global().parallel_for(
+      0, ranges.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          mttkrp_coo_par(parent.subspan(ranges[r].first, ranges[r].second),
+                         factors, mode, out, /*accumulate=*/true, serial);
+        }
+      });
 }
 
 }  // namespace scalfrag

@@ -8,16 +8,36 @@
 // partitioner routes slices below an nnz threshold to the host; the
 // pipeline runs the host task on the simulated CPU concurrently with
 // the GPU segments, and both halves accumulate into the same output.
+//
+// The CPU share is kept as zero-copy [begin, end) slice ranges into the
+// mode-sorted parent (adjacent CPU slices merge into one range); only
+// the GPU share is compacted into an owning tensor, and only when the
+// split is non-trivial — an all-GPU partition reuses the parent as-is.
+
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "gpusim/device_spec.hpp"
 #include "tensor/coo.hpp"
+#include "tensor/mttkrp_par.hpp"
 #include "tensor/mttkrp_ref.hpp"
 
 namespace scalfrag {
 
 struct HybridPartition {
-  CooTensor gpu_part;  // slices with nnz >= threshold (mode-sorted)
-  CooTensor cpu_part;  // low-parallelism slices (mode-sorted)
+  /// Compacted GPU share (mode-sorted). Empty when the partition is
+  /// trivial — gpu_whole flags that the caller should use the parent
+  /// tensor directly (zero copies).
+  CooTensor gpu_part;
+  bool gpu_whole = false;
+
+  /// CPU share: maximal runs of contiguous below-threshold slices, as
+  /// [begin, end) entry ranges of the parent. Each range covers whole
+  /// slices, so ranges own disjoint output rows.
+  std::vector<std::pair<nnz_t, nnz_t>> cpu_ranges;
+  nnz_t cpu_nnz = 0;
+
   nnz_t threshold = 0;
   nnz_t cpu_slices = 0;
   nnz_t gpu_slices = 0;
@@ -45,9 +65,18 @@ sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, nnz_t nnz, order_t order,
 nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
                             const gpusim::CpuSpec& cpu, sim_ns budget_ns);
 
-/// Functional CPU-side MTTKRP (accumulating, thread-pool parallel over
-/// slice-disjoint chunks).
-void cpu_mttkrp_exec(const CooTensor& part, const FactorList& factors,
-                     order_t mode, DenseMatrix& out);
+/// Functional CPU-side MTTKRP over a contiguous slice-grouped part
+/// (accumulating, parallel via the host engine).
+void cpu_mttkrp_exec(const CooSpan& part, const FactorList& factors,
+                     order_t mode, DenseMatrix& out,
+                     const HostExecOptions& opt = {});
+
+/// Functional CPU-side MTTKRP over a hybrid partition's CPU ranges,
+/// viewed zero-copy in `parent` (accumulating; ranges run concurrently
+/// — they own disjoint output rows).
+void cpu_mttkrp_exec(const CooSpan& parent,
+                     std::span<const std::pair<nnz_t, nnz_t>> ranges,
+                     const FactorList& factors, order_t mode,
+                     DenseMatrix& out, const HostExecOptions& opt = {});
 
 }  // namespace scalfrag

@@ -64,11 +64,12 @@ gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
   return p;
 }
 
-void mttkrp_exec(const CooTensor& segment, const FactorList& factors,
-                 order_t mode, DenseMatrix& out) {
+void mttkrp_exec(const CooSpan& segment, const FactorList& factors,
+                 order_t mode, DenseMatrix& out,
+                 const HostExecOptions& opt) {
   // Functionally identical to the reference (floating-point sums are
   // reassociated on real hardware; tests use tolerances accordingly).
-  mttkrp_coo_ref(segment, factors, mode, out, /*accumulate=*/true);
+  mttkrp_coo_par(segment, factors, mode, out, /*accumulate=*/true, opt);
 }
 
 }  // namespace scalfrag

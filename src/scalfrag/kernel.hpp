@@ -17,6 +17,7 @@
 
 #include "gpusim/cost_model.hpp"
 #include "tensor/features.hpp"
+#include "tensor/mttkrp_par.hpp"
 #include "tensor/mttkrp_ref.hpp"
 
 namespace scalfrag {
@@ -35,8 +36,11 @@ gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
                                      const ScalFragKernelOptions& opt = {});
 
 /// Functional kernel body: accumulate mode-`mode` MTTKRP of the segment
-/// into `out` (commutative adds; cross-segment accumulation safe).
-void mttkrp_exec(const CooTensor& segment, const FactorList& factors,
-                 order_t mode, DenseMatrix& out);
+/// into `out` (commutative adds; cross-segment accumulation safe). The
+/// segment is a zero-copy view; it runs on the host execution engine
+/// (CooTensor converts implicitly, so old call sites still work).
+void mttkrp_exec(const CooSpan& segment, const FactorList& factors,
+                 order_t mode, DenseMatrix& out,
+                 const HostExecOptions& opt = {});
 
 }  // namespace scalfrag

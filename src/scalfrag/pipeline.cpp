@@ -9,7 +9,8 @@ namespace scalfrag {
 
 int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
                        order_t mode, index_t rank,
-                       const PipelineOptions& opt) {
+                       const PipelineOptions& opt,
+                       const TensorFeatures* whole) {
   if (t.nnz() == 0) return 1;
   // Pick the k ∈ [1, 8] minimizing the predicted makespan of a k-deep
   // pipeline. Splitting pays (k−1) extra PCIe setups and extra kernel
@@ -24,14 +25,18 @@ int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
   const double launch = spec.kernel_launch_us * 1e3;
   const double wire =
       static_cast<double>(t.bytes()) / spec.pcie_bandwidth_gbps;
-  const TensorFeatures whole = TensorFeatures::extract(t, mode);
+  TensorFeatures scratch;
+  if (whole == nullptr) {
+    scratch = TensorFeatures::extract(t, mode);  // the O(nnz) rescan
+    whole = &scratch;
+  }
   const ScalFragKernelOptions kopt{.use_shared_mem = opt.use_shared_mem};
   gpusim::LaunchConfig probe = parti::default_launch(spec, t.nnz());
   if (opt.use_shared_mem) {
     probe.shmem_per_block = kernel_shmem_bytes(probe.block, rank);
   }
   const double kernel_work = static_cast<double>(
-      dev.cost_model().kernel_ns(probe, mttkrp_profile(whole, rank, kopt)));
+      dev.cost_model().kernel_ns(probe, mttkrp_profile(*whole, rank, kopt)));
 
   int best_k = 1;
   double best = std::numeric_limits<double>::infinity();
@@ -71,16 +76,22 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
   HybridPartition part;
   if (opt.hybrid_cpu_threshold > 0) {
     part = partition_for_hybrid(t, mode, opt.hybrid_cpu_threshold);
-    gpu_tensor = &part.gpu_part;
-    res.cpu_nnz = part.cpu_part.nnz();
+    if (!part.gpu_whole) gpu_tensor = &part.gpu_part;
+    res.cpu_nnz = part.cpu_nnz;
   }
 
   // --- segmentation ---------------------------------------------------
-  const int want_segments =
-      opt.num_segments == 0
-          ? auto_segment_count(*dev_, *gpu_tensor, mode, rank, opt)
-          : opt.num_segments;
-  res.plan = make_segments(*gpu_tensor, mode, want_segments);
+  // Features ride along with the cuts (one fused pass); the whole-tensor
+  // profile for the auto rule is only extracted when actually needed.
+  int want_segments = opt.num_segments;
+  if (want_segments == 0) {
+    const TensorFeatures whole = TensorFeatures::extract(*gpu_tensor, mode);
+    want_segments =
+        auto_segment_count(*dev_, *gpu_tensor, mode, rank, opt, &whole);
+  }
+  res.plan =
+      make_segments(*gpu_tensor, mode, want_segments, /*align_to_slices=*/true,
+                    /*with_features=*/true);
   const auto n_seg = static_cast<int>(res.plan.size());
 
   dev_->reset_timeline();
@@ -115,13 +126,18 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
 
   // --- hybrid CPU task (concurrent with the GPU pipeline) -------------
   if (res.cpu_nnz > 0) {
-    res.cpu_task_ns = cpu_mttkrp_ns(opt.cpu, part.cpu_part, rank);
+    res.cpu_task_ns = cpu_mttkrp_ns(opt.cpu, res.cpu_nnz, t.order(), rank);
     // Host engine is independent of the GPU engines; use a dedicated
     // stream so it never serializes behind GPU ops in stream order.
+    // The CPU share is never materialized: it runs as zero-copy slice
+    // ranges viewed in the sorted parent.
     const gpusim::StreamId host_s = stream(opt.num_streams);
     dev_->host_task(
         host_s, res.cpu_task_ns,
-        [&] { cpu_mttkrp_exec(part.cpu_part, factors, mode, res.output); },
+        [&] {
+          cpu_mttkrp_exec(CooSpan(t), part.cpu_ranges, factors, mode,
+                          res.output, opt.host_exec);
+        },
         "CPU hybrid MTTKRP");
   }
 
@@ -134,13 +150,13 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
       continue;
     }
     const gpusim::StreamId s = stream(i % opt.num_streams);
-    const CooTensor segment = gpu_tensor->extract(seg.begin, seg.end);
-    const std::size_t bytes =
-        segment.nnz() * (t.order() * sizeof(index_t) + sizeof(value_t));
-    dev_->memcpy_h2d(s, bytes, nullptr,
+    // Zero-copy: the segment is a view into the parent's arrays, not an
+    // extracted tensor. The parent outlives every use below.
+    const CooSpan segment = gpu_tensor->span(seg.begin, seg.end);
+    dev_->memcpy_h2d(s, segment.bytes(), nullptr,
                      "H2D segment " + std::to_string(i));
 
-    const TensorFeatures feat = TensorFeatures::extract(segment, mode);
+    const TensorFeatures& feat = res.plan.features[i];
     gpusim::LaunchConfig launch;
     if (static_cast<std::size_t>(i) < opt.launch_schedule.size()) {
       launch = opt.launch_schedule[i];
@@ -157,11 +173,15 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
       launch.shmem_per_block = kernel_shmem_bytes(launch.block, rank);
     }
     const gpusim::KernelProfile prof = mttkrp_profile(feat, rank, kopt);
+    // Hand the fused segment features to the host engine so strategy
+    // selection is O(1) instead of re-probing the index array.
+    HostExecOptions kexec = opt.host_exec;
+    kexec.features = &feat;
     // SimDevice runs functional bodies eagerly inside launch_kernel, so
-    // capturing the loop-local segment by reference is safe.
+    // capturing the loop-locals by reference is safe.
     dev_->launch_kernel(
         s, launch, prof,
-        [&] { mttkrp_exec(segment, factors, mode, res.output); },
+        [&] { mttkrp_exec(segment, factors, mode, res.output, kexec); },
         "ScalFrag kernel seg " + std::to_string(i));
     res.launches.push_back(launch);
   }

@@ -35,6 +35,10 @@ struct PipelineOptions {
   /// Slice-nnz threshold below which work routes to the CPU (0 = off).
   nnz_t hybrid_cpu_threshold = 0;
   gpusim::CpuSpec cpu = gpusim::CpuSpec::i7_11700k();
+  /// Host execution engine knob for every functional kernel body the
+  /// pipeline runs (segment kernels, hybrid CPU share). Strategy
+  /// Serial restores the single-threaded reference behavior.
+  HostExecOptions host_exec;
 };
 
 struct PipelineResult {
@@ -52,9 +56,12 @@ struct PipelineResult {
 /// The auto-segmentation rule (PipelineOptions::num_segments == 0):
 /// pick the k ∈ [1, 8] minimizing the predicted pipelined makespan.
 /// Exposed so MttkrpPlan segments exactly the way the executor would.
+/// `whole` may pass the tensor's precomputed features; when null they
+/// are extracted here (an O(nnz) rescan hot callers should avoid).
 int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
                        order_t mode, index_t rank,
-                       const PipelineOptions& opt);
+                       const PipelineOptions& opt,
+                       const TensorFeatures* whole = nullptr);
 
 class PipelineExecutor {
  public:

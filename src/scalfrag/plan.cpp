@@ -23,28 +23,34 @@ MttkrpPlan::MttkrpPlan(const CooTensor& x, index_t rank,
     plan.sorted.sort_by_mode(m);
     plan.features = TensorFeatures::extract(plan.sorted, m);
 
-    // Segment exactly the way the executor will (auto rule included).
+    // Segment exactly the way the executor will (auto rule included,
+    // fed the whole-tensor features just computed — no rescan). The
+    // per-segment features fall out of the segmentation pass itself.
     const int want =
         options_.num_segments == 0
-            ? auto_segment_count(dev, plan.sorted, m, rank, options_)
+            ? auto_segment_count(dev, plan.sorted, m, rank, options_,
+                                 &plan.features)
             : options_.num_segments;
-    plan.segments = make_segments(plan.sorted, m, want);
+    plan.segments = make_segments(plan.sorted, m, want,
+                                  /*align_to_slices=*/true,
+                                  /*with_features=*/true);
 
-    // One selector sweep per segment, paid once.
+    // One selector sweep per segment, paid once (no materialization —
+    // the fused features stand in for extract + rescan).
     WallTimer sel_timer;
-    for (const Segment& seg : plan.segments.segments) {
+    for (std::size_t i = 0; i < plan.segments.size(); ++i) {
+      const Segment& seg = plan.segments.segments[i];
       if (seg.nnz() == 0) {
         plan.launch_schedule.push_back(
             parti::default_launch(dev.spec(), 1));
         continue;
       }
-      const CooTensor segment = plan.sorted.extract(seg.begin, seg.end);
-      const TensorFeatures feat = TensorFeatures::extract(segment, m);
+      const TensorFeatures& feat = plan.segments.features[i];
       if (options_.adaptive_launch && selector_ != nullptr) {
         plan.launch_schedule.push_back(selector_->select(feat).config);
       } else {
         plan.launch_schedule.push_back(
-            parti::default_launch(dev.spec(), segment.nnz()));
+            parti::default_launch(dev.spec(), seg.nnz()));
       }
     }
     plan.selection_seconds = sel_timer.seconds();

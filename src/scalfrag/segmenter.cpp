@@ -12,8 +12,45 @@ nnz_t SegmentPlan::max_nnz() const noexcept {
   return m;
 }
 
+namespace {
+
+/// The fused feature pass: one walk over the plan's entry range feeds a
+/// TensorFeatures::Builder per segment, restarted at each cut. Fibers
+/// and slices are detected exactly as TensorFeatures::extract does on a
+/// materialized segment (the first entry after a cut always opens a new
+/// slice and fiber), so the emitted features are identical.
+void fuse_features(const CooTensor& t, order_t mode, SegmentPlan& plan) {
+  double cells = 1.0;
+  for (index_t d : t.dims()) cells *= static_cast<double>(d);
+
+  order_t next_mode = mode;  // fiber-defining second sort key
+  for (order_t m = 0; m < t.order(); ++m) {
+    if (m != mode) {
+      next_mode = m;
+      break;
+    }
+  }
+
+  plan.features.reserve(plan.segments.size());
+  for (const Segment& seg : plan.segments) {
+    TensorFeatures::Builder b(t.order(), mode, t.dim(mode), cells);
+    for (nnz_t e = seg.begin; e < seg.end; ++e) {
+      const bool new_slice =
+          e == seg.begin || t.index(mode, e) != t.index(mode, e - 1);
+      const bool new_fiber =
+          new_slice ||
+          (t.order() > 1 &&
+           t.index(next_mode, e) != t.index(next_mode, e - 1));
+      b.add(new_slice, new_fiber);
+    }
+    plan.features.push_back(b.finish());
+  }
+}
+
+}  // namespace
+
 SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
-                          bool align_to_slices) {
+                          bool align_to_slices, bool with_features) {
   SF_CHECK(num_segments > 0, "need at least one segment");
   SF_CHECK(t.is_sorted_by_mode(mode), "segmenter requires mode-sorted input");
 
@@ -21,6 +58,7 @@ SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
   plan.mode = mode;
   if (t.nnz() == 0) {
     plan.segments.push_back({0, 0, 0, 0, true});
+    if (with_features) fuse_features(t, mode, plan);
     return plan;
   }
 
@@ -56,6 +94,7 @@ SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
 
   // A forward-snapping cut can exhaust the tensor early; that's fine —
   // the plan simply has fewer segments than requested.
+  if (with_features) fuse_features(t, mode, plan);
   return plan;
 }
 

@@ -29,6 +29,11 @@ struct Segment {
 struct SegmentPlan {
   order_t mode = 0;
   std::vector<Segment> segments;
+  /// Per-segment sparsity features, fused into the segmentation walk
+  /// (empty unless make_segments ran with with_features). features[i]
+  /// equals TensorFeatures::extract on the materialized segment i, at
+  /// zero extra passes over the data.
+  std::vector<TensorFeatures> features;
 
   std::size_t size() const noexcept { return segments.size(); }
   /// Max over segments of nnz (load balance quality).
@@ -38,9 +43,12 @@ struct SegmentPlan {
 /// Cut `t` (sorted by `mode`) into `num_segments` nnz-balanced segments.
 /// When `align_to_slices` is set, each cut snaps to the nearest slice
 /// boundary unless a single slice exceeds the per-segment target (then
-/// the slice is split and flagged non-aligned).
+/// the slice is split and flagged non-aligned). With `with_features`,
+/// the boundary walk additionally emits each segment's TensorFeatures
+/// (one fused pass — no per-segment extract + rescan).
 SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
-                          bool align_to_slices = true);
+                          bool align_to_slices = true,
+                          bool with_features = false);
 
 /// Smallest segment count such that one segment's device footprint
 /// (COO bytes + output tile) fits `budget_bytes`.

@@ -1,6 +1,7 @@
 #include "tensor/coo.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 namespace scalfrag {
@@ -129,14 +130,67 @@ std::vector<nnz_t> CooTensor::slice_ptr(order_t mode) const {
   return ptr;
 }
 
+namespace {
+std::atomic<std::uint64_t> g_extract_calls{0};
+}  // namespace
+
+std::uint64_t CooTensor::extract_calls() noexcept {
+  return g_extract_calls.load(std::memory_order_relaxed);
+}
+
 CooTensor CooTensor::extract(nnz_t begin, nnz_t end) const {
   SF_CHECK(begin <= end && end <= nnz(), "extract range out of bounds");
+  g_extract_calls.fetch_add(1, std::memory_order_relaxed);
   CooTensor out(dims_);
   out.reserve(end - begin);
   for (order_t m = 0; m < order(); ++m) {
     out.idx_[m].assign(idx_[m].begin() + begin, idx_[m].begin() + end);
   }
   out.vals_.assign(vals_.begin() + begin, vals_.begin() + end);
+  return out;
+}
+
+CooSpan CooTensor::span() const { return CooSpan(*this); }
+
+CooSpan CooTensor::span(nnz_t begin, nnz_t end) const {
+  return CooSpan(*this).subspan(begin, end);
+}
+
+CooSpan::CooSpan(const CooTensor& t)
+    : dims_(&t.dims()), vals_(t.values().data()), nnz_(t.nnz()) {
+  for (order_t m = 0; m < t.order(); ++m) {
+    idx_[m] = t.mode_indices(m).data();
+  }
+}
+
+CooSpan CooSpan::subspan(nnz_t begin, nnz_t end) const {
+  SF_CHECK(begin <= end && end <= nnz_, "subspan range out of bounds");
+  CooSpan s = *this;
+  for (order_t m = 0; m < order(); ++m) s.idx_[m] += begin;
+  s.vals_ += begin;
+  s.nnz_ = end - begin;
+  s.offset_ = offset_ + begin;
+  return s;
+}
+
+bool CooSpan::slices_contiguous(order_t mode) const {
+  SF_CHECK(mode < order(), "mode out of range");
+  const index_t* m = idx_[mode];
+  for (nnz_t e = 1; e < nnz_; ++e) {
+    if (m[e - 1] > m[e]) return false;
+  }
+  return true;
+}
+
+CooTensor CooSpan::materialize() const {
+  SF_CHECK(dims_ != nullptr, "cannot materialize a null span");
+  CooTensor out(*dims_);
+  out.reserve(nnz_);
+  std::vector<index_t> coord(order());
+  for (nnz_t e = 0; e < nnz_; ++e) {
+    for (order_t m = 0; m < order(); ++m) coord[m] = idx_[m][e];
+    out.push(std::span<const index_t>(coord.data(), coord.size()), vals_[e]);
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 // to match how a GPU kernel would stream them, and to make segment
 // extraction (ScalFrag's tiling) a set of contiguous range copies.
 
+#include <array>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -13,6 +14,8 @@
 #include "common/types.hpp"
 
 namespace scalfrag {
+
+class CooSpan;
 
 class CooTensor {
  public:
@@ -63,7 +66,19 @@ class CooTensor {
   std::vector<nnz_t> slice_ptr(order_t mode) const;
 
   /// Copy of the non-zero range [begin, end) — a ScalFrag segment.
+  /// Hot paths should prefer a zero-copy CooSpan (see span()); extract
+  /// remains for callers that need an owning tensor.
   CooTensor extract(nnz_t begin, nnz_t end) const;
+
+  /// Zero-copy view of the non-zero range [begin, end).
+  CooSpan span(nnz_t begin, nnz_t end) const;
+  /// Zero-copy view of the whole tensor.
+  CooSpan span() const;
+
+  /// Process-wide count of extract() calls. Test instrumentation: the
+  /// pipeline's zero-copy guarantee is asserted by checking this does
+  /// not grow across a run.
+  static std::uint64_t extract_calls() noexcept;
 
   /// Storage footprint of indices + values (what must cross PCIe).
   std::size_t bytes() const noexcept {
@@ -83,6 +98,62 @@ class CooTensor {
   std::vector<index_t> dims_;
   std::vector<std::vector<index_t>> idx_;  // [mode][entry]
   std::vector<value_t> vals_;
+};
+
+/// Zero-copy, read-only view of a contiguous non-zero range of a
+/// CooTensor — the exchange type of the host execution engine. A span
+/// is three raw pointers per mode plus a length: constructing one from
+/// a segment is O(order), versus the O(nnz) allocation + copy of
+/// CooTensor::extract. The parent tensor must outlive every span taken
+/// from it, and must not be mutated (push/sort/coalesce reallocate the
+/// underlying arrays) while spans are live.
+class CooSpan {
+ public:
+  CooSpan() = default;
+  /// Whole-tensor view; implicit so span-taking engines accept a
+  /// CooTensor directly (mirrors std::span's container constructor).
+  CooSpan(const CooTensor& t);
+
+  /// View of [begin, end) relative to this span.
+  CooSpan subspan(nnz_t begin, nnz_t end) const;
+
+  order_t order() const noexcept {
+    return dims_ ? static_cast<order_t>(dims_->size()) : 0;
+  }
+  const std::vector<index_t>& dims() const { return *dims_; }
+  index_t dim(order_t mode) const { return dims_->at(mode); }
+  nnz_t nnz() const noexcept { return nnz_; }
+  bool empty() const noexcept { return nnz_ == 0; }
+  /// Offset of this span's first entry in the root tensor.
+  nnz_t offset() const noexcept { return offset_; }
+
+  index_t index(order_t mode, nnz_t e) const { return idx_[mode][e]; }
+  value_t value(nnz_t e) const { return vals_[e]; }
+
+  /// Raw index array of one mode (nnz() entries). The engine's inner
+  /// loops hoist these pointers out of the per-entry loop.
+  const index_t* mode_indices(order_t mode) const { return idx_.at(mode); }
+  const value_t* values() const noexcept { return vals_; }
+
+  /// Storage footprint of the viewed range (what a segment copy costs).
+  std::size_t bytes() const noexcept {
+    return nnz_ * (order() * sizeof(index_t) + sizeof(value_t));
+  }
+
+  /// True when the mode's index array is non-decreasing over the view —
+  /// the (weaker-than-sorted) property slice-owner partitioning needs:
+  /// all entries of an output row are contiguous.
+  bool slices_contiguous(order_t mode) const;
+
+  /// Owning copy of the viewed range (tests / cold paths).
+  CooTensor materialize() const;
+
+ private:
+  const std::vector<index_t>* dims_ = nullptr;
+  std::array<const index_t*, kMaxOrder> idx_{};
+  const value_t* vals_ = nullptr;
+  nnz_t nnz_ = 0;
+  nnz_t offset_ = 0;
 };
 
 }  // namespace scalfrag

@@ -45,65 +45,47 @@ TensorFeatures::names() {
   return kNames;
 }
 
-TensorFeatures TensorFeatures::extract(const CooTensor& t, order_t mode) {
-  SF_CHECK(mode < t.order(), "mode out of range");
-  const CooTensor* src = &t;
-  CooTensor sorted;
-  if (!t.is_sorted_by_mode(mode)) {
-    sorted = t;
-    sorted.sort_by_mode(mode);
-    src = &sorted;
+void TensorFeatures::Builder::close_slice() {
+  f_.max_nnz_per_slice = std::max(f_.max_nnz_per_slice, slice_len_);
+  slice_sum_ += static_cast<double>(slice_len_);
+  slice_sq_ +=
+      static_cast<double>(slice_len_) * static_cast<double>(slice_len_);
+  slice_len_ = 0;
+}
+
+void TensorFeatures::Builder::close_fiber() {
+  f_.max_nnz_per_fiber = std::max(f_.max_nnz_per_fiber, fiber_len_);
+  fiber_len_ = 0;
+}
+
+void TensorFeatures::Builder::add(bool new_slice, bool new_fiber) {
+  const bool first = f_.nnz == 0;
+  if (new_slice || first) {
+    if (!first) close_slice();
+    ++f_.num_slices;
   }
-
-  TensorFeatures f;
-  f.order = t.order();
-  f.mode = mode;
-  f.nnz = t.nnz();
-  f.mode_dim = t.dim(mode);
-  f.density = t.density();
-
-  if (t.nnz() == 0) return f;
-
-  // The mode following `mode` in the sort-key order (fiber definition).
-  order_t next_mode = mode;
-  for (order_t m = 0; m < t.order(); ++m) {
-    if (m != mode) {
-      next_mode = m;
-      break;
-    }
+  if (new_fiber || new_slice || first) {
+    if (!first) close_fiber();
+    ++f_.num_fibers;
   }
+  ++slice_len_;
+  ++fiber_len_;
+  ++f_.nnz;
+}
 
-  nnz_t slice_len = 0, fiber_len = 0;
-  double slice_sum = 0.0, slice_sq = 0.0;
-  auto close_slice = [&] {
-    f.max_nnz_per_slice = std::max(f.max_nnz_per_slice, slice_len);
-    slice_sum += static_cast<double>(slice_len);
-    slice_sq += static_cast<double>(slice_len) * static_cast<double>(slice_len);
-    slice_len = 0;
-  };
-  auto close_fiber = [&] {
-    f.max_nnz_per_fiber = std::max(f.max_nnz_per_fiber, fiber_len);
-    fiber_len = 0;
-  };
+TensorFeatures TensorFeatures::Builder::finish() {
+  TensorFeatures f = f_;
+  f.order = order_;
+  f.mode = mode_;
+  f.mode_dim = mode_dim_;
+  f.density =
+      cells_ > 0.0 ? static_cast<double>(f.nnz) / cells_ : 0.0;
+  if (f.nnz == 0) return f;
 
-  for (nnz_t e = 0; e < src->nnz(); ++e) {
-    const bool new_slice = e == 0 || src->index(mode, e) != src->index(mode, e - 1);
-    const bool new_fiber =
-        new_slice || (t.order() > 1 &&
-                      src->index(next_mode, e) != src->index(next_mode, e - 1));
-    if (new_slice) {
-      if (e != 0) close_slice();
-      ++f.num_slices;
-    }
-    if (new_fiber) {
-      if (e != 0) close_fiber();
-      ++f.num_fibers;
-    }
-    ++slice_len;
-    ++fiber_len;
-  }
   close_slice();
   close_fiber();
+  f.max_nnz_per_slice = f_.max_nnz_per_slice;
+  f.max_nnz_per_fiber = f_.max_nnz_per_fiber;
 
   f.slice_ratio =
       static_cast<double>(f.num_slices) / static_cast<double>(f.mode_dim);
@@ -115,10 +97,45 @@ TensorFeatures TensorFeatures::extract(const CooTensor& t, order_t mode) {
       static_cast<double>(f.nnz) / static_cast<double>(f.num_fibers);
 
   const double n = static_cast<double>(f.num_slices);
-  const double mean = slice_sum / n;
-  const double var = std::max(0.0, slice_sq / n - mean * mean);
+  const double mean = slice_sum_ / n;
+  const double var = std::max(0.0, slice_sq_ / n - mean * mean);
   f.cv_nnz_per_slice = mean > 0 ? std::sqrt(var) / mean : 0.0;
   return f;
+}
+
+TensorFeatures TensorFeatures::extract(const CooTensor& t, order_t mode) {
+  SF_CHECK(mode < t.order(), "mode out of range");
+  const CooTensor* src = &t;
+  CooTensor sorted;
+  if (!t.is_sorted_by_mode(mode)) {
+    sorted = t;
+    sorted.sort_by_mode(mode);
+    src = &sorted;
+  }
+
+  double cells = 1.0;
+  for (index_t d : t.dims()) cells *= static_cast<double>(d);
+  Builder b(t.order(), mode, t.dim(mode), cells);
+  if (t.nnz() == 0) return b.finish();
+
+  // The mode following `mode` in the sort-key order (fiber definition).
+  order_t next_mode = mode;
+  for (order_t m = 0; m < t.order(); ++m) {
+    if (m != mode) {
+      next_mode = m;
+      break;
+    }
+  }
+
+  for (nnz_t e = 0; e < src->nnz(); ++e) {
+    const bool new_slice =
+        e == 0 || src->index(mode, e) != src->index(mode, e - 1);
+    const bool new_fiber =
+        new_slice || (t.order() > 1 &&
+                      src->index(next_mode, e) != src->index(next_mode, e - 1));
+    b.add(new_slice, new_fiber);
+  }
+  return b.finish();
 }
 
 }  // namespace scalfrag

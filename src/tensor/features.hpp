@@ -52,6 +52,49 @@ struct TensorFeatures {
   /// Extract features for mode-`mode` MTTKRP. Sorts a copy internally if
   /// the tensor is not already mode-sorted.
   static TensorFeatures extract(const CooTensor& t, order_t mode);
+
+  class Builder;
+};
+
+/// Streaming feature accumulator: feed mode-grouped entries one at a
+/// time (flagging slice/fiber starts), then finish(). extract() is one
+/// Builder over the whole tensor; the segmenter runs one Builder per
+/// segment inside its single boundary walk, which is what lets it emit
+/// per-segment features without materializing or rescanning segments.
+/// finish() performs the identical arithmetic to extract(), so fused
+/// features match TensorFeatures::extract on the materialized range
+/// exactly.
+class TensorFeatures::Builder {
+ public:
+  /// `dense_cells` is the Π-dims denominator of the density feature
+  /// (the parent's cell count — segments share their parent's dims).
+  Builder(order_t order, order_t mode, index_t mode_dim, double dense_cells)
+      : order_(order), mode_(mode), mode_dim_(mode_dim),
+        cells_(dense_cells) {}
+
+  /// Add the next entry of the stream. `new_slice` / `new_fiber` flag a
+  /// change of slice / fiber index versus the previous entry; the first
+  /// entry is treated as a new slice and fiber regardless.
+  void add(bool new_slice, bool new_fiber);
+
+  nnz_t nnz() const noexcept { return f_.nnz; }
+
+  /// Close open runs and compute the derived ratios.
+  TensorFeatures finish();
+
+ private:
+  void close_slice();
+  void close_fiber();
+
+  order_t order_;
+  order_t mode_;
+  index_t mode_dim_;
+  double cells_;
+  TensorFeatures f_{};
+  nnz_t slice_len_ = 0;
+  nnz_t fiber_len_ = 0;
+  double slice_sum_ = 0.0;
+  double slice_sq_ = 0.0;
 };
 
 }  // namespace scalfrag

@@ -1,0 +1,309 @@
+#include "tensor/mttkrp_par.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace scalfrag {
+
+const char* host_strategy_name(HostStrategy s) {
+  switch (s) {
+    case HostStrategy::Auto:
+      return "Auto";
+    case HostStrategy::Serial:
+      return "Serial";
+    case HostStrategy::SliceOwner:
+      return "SliceOwner";
+    case HostStrategy::PrivateReduce:
+      return "PrivateReduce";
+  }
+  return "?";
+}
+
+index_t check_factors(const CooSpan& t, const FactorList& factors) {
+  SF_CHECK(factors.size() == t.order(),
+           "need exactly one factor matrix per mode");
+  const index_t rank = factors.empty() ? 0 : factors[0].cols();
+  SF_CHECK(rank > 0, "factor rank must be positive");
+  for (order_t m = 0; m < t.order(); ++m) {
+    SF_CHECK(factors[m].rows() == t.dim(m),
+             "factor row count must equal the mode size");
+    SF_CHECK(factors[m].cols() == rank, "all factors must share rank F");
+  }
+  return rank;
+}
+
+namespace {
+
+/// Serial kernel over the whole span, accumulating into `out`. Index
+/// arrays and factor bases are hoisted to raw pointers once; the
+/// multiplication order (ascending mode, skipping `mode`) matches
+/// mttkrp_coo_ref bit for bit.
+void mttkrp_span_range(const CooSpan& t, const FactorList& factors,
+                       order_t mode, DenseMatrix& out) {
+  const index_t rank = factors[mode].cols();
+  const order_t order = t.order();
+  const nnz_t n = t.nnz();
+  const value_t* vals = t.values();
+  const index_t* oidx = t.mode_indices(mode);
+
+  const index_t* idx[kMaxOrder];
+  const value_t* fdata[kMaxOrder];
+  order_t nf = 0;
+  for (order_t m = 0; m < order; ++m) {
+    if (m == mode) continue;
+    idx[nf] = t.mode_indices(m);
+    fdata[nf] = factors[m].data();
+    ++nf;
+  }
+
+  if (nf == 0) {
+    // Order-1 degenerate case: every factor column accumulates val.
+    for (nnz_t e = 0; e < n; ++e) {
+      value_t* orow = out.row(oidx[e]);
+      for (index_t f = 0; f < rank; ++f) orow[f] += vals[e];
+    }
+    return;
+  }
+
+  // Fused single-pass loops for the common low orders: no scratch
+  // buffer, one rank-loop per entry. The multiply chain stays
+  // left-associated ((val·A)·B), matching the reference bit for bit.
+  if (nf == 1) {
+    const index_t* i0 = idx[0];
+    const value_t* f0 = fdata[0];
+    for (nnz_t e = 0; e < n; ++e) {
+      const value_t val = vals[e];
+      const value_t* frow0 = f0 + static_cast<std::size_t>(i0[e]) * rank;
+      value_t* orow = out.row(oidx[e]);
+      for (index_t f = 0; f < rank; ++f) orow[f] += val * frow0[f];
+    }
+    return;
+  }
+  if (nf == 2) {
+    const index_t* i0 = idx[0];
+    const index_t* i1 = idx[1];
+    const value_t* f0 = fdata[0];
+    const value_t* f1 = fdata[1];
+    for (nnz_t e = 0; e < n; ++e) {
+      const value_t val = vals[e];
+      const value_t* frow0 = f0 + static_cast<std::size_t>(i0[e]) * rank;
+      const value_t* frow1 = f1 + static_cast<std::size_t>(i1[e]) * rank;
+      value_t* orow = out.row(oidx[e]);
+      for (index_t f = 0; f < rank; ++f) {
+        orow[f] += val * frow0[f] * frow1[f];
+      }
+    }
+    return;
+  }
+
+  std::vector<value_t> accbuf(rank);
+  value_t* acc = accbuf.data();
+  for (nnz_t e = 0; e < n; ++e) {
+    const value_t val = vals[e];
+    const value_t* frow0 =
+        fdata[0] + static_cast<std::size_t>(idx[0][e]) * rank;
+    for (index_t f = 0; f < rank; ++f) acc[f] = val * frow0[f];
+    for (order_t k = 1; k < nf; ++k) {
+      const value_t* frow =
+          fdata[k] + static_cast<std::size_t>(idx[k][e]) * rank;
+      for (index_t f = 0; f < rank; ++f) acc[f] *= frow[f];
+    }
+    value_t* orow = out.row(oidx[e]);
+    for (index_t f = 0; f < rank; ++f) orow[f] += acc[f];
+  }
+}
+
+/// Cut [0, n) into ≤ `chunks` slice-aligned ranges (same forward-snap
+/// rule as the segmenter): cuts[i]..cuts[i+1] is chunk i, and no slice
+/// of `midx` spans a cut. Returns the cut list (front 0, back n).
+std::vector<nnz_t> slice_chunks(const index_t* midx, nnz_t n,
+                                std::size_t chunks) {
+  std::vector<nnz_t> cuts{0};
+  const nnz_t target = (n + chunks - 1) / chunks;
+  nnz_t cursor = 0;
+  while (cursor < n) {
+    nnz_t cut = std::min<nnz_t>(cursor + target, n);
+    if (cut < n) {
+      const index_t slice = midx[cut - 1];
+      while (cut < n && midx[cut] == slice) ++cut;
+    }
+    cuts.push_back(cut);
+    cursor = cut;
+  }
+  return cuts;
+}
+
+std::size_t effective_threads(const HostExecOptions& opt) {
+  const std::size_t pool = ThreadPool::global().size();
+  return std::max<std::size_t>(1, opt.threads == 0 ? pool : opt.threads);
+}
+
+}  // namespace
+
+HostStrategy choose_host_strategy(const CooSpan& t, order_t mode,
+                                  const HostExecOptions& opt) {
+  if (opt.strategy != HostStrategy::Auto) return opt.strategy;
+  const nnz_t n = t.nnz();
+  const std::size_t threads = effective_threads(opt);
+  if (threads <= 1 || n < std::max<nnz_t>(opt.grain_nnz, 2)) {
+    return HostStrategy::Serial;
+  }
+  const nnz_t target = (n + threads - 1) / threads;
+  if (opt.features != nullptr) {
+    // Feature fast path — O(1) instead of the O(nnz) probes below. By
+    // passing features the caller asserts the view is the mode-grouped
+    // tensor they were extracted from (the pipeline's segments and the
+    // planner satisfy this by construction). One dominating slice means
+    // slice-aligned chunks cannot balance — privatize instead.
+    return opt.features->max_nnz_per_slice > 2 * target
+               ? HostStrategy::PrivateReduce
+               : HostStrategy::SliceOwner;
+  }
+  if (!t.slices_contiguous(mode)) return HostStrategy::PrivateReduce;
+  const auto cuts = slice_chunks(t.mode_indices(mode), n, threads);
+  nnz_t max_chunk = 0;
+  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+    max_chunk = std::max(max_chunk, cuts[c + 1] - cuts[c]);
+  }
+  if (max_chunk > 2 * target) return HostStrategy::PrivateReduce;
+  return HostStrategy::SliceOwner;
+}
+
+void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
+                    DenseMatrix& out, bool accumulate,
+                    const HostExecOptions& opt) {
+  const index_t rank = check_factors(t, factors);
+  SF_CHECK(mode < t.order(), "mode out of range");
+  SF_CHECK(out.rows() == t.dim(mode) && out.cols() == rank,
+           "output shape must be dims[mode] × F");
+  if (!accumulate) out.set_zero();
+  if (t.nnz() == 0) return;
+
+  const HostStrategy strat = choose_host_strategy(t, mode, opt);
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t threads = effective_threads(opt);
+  const nnz_t n = t.nnz();
+
+  switch (strat) {
+    case HostStrategy::Auto:  // unreachable: choose resolves Auto
+    case HostStrategy::Serial:
+      mttkrp_span_range(t, factors, mode, out);
+      return;
+
+    case HostStrategy::SliceOwner: {
+      // Auto already probed contiguity (or the caller vouched via
+      // features); only an explicitly forced SliceOwner needs the check.
+      if (opt.strategy == HostStrategy::SliceOwner) {
+        SF_CHECK(t.slices_contiguous(mode),
+                 "SliceOwner requires contiguous slices (mode-grouped input)");
+      }
+      const auto cuts = slice_chunks(t.mode_indices(mode), n, threads);
+      const std::size_t n_chunks = cuts.size() - 1;
+      // Each chunk owns the output rows of its slice range: chunks are
+      // race-free against each other, no atomics, no reduction.
+      pool.parallel_for(0, n_chunks, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          mttkrp_span_range(t.subspan(cuts[c], cuts[c + 1]), factors, mode,
+                            out);
+        }
+      });
+      return;
+    }
+
+    case HostStrategy::PrivateReduce: {
+      const std::size_t parts = std::min<std::size_t>(
+          threads, std::max<nnz_t>(1, n / std::max<nnz_t>(opt.grain_nnz, 1)));
+      if (parts <= 1) {
+        mttkrp_span_range(t, factors, mode, out);
+        return;
+      }
+      // Privatized accumulation: an even nnz split into per-part
+      // buffers (any entry order, any skew), then a parallel reduction
+      // over disjoint output-row ranges.
+      std::vector<DenseMatrix> priv(parts);
+      const nnz_t per = (n + parts - 1) / parts;
+      pool.parallel_for(0, parts, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          const nnz_t b = c * per;
+          const nnz_t e = std::min<nnz_t>(n, b + per);
+          if (b >= e) continue;
+          priv[c] = DenseMatrix(out.rows(), rank);
+          mttkrp_span_range(t.subspan(b, e), factors, mode, priv[c]);
+        }
+      });
+      const std::size_t rows = out.rows();
+      pool.parallel_for(
+          0, rows,
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t p = 0; p < parts; ++p) {
+              if (priv[p].rows() == 0) continue;  // empty tail part
+              for (std::size_t i = lo; i < hi; ++i) {
+                const value_t* prow = priv[p].row(static_cast<index_t>(i));
+                value_t* orow = out.row(static_cast<index_t>(i));
+                for (index_t f = 0; f < rank; ++f) orow[f] += prow[f];
+              }
+            }
+          },
+          /*grain=*/64);
+      return;
+    }
+  }
+}
+
+DenseMatrix mttkrp_coo_par(const CooSpan& t, const FactorList& factors,
+                           order_t mode, const HostExecOptions& opt) {
+  DenseMatrix out(t.dim(mode), factors.at(0).cols());
+  mttkrp_coo_par(t, factors, mode, out, /*accumulate=*/false, opt);
+  return out;
+}
+
+void mttkrp_csf_par(const CsfTensor& t, const FactorList& factors,
+                    DenseMatrix& out, bool accumulate,
+                    const HostExecOptions& opt) {
+  SF_CHECK(factors.size() == t.order(), "one factor per mode");
+  const index_t rank = factors[0].cols();
+  const order_t root_mode = t.mode_order()[0];
+  SF_CHECK(out.rows() == t.dims()[root_mode] && out.cols() == rank,
+           "output shape must be dims[root] × F");
+  if (!accumulate) out.set_zero();
+  if (t.nnz() == 0) return;
+
+  const std::size_t threads = effective_threads(opt);
+  const nnz_t slices = t.num_nodes(0);
+  if (threads <= 1 || t.nnz() < opt.grain_nnz || slices <= 1 ||
+      opt.strategy == HostStrategy::Serial) {
+    mttkrp_csf_range(t, factors, 0, slices, out);
+    return;
+  }
+
+  // Leaf offset of root slice s: follow first-child pointers down the
+  // tree. Monotone in s, so nnz-balanced cuts fall out of one sweep.
+  auto leaf_begin = [&](nnz_t s) {
+    nnz_t o = s;
+    for (order_t l = 0; l + 1 < t.order(); ++l) o = t.fptr(l)[o];
+    return o;
+  };
+  std::vector<nnz_t> cuts{0};
+  const nnz_t target = (t.nnz() + threads - 1) / threads;
+  nnz_t goal = target;
+  for (nnz_t s = 1; s < slices; ++s) {
+    const nnz_t off = leaf_begin(s);
+    if (off >= goal) {
+      cuts.push_back(s);
+      goal = off + target;
+    }
+  }
+  cuts.push_back(slices);
+
+  // Root slices own disjoint output rows → chunks are race-free.
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t n_chunks = cuts.size() - 1;
+  pool.parallel_for(0, n_chunks, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      mttkrp_csf_range(t, factors, cuts[c], cuts[c + 1], out);
+    }
+  });
+}
+
+}  // namespace scalfrag

@@ -81,22 +81,14 @@ void csf_subtree(const CsfTensor& t, const FactorList& factors,
 
 }  // namespace
 
-void mttkrp_csf(const CsfTensor& t, const FactorList& factors,
-                DenseMatrix& out, bool accumulate) {
-  SF_CHECK(factors.size() == t.order(), "one factor per mode");
+void mttkrp_csf_range(const CsfTensor& t, const FactorList& factors,
+                      nnz_t slice_begin, nnz_t slice_end, DenseMatrix& out) {
   const index_t rank = factors[0].cols();
-  const order_t root_mode = t.mode_order()[0];
-  SF_CHECK(out.rows() == t.dims()[root_mode] && out.cols() == rank,
-           "output shape must be dims[root] × F");
-  if (!accumulate) out.set_zero();
-  if (t.nnz() == 0) return;
-
   std::vector<std::vector<value_t>> scratch(t.order());
   for (auto& s : scratch) s.resize(rank);
 
   std::vector<value_t> acc(rank);
-  const nnz_t slices = t.num_nodes(0);
-  for (nnz_t s = 0; s < slices; ++s) {
+  for (nnz_t s = slice_begin; s < slice_end; ++s) {
     std::fill(acc.begin(), acc.end(), value_t{0});
     if (t.order() == 1) {
       // Degenerate: MTTKRP of a vector is the vector itself.
@@ -122,6 +114,18 @@ void mttkrp_csf(const CsfTensor& t, const FactorList& factors,
     value_t* orow = out.row(t.fids(0)[s]);
     for (index_t f = 0; f < rank; ++f) orow[f] += acc[f];
   }
+}
+
+void mttkrp_csf(const CsfTensor& t, const FactorList& factors,
+                DenseMatrix& out, bool accumulate) {
+  SF_CHECK(factors.size() == t.order(), "one factor per mode");
+  const index_t rank = factors[0].cols();
+  const order_t root_mode = t.mode_order()[0];
+  SF_CHECK(out.rows() == t.dims()[root_mode] && out.cols() == rank,
+           "output shape must be dims[root] × F");
+  if (!accumulate) out.set_zero();
+  if (t.nnz() == 0) return;
+  mttkrp_csf_range(t, factors, 0, t.num_nodes(0), out);
 }
 
 std::uint64_t mttkrp_flops(const CooTensor& t, index_t rank) {

@@ -36,6 +36,13 @@ DenseMatrix mttkrp_coo_ref(const CooTensor& t, const FactorList& factors,
 void mttkrp_csf(const CsfTensor& t, const FactorList& factors,
                 DenseMatrix& out, bool accumulate = false);
 
+/// Accumulate root slices [slice_begin, slice_end) of the CSF into
+/// `out`. Root slices own disjoint output rows, which is what makes
+/// this the race-free building block of the parallel engine
+/// (mttkrp_csf_par chunks the root level across threads).
+void mttkrp_csf_range(const CsfTensor& t, const FactorList& factors,
+                      nnz_t slice_begin, nnz_t slice_end, DenseMatrix& out);
+
 /// Flop count of one mode-n MTTKRP: each nnz does (order-1) fused
 /// multiply-accumulate passes over F columns → 2·F·(order-1) flops per
 /// nnz (the convention ParTI and the paper's GFlops plots use).

@@ -21,14 +21,29 @@ FactorList random_factors(const CooTensor& t, index_t rank,
   return f;
 }
 
+nnz_t ranges_nnz(const HybridPartition& part) {
+  nnz_t n = 0;
+  for (const auto& [b, e] : part.cpu_ranges) n += e - b;
+  return n;
+}
+
 TEST(Hybrid, PartitionConservesEntries) {
   CooTensor t = make_frostt_tensor("enron", 1.0 / 4096, 51);
   const auto part = partition_for_hybrid(t, 0, 8);
-  EXPECT_EQ(part.cpu_part.nnz() + part.gpu_part.nnz(), t.nnz());
+  const nnz_t gpu_nnz = part.gpu_whole ? t.nnz() : part.gpu_part.nnz();
+  EXPECT_EQ(part.cpu_nnz + gpu_nnz, t.nnz());
+  EXPECT_EQ(ranges_nnz(part), part.cpu_nnz);
   double sum_t = 0, sum_p = 0;
   for (value_t v : t.values()) sum_t += v;
-  for (value_t v : part.cpu_part.values()) sum_p += v;
-  for (value_t v : part.gpu_part.values()) sum_p += v;
+  for (const auto& [b, e] : part.cpu_ranges) {
+    for (nnz_t i = b; i < e; ++i) sum_p += t.value(i);
+  }
+  if (part.gpu_whole) {
+    for (value_t v : t.values()) sum_p += v;
+  } else {
+    for (value_t v : part.gpu_part.values()) sum_p += v;
+  }
+  // gpu_whole implies no CPU ranges, so the halves never double-count.
   EXPECT_NEAR(sum_t, sum_p, 1e-3);
 }
 
@@ -41,25 +56,41 @@ TEST(Hybrid, ThresholdRoutesShortSlicesToCpu) {
   t.push({3, 2}, 1.0f);
   t.sort_by_mode(0);
   const auto part = partition_for_hybrid(t, 0, 4);
-  EXPECT_EQ(part.cpu_part.nnz(), 3u);  // slices 0 and 3
+  EXPECT_EQ(part.cpu_nnz, 3u);  // slices 0 and 3
+  EXPECT_FALSE(part.gpu_whole);
   EXPECT_EQ(part.gpu_part.nnz(), 50u);
   EXPECT_EQ(part.cpu_slices, 2u);
   EXPECT_EQ(part.gpu_slices, 1u);
+  // Slices 0 and 3 are non-adjacent in the sorted entry order, so they
+  // stay two separate zero-copy ranges: [0,1) and [51,53).
+  ASSERT_EQ(part.cpu_ranges.size(), 2u);
+  EXPECT_EQ(part.cpu_ranges[0], (std::pair<nnz_t, nnz_t>{0, 1}));
+  EXPECT_EQ(part.cpu_ranges[1], (std::pair<nnz_t, nnz_t>{51, 53}));
 }
 
 TEST(Hybrid, ZeroThresholdSendsAllToGpu) {
   CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 52);
+  const std::uint64_t extracts_before = CooTensor::extract_calls();
   const auto part = partition_for_hybrid(t, 0, 0);
-  EXPECT_EQ(part.cpu_part.nnz(), 0u);
-  EXPECT_EQ(part.gpu_part.nnz(), t.nnz());
+  EXPECT_EQ(part.cpu_nnz, 0u);
+  EXPECT_TRUE(part.cpu_ranges.empty());
+  // An all-GPU partition reuses the parent tensor: no copy of any kind.
+  EXPECT_TRUE(part.gpu_whole);
+  EXPECT_EQ(part.gpu_part.nnz(), 0u);
+  EXPECT_EQ(CooTensor::extract_calls(), extracts_before);
   EXPECT_GT(part.gpu_slices, 0u);
 }
 
 TEST(Hybrid, PartsRemainModeSorted) {
   CooTensor t = make_frostt_tensor("enron", 1.0 / 8192, 53);
   const auto part = partition_for_hybrid(t, 0, 6);
-  EXPECT_TRUE(part.cpu_part.is_sorted_by_mode(0));
-  EXPECT_TRUE(part.gpu_part.is_sorted_by_mode(0));
+  if (!part.gpu_whole) {
+    EXPECT_TRUE(part.gpu_part.is_sorted_by_mode(0));
+  }
+  // CPU ranges view the sorted parent, so each range is slice-grouped.
+  for (const auto& [b, e] : part.cpu_ranges) {
+    EXPECT_TRUE(t.span(b, e).slices_contiguous(0));
+  }
 }
 
 TEST(Hybrid, PartsSumToWholeMttkrp) {
@@ -67,10 +98,16 @@ TEST(Hybrid, PartsSumToWholeMttkrp) {
   const auto f = random_factors(t, 8, 55);
   const auto whole = mttkrp_coo_ref(t, f, 0);
 
-  const auto part = partition_for_hybrid(t, 0, 6);
+  // Threshold above the mean slice size: a skewed tensor always has
+  // sub-mean slices, so both halves are exercised.
+  const auto feat = TensorFeatures::extract(t, 0);
+  const auto part = partition_for_hybrid(
+      t, 0, static_cast<nnz_t>(feat.avg_nnz_per_slice) + 1);
+  ASSERT_FALSE(part.cpu_ranges.empty());
   DenseMatrix acc(t.dim(0), 8);
-  cpu_mttkrp_exec(part.cpu_part, f, 0, acc);
-  mttkrp_coo_ref(part.gpu_part, f, 0, acc, /*accumulate=*/true);
+  cpu_mttkrp_exec(CooSpan(t), part.cpu_ranges, f, 0, acc);
+  mttkrp_coo_ref(part.gpu_whole ? t : part.gpu_part, f, 0, acc,
+                 /*accumulate=*/true);
   EXPECT_LT(DenseMatrix::max_abs_diff(whole, acc), 2e-3);
 }
 

@@ -1,0 +1,366 @@
+// Host execution engine tests: the parallel MTTKRP must agree with the
+// serial reference across orders, modes, thread counts, strategies, and
+// adversarial inputs (duplicates, one-giant-slice skew, unsorted entry
+// order, empty/singleton tensors). Also covers CooSpan aliasing (span
+// results == extract results) and the parallel CSF walk.
+//
+// This file builds into scalfrag_par_tests (ctest label "parallel") so
+// the ThreadSanitizer preset can run exactly the multithreaded paths.
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/mttkrp_par.hpp"
+
+namespace scalfrag {
+namespace {
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+CooTensor skewed_tensor(int order, nnz_t nnz, std::uint64_t seed) {
+  GeneratorConfig g;
+  for (int m = 0; m < order; ++m) {
+    g.dims.push_back(static_cast<index_t>(24 + 10 * m));
+    g.skew.push_back(1.0 + 0.4 * m);
+  }
+  g.nnz = nnz;
+  g.seed = seed;
+  return generate_coo(g);
+}
+
+// ---------------------------------------------------------------------
+// Parameterized sweep: order × mode × threads, every strategy, vs ref.
+
+class MttkrpParSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MttkrpParSweep, MatchesReference) {
+  const auto [order, mode, threads] = GetParam();
+  if (mode >= order) GTEST_SKIP();
+  CooTensor t = skewed_tensor(order, 3000, 10 + order * 7 + mode);
+  t.sort_by_mode(static_cast<order_t>(mode));
+  const auto f = random_factors(t, 8, 11);
+  const auto expect = mttkrp_coo_ref(t, f, static_cast<order_t>(mode));
+
+  for (HostStrategy s :
+       {HostStrategy::Auto, HostStrategy::Serial, HostStrategy::SliceOwner,
+        HostStrategy::PrivateReduce}) {
+    HostExecOptions opt;
+    opt.threads = static_cast<std::size_t>(threads);
+    opt.strategy = s;
+    opt.grain_nnz = 128;  // well below nnz so parallel paths engage
+    const auto got = mttkrp_coo_par(t, f, static_cast<order_t>(mode), opt);
+    EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-3)
+        << "order=" << order << " mode=" << mode << " threads=" << threads
+        << " strategy=" << host_strategy_name(s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MttkrpParSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(0, 1, 3),
+                       ::testing::Values(1, 2, 0)));  // 0 = all workers
+
+// ---------------------------------------------------------------------
+// Strategy-specific behavior.
+
+TEST(MttkrpPar, SerialMatchesReferenceTightly) {
+  CooTensor t = skewed_tensor(3, 4000, 21);
+  t.sort_by_mode(1);
+  const auto f = random_factors(t, 16, 22);
+  const auto expect = mttkrp_coo_ref(t, f, 1);
+  HostExecOptions opt;
+  opt.strategy = HostStrategy::Serial;
+  const auto got = mttkrp_coo_par(t, f, 1, opt);
+  // Same summation order as the reference; the fused inner loops may
+  // contract multiply+add into FMA (one rounding fewer per term), so
+  // the last bits can differ — but nothing reassociates.
+  EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-4);
+}
+
+TEST(MttkrpPar, AutoPicksSerialBelowGrain) {
+  CooTensor t = skewed_tensor(3, 100, 23);
+  t.sort_by_mode(0);
+  HostExecOptions opt;
+  opt.grain_nnz = 8192;
+  EXPECT_EQ(choose_host_strategy(t, 0, opt), HostStrategy::Serial);
+}
+
+TEST(MttkrpPar, AutoPicksPrivateReduceWhenUnsorted) {
+  CooTensor t({16, 16});
+  t.push({15, 0}, 1.0f);
+  for (index_t i = 0; i < 15; ++i) t.push({i, 1}, 1.0f);
+  HostExecOptions opt;
+  opt.grain_nnz = 4;
+  opt.threads = 4;
+  EXPECT_FALSE(CooSpan(t).slices_contiguous(0));
+  EXPECT_EQ(choose_host_strategy(t, 0, opt), HostStrategy::PrivateReduce);
+}
+
+TEST(MttkrpPar, AutoPicksPrivateReduceOnGiantSliceSkew) {
+  // One slice holds ~all entries: slice-aligned chunks cannot balance.
+  CooTensor t({8, 20000});
+  for (index_t j = 0; j < 10000; ++j) t.push({3, j}, 1.0f);
+  t.push({4, 0}, 1.0f);
+  t.sort_by_mode(0);
+  HostExecOptions opt;
+  opt.grain_nnz = 64;
+  opt.threads = 4;
+  EXPECT_EQ(choose_host_strategy(t, 0, opt), HostStrategy::PrivateReduce);
+
+  // The features fast path must agree without probing the index array.
+  const auto feat = TensorFeatures::extract(t, 0);
+  HostExecOptions with_feat = opt;
+  with_feat.features = &feat;
+  EXPECT_EQ(choose_host_strategy(t, 0, with_feat),
+            HostStrategy::PrivateReduce);
+
+  const auto f = random_factors(t, 8, 24);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  const auto got = mttkrp_coo_par(t, f, 0, opt);
+  // 10000 float terms accumulate into one row; reassociation across the
+  // private parts shifts the sum by O(n·eps·sum) — loose tolerance.
+  EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 0.1);
+}
+
+TEST(MttkrpPar, AutoPicksSliceOwnerOnBalancedSorted) {
+  CooTensor t = skewed_tensor(3, 20000, 25);
+  t.sort_by_mode(0);
+  HostExecOptions opt;
+  opt.grain_nnz = 64;
+  opt.threads = 2;
+  // Balanced synthetic tensors have no dominating slice.
+  EXPECT_EQ(choose_host_strategy(t, 0, opt), HostStrategy::SliceOwner);
+}
+
+TEST(MttkrpPar, SliceOwnerRejectsUnsortedInput) {
+  CooTensor t({16, 4});
+  t.push({15, 0}, 1.0f);
+  for (index_t i = 0; i < 15; ++i) t.push({14 - i, 1}, 2.0f);
+  const auto f = random_factors(t, 4, 26);
+  DenseMatrix out(16, 4);
+  HostExecOptions opt;
+  opt.strategy = HostStrategy::SliceOwner;
+  opt.threads = 2;
+  opt.grain_nnz = 1;
+  EXPECT_THROW(mttkrp_coo_par(t, f, 0, out, false, opt), Error);
+}
+
+TEST(MttkrpPar, PrivateReduceHandlesArbitraryEntryOrder) {
+  // Entries deliberately not grouped by the target mode.
+  CooTensor t = skewed_tensor(3, 5000, 27);
+  t.sort_by_mode(2);  // grouped by the wrong mode for a mode-0 MTTKRP
+  const auto f = random_factors(t, 8, 28);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  HostExecOptions opt;
+  opt.grain_nnz = 128;
+  opt.threads = 4;
+  const auto got = mttkrp_coo_par(t, f, 0, opt);
+  EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-3);
+}
+
+TEST(MttkrpPar, DuplicateCoordinatesAccumulate) {
+  CooTensor t({4, 4});
+  for (int rep = 0; rep < 100; ++rep) t.push({2, 3}, 0.5f);
+  const auto f = random_factors(t, 8, 29);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  for (HostStrategy s : {HostStrategy::SliceOwner,
+                         HostStrategy::PrivateReduce}) {
+    HostExecOptions opt;
+    opt.strategy = s;
+    opt.threads = 4;
+    opt.grain_nnz = 1;
+    const auto got = mttkrp_coo_par(t, f, 0, opt);
+    EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-3)
+        << host_strategy_name(s);
+  }
+}
+
+TEST(MttkrpPar, EmptyAndSingletonTensors) {
+  CooTensor empty({4, 4});
+  const auto fe = random_factors(empty, 4, 30);
+  const auto got_e = mttkrp_coo_par(empty, fe, 0);
+  EXPECT_EQ(got_e.rows(), 4u);
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = 0; j < 4; ++j) EXPECT_EQ(got_e(i, j), 0.0f);
+  }
+
+  CooTensor one({4, 4});
+  one.push({1, 2}, 3.0f);
+  const auto fo = random_factors(one, 4, 31);
+  const auto expect = mttkrp_coo_ref(one, fo, 0);
+  const auto got_o = mttkrp_coo_par(one, fo, 0);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(expect, got_o), 0.0);
+
+  CooTensor vec({8});  // order-1 degenerate case
+  vec.push({5}, 2.0f);
+  vec.push({5}, 1.0f);
+  FactorList fv;
+  fv.emplace_back(8, 3);
+  const auto got_v = mttkrp_coo_par(vec, fv, 0);
+  const auto exp_v = mttkrp_coo_ref(vec, fv, 0);
+  EXPECT_EQ(DenseMatrix::max_abs_diff(exp_v, got_v), 0.0);
+}
+
+TEST(MttkrpPar, AccumulateAddsOntoExisting) {
+  CooTensor t = skewed_tensor(3, 3000, 32);
+  t.sort_by_mode(0);
+  const auto f = random_factors(t, 8, 33);
+  DenseMatrix expect(t.dim(0), 8, 1.0f);
+  mttkrp_coo_ref(t, f, 0, expect, /*accumulate=*/true);
+  HostExecOptions opt;
+  opt.grain_nnz = 64;
+  opt.threads = 4;
+  DenseMatrix got(t.dim(0), 8, 1.0f);
+  mttkrp_coo_par(t, f, 0, got, /*accumulate=*/true, opt);
+  EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-3);
+}
+
+TEST(MttkrpPar, RejectsBadShapes) {
+  CooTensor t({3, 4});
+  t.push({0, 0}, 1.0f);
+  FactorList f;
+  f.emplace_back(3, 8);
+  EXPECT_THROW(check_factors(CooSpan(t), f), Error);  // missing factor
+  f.emplace_back(4, 4);                               // wrong rank
+  EXPECT_THROW(check_factors(CooSpan(t), f), Error);
+  f[1] = DenseMatrix(4, 8);
+  EXPECT_EQ(check_factors(CooSpan(t), f), 8u);
+  DenseMatrix bad(2, 8);  // wrong output shape
+  EXPECT_THROW(mttkrp_coo_par(t, f, 0, bad, false, {}), Error);
+}
+
+// ---------------------------------------------------------------------
+// CooSpan semantics: views alias the parent and match extract copies.
+
+TEST(CooSpanTest, SpanResultsEqualExtractResults) {
+  CooTensor t = skewed_tensor(3, 2000, 34);
+  t.sort_by_mode(0);
+  const auto f = random_factors(t, 8, 35);
+  const nnz_t third = t.nnz() / 3;
+  for (int s = 0; s < 3; ++s) {
+    const nnz_t lo = s * third;
+    const nnz_t hi = s == 2 ? t.nnz() : (s + 1) * third;
+    const CooTensor copy = t.extract(lo, hi);
+    const CooSpan view = t.span(lo, hi);
+    // The view aliases the parent's arrays — no allocation happened.
+    EXPECT_EQ(view.values(), t.values().data() + lo);
+    EXPECT_EQ(view.mode_indices(0), t.mode_indices(0).data() + lo);
+    EXPECT_EQ(view.nnz(), copy.nnz());
+    EXPECT_EQ(view.offset(), lo);
+    EXPECT_EQ(view.bytes(), copy.bytes());
+
+    HostExecOptions serial;
+    serial.strategy = HostStrategy::Serial;
+    DenseMatrix from_span(t.dim(0), 8);
+    mttkrp_coo_par(view, f, 0, from_span, false, serial);
+    // Same kernel on the aliasing view and on an owning copy of the same
+    // range: identical inputs, identical instruction stream → exact.
+    DenseMatrix from_copy(t.dim(0), 8);
+    mttkrp_coo_par(copy, f, 0, from_copy, false, serial);
+    EXPECT_EQ(DenseMatrix::max_abs_diff(from_copy, from_span), 0.0);
+
+    const CooTensor rematerialized = view.materialize();
+    EXPECT_EQ(rematerialized.nnz(), copy.nnz());
+    for (nnz_t e = 0; e < copy.nnz(); ++e) {
+      EXPECT_EQ(rematerialized.value(e), copy.value(e));
+      for (order_t m = 0; m < t.order(); ++m) {
+        EXPECT_EQ(rematerialized.index(m, e), copy.index(m, e));
+      }
+    }
+  }
+}
+
+TEST(CooSpanTest, SubspanComposesAndChecksBounds) {
+  CooTensor t = skewed_tensor(2, 100, 36);
+  const CooSpan whole(t);
+  const CooSpan mid = whole.subspan(10, 60);
+  const CooSpan inner = mid.subspan(5, 20);
+  EXPECT_EQ(inner.nnz(), 15u);
+  EXPECT_EQ(inner.offset(), 15u);  // 10 (mid) + 5
+  EXPECT_EQ(inner.value(0), t.value(15));
+  EXPECT_EQ(inner.index(0, 0), t.index(0, 15));
+  EXPECT_THROW(mid.subspan(0, 51), Error);
+  EXPECT_THROW(whole.subspan(60, 59), Error);
+}
+
+// ---------------------------------------------------------------------
+// Parallel CSF walk.
+
+TEST(MttkrpCsfPar, MatchesSerialCsfAcrossThreads) {
+  for (int order : {1, 2, 3, 4}) {
+    CooTensor coo = skewed_tensor(order, 6000, 37 + order);
+    const auto csf = CsfTensor::build(coo, 0);
+    const auto f = random_factors(coo, 8, 38);
+    DenseMatrix expect(coo.dim(0), 8);
+    mttkrp_csf(csf, f, expect);
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                std::size_t{0}}) {
+      HostExecOptions opt;
+      opt.threads = threads;
+      opt.grain_nnz = 64;
+      DenseMatrix got(coo.dim(0), 8);
+      mttkrp_csf_par(csf, f, got, false, opt);
+      EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-3)
+          << "order=" << order << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MttkrpCsfPar, AccumulateAndEmpty) {
+  CooTensor coo = skewed_tensor(3, 3000, 39);
+  const auto csf = CsfTensor::build(coo, 0);
+  const auto f = random_factors(coo, 4, 40);
+  DenseMatrix expect(coo.dim(0), 4, 2.0f);
+  mttkrp_csf(csf, f, expect, /*accumulate=*/true);
+  DenseMatrix got(coo.dim(0), 4, 2.0f);
+  HostExecOptions opt;
+  opt.grain_nnz = 64;
+  mttkrp_csf_par(csf, f, got, /*accumulate=*/true, opt);
+  EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-3);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool satellites: grain sizing and nested-call safety.
+
+TEST(ThreadPoolPar, GrainLimitsChunkCount) {
+  std::atomic<int> calls{0};
+  ThreadPool::global().parallel_for(
+      0, 100, [&](std::size_t, std::size_t) { ++calls; }, /*grain=*/100);
+  EXPECT_EQ(calls.load(), 1);  // whole range fits one grain → inline
+}
+
+TEST(ThreadPoolPar, NestedParallelForRunsInlineWithoutDeadlock) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  std::atomic<std::size_t> total{0};
+  ThreadPool::global().parallel_for(0, 8, [&](std::size_t lo,
+                                              std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // A nested parallel_for from a worker must run inline rather than
+      // enqueue-and-wait (which can deadlock a single-queue pool).
+      ThreadPool::global().parallel_for(0, 4, [&](std::size_t l,
+                                                  std::size_t h) {
+        if (ThreadPool::global().size() > 1) {
+          EXPECT_TRUE(ThreadPool::on_worker_thread());
+        }
+        total += h - l;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8u * 4u);
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -108,6 +108,45 @@ TEST(Pipeline, HybridSplitsWorkAndStaysCorrect) {
   EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3);
 }
 
+TEST(Pipeline, RunPerformsZeroTensorCopies) {
+  CooTensor t = make_frostt_tensor("enron", 1.0 / 4096, 95);
+  const auto f = random_factors(t, 16, 96);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  PipelineOptions opt;
+  opt.num_segments = 6;
+  // Hybrid on, all-CPU slices routed as zero-copy ranges too.
+  const auto feat = TensorFeatures::extract(t, 0);
+  opt.hybrid_cpu_threshold = static_cast<nnz_t>(feat.avg_nnz_per_slice) + 1;
+  const std::uint64_t extracts_before = CooTensor::extract_calls();
+  const auto res = exec.run(t, f, 0, opt);
+  // Segments and the hybrid CPU share are CooSpan views into the parent;
+  // the only owning copy a run may make is the hybrid GPU compaction,
+  // which goes through push(), not extract(). The process-wide extract
+  // counter therefore must not move.
+  EXPECT_EQ(CooTensor::extract_calls(), extracts_before);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3);
+}
+
+TEST(Pipeline, HostExecKnobKeepsResultsCorrect) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 97);
+  const auto f = random_factors(t, 16, 98);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev);
+  const auto expect = mttkrp_coo_ref(t, f, 0);
+  for (HostStrategy s : {HostStrategy::Auto, HostStrategy::Serial,
+                         HostStrategy::PrivateReduce}) {
+    PipelineOptions opt;
+    opt.num_segments = 3;
+    opt.host_exec.strategy = s;
+    opt.host_exec.grain_nnz = 64;  // force the parallel paths to engage
+    const auto res = exec.run(t, f, 0, opt);
+    EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3)
+        << host_strategy_name(s);
+  }
+}
+
 TEST(Pipeline, SharedMemOffStillCorrectButSlowerKernels) {
   CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 83);
   const auto f = random_factors(t, 16, 84);

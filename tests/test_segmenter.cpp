@@ -110,6 +110,61 @@ TEST(Segmenter, RequiresSortedInput) {
   EXPECT_THROW(make_segments(t, 0, 0), Error);
 }
 
+void expect_features_equal(const TensorFeatures& a, const TensorFeatures& b) {
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.nnz, b.nnz);
+  EXPECT_EQ(a.mode_dim, b.mode_dim);
+  EXPECT_EQ(a.num_slices, b.num_slices);
+  EXPECT_EQ(a.num_fibers, b.num_fibers);
+  EXPECT_EQ(a.max_nnz_per_slice, b.max_nnz_per_slice);
+  EXPECT_EQ(a.max_nnz_per_fiber, b.max_nnz_per_fiber);
+  // finish() runs the identical double arithmetic both ways, so the
+  // derived ratios must match exactly, not just to tolerance.
+  EXPECT_EQ(a.slice_ratio, b.slice_ratio);
+  EXPECT_EQ(a.fiber_ratio, b.fiber_ratio);
+  EXPECT_EQ(a.avg_nnz_per_slice, b.avg_nnz_per_slice);
+  EXPECT_EQ(a.avg_nnz_per_fiber, b.avg_nnz_per_fiber);
+  EXPECT_EQ(a.cv_nnz_per_slice, b.cv_nnz_per_slice);
+  EXPECT_EQ(a.density, b.density);
+}
+
+TEST(Segmenter, FusedFeaturesMatchExtractOnMaterializedSegments) {
+  for (const char* name : {"nips", "uber", "enron"}) {
+    CooTensor t = make_frostt_tensor(name, 1.0 / 2048, 28);
+    for (order_t mode : {order_t{0}, order_t{1}}) {
+      t.sort_by_mode(mode);
+      const auto plan =
+          make_segments(t, mode, 5, /*align_to_slices=*/true,
+                        /*with_features=*/true);
+      ASSERT_EQ(plan.features.size(), plan.size());
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        const Segment& seg = plan.segments[i];
+        const CooTensor materialized = t.extract(seg.begin, seg.end);
+        // extract() computes density against the segment's own dims —
+        // identical to the parent's, so the denominators agree.
+        const auto standalone = TensorFeatures::extract(materialized, mode);
+        expect_features_equal(plan.features[i], standalone);
+      }
+    }
+  }
+}
+
+TEST(Segmenter, FeaturesSkippedUnlessRequested) {
+  CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 29);
+  EXPECT_TRUE(make_segments(t, 0, 4).features.empty());
+  const auto plan = make_segments(t, 0, 4, true, true);
+  EXPECT_EQ(plan.features.size(), plan.size());
+}
+
+TEST(Segmenter, FusedFeaturesOnEmptyTensor) {
+  CooTensor t({8, 8});
+  const auto plan = make_segments(t, 0, 4, true, true);
+  ASSERT_EQ(plan.features.size(), 1u);
+  EXPECT_EQ(plan.features[0].nnz, 0u);
+  expect_features_equal(plan.features[0], TensorFeatures::extract(t, 0));
+}
+
 TEST(Segmenter, BudgetDerivesSegmentCount) {
   CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 27);
   const std::size_t footprint =
