@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <numeric>
+#include <ostream>
 
 namespace scalfrag::ml {
 
@@ -80,6 +82,32 @@ double AdaBoostR2Regressor::predict(std::span<const double> x) const {
     if (acc >= 0.5 * total) return v;
   }
   return preds.back().first;
+}
+
+void AdaBoostR2Regressor::save(std::ostream& out) const {
+  out << "adaboost " << trees_.size() << '\n';
+  out.precision(17);
+  for (std::size_t i = 0; i < log_inv_beta_.size(); ++i) {
+    out << (i ? " " : "") << log_inv_beta_[i];
+  }
+  out << '\n';
+  for (const auto& t : trees_) t.save(out);
+}
+
+AdaBoostR2Regressor AdaBoostR2Regressor::load(std::istream& in) {
+  std::string tag;
+  std::size_t count = 0;
+  in >> tag >> count;
+  SF_CHECK(in.good() && tag == "adaboost", "bad adaboost stream header");
+  AdaBoostR2Regressor model;
+  model.log_inv_beta_.resize(count);
+  for (auto& w : model.log_inv_beta_) in >> w;
+  SF_CHECK(!in.fail(), "truncated adaboost weight line");
+  model.trees_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    model.trees_.push_back(DecisionTreeRegressor::load(in));
+  }
+  return model;
 }
 
 }  // namespace scalfrag::ml

@@ -23,6 +23,11 @@ class AdaBoostR2Regressor final : public Regressor {
 
   std::size_t size() const noexcept { return trees_.size(); }
 
+  /// Text (de)serialization, stream-composable like the tree's:
+  /// `adaboost <n>`, one confidence-weight line, then n tree blocks.
+  void save(std::ostream& out) const;
+  static AdaBoostR2Regressor load(std::istream& in);
+
  private:
   AdaBoostConfig cfg_;
   std::vector<DecisionTreeRegressor> trees_;

@@ -1,6 +1,8 @@
 #include "ml/bagging.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 #include "common/thread_pool.hpp"
 
@@ -43,6 +45,24 @@ double BaggingRegressor::predict(std::span<const double> x) const {
   double s = 0.0;
   for (const auto& t : trees_) s += t.predict(x);
   return s / static_cast<double>(trees_.size());
+}
+
+void BaggingRegressor::save(std::ostream& out) const {
+  out << "bagging " << trees_.size() << '\n';
+  for (const auto& t : trees_) t.save(out);
+}
+
+BaggingRegressor BaggingRegressor::load(std::istream& in) {
+  std::string tag;
+  std::size_t count = 0;
+  in >> tag >> count;
+  SF_CHECK(in.good() && tag == "bagging", "bad bagging stream header");
+  BaggingRegressor model;
+  model.trees_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    model.trees_.push_back(DecisionTreeRegressor::load(in));
+  }
+  return model;
 }
 
 }  // namespace scalfrag::ml

@@ -25,6 +25,11 @@ class BaggingRegressor final : public Regressor {
 
   std::size_t size() const noexcept { return trees_.size(); }
 
+  /// Text (de)serialization, stream-composable like the tree's:
+  /// `bagging <n>` then n tree blocks.
+  void save(std::ostream& out) const;
+  static BaggingRegressor load(std::istream& in);
+
  private:
   BaggingConfig cfg_;
   std::vector<DecisionTreeRegressor> trees_;

@@ -3,18 +3,54 @@
 #include <fstream>
 
 namespace scalfrag::ml {
+namespace {
 
-void save_tree_file(const std::string& path, const DecisionTreeRegressor& t) {
+template <class Model, class SaveFn>
+void save_model_file(const std::string& path, const Model& m, SaveFn save) {
   std::ofstream out(path);
   SF_CHECK(out.good(), "cannot open " + path + " for writing");
-  t.save(out);
+  save(out, m);
   SF_CHECK(out.good(), "write failure on " + path);
 }
 
-DecisionTreeRegressor load_tree_file(const std::string& path) {
+template <class LoadFn>
+auto load_model_file(const std::string& path, LoadFn load) {
   std::ifstream in(path);
   SF_CHECK(in.good(), "cannot open " + path);
-  return DecisionTreeRegressor::load(in);
+  return load(in);
+}
+
+}  // namespace
+
+void save_tree_file(const std::string& path, const DecisionTreeRegressor& t) {
+  save_model_file(path, t, [](std::ostream& o, const auto& m) { m.save(o); });
+}
+
+DecisionTreeRegressor load_tree_file(const std::string& path) {
+  return load_model_file(
+      path, [](std::istream& i) { return DecisionTreeRegressor::load(i); });
+}
+
+void save_adaboost_file(const std::string& path,
+                        const AdaBoostR2Regressor& model) {
+  save_model_file(path, model,
+                  [](std::ostream& o, const auto& m) { m.save(o); });
+}
+
+AdaBoostR2Regressor load_adaboost_file(const std::string& path) {
+  return load_model_file(
+      path, [](std::istream& i) { return AdaBoostR2Regressor::load(i); });
+}
+
+void save_bagging_file(const std::string& path,
+                       const BaggingRegressor& model) {
+  save_model_file(path, model,
+                  [](std::ostream& o, const auto& m) { m.save(o); });
+}
+
+BaggingRegressor load_bagging_file(const std::string& path) {
+  return load_model_file(
+      path, [](std::istream& i) { return BaggingRegressor::load(i); });
 }
 
 }  // namespace scalfrag::ml

@@ -5,11 +5,20 @@
 
 #include <string>
 
+#include "ml/adaboost.hpp"
+#include "ml/bagging.hpp"
 #include "ml/dtree.hpp"
 
 namespace scalfrag::ml {
 
 void save_tree_file(const std::string& path, const DecisionTreeRegressor& t);
 DecisionTreeRegressor load_tree_file(const std::string& path);
+
+void save_adaboost_file(const std::string& path,
+                        const AdaBoostR2Regressor& model);
+AdaBoostR2Regressor load_adaboost_file(const std::string& path);
+
+void save_bagging_file(const std::string& path, const BaggingRegressor& model);
+BaggingRegressor load_bagging_file(const std::string& path);
 
 }  // namespace scalfrag::ml

@@ -35,7 +35,10 @@ CsfTensor CsfTensor::build(const CooTensor& coo, order_t mode) {
     auto& fids = csf.fids_[l];
     std::vector<nnz_t> starts;  // entry index where each node begins
     for (nnz_t e = 0; e < n; ++e) {
-      bool is_new = (e == 0);
+      // Leaf nodes are one per entry: vals_ is indexed by leaf node, so
+      // duplicate coordinates must keep distinct leaves (collapsing
+      // them would drop all but one of the duplicate values).
+      bool is_new = (e == 0) || (l + 1 == order);
       if (!is_new) {
         // New node when any coordinate in levels 0..l changed.
         for (order_t ll = 0; ll <= l; ++ll) {

@@ -1,49 +1,114 @@
 #include "tensor/io_tns.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <vector>
 
 namespace scalfrag {
+namespace {
 
-CooTensor read_tns(std::istream& in, const std::vector<index_t>& dims_hint) {
+std::string at_line(std::size_t lineno) {
+  return "line " + std::to_string(lineno) + ": ";
+}
+
+/// Split on ASCII whitespace. A '#' starts a comment through end of line.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  const auto hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// A 1-based index: decimal digits only, full token consumed, fits the
+/// index type after conversion to 0-based.
+index_t parse_index(std::string_view tok, std::size_t lineno,
+                    std::size_t field) {
+  std::uint64_t raw = 0;
+  const auto [end, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), raw);
+  SF_CHECK(ec == std::errc{} && end == tok.data() + tok.size(),
+           at_line(lineno) + "index field " + std::to_string(field + 1) +
+               " is not a non-negative integer: '" + std::string(tok) + "'");
+  SF_CHECK(raw >= 1,
+           at_line(lineno) + "index field " + std::to_string(field + 1) +
+               " must be >= 1 (.tns indices are 1-based)");
+  SF_CHECK(raw - 1 <= std::numeric_limits<index_t>::max(),
+           at_line(lineno) + "index field " + std::to_string(field + 1) +
+               " overflows the index type: " + std::string(tok));
+  return static_cast<index_t>(raw - 1);
+}
+
+value_t parse_value(std::string_view tok, std::size_t lineno) {
+  double raw = 0.0;
+  const auto [end, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), raw);
+  SF_CHECK(ec == std::errc{} && end == tok.data() + tok.size(),
+           at_line(lineno) + "value field is not a number: '" +
+               std::string(tok) + "'");
+  SF_CHECK(std::isfinite(raw),
+           at_line(lineno) + "value must be finite, got '" +
+               std::string(tok) + "'");
+  return static_cast<value_t>(raw);
+}
+
+}  // namespace
+
+CooTensor read_tns(std::istream& in, const std::vector<index_t>& dims_hint,
+                   std::optional<nnz_t> expected_nnz) {
   std::vector<std::vector<index_t>> idx;
   std::vector<value_t> vals;
   std::size_t order = dims_hint.size();
+  SF_CHECK(order <= kMaxOrder, "dims_hint order exceeds kMaxOrder");
 
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    // Strip comments and whitespace-only lines.
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ls(line);
-    std::vector<double> tokens;
-    double v;
-    while (ls >> v) tokens.push_back(v);
-    if (tokens.empty()) continue;
+    const std::vector<std::string_view> tokens = tokenize(line);
+    if (tokens.empty()) continue;  // blank or comment-only line
 
     if (order == 0) {
       SF_CHECK(tokens.size() >= 2,
-               "line " + std::to_string(lineno) + ": need indices + value");
+               at_line(lineno) + "truncated line: need at least one index "
+                                 "and a value, got " +
+                   std::to_string(tokens.size()) + " field(s)");
       order = tokens.size() - 1;
+      SF_CHECK(order <= kMaxOrder,
+               at_line(lineno) + "order " + std::to_string(order) +
+                   " exceeds kMaxOrder");
     }
     SF_CHECK(tokens.size() == order + 1,
-             "line " + std::to_string(lineno) + ": expected " +
-                 std::to_string(order + 1) + " fields");
+             at_line(lineno) + "expected " + std::to_string(order + 1) +
+                 " fields (order " + std::to_string(order) +
+                 " + value), got " + std::to_string(tokens.size()));
     if (idx.empty()) idx.resize(order);
     for (std::size_t m = 0; m < order; ++m) {
-      const double raw = tokens[m];
-      SF_CHECK(raw >= 1.0 && raw == static_cast<double>(
-                                        static_cast<std::uint64_t>(raw)),
-               "line " + std::to_string(lineno) +
-                   ": indices must be positive integers (1-based)");
-      idx[m].push_back(static_cast<index_t>(raw - 1.0));
+      const index_t i = parse_index(tokens[m], lineno, m);
+      if (!dims_hint.empty()) {
+        SF_CHECK(i < dims_hint[m],
+                 at_line(lineno) + "mode-" + std::to_string(m) + " index " +
+                     std::to_string(i + 1) + " exceeds dimension " +
+                     std::to_string(dims_hint[m]));
+      }
+      idx[m].push_back(i);
     }
-    vals.push_back(static_cast<value_t>(tokens[order]));
+    vals.push_back(parse_value(tokens[order], lineno));
   }
+  SF_CHECK(in.eof(), "stream error while reading .tns input");
   SF_CHECK(order > 0, "empty .tns input");
+  SF_CHECK(!expected_nnz || vals.size() == *expected_nnz,
+           "nnz mismatch: header/caller expected " +
+               std::to_string(expected_nnz.value_or(0)) + " entries, read " +
+               std::to_string(vals.size()));
 
   std::vector<index_t> dims = dims_hint;
   if (dims.empty()) {
@@ -63,10 +128,11 @@ CooTensor read_tns(std::istream& in, const std::vector<index_t>& dims_hint) {
 }
 
 CooTensor read_tns_file(const std::string& path,
-                        const std::vector<index_t>& dims_hint) {
+                        const std::vector<index_t>& dims_hint,
+                        std::optional<nnz_t> expected_nnz) {
   std::ifstream in(path);
   SF_CHECK(in.good(), "cannot open " + path);
-  return read_tns(in, dims_hint);
+  return read_tns(in, dims_hint, expected_nnz);
 }
 
 void write_tns(std::ostream& out, const CooTensor& t) {

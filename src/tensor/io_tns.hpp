@@ -7,6 +7,7 @@
 // in place of the synthetic profiles.
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "tensor/coo.hpp"
@@ -14,14 +15,20 @@
 namespace scalfrag {
 
 /// Parse a .tns stream. Mode sizes are the max index seen per mode
-/// unless `dims_hint` is non-empty (then indices are validated against
-/// it). Throws scalfrag::Error on malformed input.
+/// unless `dims_hint` is non-empty (then every index is validated
+/// against it). When `expected_nnz` is set, the entry count must match
+/// it exactly. Throws scalfrag::Error on malformed input: truncated
+/// lines, non-numeric fields, trailing garbage in a field, zero or
+/// out-of-range indices, index-type overflow, non-finite values, or an
+/// entry-count mismatch.
 CooTensor read_tns(std::istream& in,
-                   const std::vector<index_t>& dims_hint = {});
+                   const std::vector<index_t>& dims_hint = {},
+                   std::optional<nnz_t> expected_nnz = std::nullopt);
 
 /// Convenience: open and parse a file.
 CooTensor read_tns_file(const std::string& path,
-                        const std::vector<index_t>& dims_hint = {});
+                        const std::vector<index_t>& dims_hint = {},
+                        std::optional<nnz_t> expected_nnz = std::nullopt);
 
 /// Write in .tns format (1-based indices, `%g` values).
 void write_tns(std::ostream& out, const CooTensor& t);

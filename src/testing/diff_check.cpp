@@ -1,0 +1,306 @@
+#include "testing/diff_check.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "parti/parti_executor.hpp"
+#include "scalfrag/pipeline.hpp"
+#include "tensor/bcsf.hpp"
+#include "tensor/fcoo.hpp"
+#include "tensor/hicoo.hpp"
+#include "tensor/mttkrp_par.hpp"
+
+namespace scalfrag::testing {
+namespace {
+
+DenseMatrix run_host_engine(const CooTensor& t, const FactorList& f,
+                            order_t mode, HostStrategy strategy,
+                            std::size_t threads) {
+  HostExecOptions opt;
+  opt.strategy = strategy;
+  opt.threads = threads;
+  opt.grain_nnz = 1;  // fuzz tensors are small; force the parallel paths
+  return mttkrp_coo_par(CooSpan(t), f, mode, opt);
+}
+
+DenseMatrix run_pipeline(const CooTensor& t, const FactorList& f, order_t mode,
+                         int segments, int streams, nnz_t hybrid_threshold,
+                         HostStrategy strategy = HostStrategy::Auto) {
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  PipelineExecutor exec(dev);
+  PipelineOptions opt;
+  opt.num_segments = segments;
+  opt.num_streams = streams;
+  opt.hybrid_cpu_threshold = hybrid_threshold;
+  opt.host_exec.strategy = strategy;
+  opt.host_exec.grain_nnz = 64;
+  return exec.run(t, f, mode, opt).output;
+}
+
+/// Threshold one above the mean slice size — a skewed tensor then
+/// always has both CPU and GPU shares.
+nnz_t mixed_hybrid_threshold(const CooTensor& t, order_t mode) {
+  const TensorFeatures feat = TensorFeatures::extract(t, mode);
+  return static_cast<nnz_t>(feat.avg_nnz_per_slice) + 1;
+}
+
+const std::vector<ExecPath>& build_table() {
+  static const std::vector<ExecPath> kPaths = [] {
+    std::vector<ExecPath> paths;
+    auto add = [&](std::string name, decltype(ExecPath::run) run,
+                   decltype(ExecPath::supports) supports = nullptr) {
+      paths.push_back({std::move(name), std::move(run), std::move(supports)});
+    };
+
+    add("coo_ref", [](const CooTensor& t, const FactorList& f, order_t mode) {
+      return mttkrp_coo_ref(t, f, mode);
+    });
+
+    // Host engine: every strategy × {1, 2, 4} worker caps.
+    add("coo_par/serial",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_host_engine(t, f, mode, HostStrategy::Serial, 1);
+        });
+    add("coo_par/auto", [](const CooTensor& t, const FactorList& f,
+                           order_t mode) {
+      return run_host_engine(t, f, mode, HostStrategy::Auto, 0);
+    });
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      add("coo_par/slice_owner/t" + std::to_string(threads),
+          [threads](const CooTensor& t, const FactorList& f, order_t mode) {
+            return run_host_engine(t, f, mode, HostStrategy::SliceOwner,
+                                   threads);
+          });
+      add("coo_par/private_reduce/t" + std::to_string(threads),
+          [threads](const CooTensor& t, const FactorList& f, order_t mode) {
+            return run_host_engine(t, f, mode, HostStrategy::PrivateReduce,
+                                   threads);
+          });
+    }
+
+    // Tree formats: plain CSF, the parallel CSF walker, and the
+    // slice-split balanced variant.
+    add("csf_ref", [](const CooTensor& t, const FactorList& f, order_t mode) {
+      const CsfTensor csf = CsfTensor::build(t, mode);
+      DenseMatrix out(t.dim(mode), f[0].cols());
+      mttkrp_csf(csf, f, out);
+      return out;
+    });
+    add("csf_par/t4",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          const CsfTensor csf = CsfTensor::build(t, mode);
+          DenseMatrix out(t.dim(mode), f[0].cols());
+          HostExecOptions opt;
+          opt.threads = 4;
+          opt.grain_nnz = 1;
+          mttkrp_csf_par(csf, f, out, /*accumulate=*/false, opt);
+          return out;
+        });
+    add("bcsf", [](const CooTensor& t, const FactorList& f, order_t mode) {
+      // Cap low enough that fuzz-sized mega-slices actually split.
+      const nnz_t cap = std::max<nnz_t>(2, t.nnz() / 7);
+      const BcsfTensor bcsf = BcsfTensor::build(t, mode, cap);
+      DenseMatrix out(t.dim(mode), f[0].cols());
+      bcsf.mttkrp(f, out);
+      return out;
+    });
+
+    // Blocked / flagged coordinate formats.
+    add("hicoo", [](const CooTensor& t, const FactorList& f, order_t mode) {
+      const HicooTensor h = HicooTensor::build(t, 4);
+      DenseMatrix out(t.dim(mode), f[0].cols());
+      h.mttkrp(f, mode, out);
+      return out;
+    });
+    add("fcoo", [](const CooTensor& t, const FactorList& f, order_t mode) {
+      // Small partitions so segments regularly straddle partitions.
+      const FcooTensor fc = FcooTensor::build(t, mode, 7);
+      DenseMatrix out(t.dim(mode), f[0].cols());
+      fc.mttkrp(f, out);
+      return out;
+    });
+
+    // The ParTI synchronous baseline on the simulated device.
+    add("parti", [](const CooTensor& t, const FactorList& f, order_t mode) {
+      gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+      return parti::run_mttkrp(dev, t, f, mode).output;
+    });
+
+    // The segmented pipeline across segment/stream shapes, including
+    // the auto-segmentation rule.
+    add("pipeline/auto",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 0, 4, 0);
+        });
+    add("pipeline/s1x1",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 1, 1, 0);
+        });
+    add("pipeline/s3x2",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 3, 2, 0);
+        });
+    add("pipeline/s8x4/private_reduce",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 8, 4, 0,
+                              HostStrategy::PrivateReduce);
+        });
+
+    // CPU–GPU hybrid: mixed split and the all-CPU degenerate split.
+    add("hybrid/mixed",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 2, 2,
+                              mixed_hybrid_threshold(t, mode));
+        });
+    add("hybrid/all_cpu",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 1, 2, t.nnz() + 1);
+        });
+
+    return paths;
+  }();
+  return kPaths;
+}
+
+CooTensor remove_entry_range(const CooTensor& t, nnz_t begin, nnz_t end) {
+  CooTensor out(t.dims());
+  out.reserve(t.nnz() - (end - begin));
+  std::vector<index_t> c(t.order());
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    if (e >= begin && e < end) continue;
+    for (order_t m = 0; m < t.order(); ++m) c[m] = t.index(m, e);
+    out.push(std::span<const index_t>(c.data(), c.size()), t.value(e));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ExecPath>& conformance_paths() { return build_table(); }
+
+FactorList conformance_factors(const CooTensor& t, index_t rank,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  f.reserve(t.order());
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+DiffReport check_all_paths(const CooTensor& t, order_t mode,
+                           const DiffOptions& opt) {
+  SF_CHECK(mode < t.order(), "mode out of range");
+  SF_CHECK(opt.rank > 0, "rank must be positive");
+
+  const FactorList factors =
+      conformance_factors(t, opt.rank, opt.factor_seed);
+  const OracleResult oracle = mttkrp_oracle(t, factors, mode);
+
+  CooTensor sorted = t;
+  sorted.sort_by_mode(mode);
+
+  DiffReport rep;
+  auto matches_filter = [&](const std::string& name) {
+    return opt.path_filter.empty() ||
+           name.find(opt.path_filter) != std::string::npos;
+  };
+  auto run_one = [&](const std::string& name, const CooTensor& input,
+                     const decltype(ExecPath::run)& run) {
+    Divergence div;
+    div.path = name;
+    try {
+      const DenseMatrix out = run(input, factors, mode);
+      const OracleDiff d =
+          compare_to_oracle(oracle, out, t.order(), opt.tolerance);
+      if (!d.diverged) {
+        ++rep.paths_run;
+        return false;
+      }
+      div.row = d.row;
+      div.col = d.col;
+      div.got = d.got;
+      div.want = d.want;
+      div.tol = d.tol;
+    } catch (const std::exception& ex) {
+      div.threw = true;
+      div.message = ex.what();
+    }
+    ++rep.paths_run;
+    rep.divergences.push_back(std::move(div));
+    return true;
+  };
+
+  for (const ExecPath& p : conformance_paths()) {
+    if (!matches_filter(p.name)) continue;
+    if (p.supports && !p.supports(sorted, mode)) {
+      ++rep.paths_skipped;
+      continue;
+    }
+    if (run_one(p.name, sorted, p.run) && opt.stop_at_first) return rep;
+  }
+
+  // Order-independent paths additionally run on the raw entry order —
+  // only meaningful when the input actually arrived unsorted.
+  if (!t.is_sorted_by_mode(mode)) {
+    if (matches_filter("coo_ref/raw_order")) {
+      const bool failed = run_one(
+          "coo_ref/raw_order", t,
+          [](const CooTensor& rt, const FactorList& f, order_t m) {
+            return mttkrp_coo_ref(rt, f, m);
+          });
+      if (failed && opt.stop_at_first) return rep;
+    }
+    if (matches_filter("coo_par/private_reduce/raw_order")) {
+      const bool failed = run_one(
+          "coo_par/private_reduce/raw_order", t,
+          [](const CooTensor& rt, const FactorList& f, order_t m) {
+            return run_host_engine(rt, f, m, HostStrategy::PrivateReduce, 4);
+          });
+      if (failed && opt.stop_at_first) return rep;
+    }
+  }
+  return rep;
+}
+
+CooTensor shrink_tensor(const CooTensor& t,
+                        const std::function<bool(const CooTensor&)>&
+                            still_fails) {
+  SF_CHECK(still_fails(t), "shrink_tensor requires a failing input");
+  CooTensor cur = t;
+  nnz_t chunk = std::max<nnz_t>(1, cur.nnz() / 2);
+  for (;;) {
+    bool removed = false;
+    nnz_t pos = 0;
+    while (pos < cur.nnz()) {
+      const nnz_t end = std::min<nnz_t>(pos + chunk, cur.nnz());
+      CooTensor cand = remove_entry_range(cur, pos, end);
+      if (still_fails(cand)) {
+        cur = std::move(cand);
+        removed = true;
+        // Re-test from the same position: the next chunk slid into it.
+      } else {
+        pos = end;
+      }
+    }
+    if (chunk > 1) {
+      chunk = std::max<nnz_t>(1, chunk / 2);
+    } else if (!removed) {
+      break;  // 1-minimal: no single entry can be removed
+    }
+  }
+  return cur;
+}
+
+std::function<bool(const CooTensor&)> divergence_predicate(order_t mode,
+                                                           DiffOptions opt) {
+  opt.stop_at_first = true;
+  return [mode, opt](const CooTensor& t) {
+    return !check_all_paths(t, mode, opt).ok();
+  };
+}
+
+}  // namespace scalfrag::testing

@@ -1,0 +1,90 @@
+#include "testing/oracle.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace scalfrag::testing {
+
+OracleResult mttkrp_oracle(const CooTensor& t, const FactorList& factors,
+                           order_t mode) {
+  const index_t rank = check_factors(t, factors);
+  SF_CHECK(mode < t.order(), "mode out of range");
+
+  OracleResult o;
+  o.rows = t.dim(mode);
+  o.cols = rank;
+  const std::size_t cells = static_cast<std::size_t>(o.rows) * rank;
+  o.sum.assign(cells, 0.0);
+  o.mag.assign(cells, 0.0);
+  o.terms.assign(cells, 0);
+  std::vector<double> comp(cells, 0.0);  // Neumaier compensation
+
+  std::vector<double> term(rank);
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    const double val = static_cast<double>(t.value(e));
+    for (index_t f = 0; f < rank; ++f) term[f] = val;
+    for (order_t m = 0; m < t.order(); ++m) {
+      if (m == mode) continue;
+      const value_t* frow = factors[m].row(t.index(m, e));
+      for (index_t f = 0; f < rank; ++f) {
+        term[f] *= static_cast<double>(frow[f]);
+      }
+    }
+    const std::size_t base =
+        static_cast<std::size_t>(t.index(mode, e)) * rank;
+    for (index_t f = 0; f < rank; ++f) {
+      const std::size_t c = base + f;
+      const double x = term[f];
+      const double s = o.sum[c];
+      const double nsum = s + x;
+      // Neumaier branch: the compensation recovers the low-order bits
+      // of whichever addend was larger.
+      comp[c] += std::abs(s) >= std::abs(x) ? (s - nsum) + x : (x - nsum) + s;
+      o.sum[c] = nsum;
+      o.mag[c] += std::abs(x);
+      ++o.terms[c];
+    }
+  }
+  for (std::size_t c = 0; c < cells; ++c) o.sum[c] += comp[c];
+  return o;
+}
+
+double ToleranceModel::cell_tol(const OracleResult& o, index_t i, index_t f,
+                                order_t order) const {
+  constexpr double eps32 = 1.1920928955078125e-07;  // 2^-23
+  const double n = static_cast<double>(o.term_count(i, f));
+  return abs_floor +
+         slack * eps32 * (static_cast<double>(order) + n) * o.magnitude(i, f);
+}
+
+OracleDiff compare_to_oracle(const OracleResult& oracle,
+                             const DenseMatrix& got, order_t order,
+                             const ToleranceModel& model) {
+  SF_CHECK(got.rows() == oracle.rows && got.cols() == oracle.cols,
+           "engine output shape does not match the oracle");
+  OracleDiff d;
+  for (index_t i = 0; i < oracle.rows; ++i) {
+    for (index_t f = 0; f < oracle.cols; ++f) {
+      const double want = oracle.value(i, f);
+      const double val = static_cast<double>(got(i, f));
+      const double tol = model.cell_tol(oracle, i, f, order);
+      const double err = std::abs(val - want);
+      const double excess =
+          tol > 0.0 ? err / tol : (err > 0.0
+                                       ? std::numeric_limits<double>::infinity()
+                                       : 0.0);
+      if (excess > d.worst_excess) d.worst_excess = excess;
+      if (err > tol && !d.diverged) {
+        d.diverged = true;
+        d.row = i;
+        d.col = f;
+        d.got = val;
+        d.want = want;
+        d.tol = tol;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace scalfrag::testing

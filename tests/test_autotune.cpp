@@ -59,8 +59,12 @@ TEST(AutoTune, TrainingMeetsPaperBudgets) {
   EXPECT_EQ(rep.model_name, "DecisionTree");
   EXPECT_GT(rep.train_rows, 0u);
   EXPECT_GT(rep.test_rows, 0u);
-  // §IV-B: training < 0.5 s, DecisionTree MAPE < 15%.
+  // §IV-B: training < 0.5 s, DecisionTree MAPE < 15%. The wall-clock
+  // budget only means something without sanitizer instrumentation
+  // (ASan/TSan slow training 10-40x and the suite runs in parallel).
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
   EXPECT_LT(rep.train_seconds, 0.5);
+#endif
   EXPECT_LT(rep.mape_test, 15.0);
   EXPECT_GT(rep.r2_test, 0.8);
   EXPECT_TRUE(tuner.trained());

@@ -1,0 +1,138 @@
+// Corpus-generator tests: every archetype must exhibit the sparsity
+// pathology it is named for, deterministically in its seed.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "testing/corpus.hpp"
+#include "tensor/features.hpp"
+
+namespace scalfrag::testing {
+namespace {
+
+bool same_tensor(const CooTensor& a, const CooTensor& b) {
+  if (a.dims() != b.dims() || a.nnz() != b.nnz()) return false;
+  for (nnz_t e = 0; e < a.nnz(); ++e) {
+    if (a.value(e) != b.value(e)) return false;
+    for (order_t m = 0; m < a.order(); ++m) {
+      if (a.index(m, e) != b.index(m, e)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Corpus, RegistryIsNonTrivialAndQueryable) {
+  const auto& names = corpus_archetypes();
+  EXPECT_GE(names.size(), 10u);
+  for (const auto& n : names) EXPECT_TRUE(is_archetype(n)) << n;
+  EXPECT_FALSE(is_archetype("no-such-archetype"));
+  EXPECT_THROW(make_archetype("no-such-archetype", 1), Error);
+  EXPECT_THROW(make_archetype("uniform", 1, 3), Error);
+}
+
+TEST(Corpus, DeterministicInSeedAndDistinctAcrossSeeds) {
+  for (const auto& name : corpus_archetypes()) {
+    const CooTensor a = make_archetype(name, 77, 1);
+    const CooTensor b = make_archetype(name, 77, 1);
+    EXPECT_TRUE(same_tensor(a, b)) << name;
+    if (a.nnz() > 0) {
+      const CooTensor c = make_archetype(name, 78, 1);
+      EXPECT_FALSE(same_tensor(a, c)) << name << " ignores its seed";
+    }
+  }
+}
+
+TEST(Corpus, EveryArchetypeValidatesAndSizesScale) {
+  for (const auto& name : corpus_archetypes()) {
+    const CooTensor small = make_archetype(name, 3, 0);
+    const CooTensor big = make_archetype(name, 3, 2);
+    EXPECT_NO_THROW(small.validate()) << name;
+    EXPECT_NO_THROW(big.validate()) << name;
+    if (small.nnz() > 1) {
+      EXPECT_GT(big.nnz(), small.nnz()) << name;
+    }
+  }
+}
+
+TEST(Corpus, EmptyAndSingleNnz) {
+  EXPECT_EQ(make_archetype("empty", 1).nnz(), 0u);
+  EXPECT_EQ(make_archetype("single_nnz", 1).nnz(), 1u);
+}
+
+TEST(Corpus, MegaSliceConcentratesMassInOneSlice) {
+  const CooTensor t = make_archetype("mega_slice", 13, 1);
+  const TensorFeatures f = TensorFeatures::extract(t, 0);
+  EXPECT_GT(static_cast<double>(f.max_nnz_per_slice),
+            0.5 * static_cast<double>(t.nnz()));
+}
+
+TEST(Corpus, HypersparseHasFarMoreSlotsThanEntries) {
+  const CooTensor t = make_archetype("hypersparse", 13, 1);
+  EXPECT_LT(t.density(), 1e-9);
+  EXPECT_GT(t.dim(0), 10000u);
+}
+
+TEST(Corpus, DuplicatesContainExactRepeatedCoordinates) {
+  CooTensor t = make_archetype("duplicates", 13, 1);
+  const nnz_t before = t.nnz();
+  t.sort_by_mode(0);
+  EXPECT_GT(t.coalesce_duplicates(), 0u);
+  EXPECT_LT(t.nnz(), before);
+}
+
+TEST(Corpus, SkewedFibersAreImbalanced) {
+  const CooTensor t = make_archetype("skewed_fibers", 13, 1);
+  // Mode 1 carries the heaviest skew exponent: its slice sizes must be
+  // far more imbalanced than any uniform draw's (Poisson cv ≈ 0.4).
+  const TensorFeatures f = TensorFeatures::extract(t, 1);
+  EXPECT_GT(f.cv_nnz_per_slice, 1.0);
+}
+
+TEST(Corpus, BoundaryDimsHasSingletonModesAndExtremes) {
+  const CooTensor t = make_archetype("boundary_dims", 13, 1);
+  EXPECT_EQ(t.dim(0), 1u);
+  EXPECT_EQ(t.dim(2), 1u);
+  bool saw_zero = false, saw_last = false;
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
+    saw_zero |= t.index(1, e) == 0;
+    saw_last |= t.index(1, e) == t.dim(1) - 1;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_last);
+  // Zero-sized modes stay impossible at the type level.
+  EXPECT_THROW(CooTensor({0, 4}), Error);
+}
+
+TEST(Corpus, UnsortedArrivesOutOfOrder) {
+  const CooTensor t = make_archetype("unsorted", 13, 1);
+  EXPECT_FALSE(t.is_sorted_by_mode(0));
+}
+
+TEST(Corpus, OrderVariantsCoverTwoAndFourWay) {
+  EXPECT_EQ(make_archetype("order2", 13).order(), 2);
+  EXPECT_EQ(make_archetype("order4", 13).order(), 4);
+}
+
+TEST(Corpus, BlockClusteredIsDenserPerBlockThanUniform) {
+  // Clustering lives at block granularity, not slice granularity: the
+  // mean population of occupied 8^order-aligned blocks must clearly
+  // exceed a uniform draw's.
+  auto nnz_per_block = [](const CooTensor& t) {
+    std::set<std::vector<index_t>> blocks;
+    std::vector<index_t> key(t.order());
+    for (nnz_t e = 0; e < t.nnz(); ++e) {
+      for (order_t m = 0; m < t.order(); ++m) key[m] = t.index(m, e) / 8;
+      blocks.insert(key);
+    }
+    return static_cast<double>(t.nnz()) / static_cast<double>(blocks.size());
+  };
+  const CooTensor t = make_archetype("block_clustered", 13, 1);
+  // A uniform scatter of this nnz over the same dims occupies one block
+  // per entry or so (~1.1 nnz/block); clustering must be far denser.
+  EXPECT_GT(nnz_per_block(t), 4.0);
+}
+
+}  // namespace
+}  // namespace scalfrag::testing

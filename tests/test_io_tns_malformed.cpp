@@ -1,0 +1,129 @@
+// Hardened .tns parser tests: every class of malformed input must be
+// rejected with a typed scalfrag::Error naming the offending line, and
+// strictness must not break well-formed files.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/io_tns.hpp"
+
+namespace scalfrag {
+namespace {
+
+std::string error_text(const std::string& tns,
+                       const std::vector<index_t>& dims_hint = {},
+                       std::optional<nnz_t> expected_nnz = std::nullopt) {
+  std::istringstream in(tns);
+  try {
+    read_tns(in, dims_hint, expected_nnz);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(IoTnsMalformed, TruncatedLines) {
+  // A bare value with no index, and a line missing its value.
+  EXPECT_THROW(
+      { std::istringstream in("3.5\n"); read_tns(in); }, Error);
+  EXPECT_THROW(
+      { std::istringstream in("1 2 3 1.0\n1 2 3\n"); read_tns(in); }, Error);
+  // The error names the offending line.
+  EXPECT_NE(error_text("1 2 3 1.0\n1 2 3\n").find("line 2"),
+            std::string::npos);
+}
+
+TEST(IoTnsMalformed, NonNumericFields) {
+  EXPECT_THROW(
+      { std::istringstream in("a b 1.0\n"); read_tns(in); }, Error);
+  EXPECT_THROW(
+      { std::istringstream in("1 2 oops\n"); read_tns(in); }, Error);
+  // Trailing garbage glued onto an otherwise-valid field must not be
+  // silently truncated (the old stream-extraction parser accepted it).
+  EXPECT_THROW(
+      { std::istringstream in("1x 2 1.0\n"); read_tns(in); }, Error);
+  EXPECT_THROW(
+      { std::istringstream in("1 2 1.0junk\n"); read_tns(in); }, Error);
+}
+
+TEST(IoTnsMalformed, BadIndices) {
+  // Zero and negative indices (.tns is 1-based).
+  EXPECT_THROW(
+      { std::istringstream in("0 1 1.0\n"); read_tns(in); }, Error);
+  EXPECT_THROW(
+      { std::istringstream in("1 -2 1.0\n"); read_tns(in); }, Error);
+  // Fractional index.
+  EXPECT_THROW(
+      { std::istringstream in("1.5 1 1.0\n"); read_tns(in); }, Error);
+  // Larger than the 32-bit index type.
+  EXPECT_THROW(
+      { std::istringstream in("999999999999999999999 1 1.0\n"); read_tns(in); },
+      Error);
+  EXPECT_THROW(
+      { std::istringstream in("4294967297 1 1.0\n"); read_tns(in); }, Error);
+}
+
+TEST(IoTnsMalformed, IndexOutsideDimsHint) {
+  std::istringstream in("1 6 1.0\n");
+  EXPECT_THROW(read_tns(in, {5, 5}), Error);
+  const std::string msg = error_text("1 1 1.0\n2 6 2.0\n", {5, 5});
+  EXPECT_NE(msg.find("line 2"), std::string::npos);
+  EXPECT_NE(msg.find("exceeds dimension 5"), std::string::npos);
+}
+
+TEST(IoTnsMalformed, NonFiniteValues) {
+  for (const char* text : {"1 1 nan\n", "1 1 inf\n", "1 1 -inf\n"}) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_tns(in), Error) << text;
+  }
+}
+
+TEST(IoTnsMalformed, NnzCountMismatch) {
+  std::istringstream short_file("1 1 1.0\n2 2 2.0\n");
+  EXPECT_THROW(read_tns(short_file, {}, nnz_t{3}), Error);
+  std::istringstream long_file("1 1 1.0\n2 2 2.0\n");
+  EXPECT_THROW(read_tns(long_file, {}, nnz_t{1}), Error);
+  std::istringstream exact("1 1 1.0\n2 2 2.0\n");
+  EXPECT_EQ(read_tns(exact, {}, nnz_t{2}).nnz(), 2u);
+  std::istringstream comments_ignored("# header\n1 1 1.0\n\n2 2 2.0\n");
+  EXPECT_EQ(read_tns(comments_ignored, {}, nnz_t{2}).nnz(), 2u);
+}
+
+TEST(IoTnsMalformed, OrderLimits) {
+  // 9 index columns exceeds kMaxOrder = 8.
+  std::istringstream in("1 1 1 1 1 1 1 1 1 1.0\n");
+  EXPECT_THROW(read_tns(in), Error);
+  std::vector<index_t> hint(kMaxOrder + 1, 4);
+  std::istringstream in2("1 1 1 1 1 1 1 1 1 1.0\n");
+  EXPECT_THROW(read_tns(in2, hint), Error);
+}
+
+TEST(IoTnsMalformed, StrictParserStillAcceptsValidInput) {
+  std::istringstream in(
+      "# comment\n"
+      "1 2 3 1.5\n"
+      "  4   1   2   -2.25e-1  # inline comment\n"
+      "\t2\t2\t2\t3\n");
+  const CooTensor t = read_tns(in);
+  EXPECT_EQ(t.order(), 3);
+  EXPECT_EQ(t.nnz(), 3u);
+  EXPECT_FLOAT_EQ(t.value(1), -0.225f);
+  EXPECT_FLOAT_EQ(t.value(2), 3.0f);
+}
+
+TEST(IoTnsMalformed, ScientificNotationValuesRoundTrip) {
+  CooTensor t({3, 3});
+  t.push({0, 1}, 1.25e-6f);
+  t.push({2, 2}, -4.0e5f);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+  const CooTensor back = read_tns(in, t.dims(), t.nnz());
+  ASSERT_EQ(back.nnz(), 2u);
+  EXPECT_FLOAT_EQ(back.value(0), 1.25e-6f);
+  EXPECT_FLOAT_EQ(back.value(1), -4.0e5f);
+}
+
+}  // namespace
+}  // namespace scalfrag

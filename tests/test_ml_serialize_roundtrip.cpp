@@ -1,0 +1,121 @@
+// Round-trip property tests for model serialization: train a
+// DecisionTree, AdaBoost, and Bagging model on a real autotuner sweep
+// dataset, serialize/deserialize each (stream and file), and require
+// bit-identical predictions on every row.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ml/serialize.hpp"
+#include "scalfrag/autotune.hpp"
+
+namespace scalfrag::ml {
+namespace {
+
+const Dataset& sweep_dataset() {
+  static const Dataset data =
+      AutoTuner::build_dataset(gpusim::DeviceSpec::rtx3090(), 16, 3, 404);
+  return data;
+}
+
+template <class Model>
+void expect_identical_predictions(const Model& a, const Model& b) {
+  const Dataset& data = sweep_dataset();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Bit-identical, not approximately equal: save() writes doubles at
+    // precision 17, which round-trips IEEE-754 exactly.
+    ASSERT_EQ(a.predict(data.row(i)), b.predict(data.row(i)))
+        << "prediction diverged on row " << i;
+  }
+}
+
+TEST(MlSerializeRoundTrip, DecisionTreeStreamAndFile) {
+  DecisionTreeRegressor tree;
+  tree.fit(sweep_dataset());
+  ASSERT_TRUE(tree.trained());
+
+  std::stringstream buf;
+  tree.save(buf);
+  const DecisionTreeRegressor back = DecisionTreeRegressor::load(buf);
+  EXPECT_EQ(back.node_count(), tree.node_count());
+  EXPECT_EQ(back.depth(), tree.depth());
+  expect_identical_predictions(tree, back);
+
+  const std::string path = ::testing::TempDir() + "sf_tree_rt.txt";
+  save_tree_file(path, tree);
+  expect_identical_predictions(tree, load_tree_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(MlSerializeRoundTrip, AdaBoostStreamAndFile) {
+  AdaBoostR2Regressor model(AdaBoostConfig{.n_estimators = 8});
+  model.fit(sweep_dataset());
+  ASSERT_GT(model.size(), 0u);
+
+  std::stringstream buf;
+  model.save(buf);
+  const AdaBoostR2Regressor back = AdaBoostR2Regressor::load(buf);
+  EXPECT_EQ(back.size(), model.size());
+  expect_identical_predictions(model, back);
+
+  const std::string path = ::testing::TempDir() + "sf_ada_rt.txt";
+  save_adaboost_file(path, model);
+  expect_identical_predictions(model, load_adaboost_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(MlSerializeRoundTrip, BaggingStreamAndFile) {
+  BaggingConfig cfg;
+  cfg.n_estimators = 6;
+  BaggingRegressor model(cfg);
+  model.fit(sweep_dataset());
+  ASSERT_EQ(model.size(), 6u);
+
+  std::stringstream buf;
+  model.save(buf);
+  const BaggingRegressor back = BaggingRegressor::load(buf);
+  EXPECT_EQ(back.size(), model.size());
+  expect_identical_predictions(model, back);
+
+  const std::string path = ::testing::TempDir() + "sf_bag_rt.txt";
+  save_bagging_file(path, model);
+  expect_identical_predictions(model, load_bagging_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(MlSerializeRoundTrip, ModelsComposeOnOneStream) {
+  // All three formats are stream-composable: they can be concatenated
+  // into a single archive and read back in order.
+  DecisionTreeRegressor tree;
+  tree.fit(sweep_dataset());
+  AdaBoostR2Regressor ada(AdaBoostConfig{.n_estimators = 3});
+  ada.fit(sweep_dataset());
+  BaggingConfig bag_cfg;
+  bag_cfg.n_estimators = 3;
+  BaggingRegressor bag(bag_cfg);
+  bag.fit(sweep_dataset());
+
+  std::stringstream buf;
+  tree.save(buf);
+  ada.save(buf);
+  bag.save(buf);
+
+  expect_identical_predictions(tree, DecisionTreeRegressor::load(buf));
+  expect_identical_predictions(ada, AdaBoostR2Regressor::load(buf));
+  expect_identical_predictions(bag, BaggingRegressor::load(buf));
+}
+
+TEST(MlSerializeRoundTrip, LoadRejectsWrongOrCorruptHeader) {
+  std::istringstream wrong_kind("dtree 0 0\n");
+  EXPECT_THROW(AdaBoostR2Regressor::load(wrong_kind), Error);
+  std::istringstream garbage("not-a-model\n");
+  EXPECT_THROW(BaggingRegressor::load(garbage), Error);
+  std::istringstream truncated("adaboost 4\n0.5 0.5\n");
+  EXPECT_THROW(AdaBoostR2Regressor::load(truncated), Error);
+  EXPECT_THROW(load_adaboost_file("/nonexistent/dir/m.txt"), Error);
+}
+
+}  // namespace
+}  // namespace scalfrag::ml

@@ -1,0 +1,132 @@
+// Dense-oracle tests: the oracle must agree with the reference kernel
+// (which defines correctness) within the tolerance model, its
+// conditioning metadata must be exact, and the comparator must flag
+// genuinely wrong outputs.
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus.hpp"
+#include "testing/diff_check.hpp"
+#include "testing/oracle.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag::testing {
+namespace {
+
+TEST(Oracle, MatchesReferenceKernelOnFrosttProfile) {
+  const CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 11);
+  const FactorList f = conformance_factors(t, 16, 12);
+  const OracleResult o = mttkrp_oracle(t, f, 0);
+  const DenseMatrix ref = mttkrp_coo_ref(t, f, 0);
+  const OracleDiff d = compare_to_oracle(o, ref, t.order());
+  EXPECT_FALSE(d.diverged)
+      << "ref vs oracle at (" << d.row << "," << d.col << "): got=" << d.got
+      << " want=" << d.want << " tol=" << d.tol;
+}
+
+TEST(Oracle, ExactOnHandComputedTensor) {
+  CooTensor t({2, 2, 2});
+  t.push({0, 1, 1}, 2.0f);
+  t.push({1, 0, 1}, 3.0f);
+  FactorList f;
+  for (order_t m = 0; m < 3; ++m) {
+    DenseMatrix a(2, 2);
+    a(0, 0) = 1.0f; a(0, 1) = 2.0f;
+    a(1, 0) = 3.0f; a(1, 1) = 4.0f;
+    f.push_back(std::move(a));
+  }
+  const OracleResult o = mttkrp_oracle(t, f, 0);
+  // Row 0: 2 · A1(1,·) ⊙ A2(1,·) = 2·(3·3, 4·4) = (18, 32).
+  EXPECT_DOUBLE_EQ(o.value(0, 0), 18.0);
+  EXPECT_DOUBLE_EQ(o.value(0, 1), 32.0);
+  // Row 1: 3 · A1(0,·) ⊙ A2(1,·) = 3·(1·3, 2·4) = (9, 24).
+  EXPECT_DOUBLE_EQ(o.value(1, 0), 9.0);
+  EXPECT_DOUBLE_EQ(o.value(1, 1), 24.0);
+  EXPECT_EQ(o.term_count(0, 0), 1u);
+  EXPECT_EQ(o.term_count(1, 1), 1u);
+  EXPECT_DOUBLE_EQ(o.magnitude(0, 0), 18.0);
+}
+
+TEST(Oracle, DuplicateCoordinatesAccumulate) {
+  CooTensor t({3, 3});
+  t.push({1, 2}, 1.5f);
+  t.push({1, 2}, 2.5f);  // exact duplicate coordinate
+  FactorList f;
+  f.emplace_back(3, 1, 1.0f);
+  f.emplace_back(3, 1, 2.0f);
+  const OracleResult o = mttkrp_oracle(t, f, 0);
+  EXPECT_DOUBLE_EQ(o.value(1, 0), 8.0);  // (1.5 + 2.5) · 2
+  EXPECT_EQ(o.term_count(1, 0), 2u);
+}
+
+TEST(Oracle, UntouchedCellsHaveZeroMagnitudeAndTinyTolerance) {
+  CooTensor t({4, 3});
+  t.push({2, 1}, 1.0f);
+  FactorList f;
+  f.emplace_back(4, 2, 1.0f);
+  f.emplace_back(3, 2, 1.0f);
+  const OracleResult o = mttkrp_oracle(t, f, 0);
+  EXPECT_EQ(o.term_count(0, 0), 0u);
+  EXPECT_DOUBLE_EQ(o.magnitude(0, 0), 0.0);
+  const ToleranceModel model;
+  EXPECT_LE(model.cell_tol(o, 0, 0, t.order()), 1e-19);
+  // A misrouted write to an untouched row must therefore diverge.
+  DenseMatrix wrong(4, 2);
+  wrong(2, 0) = 1.0f; wrong(2, 1) = 1.0f;
+  wrong(0, 0) = 1e-3f;  // ghost write
+  const OracleDiff d = compare_to_oracle(o, wrong, t.order());
+  EXPECT_TRUE(d.diverged);
+  EXPECT_EQ(d.row, 0u);
+  EXPECT_EQ(d.col, 0u);
+}
+
+TEST(Oracle, ToleranceScalesWithTermCountAndMagnitude) {
+  const CooTensor t = make_archetype("mega_slice", 99, 1);
+  const FactorList f = conformance_factors(t, 8, 100);
+  const OracleResult o = mttkrp_oracle(t, f, 0);
+  const ToleranceModel model;
+  // Find a heavy and a light cell; the heavy one must get more slack.
+  double heavy_tol = 0.0, light_tol = 1e300;
+  for (index_t i = 0; i < o.rows; ++i) {
+    for (index_t c = 0; c < o.cols; ++c) {
+      const double tol = model.cell_tol(o, i, c, t.order());
+      if (o.term_count(i, c) > 4) heavy_tol = std::max(heavy_tol, tol);
+      if (o.term_count(i, c) == 1) light_tol = std::min(light_tol, tol);
+    }
+  }
+  EXPECT_GT(heavy_tol, light_tol);
+}
+
+TEST(Oracle, ComparatorCatchesScaledAndShiftedOutputs) {
+  const CooTensor t = make_archetype("uniform", 5, 1);
+  const FactorList f = conformance_factors(t, 8, 6);
+  const OracleResult o = mttkrp_oracle(t, f, 0);
+  DenseMatrix good = mttkrp_coo_ref(t, f, 0);
+  EXPECT_FALSE(compare_to_oracle(o, good, t.order()).diverged);
+
+  DenseMatrix scaled = good;
+  for (index_t i = 0; i < scaled.rows(); ++i) {
+    for (index_t c = 0; c < scaled.cols(); ++c) scaled(i, c) *= 1.001f;
+  }
+  EXPECT_TRUE(compare_to_oracle(o, scaled, t.order()).diverged);
+}
+
+TEST(Oracle, RejectsShapeMismatch) {
+  const CooTensor t = make_archetype("uniform", 5, 0);
+  const FactorList f = conformance_factors(t, 4, 6);
+  const OracleResult o = mttkrp_oracle(t, f, 0);
+  const DenseMatrix wrong_shape(t.dim(0), 5);
+  EXPECT_THROW(compare_to_oracle(o, wrong_shape, t.order()), Error);
+}
+
+TEST(Oracle, EmptyTensorIsAllZero) {
+  const CooTensor t = make_archetype("empty", 1, 1);
+  const FactorList f = conformance_factors(t, 4, 2);
+  const OracleResult o = mttkrp_oracle(t, f, 1);
+  for (double s : o.sum) EXPECT_EQ(s, 0.0);
+  const DenseMatrix zero(t.dim(1), 4);
+  EXPECT_FALSE(compare_to_oracle(o, zero, t.order()).diverged);
+}
+
+}  // namespace
+}  // namespace scalfrag::testing
