@@ -18,6 +18,7 @@ int main() {
 
   std::printf("\nAblation — end-to-end MTTKRP time in us (rank %u)\n\n",
               kRank);
+  obs::BenchRunner runner("ablation_features");
   ConsoleTable t({"Tensor", "full", "-adaptive", "-sharedmem", "-pipeline",
                   "+hybrid", "ParTI"});
 
@@ -47,8 +48,25 @@ int main() {
     t.add_row({name, us(r_full.total_ns), us(r_static.total_ns),
                us(r_noshm.total_ns), us(r_nopipe.total_ns),
                us(r_hybrid.total_ns), us(r_parti.total_ns)});
+    runner.with_case(name)
+        .set("full_us", us_val(r_full.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("no_adaptive_us", us_val(r_static.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("no_sharedmem_us", us_val(r_noshm.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("no_pipeline_us", us_val(r_nopipe.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("hybrid_us", us_val(r_hybrid.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("parti_us", us_val(r_parti.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("hybrid_threshold",
+             static_cast<double>(hybrid.hybrid_cpu_threshold), "nnz",
+             obs::Direction::kInfo);
   }
   t.print();
+  write_bench_json(runner);
   std::printf(
       "\n-adaptive : static ParTI launch heuristic for the ScalFrag "
       "kernel\n-sharedmem: per-nnz atomics instead of staged tiles\n"

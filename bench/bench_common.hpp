@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/format.hpp"
+#include "obs/bench_runner.hpp"
 #include "parti/parti_executor.hpp"
 #include "scalfrag/scalfrag.hpp"
 
@@ -50,5 +51,13 @@ inline LaunchSelector make_selector(const gpusim::DeviceSpec& spec,
 }
 
 inline std::string us(sim_ns ns) { return fmt_double(ns / 1e3, 1); }
+
+/// Microseconds as a double, for BenchRunner metrics.
+inline double us_val(sim_ns ns) { return static_cast<double>(ns) / 1e3; }
+
+/// Write the runner's BENCH_<name>.json and say where it landed.
+inline void write_bench_json(const obs::BenchRunner& runner) {
+  std::printf("\n[bench] wrote %s\n", runner.write().c_str());
+}
 
 }  // namespace scalfrag::bench

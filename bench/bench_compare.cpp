@@ -1,0 +1,69 @@
+// CLI regression gate over two BENCH_*.json files (schema v1).
+//
+//   bench_compare <baseline.json> <current.json> [--threshold 0.10]
+//
+// Exit status: 0 = no gated metric regressed past the threshold,
+// 1 = at least one regression, 2 = usage / I/O / schema error. CI's
+// perf-smoke job runs this against the committed baselines in
+// bench/baselines/ after every push (see docs/observability.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <vector>
+
+#include "obs/bench_compare.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> "
+               "[--threshold FRAC]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scalfrag;
+
+  obs::CompareOptions opt;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      char* end = nullptr;
+      opt.threshold = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || opt.threshold < 0) {
+        std::fprintf(stderr, "bench_compare: bad threshold '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(argv[0]);
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) return usage(argv[0]);
+
+  try {
+    const obs::CompareReport rep =
+        obs::compare_bench_files(files[0], files[1], opt);
+    std::fputs(obs::format_report(rep).c_str(), stdout);
+    if (rep.has_regression()) {
+      std::printf("\nFAIL: %zu metric(s) regressed past %.1f%%\n",
+                  rep.regressions(), 100.0 * rep.threshold);
+      return 1;
+    }
+    std::printf("\nOK: no regression past %.1f%%\n", 100.0 * rep.threshold);
+    return 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "bench_compare: %s\n", ex.what());
+    return 2;
+  }
+}

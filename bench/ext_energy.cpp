@@ -22,6 +22,7 @@ int main() {
       "\nEstimated energy per end-to-end MTTKRP (mJ, rank %u; %0.f W "
       "kernel / %0.f W copy / %0.f W idle)\n\n",
       kRank, pm.kernel_w, pm.copy_w, pm.idle_w);
+  obs::BenchRunner runner("ext_energy");
   ConsoleTable t({"Tensor", "ParTI (mJ)", "ScalFrag (mJ)", "Savings",
                   "idle mJ saved"});
 
@@ -39,8 +40,14 @@ int main() {
     t.add_row({p.name, fmt_double(base_mj, 3), fmt_double(ours_mj, 3),
                fmt_double(100.0 * (1.0 - ours_mj / base_mj), 1) + "%",
                fmt_double((e_base.idle_j - e_ours.idle_j) * 1e3, 3)});
+    runner.with_case(p.name)
+        .set("parti_mj", base_mj, "mJ", obs::Direction::kLowerIsBetter)
+        .set("scalfrag_mj", ours_mj, "mJ", obs::Direction::kLowerIsBetter)
+        .set("savings_pct", 100.0 * (1.0 - ours_mj / base_mj), "%",
+             obs::Direction::kHigherIsBetter);
   }
   t.print();
+  write_bench_json(runner);
   std::printf(
       "\nNote the tradeoff: segmentation adds per-kernel launch energy, "
       "so a\ntensor whose kernels were already cheap relative to its "

@@ -18,6 +18,7 @@ int main() {
   PipelineExecutor exec(dev, &sel);
 
   std::printf("\nnnz scaling — nell-2 profile, rank %u\n\n", kRank);
+  obs::BenchRunner runner("ext_nnz_scaling");
   ConsoleTable t({"scale", "nnz", "ParTI (us)", "ScalFrag (us)", "Speedup",
                   "segments", "pipeline utilization"});
 
@@ -37,8 +38,20 @@ int main() {
                           2) +
                    "x",
                std::to_string(ours.plan.size()), util});
+    runner.with_case("1/" + std::to_string(denom))
+        .set("parti_us", us_val(base.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("scalfrag_us", us_val(ours.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("speedup",
+             static_cast<double>(base.total_ns) /
+                 static_cast<double>(ours.total_ns),
+             "x", obs::Direction::kHigherIsBetter)
+        .set("nnz", static_cast<double>(x.nnz()), "count",
+             obs::Direction::kInfo);
   }
   t.print();
+  write_bench_json(runner);
   std::printf(
       "\nSpeedup grows with scale: larger transfers amortize fixed\n"
       "latencies and give the pipeline more to overlap — consistent "

@@ -16,6 +16,7 @@ int main() {
   gpusim::SimDevice dev(spec);
 
   std::printf("Rank sweep — kernel time (us) and speedup vs ParTI\n\n");
+  obs::BenchRunner runner("ext_rank_sweep");
   ConsoleTable t({"Tensor", "F", "ParTI (us)", "ScalFrag (us)", "Speedup",
                   "shmem/block @256"});
 
@@ -47,9 +48,18 @@ int main() {
                             2) +
                      "x",
                  human_bytes(kernel_shmem_bytes(256, rank))});
+      runner.with_case(std::string(name) + "/F" + std::to_string(rank))
+          .set("parti_us", us_val(parti_ns), "us",
+               obs::Direction::kLowerIsBetter)
+          .set("scalfrag_us", us_val(sf_ns), "us",
+               obs::Direction::kLowerIsBetter)
+          .set("speedup",
+               static_cast<double>(parti_ns) / static_cast<double>(sf_ns),
+               "x", obs::Direction::kHigherIsBetter);
     }
   }
   t.print();
+  write_bench_json(runner);
   std::printf(
       "\nSpeedup grows with rank while the shared-memory tile fits; the\n"
       "per-block footprint scales linearly with F and eventually costs\n"

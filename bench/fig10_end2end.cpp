@@ -16,6 +16,7 @@ int main() {
   const LaunchSelector sel = make_selector(spec);
   gpusim::SimDevice dev(spec);
   PipelineExecutor exec(dev, &sel);
+  obs::BenchRunner runner("fig10_end2end");
 
   std::printf(
       "\nFigure 10 — End-to-end MTTKRP performance, ScalFrag vs ParTI "
@@ -40,9 +41,20 @@ int main() {
                fmt_double(speedup, 2) + "x",
                std::to_string(ours.plan.size()),
                us(ours.breakdown.overlap_saved())});
+    runner.with_case(p.name)
+        .set("parti_us", us_val(base.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("scalfrag_us", us_val(ours.total_ns), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("speedup", speedup, "x", obs::Direction::kHigherIsBetter)
+        .set("overlap_saved_us", us_val(ours.breakdown.overlap_saved()), "us",
+             obs::Direction::kHigherIsBetter)
+        .set("segments", static_cast<double>(ours.plan.size()), "count",
+             obs::Direction::kInfo);
   }
   t.print();
   std::printf("\nSpeedup range: %.2fx – %.2fx (paper reports 1.3x – 2.0x)\n",
               min_spd, max_spd);
+  write_bench_json(runner);
   return 0;
 }

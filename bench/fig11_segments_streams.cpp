@@ -17,6 +17,7 @@ int main() {
   const LaunchSelector sel = make_selector(spec);
   gpusim::SimDevice dev(spec);
   PipelineExecutor exec(dev, &sel);
+  obs::BenchRunner runner("fig11_segments_streams");
 
   const int values[] = {1, 2, 4, 8, 16};
 
@@ -28,13 +29,17 @@ int main() {
         "\nFigure 11 — %s (nnz %s), end-to-end time in us (rank %u)\n\n",
         name, human_count(x.nnz()).c_str(), kRank);
 
+    obs::BenchCase& c = runner.with_case(name);
     ConsoleTable seg_t({"#segments (streams=4)", "1", "2", "4", "8", "16"});
     std::vector<std::string> row{"time (us)"};
     for (int segs : values) {
       PipelineOptions opt;
       opt.num_segments = segs;
       opt.num_streams = 4;
-      row.push_back(us(exec.run(x, f, 0, opt).total_ns));
+      const sim_ns ns = exec.run(x, f, 0, opt).total_ns;
+      row.push_back(us(ns));
+      c.set("segments_" + std::to_string(segs) + "_us", us_val(ns), "us",
+            obs::Direction::kLowerIsBetter);
     }
     seg_t.add_row(std::move(row));
     seg_t.print();
@@ -45,11 +50,15 @@ int main() {
       PipelineOptions opt;
       opt.num_segments = 4;
       opt.num_streams = streams;
-      row.push_back(us(exec.run(x, f, 0, opt).total_ns));
+      const sim_ns ns = exec.run(x, f, 0, opt).total_ns;
+      row.push_back(us(ns));
+      c.set("streams_" + std::to_string(streams) + "_us", us_val(ns), "us",
+            obs::Direction::kLowerIsBetter);
     }
     str_t.add_row(std::move(row));
     str_t.print();
   }
+  write_bench_json(runner);
   std::printf(
       "\nDifferences are modest (matching the paper: \"the difference "
       "among them\nis not obvious\") with a sweet spot near 4/4.\n");

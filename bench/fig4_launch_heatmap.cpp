@@ -14,6 +14,7 @@ int main() {
 
   const auto spec = gpusim::DeviceSpec::rtx3090();
   const gpusim::CostModel cost(spec);
+  obs::BenchRunner runner("fig4_launch_heatmap");
 
   std::printf(
       "Figure 4 — GFlops of MTTKRP kernel with different launch "
@@ -59,6 +60,13 @@ int main() {
     table.print();
     std::printf("optimum: %s at %.1f GFlop/s\n", best_cfg.str().c_str(),
                 best);
+    runner.with_case(name)
+        .set("best_gflops", best, "GF/s", obs::Direction::kHigherIsBetter)
+        .set("best_grid", static_cast<double>(best_cfg.grid), "threads",
+             obs::Direction::kInfo)
+        .set("best_block", static_cast<double>(best_cfg.block), "threads",
+             obs::Direction::kInfo);
   }
+  write_bench_json(runner);
   return 0;
 }

@@ -12,6 +12,7 @@ int main() {
   using namespace scalfrag::bench;
 
   gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  obs::BenchRunner runner("fig5_time_breakdown");
 
   std::printf(
       "Figure 5 — Time breakdown of MTTKRP processing "
@@ -31,10 +32,18 @@ int main() {
     };
     t.add_row({p.name, us(b.h2d), us(b.kernel), us(b.d2h), pct(b.h2d),
                pct(b.kernel), pct(b.d2h)});
+    runner.with_case(p.name)
+        .set("h2d_us", us_val(b.h2d), "us", obs::Direction::kLowerIsBetter)
+        .set("kernel_us", us_val(b.kernel), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("d2h_us", us_val(b.d2h), "us", obs::Direction::kLowerIsBetter)
+        .set("h2d_share", static_cast<double>(b.h2d) / total, "ratio",
+             obs::Direction::kInfo);
   }
   t.print();
   std::printf(
       "\nH2D dominates end-to-end MTTKRP for the transfer-heavy tensors —\n"
       "the idle-device problem ScalFrag's pipeline (Fig. 10) attacks.\n");
+  write_bench_json(runner);
   return 0;
 }

@@ -38,5 +38,16 @@ int main() {
   const std::string path = "fig8_pipeline_trace.json";
   gpusim::write_chrome_trace_file(path, dev);
   std::printf("Chrome trace written to ./%s\n", path.c_str());
+
+  obs::BenchRunner runner("fig8_pipeline_trace");
+  gpusim::record_timeline(dev, runner.metrics(), "gpu");
+  runner.with_case("nell-2/s4x4")
+      .set("total_us", us_val(res.total_ns), "us",
+           obs::Direction::kLowerIsBetter)
+      .set("overlap_saved_us", us_val(res.breakdown.overlap_saved()), "us",
+           obs::Direction::kHigherIsBetter)
+      .set("segments", static_cast<double>(res.plan.size()), "count",
+           obs::Direction::kInfo);
+  write_bench_json(runner);
   return 0;
 }

@@ -16,9 +16,11 @@ int main() {
   const LaunchSelector sel = make_selector(spec);
   gpusim::SimDevice dev(spec);
   PipelineExecutor exec(dev, &sel);
+  obs::BenchRunner runner("fig9_kernel_perf");
   PipelineOptions kernel_only;  // one segment isolates kernel behaviour
   kernel_only.num_segments = 1;
   kernel_only.num_streams = 1;
+  kernel_only.metrics = &runner.metrics();
 
   std::printf(
       "\nFigure 9 — MTTKRP kernel performance, ScalFrag vs ParTI "
@@ -43,7 +45,16 @@ int main() {
                fmt_double(base.kernel_gflops, 1), us(ours.breakdown.kernel),
                fmt_double(ours_gf, 1), fmt_double(speedup, 2) + "x",
                ours.launches.at(0).str()});
+    runner.with_case(p.name)
+        .set("parti_kernel_us", us_val(base.breakdown.kernel), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("scalfrag_kernel_us", us_val(ours.breakdown.kernel), "us",
+             obs::Direction::kLowerIsBetter)
+        .set("speedup", speedup, "x", obs::Direction::kHigherIsBetter)
+        .set("scalfrag_gflops", ours_gf, "GF/s",
+             obs::Direction::kHigherIsBetter);
   }
   t.print();
+  write_bench_json(runner);
   return 0;
 }

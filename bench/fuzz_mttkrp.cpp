@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "obs/bench_runner.hpp"
 #include "tensor/io_tns.hpp"
 #include "testing/corpus.hpp"
 #include "testing/diff_check.hpp"
@@ -186,5 +187,19 @@ int main(int argc, char** argv) {
   for (const auto& [name, count] : per_archetype) {
     std::printf("  %-16s %d\n", name.c_str(), count);
   }
+
+  // Coverage trajectory: record how much the sweep exercised so the CI
+  // artifact shows fuzz throughput alongside the perf benches. Counts
+  // are configuration-dependent, not perf — info only.
+  obs::BenchRunner runner("fuzz_mttkrp");
+  runner.with_case("summary")
+      .set("cases", static_cast<double>(iters_done), "count",
+           obs::Direction::kInfo)
+      .set("path_executions", static_cast<double>(paths_total), "count",
+           obs::Direction::kInfo)
+      .set("divergences", 0.0, "count", obs::Direction::kInfo)
+      .set("archetypes_covered", static_cast<double>(per_archetype.size()),
+           "count", obs::Direction::kInfo);
+  std::printf("[bench] wrote %s\n", runner.write().c_str());
   return 0;
 }

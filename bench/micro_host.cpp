@@ -112,17 +112,7 @@ void BM_SelectorInference(benchmark::State& state) {
 BENCHMARK(BM_SelectorInference);
 
 // ---------------------------------------------------------------------
-// Host-engine thread sweep → BENCH_host_mttkrp.json.
-
-double best_of(int reps, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    WallTimer timer;
-    fn();
-    best = std::min(best, timer.seconds());
-  }
-  return best;
-}
+// Host-engine thread sweep → BENCH_host_mttkrp.json (schema v1).
 
 void run_host_mttkrp_sweep() {
   GeneratorConfig g;
@@ -137,53 +127,55 @@ void run_host_mttkrp_sweep() {
   const auto feat = TensorFeatures::extract(t, 0);
   const auto f = random_factors(t, kRank, 8);
   DenseMatrix out(t.dim(0), kRank);
-  const int reps = 3;
+  // All metrics here are host wall clock — real measurements worth
+  // tracking, but machine-dependent, so "info": recorded in the
+  // trajectory yet never gated by bench_compare.
+  const obs::RepeatPolicy policy{/*warmup=*/1, /*reps=*/3};
+  obs::BenchRunner runner("host_mttkrp");
 
   std::printf("[host_mttkrp] tensor %ux%ux%u nnz=%llu rank=%u\n", g.dims[0],
               g.dims[1], g.dims[2],
               static_cast<unsigned long long>(t.nnz()), kRank);
-  const double ref_s =
-      best_of(reps, [&] { mttkrp_coo_ref(t, f, 0, out); });
-  std::printf("[host_mttkrp] ref                 %8.2f ms\n", ref_s * 1e3);
+  obs::BenchCase& ref_case = runner.with_case("ref");
+  const double ref_ms =
+      ref_case
+          .measure("time_ms", "ms", obs::Direction::kInfo, policy,
+                   [&] {
+                     WallTimer timer;
+                     mttkrp_coo_ref(t, f, 0, out);
+                     return timer.millis();
+                   })
+          .median;
+  std::printf("[host_mttkrp] ref                 %8.2f ms\n", ref_ms);
 
   const std::size_t hw = ThreadPool::global().size();
   std::vector<std::size_t> counts{1, 2, 4};
   if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
     counts.push_back(hw);
   }
+  runner.metrics().set("pool_threads", static_cast<double>(hw));
+  runner.metrics().count("sweep_nnz", t.nnz());
 
-  std::FILE* js = std::fopen("BENCH_host_mttkrp.json", "w");
-  if (js == nullptr) {
-    std::fprintf(stderr, "[host_mttkrp] cannot open BENCH_host_mttkrp.json\n");
-    return;
-  }
-  std::fprintf(js,
-               "{\n  \"bench\": \"host_mttkrp\",\n"
-               "  \"dims\": [%u, %u, %u],\n  \"nnz\": %llu,\n"
-               "  \"rank\": %u,\n  \"pool_threads\": %zu,\n"
-               "  \"ref_ms\": %.3f,\n  \"sweep\": [",
-               g.dims[0], g.dims[1], g.dims[2],
-               static_cast<unsigned long long>(t.nnz()), kRank, hw, ref_s * 1e3);
-  for (std::size_t i = 0; i < counts.size(); ++i) {
+  for (const std::size_t threads : counts) {
     HostExecOptions opt;
-    opt.threads = counts[i];
+    opt.threads = threads;
     opt.features = &feat;
     const HostStrategy strat = choose_host_strategy(t, 0, opt);
-    const double par_s = best_of(reps, [&] {
-      mttkrp_coo_par(t, f, 0, out, /*accumulate=*/false, opt);
-    });
-    const double speedup = ref_s / par_s;
+    obs::BenchCase& c = runner.with_case("par_t" + std::to_string(threads));
+    const double par_ms =
+        c.measure("time_ms", "ms", obs::Direction::kInfo, policy,
+                  [&] {
+                    WallTimer timer;
+                    mttkrp_coo_par(t, f, 0, out, /*accumulate=*/false, opt);
+                    return timer.millis();
+                  })
+            .median;
+    const double speedup = ref_ms / par_ms;
+    c.set("speedup_vs_ref", speedup, "x", obs::Direction::kInfo);
     std::printf("[host_mttkrp] par t=%-2zu %-13s %8.2f ms  %.2fx vs ref\n",
-                counts[i], host_strategy_name(strat), par_s * 1e3, speedup);
-    std::fprintf(js,
-                 "%s\n    {\"threads\": %zu, \"strategy\": \"%s\", "
-                 "\"par_ms\": %.3f, \"speedup_vs_ref\": %.3f}",
-                 i == 0 ? "" : ",", counts[i], host_strategy_name(strat),
-                 par_s * 1e3, speedup);
+                threads, host_strategy_name(strat), par_ms, speedup);
   }
-  std::fprintf(js, "\n  ]\n}\n");
-  std::fclose(js);
-  std::printf("[host_mttkrp] wrote BENCH_host_mttkrp.json\n");
+  write_bench_json(runner);
 }
 
 }  // namespace

@@ -37,5 +37,21 @@ int main() {
       "%.1f us,\nblock dispatch %.0f ns, L2 atomic retire %.1f ns.\n",
       gpu.kernel_launch_us, gpu.pcie_latency_us, gpu.per_block_sched_ns,
       gpu.atomic_ns);
+
+  // Configuration echo: every other bench's simulated numbers derive
+  // from these — a drift here explains a drift everywhere else.
+  obs::BenchRunner runner("tab2_platform");
+  runner.with_case("gpu")
+      .set("peak_gflops", gpu.peak_gflops(), "GF/s", obs::Direction::kInfo)
+      .set("hbm_gbps", gpu.hbm_bandwidth_gbps, "GB/s", obs::Direction::kInfo)
+      .set("pcie_gbps", gpu.pcie_bandwidth_gbps, "GB/s",
+           obs::Direction::kInfo)
+      .set("kernel_launch_us", gpu.kernel_launch_us, "us",
+           obs::Direction::kInfo);
+  runner.with_case("cpu")
+      .set("peak_gflops", cpu.peak_gflops(), "GF/s", obs::Direction::kInfo)
+      .set("mem_gbps", cpu.mem_bandwidth_gbps, "GB/s",
+           obs::Direction::kInfo);
+  scalfrag::bench::write_bench_json(runner);
   return 0;
 }

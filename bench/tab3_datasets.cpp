@@ -14,6 +14,7 @@ int main() {
       "(paper census vs generated stand-ins at scale 1/%d)\n\n",
       static_cast<int>(1.0 / kDefaultScale));
 
+  obs::BenchRunner runner("tab3_datasets");
   ConsoleTable t({"Tensor", "Order", "Paper dims", "Paper #nnz",
                   "Paper density", "Gen #nnz", "Gen density",
                   "Gen maxNnz/slice"});
@@ -29,8 +30,18 @@ int main() {
                human_count(p.paper_nnz), fmt_density(p.paper_density()),
                human_count(gen.nnz()), fmt_density(gen.density()),
                human_count(feat.max_nnz_per_slice)});
+    // Workload echo: a change here means every bench's inputs changed,
+    // which is the first thing to rule out when timings move.
+    runner.with_case(p.name)
+        .set("gen_nnz", static_cast<double>(gen.nnz()), "count",
+             obs::Direction::kInfo)
+        .set("gen_density", gen.density(), "ratio", obs::Direction::kInfo)
+        .set("gen_max_nnz_per_slice",
+             static_cast<double>(feat.max_nnz_per_slice), "count",
+             obs::Direction::kInfo);
   }
   t.print();
+  bench::write_bench_json(runner);
   std::printf(
       "\nStand-ins preserve order, per-mode size ratios, and skewed\n"
       "slice-size distributions; absolute nnz shrinks by the scale so\n"

@@ -27,6 +27,7 @@ int main() {
   std::printf("[format-select] trained on %d measured tensors in %.1f s\n\n",
               cfg.corpus_size, train_s);
 
+  obs::BenchRunner runner("tabformat_compare");
   ConsoleTable t({"Tensor", "COO bytes", "CSF", "HiCOO", "F-COO",
                   "COO ms", "CSF ms", "HiCOO ms", "F-COO ms", "measured",
                   "predicted", "regret"});
@@ -63,6 +64,22 @@ int main() {
          fmt_double(timing.ms[2], 2), fmt_double(timing.ms[3], 2),
          sparse_format_name(timing.best), sparse_format_name(predicted),
          "+" + fmt_double(100.0 * regret, 1) + "%"});
+    // Storage ratios are deterministic; host-side ms are wall clock
+    // (machine-dependent) and the regret depends on them — info only.
+    runner.with_case(p.name)
+        .set("csf_bytes_rel",
+             static_cast<double>(csf.bytes()) /
+                 static_cast<double>(x.bytes()),
+             "x", obs::Direction::kLowerIsBetter)
+        .set("hicoo_bytes_rel",
+             static_cast<double>(hicoo.bytes()) /
+                 static_cast<double>(x.bytes()),
+             "x", obs::Direction::kLowerIsBetter)
+        .set("fcoo_bytes_rel",
+             static_cast<double>(fcoo.bytes()) /
+                 static_cast<double>(x.bytes()),
+             "x", obs::Direction::kLowerIsBetter)
+        .set("regret_pct", 100.0 * regret, "%", obs::Direction::kInfo);
   }
   t.print();
   std::printf(
@@ -70,5 +87,11 @@ int main() {
       "worst regret +%.1f%%\n(format bytes shown relative to COO; host "
       "times are wall-clock and machine-dependent)\n",
       agree, total, 100.0 * worst_regret);
+  runner.with_case("summary")
+      .set("selector_agreement", static_cast<double>(agree) / total, "ratio",
+           obs::Direction::kHigherIsBetter)
+      .set("worst_regret_pct", 100.0 * worst_regret, "%",
+           obs::Direction::kInfo);
+  write_bench_json(runner);
   return 0;
 }

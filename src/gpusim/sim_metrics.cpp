@@ -56,4 +56,26 @@ std::string utilization_summary(const SimDevice& dev) {
   return buf;
 }
 
+void record_timeline(const SimDevice& dev, obs::MetricsRegistry& m,
+                     const std::string& prefix) {
+  for (const auto& op : dev.timeline()) {
+    m.span(prefix + "/" + op_kind_name(op.kind),
+           static_cast<double>(op.duration()));
+    if (op.kind == OpKind::H2D) m.count(prefix + "/h2d_bytes", op.bytes);
+    if (op.kind == OpKind::D2H) m.count(prefix + "/d2h_bytes", op.bytes);
+    if (op.kind == OpKind::Kernel) m.count(prefix + "/kernel_launches");
+  }
+  const TimelineBreakdown b = dev.breakdown();
+  m.set(prefix + "/makespan_ns", static_cast<double>(b.makespan));
+  m.set(prefix + "/overlap_saved_ns",
+        static_cast<double>(b.overlap_saved()));
+  const UtilizationReport u = utilization(dev);
+  m.set(prefix + "/util_h2d", u.h2d);
+  m.set(prefix + "/util_d2h", u.d2h);
+  m.set(prefix + "/util_kernel", u.kernel);
+  m.set(prefix + "/util_host", u.host);
+  m.set(prefix + "/h2d_gbps", u.h2d_gbps);
+  m.set(prefix + "/d2h_gbps", u.d2h_gbps);
+}
+
 }  // namespace scalfrag::gpusim

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "gpusim/engine.hpp"
+#include "obs/metrics.hpp"
 
 namespace scalfrag::gpusim {
 
@@ -31,5 +32,13 @@ UtilizationReport utilization(const SimDevice& dev);
 
 /// One-line summary ("H2D 61% @ 22.1 GB/s | kernel 34% (6 launches) ...").
 std::string utilization_summary(const SimDevice& dev);
+
+/// Record the device's current timeline into a metrics registry under
+/// `prefix`: one span per op kind (fed from the per-op records, so the
+/// totals equal breakdown()'s busy sums), the makespan, byte counters,
+/// and utilization gauges. The observability layer reuses the existing
+/// timeline — nothing here re-times anything.
+void record_timeline(const SimDevice& dev, obs::MetricsRegistry& m,
+                     const std::string& prefix = "gpu");
 
 }  // namespace scalfrag::gpusim

@@ -1,0 +1,150 @@
+#include "obs/bench_compare.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/format.hpp"
+
+namespace scalfrag::obs {
+
+namespace {
+
+void check_schema(const JsonValue& doc, const std::string& which) {
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kBenchSchemaName) {
+    throw Error(which + ": not a " + std::string(kBenchSchemaName) +
+                " document");
+  }
+  const double version = doc.at("schema_version").as_number();
+  if (version != kBenchSchemaVersion) {
+    throw Error(which + ": schema_version " + fmt_double(version, 0) +
+                " unsupported (expected " +
+                std::to_string(kBenchSchemaVersion) + ")");
+  }
+}
+
+const JsonValue* find_case(const JsonValue& doc, const std::string& name) {
+  for (const JsonValue& c : doc.at("cases").as_array()) {
+    if (c.at("name").as_string() == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::size_t CompareReport::regressions() const {
+  std::size_t n = 0;
+  for (const MetricDelta& d : deltas) n += d.regression;
+  return n;
+}
+
+std::size_t CompareReport::improvements() const {
+  std::size_t n = 0;
+  for (const MetricDelta& d : deltas) n += d.improvement;
+  return n;
+}
+
+CompareReport compare_bench(const JsonValue& baseline,
+                            const JsonValue& current,
+                            const CompareOptions& opt) {
+  check_schema(baseline, "baseline");
+  check_schema(current, "current");
+  const std::string bench = baseline.at("bench").as_string();
+  if (current.at("bench").as_string() != bench) {
+    throw Error("bench mismatch: baseline is \"" + bench +
+                "\", current is \"" + current.at("bench").as_string() + "\"");
+  }
+
+  CompareReport rep;
+  rep.bench = bench;
+  rep.threshold = opt.threshold;
+
+  for (const JsonValue& base_case : baseline.at("cases").as_array()) {
+    const std::string case_name = base_case.at("name").as_string();
+    const JsonValue* cur_case = find_case(current, case_name);
+    if (cur_case == nullptr) {
+      rep.notes.push_back("case \"" + case_name + "\" missing from current");
+      continue;
+    }
+    const auto& cur_metrics = cur_case->at("metrics");
+    for (const auto& [metric_name, base_m] : base_case.at("metrics")
+                                                 .as_object()) {
+      const JsonValue* cur_m = cur_metrics.find(metric_name);
+      if (cur_m == nullptr) {
+        rep.notes.push_back("metric \"" + case_name + "/" + metric_name +
+                            "\" missing from current");
+        continue;
+      }
+      MetricDelta d;
+      d.case_name = case_name;
+      d.metric = metric_name;
+      d.unit = base_m.at("unit").as_string();
+      d.dir = direction_from_name(base_m.at("dir").as_string());
+      d.baseline = base_m.at("value").as_number();
+      d.current = cur_m->at("value").as_number();
+      if (d.baseline != 0.0) {
+        d.rel_change = (d.current - d.baseline) / std::abs(d.baseline);
+      } else if (d.current != 0.0) {
+        rep.notes.push_back("metric \"" + case_name + "/" + metric_name +
+                            "\" moved off a zero baseline");
+      }
+      if (d.dir != Direction::kInfo && d.baseline != 0.0) {
+        const double worse = d.dir == Direction::kLowerIsBetter
+                                 ? d.rel_change
+                                 : -d.rel_change;
+        d.regression = worse > opt.threshold;
+        d.improvement = -worse > opt.threshold;
+      }
+      rep.deltas.push_back(std::move(d));
+    }
+    // Metrics only present in current are new coverage, not regressions.
+    for (const auto& [metric_name, unused] : cur_metrics.as_object()) {
+      (void)unused;
+      if (base_case.at("metrics").find(metric_name) == nullptr) {
+        rep.notes.push_back("metric \"" + case_name + "/" + metric_name +
+                            "\" new in current (no baseline)");
+      }
+    }
+  }
+  for (const JsonValue& cur_case : current.at("cases").as_array()) {
+    const std::string case_name = cur_case.at("name").as_string();
+    if (find_case(baseline, case_name) == nullptr) {
+      rep.notes.push_back("case \"" + case_name +
+                          "\" new in current (no baseline)");
+    }
+  }
+  return rep;
+}
+
+CompareReport compare_bench_files(const std::string& baseline_path,
+                                  const std::string& current_path,
+                                  const CompareOptions& opt) {
+  return compare_bench(JsonValue::parse_file(baseline_path),
+                       JsonValue::parse_file(current_path), opt);
+}
+
+std::string format_report(const CompareReport& rep) {
+  ConsoleTable t({"case", "metric", "baseline", "current", "change", ""});
+  for (const MetricDelta& d : rep.deltas) {
+    const char* flag = d.regression      ? "REGRESSION"
+                       : d.improvement   ? "improved"
+                       : d.dir == Direction::kInfo ? "(info)"
+                                         : "ok";
+    t.add_row({d.case_name, d.metric,
+               fmt_double(d.baseline, 4) + " " + d.unit,
+               fmt_double(d.current, 4) + " " + d.unit,
+               (d.rel_change >= 0 ? "+" : "") +
+                   fmt_double(100.0 * d.rel_change, 2) + "%",
+               flag});
+  }
+  std::string out = "bench_compare: " + rep.bench + " (threshold " +
+                    fmt_double(100.0 * rep.threshold, 1) + "%)\n\n" + t.str();
+  for (const std::string& n : rep.notes) out += "note: " + n + "\n";
+  out += std::to_string(rep.regressions()) + " regression(s), " +
+         std::to_string(rep.improvements()) + " improvement(s), " +
+         std::to_string(rep.deltas.size()) + " metric(s) compared\n";
+  return out;
+}
+
+}  // namespace scalfrag::obs

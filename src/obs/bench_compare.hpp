@@ -1,0 +1,66 @@
+#pragma once
+// Regression gate over two BENCH_*.json files (schema v1). Every gated
+// metric — "dir" lower_is_better or higher_is_better — present in both
+// files is compared; a relative change past the threshold in the bad
+// direction is a regression. "info" metrics (wall clock, config echoes)
+// are reported but never gated. bench_compare exits non-zero when any
+// regression is found, which is the CI perf-smoke contract.
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_runner.hpp"
+#include "obs/json.hpp"
+
+namespace scalfrag::obs {
+
+struct CompareOptions {
+  /// Relative change tolerated before a gated metric counts as a
+  /// regression (0.10 = 10% worse). Simulated timings are deterministic,
+  /// so CI can run much tighter than wall-clock benches could.
+  double threshold = 0.10;
+  /// Also list metrics that moved in the good direction past the
+  /// threshold (never affects the exit status).
+  bool report_improvements = true;
+};
+
+struct MetricDelta {
+  std::string case_name;
+  std::string metric;
+  std::string unit;
+  Direction dir = Direction::kInfo;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// (current - baseline) / baseline; 0 when baseline == 0.
+  double rel_change = 0.0;
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct CompareReport {
+  std::string bench;
+  double threshold = 0.0;
+  std::vector<MetricDelta> deltas;
+  /// Structural asymmetries (cases/metrics present on one side only).
+  std::vector<std::string> notes;
+
+  std::size_t regressions() const;
+  std::size_t improvements() const;
+  bool has_regression() const { return regressions() > 0; }
+};
+
+/// Compare two parsed BENCH documents. Throws scalfrag::Error when a
+/// document is not schema "scalfrag-bench" v1 or the bench names differ.
+CompareReport compare_bench(const JsonValue& baseline,
+                            const JsonValue& current,
+                            const CompareOptions& opt = {});
+
+/// File variant of compare_bench.
+CompareReport compare_bench_files(const std::string& baseline_path,
+                                  const std::string& current_path,
+                                  const CompareOptions& opt = {});
+
+/// Human-readable console rendering of a report.
+std::string format_report(const CompareReport& rep);
+
+}  // namespace scalfrag::obs

@@ -1,0 +1,143 @@
+#include "obs/bench_runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace scalfrag::obs {
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::kLowerIsBetter: return "lower_is_better";
+    case Direction::kHigherIsBetter: return "higher_is_better";
+    case Direction::kInfo: return "info";
+  }
+  return "info";
+}
+
+Direction direction_from_name(const std::string& name) {
+  if (name == "lower_is_better") return Direction::kLowerIsBetter;
+  if (name == "higher_is_better") return Direction::kHigherIsBetter;
+  if (name == "info") return Direction::kInfo;
+  throw Error("unknown metric direction \"" + name + "\"");
+}
+
+MetricSummary summarize(std::vector<double> samples) {
+  MetricSummary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  s.q1 = at(0.25);
+  s.median = at(0.5);
+  s.q3 = at(0.75);
+  return s;
+}
+
+BenchCase::Metric& BenchCase::metric(const std::string& name,
+                                     const std::string& unit, Direction dir) {
+  for (Metric& m : metrics_) {
+    if (m.name == name) {
+      SF_CHECK(m.unit == unit && m.dir == dir,
+               "metric \"" + name + "\" re-recorded with different unit/dir");
+      return m;
+    }
+  }
+  metrics_.push_back(Metric{name, unit, dir, {}});
+  return metrics_.back();
+}
+
+BenchCase& BenchCase::set(const std::string& name, double value,
+                          const std::string& unit, Direction dir) {
+  Metric& m = metric(name, unit, dir);
+  m.samples.assign(1, value);
+  return *this;
+}
+
+BenchCase& BenchCase::add_sample(const std::string& name, double value,
+                                 const std::string& unit, Direction dir) {
+  metric(name, unit, dir).samples.push_back(value);
+  return *this;
+}
+
+MetricSummary BenchCase::measure(const std::string& name,
+                                 const std::string& unit, Direction dir,
+                                 const RepeatPolicy& policy,
+                                 const std::function<double()>& fn) {
+  SF_CHECK(policy.reps > 0, "measure needs at least one repetition");
+  for (int i = 0; i < policy.warmup; ++i) fn();
+  Metric& m = metric(name, unit, dir);
+  for (int i = 0; i < policy.reps; ++i) m.samples.push_back(fn());
+  return summarize(m.samples);
+}
+
+BenchRunner::BenchRunner(std::string bench_name)
+    : name_(std::move(bench_name)) {
+  SF_CHECK(!name_.empty(), "bench name must be non-empty");
+}
+
+BenchCase& BenchRunner::with_case(const std::string& case_name) {
+  for (BenchCase& c : cases_) {
+    if (c.name_ == case_name) return c;
+  }
+  cases_.push_back(BenchCase(case_name));
+  return cases_.back();
+}
+
+std::string BenchRunner::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", kBenchSchemaName);
+  w.kv("schema_version", std::int64_t{kBenchSchemaVersion});
+  w.kv("bench", name_);
+  w.key("cases").begin_array();
+  for (const BenchCase& c : cases_) {
+    w.begin_object();
+    w.kv("name", c.name_);
+    w.key("metrics").begin_object();
+    for (const BenchCase::Metric& m : c.metrics_) {
+      const MetricSummary s = summarize(m.samples);
+      w.key(m.name).begin_object();
+      w.kv("value", s.median);
+      w.kv("unit", m.unit);
+      w.kv("dir", direction_name(m.dir));
+      w.kv("n", static_cast<std::uint64_t>(s.n));
+      if (s.n > 1) {
+        w.kv("q1", s.q1);
+        w.kv("q3", s.q3);
+      }
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  if (!registry_.empty()) {
+    w.key("metrics");
+    registry_.to_json(w);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string BenchRunner::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  write(path);
+  return path;
+}
+
+void BenchRunner::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  out << json() << '\n';
+  out.flush();
+  if (!out) throw Error("write error on " + path);
+}
+
+}  // namespace scalfrag::obs

@@ -1,0 +1,124 @@
+#pragma once
+// The shared bench harness: every bench/ binary records its results
+// through a BenchRunner and writes one schema-versioned BENCH_<name>.json
+// next to the working directory (the repo root in CI), so the repo
+// accumulates a machine-readable perf trajectory that bench_compare can
+// diff across commits.
+//
+// Schema v1 (see docs/observability.md):
+//   {
+//     "schema": "scalfrag-bench",
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "cases": [
+//       {"name": "<case>", "metrics": {
+//          "<metric>": {"value": <median>, "unit": "...",
+//                        "dir": "lower_is_better"|"higher_is_better"|"info",
+//                        "n": <samples>, "q1": ..., "q3": ...}}}
+//     ],
+//     "metrics": {"counters": ..., "gauges": ..., "stages": ...}
+//   }
+//
+// "dir" drives bench_compare: lower/higher_is_better metrics gate the
+// regression check; "info" metrics (machine-dependent wall clock,
+// configuration echoes) are recorded but never gated on.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace scalfrag::obs {
+
+inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr const char* kBenchSchemaName = "scalfrag-bench";
+
+enum class Direction { kLowerIsBetter, kHigherIsBetter, kInfo };
+
+const char* direction_name(Direction d);
+/// Inverse of direction_name; throws scalfrag::Error on unknown names.
+Direction direction_from_name(const std::string& name);
+
+/// Warmup/repeat policy for wall-clock measurements. Simulated timings
+/// are deterministic, so benches record those via set() with one rep.
+struct RepeatPolicy {
+  int warmup = 1;
+  int reps = 5;
+};
+
+struct MetricSummary {
+  double median = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  std::size_t n = 0;
+
+  double iqr() const noexcept { return q3 - q1; }
+};
+
+/// Median and quartiles of a sample set (linear-interpolated quartiles;
+/// the sample vector is copied and sorted).
+MetricSummary summarize(std::vector<double> samples);
+
+class BenchRunner;
+
+/// One named case (typically one tensor / configuration) of a bench.
+class BenchCase {
+ public:
+  /// Record a deterministic single-valued metric.
+  BenchCase& set(const std::string& metric, double value,
+                 const std::string& unit, Direction dir);
+  /// Append one sample to a repeated metric (median/IQR at write time).
+  BenchCase& add_sample(const std::string& metric, double value,
+                        const std::string& unit, Direction dir);
+  /// Warmup + repeat `fn`, record each returned sample, return the
+  /// summary of the recorded samples.
+  MetricSummary measure(const std::string& metric, const std::string& unit,
+                        Direction dir, const RepeatPolicy& policy,
+                        const std::function<double()>& fn);
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class BenchRunner;
+  explicit BenchCase(std::string name) : name_(std::move(name)) {}
+
+  struct Metric {
+    std::string name;
+    std::string unit;
+    Direction dir = Direction::kInfo;
+    std::vector<double> samples;
+  };
+  Metric& metric(const std::string& name, const std::string& unit,
+                 Direction dir);
+
+  std::string name_;
+  std::vector<Metric> metrics_;
+};
+
+class BenchRunner {
+ public:
+  explicit BenchRunner(std::string bench_name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Get-or-create a case by name (order of first use is preserved).
+  BenchCase& with_case(const std::string& case_name);
+
+  /// Registry embedded in the emitted file; hand `&runner.metrics()`
+  /// to executors to capture their stage records and counters.
+  MetricsRegistry& metrics() noexcept { return registry_; }
+
+  std::string json() const;
+  /// Write to `BENCH_<name>.json` in the working directory; returns the
+  /// path written. Throws scalfrag::Error on I/O failure.
+  std::string write() const;
+  void write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::vector<BenchCase> cases_;
+  MetricsRegistry registry_;
+};
+
+}  // namespace scalfrag::obs

@@ -1,0 +1,106 @@
+#pragma once
+// Minimal JSON support for the observability layer: a streaming writer
+// (comma/state handling via a nesting stack) and a small recursive-
+// descent parser producing a JsonValue tree. Both exist so BENCH_*.json
+// emission and bench_compare share one dialect — no external deps.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace scalfrag::obs {
+
+/// Escape `s` for use inside a JSON string literal (quotes not added).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer. Values written at the top level or inside an
+/// array are emitted directly; inside an object each value must be
+/// preceded by key(). Misuse throws scalfrag::Error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);  // non-finite values emit null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null();
+
+  /// Shorthand: key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const;
+
+ private:
+  void pre_value();
+  std::string out_;
+  // 'O' object expecting key, 'V' object expecting value, 'A' array.
+  std::string stack_;
+  bool done_ = false;
+};
+
+/// Parsed JSON value. Numbers are stored as double (sufficient for the
+/// bench schema); objects preserve insertion order for stable output.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::Null; }
+  bool is_object() const noexcept { return kind_ == Kind::Object; }
+  bool is_array() const noexcept { return kind_ == Kind::Array; }
+  bool is_number() const noexcept { return kind_ == Kind::Number; }
+  bool is_string() const noexcept { return kind_ == Kind::String; }
+
+  /// Typed accessors; throw scalfrag::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find() that throws with a path-style message when absent.
+  const JsonValue& at(std::string_view key) const;
+
+  /// Parse a complete JSON document (trailing garbage rejected).
+  static JsonValue parse(std::string_view text);
+  /// Parse the contents of a file; throws scalfrag::Error on I/O error.
+  static JsonValue parse_file(const std::string& path);
+
+  // Construction (used by the parser; handy in tests).
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace scalfrag::obs

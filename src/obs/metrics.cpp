@@ -1,0 +1,109 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace scalfrag::obs {
+
+void MetricsRegistry::count(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::span(const std::string& stage, double ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageStat& s = stages_[stage];
+  ++s.count;
+  s.total_ns += ns;
+  s.max_ns = std::max(s.max_ns, ns);
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::map<std::string, StageStat> MetricsRegistry::stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+std::uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+StageStat MetricsRegistry::stage(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stages_.find(name);
+  return it == stages_.end() ? StageStat{} : it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot first so self-merge and lock ordering are non-issues.
+  const auto counters = other.counters();
+  const auto gauges = other.gauges();
+  const auto stages = other.stages();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : counters) counters_[k] += v;
+  for (const auto& [k, v] : gauges) gauges_[k] = v;
+  for (const auto& [k, v] : stages) {
+    StageStat& s = stages_[k];
+    s.count += v.count;
+    s.total_ns += v.total_ns;
+    s.max_ns = std::max(s.max_ns, v.max_ns);
+  }
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  stages_.clear();
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && stages_.empty();
+}
+
+void MetricsRegistry::to_json(JsonWriter& w) const {
+  const auto counters = this->counters();
+  const auto gauges = this->gauges();
+  const auto stages = this->stages();
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters) w.kv(k, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [k, v] : gauges) w.kv(k, v);
+  w.end_object();
+  w.key("stages").begin_object();
+  for (const auto& [k, v] : stages) {
+    w.key(k).begin_object();
+    w.kv("count", v.count);
+    w.kv("total_ns", v.total_ns);
+    w.kv("max_ns", v.max_ns);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace scalfrag::obs

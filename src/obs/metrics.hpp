@@ -1,0 +1,91 @@
+#pragma once
+// The perf-observability metrics registry: named monotonic counters,
+// point-in-time gauges, and per-stage span records (count/total/max).
+// Executors take an optional MetricsRegistry* and record what they did;
+// benches embed the registry snapshot into their BENCH_*.json so a
+// perf trajectory carries structure, not just end-to-end numbers.
+//
+// Spans carry nanoseconds in whichever time domain the recorder lives
+// in: the gpusim timeline records *simulated* ns, host-side phases
+// record *wall-clock* ns. Stage names make the domain explicit by
+// convention ("gpu/..." simulated, "host/..." wall).
+//
+// Thread-safe: kernel bodies run on the host thread pool, so every
+// mutation takes the registry mutex. Recording is cheap relative to
+// the work being measured (a map lookup under a lock), and executors
+// record per segment/call, not per non-zero.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/timer.hpp"
+#include "obs/json.hpp"
+
+namespace scalfrag::obs {
+
+/// Aggregate of every span recorded under one stage name.
+struct StageStat {
+  std::uint64_t count = 0;
+  double total_ns = 0.0;
+  double max_ns = 0.0;
+
+  double mean_ns() const noexcept {
+    return count == 0 ? 0.0 : total_ns / static_cast<double>(count);
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter (events, bytes, segments, ...).
+  void count(const std::string& name, std::uint64_t delta = 1);
+  /// Point-in-time value; last write wins.
+  void set(const std::string& name, double value);
+  /// One span of `ns` under `stage` (accumulates count/total/max).
+  void span(const std::string& stage, double ns);
+
+  /// RAII wall-clock span: records on destruction.
+  class ScopedSpan {
+   public:
+    ScopedSpan(MetricsRegistry& reg, std::string stage)
+        : reg_(&reg), stage_(std::move(stage)) {}
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+    ~ScopedSpan() { reg_->span(stage_, timer_.seconds() * 1e9); }
+
+   private:
+    MetricsRegistry* reg_;
+    std::string stage_;
+    WallTimer timer_;
+  };
+  ScopedSpan time_span(std::string stage) {
+    return ScopedSpan(*this, std::move(stage));
+  }
+
+  // Snapshots (copies — safe to iterate without holding the lock).
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, StageStat> stages() const;
+
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  StageStat stage(const std::string& name) const;
+
+  /// Fold another registry into this one (counters add, gauges
+  /// overwrite, stage stats merge).
+  void merge(const MetricsRegistry& other);
+  void clear();
+  bool empty() const;
+
+  /// Serialize as {"counters": {...}, "gauges": {...}, "stages": {...}}.
+  void to_json(JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, StageStat> stages_;
+};
+
+}  // namespace scalfrag::obs

@@ -1,6 +1,7 @@
 #include "scalfrag/hybrid.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/thread_pool.hpp"
 
@@ -110,18 +111,26 @@ nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
   lens.push_back(len);
   std::sort(lens.begin(), lens.end());
 
-  // Walk thresholds upward; the CPU share is the prefix of the sorted
-  // census below the threshold. Keep the largest affordable threshold.
+  // Walk the sorted census directly: every distinct slice length is a
+  // candidate cut, and the CPU share of threshold L+1 is the census
+  // prefix of lengths <= L. This finds the exact largest affordable
+  // threshold — power-of-two probing skipped affordable optima between
+  // probes (e.g. lengths 9 and 13 inside one [8,16) window), and its
+  // doubling `thr *= 2` loop overflowed/spun when the longest slice sat
+  // near the nnz_t max. Prefix sums are monotone, so the first
+  // unaffordable cut ends the walk.
   nnz_t best = 0;
   nnz_t cpu_share = 0;
   std::size_t i = 0;
-  for (nnz_t thr = 2; thr <= lens.back() + 1; thr *= 2) {
-    while (i < lens.size() && lens[i] < thr) cpu_share += lens[i++];
-    if (cpu_mttkrp_ns(cpu, cpu_share, t.order(), rank) <= budget_ns) {
-      best = thr;
-    } else {
-      break;
-    }
+  while (i < lens.size()) {
+    const nnz_t cut = lens[i];
+    nnz_t share = cpu_share;
+    while (i < lens.size() && lens[i] == cut) share += lens[i++];
+    if (cpu_mttkrp_ns(cpu, share, t.order(), rank) > budget_ns) break;
+    cpu_share = share;
+    // Threshold cut+1 routes every slice of length <= cut to the CPU;
+    // saturate instead of wrapping at the nnz_t max.
+    best = cut == std::numeric_limits<nnz_t>::max() ? cut : cut + 1;
   }
   return best;
 }
@@ -140,6 +149,10 @@ void cpu_mttkrp_exec(const CooSpan& parent,
                      const FactorList& factors, order_t mode,
                      DenseMatrix& out, const HostExecOptions& opt) {
   if (ranges.empty()) return;
+  if (opt.metrics != nullptr) {
+    opt.metrics->count("hybrid/cpu_range_batches");
+    opt.metrics->count("hybrid/cpu_ranges", ranges.size());
+  }
   if (ranges.size() == 1) {
     cpu_mttkrp_exec(parent.subspan(ranges[0].first, ranges[0].second),
                     factors, mode, out, opt);

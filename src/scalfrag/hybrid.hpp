@@ -57,11 +57,14 @@ sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, const CooTensor& part,
 sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, nnz_t nnz, order_t order,
                      index_t rank);
 
-/// Choose a slice-nnz threshold automatically: the largest power of two
+/// Choose a slice-nnz threshold automatically: the largest threshold
 /// whose CPU share is predicted to finish within `budget_ns` (typically
 /// a fraction of the GPU pipeline's transfer time, so the CPU never
-/// becomes the critical path). Returns 0 (hybrid off) when even the
-/// singleton slices would blow the budget.
+/// becomes the critical path). Candidates come from the slice-length
+/// census itself — each distinct length L yields threshold L+1 — so the
+/// optimum is exact at census granularity, not rounded to a power of
+/// two. Returns 0 (hybrid off) when even the shortest slices would blow
+/// the budget.
 nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
                             const gpusim::CpuSpec& cpu, sim_ns budget_ns);
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
+#include "gpusim/sim_metrics.hpp"
 #include "parti/parti_kernel.hpp"
 
 namespace scalfrag {
@@ -71,28 +73,64 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
   PipelineResult res;
   res.output = DenseMatrix(t.dim(mode), rank);
 
+  obs::MetricsRegistry* const met = opt.metrics;
+  // The host engine inherits the pipeline's sink unless the caller
+  // already pointed it somewhere else.
+  HostExecOptions host_exec = opt.host_exec;
+  if (met != nullptr && host_exec.metrics == nullptr) {
+    host_exec.metrics = met;
+  }
+
   // --- hybrid partition (optional) -----------------------------------
   const CooTensor* gpu_tensor = &t;
   HybridPartition part;
   if (opt.hybrid_cpu_threshold > 0) {
+    std::optional<obs::MetricsRegistry::ScopedSpan> span;
+    if (met != nullptr) span.emplace(*met, "host/partition");
     part = partition_for_hybrid(t, mode, opt.hybrid_cpu_threshold);
     if (!part.gpu_whole) gpu_tensor = &part.gpu_part;
     res.cpu_nnz = part.cpu_nnz;
+    if (met != nullptr) {
+      met->count("pipeline/cpu_slices", part.cpu_slices);
+      met->count("pipeline/gpu_slices", part.gpu_slices);
+      met->count("pipeline/cpu_nnz", part.cpu_nnz);
+    }
   }
 
   // --- segmentation ---------------------------------------------------
   // Features ride along with the cuts (one fused pass); the whole-tensor
   // profile for the auto rule is only extracted when actually needed.
   int want_segments = opt.num_segments;
-  if (want_segments == 0) {
-    const TensorFeatures whole = TensorFeatures::extract(*gpu_tensor, mode);
-    want_segments =
-        auto_segment_count(*dev_, *gpu_tensor, mode, rank, opt, &whole);
+  {
+    std::optional<obs::MetricsRegistry::ScopedSpan> span;
+    if (met != nullptr) span.emplace(*met, "host/segmentation");
+    if (want_segments == 0) {
+      const TensorFeatures whole = TensorFeatures::extract(*gpu_tensor, mode);
+      want_segments =
+          auto_segment_count(*dev_, *gpu_tensor, mode, rank, opt, &whole);
+    }
+    res.plan = make_segments(*gpu_tensor, mode, want_segments,
+                             /*align_to_slices=*/true,
+                             /*with_features=*/true);
   }
-  res.plan =
-      make_segments(*gpu_tensor, mode, want_segments, /*align_to_slices=*/true,
-                    /*with_features=*/true);
   const auto n_seg = static_cast<int>(res.plan.size());
+  // Forward slice-snapping can realize *fewer* segments than requested.
+  // A schedule longer than the realized plan was sized against the
+  // requested count: dropping its tail would pair every remaining
+  // config with the wrong (larger) segment, so reject it outright. A
+  // shorter schedule stays a documented prefix override.
+  SF_CHECK(opt.launch_schedule.size() <= static_cast<std::size_t>(n_seg),
+           "launch_schedule has more entries than realized segments; "
+           "slice snapping realized fewer segments than requested — size "
+           "the schedule from the realized plan (see MttkrpPlan)");
+  if (met != nullptr) {
+    met->count("pipeline/runs");
+    met->count("pipeline/segments_requested",
+               static_cast<std::uint64_t>(want_segments));
+    met->count("pipeline/segments_realized",
+               static_cast<std::uint64_t>(n_seg));
+    met->count("pipeline/gpu_nnz", gpu_tensor->nnz());
+  }
 
   dev_->reset_timeline();
 
@@ -136,7 +174,7 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
         host_s, res.cpu_task_ns,
         [&] {
           cpu_mttkrp_exec(CooSpan(t), part.cpu_ranges, factors, mode,
-                          res.output, opt.host_exec);
+                          res.output, host_exec);
         },
         "CPU hybrid MTTKRP");
   }
@@ -175,7 +213,7 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
     const gpusim::KernelProfile prof = mttkrp_profile(feat, rank, kopt);
     // Hand the fused segment features to the host engine so strategy
     // selection is O(1) instead of re-probing the index array.
-    HostExecOptions kexec = opt.host_exec;
+    HostExecOptions kexec = host_exec;
     kexec.features = &feat;
     // SimDevice runs functional bodies eagerly inside launch_kernel, so
     // capturing the loop-locals by reference is safe.
@@ -197,6 +235,10 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
 
   res.total_ns = dev_->synchronize();
   res.breakdown = dev_->breakdown();
+  if (met != nullptr) {
+    gpusim::record_timeline(*dev_, *met, "gpu");
+    met->set("pipeline/selection_seconds", res.selection_seconds);
+  }
   return res;
 }
 

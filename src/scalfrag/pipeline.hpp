@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "gpusim/engine.hpp"
+#include "obs/metrics.hpp"
 #include "scalfrag/autotune.hpp"
 #include "scalfrag/hybrid.hpp"
 #include "scalfrag/kernel.hpp"
@@ -30,7 +31,14 @@ struct PipelineOptions {
   /// Force a specific launch config (overrides adaptive/static choice).
   std::optional<gpusim::LaunchConfig> launch_override;
   /// Precomputed per-segment launches (from MttkrpPlan); entry i is
-  /// used for segment i and takes precedence over everything above.
+  /// used for *realized* segment i and takes precedence over everything
+  /// above. A schedule shorter than the realized plan is a prefix
+  /// override (the remaining segments fall back to the options below);
+  /// a schedule *longer* than the realized plan is rejected — forward
+  /// slice-snapping can realize fewer segments than requested, and
+  /// silently dropping tail entries would misalign every config with
+  /// the segment it was computed for. Size schedules from the realized
+  /// plan (make_segments / MttkrpPlan), not from num_segments.
   std::vector<gpusim::LaunchConfig> launch_schedule;
   /// Slice-nnz threshold below which work routes to the CPU (0 = off).
   nnz_t hybrid_cpu_threshold = 0;
@@ -39,6 +47,11 @@ struct PipelineOptions {
   /// pipeline runs (segment kernels, hybrid CPU share). Strategy
   /// Serial restores the single-threaded reference behavior.
   HostExecOptions host_exec;
+  /// Optional observability sink: the executor records its phase spans
+  /// (wall clock), the realized plan's counters, and the device
+  /// timeline breakdown (simulated ns) there. Also handed to the host
+  /// engine for kernel bodies unless host_exec.metrics is already set.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct PipelineResult {

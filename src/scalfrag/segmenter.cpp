@@ -1,6 +1,7 @@
 #include "scalfrag/segmenter.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/math_util.hpp"
 
@@ -98,14 +99,45 @@ SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
   return plan;
 }
 
-int segments_for_budget(const CooTensor& t, index_t rank,
+std::size_t pipeline_resident_bytes(const CooTensor& t, order_t mode,
+                                    index_t rank) {
+  SF_CHECK(mode < t.order(), "mode out of range");
+  // The output matrix is dims[mode] × F — not dims[0] × F: for any
+  // mode != 0 the two differ, and budgets computed against dim(0) are
+  // simply wrong. Every factor matrix is also device-resident for the
+  // whole pipeline (the executor uploads them all before segment 0).
+  std::size_t bytes =
+      static_cast<std::size_t>(t.dim(mode)) * rank * sizeof(value_t);
+  for (order_t m = 0; m < t.order(); ++m) {
+    bytes += static_cast<std::size_t>(t.dim(m)) * rank * sizeof(value_t);
+  }
+  return bytes;
+}
+
+int segments_for_budget(const CooTensor& t, order_t mode, index_t rank,
                         std::size_t budget_bytes) {
   SF_CHECK(budget_bytes > 0, "budget must be positive");
-  const std::size_t total =
-      t.bytes() +
-      static_cast<std::size_t>(t.dim(0)) * rank * sizeof(value_t);
-  return static_cast<int>(std::max<std::size_t>(
-      1, ceil_div(total, budget_bytes)));
+  SF_CHECK(rank > 0, "rank must be positive");
+  const std::size_t resident = pipeline_resident_bytes(t, mode, rank);
+  SF_CHECK(resident < budget_bytes,
+           "budget cannot hold the resident factor and output matrices");
+  const std::size_t avail = budget_bytes - resident;
+  if (t.nnz() == 0 || t.bytes() <= avail) return 1;
+
+  const std::size_t entry_bytes =
+      t.order() * sizeof(index_t) + sizeof(value_t);
+  // Slice-aligned cuts may grow a segment to 2x the balanced target, so
+  // the per-segment target must be half of what the leftover budget can
+  // stage at once.
+  const auto max_seg_nnz = static_cast<nnz_t>(avail / entry_bytes);
+  SF_CHECK(max_seg_nnz >= 2,
+           "budget cannot stage even a two-entry segment after residents");
+  const nnz_t target = std::max<nnz_t>(1, max_seg_nnz / 2);
+  // Tiny budgets would overflow the int return without this clamp.
+  const nnz_t k = std::min<nnz_t>(
+      ceil_div(t.nnz(), target),
+      static_cast<nnz_t>(std::numeric_limits<int>::max()));
+  return static_cast<int>(std::max<nnz_t>(1, k));
 }
 
 }  // namespace scalfrag

@@ -50,9 +50,21 @@ SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
                           bool align_to_slices = true,
                           bool with_features = false);
 
-/// Smallest segment count such that one segment's device footprint
-/// (COO bytes + output tile) fits `budget_bytes`.
-int segments_for_budget(const CooTensor& t, index_t rank,
+/// Device bytes resident for the whole run of a mode-`mode` pipelined
+/// MTTKRP at rank `rank`: every factor matrix (all modes stay uploaded)
+/// plus the mode's output matrix. Segment staging comes on top.
+std::size_t pipeline_resident_bytes(const CooTensor& t, order_t mode,
+                                    index_t rank);
+
+/// Smallest segment count such that the pipeline's device footprint for
+/// a mode-`mode` MTTKRP fits `budget_bytes`: the resident factors and
+/// output (pipeline_resident_bytes) plus one staged segment's COO bytes.
+/// Accounts for slice-aligned cuts growing a segment up to 2x the
+/// nnz-balanced target, so the realized plan of make_segments(t, mode,
+/// k, /*align_to_slices=*/true) actually fits. Throws when the budget
+/// cannot hold the residents plus a two-entry segment; the result is
+/// clamped so tiny budgets never overflow int.
+int segments_for_budget(const CooTensor& t, order_t mode, index_t rank,
                         std::size_t budget_bytes);
 
 }  // namespace scalfrag

@@ -1,6 +1,7 @@
 #include "tensor/mttkrp_par.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/thread_pool.hpp"
 
@@ -184,6 +185,15 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
   ThreadPool& pool = ThreadPool::global();
   const std::size_t threads = effective_threads(opt);
   const nnz_t n = t.nnz();
+
+  std::optional<obs::MetricsRegistry::ScopedSpan> span;
+  if (opt.metrics != nullptr) {
+    opt.metrics->count("host/calls");
+    opt.metrics->count("host/nnz", n);
+    opt.metrics->count(std::string("host/strategy/") +
+                       host_strategy_name(strat));
+    span.emplace(*opt.metrics, "host/mttkrp");
+  }
 
   switch (strat) {
     case HostStrategy::Auto:  // unreachable: choose resolves Auto

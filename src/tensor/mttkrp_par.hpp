@@ -9,6 +9,7 @@
 // the ParTI baseline, the hybrid CPU path, CPD-ALS's reference
 // backend — routes through here.
 
+#include "obs/metrics.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/csf.hpp"
 #include "tensor/features.hpp"
@@ -54,6 +55,10 @@ struct HostExecOptions {
   /// from — the pipeline's fused segment features and the planner
   /// satisfy this by construction.
   const TensorFeatures* features = nullptr;
+  /// Optional observability sink. When set, every engine call records
+  /// its strategy dispatch, nnz processed, and wall-clock span there
+  /// (thread-safe; see src/obs/metrics.hpp).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// check_factors against a span's shape (same contract as the

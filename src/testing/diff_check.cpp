@@ -25,15 +25,39 @@ DenseMatrix run_host_engine(const CooTensor& t, const FactorList& f,
 
 DenseMatrix run_pipeline(const CooTensor& t, const FactorList& f, order_t mode,
                          int segments, int streams, nnz_t hybrid_threshold,
-                         HostStrategy strategy = HostStrategy::Auto) {
+                         HostStrategy strategy = HostStrategy::Auto,
+                         bool use_shared_mem = true,
+                         bool schedule_from_plan = false) {
   gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
   PipelineExecutor exec(dev);
   PipelineOptions opt;
   opt.num_segments = segments;
   opt.num_streams = streams;
+  opt.use_shared_mem = use_shared_mem;
   opt.hybrid_cpu_threshold = hybrid_threshold;
   opt.host_exec.strategy = strategy;
   opt.host_exec.grain_nnz = 64;
+  if (schedule_from_plan) {
+    // Size the explicit schedule the way real callers must: from the
+    // realized plan of the GPU share (slice snapping can realize fewer
+    // segments than requested), mirroring the executor's sequencing.
+    SF_CHECK(segments > 0, "scheduled paths need an explicit count");
+    const CooTensor* gt = &t;
+    HybridPartition part;
+    if (hybrid_threshold > 0) {
+      part = partition_for_hybrid(t, mode, hybrid_threshold);
+      if (!part.gpu_whole) gt = &part.gpu_part;
+    }
+    const SegmentPlan plan = make_segments(*gt, mode, segments);
+    opt.launch_schedule.reserve(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      // Alternate shapes so a misaligned schedule would actually change
+      // the simulated launches (and any config-sensitive bug surfaces).
+      opt.launch_schedule.push_back(
+          gpusim::LaunchConfig{i % 2 == 0 ? 48u : 96u,
+                               i % 2 == 0 ? 128u : 64u, 0});
+    }
+  }
   return exec.run(t, f, mode, opt).output;
 }
 
@@ -146,11 +170,46 @@ const std::vector<ExecPath>& build_table() {
                               HostStrategy::PrivateReduce);
         });
 
+    // The global-memory kernel variant (no shared-memory privatization)
+    // and explicit per-segment launch schedules sized from the realized
+    // plan — alone and combined with the hybrid split.
+    add("pipeline/s4x2/noshmem",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 4, 2, 0, HostStrategy::Auto,
+                              /*use_shared_mem=*/false);
+        });
+    add("pipeline/s3x2/scheduled",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 3, 2, 0, HostStrategy::Auto,
+                              /*use_shared_mem=*/true,
+                              /*schedule_from_plan=*/true);
+        });
+    // Budget-driven segmentation: the count comes from the device-memory
+    // planner (exercises the mode/rank-aware accounting end to end).
+    add("pipeline/budget",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          const index_t rank = f[0].cols();
+          const std::size_t budget =
+              pipeline_resident_bytes(t, mode, rank) + t.bytes() / 2 +
+              2 * (t.order() * sizeof(index_t) + sizeof(value_t)) + 1;
+          return run_pipeline(t, f, mode,
+                              segments_for_budget(t, mode, rank, budget), 2,
+                              0);
+        });
+
     // CPU–GPU hybrid: mixed split and the all-CPU degenerate split.
     add("hybrid/mixed",
         [](const CooTensor& t, const FactorList& f, order_t mode) {
           return run_pipeline(t, f, mode, 2, 2,
                               mixed_hybrid_threshold(t, mode));
+        });
+    add("hybrid/mixed/scheduled_noshmem",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_pipeline(t, f, mode, 2, 2,
+                              mixed_hybrid_threshold(t, mode),
+                              HostStrategy::Auto,
+                              /*use_shared_mem=*/false,
+                              /*schedule_from_plan=*/true);
         });
     add("hybrid/all_cpu",
         [](const CooTensor& t, const FactorList& f, order_t mode) {

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "testing/corpus.hpp"
 #include "testing/diff_check.hpp"
 #include "testing/oracle.hpp"
@@ -73,7 +77,21 @@ TEST(DiffCheck, PathFilterRestrictsTheTable) {
   opt.path_filter = "pipeline";
   const DiffReport rep = check_all_paths(t, 0, opt);
   EXPECT_TRUE(rep.ok());
-  EXPECT_EQ(rep.paths_run, 4u);
+  EXPECT_EQ(rep.paths_run, 7u);
+}
+
+TEST(DiffCheck, TableCoversScheduleAndShmemCombos) {
+  // The fuzz surface must include explicit launch schedules, the
+  // global-memory kernel variant, the budget planner, and the hybrid
+  // combination of all of them.
+  std::vector<std::string> names;
+  for (const auto& p : conformance_paths()) names.push_back(p.name);
+  for (const char* want :
+       {"pipeline/s4x2/noshmem", "pipeline/s3x2/scheduled",
+        "pipeline/budget", "hybrid/mixed/scheduled_noshmem"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end())
+        << "missing conformance path " << want;
+  }
 }
 
 TEST(DiffCheck, ValidatesArguments) {

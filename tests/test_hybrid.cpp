@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "scalfrag/hybrid.hpp"
+#include "tensor/features.hpp"
 #include "tensor/generator.hpp"
 
 namespace scalfrag {
@@ -133,6 +136,53 @@ TEST(Hybrid, CpuTimeModelScalesWithWork) {
   EXPECT_LT(cpu_mttkrp_ns(cpu, small, 8), cpu_mttkrp_ns(cpu, small, 64));
   CooTensor empty({4, 4});
   EXPECT_EQ(cpu_mttkrp_ns(cpu, empty, 16), 0u);
+}
+
+TEST(Hybrid, AutoThresholdWalksCensusExactly) {
+  // Census {4, 4, 4, 9, 13}: with a budget that affords the CPU share
+  // of the 9-length slice but not the 13, the largest affordable
+  // threshold is 10 — not a power of two. The old doubling probe tried
+  // thr=8 (share 12, fits) then thr=16 (share 34, over budget) and
+  // returned 8, stranding slice 3 on the GPU even though the budget
+  // covered it.
+  CooTensor t({5, 64});
+  const index_t lens[] = {4, 4, 4, 9, 13};
+  for (index_t s = 0; s < 5; ++s) {
+    for (index_t j = 0; j < lens[s]; ++j) t.push({s, j}, 1.0f);
+  }
+  t.sort_by_mode(0);
+  const auto cpu = gpusim::CpuSpec::i7_11700k();
+  const index_t rank = 16;
+  const sim_ns budget = cpu_mttkrp_ns(cpu, 21, t.order(), rank);
+
+  const nnz_t thr = auto_hybrid_threshold(t, 0, rank, cpu, budget);
+  EXPECT_EQ(thr, 10u);
+  const auto part = partition_for_hybrid(t, 0, thr);
+  EXPECT_EQ(part.cpu_nnz, 21u);
+  EXPECT_EQ(part.cpu_slices, 4u);
+  // The chosen share fits the budget; the next census step would not.
+  EXPECT_LE(cpu_mttkrp_ns(cpu, part.cpu_nnz, t.order(), rank), budget);
+  EXPECT_GT(cpu_mttkrp_ns(cpu, 34, t.order(), rank), budget);
+}
+
+TEST(Hybrid, AutoThresholdDegenerateBudgets) {
+  CooTensor t = make_frostt_tensor("enron", 1.0 / 8192, 59);
+  const auto cpu = gpusim::CpuSpec::i7_11700k();
+  // Zero budget or empty tensor: hybrid stays off.
+  EXPECT_EQ(auto_hybrid_threshold(t, 0, 16, cpu, 0), 0u);
+  CooTensor empty({4, 4});
+  EXPECT_EQ(auto_hybrid_threshold(empty, 0, 16, cpu, 1000), 0u);
+  // Whatever a near-zero budget yields, its CPU share must fit it.
+  const nnz_t thr1 = auto_hybrid_threshold(t, 0, 16, cpu, 1);
+  const auto p1 = partition_for_hybrid(t, 0, thr1);
+  EXPECT_LE(cpu_mttkrp_ns(cpu, p1.cpu_nnz, t.order(), 16), 1u);
+  // An unbounded budget routes every slice: threshold clears the
+  // longest slice (the old doubling loop could overflow hunting it).
+  const auto feat = TensorFeatures::extract(t, 0);
+  const nnz_t all = auto_hybrid_threshold(t, 0, 16, cpu,
+                                          std::numeric_limits<sim_ns>::max());
+  EXPECT_EQ(all, static_cast<nnz_t>(feat.max_nnz_per_slice) + 1);
+  EXPECT_EQ(partition_for_hybrid(t, 0, all).cpu_nnz, t.nnz());
 }
 
 TEST(Hybrid, RequiresSortedInput) {

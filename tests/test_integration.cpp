@@ -106,7 +106,7 @@ TEST(Integration, SegmentationUnlocksTensorsBiggerThanDevice) {
 
   EXPECT_THROW(parti::run_mttkrp(dev, t, f, 0), DeviceOutOfMemory);
 
-  const int segs = segments_for_budget(t, 4, tiny.global_mem_bytes / 8);
+  const int segs = segments_for_budget(t, 0, 4, tiny.global_mem_bytes / 8);
   PipelineExecutor exec(dev);
   PipelineOptions opt;
   opt.num_segments = segs;

@@ -1,0 +1,314 @@
+// Observability layer: JSON writer/parser round-trips, the metrics
+// registry, bench summarization, the BENCH_*.json schema, and the
+// bench_compare regression gate (the contract the CI perf-smoke job
+// leans on).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/bench_compare.hpp"
+#include "obs/bench_runner.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace scalfrag;
+using scalfrag::obs::BenchCase;
+using scalfrag::obs::BenchRunner;
+using scalfrag::obs::CompareOptions;
+using scalfrag::obs::CompareReport;
+using scalfrag::obs::Direction;
+using scalfrag::obs::JsonValue;
+using scalfrag::obs::JsonWriter;
+using scalfrag::obs::MetricsRegistry;
+using scalfrag::obs::RepeatPolicy;
+
+TEST(ObsJson, WriterParserRoundTrip) {
+  JsonWriter w;
+  w.begin_object()
+      .kv("name", "bench \"quoted\"\n")
+      .kv("pi", 3.25)
+      .kv("count", std::uint64_t{42})
+      .kv("neg", std::int64_t{-7})
+      .kv("flag", true)
+      .key("items")
+      .begin_array()
+      .value(1.0)
+      .value("two")
+      .null()
+      .end_array()
+      .key("nested")
+      .begin_object()
+      .kv("x", 0.5)
+      .end_object()
+      .end_object();
+
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_EQ(v.at("name").as_string(), "bench \"quoted\"\n");
+  EXPECT_DOUBLE_EQ(v.at("pi").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(v.at("count").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(v.at("neg").as_number(), -7.0);
+  EXPECT_TRUE(v.at("flag").as_bool());
+  const auto& items = v.at("items").as_array();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_DOUBLE_EQ(items[0].as_number(), 1.0);
+  EXPECT_EQ(items[1].as_string(), "two");
+  EXPECT_TRUE(items[2].is_null());
+  EXPECT_DOUBLE_EQ(v.at("nested").at("x").as_number(), 0.5);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW(v.at("absent"), Error);
+}
+
+TEST(ObsJson, ParserRejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1,}"), Error);
+  EXPECT_THROW(JsonValue::parse("[1, 2] garbage"), Error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+  EXPECT_THROW(JsonValue::parse_file("/nonexistent/bench.json"), Error);
+}
+
+TEST(ObsJson, NonFiniteNumbersEmitNull) {
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).value(1.5).end_array();
+  const JsonValue v = JsonValue::parse(w.str());
+  EXPECT_TRUE(v.as_array()[0].is_null());
+  EXPECT_DOUBLE_EQ(v.as_array()[1].as_number(), 1.5);
+}
+
+TEST(ObsMetrics, CountersGaugesAndSpans) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.count("launches");
+  m.count("launches", 3);
+  m.count("bytes", 1024);
+  m.set("makespan_ns", 5e6);
+  m.set("makespan_ns", 7e6);  // last write wins
+  m.span("gpu/Kernel", 100.0);
+  m.span("gpu/Kernel", 300.0);
+
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.counter("launches"), 4u);
+  EXPECT_EQ(m.counter("bytes"), 1024u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(m.gauge("makespan_ns"), 7e6);
+  const auto st = m.stage("gpu/Kernel");
+  EXPECT_EQ(st.count, 2u);
+  EXPECT_DOUBLE_EQ(st.total_ns, 400.0);
+  EXPECT_DOUBLE_EQ(st.max_ns, 300.0);
+  EXPECT_DOUBLE_EQ(st.mean_ns(), 200.0);
+
+  {
+    auto span = m.time_span("host/work");
+    (void)span;
+  }
+  EXPECT_EQ(m.stage("host/work").count, 1u);
+  EXPECT_GE(m.stage("host/work").total_ns, 0.0);
+}
+
+TEST(ObsMetrics, MergeAddsCountersAndFoldsStages) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.count("runs", 2);
+  b.count("runs", 3);
+  a.set("g", 1.0);
+  b.set("g", 2.0);
+  a.span("s", 10.0);
+  b.span("s", 30.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("runs"), 5u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 2.0);  // gauges overwrite
+  EXPECT_EQ(a.stage("s").count, 2u);
+  EXPECT_DOUBLE_EQ(a.stage("s").total_ns, 40.0);
+  EXPECT_DOUBLE_EQ(a.stage("s").max_ns, 30.0);
+
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(ObsBench, SummarizeMedianAndQuartiles) {
+  const auto s = scalfrag::obs::summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_GE(s.q3, s.median);
+  EXPECT_GE(s.iqr(), 0.0);
+
+  const auto one = scalfrag::obs::summarize({7.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.median, 7.0);
+  EXPECT_DOUBLE_EQ(one.iqr(), 0.0);
+}
+
+TEST(ObsBench, RunnerEmitsSchemaV1) {
+  BenchRunner runner("unit");
+  runner.with_case("t0")
+      .set("kernel_us", 120.0, "us", Direction::kLowerIsBetter)
+      .set("gflops", 55.0, "GF/s", Direction::kHigherIsBetter)
+      .set("note", 1.0, "count", Direction::kInfo);
+  runner.with_case("t1").add_sample("ms", 2.0, "ms", Direction::kInfo);
+  runner.with_case("t1").add_sample("ms", 4.0, "ms", Direction::kInfo);
+  runner.metrics().count("segments", 4);
+  runner.metrics().set("makespan_ns", 123.0);
+  runner.metrics().span("gpu/Kernel", 9.0);
+
+  const JsonValue v = JsonValue::parse(runner.json());
+  EXPECT_EQ(v.at("schema").as_string(), scalfrag::obs::kBenchSchemaName);
+  EXPECT_DOUBLE_EQ(v.at("schema_version").as_number(),
+                   scalfrag::obs::kBenchSchemaVersion);
+  EXPECT_EQ(v.at("bench").as_string(), "unit");
+
+  const auto& cases = v.at("cases").as_array();
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_EQ(cases[0].at("name").as_string(), "t0");
+  const JsonValue& kus = cases[0].at("metrics").at("kernel_us");
+  EXPECT_DOUBLE_EQ(kus.at("value").as_number(), 120.0);
+  EXPECT_EQ(kus.at("unit").as_string(), "us");
+  EXPECT_EQ(kus.at("dir").as_string(), "lower_is_better");
+  const JsonValue& ms = cases[1].at("metrics").at("ms");
+  EXPECT_DOUBLE_EQ(ms.at("value").as_number(), 3.0);  // median of {2, 4}
+  EXPECT_DOUBLE_EQ(ms.at("n").as_number(), 2.0);
+
+  EXPECT_DOUBLE_EQ(
+      v.at("metrics").at("counters").at("segments").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(
+      v.at("metrics").at("gauges").at("makespan_ns").as_number(), 123.0);
+}
+
+TEST(ObsBench, MeasureRunsWarmupThenReps) {
+  BenchRunner runner("unit");
+  int calls = 0;
+  const RepeatPolicy policy{/*warmup=*/2, /*reps=*/3};
+  const auto s = runner.with_case("c").measure(
+      "v", "count", Direction::kInfo, policy, [&] {
+        ++calls;
+        return static_cast<double>(calls);
+      });
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(s.n, 3u);       // warmup calls are discarded
+  EXPECT_DOUBLE_EQ(s.median, 4.0);  // samples {3, 4, 5}
+}
+
+TEST(ObsBench, DirectionNamesRoundTrip) {
+  using scalfrag::obs::direction_from_name;
+  using scalfrag::obs::direction_name;
+  for (Direction d : {Direction::kLowerIsBetter, Direction::kHigherIsBetter,
+                      Direction::kInfo}) {
+    EXPECT_EQ(direction_from_name(direction_name(d)), d);
+  }
+  EXPECT_THROW(direction_from_name("sideways"), Error);
+}
+
+// --- bench_compare -----------------------------------------------------
+
+JsonValue bench_doc(double kernel_us, double gflops, double wall_ms) {
+  BenchRunner runner("gate");
+  runner.with_case("nell-2")
+      .set("kernel_us", kernel_us, "us", Direction::kLowerIsBetter)
+      .set("gflops", gflops, "GF/s", Direction::kHigherIsBetter)
+      .set("wall_ms", wall_ms, "ms", Direction::kInfo);
+  return JsonValue::parse(runner.json());
+}
+
+TEST(ObsCompare, IdenticalRunsHaveNoRegression) {
+  const JsonValue doc = bench_doc(100.0, 50.0, 8.0);
+  const CompareReport rep = scalfrag::obs::compare_bench(doc, doc);
+  EXPECT_FALSE(rep.has_regression());
+  EXPECT_EQ(rep.regressions(), 0u);
+  EXPECT_EQ(rep.improvements(), 0u);
+  EXPECT_FALSE(scalfrag::obs::format_report(rep).empty());
+}
+
+TEST(ObsCompare, DetectsInjectedSlowdownPastThreshold) {
+  const JsonValue base = bench_doc(100.0, 50.0, 8.0);
+  // 12% slower kernel: regression for a lower_is_better metric at the
+  // default 10% threshold.
+  const CompareReport rep =
+      scalfrag::obs::compare_bench(base, bench_doc(112.0, 50.0, 8.0));
+  ASSERT_TRUE(rep.has_regression());
+  ASSERT_EQ(rep.regressions(), 1u);
+  bool found = false;
+  for (const auto& d : rep.deltas) {
+    if (!d.regression) continue;
+    found = true;
+    EXPECT_EQ(d.metric, "kernel_us");
+    EXPECT_NEAR(d.rel_change, 0.12, 1e-9);
+  }
+  EXPECT_TRUE(found);
+
+  // The same 12% is fine under a looser 20% threshold.
+  CompareOptions loose;
+  loose.threshold = 0.20;
+  EXPECT_FALSE(scalfrag::obs::compare_bench(base, bench_doc(112.0, 50.0, 8.0),
+                                            loose)
+                   .has_regression());
+}
+
+TEST(ObsCompare, HigherIsBetterGatesDropsNotGains) {
+  const JsonValue base = bench_doc(100.0, 50.0, 8.0);
+  // Throughput drop of 20% regresses; a rise never does.
+  EXPECT_TRUE(scalfrag::obs::compare_bench(base, bench_doc(100.0, 40.0, 8.0))
+                  .has_regression());
+  const CompareReport up =
+      scalfrag::obs::compare_bench(base, bench_doc(100.0, 70.0, 8.0));
+  EXPECT_FALSE(up.has_regression());
+  EXPECT_EQ(up.improvements(), 1u);
+}
+
+TEST(ObsCompare, InfoMetricsAreNeverGated) {
+  const JsonValue base = bench_doc(100.0, 50.0, 8.0);
+  // wall_ms triples — machine noise by contract, never a regression.
+  EXPECT_FALSE(scalfrag::obs::compare_bench(base, bench_doc(100.0, 50.0, 24.0))
+                   .has_regression());
+}
+
+TEST(ObsCompare, MismatchedDocumentsThrow) {
+  const JsonValue ok = bench_doc(100.0, 50.0, 8.0);
+  BenchRunner other("different");
+  other.with_case("c").set("m", 1.0, "x", Direction::kInfo);
+  const JsonValue other_doc = JsonValue::parse(other.json());
+  EXPECT_THROW(scalfrag::obs::compare_bench(ok, other_doc), Error);
+
+  const JsonValue not_bench = JsonValue::parse("{\"schema\": \"nope\"}");
+  EXPECT_THROW(scalfrag::obs::compare_bench(ok, not_bench), Error);
+}
+
+TEST(ObsCompare, StructuralAsymmetriesAreNotedNotGated) {
+  const JsonValue base = bench_doc(100.0, 50.0, 8.0);
+  BenchRunner cur("gate");
+  cur.with_case("nell-2").set("kernel_us", 100.0, "us",
+                              Direction::kLowerIsBetter);
+  cur.with_case("extra").set("kernel_us", 5.0, "us",
+                             Direction::kLowerIsBetter);
+  const CompareReport rep =
+      scalfrag::obs::compare_bench(base, JsonValue::parse(cur.json()));
+  EXPECT_FALSE(rep.has_regression());
+  EXPECT_FALSE(rep.notes.empty());
+}
+
+TEST(ObsCompare, FileVariantRoundTrips) {
+  const std::string base_path = "obs_test_base.json";
+  const std::string cur_path = "obs_test_cur.json";
+  BenchRunner base("gate");
+  base.with_case("c").set("kernel_us", 100.0, "us",
+                          Direction::kLowerIsBetter);
+  base.write(base_path);
+  BenchRunner cur("gate");
+  cur.with_case("c").set("kernel_us", 130.0, "us",
+                         Direction::kLowerIsBetter);
+  cur.write(cur_path);
+
+  const CompareReport rep =
+      scalfrag::obs::compare_bench_files(base_path, cur_path);
+  EXPECT_TRUE(rep.has_regression());
+  std::remove(base_path.c_str());
+  std::remove(cur_path.c_str());
+}
+
+}  // namespace

@@ -235,6 +235,55 @@ TEST(Pipeline, PartialLaunchScheduleFallsBackPerSegment) {
             2e-3);
 }
 
+TEST(Pipeline, RejectsScheduleLongerThanRealizedPlan) {
+  // Two slices of 4 nnz each: asking for 3 segments realizes only 2
+  // (slice-aligned cuts snap forward past the requested boundary). A
+  // schedule sized to the *request* would silently pair configs with
+  // the wrong segments — the executor must reject it.
+  CooTensor t({2, 8});
+  for (index_t s = 0; s < 2; ++s) {
+    for (index_t j = 0; j < 4; ++j) t.push({s, j}, 1.0f);
+  }
+  t.sort_by_mode(0);
+  ASSERT_EQ(make_segments(t, 0, 3).size(), 2u);  // the premise
+  const auto f = random_factors(t, 4, 95);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev, nullptr);
+  PipelineOptions opt;
+  opt.num_segments = 3;
+  opt.launch_schedule.assign(3, gpusim::LaunchConfig{32, 64, 0});
+  EXPECT_THROW(exec.run(t, f, 0, opt), Error);
+  // Sized from the realized plan, the same schedule is honored 1:1.
+  opt.launch_schedule.assign(2, gpusim::LaunchConfig{32, 64, 0});
+  const auto res = exec.run(t, f, 0, opt);
+  ASSERT_EQ(res.launches.size(), 2u);
+  EXPECT_EQ(res.launches[0].grid, 32u);
+  EXPECT_EQ(res.launches[1].grid, 32u);
+}
+
+TEST(Pipeline, MetricsRecordPhasesAndTimeline) {
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 96);
+  const auto f = random_factors(t, 8, 97);
+  gpusim::SimDevice dev(kSpec);
+  PipelineExecutor exec(dev, nullptr);
+  obs::MetricsRegistry m;
+  PipelineOptions opt;
+  opt.num_segments = 4;
+  opt.hybrid_cpu_threshold = 4;
+  opt.metrics = &m;
+  const auto res = exec.run(t, f, 0, opt);
+  EXPECT_EQ(m.counter("pipeline/runs"), 1u);
+  EXPECT_EQ(m.counter("pipeline/segments_realized"), res.plan.size());
+  EXPECT_EQ(m.counter("pipeline/cpu_nnz"), res.cpu_nnz);
+  EXPECT_GT(m.stage("host/segmentation").count, 0u);
+  // The device timeline lands as simulated spans + utilization gauges.
+  EXPECT_EQ(m.stage("gpu/Kernel").count, res.plan.size());
+  EXPECT_GT(m.counter("gpu/h2d_bytes"), 0u);
+  EXPECT_EQ(m.gauge("gpu/makespan_ns"), static_cast<double>(res.total_ns));
+  // Kernel bodies report through the same sink via the host engine.
+  EXPECT_GT(m.counter("host/calls"), 0u);
+}
+
 // Sweep: every (segments, streams) cell of the Fig. 11 grid stays
 // functionally correct and finishes.
 class PipelineGrid

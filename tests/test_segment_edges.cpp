@@ -102,12 +102,20 @@ TEST(SegmentEdges, BudgetSmallerThanOneSliceForcesSliceSplit) {
 TEST(SegmentEdges, BudgetPlannerDegeneracies) {
   CooTensor t = make_archetype("uniform", 33, 0);
   t.sort_by_mode(0);
-  // A budget of one byte demands one segment per entry (clamped).
-  const int tiny = segments_for_budget(t, 8, 1);
-  EXPECT_GE(tiny, static_cast<int>(t.nnz()));
+  const index_t rank = 8;
+  const std::size_t entry = t.order() * sizeof(index_t) + sizeof(value_t);
+  const std::size_t resident = pipeline_resident_bytes(t, 0, rank);
+  // Leftover room for just two entries demands one segment per entry,
+  // clamped against the int cast instead of wrapping through it.
+  const int tiny = segments_for_budget(t, 0, rank, resident + 2 * entry + 1);
+  EXPECT_GE(tiny, static_cast<int>(t.nnz() / 2));
   // A huge budget wants exactly one segment.
-  EXPECT_EQ(segments_for_budget(t, 8, std::size_t{1} << 40), 1);
-  EXPECT_THROW(segments_for_budget(t, 8, 0), Error);
+  EXPECT_EQ(segments_for_budget(t, 0, rank, std::size_t{1} << 40), 1);
+  EXPECT_THROW(segments_for_budget(t, 0, rank, 0), Error);
+  // Budgets the residents exhaust (or that leave room for fewer than
+  // two staged entries) are rejected outright.
+  EXPECT_THROW(segments_for_budget(t, 0, rank, resident), Error);
+  EXPECT_THROW(segments_for_budget(t, 0, rank, resident + entry), Error);
 
   // The tiny-budget segment count still yields a valid plan + answer.
   const SegmentPlan plan = make_segments(t, 0, tiny);

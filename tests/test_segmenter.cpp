@@ -167,12 +167,38 @@ TEST(Segmenter, FusedFeaturesOnEmptyTensor) {
 
 TEST(Segmenter, BudgetDerivesSegmentCount) {
   CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 27);
-  const std::size_t footprint =
-      t.bytes() + static_cast<std::size_t>(t.dim(0)) * 16 * sizeof(value_t);
-  EXPECT_EQ(segments_for_budget(t, 16, footprint), 1);
-  EXPECT_EQ(segments_for_budget(t, 16, footprint / 4 + 1), 4);
-  EXPECT_GE(segments_for_budget(t, 16, 1024), 16);
-  EXPECT_THROW(segments_for_budget(t, 16, 0), Error);
+  const index_t rank = 16;
+  const std::size_t resident = pipeline_resident_bytes(t, 0, rank);
+  // Room for the residents plus the whole COO image => unsegmented.
+  EXPECT_EQ(segments_for_budget(t, 0, rank, resident + t.bytes()), 1);
+  // Leftover room for 1/8 of the entries => >= 16 segments (the planner
+  // halves the target so slice-snapped growth still fits the budget).
+  EXPECT_GE(segments_for_budget(t, 0, rank, resident + t.bytes() / 8), 16);
+  EXPECT_THROW(segments_for_budget(t, 0, rank, 0), Error);
+  // A budget the residents alone exhaust is rejected, not mis-planned:
+  // the old dim(0)-only accounting happily returned a count here.
+  EXPECT_THROW(segments_for_budget(t, 0, rank, resident), Error);
+}
+
+TEST(Segmenter, BudgetFitIsModeAware) {
+  // Regression: the planner used to size the output matrix as dim(0)xF
+  // regardless of mode and ignored the resident factor matrices, so
+  // realized plans overshot the budget (worst for mode != 0, where even
+  // the output share was computed against the wrong dimension).
+  CooTensor t = make_frostt_tensor("nell-2", 1.0 / 4096, 27);
+  const index_t rank = 16;
+  const std::size_t entry = t.order() * sizeof(index_t) + sizeof(value_t);
+  for (order_t mode = 0; mode < t.order(); ++mode) {
+    t.sort_by_mode(mode);
+    const std::size_t resident = pipeline_resident_bytes(t, mode, rank);
+    const std::size_t budget = resident + t.bytes() / 3;
+    const int k = segments_for_budget(t, mode, rank, budget);
+    const SegmentPlan plan =
+        make_segments(t, mode, k, /*align_to_slices=*/true);
+    EXPECT_LE(resident + plan.max_nnz() * entry, budget)
+        << "mode " << static_cast<int>(mode) << " plan blows the budget "
+        << "(k=" << k << ", max_nnz=" << plan.max_nnz() << ")";
+  }
 }
 
 }  // namespace
