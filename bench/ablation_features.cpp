@@ -26,17 +26,17 @@ int main() {
     const CooTensor x = make_frostt_tensor(name);
     const auto f = random_factors(x, kRank, 13);
 
-    const PipelineOptions full;  // adaptive + shared mem + auto pipeline
-    PipelineOptions no_shared = full;
+    const ExecConfig full;  // adaptive + shared mem + auto pipeline
+    ExecConfig no_shared = full;
     no_shared.use_shared_mem = false;
-    PipelineOptions no_pipe = full;
+    ExecConfig no_pipe = full;
     no_pipe.num_segments = 1;
     no_pipe.num_streams = 1;
-    PipelineOptions hybrid = full;
+    ExecConfig hybrid = full;
     // Budget the CPU share at half the tensor's wire time so the host
     // never becomes the pipeline's critical path.
     hybrid.hybrid_cpu_threshold = auto_hybrid_threshold(
-        x, 0, kRank, hybrid.cpu, gpusim::transfer_ns(spec, x.bytes()) / 2);
+        x, 0, kRank, hybrid.cpu_spec, gpusim::transfer_ns(spec, x.bytes()) / 2);
 
     const auto r_full = exec.run(x, f, 0, full);
     const auto r_static = static_exec.run(x, f, 0, full);

@@ -33,7 +33,7 @@ int main() {
     ConsoleTable seg_t({"#segments (streams=4)", "1", "2", "4", "8", "16"});
     std::vector<std::string> row{"time (us)"};
     for (int segs : values) {
-      PipelineOptions opt;
+      ExecConfig opt;
       opt.num_segments = segs;
       opt.num_streams = 4;
       const sim_ns ns = exec.run(x, f, 0, opt).total_ns;
@@ -47,7 +47,7 @@ int main() {
     ConsoleTable str_t({"#streams (segments=4)", "1", "2", "4", "8", "16"});
     row = {"time (us)"};
     for (int streams : values) {
-      PipelineOptions opt;
+      ExecConfig opt;
       opt.num_segments = 4;
       opt.num_streams = streams;
       const sim_ns ns = exec.run(x, f, 0, opt).total_ns;

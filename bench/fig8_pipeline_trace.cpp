@@ -22,7 +22,7 @@ int main() {
 
   const CooTensor x = make_frostt_tensor("nell-2");
   const auto f = random_factors(x, kRank, 21);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = 4;  // the paper's canonical diagram shows 4
   opt.num_streams = 4;
   const auto res = exec.run(x, f, 0, opt);

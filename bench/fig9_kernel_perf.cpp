@@ -17,10 +17,10 @@ int main() {
   gpusim::SimDevice dev(spec);
   PipelineExecutor exec(dev, &sel);
   obs::BenchRunner runner("fig9_kernel_perf");
-  PipelineOptions kernel_only;  // one segment isolates kernel behaviour
+  ExecConfig kernel_only;  // one segment isolates kernel behaviour
   kernel_only.num_segments = 1;
   kernel_only.num_streams = 1;
-  kernel_only.metrics = &runner.metrics();
+  kernel_only.metrics_sink = &runner.metrics();
 
   std::printf(
       "\nFigure 9 — MTTKRP kernel performance, ScalFrag vs ParTI "

@@ -1,0 +1,74 @@
+// Extension figure: strong scaling of the sharded multi-device pipeline
+// (1/2/4/8 simulated RTX 3090s over PCIe peer links) on the Fig. 10
+// tensor set. Each device runs its contiguous nnz-balanced shard of the
+// segment plan as an independent pipelined timeline; the partial
+// outputs are reduced with the auto-picked collective. Expected shape:
+// end-to-end time strictly decreases from 1 to 4 devices on every
+// tensor (compute shrinks ~1/N while the reduction grows only with the
+// output matrix), with 8 devices flattening on the smaller tensors.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace scalfrag;
+  using namespace scalfrag::bench;
+
+  const auto spec = gpusim::DeviceSpec::rtx3090();
+  const LaunchSelector sel = make_selector(spec);
+  obs::BenchRunner runner("figx_multidev");
+
+  constexpr int kDevCounts[] = {1, 2, 4, 8};
+
+  std::printf(
+      "\nFigure X — Multi-device strong scaling, sharded pipeline "
+      "(rank %u)\n\n",
+      kRank);
+  ConsoleTable table({"Tensor", "Devices", "Total (us)", "Compute (us)",
+                      "Reduce (us)", "Speedup", "Reduce sched"});
+
+  bool scaling_ok = true;
+  for (const auto& p : frostt_profiles()) {
+    CooTensor x = make_frostt_tensor(p.name);
+    x.sort_by_mode(0);
+    const auto f = random_factors(x, kRank, 9);
+
+    sim_ns t1 = 0, prev = 0;
+    for (const int n : kDevCounts) {
+      gpusim::DeviceGroup group(spec, n);
+      const ExecConfig cfg = ExecConfig{}.devices(n);
+      const auto res = run_multi_pipeline(group, x, f, 0, cfg, &sel);
+      if (n == 1) t1 = res.total_ns;
+      const double speedup =
+          static_cast<double>(t1) / static_cast<double>(res.total_ns);
+      if (n > 1 && n <= 4 && res.total_ns >= prev) scaling_ok = false;
+      prev = res.total_ns;
+
+      table.add_row({p.name, std::to_string(n), us(res.total_ns),
+                     us(res.compute_ns), us(res.reduce_ns),
+                     fmt_double(speedup, 2) + "x",
+                     n > 1 ? gpusim::reduce_schedule_name(res.reduce_schedule)
+                           : "-"});
+      runner.with_case(std::string(p.name) + "/d" + std::to_string(n))
+          .set("total_us", us_val(res.total_ns), "us",
+               obs::Direction::kLowerIsBetter)
+          .set("compute_us", us_val(res.compute_ns), "us",
+               obs::Direction::kLowerIsBetter)
+          .set("reduce_us", us_val(res.reduce_ns), "us",
+               obs::Direction::kInfo)
+          .set("speedup", speedup, "x", obs::Direction::kHigherIsBetter)
+          .set("segments", static_cast<double>(res.plan.plan.size()),
+               "count", obs::Direction::kInfo)
+          .set("max_shard_nnz",
+               static_cast<double>(res.plan.max_shard_nnz()), "nnz",
+               obs::Direction::kInfo);
+    }
+  }
+  table.print();
+  std::printf("\nStrong scaling 1 -> 4 devices strictly decreasing: %s\n",
+              scaling_ok ? "yes" : "NO (regression!)");
+  runner.metrics().set("scaling_1_to_4_monotone", scaling_ok ? 1.0 : 0.0);
+  write_bench_json(runner);
+  return scaling_ok ? 0 : 1;
+}

@@ -45,7 +45,7 @@ void BM_MttkrpParallel(benchmark::State& state) {
   const CooTensor& t = nips_tensor();
   const auto f = random_factors(t, 16, 4);
   DenseMatrix out(t.dim(0), 16);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.threads = static_cast<std::size_t>(state.range(0));
   opt.grain_nnz = 4096;
   for (auto _ : state) {
@@ -157,7 +157,7 @@ void run_host_mttkrp_sweep() {
   runner.metrics().count("sweep_nnz", t.nnz());
 
   for (const std::size_t threads : counts) {
-    HostExecOptions opt;
+    HostExecParams opt;
     opt.threads = threads;
     opt.features = &feat;
     const HostStrategy strat = choose_host_strategy(t, 0, opt);

@@ -95,7 +95,7 @@ int main() {
   opt.max_iters = 20;
   opt.tol = 1e-5;
   opt.backend = CpdBackend::ScalFrag;
-  opt.pipeline.hybrid_cpu_threshold = 4;  // scan slices are tiny: CPU them
+  opt.exec.hybrid_cpu_threshold = 4;  // scan slices are tiny: CPU them
   const CpdResult model = cpd_als(traffic, opt, &dev, &selector);
   std::printf("benign-structure CPD fit %.4f (%d iterations)\n\n",
               model.final_fit, model.iterations);

@@ -121,7 +121,7 @@ int cmd_mttkrp(const Args& a) {
     tuner.train();
     const LaunchSelector sel = tuner.selector();
     PipelineExecutor exec(dev, &sel);
-    PipelineOptions opt;
+    ExecConfig opt;
     const std::string segs = a.get("segments", "auto");
     opt.num_segments = segs == "auto" ? 0 : std::stoi(segs);
     opt.num_streams = static_cast<int>(a.get_long("streams", 4));

@@ -1,0 +1,77 @@
+#include "gpusim/device_group.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace scalfrag::gpusim {
+
+const char* reduce_schedule_name(ReduceSchedule s) {
+  switch (s) {
+    case ReduceSchedule::Tree:
+      return "tree";
+    case ReduceSchedule::Ring:
+      return "ring";
+  }
+  return "?";
+}
+
+LinkSpec LinkSpec::pcie4_p2p() { return LinkSpec{}; }
+
+LinkSpec LinkSpec::nvlink_bridge() {
+  LinkSpec l;
+  l.name = "nvlink-bridge";
+  l.bandwidth_gbps = 50.0;
+  l.latency_us = 2.0;
+  return l;
+}
+
+DeviceGroup::DeviceGroup(DeviceSpec spec, int num_devices, LinkSpec link)
+    : spec_(std::move(spec)), link_(std::move(link)) {
+  SF_CHECK(num_devices >= 1, "a device group needs at least one device");
+  SF_CHECK(link_.bandwidth_gbps > 0.0 && link_.latency_us >= 0.0,
+           "link spec must have positive bandwidth");
+  devices_.reserve(static_cast<std::size_t>(num_devices));
+  for (int i = 0; i < num_devices; ++i) {
+    devices_.push_back(std::make_unique<SimDevice>(spec_));
+  }
+}
+
+sim_ns DeviceGroup::hop_ns(std::size_t bytes) const {
+  const double wire = static_cast<double>(bytes) / link_.bandwidth_gbps;
+  return static_cast<sim_ns>(link_.latency_us * 1e3 + wire);
+}
+
+sim_ns DeviceGroup::reduce_ns(std::size_t bytes,
+                              ReduceSchedule schedule) const {
+  const auto n = static_cast<std::size_t>(size());
+  if (n <= 1 || bytes == 0) return 0;
+  switch (schedule) {
+    case ReduceSchedule::Tree: {
+      // Binomial tree: rounds = ceil(log2 n), full buffer per hop.
+      const auto rounds = static_cast<sim_ns>(
+          std::bit_width(n - 1));  // ceil(log2 n) for n >= 2
+      return rounds * hop_ns(bytes);
+    }
+    case ReduceSchedule::Ring: {
+      // Reduce-scatter + all-gather: 2(n-1) steps of bytes/n each.
+      const std::size_t chunk = (bytes + n - 1) / n;
+      return static_cast<sim_ns>(2 * (n - 1)) * hop_ns(chunk);
+    }
+  }
+  throw Error("unknown reduce schedule");
+}
+
+ReduceSchedule DeviceGroup::pick_schedule(std::size_t bytes) const {
+  return reduce_ns(bytes, ReduceSchedule::Tree) <=
+                 reduce_ns(bytes, ReduceSchedule::Ring)
+             ? ReduceSchedule::Tree
+             : ReduceSchedule::Ring;
+}
+
+void DeviceGroup::reset_timelines() {
+  for (auto& d : devices_) d->reset_timeline();
+}
+
+}  // namespace scalfrag::gpusim

@@ -1,0 +1,81 @@
+#pragma once
+// A group of N simulated devices plus the inter-device link they reduce
+// partial results over — the multi-GPU substrate of the sharded
+// pipeline executor (AMPED-style segment sharding with partial-result
+// reduction; Wijeratne et al.).
+//
+// Each member is an independent SimDevice: its own stream set, copy
+// engines, compute engine, and timeline, so per-device pipelines can be
+// driven concurrently from real host threads without sharing any
+// simulator state. What the group adds is the *collective*: a cost
+// model for reducing every device's partial `mvals` into one output,
+// under either a binomial tree or a ring (reduce-scatter + all-gather)
+// schedule.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpusim/engine.hpp"
+
+namespace scalfrag::gpusim {
+
+/// How the partial outputs are combined across devices.
+enum class ReduceSchedule {
+  /// Binomial tree: ceil(log2 N) rounds, each moving the full buffer
+  /// across one hop. Latency-optimal — best for small outputs.
+  Tree,
+  /// Ring reduce-scatter + all-gather: 2(N-1) steps of bytes/N each.
+  /// Bandwidth-optimal — best for large outputs.
+  Ring,
+};
+
+const char* reduce_schedule_name(ReduceSchedule s);
+
+/// The peer-to-peer interconnect between group members. Defaults model
+/// PCIe 4.0 x16 P2P through the host bridge; the NVLink preset is the
+/// bridge-attached pair configuration of an RTX 3090 testbed.
+struct LinkSpec {
+  std::string name = "pcie4-p2p";
+  double bandwidth_gbps = 22.0;  // effective per-direction peer bandwidth
+  double latency_us = 6.0;       // per-message setup cost
+
+  static LinkSpec pcie4_p2p();
+  static LinkSpec nvlink_bridge();
+};
+
+class DeviceGroup {
+ public:
+  /// N identical devices of `spec`, connected by `link`.
+  DeviceGroup(DeviceSpec spec, int num_devices,
+              LinkSpec link = LinkSpec::pcie4_p2p());
+
+  int size() const noexcept { return static_cast<int>(devices_.size()); }
+  SimDevice& device(int i) { return *devices_.at(i); }
+  const SimDevice& device(int i) const { return *devices_.at(i); }
+  const LinkSpec& link() const noexcept { return link_; }
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Cost of moving `bytes` across one peer hop (latency + wire).
+  sim_ns hop_ns(std::size_t bytes) const;
+
+  /// Cost of reducing one `bytes`-sized partial buffer per device into
+  /// a single result under `schedule`. Zero for a single device.
+  sim_ns reduce_ns(std::size_t bytes, ReduceSchedule schedule) const;
+
+  /// The cheaper of the two schedules for this buffer size (what
+  /// ExecConfig's auto reduction resolves to).
+  ReduceSchedule pick_schedule(std::size_t bytes) const;
+
+  /// reset_timeline() on every member.
+  void reset_timelines();
+
+ private:
+  DeviceSpec spec_;
+  LinkSpec link_;
+  // unique_ptr for stable references while threads hold SimDevice&.
+  std::vector<std::unique_ptr<SimDevice>> devices_;
+};
+
+}  // namespace scalfrag::gpusim

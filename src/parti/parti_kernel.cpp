@@ -68,7 +68,7 @@ gpusim::LaunchConfig default_launch(const gpusim::DeviceSpec& spec,
 }
 
 void mttkrp_exec(const CooSpan& t, const FactorList& factors, order_t mode,
-                 DenseMatrix& out, const HostExecOptions& opt) {
+                 DenseMatrix& out, const HostExecParams& opt) {
   mttkrp_coo_par(t, factors, mode, out, /*accumulate=*/true, opt);
 }
 

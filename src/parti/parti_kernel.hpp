@@ -31,6 +31,6 @@ gpusim::LaunchConfig default_launch(const gpusim::DeviceSpec& spec, nnz_t nnz);
 /// `out` (atomicAdd semantics — order-independent commutative sums).
 /// Runs on the host execution engine; `t` is a zero-copy view.
 void mttkrp_exec(const CooSpan& t, const FactorList& factors, order_t mode,
-                 DenseMatrix& out, const HostExecOptions& opt = {});
+                 DenseMatrix& out, const HostExecParams& opt = {});
 
 }  // namespace scalfrag::parti

@@ -47,11 +47,17 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
 
   const order_t order = x.order();
   const index_t rank = opt.rank;
+  obs::MetricsRegistry* const met = opt.exec.metrics_sink;
+  const bool multidev =
+      opt.backend == CpdBackend::ScalFrag && opt.exec.num_devices > 1;
 
   // One mode-sorted copy per mode (MTTKRP kernels require mode order);
-  // the ScalFrag backend's MttkrpPlan holds its own sorted copies.
+  // the single-device ScalFrag backend's MttkrpPlan holds its own
+  // sorted copies, the sharded path sorts here like the others.
   std::vector<CooTensor> sorted;
-  if (opt.backend != CpdBackend::ScalFrag) {
+  if (opt.backend != CpdBackend::ScalFrag || multidev) {
+    std::optional<obs::MetricsRegistry::ScopedSpan> span;
+    if (met != nullptr) span.emplace(*met, "cpd/sort_modes");
     sorted.resize(order);
     for (order_t m = 0; m < order; ++m) {
       sorted[m] = x;
@@ -78,18 +84,27 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
   }
   const double norm_x = std::sqrt(norm_x_sq);
 
-  // ScalFrag backend: plan once (per-mode sorting, segmentation, and
-  // launch selection are factor-independent), replay every iteration.
+  // ScalFrag backend, single device: plan once (per-mode sorting,
+  // segmentation, and launch selection are factor-independent), replay
+  // every iteration. Sharded: a DeviceGroup cloned from the driver
+  // device's spec runs each MTTKRP through MultiPipelineExecutor.
   std::optional<MttkrpPlan> plan;
+  std::optional<gpusim::DeviceGroup> group;
   if (opt.backend == CpdBackend::ScalFrag) {
-    plan.emplace(x, rank, *dev, selector, opt.pipeline);
+    if (multidev) {
+      group.emplace(dev->spec(), opt.exec.num_devices, opt.exec.link);
+    } else {
+      std::optional<obs::MetricsRegistry::ScopedSpan> span;
+      if (met != nullptr) span.emplace(*met, "cpd/plan");
+      plan.emplace(x, rank, *dev, selector, opt.exec);
+    }
   }
 
   auto run_mttkrp = [&](order_t mode) -> DenseMatrix {
     switch (opt.backend) {
       case CpdBackend::Reference:
         return mttkrp_coo_par(sorted[mode], res.factors, mode,
-                              opt.host_exec);
+                              opt.exec.host_for_run());
       case CpdBackend::ParTI: {
         auto r = parti::run_mttkrp(*dev, sorted[mode], res.factors, mode);
         res.mttkrp_sim_ns += r.total_ns;
@@ -97,6 +112,13 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
         return std::move(r.output);
       }
       case CpdBackend::ScalFrag: {
+        if (multidev) {
+          auto r = run_multi_pipeline(*group, sorted[mode], res.factors,
+                                      mode, opt.exec, selector);
+          res.mttkrp_sim_ns += r.total_ns;
+          ++res.mttkrp_calls;
+          return std::move(r.output);
+        }
         auto r = plan->run(res.factors, mode);
         res.mttkrp_sim_ns += r.total_ns;
         ++res.mttkrp_calls;
@@ -108,6 +130,8 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
 
   double prev_fit = 0.0;
   for (int it = 0; it < opt.max_iters; ++it) {
+    std::optional<obs::MetricsRegistry::ScopedSpan> it_span;
+    if (met != nullptr) it_span.emplace(*met, "cpd/iteration");
     DenseMatrix last_m;  // MTTKRP result of the final mode (fit calc)
     for (order_t mode = 0; mode < order; ++mode) {
       DenseMatrix m = run_mttkrp(mode);
@@ -171,6 +195,14 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
   }
 
   res.final_fit = res.fit_history.empty() ? 0.0 : res.fit_history.back();
+  if (met != nullptr) {
+    met->count("cpd/runs");
+    met->count("cpd/iterations", static_cast<std::uint64_t>(res.iterations));
+    met->count("cpd/mttkrp_calls",
+               static_cast<std::uint64_t>(res.mttkrp_calls));
+    met->set("cpd/final_fit", res.final_fit);
+    met->set("cpd/mttkrp_sim_ns", static_cast<double>(res.mttkrp_sim_ns));
+  }
   return res;
 }
 

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "gpusim/engine.hpp"
+#include "scalfrag/multi_pipeline.hpp"
 #include "scalfrag/pipeline.hpp"
 #include "scalfrag/plan.hpp"
 #include "tensor/mttkrp_ref.hpp"
@@ -31,12 +32,13 @@ struct CpdOptions {
   /// ratings) this yields interpretable parts-based factors at a small
   /// fit cost.
   bool nonnegative = false;
-  /// ScalFrag backend settings (ignored by the others).
-  PipelineOptions pipeline;
-  /// Host engine for the Reference backend's MTTKRP (the ScalFrag
-  /// backend takes its engine knob from pipeline.host_exec). Strategy
-  /// Serial reproduces the single-threaded reference exactly.
-  HostExecOptions host_exec;
+  /// Execution config shared by every backend: the ScalFrag backend
+  /// reads all of it (exec.devices(n) with n > 1 shards each MTTKRP
+  /// across a simulated DeviceGroup); the Reference backend uses the
+  /// host-engine block (exec.threads/grain/strategy — strategy Serial
+  /// reproduces the single-threaded reference exactly); every backend
+  /// reports through exec.metrics(&reg).
+  ExecConfig exec;
 };
 
 struct CpdResult {

@@ -1,0 +1,16 @@
+#include "scalfrag/exec_config.hpp"
+
+#include "common/error.hpp"
+
+namespace scalfrag {
+
+void ExecConfig::validate() const {
+  SF_CHECK(num_devices >= 1, "num_devices must be >= 1");
+  SF_CHECK(num_segments >= 0, "segments must be >= 0 (0 = auto)");
+  SF_CHECK(num_streams > 0, "streams must be positive");
+  SF_CHECK(num_devices == 1 || hybrid_cpu_threshold == 0,
+           "the CPU hybrid split is single-device only — clear "
+           "hybrid_cpu_threshold when devices > 1");
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,144 @@
+#pragma once
+// ExecConfig — the one execution-configuration surface for every
+// driver in the repository.
+//
+// Historically each layer grew its own options struct (PipelineOptions,
+// HostExecOptions, ScalFragKernelOptions, plus CpdOptions/TuckerOptions
+// nesting copies of them). ExecConfig subsumes all of them: one
+// builder-style value that `run_pipeline`, `run_hybrid` (the pipeline's
+// hybrid split), `cpd_als`, `tucker_hooi`, and the multi-device
+// executor all accept.
+//
+//   auto cfg = scalfrag::ExecConfig{}
+//                  .devices(4)
+//                  .segments_auto()
+//                  .threads(8)
+//                  .metrics(&reg);
+//
+// Fields stay public (aggregate-style reads everywhere in the
+// executors); the fluent setters exist so configs compose in one
+// expression. The legacy structs survive only as [[deprecated]] shims
+// that convert to ExecConfig — see docs/api.md for the migration map.
+
+#include <optional>
+#include <vector>
+
+#include "gpusim/device_group.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/mttkrp_par.hpp"
+
+namespace scalfrag {
+
+struct ExecConfig {
+  // --- device group (multi-device sharding) ---------------------------
+  /// Simulated devices to shard segments across. 1 = the classic
+  /// single-device pipeline; N > 1 runs the MultiPipelineExecutor.
+  int num_devices = 1;
+  /// Partial-output reduction schedule across devices; nullopt picks
+  /// the cheaper of tree/ring for the output size at run time.
+  std::optional<gpusim::ReduceSchedule> reduce_schedule;
+  /// Peer link the reduction cost model uses.
+  gpusim::LinkSpec link = gpusim::LinkSpec::pcie4_p2p();
+
+  // --- segmentation / pipeline ----------------------------------------
+  /// 0 = auto: pick a segment count so each segment's copy is large
+  /// enough to amortize PCIe latency (the paper "empirically determines
+  /// the appropriate number of segments"); small tensors then run
+  /// unsegmented. Explicit values (e.g. the Fig. 11 sweep) are honored
+  /// as-is. Under multi-device execution the count applies per device.
+  int num_segments = 0;
+  int num_streams = 4;
+  bool use_shared_mem = true;
+  bool adaptive_launch = true;
+  /// Force a specific launch config (overrides adaptive/static choice).
+  std::optional<gpusim::LaunchConfig> launch_override;
+  /// Precomputed per-segment launches (from MttkrpPlan); entry i is
+  /// used for *realized* segment i and takes precedence over everything
+  /// above. A schedule shorter than the realized plan is a prefix
+  /// override; a schedule *longer* than the realized plan is rejected —
+  /// size schedules from the realized plan, not from num_segments.
+  std::vector<gpusim::LaunchConfig> launch_schedule;
+
+  // --- CPU–GPU hybrid --------------------------------------------------
+  /// Slice-nnz threshold below which work routes to the CPU (0 = off).
+  /// Single-device only; the multi-device executor rejects it.
+  nnz_t hybrid_cpu_threshold = 0;
+  gpusim::CpuSpec cpu_spec = gpusim::CpuSpec::i7_11700k();
+
+  // --- host execution engine ------------------------------------------
+  /// Engine knobs for every functional kernel body a driver runs
+  /// (segment kernels, hybrid CPU share, reference backends).
+  HostExecParams host_exec;
+
+  // --- observability ---------------------------------------------------
+  /// Optional sink: executors record phase spans, plan counters, and
+  /// device-timeline breakdowns here. LIFETIME: the registry must
+  /// outlive every run launched with this config — including replays
+  /// through an MttkrpPlan, which copies the config (and this pointer)
+  /// by value at plan-build time.
+  obs::MetricsRegistry* metrics_sink = nullptr;
+
+  // --- fluent builders -------------------------------------------------
+  ExecConfig& devices(int n) { num_devices = n; return *this; }
+  ExecConfig& reduction(gpusim::ReduceSchedule s) {
+    reduce_schedule = s;
+    return *this;
+  }
+  ExecConfig& peer_link(gpusim::LinkSpec l) {
+    link = std::move(l);
+    return *this;
+  }
+  ExecConfig& segments(int n) { num_segments = n; return *this; }
+  ExecConfig& segments_auto() { num_segments = 0; return *this; }
+  ExecConfig& streams(int n) { num_streams = n; return *this; }
+  ExecConfig& shared_mem(bool on) { use_shared_mem = on; return *this; }
+  ExecConfig& adaptive(bool on) { adaptive_launch = on; return *this; }
+  ExecConfig& launch(const gpusim::LaunchConfig& c) {
+    launch_override = c;
+    return *this;
+  }
+  ExecConfig& schedule(std::vector<gpusim::LaunchConfig> s) {
+    launch_schedule = std::move(s);
+    return *this;
+  }
+  ExecConfig& hybrid_threshold(nnz_t t) {
+    hybrid_cpu_threshold = t;
+    return *this;
+  }
+  ExecConfig& cpu(gpusim::CpuSpec s) {
+    cpu_spec = std::move(s);
+    return *this;
+  }
+  ExecConfig& threads(std::size_t n) {
+    host_exec.threads = n;
+    return *this;
+  }
+  ExecConfig& grain(nnz_t g) {
+    host_exec.grain_nnz = g;
+    return *this;
+  }
+  ExecConfig& strategy(HostStrategy s) {
+    host_exec.strategy = s;
+    return *this;
+  }
+  ExecConfig& metrics(obs::MetricsRegistry* reg) {
+    metrics_sink = reg;
+    return *this;
+  }
+
+  /// Throws scalfrag::Error on inconsistent settings (non-positive
+  /// streams/devices, negative segment count, hybrid under multi-device).
+  void validate() const;
+
+  /// The engine block a driver should hand to kernel bodies: host_exec
+  /// with its metrics pointer defaulted to metrics_sink when unset.
+  HostExecParams host_for_run() const {
+    HostExecParams h = host_exec;
+    if (metrics_sink != nullptr && h.metrics == nullptr) {
+      h.metrics = metrics_sink;
+    }
+    return h;
+  }
+};
+
+}  // namespace scalfrag

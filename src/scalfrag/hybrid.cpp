@@ -135,33 +135,27 @@ nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
   return best;
 }
 
-void cpu_mttkrp_exec(const CooSpan& part, const FactorList& factors,
-                     order_t mode, DenseMatrix& out,
-                     const HostExecOptions& opt) {
-  // Slices are disjoint output rows; the partition's CPU share is
-  // slice-grouped, so the engine's slice-owner strategy applies.
-  if (part.nnz() == 0) return;
-  mttkrp_coo_par(part, factors, mode, out, /*accumulate=*/true, opt);
-}
-
 void cpu_mttkrp_exec(const CooSpan& parent,
                      std::span<const std::pair<nnz_t, nnz_t>> ranges,
                      const FactorList& factors, order_t mode,
-                     DenseMatrix& out, const HostExecOptions& opt) {
+                     DenseMatrix& out, const HostExecParams& opt) {
   if (ranges.empty()) return;
   if (opt.metrics != nullptr) {
     opt.metrics->count("hybrid/cpu_range_batches");
     opt.metrics->count("hybrid/cpu_ranges", ranges.size());
   }
   if (ranges.size() == 1) {
-    cpu_mttkrp_exec(parent.subspan(ranges[0].first, ranges[0].second),
-                    factors, mode, out, opt);
+    // One range — a contiguous slice-grouped span; the engine's
+    // slice-owner strategy applies directly.
+    const CooSpan part = parent.subspan(ranges[0].first, ranges[0].second);
+    if (part.nnz() == 0) return;
+    mttkrp_coo_par(part, factors, mode, out, /*accumulate=*/true, opt);
     return;
   }
   // Ranges hold whole slices, so they own disjoint output rows: run
   // them concurrently, each serial inside (CPU slices are short — the
   // parallelism worth having is across ranges).
-  HostExecOptions serial = opt;
+  HostExecParams serial = opt;
   serial.strategy = HostStrategy::Serial;
   ThreadPool::global().parallel_for(
       0, ranges.size(), [&](std::size_t lo, std::size_t hi) {

@@ -68,18 +68,14 @@ sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, nnz_t nnz, order_t order,
 nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
                             const gpusim::CpuSpec& cpu, sim_ns budget_ns);
 
-/// Functional CPU-side MTTKRP over a contiguous slice-grouped part
-/// (accumulating, parallel via the host engine).
-void cpu_mttkrp_exec(const CooSpan& part, const FactorList& factors,
-                     order_t mode, DenseMatrix& out,
-                     const HostExecOptions& opt = {});
-
 /// Functional CPU-side MTTKRP over a hybrid partition's CPU ranges,
 /// viewed zero-copy in `parent` (accumulating; ranges run concurrently
-/// — they own disjoint output rows).
+/// — each range covers whole slices, so ranges own disjoint output
+/// rows). This is the one canonical host-side hybrid entry point; to
+/// run a whole slice-grouped span, pass the single range {0, nnz}.
 void cpu_mttkrp_exec(const CooSpan& parent,
                      std::span<const std::pair<nnz_t, nnz_t>> ranges,
                      const FactorList& factors, order_t mode,
-                     DenseMatrix& out, const HostExecOptions& opt = {});
+                     DenseMatrix& out, const HostExecParams& opt = {});
 
 }  // namespace scalfrag

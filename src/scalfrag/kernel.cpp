@@ -16,7 +16,7 @@ std::size_t kernel_shmem_bytes(std::uint32_t block, index_t rank) {
 }
 
 gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
-                                     const ScalFragKernelOptions& opt) {
+                                     bool use_shared_mem) {
   gpusim::KernelProfile p;
   const auto nnz = feat.nnz;
   const auto order = static_cast<std::uint64_t>(feat.order);
@@ -28,7 +28,7 @@ gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
   const std::uint64_t coo_bytes =
       nnz * (order * sizeof(index_t) + sizeof(value_t));
 
-  if (opt.use_shared_mem) {
+  if (use_shared_mem) {
     // Shared-memory staging: each distinct fiber's rows hit DRAM once;
     // repeats inside the fiber are served from the times_mat tile.
     const double factor_miss = 0.25 + 0.75 * feat.fiber_ratio;
@@ -66,7 +66,7 @@ gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
 
 void mttkrp_exec(const CooSpan& segment, const FactorList& factors,
                  order_t mode, DenseMatrix& out,
-                 const HostExecOptions& opt) {
+                 const HostExecParams& opt) {
   // Functionally identical to the reference (floating-point sums are
   // reassociated on real hardware; tests use tolerances accordingly).
   mttkrp_coo_par(segment, factors, mode, out, /*accumulate=*/true, opt);

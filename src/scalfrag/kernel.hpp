@@ -22,7 +22,11 @@
 
 namespace scalfrag {
 
-struct ScalFragKernelOptions {
+/// Legacy single-knob struct; the canonical entry points below take the
+/// ablation switch directly. Kept only as a deprecated shim.
+struct [[deprecated(
+    "pass use_shared_mem directly (ExecConfig::use_shared_mem)")]]
+ScalFragKernelOptions {
   bool use_shared_mem = true;  // ablation switch
 };
 
@@ -31,9 +35,21 @@ struct ScalFragKernelOptions {
 std::size_t kernel_shmem_bytes(std::uint32_t block, index_t rank);
 
 /// Cost-model profile of the ScalFrag kernel over a (segment's)
-/// feature summary.
+/// feature summary. `use_shared_mem` is the ablation switch
+/// (ExecConfig::use_shared_mem).
 gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
-                                     const ScalFragKernelOptions& opt = {});
+                                     bool use_shared_mem = true);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// Shim overload for the deprecated options struct.
+[[deprecated("use mttkrp_profile(feat, rank, use_shared_mem)")]]
+inline gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat,
+                                            index_t rank,
+                                            const ScalFragKernelOptions& opt) {
+  return mttkrp_profile(feat, rank, opt.use_shared_mem);
+}
+#pragma GCC diagnostic pop
 
 /// Functional kernel body: accumulate mode-`mode` MTTKRP of the segment
 /// into `out` (commutative adds; cross-segment accumulation safe). The
@@ -41,6 +57,6 @@ gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
 /// (CooTensor converts implicitly, so old call sites still work).
 void mttkrp_exec(const CooSpan& segment, const FactorList& factors,
                  order_t mode, DenseMatrix& out,
-                 const HostExecOptions& opt = {});
+                 const HostExecParams& opt = {});
 
 }  // namespace scalfrag

@@ -1,0 +1,241 @@
+#include "scalfrag/multi_pipeline.hpp"
+
+#include <exception>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/sim_metrics.hpp"
+#include "scalfrag/kernel.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+namespace {
+
+/// One device's shard pipeline, run on that device's own simulator.
+/// Mirrors PipelineExecutor::run minus the hybrid path (multi-device
+/// rejects CPU offload) — segments, launches, and features come
+/// precomputed from the shard plan, so this is pure replay.
+sim_ns run_shard(gpusim::SimDevice& dev, const ShardPlan& sp,
+                 const DeviceShard& sh, const CooTensor& t,
+                 const FactorList& factors, order_t mode, index_t rank,
+                 const ExecConfig& cfg, const HostExecParams& host_exec,
+                 DenseMatrix& partial) {
+  std::size_t factor_bytes = 0;
+  for (const auto& f : factors) factor_bytes += f.bytes();
+  gpusim::DeviceBuffer<char> d_factors(dev.allocator(), factor_bytes);
+  gpusim::DeviceBuffer<char> d_out(dev.allocator(), partial.bytes());
+
+  std::vector<gpusim::StreamId> pool;
+  pool.reserve(static_cast<std::size_t>(cfg.num_streams));
+  for (int i = 0; i < cfg.num_streams; ++i) pool.push_back(dev.create_stream());
+
+  // Per-stream segment staging, sized by the shard's largest segment.
+  nnz_t max_seg = 0;
+  for (int i = sh.seg_begin; i < sh.seg_end; ++i) {
+    max_seg = std::max(max_seg,
+                       sp.plan.segments[static_cast<std::size_t>(i)].nnz());
+  }
+  const std::size_t seg_bytes_cap =
+      max_seg * (t.order() * sizeof(index_t) + sizeof(value_t));
+  const int resident = std::min(cfg.num_streams, sh.num_segments());
+  std::vector<gpusim::DeviceBuffer<char>> d_segs;
+  d_segs.reserve(static_cast<std::size_t>(std::max(resident, 0)));
+  for (int i = 0; i < resident; ++i) {
+    d_segs.emplace_back(dev.allocator(), seg_bytes_cap);
+  }
+
+  // Every device holds all the factors (replicated inputs, sharded
+  // non-zeros — the AMPED data distribution).
+  const gpusim::StreamId s0 = pool[0];
+  dev.memcpy_h2d(s0, factor_bytes, nullptr, "H2D factors");
+  const gpusim::EventId ev_factors = dev.record_event(s0);
+  for (int i = 1; i < cfg.num_streams; ++i) {
+    dev.wait_event(pool[static_cast<std::size_t>(i)], ev_factors);
+  }
+
+  for (int i = sh.seg_begin; i < sh.seg_end; ++i) {
+    const Segment& seg = sp.plan.segments[static_cast<std::size_t>(i)];
+    if (seg.nnz() == 0) continue;
+    const int local = i - sh.seg_begin;
+    const gpusim::StreamId s =
+        pool[static_cast<std::size_t>(local % cfg.num_streams)];
+    const CooSpan segment = t.span(seg.begin, seg.end);
+    dev.memcpy_h2d(s, segment.bytes(), nullptr,
+                   "H2D segment " + std::to_string(i));
+
+    const TensorFeatures& feat =
+        sp.plan.features[static_cast<std::size_t>(i)];
+    const gpusim::LaunchConfig launch =
+        sh.launches[static_cast<std::size_t>(local)];
+    const gpusim::KernelProfile prof =
+        mttkrp_profile(feat, rank, cfg.use_shared_mem);
+    HostExecParams kexec = host_exec;
+    kexec.features = &feat;
+    dev.launch_kernel(
+        s, launch, prof,
+        [&] { mttkrp_exec(segment, factors, mode, partial, kexec); },
+        "ScalFrag kernel seg " + std::to_string(i));
+  }
+
+  for (int i = 1; i < cfg.num_streams; ++i) {
+    dev.wait_event(s0, dev.record_event(pool[static_cast<std::size_t>(i)]));
+  }
+  dev.memcpy_d2h(s0, d_out.bytes(), nullptr, "D2H partial output");
+  return dev.synchronize();
+}
+
+}  // namespace
+
+MultiPipelineResult MultiPipelineExecutor::run(const CooTensor& t,
+                                               const FactorList& factors,
+                                               order_t mode,
+                                               const ExecConfig& cfg) {
+  const index_t rank = check_factors(t, factors);
+  SF_CHECK(t.is_sorted_by_mode(mode),
+           "multi-device pipeline requires mode-sorted input");
+  cfg.validate();
+  SF_CHECK(cfg.num_devices == group_->size(),
+           "ExecConfig::devices must match the DeviceGroup size");
+  SF_CHECK(cfg.hybrid_cpu_threshold == 0,
+           "the CPU hybrid split is single-device only — use "
+           "PipelineExecutor for ExecConfig::hybrid_threshold > 0");
+
+  MultiPipelineResult res;
+  res.output = DenseMatrix(t.dim(mode), rank);
+  obs::MetricsRegistry* const met = cfg.metrics_sink;
+  const HostExecParams host_exec = cfg.host_for_run();
+  const int n_dev = group_->size();
+
+  std::optional<obs::MetricsRegistry::ScopedSpan> plan_span;
+  if (met != nullptr) plan_span.emplace(*met, "host/shard_planning");
+  res.plan = make_shard_plan(*group_, t, mode, rank, cfg, selector_);
+  plan_span.reset();
+
+  res.devices.resize(static_cast<std::size_t>(n_dev));
+  group_->reset_timelines();
+
+  // --- per-device pipelines, one driver thread each --------------------
+  // The SimDevice simulators are independent, so the shard timelines
+  // advance truly concurrently; the host engine under each functional
+  // kernel is safe to enter from several driver threads at once.
+  std::vector<DenseMatrix> partials(static_cast<std::size_t>(n_dev));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n_dev));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_dev));
+  for (int d = 0; d < n_dev; ++d) {
+    const DeviceShard& sh = res.plan.shards[static_cast<std::size_t>(d)];
+    DeviceRunStats& stat = res.devices[static_cast<std::size_t>(d)];
+    stat.device = d;
+    stat.segments = sh.num_segments();
+    stat.nnz = sh.nnz;
+    stat.selection_seconds = sh.selection_seconds;
+    if (sh.empty()) continue;
+    partials[static_cast<std::size_t>(d)] = DenseMatrix(t.dim(mode), rank);
+    threads.emplace_back([&, d] {
+      try {
+        DeviceRunStats& st = res.devices[static_cast<std::size_t>(d)];
+        gpusim::SimDevice& dev = group_->device(d);
+        st.total_ns = run_shard(dev, res.plan,
+                                res.plan.shards[static_cast<std::size_t>(d)],
+                                t, factors, mode, rank, cfg, host_exec,
+                                partials[static_cast<std::size_t>(d)]);
+        st.breakdown = dev.breakdown();
+      } catch (...) {
+        errors[static_cast<std::size_t>(d)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // --- deterministic reduction -----------------------------------------
+  // Functional: sum partials in device order (independent of thread
+  // scheduling). Simulated: contiguous mode-sorted shards own disjoint
+  // slice ranges, so a device's partial is non-zero only on its own
+  // rows — the gather of those disjoint blocks is the D2H already on
+  // each timeline. What actually needs a cross-device collective is
+  // the slices split across a shard boundary (both neighbours wrote
+  // the row); the link model charges the chosen schedule over exactly
+  // that payload, which is zero when every cut landed on a slice
+  // boundary.
+  const index_t out_cols = res.output.cols();
+  std::size_t boundary_rows = 0;
+  {
+    const DeviceShard* prev = nullptr;
+    for (const auto& sh : res.plan.shards) {
+      if (sh.empty()) continue;
+      if (prev != nullptr) {
+        const auto& first =
+            res.plan.plan.segments[static_cast<std::size_t>(sh.seg_begin)];
+        const auto& last = res.plan.plan.segments[static_cast<std::size_t>(
+            prev->seg_end - 1)];
+        if (first.first_slice == last.last_slice) ++boundary_rows;
+      }
+      prev = &sh;
+    }
+  }
+  int active = 0;
+  for (int d = 0; d < n_dev; ++d) {
+    if (res.plan.shards[static_cast<std::size_t>(d)].empty()) continue;
+    ++active;
+    const DenseMatrix& p = partials[static_cast<std::size_t>(d)];
+    value_t* out = res.output.data();
+    const value_t* in = p.data();
+    for (std::size_t i = 0; i < p.size(); ++i) out[i] += in[i];
+  }
+  const std::size_t reduce_bytes =
+      boundary_rows * static_cast<std::size_t>(out_cols) * sizeof(value_t);
+  res.reduce_schedule = cfg.reduce_schedule
+                            ? *cfg.reduce_schedule
+                            : group_->pick_schedule(reduce_bytes);
+  res.reduce_ns = (active > 1 && reduce_bytes > 0)
+                      ? group_->reduce_ns(reduce_bytes, res.reduce_schedule)
+                      : 0;
+  for (const auto& st : res.devices) {
+    res.compute_ns = std::max(res.compute_ns, st.total_ns);
+  }
+  res.total_ns = res.compute_ns + res.reduce_ns;
+
+  // --- merged report ----------------------------------------------------
+  if (met != nullptr) {
+    met->count("multidev/runs");
+    met->set("multidev/devices", static_cast<double>(n_dev));
+    met->set("multidev/segments",
+             static_cast<double>(res.plan.plan.size()));
+    met->set("multidev/compute_ns", static_cast<double>(res.compute_ns));
+    met->set("multidev/reduce_ns", static_cast<double>(res.reduce_ns));
+    met->set("multidev/total_ns", static_cast<double>(res.total_ns));
+    met->set("multidev/reduce_bytes", static_cast<double>(reduce_bytes));
+    met->set("multidev/boundary_rows", static_cast<double>(boundary_rows));
+    met->set(std::string("multidev/reduce_schedule_") +
+                 gpusim::reduce_schedule_name(res.reduce_schedule),
+             1.0);
+    for (int d = 0; d < n_dev; ++d) {
+      const auto& st = res.devices[static_cast<std::size_t>(d)];
+      const std::string prefix = "gpu" + std::to_string(d);
+      met->set("multidev/" + prefix + "/nnz", static_cast<double>(st.nnz));
+      met->set("multidev/" + prefix + "/makespan_ns",
+               static_cast<double>(st.total_ns));
+      if (!res.plan.shards[static_cast<std::size_t>(d)].empty()) {
+        gpusim::record_timeline(group_->device(d), *met, prefix);
+      }
+    }
+  }
+  return res;
+}
+
+MultiPipelineResult run_multi_pipeline(gpusim::DeviceGroup& group,
+                                       const CooTensor& t,
+                                       const FactorList& factors, order_t mode,
+                                       const ExecConfig& cfg,
+                                       const LaunchSelector* selector) {
+  MultiPipelineExecutor exec(group, selector);
+  return exec.run(t, factors, mode, cfg);
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,79 @@
+#pragma once
+// Multi-device sharded pipeline executor. Each device in a
+// gpusim::DeviceGroup runs its shard of the global segment plan as an
+// independent pipelined timeline (its own streams, its own H2D/kernel
+// overlap), driven by a real host thread per device — the SimDevice
+// simulators are independent, so the per-device timelines advance
+// concurrently exactly like N GPUs would. The partial outputs are then
+// reduced across the peer link; the reduction cost comes from the
+// group's link model (tree or ring schedule, auto-picked by size).
+// Because contiguous mode-sorted shards own disjoint output-slice
+// ranges, the collective payload is only the rows of slices split
+// across a shard boundary — zero when every cut is slice-aligned (the
+// disjoint blocks are gathered by the per-device D2H already on the
+// timelines).
+//
+//   total_ns = max over devices of the shard makespan + reduce_ns
+//
+// Functional semantics: every device accumulates into its own partial
+// output matrix, and the partials are summed in device order — a
+// deterministic reduction, independent of thread scheduling.
+
+#include <vector>
+
+#include "gpusim/device_group.hpp"
+#include "gpusim/engine.hpp"
+#include "scalfrag/exec_config.hpp"
+#include "scalfrag/shard.hpp"
+
+namespace scalfrag {
+
+/// Per-device slice of a multi-device run's report.
+struct DeviceRunStats {
+  int device = 0;
+  int segments = 0;
+  nnz_t nnz = 0;
+  sim_ns total_ns = 0;  // this device's shard makespan
+  gpusim::TimelineBreakdown breakdown;
+  double selection_seconds = 0.0;
+};
+
+struct MultiPipelineResult {
+  DenseMatrix output;  // reduced (full) mode-m factor update
+  ShardPlan plan;
+  std::vector<DeviceRunStats> devices;  // in device order
+
+  gpusim::ReduceSchedule reduce_schedule = gpusim::ReduceSchedule::Tree;
+  sim_ns compute_ns = 0;  // max over devices of shard makespan
+  sim_ns reduce_ns = 0;   // modeled inter-device reduction
+  sim_ns total_ns = 0;    // compute_ns + reduce_ns
+};
+
+class MultiPipelineExecutor {
+ public:
+  /// `selector` may be null — launch prediction then falls back to the
+  /// static heuristic per shard.
+  explicit MultiPipelineExecutor(gpusim::DeviceGroup& group,
+                                 const LaunchSelector* selector = nullptr)
+      : group_(&group), selector_(selector) {}
+
+  /// Run one sharded mode-`mode` MTTKRP. `t` must be mode-sorted.
+  /// ExecConfig::num_devices must match the group size; hybrid CPU
+  /// offload is single-device only (ExecConfig::validate rejects it).
+  /// All device timelines are reset at entry.
+  MultiPipelineResult run(const CooTensor& t, const FactorList& factors,
+                          order_t mode, const ExecConfig& cfg = {});
+
+ private:
+  gpusim::DeviceGroup* group_;
+  const LaunchSelector* selector_;
+};
+
+/// Canonical free-function driver, mirroring run_pipeline.
+MultiPipelineResult run_multi_pipeline(gpusim::DeviceGroup& group,
+                                       const CooTensor& t,
+                                       const FactorList& factors, order_t mode,
+                                       const ExecConfig& cfg = {},
+                                       const LaunchSelector* selector = nullptr);
+
+}  // namespace scalfrag

@@ -10,8 +10,7 @@
 namespace scalfrag {
 
 int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
-                       order_t mode, index_t rank,
-                       const PipelineOptions& opt,
+                       order_t mode, index_t rank, const ExecConfig& cfg,
                        const TensorFeatures* whole) {
   if (t.nnz() == 0) return 1;
   // Pick the k ∈ [1, 8] minimizing the predicted makespan of a k-deep
@@ -32,13 +31,12 @@ int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
     scratch = TensorFeatures::extract(t, mode);  // the O(nnz) rescan
     whole = &scratch;
   }
-  const ScalFragKernelOptions kopt{.use_shared_mem = opt.use_shared_mem};
   gpusim::LaunchConfig probe = parti::default_launch(spec, t.nnz());
-  if (opt.use_shared_mem) {
+  if (cfg.use_shared_mem) {
     probe.shmem_per_block = kernel_shmem_bytes(probe.block, rank);
   }
-  const double kernel_work = static_cast<double>(
-      dev.cost_model().kernel_ns(probe, mttkrp_profile(*whole, rank, kopt)));
+  const double kernel_work = static_cast<double>(dev.cost_model().kernel_ns(
+      probe, mttkrp_profile(*whole, rank, cfg.use_shared_mem)));
 
   int best_k = 1;
   double best = std::numeric_limits<double>::infinity();
@@ -64,22 +62,21 @@ gpusim::StreamId PipelineExecutor::stream(int i) {
 
 PipelineResult PipelineExecutor::run(const CooTensor& t,
                                      const FactorList& factors, order_t mode,
-                                     const PipelineOptions& opt) {
+                                     const ExecConfig& opt) {
   const index_t rank = check_factors(t, factors);
   SF_CHECK(t.is_sorted_by_mode(mode), "pipeline requires mode-sorted input");
-  SF_CHECK(opt.num_segments >= 0 && opt.num_streams > 0,
-           "segments must be >= 0 (0 = auto), streams positive");
+  opt.validate();
+  SF_CHECK(opt.num_devices == 1,
+           "PipelineExecutor is single-device; use MultiPipelineExecutor "
+           "for ExecConfig::devices > 1");
 
   PipelineResult res;
   res.output = DenseMatrix(t.dim(mode), rank);
 
-  obs::MetricsRegistry* const met = opt.metrics;
+  obs::MetricsRegistry* const met = opt.metrics_sink;
   // The host engine inherits the pipeline's sink unless the caller
   // already pointed it somewhere else.
-  HostExecOptions host_exec = opt.host_exec;
-  if (met != nullptr && host_exec.metrics == nullptr) {
-    host_exec.metrics = met;
-  }
+  const HostExecParams host_exec = opt.host_for_run();
 
   // --- hybrid partition (optional) -----------------------------------
   const CooTensor* gpu_tensor = &t;
@@ -164,7 +161,8 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
 
   // --- hybrid CPU task (concurrent with the GPU pipeline) -------------
   if (res.cpu_nnz > 0) {
-    res.cpu_task_ns = cpu_mttkrp_ns(opt.cpu, res.cpu_nnz, t.order(), rank);
+    res.cpu_task_ns =
+        cpu_mttkrp_ns(opt.cpu_spec, res.cpu_nnz, t.order(), rank);
     // Host engine is independent of the GPU engines; use a dedicated
     // stream so it never serializes behind GPU ops in stream order.
     // The CPU share is never materialized: it runs as zero-copy slice
@@ -180,7 +178,6 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
   }
 
   // --- segment pipeline ------------------------------------------------
-  ScalFragKernelOptions kopt{.use_shared_mem = opt.use_shared_mem};
   for (int i = 0; i < n_seg; ++i) {
     const Segment& seg = res.plan.segments[i];
     if (seg.nnz() == 0) {
@@ -210,10 +207,11 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
     if (opt.use_shared_mem) {
       launch.shmem_per_block = kernel_shmem_bytes(launch.block, rank);
     }
-    const gpusim::KernelProfile prof = mttkrp_profile(feat, rank, kopt);
+    const gpusim::KernelProfile prof =
+        mttkrp_profile(feat, rank, opt.use_shared_mem);
     // Hand the fused segment features to the host engine so strategy
     // selection is O(1) instead of re-probing the index array.
-    HostExecOptions kexec = host_exec;
+    HostExecParams kexec = host_exec;
     kexec.features = &feat;
     // SimDevice runs functional bodies eagerly inside launch_kernel, so
     // capturing the loop-locals by reference is safe.
@@ -240,6 +238,14 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
     met->set("pipeline/selection_seconds", res.selection_seconds);
   }
   return res;
+}
+
+PipelineResult run_pipeline(gpusim::SimDevice& dev, const CooTensor& t,
+                            const FactorList& factors, order_t mode,
+                            const ExecConfig& cfg,
+                            const LaunchSelector* selector) {
+  PipelineExecutor exec(dev, selector);
+  return exec.run(t, factors, mode, cfg);
 }
 
 }  // namespace scalfrag

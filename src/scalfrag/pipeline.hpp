@@ -6,52 +6,53 @@
 // slices run on the host CPU concurrently (hybrid mode), and the launch
 // configuration of every segment's kernel comes from the adaptive
 // selector.
+//
+// Configuration is one ExecConfig (exec_config.hpp) shared with every
+// other driver. PipelineOptions survives below only as a deprecated
+// conversion shim.
 
 #include <optional>
 
 #include "gpusim/engine.hpp"
 #include "obs/metrics.hpp"
 #include "scalfrag/autotune.hpp"
+#include "scalfrag/exec_config.hpp"
 #include "scalfrag/hybrid.hpp"
 #include "scalfrag/kernel.hpp"
 #include "scalfrag/segmenter.hpp"
 
 namespace scalfrag {
 
-struct PipelineOptions {
-  /// 0 = auto: pick a segment count so each segment's copy is large
-  /// enough to amortize PCIe latency (the paper "empirically determines
-  /// the appropriate number of segments"); small tensors then run
-  /// unsegmented. Explicit values (e.g. the paper's Fig. 11 sweep) are
-  /// honored as-is.
+/// Legacy single-device pipeline options. Thin conversion shim: every
+/// field maps 1:1 onto ExecConfig (see docs/api.md). In-tree code must
+/// not use it — CI builds with -Werror=deprecated-declarations.
+struct [[deprecated("use scalfrag::ExecConfig (docs/api.md)")]]
+PipelineOptions {
   int num_segments = 0;
   int num_streams = 4;
   bool use_shared_mem = true;
   bool adaptive_launch = true;
-  /// Force a specific launch config (overrides adaptive/static choice).
   std::optional<gpusim::LaunchConfig> launch_override;
-  /// Precomputed per-segment launches (from MttkrpPlan); entry i is
-  /// used for *realized* segment i and takes precedence over everything
-  /// above. A schedule shorter than the realized plan is a prefix
-  /// override (the remaining segments fall back to the options below);
-  /// a schedule *longer* than the realized plan is rejected — forward
-  /// slice-snapping can realize fewer segments than requested, and
-  /// silently dropping tail entries would misalign every config with
-  /// the segment it was computed for. Size schedules from the realized
-  /// plan (make_segments / MttkrpPlan), not from num_segments.
   std::vector<gpusim::LaunchConfig> launch_schedule;
-  /// Slice-nnz threshold below which work routes to the CPU (0 = off).
   nnz_t hybrid_cpu_threshold = 0;
   gpusim::CpuSpec cpu = gpusim::CpuSpec::i7_11700k();
-  /// Host execution engine knob for every functional kernel body the
-  /// pipeline runs (segment kernels, hybrid CPU share). Strategy
-  /// Serial restores the single-threaded reference behavior.
-  HostExecOptions host_exec;
-  /// Optional observability sink: the executor records its phase spans
-  /// (wall clock), the realized plan's counters, and the device
-  /// timeline breakdown (simulated ns) there. Also handed to the host
-  /// engine for kernel bodies unless host_exec.metrics is already set.
+  HostExecParams host_exec;
   obs::MetricsRegistry* metrics = nullptr;
+
+  operator ExecConfig() const {
+    ExecConfig cfg;
+    cfg.num_segments = num_segments;
+    cfg.num_streams = num_streams;
+    cfg.use_shared_mem = use_shared_mem;
+    cfg.adaptive_launch = adaptive_launch;
+    cfg.launch_override = launch_override;
+    cfg.launch_schedule = launch_schedule;
+    cfg.hybrid_cpu_threshold = hybrid_cpu_threshold;
+    cfg.cpu_spec = cpu;
+    cfg.host_exec = host_exec;
+    cfg.metrics_sink = metrics;
+    return cfg;
+  }
 };
 
 struct PipelineResult {
@@ -66,14 +67,13 @@ struct PipelineResult {
   sim_ns cpu_task_ns = 0;
 };
 
-/// The auto-segmentation rule (PipelineOptions::num_segments == 0):
-/// pick the k ∈ [1, 8] minimizing the predicted pipelined makespan.
-/// Exposed so MttkrpPlan segments exactly the way the executor would.
-/// `whole` may pass the tensor's precomputed features; when null they
-/// are extracted here (an O(nnz) rescan hot callers should avoid).
+/// The auto-segmentation rule (ExecConfig::num_segments == 0): pick the
+/// k ∈ [1, 8] minimizing the predicted pipelined makespan. Exposed so
+/// MttkrpPlan segments exactly the way the executor would. `whole` may
+/// pass the tensor's precomputed features; when null they are extracted
+/// here (an O(nnz) rescan hot callers should avoid).
 int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
-                       order_t mode, index_t rank,
-                       const PipelineOptions& opt,
+                       order_t mode, index_t rank, const ExecConfig& cfg,
                        const TensorFeatures* whole = nullptr);
 
 class PipelineExecutor {
@@ -85,9 +85,10 @@ class PipelineExecutor {
       : dev_(&dev), selector_(selector) {}
 
   /// Run one end-to-end mode-`mode` MTTKRP. `t` must be mode-sorted.
-  /// The device timeline is reset at entry.
+  /// The device timeline is reset at entry. ExecConfig::num_devices
+  /// must be 1 here — use MultiPipelineExecutor for sharded runs.
   PipelineResult run(const CooTensor& t, const FactorList& factors,
-                     order_t mode, const PipelineOptions& opt = {});
+                     order_t mode, const ExecConfig& cfg = {});
 
  private:
   gpusim::StreamId stream(int i);
@@ -96,5 +97,14 @@ class PipelineExecutor {
   const LaunchSelector* selector_;
   std::vector<gpusim::StreamId> pool_;
 };
+
+/// Canonical free-function driver: one pipelined mode-`mode` MTTKRP on
+/// `dev` under `cfg` (trains nothing — pass a selector for adaptive
+/// launching). Exists so call sites that run once don't have to manage
+/// an executor object.
+PipelineResult run_pipeline(gpusim::SimDevice& dev, const CooTensor& t,
+                            const FactorList& factors, order_t mode,
+                            const ExecConfig& cfg = {},
+                            const LaunchSelector* selector = nullptr);
 
 }  // namespace scalfrag

@@ -9,11 +9,15 @@ namespace scalfrag {
 
 MttkrpPlan::MttkrpPlan(const CooTensor& x, index_t rank,
                        gpusim::SimDevice& dev, const LaunchSelector* selector,
-                       PipelineOptions options)
+                       ExecConfig config)
     : dev_(&dev), selector_(selector), rank_(rank),
-      options_(std::move(options)) {
+      options_(std::move(config)) {
   SF_CHECK(x.nnz() > 0, "cannot plan for an empty tensor");
   SF_CHECK(rank > 0, "rank must be positive");
+  options_.validate();
+  SF_CHECK(options_.num_devices == 1,
+           "MttkrpPlan replays a single-device pipeline; shard with "
+           "MultiPipelineExecutor for ExecConfig::devices > 1");
   WallTimer timer;
 
   modes_.resize(x.order());
@@ -62,7 +66,7 @@ PipelineResult MttkrpPlan::run(const FactorList& factors,
                                order_t mode) const {
   SF_CHECK(mode < order(), "mode out of range");
   const ModePlan& plan = modes_[mode];
-  PipelineOptions opt = options_;
+  ExecConfig opt = options_;
   opt.num_segments = static_cast<int>(plan.segments.size());
   opt.launch_schedule = plan.launch_schedule;
   PipelineExecutor exec(*dev_, selector_);

@@ -27,15 +27,21 @@ class MttkrpPlan {
   /// Precompute every mode's plan. `selector` may be null (static
   /// launches). The heavy work (N sorts + N selector sweeps) happens
   /// here, once.
+  ///
+  /// The config is copied BY VALUE — later mutation (or destruction)
+  /// of the caller's ExecConfig does not affect the plan. The one
+  /// referenced resource is ExecConfig::metrics_sink: the registry it
+  /// points at must outlive every run() replay of this plan (the plan
+  /// stores the raw pointer, not the registry).
   MttkrpPlan(const CooTensor& x, index_t rank, gpusim::SimDevice& dev,
-             const LaunchSelector* selector, PipelineOptions options = {});
+             const LaunchSelector* selector, ExecConfig config = {});
 
   order_t order() const noexcept {
     return static_cast<order_t>(modes_.size());
   }
   index_t rank() const noexcept { return rank_; }
   const ModePlan& mode(order_t m) const { return modes_.at(m); }
-  const PipelineOptions& options() const noexcept { return options_; }
+  const ExecConfig& config() const noexcept { return options_; }
 
   /// Execute one planned mode-`mode` MTTKRP (selection cost already
   /// sunk; result.selection_seconds stays 0).
@@ -48,7 +54,7 @@ class MttkrpPlan {
   gpusim::SimDevice* dev_;
   const LaunchSelector* selector_;
   index_t rank_;
-  PipelineOptions options_;
+  ExecConfig options_;
   std::vector<ModePlan> modes_;
   double prepare_seconds_ = 0.0;
 };

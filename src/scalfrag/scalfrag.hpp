@@ -13,17 +13,21 @@
 //   auto model = scalfrag::cpd_als(t, opt, &dev, &selector);
 
 #include "common/format.hpp"
+#include "gpusim/device_group.hpp"
 #include "gpusim/engine.hpp"
 #include "gpusim/sim_metrics.hpp"
 #include "gpusim/trace.hpp"
 #include "scalfrag/autotune.hpp"
 #include "scalfrag/cpd.hpp"
+#include "scalfrag/exec_config.hpp"
 #include "scalfrag/format_select.hpp"
 #include "scalfrag/hybrid.hpp"
 #include "scalfrag/kernel.hpp"
+#include "scalfrag/multi_pipeline.hpp"
 #include "scalfrag/pipeline.hpp"
 #include "scalfrag/plan.hpp"
 #include "scalfrag/segmenter.hpp"
+#include "scalfrag/shard.hpp"
 #include "scalfrag/tucker.hpp"
 #include "gpusim/energy.hpp"
 #include "tensor/arith.hpp"

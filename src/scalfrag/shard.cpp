@@ -1,0 +1,150 @@
+#include "scalfrag/shard.hpp"
+
+#include <algorithm>
+
+#include "parti/parti_kernel.hpp"
+#include "scalfrag/kernel.hpp"
+#include "scalfrag/pipeline.hpp"
+
+namespace scalfrag {
+
+nnz_t ShardPlan::max_shard_nnz() const noexcept {
+  nnz_t m = 0;
+  for (const auto& s : shards) m = std::max(m, s.nnz);
+  return m;
+}
+
+ShardPlan make_shard_plan(const gpusim::DeviceGroup& group,
+                          const CooTensor& t, order_t mode, index_t rank,
+                          const ExecConfig& cfg,
+                          const LaunchSelector* selector) {
+  SF_CHECK(t.is_sorted_by_mode(mode), "shard planner needs sorted input");
+  SF_CHECK(cfg.launch_schedule.empty(),
+           "launch_schedule is single-device only; multi-device launches "
+           "are predicted per shard from the realized plan");
+  const int n_dev = group.size();
+
+  ShardPlan sp;
+  sp.mode = mode;
+  sp.shards.resize(static_cast<std::size_t>(n_dev));
+  for (int d = 0; d < n_dev; ++d) sp.shards[d].device = d;
+  if (t.nnz() == 0) return sp;
+
+  // --- global segmentation ---------------------------------------------
+  // Auto rule: each device should run a pipeline as deep as the
+  // single-device rule would pick, so the global count scales with the
+  // group size. Always ask for at least one segment per device; slice
+  // snapping may still realize fewer (then trailing shards stay empty).
+  int want = cfg.num_segments;
+  if (want == 0) {
+    const TensorFeatures whole = TensorFeatures::extract(t, mode);
+    want = auto_segment_count(group.device(0), t, mode, rank, cfg, &whole) *
+           n_dev;
+  }
+  want = std::max(want, n_dev);
+  sp.plan = make_segments(t, mode, want, /*align_to_slices=*/true,
+                          /*with_features=*/true);
+  const auto n_seg = static_cast<int>(sp.plan.size());
+
+  // --- contiguous nnz-balanced partition -------------------------------
+  // Greedy prefix cuts against the ideal cumulative boundary. Contiguity
+  // keeps each shard a single [begin, end) view of the sorted parent
+  // (one H2D range per device) and keeps slice ownership mostly within
+  // one device, so the reduction carries little true sharing.
+  const nnz_t total = t.nnz();
+  int seg = 0;
+  nnz_t done = 0;
+  for (int d = 0; d < n_dev; ++d) {
+    DeviceShard& sh = sp.shards[static_cast<std::size_t>(d)];
+    sh.seg_begin = seg;
+    // Segments remaining must at least cover devices remaining.
+    const int max_take = n_seg - seg - (n_dev - 1 - d);
+    const nnz_t ideal =
+        total / n_dev * (d + 1) + total % n_dev * (d + 1) / n_dev;
+    nnz_t acc = done;
+    int take = 0;
+    while (take < max_take) {
+      const nnz_t next = acc + sp.plan.segments[seg + take].nnz();
+      // Stop before the segment that overshoots the boundary harder
+      // than staying short undershoots it (classic nearest-cut rule),
+      // but always take at least one segment while any remain. The
+      // acc >= ideal guard keeps the unsigned arithmetic safe when an
+      // earlier oversized segment already pushed past this boundary.
+      if (take > 0) {
+        if (acc >= ideal) break;
+        if (next > ideal && next - ideal > ideal - acc) break;
+      }
+      acc = next;
+      ++take;
+    }
+    seg += take;
+    sh.seg_end = seg;
+    sh.nnz = acc - done;
+    done = acc;
+    if (!sh.empty()) {
+      sh.begin = sp.plan.segments[sh.seg_begin].begin;
+      sh.end = sp.plan.segments[sh.seg_end - 1].end;
+    }
+  }
+  // Trailing segments (nearest-cut can leave a remainder) go to the
+  // last device so every segment is owned exactly once.
+  if (seg < n_seg) {
+    DeviceShard& last = sp.shards.back();
+    if (last.empty()) last.seg_begin = seg;
+    last.seg_end = n_seg;
+    last.begin = sp.plan.segments[last.seg_begin].begin;
+    last.end = sp.plan.segments[last.seg_end - 1].end;
+    last.nnz = last.end - last.begin;
+  }
+
+  // --- per-shard launch prediction -------------------------------------
+  // Same precedence as the single-device executor: explicit override,
+  // then the DecisionTree selector over fused segment features, then
+  // the ParTI-style static heuristic. Sharding realizes much smaller
+  // segments than the selector's training corpus, where tree
+  // extrapolation can misfire badly — so the selector's pick is
+  // sanity-checked against the device cost model and dropped for the
+  // static launch when the model says it is slower.
+  for (auto& sh : sp.shards) {
+    sh.launches.reserve(static_cast<std::size_t>(sh.num_segments()));
+    const auto& dev = group.device(sh.device);
+    for (int i = sh.seg_begin; i < sh.seg_end; ++i) {
+      const Segment& s = sp.plan.segments[static_cast<std::size_t>(i)];
+      const TensorFeatures& feat = sp.plan.features[static_cast<std::size_t>(i)];
+      if (s.nnz() == 0) {
+        sh.launches.push_back({});
+        continue;
+      }
+      gpusim::LaunchConfig launch;
+      if (cfg.launch_override) {
+        launch = *cfg.launch_override;
+        if (cfg.use_shared_mem) {
+          launch.shmem_per_block = kernel_shmem_bytes(launch.block, rank);
+        }
+      } else {
+        launch = parti::default_launch(dev.spec(), s.nnz());
+        if (cfg.use_shared_mem) {
+          launch.shmem_per_block = kernel_shmem_bytes(launch.block, rank);
+        }
+        if (cfg.adaptive_launch && selector != nullptr) {
+          const Selection sel = selector->select(feat);
+          sh.selection_seconds += sel.inference_seconds;
+          gpusim::LaunchConfig cand = sel.config;
+          if (cfg.use_shared_mem) {
+            cand.shmem_per_block = kernel_shmem_bytes(cand.block, rank);
+          }
+          const gpusim::KernelProfile prof =
+              mttkrp_profile(feat, rank, cfg.use_shared_mem);
+          const auto& cm = dev.cost_model();
+          if (cm.kernel_ns(cand, prof) < cm.kernel_ns(launch, prof)) {
+            launch = cand;
+          }
+        }
+      }
+      sh.launches.push_back(launch);
+    }
+  }
+  return sp;
+}
+
+}  // namespace scalfrag

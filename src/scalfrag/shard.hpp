@@ -1,0 +1,65 @@
+#pragma once
+// Multi-device sharding planner (AMPED-style scale-out of the paper's
+// pipeline): the realized single-tensor segment plan is partitioned
+// into one contiguous run of segments per device, balanced by nnz.
+// Each device then runs its shard as an independent pipelined timeline
+// and the partial outputs are reduced across the peer link
+// (gpusim::DeviceGroup models the reduction cost).
+//
+// Sharding at *segment* granularity (not raw nnz ranges) keeps every
+// per-segment invariant the single-device executor relies on: cuts
+// prefer slice boundaries, fused per-segment features are reused for
+// launch prediction, and the per-shard pipelines replay the exact
+// segments the planner saw.
+
+#include <vector>
+
+#include "gpusim/device_group.hpp"
+#include "scalfrag/autotune.hpp"
+#include "scalfrag/exec_config.hpp"
+#include "scalfrag/segmenter.hpp"
+
+namespace scalfrag {
+
+/// One device's contiguous share of the global segment plan.
+struct DeviceShard {
+  int device = 0;
+  int seg_begin = 0;  // segment-index range [seg_begin, seg_end) in the
+  int seg_end = 0;    // global ShardPlan::plan
+  nnz_t begin = 0;    // entry range [begin, end) in the sorted parent
+  nnz_t end = 0;
+  nnz_t nnz = 0;
+
+  /// Launch config per owned segment (launches[i] drives segment
+  /// seg_begin + i), predicted with the DecisionTree selector over the
+  /// fused per-segment features when adaptive launching is on.
+  std::vector<gpusim::LaunchConfig> launches;
+  double selection_seconds = 0.0;  // host time spent in the selector
+
+  int num_segments() const noexcept { return seg_end - seg_begin; }
+  bool empty() const noexcept { return seg_begin == seg_end; }
+};
+
+struct ShardPlan {
+  order_t mode = 0;
+  SegmentPlan plan;                 // global realized segmentation
+  std::vector<DeviceShard> shards;  // one per device, in device order
+
+  /// Max over shards of nnz (inter-device balance quality).
+  nnz_t max_shard_nnz() const noexcept;
+};
+
+/// Partition a mode-sorted tensor across `group`'s devices. Segment
+/// count: ExecConfig::num_segments when set, otherwise the
+/// single-device auto rule scaled by the device count (each device
+/// runs an auto-depth pipeline). Devices beyond the realized segment
+/// count receive empty shards. `selector` may be null — launch
+/// prediction then falls back to the static heuristic, exactly like
+/// the single-device executor. cfg.launch_schedule must be empty: a
+/// flat schedule cannot be mapped onto per-device plans.
+ShardPlan make_shard_plan(const gpusim::DeviceGroup& group,
+                          const CooTensor& t, order_t mode, index_t rank,
+                          const ExecConfig& cfg,
+                          const LaunchSelector* selector = nullptr);
+
+}  // namespace scalfrag

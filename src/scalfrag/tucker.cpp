@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/linalg.hpp"
 
 namespace scalfrag {
@@ -32,8 +35,23 @@ void kron_row(const CooTensor& x, const FactorList& factors, order_t mode,
 
 }  // namespace
 
+namespace {
+
+void ttm_chain_range(const CooTensor& x, const FactorList& factors,
+                     order_t mode, nnz_t begin, nnz_t end, DenseMatrix& w,
+                     std::vector<value_t>& krow) {
+  for (nnz_t e = begin; e < end; ++e) {
+    kron_row(x, factors, mode, e, krow);
+    const value_t val = x.value(e);
+    value_t* wrow = w.row(x.index(mode, e));
+    for (std::size_t c = 0; c < krow.size(); ++c) wrow[c] += val * krow[c];
+  }
+}
+
+}  // namespace
+
 DenseMatrix ttm_chain_all_but(const CooTensor& x, const FactorList& factors,
-                              order_t mode) {
+                              order_t mode, const HostExecParams& opt) {
   SF_CHECK(mode < x.order(), "mode out of range");
   SF_CHECK(factors.size() == x.order(), "one factor per mode");
   std::size_t s = 1;
@@ -44,12 +62,39 @@ DenseMatrix ttm_chain_all_but(const CooTensor& x, const FactorList& factors,
   SF_CHECK(s > 0 && s <= (1u << 20), "projected width out of range");
 
   DenseMatrix w(x.dim(mode), static_cast<index_t>(s));
-  std::vector<value_t> krow(s);
-  for (nnz_t e = 0; e < x.nnz(); ++e) {
-    kron_row(x, factors, mode, e, krow);
-    const value_t val = x.value(e);
-    value_t* wrow = w.row(x.index(mode, e));
-    for (std::size_t c = 0; c < s; ++c) wrow[c] += val * krow[c];
+
+  // Fixed chunk grid, reduced in chunk order: parallel results are
+  // deterministic for a given grain (chunk boundaries depend only on
+  // nnz and grain, never on scheduling). Chunk partials cost
+  // dim(mode)×s each, so the grid is kept small.
+  const nnz_t grain = std::max<nnz_t>(opt.grain_nnz, 1);
+  const nnz_t by_grain = (x.nnz() + grain - 1) / grain;
+  const std::size_t n_chunks =
+      static_cast<std::size_t>(std::min<nnz_t>(by_grain, 8));
+  const bool serial = opt.strategy == HostStrategy::Serial ||
+                      n_chunks <= 1 || ThreadPool::on_worker_thread();
+  if (serial) {
+    std::vector<value_t> krow(s);
+    ttm_chain_range(x, factors, mode, 0, x.nnz(), w, krow);
+    return w;
+  }
+
+  std::vector<DenseMatrix> partials(n_chunks);
+  const nnz_t per = (x.nnz() + n_chunks - 1) / n_chunks;
+  ThreadPool::global().parallel_for(
+      0, n_chunks, [&](std::size_t lo, std::size_t hi) {
+        std::vector<value_t> krow(s);
+        for (std::size_t c = lo; c < hi; ++c) {
+          partials[c] = DenseMatrix(x.dim(mode), static_cast<index_t>(s));
+          const nnz_t b = static_cast<nnz_t>(c) * per;
+          const nnz_t e = std::min<nnz_t>(b + per, x.nnz());
+          ttm_chain_range(x, factors, mode, b, e, partials[c], krow);
+        }
+      });
+  for (const auto& p : partials) {
+    value_t* out = w.data();
+    const value_t* in = p.data();
+    for (std::size_t i = 0; i < p.size(); ++i) out[i] += in[i];
   }
   return w;
 }
@@ -59,6 +104,9 @@ TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt) {
   SF_CHECK(opt.core_dims.size() == x.order(),
            "need one core dimension per mode");
   SF_CHECK(opt.max_iters > 0, "max_iters must be positive");
+  opt.exec.validate();
+  obs::MetricsRegistry* const met = opt.exec.metrics_sink;
+  const HostExecParams host = opt.exec.host_for_run();
   const order_t order = x.order();
   for (order_t n = 0; n < order; ++n) {
     SF_CHECK(opt.core_dims[n] > 0 && opt.core_dims[n] <= x.dim(n),
@@ -88,8 +136,15 @@ TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt) {
 
   double prev_fit = -1.0;
   for (int it = 0; it < opt.max_iters; ++it) {
+    std::optional<obs::MetricsRegistry::ScopedSpan> it_span;
+    if (met != nullptr) it_span.emplace(*met, "tucker/iteration");
     for (order_t n = 0; n < order; ++n) {
-      const DenseMatrix w = ttm_chain_all_but(x, res.factors, n);
+      DenseMatrix w;
+      {
+        std::optional<obs::MetricsRegistry::ScopedSpan> span;
+        if (met != nullptr) span.emplace(*met, "tucker/projection");
+        w = ttm_chain_all_but(x, res.factors, n, host);
+      }
       // Top-rₙ left singular vectors of W via the small Gram matrix:
       // WᵀW = V Σ² Vᵀ  →  U = W V Σ⁻¹ (columns sorted by σ desc).
       const DenseMatrix g = linalg::gram(w);
@@ -125,7 +180,7 @@ TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt) {
 
     // Core + fit. G = X ×_1 U¹ᵀ ⋯: reuse the projection of mode 0 and
     // contract the remaining mode-0 factor.
-    const DenseMatrix w0 = ttm_chain_all_but(x, res.factors, 0);
+    const DenseMatrix w0 = ttm_chain_all_but(x, res.factors, 0, host);
     const DenseMatrix core_mat = linalg::matmul_tn(res.factors[0], w0);
     double norm_g_sq = 0.0;
     for (std::size_t i = 0; i < core_mat.size(); ++i) {
@@ -143,7 +198,7 @@ TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt) {
   // Materialize the core tensor from the final factors. core_mat is
   // r₀ × Π_{m>0} r_m with the same mixed-radix layout (highest mode
   // fastest) DenseTensor uses — a direct copy.
-  const DenseMatrix w0 = ttm_chain_all_but(x, res.factors, 0);
+  const DenseMatrix w0 = ttm_chain_all_but(x, res.factors, 0, host);
   const DenseMatrix core_mat = linalg::matmul_tn(res.factors[0], w0);
   res.core = DenseTensor(opt.core_dims);
   SF_ASSERT(res.core.size() == core_mat.size(), "core layout mismatch");
@@ -151,6 +206,12 @@ TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt) {
             res.core.data());
 
   res.final_fit = res.fit_history.empty() ? 0.0 : res.fit_history.back();
+  if (met != nullptr) {
+    met->count("tucker/runs");
+    met->count("tucker/iterations",
+               static_cast<std::uint64_t>(res.iterations));
+    met->set("tucker/final_fit", res.final_fit);
+  }
   return res;
 }
 

@@ -12,6 +12,7 @@
 // singular vectors. Because the factors are orthonormal, the fit is
 // computable from ‖G‖ alone: ‖X−X̂‖² = ‖X‖² − ‖G‖².
 
+#include "scalfrag/exec_config.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mttkrp_ref.hpp"
@@ -25,6 +26,11 @@ struct TuckerOptions {
   int max_iters = 15;
   double tol = 1e-5;
   std::uint64_t seed = 7;
+  /// Execution config: the projection kernel runs on the host engine
+  /// (exec.threads/grain/strategy; strategy Serial reproduces the
+  /// single-threaded chain bit-exactly) and the driver reports
+  /// iteration spans and fit gauges through exec.metrics(&reg).
+  ExecConfig exec;
 };
 
 struct TuckerResult {
@@ -45,8 +51,11 @@ double tucker_predict(const TuckerResult& model,
 /// The fused projection kernel: Wₙ = X₍ₙ₎ (⊗_{m≠n} U⁽ᵐ⁾), i.e.
 /// Wₙ(i_n, col(r…)) = Σ_{x∈nnz sliced at i_n} val · Π_{m≠n} U⁽ᵐ⁾(i_m, r_m),
 /// with col() the mixed-radix index over (r_m)_{m≠n} in increasing mode
-/// order. Exposed for testing and for building other TTM chains.
+/// order. Exposed for testing and for building other TTM chains. Runs
+/// on the host engine: non-Serial strategies split the non-zero stream
+/// into a fixed chunk grid reduced in chunk order, so the result is
+/// deterministic for a given grain (but reassociated vs Serial).
 DenseMatrix ttm_chain_all_but(const CooTensor& x, const FactorList& factors,
-                              order_t mode);
+                              order_t mode, const HostExecParams& opt = {});
 
 }  // namespace scalfrag

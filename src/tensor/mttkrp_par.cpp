@@ -135,7 +135,7 @@ std::vector<nnz_t> slice_chunks(const index_t* midx, nnz_t n,
   return cuts;
 }
 
-std::size_t effective_threads(const HostExecOptions& opt) {
+std::size_t effective_threads(const HostExecParams& opt) {
   const std::size_t pool = ThreadPool::global().size();
   return std::max<std::size_t>(1, opt.threads == 0 ? pool : opt.threads);
 }
@@ -143,7 +143,7 @@ std::size_t effective_threads(const HostExecOptions& opt) {
 }  // namespace
 
 HostStrategy choose_host_strategy(const CooSpan& t, order_t mode,
-                                  const HostExecOptions& opt) {
+                                  const HostExecParams& opt) {
   if (opt.strategy != HostStrategy::Auto) return opt.strategy;
   const nnz_t n = t.nnz();
   const std::size_t threads = effective_threads(opt);
@@ -173,7 +173,7 @@ HostStrategy choose_host_strategy(const CooSpan& t, order_t mode,
 
 void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
                     DenseMatrix& out, bool accumulate,
-                    const HostExecOptions& opt) {
+                    const HostExecParams& opt) {
   const index_t rank = check_factors(t, factors);
   SF_CHECK(mode < t.order(), "mode out of range");
   SF_CHECK(out.rows() == t.dim(mode) && out.cols() == rank,
@@ -262,7 +262,7 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
 }
 
 DenseMatrix mttkrp_coo_par(const CooSpan& t, const FactorList& factors,
-                           order_t mode, const HostExecOptions& opt) {
+                           order_t mode, const HostExecParams& opt) {
   DenseMatrix out(t.dim(mode), factors.at(0).cols());
   mttkrp_coo_par(t, factors, mode, out, /*accumulate=*/false, opt);
   return out;
@@ -270,7 +270,7 @@ DenseMatrix mttkrp_coo_par(const CooSpan& t, const FactorList& factors,
 
 void mttkrp_csf_par(const CsfTensor& t, const FactorList& factors,
                     DenseMatrix& out, bool accumulate,
-                    const HostExecOptions& opt) {
+                    const HostExecParams& opt) {
   SF_CHECK(factors.size() == t.order(), "one factor per mode");
   const index_t rank = factors[0].cols();
   const order_t root_mode = t.mode_order()[0];

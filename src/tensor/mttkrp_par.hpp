@@ -41,7 +41,13 @@ const char* host_strategy_name(HostStrategy s);
 
 /// Knobs of the host engine. The defaults give the parallel fast path
 /// on large inputs and the serial kernel on small ones.
-struct HostExecOptions {
+///
+/// This is the low-level engine parameter block. Application code
+/// should build a `scalfrag::ExecConfig` (src/scalfrag/exec_config.hpp)
+/// and let the drivers derive the HostExecParams from it; the engine
+/// entry points below stay on this struct because the tensor layer
+/// cannot see the scalfrag layer.
+struct HostExecParams {
   /// Worker-count cap; 0 = every worker of ThreadPool::global().
   std::size_t threads = 0;
   /// Ranges smaller than this run serially on the caller (dispatch
@@ -61,6 +67,12 @@ struct HostExecOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// Legacy name, kept as a thin shim for out-of-tree callers. In-tree
+/// code must not use it (CI builds with -Werror=deprecated-declarations).
+using HostExecOptions
+    [[deprecated("use scalfrag::ExecConfig (docs/api.md); the low-level "
+                 "engine block is HostExecParams")]] = HostExecParams;
+
 /// check_factors against a span's shape (same contract as the
 /// CooTensor overload in mttkrp_ref.hpp). Returns the common rank F.
 index_t check_factors(const CooSpan& t, const FactorList& factors);
@@ -68,7 +80,7 @@ index_t check_factors(const CooSpan& t, const FactorList& factors);
 /// The strategy Auto would pick for this input (exposed for tests and
 /// the docs' selection table).
 HostStrategy choose_host_strategy(const CooSpan& t, order_t mode,
-                                  const HostExecOptions& opt = {});
+                                  const HostExecParams& opt = {});
 
 /// Parallel mode-`mode` MTTKRP of the viewed range into `out` (shape
 /// dims[mode] × F; zeroed first unless `accumulate`). Agrees with
@@ -76,16 +88,16 @@ HostStrategy choose_host_strategy(const CooSpan& t, order_t mode,
 /// the per-row sums, exactly like a GPU kernel would.
 void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
                     DenseMatrix& out, bool accumulate = false,
-                    const HostExecOptions& opt = {});
+                    const HostExecParams& opt = {});
 
 /// Convenience wrapper allocating the output.
 DenseMatrix mttkrp_coo_par(const CooSpan& t, const FactorList& factors,
-                           order_t mode, const HostExecOptions& opt = {});
+                           order_t mode, const HostExecParams& opt = {});
 
 /// CSF MTTKRP for the root mode, parallel over root slices (each root
 /// node owns one output row, so chunks of slices are race-free).
 void mttkrp_csf_par(const CsfTensor& t, const FactorList& factors,
                     DenseMatrix& out, bool accumulate = false,
-                    const HostExecOptions& opt = {});
+                    const HostExecParams& opt = {});
 
 }  // namespace scalfrag

@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "parti/parti_executor.hpp"
+#include "scalfrag/multi_pipeline.hpp"
 #include "scalfrag/pipeline.hpp"
 #include "tensor/bcsf.hpp"
 #include "tensor/fcoo.hpp"
@@ -16,7 +17,7 @@ namespace {
 DenseMatrix run_host_engine(const CooTensor& t, const FactorList& f,
                             order_t mode, HostStrategy strategy,
                             std::size_t threads) {
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.strategy = strategy;
   opt.threads = threads;
   opt.grain_nnz = 1;  // fuzz tensors are small; force the parallel paths
@@ -29,14 +30,13 @@ DenseMatrix run_pipeline(const CooTensor& t, const FactorList& f, order_t mode,
                          bool use_shared_mem = true,
                          bool schedule_from_plan = false) {
   gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
-  PipelineExecutor exec(dev);
-  PipelineOptions opt;
-  opt.num_segments = segments;
-  opt.num_streams = streams;
-  opt.use_shared_mem = use_shared_mem;
-  opt.hybrid_cpu_threshold = hybrid_threshold;
-  opt.host_exec.strategy = strategy;
-  opt.host_exec.grain_nnz = 64;
+  ExecConfig opt = ExecConfig{}
+                       .segments(segments)
+                       .streams(streams)
+                       .shared_mem(use_shared_mem)
+                       .hybrid_threshold(hybrid_threshold)
+                       .strategy(strategy)
+                       .grain(64);
   if (schedule_from_plan) {
     // Size the explicit schedule the way real callers must: from the
     // realized plan of the GPU share (slice snapping can realize fewer
@@ -58,7 +58,20 @@ DenseMatrix run_pipeline(const CooTensor& t, const FactorList& f, order_t mode,
                                i % 2 == 0 ? 128u : 64u, 0});
     }
   }
-  return exec.run(t, f, mode, opt).output;
+  return scalfrag::run_pipeline(dev, t, f, mode, opt).output;
+}
+
+DenseMatrix run_multidev(const CooTensor& t, const FactorList& f, order_t mode,
+                         int devices, int segments,
+                         std::optional<gpusim::ReduceSchedule> sched = {}) {
+  gpusim::DeviceGroup group(gpusim::DeviceSpec::rtx3090(), devices);
+  ExecConfig cfg = ExecConfig{}
+                       .devices(devices)
+                       .segments(segments)
+                       .streams(2)
+                       .grain(64);
+  if (sched) cfg.reduction(*sched);
+  return run_multi_pipeline(group, t, f, mode, cfg).output;
 }
 
 /// Threshold one above the mean slice size — a skewed tensor then
@@ -114,7 +127,7 @@ const std::vector<ExecPath>& build_table() {
         [](const CooTensor& t, const FactorList& f, order_t mode) {
           const CsfTensor csf = CsfTensor::build(t, mode);
           DenseMatrix out(t.dim(mode), f[0].cols());
-          HostExecOptions opt;
+          HostExecParams opt;
           opt.threads = 4;
           opt.grain_nnz = 1;
           mttkrp_csf_par(csf, f, out, /*accumulate=*/false, opt);
@@ -214,6 +227,25 @@ const std::vector<ExecPath>& build_table() {
     add("hybrid/all_cpu",
         [](const CooTensor& t, const FactorList& f, order_t mode) {
           return run_pipeline(t, f, mode, 1, 2, t.nnz() + 1);
+        });
+
+    // Multi-device sharded pipelines: the realized segment plan is
+    // partitioned across N simulated devices and the per-device
+    // partials reduced — both collective schedules, plus the
+    // auto-segmented shape.
+    add("multidev/d2/auto",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_multidev(t, f, mode, 2, 0);
+        });
+    add("multidev/d3/tree",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_multidev(t, f, mode, 3, 5,
+                              gpusim::ReduceSchedule::Tree);
+        });
+    add("multidev/d4/ring",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_multidev(t, f, mode, 4, 8,
+                              gpusim::ReduceSchedule::Ring);
         });
 
     return paths;

@@ -26,7 +26,7 @@ FactorList random_factors(const CooTensor& t, index_t rank,
 
 TEST(AutoSegments, RuleReturnsSaneCounts) {
   gpusim::SimDevice dev(kSpec);
-  const PipelineOptions opt;
+  const ExecConfig opt;
   // Tiny tensor → 1 segment; big tensor → several.
   CooTensor tiny = make_frostt_tensor("nips", 1.0 / 4096, 701);
   CooTensor big = make_frostt_tensor("deli-3d", 1.0 / 256, 702);
@@ -53,10 +53,10 @@ TEST_P(AutoSegmentsScale, NeverLosesToExtremes) {
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
 
-  PipelineOptions auto_opt;  // num_segments = 0 (auto)
-  PipelineOptions one;
+  ExecConfig auto_opt;  // num_segments = 0 (auto)
+  ExecConfig one;
   one.num_segments = 1;
-  PipelineOptions many;
+  ExecConfig many;
   many.num_segments = 16;
 
   const sim_ns t_auto = exec.run(t, f, 0, auto_opt).total_ns;

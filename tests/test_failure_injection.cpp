@@ -37,7 +37,7 @@ TEST(FailureInjection, PipelineOomWhenEvenOneSegmentCannotFit) {
   CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 401);
   const auto f = random_factors(t, 8, 402);
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = 64;
   EXPECT_THROW(exec.run(t, f, 0, opt), DeviceOutOfMemory);
   // All partial allocations must have been released (RAII).

@@ -124,7 +124,11 @@ TEST(Hybrid, CpuExecMatchesReferenceOnLargePart) {
   const auto f = random_factors(t, 8, 57);
   const auto expect = mttkrp_coo_ref(t, f, 0);
   DenseMatrix got(t.dim(0), 8);
-  cpu_mttkrp_exec(t, f, 0, got);
+  // Whole-span run through the canonical ranged entry point: one range
+  // covering every entry.
+  t.sort_by_mode(0);
+  const std::pair<nnz_t, nnz_t> whole[] = {{0, t.nnz()}};
+  cpu_mttkrp_exec(CooSpan(t), whole, f, 0, got);
   EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 2e-3);
 }
 

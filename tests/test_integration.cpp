@@ -61,7 +61,7 @@ TEST(Integration, KernelSpeedupOnEveryProfile) {
   const LaunchSelector sel = trained_selector();
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev, &sel);
-  PipelineOptions one_shot;  // single segment isolates kernel behaviour
+  ExecConfig one_shot;  // single segment isolates kernel behaviour
   one_shot.num_segments = 1;
   one_shot.num_streams = 1;
 
@@ -108,7 +108,7 @@ TEST(Integration, SegmentationUnlocksTensorsBiggerThanDevice) {
 
   const int segs = segments_for_budget(t, 0, 4, tiny.global_mem_bytes / 8);
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = segs;
   opt.num_streams = 2;
   const auto res = exec.run(t, f, 0, opt);
@@ -125,7 +125,7 @@ TEST(Integration, CpdWithFullScalFragStackConverges) {
   opt.rank = 8;
   opt.max_iters = 5;
   opt.backend = CpdBackend::ScalFrag;
-  opt.pipeline.hybrid_cpu_threshold = 4;
+  opt.exec.hybrid_cpu_threshold = 4;
   const CpdResult res = cpd_als(t, opt, &dev, &sel);
   EXPECT_GT(res.final_fit, 0.0);
   EXPECT_GT(res.mttkrp_sim_ns, 0u);

@@ -56,7 +56,7 @@ TEST_P(MttkrpParSweep, MatchesReference) {
   for (HostStrategy s :
        {HostStrategy::Auto, HostStrategy::Serial, HostStrategy::SliceOwner,
         HostStrategy::PrivateReduce}) {
-    HostExecOptions opt;
+    HostExecParams opt;
     opt.threads = static_cast<std::size_t>(threads);
     opt.strategy = s;
     opt.grain_nnz = 128;  // well below nnz so parallel paths engage
@@ -81,7 +81,7 @@ TEST(MttkrpPar, SerialMatchesReferenceTightly) {
   t.sort_by_mode(1);
   const auto f = random_factors(t, 16, 22);
   const auto expect = mttkrp_coo_ref(t, f, 1);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.strategy = HostStrategy::Serial;
   const auto got = mttkrp_coo_par(t, f, 1, opt);
   // Same summation order as the reference; the fused inner loops may
@@ -93,7 +93,7 @@ TEST(MttkrpPar, SerialMatchesReferenceTightly) {
 TEST(MttkrpPar, AutoPicksSerialBelowGrain) {
   CooTensor t = skewed_tensor(3, 100, 23);
   t.sort_by_mode(0);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.grain_nnz = 8192;
   EXPECT_EQ(choose_host_strategy(t, 0, opt), HostStrategy::Serial);
 }
@@ -102,7 +102,7 @@ TEST(MttkrpPar, AutoPicksPrivateReduceWhenUnsorted) {
   CooTensor t({16, 16});
   t.push({15, 0}, 1.0f);
   for (index_t i = 0; i < 15; ++i) t.push({i, 1}, 1.0f);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.grain_nnz = 4;
   opt.threads = 4;
   EXPECT_FALSE(CooSpan(t).slices_contiguous(0));
@@ -115,14 +115,14 @@ TEST(MttkrpPar, AutoPicksPrivateReduceOnGiantSliceSkew) {
   for (index_t j = 0; j < 10000; ++j) t.push({3, j}, 1.0f);
   t.push({4, 0}, 1.0f);
   t.sort_by_mode(0);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.grain_nnz = 64;
   opt.threads = 4;
   EXPECT_EQ(choose_host_strategy(t, 0, opt), HostStrategy::PrivateReduce);
 
   // The features fast path must agree without probing the index array.
   const auto feat = TensorFeatures::extract(t, 0);
-  HostExecOptions with_feat = opt;
+  HostExecParams with_feat = opt;
   with_feat.features = &feat;
   EXPECT_EQ(choose_host_strategy(t, 0, with_feat),
             HostStrategy::PrivateReduce);
@@ -138,7 +138,7 @@ TEST(MttkrpPar, AutoPicksPrivateReduceOnGiantSliceSkew) {
 TEST(MttkrpPar, AutoPicksSliceOwnerOnBalancedSorted) {
   CooTensor t = skewed_tensor(3, 20000, 25);
   t.sort_by_mode(0);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.grain_nnz = 64;
   opt.threads = 2;
   // Balanced synthetic tensors have no dominating slice.
@@ -151,7 +151,7 @@ TEST(MttkrpPar, SliceOwnerRejectsUnsortedInput) {
   for (index_t i = 0; i < 15; ++i) t.push({14 - i, 1}, 2.0f);
   const auto f = random_factors(t, 4, 26);
   DenseMatrix out(16, 4);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.strategy = HostStrategy::SliceOwner;
   opt.threads = 2;
   opt.grain_nnz = 1;
@@ -164,7 +164,7 @@ TEST(MttkrpPar, PrivateReduceHandlesArbitraryEntryOrder) {
   t.sort_by_mode(2);  // grouped by the wrong mode for a mode-0 MTTKRP
   const auto f = random_factors(t, 8, 28);
   const auto expect = mttkrp_coo_ref(t, f, 0);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.grain_nnz = 128;
   opt.threads = 4;
   const auto got = mttkrp_coo_par(t, f, 0, opt);
@@ -178,7 +178,7 @@ TEST(MttkrpPar, DuplicateCoordinatesAccumulate) {
   const auto expect = mttkrp_coo_ref(t, f, 0);
   for (HostStrategy s : {HostStrategy::SliceOwner,
                          HostStrategy::PrivateReduce}) {
-    HostExecOptions opt;
+    HostExecParams opt;
     opt.strategy = s;
     opt.threads = 4;
     opt.grain_nnz = 1;
@@ -220,7 +220,7 @@ TEST(MttkrpPar, AccumulateAddsOntoExisting) {
   const auto f = random_factors(t, 8, 33);
   DenseMatrix expect(t.dim(0), 8, 1.0f);
   mttkrp_coo_ref(t, f, 0, expect, /*accumulate=*/true);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.grain_nnz = 64;
   opt.threads = 4;
   DenseMatrix got(t.dim(0), 8, 1.0f);
@@ -262,7 +262,7 @@ TEST(CooSpanTest, SpanResultsEqualExtractResults) {
     EXPECT_EQ(view.offset(), lo);
     EXPECT_EQ(view.bytes(), copy.bytes());
 
-    HostExecOptions serial;
+    HostExecParams serial;
     serial.strategy = HostStrategy::Serial;
     DenseMatrix from_span(t.dim(0), 8);
     mttkrp_coo_par(view, f, 0, from_span, false, serial);
@@ -308,7 +308,7 @@ TEST(MttkrpCsfPar, MatchesSerialCsfAcrossThreads) {
     mttkrp_csf(csf, f, expect);
     for (std::size_t threads : {std::size_t{1}, std::size_t{2},
                                 std::size_t{0}}) {
-      HostExecOptions opt;
+      HostExecParams opt;
       opt.threads = threads;
       opt.grain_nnz = 64;
       DenseMatrix got(coo.dim(0), 8);
@@ -326,7 +326,7 @@ TEST(MttkrpCsfPar, AccumulateAndEmpty) {
   DenseMatrix expect(coo.dim(0), 4, 2.0f);
   mttkrp_csf(csf, f, expect, /*accumulate=*/true);
   DenseMatrix got(coo.dim(0), 4, 2.0f);
-  HostExecOptions opt;
+  HostExecParams opt;
   opt.grain_nnz = 64;
   mttkrp_csf_par(csf, f, got, /*accumulate=*/true, opt);
   EXPECT_LT(DenseMatrix::max_abs_diff(expect, got), 1e-3);

@@ -1,0 +1,356 @@
+// Multi-device sharded pipeline tests: the DeviceGroup link cost model,
+// the contiguous nnz-balanced shard planner, and the sharded executor's
+// functional + simulated semantics (deterministic reduction, makespan
+// accounting, boundary-overlap reduce payload, metrics report).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "gpusim/device_group.hpp"
+#include "scalfrag/multi_pipeline.hpp"
+#include "scalfrag/pipeline.hpp"
+#include "scalfrag/shard.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+namespace {
+
+const gpusim::DeviceSpec kSpec = gpusim::DeviceSpec::rtx3090();
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+CooTensor sorted_frostt(const char* name, double scale, std::uint64_t seed,
+                        order_t mode = 0) {
+  CooTensor t = make_frostt_tensor(name, scale, seed);
+  t.sort_by_mode(mode);
+  return t;
+}
+
+/// One slice holding every non-zero: any multi-segment cut must land
+/// mid-slice, so sharding it across devices forces a boundary overlap.
+CooTensor mega_slice_tensor(nnz_t nnz) {
+  CooTensor t({2, 64, 64});
+  Rng rng(77);
+  for (nnz_t e = 0; e < nnz; ++e) {
+    t.push({0, static_cast<index_t>(rng.next_u64() % 64),
+            static_cast<index_t>(rng.next_u64() % 64)},
+           rng.next_float());
+  }
+  t.sort_by_mode(0);
+  return t;
+}
+
+// ---------------------------------------------------------------------
+// DeviceGroup link cost model
+// ---------------------------------------------------------------------
+
+TEST(DeviceGroup, HopCostIsLatencyPlusWire) {
+  const gpusim::LinkSpec link = gpusim::LinkSpec::pcie4_p2p();
+  gpusim::DeviceGroup g(kSpec, 2, link);
+  // latency_us * 1e3 + bytes / bandwidth_gbps (GB/s == bytes/ns).
+  EXPECT_EQ(g.hop_ns(0), static_cast<sim_ns>(link.latency_us * 1e3));
+  EXPECT_EQ(g.hop_ns(22000),
+            static_cast<sim_ns>(link.latency_us * 1e3 +
+                                22000.0 / link.bandwidth_gbps));
+}
+
+TEST(DeviceGroup, TreeReduceChargesLog2Rounds) {
+  const std::size_t bytes = 1 << 20;
+  for (const auto& [n, rounds] :
+       {std::pair{2, 1}, std::pair{3, 2}, std::pair{4, 2}, std::pair{8, 3}}) {
+    gpusim::DeviceGroup g(kSpec, n);
+    EXPECT_EQ(g.reduce_ns(bytes, gpusim::ReduceSchedule::Tree),
+              static_cast<sim_ns>(rounds) * g.hop_ns(bytes))
+        << n << " devices";
+  }
+}
+
+TEST(DeviceGroup, RingReduceCharges2NMinus1ChunkHops) {
+  const std::size_t bytes = 1 << 20;
+  for (const int n : {2, 4, 8}) {
+    gpusim::DeviceGroup g(kSpec, n);
+    const std::size_t chunk =
+        (bytes + static_cast<std::size_t>(n) - 1) / static_cast<std::size_t>(n);
+    EXPECT_EQ(g.reduce_ns(bytes, gpusim::ReduceSchedule::Ring),
+              static_cast<sim_ns>(2 * (n - 1)) * g.hop_ns(chunk))
+        << n << " devices";
+  }
+}
+
+TEST(DeviceGroup, ReduceIsFreeForOneDeviceOrZeroBytes) {
+  gpusim::DeviceGroup solo(kSpec, 1);
+  EXPECT_EQ(solo.reduce_ns(1 << 20, gpusim::ReduceSchedule::Tree), 0u);
+  gpusim::DeviceGroup pair(kSpec, 2);
+  EXPECT_EQ(pair.reduce_ns(0, gpusim::ReduceSchedule::Ring), 0u);
+}
+
+TEST(DeviceGroup, PicksTreeForSmallRingForLarge) {
+  // Tree moves the full buffer log2(n) times; ring moves ~2 buffers
+  // total but pays 2(n-1) latencies. Small payloads are latency-bound
+  // (tree wins), large ones bandwidth-bound (ring wins).
+  gpusim::DeviceGroup g(kSpec, 8);
+  EXPECT_EQ(g.pick_schedule(256), gpusim::ReduceSchedule::Tree);
+  EXPECT_EQ(g.pick_schedule(64 << 20), gpusim::ReduceSchedule::Ring);
+}
+
+TEST(DeviceGroup, ValidatesConstruction) {
+  EXPECT_THROW(gpusim::DeviceGroup(kSpec, 0), Error);
+  gpusim::LinkSpec bad;
+  bad.bandwidth_gbps = 0.0;
+  EXPECT_THROW(gpusim::DeviceGroup(kSpec, 2, bad), Error);
+  gpusim::DeviceGroup g(kSpec, 3);
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.spec().name, kSpec.name);
+}
+
+// ---------------------------------------------------------------------
+// Shard planner
+// ---------------------------------------------------------------------
+
+TEST(ShardPlan, EverySegmentOwnedExactlyOnceAndContiguously) {
+  const CooTensor t = sorted_frostt("nell-2", 1.0 / 1024, 601);
+  for (const int n : {1, 2, 3, 4, 8}) {
+    gpusim::DeviceGroup g(kSpec, n);
+    const ShardPlan sp =
+        make_shard_plan(g, t, 0, 16, ExecConfig{}.devices(n));
+    ASSERT_EQ(static_cast<int>(sp.shards.size()), n);
+    int seg = 0;
+    nnz_t nnz = 0;
+    for (const auto& sh : sp.shards) {
+      EXPECT_EQ(sh.seg_begin, seg);
+      EXPECT_LE(sh.seg_begin, sh.seg_end);
+      seg = sh.seg_end;
+      nnz += sh.nnz;
+      EXPECT_EQ(static_cast<int>(sh.launches.size()), sh.num_segments());
+      if (!sh.empty()) {
+        EXPECT_EQ(sh.nnz, sh.end - sh.begin);
+      }
+    }
+    EXPECT_EQ(seg, static_cast<int>(sp.plan.size()));
+    EXPECT_EQ(nnz, t.nnz());
+  }
+}
+
+TEST(ShardPlan, BalancesNnzAcrossDevices) {
+  const CooTensor t = sorted_frostt("nell-2", 1.0 / 1024, 602);
+  gpusim::DeviceGroup g(kSpec, 4);
+  const ShardPlan sp = make_shard_plan(g, t, 0, 16, ExecConfig{}.devices(4));
+  const nnz_t ideal = t.nnz() / 4;
+  // Greedy nearest-cut against slice-snapped segments: each shard stays
+  // within one realized segment of the ideal share.
+  nnz_t max_seg = 0;
+  for (const auto& s : sp.plan.segments) max_seg = std::max(max_seg, s.nnz());
+  EXPECT_LE(sp.max_shard_nnz(), ideal + max_seg);
+  for (const auto& sh : sp.shards) EXPECT_FALSE(sh.empty());
+}
+
+TEST(ShardPlan, MoreDevicesThanSegmentsLeavesTrailingShardsEmpty) {
+  // A 3-entry tensor realizes at most 3 segments; the rest of an
+  // 8-device group must idle (empty shards, zero launches).
+  CooTensor t({8, 4});
+  t.push({0, 0}, 1.0f);
+  t.push({3, 1}, 2.0f);
+  t.push({6, 2}, 3.0f);
+  t.sort_by_mode(0);
+  gpusim::DeviceGroup g(kSpec, 8);
+  const ShardPlan sp = make_shard_plan(g, t, 0, 4, ExecConfig{}.devices(8));
+  nnz_t covered = 0;
+  int non_empty = 0;
+  for (const auto& sh : sp.shards) {
+    covered += sh.nnz;
+    non_empty += sh.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(covered, t.nnz());
+  EXPECT_LE(non_empty, 3);
+  EXPECT_GE(non_empty, 1);
+}
+
+TEST(ShardPlan, Validation) {
+  CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 603);
+  gpusim::DeviceGroup g(kSpec, 2);
+  EXPECT_THROW(make_shard_plan(g, t, 1, 8, ExecConfig{}.devices(2)), Error);
+  t.sort_by_mode(1);
+  ExecConfig with_schedule = ExecConfig{}.devices(2);
+  with_schedule.launch_schedule.push_back({});
+  EXPECT_THROW(make_shard_plan(g, t, 1, 8, with_schedule), Error);
+}
+
+TEST(ShardPlan, SelectorPickIsSanityCheckedByCostModel) {
+  // With a selector, every predicted launch must cost no more than the
+  // static heuristic under the device cost model — the planner drops
+  // selector extrapolations that the model says are slower.
+  const CooTensor t = sorted_frostt("uber", 1.0 / 512, 604);
+  AutoTunerConfig tcfg;
+  tcfg.corpus_size = 16;
+  tcfg.seed = 605;
+  AutoTuner tuner(kSpec, tcfg);
+  tuner.train();
+  const LaunchSelector sel = tuner.selector();
+
+  gpusim::DeviceGroup g(kSpec, 4);
+  const ExecConfig cfg = ExecConfig{}.devices(4);
+  const ShardPlan adaptive = make_shard_plan(g, t, 0, 16, cfg, &sel);
+  ExecConfig static_cfg = cfg;
+  static_cfg.adaptive_launch = false;
+  const ShardPlan fixed = make_shard_plan(g, t, 0, 16, static_cfg, nullptr);
+
+  for (std::size_t d = 0; d < adaptive.shards.size(); ++d) {
+    const auto& dev = g.device(static_cast<int>(d));
+    const auto& a = adaptive.shards[d];
+    const auto& s = fixed.shards[d];
+    ASSERT_EQ(a.launches.size(), s.launches.size());
+    for (std::size_t i = 0; i < a.launches.size(); ++i) {
+      const auto gi = static_cast<std::size_t>(a.seg_begin) + i;
+      if (adaptive.plan.segments[gi].nnz() == 0) continue;
+      const auto prof =
+          mttkrp_profile(adaptive.plan.features[gi], 16, cfg.use_shared_mem);
+      EXPECT_LE(dev.cost_model().kernel_ns(a.launches[i], prof),
+                dev.cost_model().kernel_ns(s.launches[i], prof));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// MultiPipelineExecutor
+// ---------------------------------------------------------------------
+
+TEST(MultiPipeline, MatchesReferenceOnEveryDeviceCount) {
+  const CooTensor t = sorted_frostt("nips", 1.0 / 1024, 610);
+  const auto f = random_factors(t, 16, 611);
+  const DenseMatrix expect = mttkrp_coo_ref(t, f, 0);
+  for (const int n : {1, 2, 3, 4, 8}) {
+    gpusim::DeviceGroup g(kSpec, n);
+    const auto res = run_multi_pipeline(g, t, f, 0, ExecConfig{}.devices(n));
+    EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3)
+        << n << " devices";
+    EXPECT_EQ(res.total_ns, res.compute_ns + res.reduce_ns);
+    sim_ns max_dev = 0;
+    ASSERT_EQ(static_cast<int>(res.devices.size()), n);
+    for (const auto& st : res.devices) max_dev = std::max(max_dev, st.total_ns);
+    EXPECT_EQ(res.compute_ns, max_dev);
+  }
+}
+
+TEST(MultiPipeline, ReductionIsDeterministic) {
+  // Partials are summed in device order, so two runs are bit-identical
+  // regardless of thread scheduling.
+  const CooTensor t = sorted_frostt("vast", 1.0 / 1024, 612);
+  const auto f = random_factors(t, 8, 613);
+  gpusim::DeviceGroup g(kSpec, 4);
+  const ExecConfig cfg = ExecConfig{}.devices(4);
+  const auto a = run_multi_pipeline(g, t, f, 0, cfg);
+  const auto b = run_multi_pipeline(g, t, f, 0, cfg);
+  ASSERT_EQ(a.output.size(), b.output.size());
+  EXPECT_EQ(std::memcmp(a.output.data(), b.output.data(),
+                        a.output.size() * sizeof(value_t)),
+            0);
+  EXPECT_EQ(a.total_ns, b.total_ns);
+}
+
+TEST(MultiPipeline, SliceAlignedCutsNeedNoCollective) {
+  // One nnz per mode-0 slice: every segment cut lands on a slice
+  // boundary, shards own disjoint output rows, and the reduction
+  // payload is empty.
+  CooTensor t({64, 16});
+  Rng rng(614);
+  for (index_t i = 0; i < 64; ++i) {
+    t.push({i, static_cast<index_t>(rng.next_u64() % 16)}, rng.next_float());
+  }
+  t.sort_by_mode(0);
+  const auto f = random_factors(t, 8, 615);
+  gpusim::DeviceGroup g(kSpec, 4);
+  const auto res =
+      run_multi_pipeline(g, t, f, 0, ExecConfig{}.devices(4).segments(8));
+  EXPECT_EQ(res.reduce_ns, 0u);
+  EXPECT_EQ(res.total_ns, res.compute_ns);
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output, mttkrp_coo_ref(t, f, 0)),
+            2e-3);
+}
+
+TEST(MultiPipeline, SplitSliceChargesTheLinkModel) {
+  // A single mega slice must be split mid-slice to shard at all; both
+  // neighbours then write the same output row and the link model
+  // charges the chosen schedule over that boundary payload.
+  const CooTensor t = mega_slice_tensor(4096);
+  const auto f = random_factors(t, 8, 616);
+  gpusim::DeviceGroup g(kSpec, 2);
+  const auto res = run_multi_pipeline(
+      g, t, f, 0,
+      ExecConfig{}.devices(2).segments(4).reduction(
+          gpusim::ReduceSchedule::Ring));
+  EXPECT_EQ(res.reduce_schedule, gpusim::ReduceSchedule::Ring);
+  EXPECT_GT(res.reduce_ns, 0u);
+  EXPECT_EQ(res.total_ns, res.compute_ns + res.reduce_ns);
+  EXPECT_LT(DenseMatrix::max_abs_diff(res.output, mttkrp_coo_ref(t, f, 0)),
+            2e-3);
+}
+
+TEST(MultiPipeline, StrongScalingOnComputeBoundTensor) {
+  const CooTensor t = sorted_frostt("nell-2", 1.0 / 512, 617);
+  const auto f = random_factors(t, 16, 618);
+  sim_ns prev = 0;
+  for (const int n : {1, 2, 4}) {
+    gpusim::DeviceGroup g(kSpec, n);
+    const auto res = run_multi_pipeline(g, t, f, 0, ExecConfig{}.devices(n));
+    if (n > 1) {
+      EXPECT_LT(res.total_ns, prev) << n << " devices";
+    }
+    prev = res.total_ns;
+  }
+}
+
+TEST(MultiPipeline, ReportsMergedMetrics) {
+  const CooTensor t = sorted_frostt("uber", 1.0 / 1024, 619);
+  const auto f = random_factors(t, 8, 620);
+  obs::MetricsRegistry met;
+  gpusim::DeviceGroup g(kSpec, 2);
+  const auto res =
+      run_multi_pipeline(g, t, f, 0, ExecConfig{}.devices(2).metrics(&met));
+  EXPECT_EQ(met.counter("multidev/runs"), 1u);
+  EXPECT_EQ(met.gauge("multidev/devices"), 2.0);
+  EXPECT_EQ(met.gauge("multidev/total_ns"),
+            static_cast<double>(res.total_ns));
+  EXPECT_EQ(met.gauge("multidev/gpu0/nnz"),
+            static_cast<double>(res.devices[0].nnz));
+  EXPECT_GT(met.stage("host/shard_planning").count, 0u);
+  // Per-device timelines land under the gpuN prefix.
+  EXPECT_GT(met.counter("gpu0/kernel_launches"), 0u);
+  EXPECT_GT(met.stage("gpu0/Kernel").count, 0u);
+}
+
+TEST(MultiPipeline, ValidatesConfigAgainstGroup) {
+  const CooTensor t = sorted_frostt("uber", 1.0 / 2048, 621);
+  const auto f = random_factors(t, 8, 622);
+  gpusim::DeviceGroup g(kSpec, 2);
+  // devices must match the group size.
+  EXPECT_THROW(run_multi_pipeline(g, t, f, 0, ExecConfig{}.devices(4)),
+               Error);
+  // The CPU hybrid split is single-device only.
+  EXPECT_THROW(run_multi_pipeline(g, t, f, 0,
+                                  ExecConfig{}.devices(2).hybrid_threshold(8)),
+               Error);
+  // Mode-sorted input is required.
+  CooTensor unsorted = t;
+  unsorted.sort_by_mode(1);
+  if (!unsorted.is_sorted_by_mode(0)) {
+    EXPECT_THROW(
+        run_multi_pipeline(g, unsorted, f, 0, ExecConfig{}.devices(2)),
+        Error);
+  }
+}
+
+}  // namespace
+}  // namespace scalfrag

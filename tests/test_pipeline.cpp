@@ -53,7 +53,7 @@ TEST(Pipeline, SingleStreamSingleSegmentHasNoOverlap) {
   const auto f = random_factors(t, 16, 76);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = 1;
   opt.num_streams = 1;
   const auto res = exec.run(t, f, 0, opt);
@@ -66,7 +66,7 @@ TEST(Pipeline, StaticLaunchFallbackWithoutSelector) {
   const auto f = random_factors(t, 16, 78);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev, nullptr);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.adaptive_launch = true;  // requested but no selector available
   const auto res = exec.run(t, f, 0, opt);
   for (const auto& l : res.launches) {
@@ -80,7 +80,7 @@ TEST(Pipeline, LaunchOverrideIsHonored) {
   const auto f = random_factors(t, 16, 80);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.launch_override = gpusim::LaunchConfig{512, 128, 0};
   const auto res = exec.run(t, f, 0, opt);
   for (const auto& l : res.launches) {
@@ -96,7 +96,7 @@ TEST(Pipeline, HybridSplitsWorkAndStaysCorrect) {
   const auto f = random_factors(t, 16, 82);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   // Threshold just above the mean slice size: a skewed tensor always
   // has sub-mean slices, so the CPU share is guaranteed non-empty.
   const auto feat = TensorFeatures::extract(t, 0);
@@ -113,7 +113,7 @@ TEST(Pipeline, RunPerformsZeroTensorCopies) {
   const auto f = random_factors(t, 16, 96);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = 6;
   // Hybrid on, all-CPU slices routed as zero-copy ranges too.
   const auto feat = TensorFeatures::extract(t, 0);
@@ -137,7 +137,7 @@ TEST(Pipeline, HostExecKnobKeepsResultsCorrect) {
   const auto expect = mttkrp_coo_ref(t, f, 0);
   for (HostStrategy s : {HostStrategy::Auto, HostStrategy::Serial,
                          HostStrategy::PrivateReduce}) {
-    PipelineOptions opt;
+    ExecConfig opt;
     opt.num_segments = 3;
     opt.host_exec.strategy = s;
     opt.host_exec.grain_nnz = 64;  // force the parallel paths to engage
@@ -152,7 +152,7 @@ TEST(Pipeline, SharedMemOffStillCorrectButSlowerKernels) {
   const auto f = random_factors(t, 16, 84);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
-  PipelineOptions on, off;
+  ExecConfig on, off;
   off.use_shared_mem = false;
   const auto r_on = exec.run(t, f, 0, on);
   const auto r_off = exec.run(t, f, 0, off);
@@ -167,7 +167,7 @@ TEST(Pipeline, MoreSegmentsBoundDeviceMemory) {
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
 
-  PipelineOptions few, many;
+  ExecConfig few, many;
   few.num_segments = 1;
   few.num_streams = 1;
   many.num_segments = 16;
@@ -190,7 +190,7 @@ TEST(Pipeline, ResultInvariantToSegmentsAndStreams) {
   const auto expect = mttkrp_coo_ref(t, f, 0);
   for (int segs : {1, 3, 8}) {
     for (int streams : {1, 4}) {
-      PipelineOptions opt;
+      ExecConfig opt;
       opt.num_segments = segs;
       opt.num_streams = streams;
       const auto res = exec.run(t, f, 0, opt);
@@ -205,7 +205,7 @@ TEST(Pipeline, RejectsBadOptions) {
   const auto f = random_factors(t, 8, 90);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = -1;  // 0 means auto; negatives are invalid
   EXPECT_THROW(exec.run(t, f, 0, opt), Error);
   CooTensor unsorted({4, 4});
@@ -222,7 +222,7 @@ TEST(Pipeline, PartialLaunchScheduleFallsBackPerSegment) {
   const auto f = random_factors(t, 16, 94);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev, nullptr);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = 4;
   // Schedule only the first segment; the rest use the static fallback.
   opt.launch_schedule = {gpusim::LaunchConfig{64, 64, 0}};
@@ -249,7 +249,7 @@ TEST(Pipeline, RejectsScheduleLongerThanRealizedPlan) {
   const auto f = random_factors(t, 4, 95);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev, nullptr);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = 3;
   opt.launch_schedule.assign(3, gpusim::LaunchConfig{32, 64, 0});
   EXPECT_THROW(exec.run(t, f, 0, opt), Error);
@@ -267,10 +267,10 @@ TEST(Pipeline, MetricsRecordPhasesAndTimeline) {
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev, nullptr);
   obs::MetricsRegistry m;
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = 4;
   opt.hybrid_cpu_threshold = 4;
-  opt.metrics = &m;
+  opt.metrics_sink = &m;
   const auto res = exec.run(t, f, 0, opt);
   EXPECT_EQ(m.counter("pipeline/runs"), 1u);
   EXPECT_EQ(m.counter("pipeline/segments_realized"), res.plan.size());
@@ -295,7 +295,7 @@ TEST_P(PipelineGrid, CorrectAcrossFig11Grid) {
   const auto f = random_factors(t, 8, 92);
   gpusim::SimDevice dev(kSpec);
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = segs;
   opt.num_streams = streams;
   const auto res = exec.run(t, f, 0, opt);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "parti/parti_executor.hpp"
 #include "scalfrag/cpd.hpp"
 #include "scalfrag/plan.hpp"
@@ -48,7 +50,7 @@ TEST(MttkrpPlan, PlannedRunMatchesAdHocRun) {
     CooTensor sorted = t;
     sorted.sort_by_mode(m);
     PipelineExecutor exec(dev, &sel);
-    PipelineOptions opt;
+    ExecConfig opt;
     opt.num_segments = static_cast<int>(plan.mode(m).segments.size());
     const auto adhoc = exec.run(sorted, f, m, opt);
 
@@ -88,11 +90,47 @@ TEST(MttkrpPlan, Validation) {
 TEST(MttkrpPlan, ExplicitSegmentCountIsHonored) {
   gpusim::SimDevice dev(kSpec);
   const CooTensor t = make_frostt_tensor("nell-2", 1.0 / 2048, 506);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = 3;
   const MttkrpPlan plan(t, 8, dev, nullptr, opt);
   EXPECT_LE(plan.mode(0).segments.size(), 3u);
   EXPECT_GE(plan.mode(0).segments.size(), 2u);  // slice snapping may merge
+}
+
+TEST(MttkrpPlan, ConfigIsCopiedByValueAtConstruction) {
+  // Regression for the former dangling-options bug: the plan must own
+  // its ExecConfig, so mutating or destroying the caller's config after
+  // construction cannot change replays. Only the metrics registry the
+  // sink *points at* has to outlive run() — that part is documented,
+  // not copied.
+  gpusim::SimDevice dev(kSpec);
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 509);
+  const auto f = random_factors(t, 8, 510);
+  obs::MetricsRegistry met;
+
+  std::optional<ExecConfig> caller;
+  caller.emplace(ExecConfig{}.segments(2).streams(2).metrics(&met));
+  const MttkrpPlan plan(t, 8, dev, nullptr, *caller);
+  const auto before = plan.run(f, 0);
+
+  // Clobber, then destroy, the caller's config.
+  caller->segments(7).streams(1).shared_mem(false).metrics(nullptr);
+  caller.reset();
+
+  const auto after = plan.run(f, 0);
+  EXPECT_EQ(plan.config().num_segments, 2);
+  EXPECT_EQ(plan.config().num_streams, 2);
+  EXPECT_EQ(after.total_ns, before.total_ns);
+  EXPECT_EQ(after.launches, before.launches);
+  // The copied sink still records into the caller's registry.
+  EXPECT_GE(met.counter("pipeline/runs"), 2u);
+}
+
+TEST(MttkrpPlan, RejectsMultiDeviceConfigs) {
+  gpusim::SimDevice dev(kSpec);
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 511);
+  EXPECT_THROW(MttkrpPlan(t, 8, dev, nullptr, ExecConfig{}.devices(2)),
+               Error);
 }
 
 TEST(Spttm, SimulatedExecutorMatchesHostKernel) {

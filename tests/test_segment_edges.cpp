@@ -20,7 +20,7 @@ DenseMatrix run_pipeline(const CooTensor& t, const FactorList& f, order_t mode,
                          int segments, int streams) {
   gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
   PipelineExecutor exec(dev);
-  PipelineOptions opt;
+  ExecConfig opt;
   opt.num_segments = segments;
   opt.num_streams = streams;
   return exec.run(t, f, mode, opt).output;
