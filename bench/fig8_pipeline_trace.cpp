@@ -7,13 +7,23 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hpp"
 #include "gpusim/trace.hpp"
+#include "obs/artifacts.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scalfrag;
   using namespace scalfrag::bench;
+
+  // --out <dir> overrides where the trace and BENCH json land
+  // (otherwise $SCALFRAG_ARTIFACT_DIR or ./bench_artifacts).
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      obs::set_artifact_dir(argv[i + 1]);
+    }
+  }
 
   const auto spec = gpusim::DeviceSpec::rtx3090();
   const LaunchSelector sel = make_selector(spec);
@@ -35,9 +45,9 @@ int main() {
   std::fputs(gpusim::ascii_gantt(dev).c_str(), stdout);
   std::printf("\n'=' H2D copy   '#' kernel   '<' D2H   '~' host\n");
 
-  const std::string path = "fig8_pipeline_trace.json";
+  const std::string path = obs::artifact_path("fig8_pipeline_trace.json");
   gpusim::write_chrome_trace_file(path, dev);
-  std::printf("Chrome trace written to ./%s\n", path.c_str());
+  std::printf("Chrome trace written to %s\n", path.c_str());
 
   obs::BenchRunner runner("fig8_pipeline_trace");
   gpusim::record_timeline(dev, runner.metrics(), "gpu");

@@ -16,6 +16,7 @@
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "tensor/mode_views.hpp"
 #include "tensor/mttkrp_par.hpp"
 
 namespace {
@@ -174,6 +175,44 @@ void run_host_mttkrp_sweep() {
     c.set("speedup_vs_ref", speedup, "x", obs::Direction::kInfo);
     std::printf("[host_mttkrp] par t=%-2zu %-13s %8.2f ms  %.2fx vs ref\n",
                 threads, host_strategy_name(strat), par_ms, speedup);
+  }
+
+  // Single-sort permutation views on the same tensor: the gather-view
+  // kernel time (wall clock, info) and the resident-memory comparison
+  // against the per-mode-copies scheme. The byte counts depend only on
+  // nnz/order, so they ARE gateable — the perf-smoke job holds the
+  // >= 2x reduction on this 3-mode sweep tensor.
+  const ModeViews views(t);
+  {
+    DenseMatrix out1(t.dim(1), kRank);
+    HostExecParams opt;
+    opt.threads = hw;
+    obs::BenchCase& c = runner.with_case("par_gather_view");
+    const double gather_ms =
+        c.measure("time_ms", "ms", obs::Direction::kInfo, policy,
+                  [&] {
+                    WallTimer timer;
+                    mttkrp_coo_par(views.view(1), f, 1, out1,
+                                   /*accumulate=*/false, opt);
+                    return timer.millis();
+                  })
+            .median;
+    std::printf("[host_mttkrp] gather view (m=1)   %8.2f ms\n", gather_ms);
+  }
+  {
+    const double views_bytes = static_cast<double>(views.resident_bytes());
+    const double legacy_bytes =
+        static_cast<double>(ModeViews::legacy_copies_bytes(t));
+    obs::BenchCase& c = runner.with_case("plan_memory");
+    c.set("views_resident_bytes", views_bytes, "bytes",
+          obs::Direction::kLowerIsBetter);
+    c.set("legacy_copies_bytes", legacy_bytes, "bytes",
+          obs::Direction::kInfo);
+    c.set("memory_reduction", legacy_bytes / views_bytes, "x",
+          obs::Direction::kHigherIsBetter);
+    std::printf("[host_mttkrp] plan memory %.1f MB -> %.1f MB (%.2fx)\n",
+                legacy_bytes / 1e6, views_bytes / 1e6,
+                legacy_bytes / views_bytes);
   }
   write_bench_json(runner);
 }

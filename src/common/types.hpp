@@ -23,6 +23,13 @@ using value_t = float;
 /// Simulated time, in nanoseconds (gpusim timeline domain).
 using sim_ns = std::uint64_t;
 
+/// Entry of a gather permutation over a COO tensor (ModeViews, hybrid
+/// GPU share). 32-bit on purpose: a permutation view then costs one
+/// index_t-sized word per entry per extra mode instead of a full tensor
+/// copy. Tensors beyond 2^32 non-zeros fall back to materialized
+/// copies (see ModeViews).
+using perm_t = std::uint32_t;
+
 /// Tensor order (number of modes). Kept small on purpose.
 using order_t = std::uint8_t;
 

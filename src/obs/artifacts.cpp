@@ -1,0 +1,38 @@
+#include "obs/artifacts.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace scalfrag::obs {
+
+namespace {
+std::string& override_dir() {
+  static std::string dir;
+  return dir;
+}
+}  // namespace
+
+void set_artifact_dir(const std::string& dir) { override_dir() = dir; }
+
+std::string artifact_dir() {
+  std::string dir = override_dir();
+  if (dir.empty()) {
+    const char* env = std::getenv("SCALFRAG_ARTIFACT_DIR");
+    dir = (env != nullptr && env[0] != '\0') ? env : "bench_artifacts";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw Error("cannot create artifact directory " + dir + ": " +
+                ec.message());
+  }
+  return dir;
+}
+
+std::string artifact_path(const std::string& filename) {
+  return (std::filesystem::path(artifact_dir()) / filename).string();
+}
+
+}  // namespace scalfrag::obs

@@ -1,0 +1,25 @@
+#pragma once
+// Where bench and trace outputs land. Benches used to drop
+// BENCH_*.json / trace files into whatever the current working
+// directory happened to be (polluting the repo root when run from
+// there); every artifact now goes through one resolved directory:
+//
+//   1. an explicit set_artifact_dir() (e.g. a bench's --out flag), else
+//   2. $SCALFRAG_ARTIFACT_DIR, else
+//   3. ./bench_artifacts (created on demand, gitignored).
+
+#include <string>
+
+namespace scalfrag::obs {
+
+/// Override the artifact directory for this process (wins over the
+/// environment). Empty string resets to the default resolution.
+void set_artifact_dir(const std::string& dir);
+
+/// The resolved artifact directory, created if missing.
+std::string artifact_dir();
+
+/// `filename` placed inside artifact_dir().
+std::string artifact_path(const std::string& filename);
+
+}  // namespace scalfrag::obs

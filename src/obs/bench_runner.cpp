@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/artifacts.hpp"
+
 namespace scalfrag::obs {
 
 const char* direction_name(Direction d) {
@@ -127,7 +129,7 @@ std::string BenchRunner::json() const {
 }
 
 std::string BenchRunner::write() const {
-  const std::string path = "BENCH_" + name_ + ".json";
+  const std::string path = artifact_path("BENCH_" + name_ + ".json");
   write(path);
   return path;
 }

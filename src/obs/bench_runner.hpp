@@ -1,9 +1,9 @@
 #pragma once
 // The shared bench harness: every bench/ binary records its results
 // through a BenchRunner and writes one schema-versioned BENCH_<name>.json
-// next to the working directory (the repo root in CI), so the repo
+// into obs::artifact_dir() (bench_artifacts/ by default), so the repo
 // accumulates a machine-readable perf trajectory that bench_compare can
-// diff across commits.
+// diff across commits without artifacts littering the source tree.
 //
 // Schema v1 (see docs/observability.md):
 //   {
@@ -110,8 +110,9 @@ class BenchRunner {
   MetricsRegistry& metrics() noexcept { return registry_; }
 
   std::string json() const;
-  /// Write to `BENCH_<name>.json` in the working directory; returns the
-  /// path written. Throws scalfrag::Error on I/O failure.
+  /// Write to `BENCH_<name>.json` inside obs::artifact_dir() (never the
+  /// bare working directory); returns the path written. Throws
+  /// scalfrag::Error on I/O failure.
   std::string write() const;
   void write(const std::string& path) const;
 

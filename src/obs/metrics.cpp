@@ -14,6 +14,15 @@ void MetricsRegistry::set(const std::string& name, double value) {
   gauges_[name] = value;
 }
 
+void MetricsRegistry::add_resident(const std::string& name,
+                                   std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double& g = gauges_[name];
+  g += static_cast<double>(delta);
+  double& peak = gauges_[name + "_peak"];
+  peak = std::max(peak, g);
+}
+
 void MetricsRegistry::span(const std::string& stage, double ns) {
   std::lock_guard<std::mutex> lock(mu_);
   StageStat& s = stages_[stage];

@@ -42,6 +42,11 @@ class MetricsRegistry {
   void count(const std::string& name, std::uint64_t delta = 1);
   /// Point-in-time value; last write wins.
   void set(const std::string& name, double value);
+  /// Resident-resource gauge: adds `delta` to gauge `name` and bumps
+  /// the high-water gauge `name + "_peak"` under one lock, so a peak
+  /// can be read after the residents are released (how ModeViews
+  /// reports "mem/resident_bytes" / "mem/resident_bytes_peak").
+  void add_resident(const std::string& name, std::int64_t delta);
   /// One span of `ns` under `stage` (accumulates count/total/max).
   void span(const std::string& stage, double ns);
 

@@ -28,9 +28,11 @@ struct ExecResult {
 };
 
 /// Run one mode-`mode` MTTKRP end to end on the simulated device.
-/// `t` must be sorted by `mode`; `factors` are host-resident.
-/// The device timeline is reset first; breakdown/total reflect this run.
-ExecResult run_mttkrp(gpusim::SimDevice& dev, const CooTensor& t,
+/// `t` is a mode-sorted view (a CooTensor converts implicitly;
+/// ModeViews::view(mode) plugs in zero-copy); `factors` are
+/// host-resident. The device timeline is reset first; breakdown/total
+/// reflect this run.
+ExecResult run_mttkrp(gpusim::SimDevice& dev, const CooSpan& t,
                       const FactorList& factors, order_t mode,
                       const ExecOptions& opt = {});
 

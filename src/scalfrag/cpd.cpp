@@ -4,6 +4,7 @@
 
 #include "parti/parti_executor.hpp"
 #include "tensor/linalg.hpp"
+#include "tensor/mode_views.hpp"
 
 namespace scalfrag {
 
@@ -51,18 +52,16 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
   const bool multidev =
       opt.backend == CpdBackend::ScalFrag && opt.exec.num_devices > 1;
 
-  // One mode-sorted copy per mode (MTTKRP kernels require mode order);
-  // the single-device ScalFrag backend's MttkrpPlan holds its own
-  // sorted copies, the sharded path sorts here like the others.
-  std::vector<CooTensor> sorted;
-  if (opt.backend != CpdBackend::ScalFrag || multidev) {
+  // One canonical sort shared by every backend (MTTKRP kernels require
+  // mode order): a single sorted copy plus per-mode gather permutations
+  // instead of the old one-fully-sorted-copy-per-mode. The
+  // single-device ScalFrag backend moves the views into its MttkrpPlan;
+  // the other backends run straight off ModeViews::view(mode).
+  std::optional<ModeViews> views;
+  {
     std::optional<obs::MetricsRegistry::ScopedSpan> span;
     if (met != nullptr) span.emplace(*met, "cpd/sort_modes");
-    sorted.resize(order);
-    for (order_t m = 0; m < order; ++m) {
-      sorted[m] = x;
-      sorted[m].sort_by_mode(m);
-    }
+    views.emplace(x, met);
   }
 
   CpdResult res;
@@ -96,24 +95,26 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
     } else {
       std::optional<obs::MetricsRegistry::ScopedSpan> span;
       if (met != nullptr) span.emplace(*met, "cpd/plan");
-      plan.emplace(x, rank, *dev, selector, opt.exec);
+      plan.emplace(std::move(*views), rank, *dev, selector, opt.exec);
+      views.reset();
     }
   }
 
   auto run_mttkrp = [&](order_t mode) -> DenseMatrix {
     switch (opt.backend) {
       case CpdBackend::Reference:
-        return mttkrp_coo_par(sorted[mode], res.factors, mode,
+        return mttkrp_coo_par(views->view(mode), res.factors, mode,
                               opt.exec.host_for_run());
       case CpdBackend::ParTI: {
-        auto r = parti::run_mttkrp(*dev, sorted[mode], res.factors, mode);
+        auto r = parti::run_mttkrp(*dev, views->view(mode), res.factors,
+                                   mode);
         res.mttkrp_sim_ns += r.total_ns;
         ++res.mttkrp_calls;
         return std::move(r.output);
       }
       case CpdBackend::ScalFrag: {
         if (multidev) {
-          auto r = run_multi_pipeline(*group, sorted[mode], res.factors,
+          auto r = run_multi_pipeline(*group, views->view(mode), res.factors,
                                       mode, opt.exec, selector);
           res.mttkrp_sim_ns += r.total_ns;
           ++res.mttkrp_calls;

@@ -7,14 +7,25 @@
 
 namespace scalfrag {
 
-HybridPartition partition_for_hybrid(const CooTensor& t, order_t mode,
+CooSpan HybridPartition::gpu_view(const CooSpan& parent) const {
+  if (gpu_whole) return parent;
+  CooSpan v = parent.gather(gpu_perm.data(), gpu_perm.size());
+  // The complement of whole-slice CPU ranges is a subsequence of the
+  // mode-sorted parent, so the gathered order is still mode-sorted.
+  v.assume_sorted_by(mode);
+  return v;
+}
+
+HybridPartition partition_for_hybrid(const CooSpan& t, order_t mode,
                                      nnz_t slice_nnz_threshold) {
   SF_CHECK(t.is_sorted_by_mode(mode), "hybrid partition needs sorted input");
   HybridPartition part;
+  part.mode = mode;
   part.threshold = slice_nnz_threshold;
 
   if (slice_nnz_threshold == 0 || t.nnz() == 0) {
     part.gpu_whole = true;
+    part.gpu_nnz = t.nnz();
     // Count slices for the report even in the trivial case.
     for (nnz_t e = 0; e < t.nnz(); ++e) {
       if (e == 0 || t.index(mode, e) != t.index(mode, e - 1)) {
@@ -48,22 +59,24 @@ HybridPartition partition_for_hybrid(const CooTensor& t, order_t mode,
   flush_slice(t.nnz());
 
   if (part.cpu_ranges.empty()) {
-    part.gpu_whole = true;  // nothing routed to the CPU — no copy needed
+    part.gpu_whole = true;  // nothing routed to the CPU
+    part.gpu_nnz = t.nnz();
     return part;
   }
 
-  // Pass 2: compact the GPU share (the complement of the CPU ranges)
-  // into an owning tensor — the one copy a non-trivial split requires.
-  part.gpu_part = CooTensor(t.dims());
-  part.gpu_part.reserve(t.nnz() - part.cpu_nnz);
-  std::vector<index_t> coord(t.order());
+  // Pass 2: the GPU share (the complement of the CPU ranges) as a
+  // gather permutation over the parent's base arrays — zero copies.
+  // Offsets are precomposed through the parent's own permutation so
+  // gpu_view() can gather the bases directly.
+  SF_CHECK(t.physical(t.nnz() - 1) <= std::numeric_limits<perm_t>::max(),
+           "hybrid gather view cannot address entries beyond perm_t");
+  part.gpu_nnz = t.nnz() - part.cpu_nnz;
+  part.gpu_perm.reserve(part.gpu_nnz);
   std::size_t r = 0;
   for (nnz_t e = 0; e < t.nnz(); ++e) {
     while (r < part.cpu_ranges.size() && e >= part.cpu_ranges[r].second) ++r;
     if (r < part.cpu_ranges.size() && e >= part.cpu_ranges[r].first) continue;
-    for (order_t m = 0; m < t.order(); ++m) coord[m] = t.index(m, e);
-    part.gpu_part.push(std::span<const index_t>(coord.data(), coord.size()),
-                       t.value(e));
+    part.gpu_perm.push_back(static_cast<perm_t>(t.physical(e)));
   }
   return part;
 }
@@ -93,7 +106,7 @@ sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, const CooTensor& part,
   return cpu_mttkrp_ns(cpu, part.nnz(), part.order(), rank);
 }
 
-nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
+nnz_t auto_hybrid_threshold(const CooSpan& t, order_t mode, index_t rank,
                             const gpusim::CpuSpec& cpu, sim_ns budget_ns) {
   SF_CHECK(t.is_sorted_by_mode(mode), "auto threshold needs sorted input");
   if (t.nnz() == 0 || budget_ns == 0) return 0;

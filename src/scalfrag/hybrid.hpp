@@ -9,10 +9,11 @@
 // pipeline runs the host task on the simulated CPU concurrently with
 // the GPU segments, and both halves accumulate into the same output.
 //
-// The CPU share is kept as zero-copy [begin, end) slice ranges into the
-// mode-sorted parent (adjacent CPU slices merge into one range); only
-// the GPU share is compacted into an owning tensor, and only when the
-// split is non-trivial — an all-GPU partition reuses the parent as-is.
+// Both shares are zero-copy views of the mode-sorted parent: the CPU
+// share as [begin, end) slice ranges (adjacent CPU slices merge into
+// one range), the GPU share as a gather permutation (the complement of
+// the CPU ranges, still mode-sorted — a subsequence of a sorted
+// sequence). An all-GPU partition reuses the parent span as-is.
 
 #include <span>
 #include <utility>
@@ -26,11 +27,13 @@
 namespace scalfrag {
 
 struct HybridPartition {
-  /// Compacted GPU share (mode-sorted). Empty when the partition is
-  /// trivial — gpu_whole flags that the caller should use the parent
-  /// tensor directly (zero copies).
-  CooTensor gpu_part;
+  /// GPU share as a gather permutation over the parent view's base
+  /// arrays (physical offsets, precomposed through the parent's own
+  /// permutation at partition time; mode-sorted order). Empty when
+  /// gpu_whole — the caller should use the parent span directly.
+  std::vector<perm_t> gpu_perm;
   bool gpu_whole = false;
+  nnz_t gpu_nnz = 0;
 
   /// CPU share: maximal runs of contiguous below-threshold slices, as
   /// [begin, end) entry ranges of the parent. Each range covers whole
@@ -38,14 +41,20 @@ struct HybridPartition {
   std::vector<std::pair<nnz_t, nnz_t>> cpu_ranges;
   nnz_t cpu_nnz = 0;
 
+  order_t mode = 0;
   nnz_t threshold = 0;
   nnz_t cpu_slices = 0;
   nnz_t gpu_slices = 0;
+
+  /// Zero-copy view of the GPU share. `parent` must be the same span
+  /// that partition_for_hybrid split (the permutation indexes its base
+  /// arrays), and must outlive the view together with this partition.
+  CooSpan gpu_view(const CooSpan& parent) const;
 };
 
-/// Split a mode-sorted tensor by per-slice nnz. Threshold 0 disables
-/// (everything goes to the GPU part).
-HybridPartition partition_for_hybrid(const CooTensor& t, order_t mode,
+/// Split a mode-sorted view by per-slice nnz. Threshold 0 disables
+/// (everything goes to the GPU share).
+HybridPartition partition_for_hybrid(const CooSpan& t, order_t mode,
                                      nnz_t slice_nnz_threshold);
 
 /// Simulated host time for the CPU's share of the MTTKRP: roofline of
@@ -65,7 +74,7 @@ sim_ns cpu_mttkrp_ns(const gpusim::CpuSpec& cpu, nnz_t nnz, order_t order,
 /// optimum is exact at census granularity, not rounded to a power of
 /// two. Returns 0 (hybrid off) when even the shortest slices would blow
 /// the budget.
-nnz_t auto_hybrid_threshold(const CooTensor& t, order_t mode, index_t rank,
+nnz_t auto_hybrid_threshold(const CooSpan& t, order_t mode, index_t rank,
                             const gpusim::CpuSpec& cpu, sim_ns budget_ns);
 
 /// Functional CPU-side MTTKRP over a hybrid partition's CPU ranges,

@@ -19,7 +19,7 @@ namespace {
 /// rejects CPU offload) — segments, launches, and features come
 /// precomputed from the shard plan, so this is pure replay.
 sim_ns run_shard(gpusim::SimDevice& dev, const ShardPlan& sp,
-                 const DeviceShard& sh, const CooTensor& t,
+                 const DeviceShard& sh, const CooSpan& t,
                  const FactorList& factors, order_t mode, index_t rank,
                  const ExecConfig& cfg, const HostExecParams& host_exec,
                  DenseMatrix& partial) {
@@ -62,7 +62,7 @@ sim_ns run_shard(gpusim::SimDevice& dev, const ShardPlan& sp,
     const int local = i - sh.seg_begin;
     const gpusim::StreamId s =
         pool[static_cast<std::size_t>(local % cfg.num_streams)];
-    const CooSpan segment = t.span(seg.begin, seg.end);
+    const CooSpan segment = t.subspan(seg.begin, seg.end);
     dev.memcpy_h2d(s, segment.bytes(), nullptr,
                    "H2D segment " + std::to_string(i));
 
@@ -89,13 +89,15 @@ sim_ns run_shard(gpusim::SimDevice& dev, const ShardPlan& sp,
 
 }  // namespace
 
-MultiPipelineResult MultiPipelineExecutor::run(const CooTensor& t,
+MultiPipelineResult MultiPipelineExecutor::run(const CooSpan& t,
                                                const FactorList& factors,
                                                order_t mode,
                                                const ExecConfig& cfg) {
   const index_t rank = check_factors(t, factors);
   SF_CHECK(t.is_sorted_by_mode(mode),
            "multi-device pipeline requires mode-sorted input");
+  CooSpan view = t;
+  view.assume_sorted_by(mode);
   cfg.validate();
   SF_CHECK(cfg.num_devices == group_->size(),
            "ExecConfig::devices must match the DeviceGroup size");
@@ -111,7 +113,7 @@ MultiPipelineResult MultiPipelineExecutor::run(const CooTensor& t,
 
   std::optional<obs::MetricsRegistry::ScopedSpan> plan_span;
   if (met != nullptr) plan_span.emplace(*met, "host/shard_planning");
-  res.plan = make_shard_plan(*group_, t, mode, rank, cfg, selector_);
+  res.plan = make_shard_plan(*group_, view, mode, rank, cfg, selector_);
   plan_span.reset();
 
   res.devices.resize(static_cast<std::size_t>(n_dev));
@@ -140,7 +142,7 @@ MultiPipelineResult MultiPipelineExecutor::run(const CooTensor& t,
         gpusim::SimDevice& dev = group_->device(d);
         st.total_ns = run_shard(dev, res.plan,
                                 res.plan.shards[static_cast<std::size_t>(d)],
-                                t, factors, mode, rank, cfg, host_exec,
+                                view, factors, mode, rank, cfg, host_exec,
                                 partials[static_cast<std::size_t>(d)]);
         st.breakdown = dev.breakdown();
       } catch (...) {
@@ -230,7 +232,7 @@ MultiPipelineResult MultiPipelineExecutor::run(const CooTensor& t,
 }
 
 MultiPipelineResult run_multi_pipeline(gpusim::DeviceGroup& group,
-                                       const CooTensor& t,
+                                       const CooSpan& t,
                                        const FactorList& factors, order_t mode,
                                        const ExecConfig& cfg,
                                        const LaunchSelector* selector) {

@@ -57,11 +57,12 @@ class MultiPipelineExecutor {
                                  const LaunchSelector* selector = nullptr)
       : group_(&group), selector_(selector) {}
 
-  /// Run one sharded mode-`mode` MTTKRP. `t` must be mode-sorted.
-  /// ExecConfig::num_devices must match the group size; hybrid CPU
-  /// offload is single-device only (ExecConfig::validate rejects it).
-  /// All device timelines are reset at entry.
-  MultiPipelineResult run(const CooTensor& t, const FactorList& factors,
+  /// Run one sharded mode-`mode` MTTKRP. `t` is a mode-sorted view (a
+  /// CooTensor converts implicitly; ModeViews::view(mode) plugs in
+  /// zero-copy). ExecConfig::num_devices must match the group size;
+  /// hybrid CPU offload is single-device only (ExecConfig::validate
+  /// rejects it). All device timelines are reset at entry.
+  MultiPipelineResult run(const CooSpan& t, const FactorList& factors,
                           order_t mode, const ExecConfig& cfg = {});
 
  private:
@@ -71,7 +72,7 @@ class MultiPipelineExecutor {
 
 /// Canonical free-function driver, mirroring run_pipeline.
 MultiPipelineResult run_multi_pipeline(gpusim::DeviceGroup& group,
-                                       const CooTensor& t,
+                                       const CooSpan& t,
                                        const FactorList& factors, order_t mode,
                                        const ExecConfig& cfg = {},
                                        const LaunchSelector* selector = nullptr);

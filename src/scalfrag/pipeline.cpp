@@ -9,7 +9,7 @@
 
 namespace scalfrag {
 
-int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
+int auto_segment_count(const gpusim::SimDevice& dev, const CooSpan& t,
                        order_t mode, index_t rank, const ExecConfig& cfg,
                        const TensorFeatures* whole) {
   if (t.nnz() == 0) return 1;
@@ -60,11 +60,15 @@ gpusim::StreamId PipelineExecutor::stream(int i) {
   return pool_[i];
 }
 
-PipelineResult PipelineExecutor::run(const CooTensor& t,
+PipelineResult PipelineExecutor::run(const CooSpan& t,
                                      const FactorList& factors, order_t mode,
                                      const ExecConfig& opt) {
   const index_t rank = check_factors(t, factors);
   SF_CHECK(t.is_sorted_by_mode(mode), "pipeline requires mode-sorted input");
+  // Sortedness is established once; the hinted copy makes every
+  // downstream check (segmenter, features, partitioner) O(1).
+  CooSpan view = t;
+  view.assume_sorted_by(mode);
   opt.validate();
   SF_CHECK(opt.num_devices == 1,
            "PipelineExecutor is single-device; use MultiPipelineExecutor "
@@ -79,13 +83,13 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
   const HostExecParams host_exec = opt.host_for_run();
 
   // --- hybrid partition (optional) -----------------------------------
-  const CooTensor* gpu_tensor = &t;
+  CooSpan gpu_view = view;
   HybridPartition part;
   if (opt.hybrid_cpu_threshold > 0) {
     std::optional<obs::MetricsRegistry::ScopedSpan> span;
     if (met != nullptr) span.emplace(*met, "host/partition");
-    part = partition_for_hybrid(t, mode, opt.hybrid_cpu_threshold);
-    if (!part.gpu_whole) gpu_tensor = &part.gpu_part;
+    part = partition_for_hybrid(view, mode, opt.hybrid_cpu_threshold);
+    if (!part.gpu_whole) gpu_view = part.gpu_view(view);
     res.cpu_nnz = part.cpu_nnz;
     if (met != nullptr) {
       met->count("pipeline/cpu_slices", part.cpu_slices);
@@ -102,11 +106,11 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
     std::optional<obs::MetricsRegistry::ScopedSpan> span;
     if (met != nullptr) span.emplace(*met, "host/segmentation");
     if (want_segments == 0) {
-      const TensorFeatures whole = TensorFeatures::extract(*gpu_tensor, mode);
+      const TensorFeatures whole = TensorFeatures::extract(gpu_view, mode);
       want_segments =
-          auto_segment_count(*dev_, *gpu_tensor, mode, rank, opt, &whole);
+          auto_segment_count(*dev_, gpu_view, mode, rank, opt, &whole);
     }
-    res.plan = make_segments(*gpu_tensor, mode, want_segments,
+    res.plan = make_segments(gpu_view, mode, want_segments,
                              /*align_to_slices=*/true,
                              /*with_features=*/true);
   }
@@ -126,7 +130,7 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
                static_cast<std::uint64_t>(want_segments));
     met->count("pipeline/segments_realized",
                static_cast<std::uint64_t>(n_seg));
-    met->count("pipeline/gpu_nnz", gpu_tensor->nnz());
+    met->count("pipeline/gpu_nnz", gpu_view.nnz());
   }
 
   dev_->reset_timeline();
@@ -171,7 +175,7 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
     dev_->host_task(
         host_s, res.cpu_task_ns,
         [&] {
-          cpu_mttkrp_exec(CooSpan(t), part.cpu_ranges, factors, mode,
+          cpu_mttkrp_exec(view, part.cpu_ranges, factors, mode,
                           res.output, host_exec);
         },
         "CPU hybrid MTTKRP");
@@ -185,9 +189,10 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
       continue;
     }
     const gpusim::StreamId s = stream(i % opt.num_streams);
-    // Zero-copy: the segment is a view into the parent's arrays, not an
-    // extracted tensor. The parent outlives every use below.
-    const CooSpan segment = gpu_tensor->span(seg.begin, seg.end);
+    // Zero-copy: the segment is a view into the parent's arrays (or,
+    // under hybrid, a window of the GPU gather view), not an extracted
+    // tensor. The parent outlives every use below.
+    const CooSpan segment = gpu_view.subspan(seg.begin, seg.end);
     dev_->memcpy_h2d(s, segment.bytes(), nullptr,
                      "H2D segment " + std::to_string(i));
 
@@ -240,7 +245,7 @@ PipelineResult PipelineExecutor::run(const CooTensor& t,
   return res;
 }
 
-PipelineResult run_pipeline(gpusim::SimDevice& dev, const CooTensor& t,
+PipelineResult run_pipeline(gpusim::SimDevice& dev, const CooSpan& t,
                             const FactorList& factors, order_t mode,
                             const ExecConfig& cfg,
                             const LaunchSelector* selector) {

@@ -72,7 +72,7 @@ struct PipelineResult {
 /// MttkrpPlan segments exactly the way the executor would. `whole` may
 /// pass the tensor's precomputed features; when null they are extracted
 /// here (an O(nnz) rescan hot callers should avoid).
-int auto_segment_count(const gpusim::SimDevice& dev, const CooTensor& t,
+int auto_segment_count(const gpusim::SimDevice& dev, const CooSpan& t,
                        order_t mode, index_t rank, const ExecConfig& cfg,
                        const TensorFeatures* whole = nullptr);
 
@@ -84,10 +84,12 @@ class PipelineExecutor {
                    const LaunchSelector* selector = nullptr)
       : dev_(&dev), selector_(selector) {}
 
-  /// Run one end-to-end mode-`mode` MTTKRP. `t` must be mode-sorted.
-  /// The device timeline is reset at entry. ExecConfig::num_devices
-  /// must be 1 here — use MultiPipelineExecutor for sharded runs.
-  PipelineResult run(const CooTensor& t, const FactorList& factors,
+  /// Run one end-to-end mode-`mode` MTTKRP. `t` is a mode-sorted view
+  /// (a CooTensor converts implicitly; ModeViews::view(mode) plugs in
+  /// zero-copy). The device timeline is reset at entry.
+  /// ExecConfig::num_devices must be 1 here — use MultiPipelineExecutor
+  /// for sharded runs.
+  PipelineResult run(const CooSpan& t, const FactorList& factors,
                      order_t mode, const ExecConfig& cfg = {});
 
  private:
@@ -102,7 +104,7 @@ class PipelineExecutor {
 /// `dev` under `cfg` (trains nothing — pass a selector for adaptive
 /// launching). Exists so call sites that run once don't have to manage
 /// an executor object.
-PipelineResult run_pipeline(gpusim::SimDevice& dev, const CooTensor& t,
+PipelineResult run_pipeline(gpusim::SimDevice& dev, const CooSpan& t,
                             const FactorList& factors, order_t mode,
                             const ExecConfig& cfg = {},
                             const LaunchSelector* selector = nullptr);

@@ -19,23 +19,43 @@ MttkrpPlan::MttkrpPlan(const CooTensor& x, index_t rank,
            "MttkrpPlan replays a single-device pipeline; shard with "
            "MultiPipelineExecutor for ExecConfig::devices > 1");
   WallTimer timer;
+  views_ = ModeViews(x, options_.metrics_sink);
+  prepare();
+  prepare_seconds_ = timer.seconds();
+}
 
-  modes_.resize(x.order());
-  for (order_t m = 0; m < x.order(); ++m) {
+MttkrpPlan::MttkrpPlan(ModeViews&& views, index_t rank,
+                       gpusim::SimDevice& dev, const LaunchSelector* selector,
+                       ExecConfig config)
+    : dev_(&dev), selector_(selector), rank_(rank),
+      options_(std::move(config)), views_(std::move(views)) {
+  SF_CHECK(views_.nnz() > 0, "cannot plan for an empty tensor");
+  SF_CHECK(rank > 0, "rank must be positive");
+  options_.validate();
+  SF_CHECK(options_.num_devices == 1,
+           "MttkrpPlan replays a single-device pipeline; shard with "
+           "MultiPipelineExecutor for ExecConfig::devices > 1");
+  WallTimer timer;
+  prepare();
+  prepare_seconds_ = timer.seconds();
+}
+
+void MttkrpPlan::prepare() {
+  modes_.resize(views_.order());
+  for (order_t m = 0; m < views_.order(); ++m) {
     ModePlan& plan = modes_[m];
-    plan.sorted = x;
-    plan.sorted.sort_by_mode(m);
-    plan.features = TensorFeatures::extract(plan.sorted, m);
+    const CooSpan view = views_.view(m);
+    plan.features = TensorFeatures::extract(view, m);
 
     // Segment exactly the way the executor will (auto rule included,
     // fed the whole-tensor features just computed — no rescan). The
     // per-segment features fall out of the segmentation pass itself.
     const int want =
         options_.num_segments == 0
-            ? auto_segment_count(dev, plan.sorted, m, rank, options_,
+            ? auto_segment_count(*dev_, view, m, rank_, options_,
                                  &plan.features)
             : options_.num_segments;
-    plan.segments = make_segments(plan.sorted, m, want,
+    plan.segments = make_segments(view, m, want,
                                   /*align_to_slices=*/true,
                                   /*with_features=*/true);
 
@@ -46,7 +66,7 @@ MttkrpPlan::MttkrpPlan(const CooTensor& x, index_t rank,
       const Segment& seg = plan.segments.segments[i];
       if (seg.nnz() == 0) {
         plan.launch_schedule.push_back(
-            parti::default_launch(dev.spec(), 1));
+            parti::default_launch(dev_->spec(), 1));
         continue;
       }
       const TensorFeatures& feat = plan.segments.features[i];
@@ -54,12 +74,11 @@ MttkrpPlan::MttkrpPlan(const CooTensor& x, index_t rank,
         plan.launch_schedule.push_back(selector_->select(feat).config);
       } else {
         plan.launch_schedule.push_back(
-            parti::default_launch(dev.spec(), seg.nnz()));
+            parti::default_launch(dev_->spec(), seg.nnz()));
       }
     }
     plan.selection_seconds = sel_timer.seconds();
   }
-  prepare_seconds_ = timer.seconds();
 }
 
 PipelineResult MttkrpPlan::run(const FactorList& factors,
@@ -70,7 +89,7 @@ PipelineResult MttkrpPlan::run(const FactorList& factors,
   opt.num_segments = static_cast<int>(plan.segments.size());
   opt.launch_schedule = plan.launch_schedule;
   PipelineExecutor exec(*dev_, selector_);
-  return exec.run(plan.sorted, factors, mode, opt);
+  return exec.run(views_.view(mode), factors, mode, opt);
 }
 
 }  // namespace scalfrag

@@ -7,17 +7,23 @@
 // launch-relevant inputs — sparsity features, segmentation, launch
 // selection — depend only on the tensor, never on the factor values,
 // so they can be computed once per mode and reused by every iteration.
-// The plan does exactly that: sort, segment, and select up front; each
-// run() then replays the precomputed schedule.
+// The plan does exactly that: sort once, segment, and select up front;
+// each run() then replays the precomputed schedule.
+//
+// Memory model: the plan keeps ONE canonical sorted copy of the tensor
+// plus a gather permutation per remaining mode (ModeViews), not one
+// fully sorted copy per mode. For an order-N tensor that is
+// bytes(x) + (N-1)·4·nnz resident instead of N·bytes(x) — see
+// docs/host-engine.md "Plan memory model".
 
 #include "scalfrag/pipeline.hpp"
+#include "tensor/mode_views.hpp"
 
 namespace scalfrag {
 
 class MttkrpPlan {
  public:
   struct ModePlan {
-    CooTensor sorted;  // mode-sorted copy of the tensor
     TensorFeatures features;
     SegmentPlan segments;
     std::vector<gpusim::LaunchConfig> launch_schedule;  // per segment
@@ -25,23 +31,40 @@ class MttkrpPlan {
   };
 
   /// Precompute every mode's plan. `selector` may be null (static
-  /// launches). The heavy work (N sorts + N selector sweeps) happens
-  /// here, once.
+  /// launches). The heavy work (one canonical sort + N-1 counting
+  /// passes + N selector sweeps) happens here, once.
   ///
   /// The config is copied BY VALUE — later mutation (or destruction)
   /// of the caller's ExecConfig does not affect the plan. The one
   /// referenced resource is ExecConfig::metrics_sink: the registry it
   /// points at must outlive every run() replay of this plan (the plan
-  /// stores the raw pointer, not the registry).
+  /// stores the raw pointer, not the registry, and the ModeViews
+  /// resident-bytes gauge reports into it).
   MttkrpPlan(const CooTensor& x, index_t rank, gpusim::SimDevice& dev,
              const LaunchSelector* selector, ExecConfig config = {});
 
-  order_t order() const noexcept {
-    return static_cast<order_t>(modes_.size());
-  }
+  /// Adopt pre-built views (e.g. cpd_als sharing one canonical sort
+  /// across backends) instead of sorting again.
+  MttkrpPlan(ModeViews&& views, index_t rank, gpusim::SimDevice& dev,
+             const LaunchSelector* selector, ExecConfig config = {});
+
+  order_t order() const noexcept { return views_.order(); }
   index_t rank() const noexcept { return rank_; }
   const ModePlan& mode(order_t m) const { return modes_.at(m); }
   const ExecConfig& config() const noexcept { return options_; }
+
+  /// The shared single-sort representation backing every mode.
+  const ModeViews& views() const noexcept { return views_; }
+
+  /// Zero-copy mode-sorted view the mode-`m` replay executes on.
+  CooSpan view(order_t m) const { return views_.view(m); }
+
+  /// Bytes the plan keeps resident for the tensor data (canonical copy
+  /// + permutations). The replaced per-mode-copies scheme would hold
+  /// ModeViews::legacy_copies_bytes(x).
+  std::size_t resident_bytes() const noexcept {
+    return views_.resident_bytes();
+  }
 
   /// Execute one planned mode-`mode` MTTKRP (selection cost already
   /// sunk; result.selection_seconds stays 0).
@@ -51,10 +74,13 @@ class MttkrpPlan {
   double prepare_seconds() const noexcept { return prepare_seconds_; }
 
  private:
+  void prepare();
+
   gpusim::SimDevice* dev_;
   const LaunchSelector* selector_;
   index_t rank_;
   ExecConfig options_;
+  ModeViews views_;
   std::vector<ModePlan> modes_;
   double prepare_seconds_ = 0.0;
 };

@@ -20,7 +20,7 @@ namespace {
 /// and slices are detected exactly as TensorFeatures::extract does on a
 /// materialized segment (the first entry after a cut always opens a new
 /// slice and fiber), so the emitted features are identical.
-void fuse_features(const CooTensor& t, order_t mode, SegmentPlan& plan) {
+void fuse_features(const CooSpan& t, order_t mode, SegmentPlan& plan) {
   double cells = 1.0;
   for (index_t d : t.dims()) cells *= static_cast<double>(d);
 
@@ -50,7 +50,7 @@ void fuse_features(const CooTensor& t, order_t mode, SegmentPlan& plan) {
 
 }  // namespace
 
-SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
+SegmentPlan make_segments(const CooSpan& t, order_t mode, int num_segments,
                           bool align_to_slices, bool with_features) {
   SF_CHECK(num_segments > 0, "need at least one segment");
   SF_CHECK(t.is_sorted_by_mode(mode), "segmenter requires mode-sorted input");
@@ -99,7 +99,7 @@ SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
   return plan;
 }
 
-std::size_t pipeline_resident_bytes(const CooTensor& t, order_t mode,
+std::size_t pipeline_resident_bytes(const CooSpan& t, order_t mode,
                                     index_t rank) {
   SF_CHECK(mode < t.order(), "mode out of range");
   // The output matrix is dims[mode] × F — not dims[0] × F: for any
@@ -114,7 +114,7 @@ std::size_t pipeline_resident_bytes(const CooTensor& t, order_t mode,
   return bytes;
 }
 
-int segments_for_budget(const CooTensor& t, order_t mode, index_t rank,
+int segments_for_budget(const CooSpan& t, order_t mode, index_t rank,
                         std::size_t budget_bytes) {
   SF_CHECK(budget_bytes > 0, "budget must be positive");
   SF_CHECK(rank > 0, "rank must be positive");

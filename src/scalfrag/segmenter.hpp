@@ -40,20 +40,22 @@ struct SegmentPlan {
   nnz_t max_nnz() const noexcept;
 };
 
-/// Cut `t` (sorted by `mode`) into `num_segments` nnz-balanced segments.
+/// Cut `t` (a mode-sorted CooSpan — contiguous or a ModeViews gather
+/// view; a CooTensor converts implicitly) into `num_segments`
+/// nnz-balanced segments.
 /// When `align_to_slices` is set, each cut snaps to the nearest slice
 /// boundary unless a single slice exceeds the per-segment target (then
 /// the slice is split and flagged non-aligned). With `with_features`,
 /// the boundary walk additionally emits each segment's TensorFeatures
 /// (one fused pass — no per-segment extract + rescan).
-SegmentPlan make_segments(const CooTensor& t, order_t mode, int num_segments,
+SegmentPlan make_segments(const CooSpan& t, order_t mode, int num_segments,
                           bool align_to_slices = true,
                           bool with_features = false);
 
 /// Device bytes resident for the whole run of a mode-`mode` pipelined
 /// MTTKRP at rank `rank`: every factor matrix (all modes stay uploaded)
 /// plus the mode's output matrix. Segment staging comes on top.
-std::size_t pipeline_resident_bytes(const CooTensor& t, order_t mode,
+std::size_t pipeline_resident_bytes(const CooSpan& t, order_t mode,
                                     index_t rank);
 
 /// Smallest segment count such that the pipeline's device footprint for
@@ -64,7 +66,7 @@ std::size_t pipeline_resident_bytes(const CooTensor& t, order_t mode,
 /// k, /*align_to_slices=*/true) actually fits. Throws when the budget
 /// cannot hold the residents plus a two-entry segment; the result is
 /// clamped so tiny budgets never overflow int.
-int segments_for_budget(const CooTensor& t, order_t mode, index_t rank,
+int segments_for_budget(const CooSpan& t, order_t mode, index_t rank,
                         std::size_t budget_bytes);
 
 }  // namespace scalfrag

@@ -15,10 +15,12 @@ nnz_t ShardPlan::max_shard_nnz() const noexcept {
 }
 
 ShardPlan make_shard_plan(const gpusim::DeviceGroup& group,
-                          const CooTensor& t, order_t mode, index_t rank,
+                          const CooSpan& t, order_t mode, index_t rank,
                           const ExecConfig& cfg,
                           const LaunchSelector* selector) {
   SF_CHECK(t.is_sorted_by_mode(mode), "shard planner needs sorted input");
+  CooSpan view = t;
+  view.assume_sorted_by(mode);
   SF_CHECK(cfg.launch_schedule.empty(),
            "launch_schedule is single-device only; multi-device launches "
            "are predicted per shard from the realized plan");
@@ -37,12 +39,12 @@ ShardPlan make_shard_plan(const gpusim::DeviceGroup& group,
   // snapping may still realize fewer (then trailing shards stay empty).
   int want = cfg.num_segments;
   if (want == 0) {
-    const TensorFeatures whole = TensorFeatures::extract(t, mode);
-    want = auto_segment_count(group.device(0), t, mode, rank, cfg, &whole) *
+    const TensorFeatures whole = TensorFeatures::extract(view, mode);
+    want = auto_segment_count(group.device(0), view, mode, rank, cfg, &whole) *
            n_dev;
   }
   want = std::max(want, n_dev);
-  sp.plan = make_segments(t, mode, want, /*align_to_slices=*/true,
+  sp.plan = make_segments(view, mode, want, /*align_to_slices=*/true,
                           /*with_features=*/true);
   const auto n_seg = static_cast<int>(sp.plan.size());
 

@@ -49,7 +49,7 @@ struct ShardPlan {
   nnz_t max_shard_nnz() const noexcept;
 };
 
-/// Partition a mode-sorted tensor across `group`'s devices. Segment
+/// Partition a mode-sorted view across `group`'s devices. Segment
 /// count: ExecConfig::num_segments when set, otherwise the
 /// single-device auto rule scaled by the device count (each device
 /// runs an auto-depth pipeline). Devices beyond the realized segment
@@ -58,7 +58,7 @@ struct ShardPlan {
 /// the single-device executor. cfg.launch_schedule must be empty: a
 /// flat schedule cannot be mapped onto per-device plans.
 ShardPlan make_shard_plan(const gpusim::DeviceGroup& group,
-                          const CooTensor& t, order_t mode, index_t rank,
+                          const CooSpan& t, order_t mode, index_t rank,
                           const ExecConfig& cfg,
                           const LaunchSelector* selector = nullptr);
 

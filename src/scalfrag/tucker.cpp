@@ -99,15 +99,28 @@ DenseMatrix ttm_chain_all_but(const CooTensor& x, const FactorList& factors,
   return w;
 }
 
-TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt) {
-  SF_CHECK(x.nnz() > 0, "cannot decompose an empty tensor");
-  SF_CHECK(opt.core_dims.size() == x.order(),
+TuckerResult tucker_hooi(const CooTensor& input, const TuckerOptions& opt) {
+  SF_CHECK(input.nnz() > 0, "cannot decompose an empty tensor");
+  SF_CHECK(opt.core_dims.size() == input.order(),
            "need one core dimension per mode");
   SF_CHECK(opt.max_iters > 0, "max_iters must be positive");
   opt.exec.validate();
   obs::MetricsRegistry* const met = opt.exec.metrics_sink;
   const HostExecParams host = opt.exec.host_for_run();
-  const order_t order = x.order();
+  const order_t order = input.order();
+
+  // One canonical sort up front (the same ordering ModeViews keys on):
+  // every projection then walks mode-0-grouped entries, so output rows
+  // and factor rows are revisited in runs instead of at random. Paid
+  // once for the whole HOOI loop — never one copy per mode.
+  std::optional<CooTensor> canonical;
+  if (!input.is_sorted_by_mode(0)) {
+    std::optional<obs::MetricsRegistry::ScopedSpan> span;
+    if (met != nullptr) span.emplace(*met, "tucker/sort_canonical");
+    canonical.emplace(input);
+    canonical->sort_by_mode(0);
+  }
+  const CooTensor& x = canonical ? *canonical : input;
   for (order_t n = 0; n < order; ++n) {
     SF_CHECK(opt.core_dims[n] > 0 && opt.core_dims[n] <= x.dim(n),
              "core dims must be in [1, mode size]");

@@ -166,18 +166,59 @@ CooSpan::CooSpan(const CooTensor& t)
 CooSpan CooSpan::subspan(nnz_t begin, nnz_t end) const {
   SF_CHECK(begin <= end && end <= nnz_, "subspan range out of bounds");
   CooSpan s = *this;
-  for (order_t m = 0; m < order(); ++m) s.idx_[m] += begin;
-  s.vals_ += begin;
+  if (perm_ != nullptr) {
+    s.perm_ += begin;  // base arrays stay put; only the window moves
+  } else {
+    for (order_t m = 0; m < order(); ++m) s.idx_[m] += begin;
+    s.vals_ += begin;
+  }
   s.nnz_ = end - begin;
   s.offset_ = offset_ + begin;
   return s;
 }
 
+CooSpan CooSpan::gather(const perm_t* perm, nnz_t n) const {
+  SF_CHECK(dims_ != nullptr, "cannot gather a null span");
+  SF_CHECK(perm != nullptr || n == 0, "gather needs a permutation");
+  CooSpan s = *this;
+  s.perm_ = perm;
+  s.nnz_ = n;
+  s.offset_ = 0;
+  s.sort_hint_ = kNoSortHint;
+  return s;
+}
+
+bool CooSpan::is_sorted_by_mode(order_t mode) const {
+  SF_CHECK(mode < order(), "mode out of range");
+  if (sort_hint_ == mode) return true;
+  for (nnz_t e = 1; e < nnz_; ++e) {
+    const nnz_t a = physical(e - 1);
+    const nnz_t b = physical(e);
+    if (idx_[mode][a] != idx_[mode][b]) {
+      if (idx_[mode][a] > idx_[mode][b]) return false;
+      continue;
+    }
+    for (order_t k = 0; k < order(); ++k) {
+      if (k == mode || idx_[k][a] == idx_[k][b]) continue;
+      if (idx_[k][a] > idx_[k][b]) return false;
+      break;
+    }
+  }
+  return true;
+}
+
 bool CooSpan::slices_contiguous(order_t mode) const {
   SF_CHECK(mode < order(), "mode out of range");
+  if (sort_hint_ == mode) return true;
   const index_t* m = idx_[mode];
+  if (perm_ == nullptr) {
+    for (nnz_t e = 1; e < nnz_; ++e) {
+      if (m[e - 1] > m[e]) return false;
+    }
+    return true;
+  }
   for (nnz_t e = 1; e < nnz_; ++e) {
-    if (m[e - 1] > m[e]) return false;
+    if (m[perm_[e - 1]] > m[perm_[e]]) return false;
   }
   return true;
 }
@@ -188,8 +229,9 @@ CooTensor CooSpan::materialize() const {
   out.reserve(nnz_);
   std::vector<index_t> coord(order());
   for (nnz_t e = 0; e < nnz_; ++e) {
-    for (order_t m = 0; m < order(); ++m) coord[m] = idx_[m][e];
-    out.push(std::span<const index_t>(coord.data(), coord.size()), vals_[e]);
+    const nnz_t p = physical(e);
+    for (order_t m = 0; m < order(); ++m) coord[m] = idx_[m][p];
+    out.push(std::span<const index_t>(coord.data(), coord.size()), vals_[p]);
   }
   return out;
 }

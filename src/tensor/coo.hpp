@@ -100,13 +100,23 @@ class CooTensor {
   std::vector<value_t> vals_;
 };
 
-/// Zero-copy, read-only view of a contiguous non-zero range of a
-/// CooTensor — the exchange type of the host execution engine. A span
-/// is three raw pointers per mode plus a length: constructing one from
-/// a segment is O(order), versus the O(nnz) allocation + copy of
-/// CooTensor::extract. The parent tensor must outlive every span taken
-/// from it, and must not be mutated (push/sort/coalesce reallocate the
-/// underlying arrays) while spans are live.
+/// Zero-copy, read-only view of a non-zero range of a CooTensor — the
+/// exchange type of the host execution engine. A span is three raw
+/// pointers per mode plus a length: constructing one from a segment is
+/// O(order), versus the O(nnz) allocation + copy of CooTensor::extract.
+///
+/// A span is either *contiguous* (logical entry e reads base arrays at
+/// position e) or a *gather view* (logical entry e reads base arrays at
+/// permutation()[e] — how ModeViews and the hybrid GPU share present a
+/// reordered tensor without copying it). index()/value() are transparent
+/// either way; the raw mode_indices()/values() accessors exist only for
+/// contiguous spans, and kernels that support both dispatch on
+/// permutation() over index_base()/value_base().
+///
+/// The parent tensor (and for gather views, the permutation array) must
+/// outlive every span taken from it, and must not be mutated
+/// (push/sort/coalesce reallocate the underlying arrays) while spans
+/// are live.
 class CooSpan {
  public:
   CooSpan() = default;
@@ -114,8 +124,19 @@ class CooSpan {
   /// CooTensor directly (mirrors std::span's container constructor).
   CooSpan(const CooTensor& t);
 
-  /// View of [begin, end) relative to this span.
+  /// View of [begin, end) relative to this span. O(1): advances the
+  /// base pointers on a contiguous span, the permutation window on a
+  /// gather view. The mode-sorted hint (see assume_sorted_by) is kept —
+  /// a contiguous subrange of a sorted sequence stays sorted.
   CooSpan subspan(nnz_t begin, nnz_t end) const;
+
+  /// Gather view over this span's base arrays: logical entry e of the
+  /// result reads base position perm[e] (entries of perm are *physical*
+  /// positions — compose through physical() when deriving them from an
+  /// already-permuted span; any permutation on this span is replaced).
+  /// `perm` must outlive the view. Clears the sort hint; callers that
+  /// know the gathered order is mode-sorted chain assume_sorted_by().
+  CooSpan gather(const perm_t* perm, nnz_t n) const;
 
   order_t order() const noexcept {
     return dims_ ? static_cast<order_t>(dims_->size()) : 0;
@@ -124,36 +145,78 @@ class CooSpan {
   index_t dim(order_t mode) const { return dims_->at(mode); }
   nnz_t nnz() const noexcept { return nnz_; }
   bool empty() const noexcept { return nnz_ == 0; }
-  /// Offset of this span's first entry in the root tensor.
+  /// Offset of this span's first entry in the root tensor (contiguous
+  /// spans) or in the originating gather view.
   nnz_t offset() const noexcept { return offset_; }
 
-  index_t index(order_t mode, nnz_t e) const { return idx_[mode][e]; }
-  value_t value(nnz_t e) const { return vals_[e]; }
+  /// Physical position in the base arrays of logical entry e.
+  nnz_t physical(nnz_t e) const noexcept { return perm_ ? perm_[e] : e; }
 
-  /// Raw index array of one mode (nnz() entries). The engine's inner
-  /// loops hoist these pointers out of the per-entry loop.
-  const index_t* mode_indices(order_t mode) const { return idx_.at(mode); }
-  const value_t* values() const noexcept { return vals_; }
+  index_t index(order_t mode, nnz_t e) const {
+    return idx_[mode][physical(e)];
+  }
+  value_t value(nnz_t e) const { return vals_[physical(e)]; }
+
+  /// Raw index array of one mode (nnz() entries, logical order). Only
+  /// valid on contiguous spans — gather views have no such array; use
+  /// index_base()/permutation() there.
+  const index_t* mode_indices(order_t mode) const {
+    SF_CHECK(perm_ == nullptr,
+             "mode_indices() needs a contiguous span; gather views are "
+             "addressed via index_base()/permutation()");
+    return idx_.at(mode);
+  }
+  const value_t* values() const {
+    SF_CHECK(perm_ == nullptr,
+             "values() needs a contiguous span; gather views are "
+             "addressed via value_base()/permutation()");
+    return vals_;
+  }
+
+  /// Base-array accessors: physical storage, addressed through
+  /// physical(e) / permutation(). Valid for both span kinds.
+  const index_t* index_base(order_t mode) const { return idx_.at(mode); }
+  const value_t* value_base() const noexcept { return vals_; }
+  /// Gather permutation, or nullptr for contiguous spans.
+  const perm_t* permutation() const noexcept { return perm_; }
+  bool is_gather() const noexcept { return perm_ != nullptr; }
+
+  /// Record (without scanning) that this view's logical order is the
+  /// mode-`mode` lexicographic sort order. is_sorted_by_mode and
+  /// slices_contiguous then answer in O(1). Returns *this for chaining.
+  CooSpan& assume_sorted_by(order_t mode) {
+    SF_CHECK(mode < order(), "mode out of range");
+    sort_hint_ = mode;
+    return *this;
+  }
+  /// Mode-`mode` lexicographic sortedness of the *logical* entry order.
+  /// O(1) when hinted via assume_sorted_by, O(nnz · order) otherwise.
+  bool is_sorted_by_mode(order_t mode) const;
 
   /// Storage footprint of the viewed range (what a segment copy costs).
   std::size_t bytes() const noexcept {
     return nnz_ * (order() * sizeof(index_t) + sizeof(value_t));
   }
 
-  /// True when the mode's index array is non-decreasing over the view —
-  /// the (weaker-than-sorted) property slice-owner partitioning needs:
-  /// all entries of an output row are contiguous.
+  /// True when the mode's index sequence is non-decreasing over the
+  /// view (logical order) — the (weaker-than-sorted) property
+  /// slice-owner partitioning needs: all entries of an output row are
+  /// contiguous. O(1) when the view carries a matching sort hint.
   bool slices_contiguous(order_t mode) const;
 
-  /// Owning copy of the viewed range (tests / cold paths).
+  /// Owning copy of the viewed range in logical order (tests / cold
+  /// paths). Materializing a gather view yields the reordered tensor.
   CooTensor materialize() const;
 
  private:
   const std::vector<index_t>* dims_ = nullptr;
   std::array<const index_t*, kMaxOrder> idx_{};
   const value_t* vals_ = nullptr;
+  const perm_t* perm_ = nullptr;
   nnz_t nnz_ = 0;
   nnz_t offset_ = 0;
+  static constexpr order_t kNoSortHint = 0xff;
+  order_t sort_hint_ = kNoSortHint;
 };
 
 }  // namespace scalfrag

@@ -105,13 +105,22 @@ TensorFeatures TensorFeatures::Builder::finish() {
 
 TensorFeatures TensorFeatures::extract(const CooTensor& t, order_t mode) {
   SF_CHECK(mode < t.order(), "mode out of range");
-  const CooTensor* src = &t;
-  CooTensor sorted;
-  if (!t.is_sorted_by_mode(mode)) {
-    sorted = t;
-    sorted.sort_by_mode(mode);
-    src = &sorted;
+  if (t.is_sorted_by_mode(mode)) {
+    CooSpan view(t);
+    view.assume_sorted_by(mode);
+    return extract(view, mode);
   }
+  CooTensor sorted = t;
+  sorted.sort_by_mode(mode);
+  CooSpan view(sorted);
+  view.assume_sorted_by(mode);
+  return extract(view, mode);
+}
+
+TensorFeatures TensorFeatures::extract(const CooSpan& t, order_t mode) {
+  SF_CHECK(mode < t.order(), "mode out of range");
+  SF_CHECK(t.is_sorted_by_mode(mode),
+           "span feature extraction needs a mode-grouped view");
 
   double cells = 1.0;
   for (index_t d : t.dims()) cells *= static_cast<double>(d);
@@ -127,12 +136,12 @@ TensorFeatures TensorFeatures::extract(const CooTensor& t, order_t mode) {
     }
   }
 
-  for (nnz_t e = 0; e < src->nnz(); ++e) {
+  for (nnz_t e = 0; e < t.nnz(); ++e) {
     const bool new_slice =
-        e == 0 || src->index(mode, e) != src->index(mode, e - 1);
+        e == 0 || t.index(mode, e) != t.index(mode, e - 1);
     const bool new_fiber =
         new_slice || (t.order() > 1 &&
-                      src->index(next_mode, e) != src->index(next_mode, e - 1));
+                      t.index(next_mode, e) != t.index(next_mode, e - 1));
     b.add(new_slice, new_fiber);
   }
   return b.finish();

@@ -53,6 +53,12 @@ struct TensorFeatures {
   /// the tensor is not already mode-sorted.
   static TensorFeatures extract(const CooTensor& t, order_t mode);
 
+  /// Zero-copy extraction over a span (contiguous or gather view, e.g.
+  /// a ModeViews mode view). The span must already be mode-grouped —
+  /// a span cannot be sorted in place, so unlike the CooTensor overload
+  /// this one throws instead of copying.
+  static TensorFeatures extract(const CooSpan& t, order_t mode);
+
   class Builder;
 };
 

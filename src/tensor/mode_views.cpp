@@ -1,0 +1,114 @@
+#include "tensor/mode_views.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace scalfrag {
+
+ModeViews::ModeViews(const CooTensor& x, obs::MetricsRegistry* metrics,
+                     nnz_t gather_limit)
+    : metrics_(metrics) {
+  SF_CHECK(x.order() > 0, "ModeViews needs a tensor with dims");
+  canonical_ = x;
+  if (!canonical_.is_sorted_by_mode(0)) canonical_.sort_by_mode(0);
+
+  const order_t ord = canonical_.order();
+  const nnz_t n = canonical_.nnz();
+  if (n > gather_limit) {
+    // perm_t cannot address every entry: keep the old per-mode copies.
+    copies_.resize(ord);
+    for (order_t m = 1; m < ord; ++m) {
+      copies_[m] = canonical_;
+      copies_[m].sort_by_mode(m);
+    }
+  } else {
+    perms_.resize(ord);
+    for (order_t m = 1; m < ord; ++m) {
+      // Stable counting sort by the mode-m index over canonical order;
+      // ties keep lexicographic-over-remaining-modes order, which is
+      // exactly sort_by_mode(m)'s order.
+      const std::vector<index_t>& mi = canonical_.mode_indices(m);
+      std::vector<nnz_t> head(static_cast<std::size_t>(canonical_.dim(m)) + 1,
+                              0);
+      for (nnz_t e = 0; e < n; ++e) ++head[mi[e] + 1];
+      for (std::size_t i = 1; i < head.size(); ++i) head[i] += head[i - 1];
+      std::vector<perm_t>& perm = perms_[m];
+      perm.resize(n);
+      for (nnz_t e = 0; e < n; ++e) {
+        perm[head[mi[e]]++] = static_cast<perm_t>(e);
+      }
+    }
+  }
+  register_metrics();
+}
+
+ModeViews::~ModeViews() { release_metrics(); }
+
+ModeViews::ModeViews(ModeViews&& other) noexcept
+    : canonical_(std::move(other.canonical_)),
+      perms_(std::move(other.perms_)),
+      copies_(std::move(other.copies_)),
+      metrics_(other.metrics_),
+      registered_bytes_(other.registered_bytes_) {
+  // The registration travels with the storage; the source must not
+  // release it again.
+  other.metrics_ = nullptr;
+  other.registered_bytes_ = 0;
+}
+
+ModeViews& ModeViews::operator=(ModeViews&& other) noexcept {
+  if (this == &other) return *this;
+  release_metrics();
+  canonical_ = std::move(other.canonical_);
+  perms_ = std::move(other.perms_);
+  copies_ = std::move(other.copies_);
+  metrics_ = other.metrics_;
+  registered_bytes_ = other.registered_bytes_;
+  other.metrics_ = nullptr;
+  other.registered_bytes_ = 0;
+  return *this;
+}
+
+CooSpan ModeViews::view(order_t mode) const {
+  SF_CHECK(mode < order(), "mode out of range");
+  if (mode == 0) {
+    CooSpan s(canonical_);
+    s.assume_sorted_by(0);
+    return s;
+  }
+  if (!copies_.empty()) {
+    CooSpan s(copies_[mode]);
+    s.assume_sorted_by(mode);
+    return s;
+  }
+  CooSpan s =
+      CooSpan(canonical_).gather(perms_[mode].data(), perms_[mode].size());
+  s.assume_sorted_by(mode);
+  return s;
+}
+
+std::size_t ModeViews::resident_bytes() const noexcept {
+  std::size_t total = canonical_.bytes();
+  for (const std::vector<perm_t>& p : perms_) {
+    total += p.size() * sizeof(perm_t);
+  }
+  for (const CooTensor& c : copies_) total += c.bytes();
+  return total;
+}
+
+void ModeViews::register_metrics() {
+  if (metrics_ == nullptr) return;
+  registered_bytes_ = resident_bytes();
+  metrics_->add_resident(kResidentGauge,
+                         static_cast<std::int64_t>(registered_bytes_));
+}
+
+void ModeViews::release_metrics() {
+  if (metrics_ == nullptr || registered_bytes_ == 0) return;
+  metrics_->add_resident(kResidentGauge,
+                         -static_cast<std::int64_t>(registered_bytes_));
+  registered_bytes_ = 0;
+}
+
+}  // namespace scalfrag

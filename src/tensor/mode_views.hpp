@@ -1,0 +1,94 @@
+#pragma once
+// Mode-agnostic permutation views: one canonical lexicographic sort
+// plus one gather permutation per remaining mode, replacing the
+// one-fully-sorted-copy-per-mode preprocessing that CPD/Tucker drivers
+// and MttkrpPlan used to pay (ALTO-style shared ordered representation;
+// see docs/host-engine.md "Plan memory model").
+//
+// Why a single comparison sort suffices: the canonical copy is sorted
+// by mode 0, i.e. plain lexicographic order (0, 1, ..., N-1). For any
+// other mode m, the mode-m sort order (m first, remaining modes
+// ascending) is exactly what a *stable* counting sort by the mode-m
+// index produces over the canonical order — entries tied on mode m keep
+// their canonical relative order, which is lexicographic over the
+// remaining modes. So prepare is one O(nnz log nnz) sort plus N-1
+// O(nnz + dim) counting passes, and memory is one tensor plus
+// (N-1) * sizeof(perm_t) * nnz instead of N tensors.
+//
+// Lifetime: a ModeViews owns the canonical copy and the permutations;
+// every CooSpan returned by view() aliases them and must not outlive
+// or observe mutation of this object (moving a ModeViews keeps heap
+// buffers stable, so existing views survive the move).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+class ModeViews {
+ public:
+  /// Gauge fed via MetricsRegistry::add_resident; the registry derives
+  /// "mem/resident_bytes_peak" from it.
+  static constexpr const char* kResidentGauge = "mem/resident_bytes";
+
+  ModeViews() = default;
+
+  /// Canonical-sorts a copy of `x` (skipped when x is already sorted by
+  /// mode 0) and derives the per-mode permutations. When nnz exceeds
+  /// `gather_limit` (default: what perm_t can address) the permutations
+  /// cannot be represented and the facility falls back to materialized
+  /// per-mode sorted copies — views stay valid, memory does not shrink.
+  /// With a `metrics` registry the resident footprint is tracked as
+  /// kResidentGauge for the lifetime of this object.
+  explicit ModeViews(
+      const CooTensor& x, obs::MetricsRegistry* metrics = nullptr,
+      nnz_t gather_limit = std::numeric_limits<perm_t>::max());
+  ~ModeViews();
+
+  ModeViews(ModeViews&& other) noexcept;
+  ModeViews& operator=(ModeViews&& other) noexcept;
+  ModeViews(const ModeViews&) = delete;
+  ModeViews& operator=(const ModeViews&) = delete;
+
+  order_t order() const noexcept { return canonical_.order(); }
+  nnz_t nnz() const noexcept { return canonical_.nnz(); }
+  const CooTensor& canonical() const noexcept { return canonical_; }
+
+  /// Mode-`mode` sorted view. Mode 0 is the canonical copy itself;
+  /// other modes are O(1) gather views (or, in the fallback, spans of
+  /// the materialized copies). Every view carries the matching
+  /// assume_sorted_by hint, so downstream sortedness checks are O(1).
+  CooSpan view(order_t mode) const;
+
+  /// True when the gather_limit fallback materialized per-mode copies.
+  bool materialized() const noexcept { return !copies_.empty(); }
+
+  /// Bytes resident in this object: canonical copy + permutations
+  /// (+ materialized copies in the fallback).
+  std::size_t resident_bytes() const noexcept;
+
+  /// What the replaced scheme would keep resident: one fully sorted
+  /// copy per mode. The regression tests and fig10 compare against it.
+  static std::size_t legacy_copies_bytes(const CooTensor& x) noexcept {
+    return static_cast<std::size_t>(x.order()) * x.bytes();
+  }
+
+ private:
+  void register_metrics();
+  void release_metrics();
+
+  CooTensor canonical_;
+  std::vector<std::vector<perm_t>> perms_;  // [mode]; empty for mode 0
+  std::vector<CooTensor> copies_;           // gather_limit fallback only
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::size_t registered_bytes_ = 0;
+};
+
+}  // namespace scalfrag

@@ -36,98 +36,144 @@ index_t check_factors(const CooSpan& t, const FactorList& factors) {
 
 namespace {
 
-/// Serial kernel over the whole span, accumulating into `out`. Index
-/// arrays and factor bases are hoisted to raw pointers once; the
-/// multiplication order (ascending mode, skipping `mode`) matches
-/// mttkrp_coo_ref bit for bit.
-void mttkrp_span_range(const CooSpan& t, const FactorList& factors,
-                       order_t mode, DenseMatrix& out) {
+/// Rank-tile width of the host kernels: the accumulator tile lives in
+/// registers/L1 (64 floats = 4 cache lines) while one output row's run
+/// of entries streams through — the host-side mirror of the paper's
+/// shared-memory factor staging. 64 divides or exceeds every rank the
+/// drivers use, so the tail tile is rare.
+inline constexpr index_t kRankTile = 64;
+
+/// Entry addressing of a contiguous span: logical == physical.
+struct IdentityMap {
+  nnz_t operator()(nnz_t e) const noexcept { return e; }
+};
+
+/// Entry addressing of a gather view (ModeViews / hybrid GPU share).
+struct GatherMap {
+  const perm_t* perm;
+  nnz_t operator()(nnz_t e) const noexcept { return perm[e]; }
+};
+
+/// Rank-tiled kernel over the whole span, accumulating into `out`.
+/// Index arrays and factor bases are hoisted to raw pointers once; per
+/// rank tile, each *run* of entries sharing an output row accumulates
+/// into a stack tile seeded from the row and stored back once — the
+/// writes are contiguous, stride-1 and vectorizable, and the per-column
+/// addition order is exactly the reference's (runs degenerate to length
+/// 1 on ungrouped input, which reproduces the naive kernel). The
+/// multiply chain stays left-associated ((val·A)·B), matching
+/// mttkrp_coo_ref bit for bit modulo FMA contraction.
+///
+/// NF = 0/1/2 are the fused low-order bodies; NF = -1 is the
+/// general-order body with a Hadamard scratch tile.
+template <int NF, typename Map>
+void span_range_tiled(const CooSpan& t, const FactorList& factors,
+                      order_t mode, DenseMatrix& out, Map at) {
   const index_t rank = factors[mode].cols();
   const order_t order = t.order();
   const nnz_t n = t.nnz();
-  const value_t* vals = t.values();
-  const index_t* oidx = t.mode_indices(mode);
+  const value_t* vals = t.value_base();
+  const index_t* oidx = t.index_base(mode);
 
-  const index_t* idx[kMaxOrder];
-  const value_t* fdata[kMaxOrder];
+  const index_t* idx[kMaxOrder] = {};
+  const value_t* fdata[kMaxOrder] = {};
   order_t nf = 0;
   for (order_t m = 0; m < order; ++m) {
     if (m == mode) continue;
-    idx[nf] = t.mode_indices(m);
+    idx[nf] = t.index_base(m);
     fdata[nf] = factors[m].data();
     ++nf;
   }
 
-  if (nf == 0) {
-    // Order-1 degenerate case: every factor column accumulates val.
-    for (nnz_t e = 0; e < n; ++e) {
-      value_t* orow = out.row(oidx[e]);
-      for (index_t f = 0; f < rank; ++f) orow[f] += vals[e];
+  value_t acc[kRankTile];
+  value_t had[kRankTile];  // general-order Hadamard scratch
+  for (index_t f0 = 0; f0 < rank; f0 += kRankTile) {
+    const index_t tw = std::min<index_t>(kRankTile, rank - f0);
+    nnz_t e = 0;
+    while (e < n) {
+      const index_t row = oidx[at(e)];
+      value_t* orow = out.row(row) + f0;
+      for (index_t f = 0; f < tw; ++f) acc[f] = orow[f];
+      do {
+        const nnz_t p = at(e);
+        const value_t val = vals[p];
+        if constexpr (NF == 0) {
+          // Order-1 degenerate case: every column accumulates val.
+          for (index_t f = 0; f < tw; ++f) acc[f] += val;
+        } else if constexpr (NF == 1) {
+          const value_t* r0 =
+              fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank + f0;
+          for (index_t f = 0; f < tw; ++f) acc[f] += val * r0[f];
+        } else if constexpr (NF == 2) {
+          const value_t* r0 =
+              fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank + f0;
+          const value_t* r1 =
+              fdata[1] + static_cast<std::size_t>(idx[1][p]) * rank + f0;
+          for (index_t f = 0; f < tw; ++f) acc[f] += val * r0[f] * r1[f];
+        } else {
+          const value_t* r0 =
+              fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank + f0;
+          for (index_t f = 0; f < tw; ++f) had[f] = val * r0[f];
+          for (order_t k = 1; k < nf; ++k) {
+            const value_t* rk =
+                fdata[k] + static_cast<std::size_t>(idx[k][p]) * rank + f0;
+            for (index_t f = 0; f < tw; ++f) had[f] *= rk[f];
+          }
+          for (index_t f = 0; f < tw; ++f) acc[f] += had[f];
+        }
+        ++e;
+      } while (e < n && oidx[at(e)] == row);
+      for (index_t f = 0; f < tw; ++f) orow[f] = acc[f];
     }
-    return;
-  }
-
-  // Fused single-pass loops for the common low orders: no scratch
-  // buffer, one rank-loop per entry. The multiply chain stays
-  // left-associated ((val·A)·B), matching the reference bit for bit.
-  if (nf == 1) {
-    const index_t* i0 = idx[0];
-    const value_t* f0 = fdata[0];
-    for (nnz_t e = 0; e < n; ++e) {
-      const value_t val = vals[e];
-      const value_t* frow0 = f0 + static_cast<std::size_t>(i0[e]) * rank;
-      value_t* orow = out.row(oidx[e]);
-      for (index_t f = 0; f < rank; ++f) orow[f] += val * frow0[f];
-    }
-    return;
-  }
-  if (nf == 2) {
-    const index_t* i0 = idx[0];
-    const index_t* i1 = idx[1];
-    const value_t* f0 = fdata[0];
-    const value_t* f1 = fdata[1];
-    for (nnz_t e = 0; e < n; ++e) {
-      const value_t val = vals[e];
-      const value_t* frow0 = f0 + static_cast<std::size_t>(i0[e]) * rank;
-      const value_t* frow1 = f1 + static_cast<std::size_t>(i1[e]) * rank;
-      value_t* orow = out.row(oidx[e]);
-      for (index_t f = 0; f < rank; ++f) {
-        orow[f] += val * frow0[f] * frow1[f];
-      }
-    }
-    return;
-  }
-
-  std::vector<value_t> accbuf(rank);
-  value_t* acc = accbuf.data();
-  for (nnz_t e = 0; e < n; ++e) {
-    const value_t val = vals[e];
-    const value_t* frow0 =
-        fdata[0] + static_cast<std::size_t>(idx[0][e]) * rank;
-    for (index_t f = 0; f < rank; ++f) acc[f] = val * frow0[f];
-    for (order_t k = 1; k < nf; ++k) {
-      const value_t* frow =
-          fdata[k] + static_cast<std::size_t>(idx[k][e]) * rank;
-      for (index_t f = 0; f < rank; ++f) acc[f] *= frow[f];
-    }
-    value_t* orow = out.row(oidx[e]);
-    for (index_t f = 0; f < rank; ++f) orow[f] += acc[f];
   }
 }
 
-/// Cut [0, n) into ≤ `chunks` slice-aligned ranges (same forward-snap
-/// rule as the segmenter): cuts[i]..cuts[i+1] is chunk i, and no slice
-/// of `midx` spans a cut. Returns the cut list (front 0, back n).
-std::vector<nnz_t> slice_chunks(const index_t* midx, nnz_t n,
+template <typename Map>
+void span_range_dispatch(const CooSpan& t, const FactorList& factors,
+                         order_t mode, DenseMatrix& out, Map at) {
+  switch (t.order() - 1) {
+    case 0:
+      span_range_tiled<0>(t, factors, mode, out, at);
+      return;
+    case 1:
+      span_range_tiled<1>(t, factors, mode, out, at);
+      return;
+    case 2:
+      span_range_tiled<2>(t, factors, mode, out, at);
+      return;
+    default:
+      span_range_tiled<-1>(t, factors, mode, out, at);
+      return;
+  }
+}
+
+/// Serial kernel body: picks the fused arity and the entry addressing
+/// (contiguous vs gather view) once per call.
+void mttkrp_span_range(const CooSpan& t, const FactorList& factors,
+                       order_t mode, DenseMatrix& out) {
+  if (t.nnz() == 0) return;
+  if (t.is_gather()) {
+    span_range_dispatch(t, factors, mode, out, GatherMap{t.permutation()});
+  } else {
+    span_range_dispatch(t, factors, mode, out, IdentityMap{});
+  }
+}
+
+/// Cut the span's [0, nnz) into ≤ `chunks` slice-aligned ranges (same
+/// forward-snap rule as the segmenter): cuts[i]..cuts[i+1] is chunk i,
+/// and no mode-`mode` slice spans a cut. Walks logical entry order, so
+/// gather views chunk exactly like their materialized equivalents.
+std::vector<nnz_t> slice_chunks(const CooSpan& t, order_t mode,
                                 std::size_t chunks) {
+  const nnz_t n = t.nnz();
   std::vector<nnz_t> cuts{0};
   const nnz_t target = (n + chunks - 1) / chunks;
   nnz_t cursor = 0;
   while (cursor < n) {
     nnz_t cut = std::min<nnz_t>(cursor + target, n);
     if (cut < n) {
-      const index_t slice = midx[cut - 1];
-      while (cut < n && midx[cut] == slice) ++cut;
+      const index_t slice = t.index(mode, cut - 1);
+      while (cut < n && t.index(mode, cut) == slice) ++cut;
     }
     cuts.push_back(cut);
     cursor = cut;
@@ -162,7 +208,7 @@ HostStrategy choose_host_strategy(const CooSpan& t, order_t mode,
                : HostStrategy::SliceOwner;
   }
   if (!t.slices_contiguous(mode)) return HostStrategy::PrivateReduce;
-  const auto cuts = slice_chunks(t.mode_indices(mode), n, threads);
+  const auto cuts = slice_chunks(t, mode, threads);
   nnz_t max_chunk = 0;
   for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
     max_chunk = std::max(max_chunk, cuts[c + 1] - cuts[c]);
@@ -208,7 +254,7 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
         SF_CHECK(t.slices_contiguous(mode),
                  "SliceOwner requires contiguous slices (mode-grouped input)");
       }
-      const auto cuts = slice_chunks(t.mode_indices(mode), n, threads);
+      const auto cuts = slice_chunks(t, mode, threads);
       const std::size_t n_chunks = cuts.size() - 1;
       // Each chunk owns the output rows of its slice range: chunks are
       // race-free against each other, no atomics, no reduction.

@@ -1,7 +1,8 @@
 #pragma once
 // The parallel host execution engine. mttkrp_coo_ref defines
 // correctness; this file makes the same computation run at host-memory
-// speed: pointer-hoisted inner loops over zero-copy CooSpan views,
+// speed: rank-tiled, pointer-hoisted inner loops over zero-copy CooSpan
+// views (contiguous spans and ModeViews-style gather views alike),
 // multithreaded on ThreadPool::global() with two partitioning schemes
 // (Nisa et al.'s load-balanced slice ownership, and privatized
 // accumulators with a reduction pass for unsorted/skewed inputs).

@@ -1,6 +1,7 @@
 #include "testing/diff_check.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/rng.hpp"
 #include "parti/parti_executor.hpp"
@@ -9,22 +10,23 @@
 #include "tensor/bcsf.hpp"
 #include "tensor/fcoo.hpp"
 #include "tensor/hicoo.hpp"
+#include "tensor/mode_views.hpp"
 #include "tensor/mttkrp_par.hpp"
 
 namespace scalfrag::testing {
 namespace {
 
-DenseMatrix run_host_engine(const CooTensor& t, const FactorList& f,
+DenseMatrix run_host_engine(const CooSpan& t, const FactorList& f,
                             order_t mode, HostStrategy strategy,
                             std::size_t threads) {
   HostExecParams opt;
   opt.strategy = strategy;
   opt.threads = threads;
   opt.grain_nnz = 1;  // fuzz tensors are small; force the parallel paths
-  return mttkrp_coo_par(CooSpan(t), f, mode, opt);
+  return mttkrp_coo_par(t, f, mode, opt);
 }
 
-DenseMatrix run_pipeline(const CooTensor& t, const FactorList& f, order_t mode,
+DenseMatrix run_pipeline(const CooSpan& t, const FactorList& f, order_t mode,
                          int segments, int streams, nnz_t hybrid_threshold,
                          HostStrategy strategy = HostStrategy::Auto,
                          bool use_shared_mem = true,
@@ -42,13 +44,13 @@ DenseMatrix run_pipeline(const CooTensor& t, const FactorList& f, order_t mode,
     // realized plan of the GPU share (slice snapping can realize fewer
     // segments than requested), mirroring the executor's sequencing.
     SF_CHECK(segments > 0, "scheduled paths need an explicit count");
-    const CooTensor* gt = &t;
+    CooSpan gt = t;
     HybridPartition part;
     if (hybrid_threshold > 0) {
       part = partition_for_hybrid(t, mode, hybrid_threshold);
-      if (!part.gpu_whole) gt = &part.gpu_part;
+      if (!part.gpu_whole) gt = part.gpu_view(t);
     }
-    const SegmentPlan plan = make_segments(*gt, mode, segments);
+    const SegmentPlan plan = make_segments(gt, mode, segments);
     opt.launch_schedule.reserve(plan.size());
     for (std::size_t i = 0; i < plan.size(); ++i) {
       // Alternate shapes so a misaligned schedule would actually change
@@ -61,7 +63,7 @@ DenseMatrix run_pipeline(const CooTensor& t, const FactorList& f, order_t mode,
   return scalfrag::run_pipeline(dev, t, f, mode, opt).output;
 }
 
-DenseMatrix run_multidev(const CooTensor& t, const FactorList& f, order_t mode,
+DenseMatrix run_multidev(const CooSpan& t, const FactorList& f, order_t mode,
                          int devices, int segments,
                          std::optional<gpusim::ReduceSchedule> sched = {}) {
   gpusim::DeviceGroup group(gpusim::DeviceSpec::rtx3090(), devices);
@@ -79,6 +81,30 @@ DenseMatrix run_multidev(const CooTensor& t, const FactorList& f, order_t mode,
 nnz_t mixed_hybrid_threshold(const CooTensor& t, order_t mode) {
   const TensorFeatures feat = TensorFeatures::extract(t, mode);
   return static_cast<nnz_t>(feat.avg_nnz_per_slice) + 1;
+}
+
+/// Runs `exec` on a ModeViews gather view of `t`, cross-checks the
+/// result BIT-FOR-BIT against the same path on the materialized copy of
+/// that view (same logical order, so any difference is a
+/// gather-addressing bug — FP tolerance would mask it), and returns the
+/// view-side result for the usual oracle comparison.
+template <typename Exec>
+DenseMatrix run_on_views(const CooTensor& t, order_t mode, Exec exec) {
+  const ModeViews views(t);
+  const CooSpan view = views.view(mode);
+  const DenseMatrix got = exec(view);
+
+  const CooTensor dense = view.materialize();
+  CooSpan flat(dense);
+  flat.assume_sorted_by(mode);
+  const DenseMatrix want = exec(flat);
+  SF_CHECK(got.rows() == want.rows() && got.cols() == want.cols(),
+           "view/materialized output shape mismatch");
+  SF_CHECK(std::memcmp(got.data(), want.data(),
+                       got.size() * sizeof(value_t)) == 0,
+           "permutation-view result is not bit-identical to the "
+           "materialized-copy run");
+  return got;
 }
 
 const std::vector<ExecPath>& build_table() {
@@ -227,6 +253,36 @@ const std::vector<ExecPath>& build_table() {
     add("hybrid/all_cpu",
         [](const CooTensor& t, const FactorList& f, order_t mode) {
           return run_pipeline(t, f, mode, 1, 2, t.nnz() + 1);
+        });
+
+    // Permutation-view execution (ModeViews): the same engines fed a
+    // single-sort gather view instead of a contiguous sorted copy.
+    // Each row also asserts bit-identity against the materialized copy
+    // of the view (see run_on_views) before the oracle comparison.
+    add("views/host_engine",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_on_views(t, mode, [&](const CooSpan& v) {
+            return run_host_engine(v, f, mode, HostStrategy::Auto, 0);
+          });
+        });
+    add("views/pipeline/s3x2",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_on_views(t, mode, [&](const CooSpan& v) {
+            return run_pipeline(v, f, mode, 3, 2, 0);
+          });
+        });
+    add("views/hybrid/mixed",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          const nnz_t thr = mixed_hybrid_threshold(t, mode);
+          return run_on_views(t, mode, [&](const CooSpan& v) {
+            return run_pipeline(v, f, mode, 2, 2, thr);
+          });
+        });
+    add("views/multidev/d2",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_on_views(t, mode, [&](const CooSpan& v) {
+            return run_multidev(v, f, mode, 2, 0);
+          });
         });
 
     // Multi-device sharded pipelines: the realized segment plan is

@@ -77,7 +77,7 @@ TEST(DiffCheck, PathFilterRestrictsTheTable) {
   opt.path_filter = "pipeline";
   const DiffReport rep = check_all_paths(t, 0, opt);
   EXPECT_TRUE(rep.ok());
-  EXPECT_EQ(rep.paths_run, 7u);
+  EXPECT_EQ(rep.paths_run, 8u);  // 7 pipeline/* rows + views/pipeline/s3x2
 }
 
 TEST(DiffCheck, TableCoversScheduleAndShmemCombos) {

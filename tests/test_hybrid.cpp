@@ -33,19 +33,16 @@ nnz_t ranges_nnz(const HybridPartition& part) {
 TEST(Hybrid, PartitionConservesEntries) {
   CooTensor t = make_frostt_tensor("enron", 1.0 / 4096, 51);
   const auto part = partition_for_hybrid(t, 0, 8);
-  const nnz_t gpu_nnz = part.gpu_whole ? t.nnz() : part.gpu_part.nnz();
-  EXPECT_EQ(part.cpu_nnz + gpu_nnz, t.nnz());
+  EXPECT_EQ(part.cpu_nnz + part.gpu_nnz, t.nnz());
   EXPECT_EQ(ranges_nnz(part), part.cpu_nnz);
   double sum_t = 0, sum_p = 0;
   for (value_t v : t.values()) sum_t += v;
   for (const auto& [b, e] : part.cpu_ranges) {
     for (nnz_t i = b; i < e; ++i) sum_p += t.value(i);
   }
-  if (part.gpu_whole) {
-    for (value_t v : t.values()) sum_p += v;
-  } else {
-    for (value_t v : part.gpu_part.values()) sum_p += v;
-  }
+  const CooSpan gpu = part.gpu_view(t);
+  EXPECT_EQ(gpu.nnz(), part.gpu_nnz);
+  for (nnz_t e = 0; e < gpu.nnz(); ++e) sum_p += gpu.value(e);
   // gpu_whole implies no CPU ranges, so the halves never double-count.
   EXPECT_NEAR(sum_t, sum_p, 1e-3);
 }
@@ -61,7 +58,13 @@ TEST(Hybrid, ThresholdRoutesShortSlicesToCpu) {
   const auto part = partition_for_hybrid(t, 0, 4);
   EXPECT_EQ(part.cpu_nnz, 3u);  // slices 0 and 3
   EXPECT_FALSE(part.gpu_whole);
-  EXPECT_EQ(part.gpu_part.nnz(), 50u);
+  EXPECT_EQ(part.gpu_nnz, 50u);
+  // The GPU share is a gather permutation, not a copy: here it selects
+  // exactly slice 1's entries [1, 51) of the sorted parent.
+  ASSERT_EQ(part.gpu_perm.size(), 50u);
+  for (std::size_t i = 0; i < part.gpu_perm.size(); ++i) {
+    EXPECT_EQ(part.gpu_perm[i], i + 1);
+  }
   EXPECT_EQ(part.cpu_slices, 2u);
   EXPECT_EQ(part.gpu_slices, 1u);
   // Slices 0 and 3 are non-adjacent in the sorted entry order, so they
@@ -77,9 +80,11 @@ TEST(Hybrid, ZeroThresholdSendsAllToGpu) {
   const auto part = partition_for_hybrid(t, 0, 0);
   EXPECT_EQ(part.cpu_nnz, 0u);
   EXPECT_TRUE(part.cpu_ranges.empty());
-  // An all-GPU partition reuses the parent tensor: no copy of any kind.
+  // An all-GPU partition reuses the parent span: no copy, no gather.
   EXPECT_TRUE(part.gpu_whole);
-  EXPECT_EQ(part.gpu_part.nnz(), 0u);
+  EXPECT_TRUE(part.gpu_perm.empty());
+  EXPECT_EQ(part.gpu_view(t).nnz(), t.nnz());
+  EXPECT_FALSE(part.gpu_view(t).is_gather());
   EXPECT_EQ(CooTensor::extract_calls(), extracts_before);
   EXPECT_GT(part.gpu_slices, 0u);
 }
@@ -88,7 +93,11 @@ TEST(Hybrid, PartsRemainModeSorted) {
   CooTensor t = make_frostt_tensor("enron", 1.0 / 8192, 53);
   const auto part = partition_for_hybrid(t, 0, 6);
   if (!part.gpu_whole) {
-    EXPECT_TRUE(part.gpu_part.is_sorted_by_mode(0));
+    // Rebuild the gather view WITHOUT the sortedness hint gpu_view()
+    // installs, so this actually scans the gathered order.
+    const CooSpan gpu =
+        CooSpan(t).gather(part.gpu_perm.data(), part.gpu_perm.size());
+    EXPECT_TRUE(gpu.is_sorted_by_mode(0));
   }
   // CPU ranges view the sorted parent, so each range is slice-grouped.
   for (const auto& [b, e] : part.cpu_ranges) {
@@ -109,8 +118,7 @@ TEST(Hybrid, PartsSumToWholeMttkrp) {
   ASSERT_FALSE(part.cpu_ranges.empty());
   DenseMatrix acc(t.dim(0), 8);
   cpu_mttkrp_exec(CooSpan(t), part.cpu_ranges, f, 0, acc);
-  mttkrp_coo_ref(part.gpu_whole ? t : part.gpu_part, f, 0, acc,
-                 /*accumulate=*/true);
+  mttkrp_coo_par(part.gpu_view(t), f, 0, acc, /*accumulate=*/true);
   EXPECT_LT(DenseMatrix::max_abs_diff(whole, acc), 2e-3);
 }
 

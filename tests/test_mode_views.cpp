@@ -1,0 +1,141 @@
+// ModeViews tests: the single-sort permutation views reproduce each
+// mode's sorted order exactly, the gather_limit fallback still works,
+// and the resident-bytes gauge tracks the object's lifetime.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/mode_views.hpp"
+#include "tensor/mttkrp_par.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+namespace {
+
+CooTensor skewed_tensor(std::uint64_t seed) {
+  GeneratorConfig g{.dims = {48, 96, 64},
+                    .nnz = 6000,
+                    .skew = {1.5, 1.2, 1.0},
+                    .seed = seed};
+  return generate_coo(g);
+}
+
+void expect_same_order(const CooSpan& got, const CooTensor& want) {
+  ASSERT_EQ(got.nnz(), want.nnz());
+  for (nnz_t e = 0; e < want.nnz(); ++e) {
+    for (order_t m = 0; m < want.order(); ++m) {
+      ASSERT_EQ(got.index(m, e), want.index(m, e))
+          << "entry " << e << " mode " << static_cast<int>(m);
+    }
+    ASSERT_EQ(got.value(e), want.value(e)) << "entry " << e;
+  }
+}
+
+TEST(ModeViews, ViewsMatchPerModeSortExactly) {
+  const CooTensor t = skewed_tensor(601);
+  const ModeViews views(t);
+  ASSERT_FALSE(views.materialized());
+  for (order_t m = 0; m < t.order(); ++m) {
+    CooTensor sorted = t;
+    sorted.sort_by_mode(m);
+    // Same entries in the same logical order — index-by-index, not just
+    // "is sorted": the counting-sort derivation must reproduce
+    // sort_by_mode(m) including tie order.
+    expect_same_order(views.view(m), sorted);
+    EXPECT_TRUE(views.view(m).is_sorted_by_mode(m));
+  }
+  // Mode 0 aliases the canonical copy directly (no gather).
+  EXPECT_FALSE(views.view(0).is_gather());
+  EXPECT_EQ(views.view(0).index_base(0),
+            views.canonical().mode_indices(0).data());
+  for (order_t m = 1; m < t.order(); ++m) {
+    EXPECT_TRUE(views.view(m).is_gather());
+  }
+}
+
+TEST(ModeViews, AcceptsUnsortedInput) {
+  CooTensor t({6, 5, 4});
+  t.push({5, 0, 3}, 1.0f);
+  t.push({0, 4, 1}, 2.0f);
+  t.push({2, 2, 2}, 3.0f);
+  t.push({0, 1, 3}, 4.0f);
+  ASSERT_FALSE(t.is_sorted_by_mode(0));
+  const ModeViews views(t);
+  for (order_t m = 0; m < t.order(); ++m) {
+    CooTensor sorted = t;
+    sorted.sort_by_mode(m);
+    expect_same_order(views.view(m), sorted);
+  }
+}
+
+TEST(ModeViews, GatherLimitFallsBackToMaterializedCopies) {
+  const CooTensor t = skewed_tensor(602);
+  // Force the fallback with a limit below nnz.
+  const ModeViews views(t, nullptr, /*gather_limit=*/t.nnz() - 1);
+  ASSERT_TRUE(views.materialized());
+  for (order_t m = 0; m < t.order(); ++m) {
+    CooTensor sorted = t;
+    sorted.sort_by_mode(m);
+    expect_same_order(views.view(m), sorted);
+    EXPECT_FALSE(views.view(m).is_gather());
+  }
+  // No saving in the fallback: the footprint matches the legacy bound.
+  EXPECT_GE(views.resident_bytes(), ModeViews::legacy_copies_bytes(t));
+}
+
+TEST(ModeViews, HalvesResidentBytesForThreeModes) {
+  const CooTensor t = skewed_tensor(603);
+  const ModeViews views(t);
+  // 3-mode arithmetic: canonical 16B/nnz + 2 perms at 4B/nnz = 24B/nnz
+  // against 3 copies at 16B/nnz = 48B/nnz — exactly half.
+  EXPECT_EQ(views.resident_bytes() * 2, ModeViews::legacy_copies_bytes(t));
+}
+
+TEST(ModeViews, MttkrpOnViewMatchesReferenceOnSortedCopy) {
+  const CooTensor t = skewed_tensor(604);
+  const ModeViews views(t);
+  Rng rng(605);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), 8);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  for (order_t m = 0; m < t.order(); ++m) {
+    const DenseMatrix got = mttkrp_coo_par(views.view(m), f, m);
+    const DenseMatrix want = mttkrp_coo_ref(t, f, m);
+    EXPECT_LT(DenseMatrix::max_abs_diff(got, want), 2e-3);
+  }
+}
+
+TEST(ModeViews, ResidentGaugeTracksLifetimeAndPeak) {
+  const CooTensor t = skewed_tensor(606);
+  obs::MetricsRegistry met;
+  const std::string peak = std::string(ModeViews::kResidentGauge) + "_peak";
+  double one = 0.0;
+  {
+    ModeViews a(t, &met);
+    one = static_cast<double>(a.resident_bytes());
+    EXPECT_EQ(met.gauge(ModeViews::kResidentGauge), one);
+    {
+      const ModeViews b(t, &met);
+      EXPECT_EQ(met.gauge(ModeViews::kResidentGauge), 2 * one);
+      EXPECT_EQ(met.gauge(peak), 2 * one);
+    }
+    // b released; the peak remembers the high-water mark.
+    EXPECT_EQ(met.gauge(ModeViews::kResidentGauge), one);
+    EXPECT_EQ(met.gauge(peak), 2 * one);
+
+    // Moving transfers the registration — no double release.
+    ModeViews c(std::move(a));
+    EXPECT_EQ(met.gauge(ModeViews::kResidentGauge), one);
+  }
+  EXPECT_EQ(met.gauge(ModeViews::kResidentGauge), 0.0);
+  EXPECT_EQ(met.gauge(peak), 2 * one);
+}
+
+}  // namespace
+}  // namespace scalfrag

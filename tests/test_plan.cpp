@@ -70,7 +70,7 @@ TEST(MttkrpPlan, SchedulesOneLaunchPerSegment) {
   for (order_t m = 0; m < t.order(); ++m) {
     EXPECT_EQ(plan.mode(m).launch_schedule.size(),
               plan.mode(m).segments.size());
-    EXPECT_TRUE(plan.mode(m).sorted.is_sorted_by_mode(m));
+    EXPECT_TRUE(plan.view(m).is_sorted_by_mode(m));
     EXPECT_EQ(plan.mode(m).features.nnz, t.nnz());
   }
 }
@@ -124,6 +124,28 @@ TEST(MttkrpPlan, ConfigIsCopiedByValueAtConstruction) {
   EXPECT_EQ(after.launches, before.launches);
   // The copied sink still records into the caller's registry.
   EXPECT_GE(met.counter("pipeline/runs"), 2u);
+}
+
+TEST(MttkrpPlan, SingleSortKeepsMemoryBelowPerModeCopies) {
+  // Regression for the former one-sorted-copy-per-mode scheme: the plan
+  // now holds one canonical copy plus per-mode permutations, which for
+  // any order-3 tensor is at most half the old N-copies footprint.
+  gpusim::SimDevice dev(kSpec);
+  const CooTensor t = make_frostt_tensor("nell-2", 1.0 / 2048, 512);
+  ASSERT_EQ(t.order(), 3);
+  obs::MetricsRegistry met;
+  const MttkrpPlan plan(t, 8, dev, nullptr, ExecConfig{}.metrics(&met));
+  EXPECT_FALSE(plan.views().materialized());
+  EXPECT_LE(plan.resident_bytes() * 2, ModeViews::legacy_copies_bytes(t));
+  // The resident gauge tracks the plan's tensor residency, and the peak
+  // never reached the legacy bound either.
+  EXPECT_EQ(met.gauge(ModeViews::kResidentGauge),
+            static_cast<double>(plan.resident_bytes()));
+  const double peak =
+      met.gauge(std::string(ModeViews::kResidentGauge) + "_peak");
+  EXPECT_GE(peak, met.gauge(ModeViews::kResidentGauge));
+  EXPECT_LE(peak * 2,
+            static_cast<double>(ModeViews::legacy_copies_bytes(t)));
 }
 
 TEST(MttkrpPlan, RejectsMultiDeviceConfigs) {
