@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <sstream>
 #include <string>
@@ -31,12 +32,19 @@ namespace {
 using namespace scalfrag;
 using namespace scalfrag::testing;
 
+/// Ranks the sweep cycles through when --rank is not pinned: the
+/// workhorse 8 plus the SIMD tail shapes — 1 and 3 (sub-lane), 7
+/// (neither AVX2 nor AVX-512 divides it), 63 (full AVX-512 lanes plus a
+/// 15-wide masked tail inside one rank tile) and 65 (crosses the
+/// kRankTile boundary into a 1-wide tail tile).
+constexpr index_t kRankCycle[] = {8, 1, 3, 7, 63, 65};
+
 struct Args {
   std::uint64_t seed = 42;
   int iters = 200;
   std::string archetype;  // empty = round-robin over the whole corpus
   std::string paths;      // substring filter; empty = all
-  index_t rank = 8;
+  index_t rank = 0;       // 0 = cycle through kRankCycle per iteration
   int size_class = 1;
   double max_seconds = 0.0;  // 0 = no wall-clock budget
   bool list = false;
@@ -46,7 +54,9 @@ struct Args {
   std::printf(
       "usage: fuzz_mttkrp [--seed N] [--iters N] [--archetype NAME]\n"
       "                   [--paths SUBSTR] [--rank R] [--size {0,1,2}]\n"
-      "                   [--max-seconds S] [--list]\n");
+      "                   [--max-seconds S] [--list]\n"
+      "  --rank 0 (default) cycles ranks 8,1,3,7,63,65 across iterations\n"
+      "  (the SIMD vector-tail shapes); a non-zero R pins every case.\n");
   std::exit(code);
 }
 
@@ -81,7 +91,7 @@ Args parse(int argc, char** argv) {
       usage(2);
     }
   }
-  if (a.iters <= 0 || a.rank == 0) usage(2);
+  if (a.iters <= 0) usage(2);
   if (!a.archetype.empty() && !is_archetype(a.archetype)) {
     std::fprintf(stderr, "unknown archetype %s (see --list)\n",
                  a.archetype.c_str());
@@ -166,7 +176,10 @@ int main(int argc, char** argv) {
     const auto mode = static_cast<order_t>(i % t.order());
 
     DiffOptions opt;
-    opt.rank = args.rank;
+    opt.rank = args.rank != 0
+                   ? args.rank
+                   : kRankCycle[static_cast<std::size_t>(i) %
+                                std::size(kRankCycle)];
     opt.factor_seed = case_seed ^ 0x9e3779b97f4a7c15ULL;
     opt.path_filter = args.paths;
     const DiffReport rep = check_all_paths(t, mode, opt);
@@ -179,11 +192,18 @@ int main(int argc, char** argv) {
     ++iters_done;
   }
 
-  std::printf("fuzz_mttkrp: %d cases, %zu path executions, 0 divergences "
-              "(seed=%llu rank=%u size=%d)\n",
-              iters_done, paths_total,
-              static_cast<unsigned long long>(args.seed),
-              static_cast<unsigned>(args.rank), args.size_class);
+  if (args.rank != 0) {
+    std::printf("fuzz_mttkrp: %d cases, %zu path executions, 0 divergences "
+                "(seed=%llu rank=%u size=%d)\n",
+                iters_done, paths_total,
+                static_cast<unsigned long long>(args.seed),
+                static_cast<unsigned>(args.rank), args.size_class);
+  } else {
+    std::printf("fuzz_mttkrp: %d cases, %zu path executions, 0 divergences "
+                "(seed=%llu rank=cycle{8,1,3,7,63,65} size=%d)\n",
+                iters_done, paths_total,
+                static_cast<unsigned long long>(args.seed), args.size_class);
+  }
   for (const auto& [name, count] : per_archetype) {
     std::printf("  %-16s %d\n", name.c_str(), count);
   }

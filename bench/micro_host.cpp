@@ -199,6 +199,60 @@ void run_host_mttkrp_sweep() {
             .median;
     std::printf("[host_mttkrp] gather view (m=1)   %8.2f ms\n", gather_ms);
   }
+  // SIMD microkernel speedups: the same engine forced onto the scalar
+  // kernel table vs the auto-detected ISA table (src/tensor/simd/), on
+  // the contiguous span (mode 0) and the gather view (mode 1), at
+  // 1/2/4 worker caps under compact pinning. A ratio of two wall
+  // clocks from the same run is stable enough to gate at 5% — but only
+  // within one ISA, so the speedups are isa_sensitive: bench_compare
+  // warns instead of gating when baseline and current ISAs differ.
+  {
+    ThreadPool::global().apply_pinning(PinPolicy::Compact);
+    const HostIsa best = detect_host_isa();
+    std::printf("[host_mttkrp] simd table: %s (%d lanes, pinning=compact)\n",
+                host_isa_name(best), host_isa_lanes(best));
+    DenseMatrix out1(t.dim(1), kRank);
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      for (const bool gather : {false, true}) {
+        HostExecParams opt;
+        opt.threads = threads;
+        opt.pinning = PinPolicy::Compact;
+        if (!gather) opt.features = &feat;
+        const order_t mode = gather ? 1 : 0;
+        DenseMatrix& o = gather ? out1 : out;
+        auto run_isa = [&](HostIsa isa) {
+          opt.isa = isa;
+          WallTimer timer;
+          if (gather) {
+            mttkrp_coo_par(views.view(1), f, mode, o, /*accumulate=*/false,
+                           opt);
+          } else {
+            mttkrp_coo_par(t, f, mode, o, /*accumulate=*/false, opt);
+          }
+          return timer.millis();
+        };
+        obs::BenchCase& c = runner.with_case(
+            std::string(gather ? "simd_gather_t" : "simd_ident_t") +
+            std::to_string(threads));
+        const double scalar_ms =
+            c.measure("scalar_ms", "ms", obs::Direction::kInfo, policy,
+                      [&] { return run_isa(HostIsa::Scalar); })
+                .median;
+        const double simd_ms =
+            c.measure("simd_ms", "ms", obs::Direction::kInfo, policy,
+                      [&] { return run_isa(best); })
+                .median;
+        c.set("speedup_vs_scalar", scalar_ms / simd_ms, "x",
+              obs::Direction::kHigherIsBetter, /*isa_sensitive=*/true);
+        std::printf(
+            "[host_mttkrp] simd %-6s t=%-2zu scalar %8.2f ms  %s %8.2f ms "
+            " %.2fx\n",
+            gather ? "gather" : "ident", threads, scalar_ms,
+            host_isa_name(best), simd_ms, scalar_ms / simd_ms);
+      }
+    }
+  }
   {
     const double views_bytes = static_cast<double>(views.resident_bytes());
     const double legacy_bytes =

@@ -1,0 +1,183 @@
+#include "common/cpu_caps.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace scalfrag {
+
+namespace {
+
+bool cpu_supports(HostIsa isa) {
+  switch (isa) {
+    case HostIsa::Auto:
+    case HostIsa::Scalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case HostIsa::Avx2:
+      return __builtin_cpu_supports("avx2");
+    case HostIsa::Avx512:
+      return __builtin_cpu_supports("avx512f");
+#else
+    case HostIsa::Avx2:
+    case HostIsa::Avx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool compiled_in(HostIsa isa) {
+  switch (isa) {
+    case HostIsa::Auto:
+    case HostIsa::Scalar:
+      return true;
+    case HostIsa::Avx2:
+#if defined(SCALFRAG_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case HostIsa::Avx512:
+#if defined(SCALFRAG_HAVE_AVX512)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+HostIsa detect_uncached() {
+  if (const char* env = std::getenv("SCALFRAG_HOST_ISA")) {
+    const HostIsa forced = host_isa_from_name(env);
+    SF_CHECK(forced != HostIsa::Auto,
+             "SCALFRAG_HOST_ISA must name a concrete ISA "
+             "(scalar, avx2, avx512)");
+    SF_CHECK(host_isa_supported(forced),
+             std::string("SCALFRAG_HOST_ISA=") + env +
+                 " is not supported by this build/CPU");
+    return forced;
+  }
+  if (host_isa_supported(HostIsa::Avx512)) return HostIsa::Avx512;
+  if (host_isa_supported(HostIsa::Avx2)) return HostIsa::Avx2;
+  return HostIsa::Scalar;
+}
+
+/// "0-3,8,10-11" → CPU ids appended to `out`.
+void parse_cpulist(const std::string& list, int node,
+                   std::vector<std::pair<int, int>>& out) {
+  std::istringstream in(list);
+  std::string range;
+  while (std::getline(in, range, ',')) {
+    if (range.empty()) continue;
+    const std::size_t dash = range.find('-');
+    const int lo = std::atoi(range.c_str());
+    const int hi = dash == std::string::npos
+                       ? lo
+                       : std::atoi(range.c_str() + dash + 1);
+    for (int c = lo; c <= hi; ++c) out.emplace_back(c, node);
+  }
+}
+
+CpuTopology detect_topology() {
+  CpuTopology topo;
+  const unsigned hw = std::thread::hardware_concurrency();
+  topo.logical_cpus = hw == 0 ? 1 : static_cast<int>(hw);
+
+  std::vector<std::pair<int, int>> cpu_node;  // (cpu, node)
+  for (int node = 0;; ++node) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(node) +
+                    "/cpulist");
+    if (!f) break;
+    std::string list;
+    std::getline(f, list);
+    parse_cpulist(list, node, cpu_node);
+    topo.numa_nodes = node + 1;
+  }
+
+  topo.node_of_cpu.assign(static_cast<std::size_t>(topo.logical_cpus), 0);
+  for (const auto& [cpu, node] : cpu_node) {
+    if (cpu >= 0 && cpu < topo.logical_cpus) {
+      topo.node_of_cpu[static_cast<std::size_t>(cpu)] = node;
+    }
+  }
+  if (topo.numa_nodes < 1) topo.numa_nodes = 1;
+  return topo;
+}
+
+}  // namespace
+
+const char* host_isa_name(HostIsa isa) {
+  switch (isa) {
+    case HostIsa::Auto: return "auto";
+    case HostIsa::Scalar: return "scalar";
+    case HostIsa::Avx2: return "avx2";
+    case HostIsa::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+HostIsa host_isa_from_name(const std::string& name) {
+  if (name == "auto") return HostIsa::Auto;
+  if (name == "scalar") return HostIsa::Scalar;
+  if (name == "avx2") return HostIsa::Avx2;
+  if (name == "avx512") return HostIsa::Avx512;
+  throw Error("unknown host ISA \"" + name +
+              "\" (expected auto, scalar, avx2, or avx512)");
+}
+
+int host_isa_lanes(HostIsa isa) {
+  switch (isa) {
+    case HostIsa::Auto: return host_isa_lanes(detect_host_isa());
+    case HostIsa::Scalar: return 1;
+    case HostIsa::Avx2: return 8;
+    case HostIsa::Avx512: return 16;
+  }
+  return 1;
+}
+
+bool host_isa_supported(HostIsa isa) {
+  return compiled_in(isa) && cpu_supports(isa);
+}
+
+HostIsa detect_host_isa() {
+  static const HostIsa detected = detect_uncached();
+  return detected;
+}
+
+HostIsa resolve_host_isa(HostIsa request) {
+  if (request == HostIsa::Auto) return detect_host_isa();
+  SF_CHECK(host_isa_supported(request),
+           std::string("host ISA ") + host_isa_name(request) +
+               " is not supported by this build/CPU (see "
+               "host_isa_supported)");
+  return request;
+}
+
+const char* pin_policy_name(PinPolicy p) {
+  switch (p) {
+    case PinPolicy::None: return "none";
+    case PinPolicy::Compact: return "compact";
+    case PinPolicy::Scatter: return "scatter";
+  }
+  return "?";
+}
+
+PinPolicy pin_policy_from_name(const std::string& name) {
+  if (name == "none") return PinPolicy::None;
+  if (name == "compact") return PinPolicy::Compact;
+  if (name == "scatter") return PinPolicy::Scatter;
+  throw Error("unknown pin policy \"" + name +
+              "\" (expected none, compact, or scatter)");
+}
+
+const CpuTopology& cpu_topology() {
+  static const CpuTopology topo = detect_topology();
+  return topo;
+}
+
+}  // namespace scalfrag

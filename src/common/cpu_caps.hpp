@@ -1,0 +1,88 @@
+#pragma once
+// Host CPU capabilities: which SIMD instruction set the rank-tile
+// microkernels (src/tensor/simd/) may dispatch to, and what the machine
+// topology looks like for thread placement.
+//
+// This lives in the common layer on purpose: the observability layer
+// stamps every BENCH_*.json with the detected ISA / topology (so
+// bench_compare can refuse to gate apples against oranges), and the
+// tensor layer's kernel tables key off the same enum — neither may
+// depend on the other.
+//
+// Two build-time facts feed detection:
+//   * SCALFRAG_HAVE_AVX2 / SCALFRAG_HAVE_AVX512 — the corresponding
+//     kernel translation unit was compiled (per-TU -mavx2/-mavx512f;
+//     see src/CMakeLists.txt). Absent on non-x86 targets or compilers
+//     without the flags.
+//   * __builtin_cpu_supports at runtime — the executing CPU actually
+//     has the instructions. Both must hold for an ISA to be supported.
+//
+// The SCALFRAG_HOST_ISA environment variable ("scalar", "avx2",
+// "avx512") overrides what Auto resolves to — the generic-arch CI job
+// uses it to push the whole suite through the scalar fallback.
+
+#include <string>
+#include <vector>
+
+namespace scalfrag {
+
+/// Instruction set of the host microkernel tables. Auto is a request
+/// ("pick the best supported"), never a resolved value.
+enum class HostIsa { Auto, Scalar, Avx2, Avx512 };
+
+const char* host_isa_name(HostIsa isa);
+/// Inverse of host_isa_name ("auto" included); throws on unknown names.
+HostIsa host_isa_from_name(const std::string& name);
+
+/// Number of value_t (float) lanes of one vector of the ISA: 1/8/16.
+/// Auto reports the lanes of detect_host_isa().
+int host_isa_lanes(HostIsa isa);
+
+/// True when the ISA can actually run here: the kernel TU was compiled
+/// in AND the executing CPU advertises the instructions. Scalar and
+/// Auto are always supported.
+bool host_isa_supported(HostIsa isa);
+
+/// The ISA Auto resolves to: $SCALFRAG_HOST_ISA if set (throws on an
+/// unknown or unsupported name — a silent fallback would invalidate
+/// forced-ISA CI runs), else the widest supported ISA. Cached after the
+/// first call.
+HostIsa detect_host_isa();
+
+/// Resolve a request: Auto → detect_host_isa(); anything else is
+/// returned as-is after a support check (throws when unsupported).
+HostIsa resolve_host_isa(HostIsa request);
+
+/// Worker-to-core affinity policy of the thread pool (see
+/// ThreadPool::apply_pinning).
+enum class PinPolicy {
+  /// Leave placement to the OS scheduler (and undo prior pinning when
+  /// applied explicitly).
+  None,
+  /// Worker i → logical CPU (i mod cpus): dense packing, adjacent
+  /// workers share caches — the default choice for the memory-bound
+  /// MTTKRP inner loops.
+  Compact,
+  /// Workers round-robin across NUMA nodes first: maximizes aggregate
+  /// memory bandwidth when per-worker scratch is first-touched locally
+  /// (the PrivateReduce buffers are).
+  Scatter,
+};
+
+const char* pin_policy_name(PinPolicy p);
+/// Inverse of pin_policy_name; throws on unknown names.
+PinPolicy pin_policy_from_name(const std::string& name);
+
+/// Core/NUMA layout of the machine. Parsed once from
+/// /sys/devices/system/node/ on Linux; other platforms (and containers
+/// that hide the sysfs tree) report a single node spanning every CPU.
+struct CpuTopology {
+  int logical_cpus = 1;
+  int numa_nodes = 1;
+  /// node_of_cpu[c] = NUMA node of logical CPU c (size logical_cpus).
+  std::vector<int> node_of_cpu;
+};
+
+const CpuTopology& cpu_topology();
+
+}  // namespace scalfrag

@@ -2,7 +2,46 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace scalfrag {
+
+namespace {
+
+/// CPU assignment of worker i under `policy`. Compact walks logical
+/// CPUs in order; Scatter deals CPUs like cards across NUMA nodes
+/// (worker 0 → first CPU of node 0, worker 1 → first CPU of node 1,
+/// ...), maximizing memory controllers in play at low worker counts.
+int cpu_for_worker(PinPolicy policy, std::size_t worker,
+                   const CpuTopology& topo) {
+  const int cpus = std::max(1, topo.logical_cpus);
+  if (policy == PinPolicy::Compact || topo.numa_nodes <= 1) {
+    return static_cast<int>(worker % static_cast<std::size_t>(cpus));
+  }
+  // Scatter: group CPUs by node, then deal workers across nodes
+  // round-robin (worker 0 → node 0's first CPU, worker 1 → node 1's
+  // first CPU, ...), wrapping within a node once every node got one.
+  std::vector<std::vector<int>> by_node(
+      static_cast<std::size_t>(topo.numa_nodes));
+  for (int c = 0; c < cpus; ++c) {
+    const int node = c < static_cast<int>(topo.node_of_cpu.size())
+                         ? topo.node_of_cpu[static_cast<std::size_t>(c)]
+                         : 0;
+    by_node[static_cast<std::size_t>(node % topo.numa_nodes)].push_back(c);
+  }
+  const auto& node_cpus =
+      by_node[worker % static_cast<std::size_t>(topo.numa_nodes)];
+  if (node_cpus.empty()) {
+    return static_cast<int>(worker % static_cast<std::size_t>(cpus));
+  }
+  const std::size_t round = worker / static_cast<std::size_t>(topo.numa_nodes);
+  return node_cpus[round % node_cpus.size()];
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -67,6 +106,32 @@ void ThreadPool::parallel_for(
     futs.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
   }
   for (auto& f : futs) f.get();
+}
+
+void ThreadPool::apply_pinning(PinPolicy policy) {
+  std::lock_guard lock(pin_mutex_);
+  if (policy == pin_policy_) return;
+#if defined(__linux__)
+  const CpuTopology& topo = cpu_topology();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (policy == PinPolicy::None) {
+      for (int c = 0; c < topo.logical_cpus; ++c) CPU_SET(c, &set);
+    } else {
+      CPU_SET(cpu_for_worker(policy, i, topo), &set);
+    }
+    // Best effort: a restricted cgroup/cpuset may reject members of the
+    // mask — placement is an optimization, never a correctness need.
+    pthread_setaffinity_np(workers_[i].native_handle(), sizeof(set), &set);
+  }
+#endif
+  pin_policy_ = policy;
+}
+
+PinPolicy ThreadPool::pinning() const noexcept {
+  std::lock_guard lock(pin_mutex_);
+  return pin_policy_;
 }
 
 ThreadPool& ThreadPool::global() {

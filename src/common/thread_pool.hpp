@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cpu_caps.hpp"
+
 namespace scalfrag {
 
 class ThreadPool {
@@ -60,6 +62,23 @@ class ThreadPool {
   /// True when called from one of this process's pool worker threads.
   static bool on_worker_thread() noexcept;
 
+  /// Pin every worker to one logical CPU per `policy` (Compact packs
+  /// workers onto consecutive CPUs; Scatter round-robins NUMA nodes
+  /// first — see PinPolicy). None restores the full-machine affinity
+  /// mask. Idempotent: re-applying the current policy is a cheap
+  /// no-op, so hot paths may call this per run. Placement uses
+  /// cpu_topology(); on non-Linux platforms only the policy is
+  /// recorded (no affinity syscall exists to make).
+  ///
+  /// NUMA first-touch contract: pinning fixes which node a worker
+  /// faults pages on, so per-worker scratch (e.g. the PrivateReduce
+  /// private outputs) allocated *inside* a worker task lands on that
+  /// worker's node.
+  void apply_pinning(PinPolicy policy);
+
+  /// The policy most recently applied (None until apply_pinning ran).
+  PinPolicy pinning() const noexcept;
+
   /// Process-wide pool (lazily constructed).
   static ThreadPool& global();
 
@@ -71,6 +90,9 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  mutable std::mutex pin_mutex_;
+  PinPolicy pin_policy_ = PinPolicy::None;
 };
 
 }  // namespace scalfrag

@@ -31,6 +31,20 @@ const JsonValue* find_case(const JsonValue& doc, const std::string& name) {
   return nullptr;
 }
 
+/// meta.<key> of a document, or "" — pre-meta (PR 5 and earlier) files
+/// simply have no environment record.
+std::string meta_str(const JsonValue& doc, const char* key) {
+  const JsonValue* meta = doc.find("meta");
+  if (meta == nullptr || !meta->is_object()) return "";
+  const JsonValue* v = meta->find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : "";
+}
+
+bool metric_isa_sensitive(const JsonValue& m) {
+  const JsonValue* f = m.find("isa_sensitive");
+  return f != nullptr && f->as_bool();
+}
+
 }  // namespace
 
 std::size_t CompareReport::regressions() const {
@@ -59,6 +73,21 @@ CompareReport compare_bench(const JsonValue& baseline,
   CompareReport rep;
   rep.bench = bench;
   rep.threshold = opt.threshold;
+
+  // ISA provenance. Only flag a mismatch when both sides carry a meta
+  // block — a missing block (pre-meta baseline) cannot prove anything.
+  const std::string base_isa = meta_str(baseline, "host_isa");
+  const std::string cur_isa = meta_str(current, "host_isa");
+  const std::string base_w = meta_str(baseline, "vector_width");
+  const std::string cur_w = meta_str(current, "vector_width");
+  if (!base_isa.empty() && !cur_isa.empty() &&
+      (base_isa != cur_isa || base_w != cur_w)) {
+    rep.isa_mismatch = true;
+    rep.notes.push_back(
+        "WARNING: host ISA mismatch — baseline ran " + base_isa + " (" +
+        base_w + " lanes), current ran " + cur_isa + " (" + cur_w +
+        " lanes); isa-sensitive metrics are reported but NOT gated");
+  }
 
   for (const JsonValue& base_case : baseline.at("cases").as_array()) {
     const std::string case_name = base_case.at("name").as_string();
@@ -89,7 +118,9 @@ CompareReport compare_bench(const JsonValue& baseline,
         rep.notes.push_back("metric \"" + case_name + "/" + metric_name +
                             "\" moved off a zero baseline");
       }
-      if (d.dir != Direction::kInfo && d.baseline != 0.0) {
+      d.isa_exempt = rep.isa_mismatch && (metric_isa_sensitive(base_m) ||
+                                          metric_isa_sensitive(*cur_m));
+      if (d.dir != Direction::kInfo && d.baseline != 0.0 && !d.isa_exempt) {
         const double worse = d.dir == Direction::kLowerIsBetter
                                  ? d.rel_change
                                  : -d.rel_change;
@@ -129,6 +160,7 @@ std::string format_report(const CompareReport& rep) {
   for (const MetricDelta& d : rep.deltas) {
     const char* flag = d.regression      ? "REGRESSION"
                        : d.improvement   ? "improved"
+                       : d.isa_exempt    ? "(isa mismatch)"
                        : d.dir == Direction::kInfo ? "(info)"
                                          : "ok";
     t.add_row({d.case_name, d.metric,

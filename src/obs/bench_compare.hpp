@@ -35,11 +35,20 @@ struct MetricDelta {
   double rel_change = 0.0;
   bool regression = false;
   bool improvement = false;
+  /// True when this metric is flagged isa_sensitive and the two files'
+  /// host ISAs differ: the delta is reported but exempt from gating
+  /// (comparing SIMD speedups across different vector widths would be
+  /// apples against oranges).
+  bool isa_exempt = false;
 };
 
 struct CompareReport {
   std::string bench;
   double threshold = 0.0;
+  /// True when the two files' "meta" blocks disagree on host_isa or
+  /// vector_width. isa_sensitive metrics are then exempt from gating
+  /// and a warning note is emitted instead of a silent pass/fail.
+  bool isa_mismatch = false;
   std::vector<MetricDelta> deltas;
   /// Structural asymmetries (cases/metrics present on one side only).
   std::vector<std::string> notes;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/cpu_caps.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/artifacts.hpp"
 
 namespace scalfrag::obs {
@@ -43,28 +45,32 @@ MetricSummary summarize(std::vector<double> samples) {
 }
 
 BenchCase::Metric& BenchCase::metric(const std::string& name,
-                                     const std::string& unit, Direction dir) {
+                                     const std::string& unit, Direction dir,
+                                     bool isa_sensitive) {
   for (Metric& m : metrics_) {
     if (m.name == name) {
-      SF_CHECK(m.unit == unit && m.dir == dir,
+      SF_CHECK(m.unit == unit && m.dir == dir &&
+                   m.isa_sensitive == isa_sensitive,
                "metric \"" + name + "\" re-recorded with different unit/dir");
       return m;
     }
   }
-  metrics_.push_back(Metric{name, unit, dir, {}});
+  metrics_.push_back(Metric{name, unit, dir, isa_sensitive, {}});
   return metrics_.back();
 }
 
 BenchCase& BenchCase::set(const std::string& name, double value,
-                          const std::string& unit, Direction dir) {
-  Metric& m = metric(name, unit, dir);
+                          const std::string& unit, Direction dir,
+                          bool isa_sensitive) {
+  Metric& m = metric(name, unit, dir, isa_sensitive);
   m.samples.assign(1, value);
   return *this;
 }
 
 BenchCase& BenchCase::add_sample(const std::string& name, double value,
-                                 const std::string& unit, Direction dir) {
-  metric(name, unit, dir).samples.push_back(value);
+                                 const std::string& unit, Direction dir,
+                                 bool isa_sensitive) {
+  metric(name, unit, dir, isa_sensitive).samples.push_back(value);
   return *this;
 }
 
@@ -92,12 +98,50 @@ BenchCase& BenchRunner::with_case(const std::string& case_name) {
   return cases_.back();
 }
 
+BenchRunner& BenchRunner::set_meta(const std::string& key,
+                                   const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return *this;
+    }
+  }
+  meta_.emplace_back(key, value);
+  return *this;
+}
+
 std::string BenchRunner::json() const {
   JsonWriter w;
   w.begin_object();
   w.kv("schema", kBenchSchemaName);
   w.kv("schema_version", std::int64_t{kBenchSchemaVersion});
   w.kv("bench", name_);
+  // Host environment of this run, so bench_compare can tell when two
+  // files came from different ISAs/machines. Explicit set_meta wins
+  // over the captured defaults.
+  {
+    std::vector<std::pair<std::string, std::string>> meta{
+        {"host_isa", host_isa_name(detect_host_isa())},
+        {"vector_width", std::to_string(host_isa_lanes(HostIsa::Auto))},
+        {"pinning", pin_policy_name(ThreadPool::global().pinning())},
+        {"logical_cpus", std::to_string(cpu_topology().logical_cpus)},
+        {"numa_nodes", std::to_string(cpu_topology().numa_nodes)},
+    };
+    for (const auto& [k, v] : meta_) {
+      bool replaced = false;
+      for (auto& [dk, dv] : meta) {
+        if (dk == k) {
+          dv = v;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) meta.emplace_back(k, v);
+    }
+    w.key("meta").begin_object();
+    for (const auto& [k, v] : meta) w.kv(k, v);
+    w.end_object();
+  }
   w.key("cases").begin_array();
   for (const BenchCase& c : cases_) {
     w.begin_object();
@@ -109,6 +153,7 @@ std::string BenchRunner::json() const {
       w.kv("value", s.median);
       w.kv("unit", m.unit);
       w.kv("dir", direction_name(m.dir));
+      if (m.isa_sensitive) w.kv("isa_sensitive", true);
       w.kv("n", static_cast<std::uint64_t>(s.n));
       if (s.n > 1) {
         w.kv("q1", s.q1);

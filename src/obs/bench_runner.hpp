@@ -10,10 +10,14 @@
 //     "schema": "scalfrag-bench",
 //     "schema_version": 1,
 //     "bench": "<name>",
+//     "meta": {"host_isa": "avx512", "vector_width": "16",
+//              "pinning": "none", "logical_cpus": "8",
+//              "numa_nodes": "1", ...},
 //     "cases": [
 //       {"name": "<case>", "metrics": {
 //          "<metric>": {"value": <median>, "unit": "...",
 //                        "dir": "lower_is_better"|"higher_is_better"|"info",
+//                        "isa_sensitive": true,   // only when set
 //                        "n": <samples>, "q1": ..., "q3": ...}}}
 //     ],
 //     "metrics": {"counters": ..., "gauges": ..., "stages": ...}
@@ -22,6 +26,14 @@
 // "dir" drives bench_compare: lower/higher_is_better metrics gate the
 // regression check; "info" metrics (machine-dependent wall clock,
 // configuration echoes) are recorded but never gated on.
+//
+// "meta" records the host execution environment of the run — kernel
+// ISA, vector width, pinning policy, core/NUMA topology — captured
+// automatically at write time (override or extend via set_meta).
+// bench_compare reads it to detect apples-to-oranges comparisons:
+// metrics flagged "isa_sensitive" are excluded from gating (with a
+// warning) when the two files' host_isa/vector_width differ, instead
+// of silently passing or failing machine-dependent numbers.
 
 #include <functional>
 #include <string>
@@ -65,12 +77,18 @@ class BenchRunner;
 /// One named case (typically one tensor / configuration) of a bench.
 class BenchCase {
  public:
-  /// Record a deterministic single-valued metric.
+  /// Record a deterministic single-valued metric. `isa_sensitive`
+  /// marks a gated metric whose value depends on the host kernel ISA
+  /// (e.g. SIMD-vs-scalar speedups): bench_compare still gates it when
+  /// baseline and current ran on the same ISA, but only warns when the
+  /// ISAs differ.
   BenchCase& set(const std::string& metric, double value,
-                 const std::string& unit, Direction dir);
+                 const std::string& unit, Direction dir,
+                 bool isa_sensitive = false);
   /// Append one sample to a repeated metric (median/IQR at write time).
   BenchCase& add_sample(const std::string& metric, double value,
-                        const std::string& unit, Direction dir);
+                        const std::string& unit, Direction dir,
+                        bool isa_sensitive = false);
   /// Warmup + repeat `fn`, record each returned sample, return the
   /// summary of the recorded samples.
   MetricSummary measure(const std::string& metric, const std::string& unit,
@@ -87,10 +105,11 @@ class BenchCase {
     std::string name;
     std::string unit;
     Direction dir = Direction::kInfo;
+    bool isa_sensitive = false;
     std::vector<double> samples;
   };
   Metric& metric(const std::string& name, const std::string& unit,
-                 Direction dir);
+                 Direction dir, bool isa_sensitive = false);
 
   std::string name_;
   std::vector<Metric> metrics_;
@@ -109,6 +128,13 @@ class BenchRunner {
   /// to executors to capture their stage records and counters.
   MetricsRegistry& metrics() noexcept { return registry_; }
 
+  /// Override or extend the emitted "meta" block. The host environment
+  /// keys (host_isa, vector_width, pinning, logical_cpus, numa_nodes)
+  /// are captured automatically at json() time; an explicit set_meta of
+  /// the same key wins — benches that force an ISA or pinning policy
+  /// should record the forced value here.
+  BenchRunner& set_meta(const std::string& key, const std::string& value);
+
   std::string json() const;
   /// Write to `BENCH_<name>.json` inside obs::artifact_dir() (never the
   /// bare working directory); returns the path written. Throws
@@ -119,6 +145,7 @@ class BenchRunner {
  private:
   std::string name_;
   std::vector<BenchCase> cases_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   MetricsRegistry registry_;
 };
 

@@ -121,6 +121,19 @@ struct ExecConfig {
     host_exec.strategy = s;
     return *this;
   }
+  /// Force the host SIMD kernel ISA (default Auto = best supported,
+  /// honoring $SCALFRAG_HOST_ISA). All ISAs are bit-identical; this
+  /// knob exists for perf experiments and the dispatch self-test.
+  ExecConfig& host_isa_override(HostIsa i) {
+    host_exec.isa = i;
+    return *this;
+  }
+  /// Pin host workers to cores (and thereby fix NUMA first-touch of
+  /// the PrivateReduce scratch). None leaves affinity untouched.
+  ExecConfig& host_pinning(PinPolicy p) {
+    host_exec.pinning = p;
+    return *this;
+  }
   ExecConfig& metrics(obs::MetricsRegistry* reg) {
     metrics_sink = reg;
     return *this;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/simd/microkernels.hpp"
+
 namespace scalfrag::linalg {
 
 DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
@@ -26,6 +28,9 @@ DenseMatrix matmul_tn(const DenseMatrix& a, const DenseMatrix& b) {
   SF_CHECK(a.rows() == b.rows(), "matmul_tn shape mismatch");
   DenseMatrix c(a.cols(), b.cols());
   // Accumulate in double then store; k is the shared (long) dimension.
+  // Each rank-1 update row runs through the SIMD axpy_widen kernel of
+  // the auto-detected ISA table (src/tensor/simd/).
+  const simd::KernelTable& kt = simd::kernels_for(HostIsa::Auto);
   std::vector<double> acc(static_cast<std::size_t>(a.cols()) * b.cols(), 0.0);
   for (index_t k = 0; k < a.rows(); ++k) {
     const value_t* arow = a.row(k);
@@ -34,9 +39,7 @@ DenseMatrix matmul_tn(const DenseMatrix& a, const DenseMatrix& b) {
       const double av = arow[i];
       if (av == 0.0) continue;
       double* arow_acc = acc.data() + static_cast<std::size_t>(i) * b.cols();
-      for (index_t j = 0; j < b.cols(); ++j) {
-        arow_acc[j] += av * brow[j];
-      }
+      kt.axpy_widen(arow_acc, av, brow, b.cols());
     }
   }
   for (index_t i = 0; i < c.rows(); ++i) {
@@ -52,9 +55,7 @@ DenseMatrix gram(const DenseMatrix& a) { return matmul_tn(a, a); }
 
 void hadamard_inplace(DenseMatrix& a, const DenseMatrix& b) {
   SF_CHECK(a.same_shape(b), "hadamard shape mismatch");
-  value_t* pa = a.data();
-  const value_t* pb = b.data();
-  for (std::size_t i = 0; i < a.size(); ++i) pa[i] *= pb[i];
+  simd::kernels_for(HostIsa::Auto).mul_inplace(a.data(), b.data(), a.size());
 }
 
 DenseMatrix transpose(const DenseMatrix& a) {

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/thread_pool.hpp"
+#include "tensor/simd/microkernels.hpp"
 
 namespace scalfrag {
 
@@ -36,128 +37,11 @@ index_t check_factors(const CooSpan& t, const FactorList& factors) {
 
 namespace {
 
-/// Rank-tile width of the host kernels: the accumulator tile lives in
-/// registers/L1 (64 floats = 4 cache lines) while one output row's run
-/// of entries streams through — the host-side mirror of the paper's
-/// shared-memory factor staging. 64 divides or exceeds every rank the
-/// drivers use, so the tail tile is rare.
-inline constexpr index_t kRankTile = 64;
-
-/// Entry addressing of a contiguous span: logical == physical.
-struct IdentityMap {
-  nnz_t operator()(nnz_t e) const noexcept { return e; }
-};
-
-/// Entry addressing of a gather view (ModeViews / hybrid GPU share).
-struct GatherMap {
-  const perm_t* perm;
-  nnz_t operator()(nnz_t e) const noexcept { return perm[e]; }
-};
-
-/// Rank-tiled kernel over the whole span, accumulating into `out`.
-/// Index arrays and factor bases are hoisted to raw pointers once; per
-/// rank tile, each *run* of entries sharing an output row accumulates
-/// into a stack tile seeded from the row and stored back once — the
-/// writes are contiguous, stride-1 and vectorizable, and the per-column
-/// addition order is exactly the reference's (runs degenerate to length
-/// 1 on ungrouped input, which reproduces the naive kernel). The
-/// multiply chain stays left-associated ((val·A)·B), matching
-/// mttkrp_coo_ref bit for bit modulo FMA contraction.
-///
-/// NF = 0/1/2 are the fused low-order bodies; NF = -1 is the
-/// general-order body with a Hadamard scratch tile.
-template <int NF, typename Map>
-void span_range_tiled(const CooSpan& t, const FactorList& factors,
-                      order_t mode, DenseMatrix& out, Map at) {
-  const index_t rank = factors[mode].cols();
-  const order_t order = t.order();
-  const nnz_t n = t.nnz();
-  const value_t* vals = t.value_base();
-  const index_t* oidx = t.index_base(mode);
-
-  const index_t* idx[kMaxOrder] = {};
-  const value_t* fdata[kMaxOrder] = {};
-  order_t nf = 0;
-  for (order_t m = 0; m < order; ++m) {
-    if (m == mode) continue;
-    idx[nf] = t.index_base(m);
-    fdata[nf] = factors[m].data();
-    ++nf;
-  }
-
-  value_t acc[kRankTile];
-  value_t had[kRankTile];  // general-order Hadamard scratch
-  for (index_t f0 = 0; f0 < rank; f0 += kRankTile) {
-    const index_t tw = std::min<index_t>(kRankTile, rank - f0);
-    nnz_t e = 0;
-    while (e < n) {
-      const index_t row = oidx[at(e)];
-      value_t* orow = out.row(row) + f0;
-      for (index_t f = 0; f < tw; ++f) acc[f] = orow[f];
-      do {
-        const nnz_t p = at(e);
-        const value_t val = vals[p];
-        if constexpr (NF == 0) {
-          // Order-1 degenerate case: every column accumulates val.
-          for (index_t f = 0; f < tw; ++f) acc[f] += val;
-        } else if constexpr (NF == 1) {
-          const value_t* r0 =
-              fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank + f0;
-          for (index_t f = 0; f < tw; ++f) acc[f] += val * r0[f];
-        } else if constexpr (NF == 2) {
-          const value_t* r0 =
-              fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank + f0;
-          const value_t* r1 =
-              fdata[1] + static_cast<std::size_t>(idx[1][p]) * rank + f0;
-          for (index_t f = 0; f < tw; ++f) acc[f] += val * r0[f] * r1[f];
-        } else {
-          const value_t* r0 =
-              fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank + f0;
-          for (index_t f = 0; f < tw; ++f) had[f] = val * r0[f];
-          for (order_t k = 1; k < nf; ++k) {
-            const value_t* rk =
-                fdata[k] + static_cast<std::size_t>(idx[k][p]) * rank + f0;
-            for (index_t f = 0; f < tw; ++f) had[f] *= rk[f];
-          }
-          for (index_t f = 0; f < tw; ++f) acc[f] += had[f];
-        }
-        ++e;
-      } while (e < n && oidx[at(e)] == row);
-      for (index_t f = 0; f < tw; ++f) orow[f] = acc[f];
-    }
-  }
-}
-
-template <typename Map>
-void span_range_dispatch(const CooSpan& t, const FactorList& factors,
-                         order_t mode, DenseMatrix& out, Map at) {
-  switch (t.order() - 1) {
-    case 0:
-      span_range_tiled<0>(t, factors, mode, out, at);
-      return;
-    case 1:
-      span_range_tiled<1>(t, factors, mode, out, at);
-      return;
-    case 2:
-      span_range_tiled<2>(t, factors, mode, out, at);
-      return;
-    default:
-      span_range_tiled<-1>(t, factors, mode, out, at);
-      return;
-  }
-}
-
-/// Serial kernel body: picks the fused arity and the entry addressing
-/// (contiguous vs gather view) once per call.
-void mttkrp_span_range(const CooSpan& t, const FactorList& factors,
-                       order_t mode, DenseMatrix& out) {
-  if (t.nnz() == 0) return;
-  if (t.is_gather()) {
-    span_range_dispatch(t, factors, mode, out, GatherMap{t.permutation()});
-  } else {
-    span_range_dispatch(t, factors, mode, out, IdentityMap{});
-  }
-}
+// The rank-tiled kernel bodies live in src/tensor/simd/ now — one
+// shared template (kernel_body.hpp) instantiated per ISA in its own
+// translation unit, selected at runtime through simd::kernels_for().
+// This file keeps only the strategy layer: chunking, the thread-pool
+// fan-out, privatized reduction, and observability.
 
 /// Cut the span's [0, nnz) into ≤ `chunks` slice-aligned ranges (same
 /// forward-snap rule as the segmenter): cuts[i]..cuts[i+1] is chunk i,
@@ -228,7 +112,9 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
   if (t.nnz() == 0) return;
 
   const HostStrategy strat = choose_host_strategy(t, mode, opt);
+  const simd::KernelTable& kt = simd::kernels_for(opt.isa);
   ThreadPool& pool = ThreadPool::global();
+  if (opt.pinning != PinPolicy::None) pool.apply_pinning(opt.pinning);
   const std::size_t threads = effective_threads(opt);
   const nnz_t n = t.nnz();
 
@@ -238,13 +124,16 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
     opt.metrics->count("host/nnz", n);
     opt.metrics->count(std::string("host/strategy/") +
                        host_strategy_name(strat));
+    opt.metrics->count(std::string("host/isa/") + kt.name);
+    opt.metrics->count(std::string("host/pinning/") +
+                       pin_policy_name(pool.pinning()));
     span.emplace(*opt.metrics, "host/mttkrp");
   }
 
   switch (strat) {
     case HostStrategy::Auto:  // unreachable: choose resolves Auto
     case HostStrategy::Serial:
-      mttkrp_span_range(t, factors, mode, out);
+      kt.mttkrp_span(t, factors, mode, out);
       return;
 
     case HostStrategy::SliceOwner: {
@@ -260,8 +149,7 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
       // race-free against each other, no atomics, no reduction.
       pool.parallel_for(0, n_chunks, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t c = lo; c < hi; ++c) {
-          mttkrp_span_range(t.subspan(cuts[c], cuts[c + 1]), factors, mode,
-                            out);
+          kt.mttkrp_span(t.subspan(cuts[c], cuts[c + 1]), factors, mode, out);
         }
       });
       return;
@@ -271,12 +159,14 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
       const std::size_t parts = std::min<std::size_t>(
           threads, std::max<nnz_t>(1, n / std::max<nnz_t>(opt.grain_nnz, 1)));
       if (parts <= 1) {
-        mttkrp_span_range(t, factors, mode, out);
+        kt.mttkrp_span(t, factors, mode, out);
         return;
       }
       // Privatized accumulation: an even nnz split into per-part
       // buffers (any entry order, any skew), then a parallel reduction
-      // over disjoint output-row ranges.
+      // over disjoint output-row ranges. Each private buffer is
+      // allocated and zero-faulted inside the worker that fills it, so
+      // under pinning the pages first-touch on that worker's NUMA node.
       std::vector<DenseMatrix> priv(parts);
       const nnz_t per = (n + parts - 1) / parts;
       pool.parallel_for(0, parts, [&](std::size_t lo, std::size_t hi) {
@@ -285,7 +175,7 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
           const nnz_t e = std::min<nnz_t>(n, b + per);
           if (b >= e) continue;
           priv[c] = DenseMatrix(out.rows(), rank);
-          mttkrp_span_range(t.subspan(b, e), factors, mode, priv[c]);
+          kt.mttkrp_span(t.subspan(b, e), factors, mode, priv[c]);
         }
       });
       const std::size_t rows = out.rows();
@@ -294,11 +184,9 @@ void mttkrp_coo_par(const CooSpan& t, const FactorList& factors, order_t mode,
           [&](std::size_t lo, std::size_t hi) {
             for (std::size_t p = 0; p < parts; ++p) {
               if (priv[p].rows() == 0) continue;  // empty tail part
-              for (std::size_t i = lo; i < hi; ++i) {
-                const value_t* prow = priv[p].row(static_cast<index_t>(i));
-                value_t* orow = out.row(static_cast<index_t>(i));
-                for (index_t f = 0; f < rank; ++f) orow[f] += prow[f];
-              }
+              const value_t* prow = priv[p].row(static_cast<index_t>(lo));
+              value_t* orow = out.row(static_cast<index_t>(lo));
+              kt.rows_add(orow, prow, (hi - lo) * static_cast<std::size_t>(rank));
             }
           },
           /*grain=*/64);

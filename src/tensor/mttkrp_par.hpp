@@ -10,6 +10,7 @@
 // the ParTI baseline, the hybrid CPU path, CPD-ALS's reference
 // backend — routes through here.
 
+#include "common/cpu_caps.hpp"
 #include "obs/metrics.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/csf.hpp"
@@ -63,9 +64,22 @@ struct HostExecParams {
   /// satisfy this by construction.
   const TensorFeatures* features = nullptr;
   /// Optional observability sink. When set, every engine call records
-  /// its strategy dispatch, nnz processed, and wall-clock span there
-  /// (thread-safe; see src/obs/metrics.hpp).
+  /// its strategy dispatch, selected kernel ISA, nnz processed, and
+  /// wall-clock span there (thread-safe; see src/obs/metrics.hpp).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Kernel ISA of the rank-tile microkernels (src/tensor/simd/). Auto
+  /// picks the best table this build and CPU support, honoring
+  /// $SCALFRAG_HOST_ISA; a concrete value forces that table and throws
+  /// when it is unsupported. All tables produce bit-identical output,
+  /// so this knob trades only speed, never results.
+  HostIsa isa = HostIsa::Auto;
+  /// Worker-to-core pinning applied to ThreadPool::global() before the
+  /// parallel sections (idempotent, so per-call cost is a flag check).
+  /// None leaves the current affinity untouched — it does NOT unpin.
+  /// Pinning also fixes NUMA first-touch placement of the
+  /// PrivateReduce private buffers, which are allocated and faulted
+  /// inside the worker that fills them.
+  PinPolicy pinning = PinPolicy::None;
 };
 
 /// Legacy name, kept as a thin shim for out-of-tree callers. In-tree

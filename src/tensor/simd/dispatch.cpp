@@ -1,0 +1,41 @@
+// Runtime ISA dispatch: resolve a HostIsa request (Auto honors CPUID
+// and $SCALFRAG_HOST_ISA via common/cpu_caps) to the one kernel table
+// compiled for it. Resolution is a table lookup — after the first call
+// the hot path costs one function-pointer indirection per span.
+
+#include "common/error.hpp"
+#include "tensor/simd/microkernels.hpp"
+
+namespace scalfrag::simd {
+
+namespace {
+
+const KernelTable* table_or_null(HostIsa isa) {
+  switch (isa) {
+    case HostIsa::Scalar:
+      return scalar_kernels();
+    case HostIsa::Avx2:
+      return avx2_kernels();
+    case HostIsa::Avx512:
+      return avx512_kernels();
+    case HostIsa::Auto:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const KernelTable& kernels_for(HostIsa isa) {
+  const HostIsa resolved = resolve_host_isa(isa);
+  const KernelTable* table = table_or_null(resolved);
+  // resolve_host_isa already rejects ISAs that are not compiled in
+  // (host_isa_supported checks SCALFRAG_HAVE_*), so a null table here
+  // is a dispatch-layer bug, not a user error.
+  SF_CHECK(table != nullptr,
+           std::string("no kernel table compiled for host ISA ") +
+               host_isa_name(resolved));
+  return *table;
+}
+
+}  // namespace scalfrag::simd

@@ -1,0 +1,372 @@
+#pragma once
+// The one rank-tile kernel body, templated over a per-ISA Traits type.
+//
+// Each ISA translation unit (kernels_scalar.cpp / kernels_avx2.cpp /
+// kernels_avx512.cpp) defines an internal-linkage Traits struct mapping
+// the vector vocabulary below onto its intrinsics and instantiates
+// make_table<Traits>() — so this exact code compiles three times, each
+// under that TU's own -m<isa> flags, and the tables differ only in
+// vector width. A Traits provides:
+//
+//   kLanes                    value_t lanes per vector (1 degenerates
+//                             every loop below to the scalar kernel)
+//   Vec, loadu/load/storeu/store/set1/add/mul
+//                             float vector ops (load/store = aligned)
+//   kHasMask (+ Mask, tail_mask, maskz_loadu, mask_storeu)
+//                             masked tail support (AVX-512); without it
+//                             tails run scalar — element-wise the same
+//   kDLanes, DVec, dloadu/dstoreu/dset1/dadd/dmul, widen
+//                             double vector ops for the widened-
+//                             accumulator dense kernels
+//
+// BIT-IDENTITY INVARIANT: per output element, every path — full-width
+// lanes, masked tail lanes, scalar tail, and the all-scalar table —
+// performs the identical sequence of IEEE multiplies and adds. Keep it
+// that way: no FMA intrinsics, no reassociation, and the TUs are built
+// with -ffp-contract=off so the compiler cannot fuse what the vector
+// code keeps separate. The conformance suite memcmps the tables.
+
+#include <cstddef>
+#include <type_traits>
+
+#include "tensor/simd/microkernels.hpp"
+
+namespace scalfrag::simd::body {
+
+/// Entry addressing of a contiguous span: logical == physical.
+struct IdentityMap {
+  nnz_t operator()(nnz_t e) const noexcept { return e; }
+};
+
+/// Entry addressing of a gather view (ModeViews / hybrid GPU share).
+struct GatherMap {
+  const perm_t* perm;
+  nnz_t operator()(nnz_t e) const noexcept { return perm[e]; }
+};
+
+/// Gather-path software prefetch distances, in entries. Factor rows are
+/// fetched kPrefetchRows ahead; the index/value arrays (whose loads the
+/// row-address computation depends on) twice as far, so the dependent
+/// idx[k][perm[e]] load is itself a cache hit by the time the row
+/// prefetch needs it.
+inline constexpr nnz_t kPrefetchRows = 8;
+
+// --- tile helpers over [0, n), n <= kRankTile ------------------------
+// `acc`/`had` are the kTileAlign-aligned local scratch tiles: aligned
+// full-width vector access is safe through the kRankTile slack even in
+// a tail (lanes past n hold zero-seeded slack that is never stored
+// back). Row pointers (`orow`, factor rows) are foreign memory: tails
+// on them run masked or scalar, never past n.
+
+template <typename T>
+inline void tile_seed(value_t* acc, const value_t* orow, index_t n) {
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::store(acc + f, T::loadu(orow + f));
+  }
+  if constexpr (T::kHasMask) {
+    if (f < n) {
+      T::store(acc + f,
+               T::maskz_loadu(T::tail_mask(static_cast<int>(n - f)),
+                              orow + f));
+    }
+  } else {
+    for (; f < n; ++f) acc[f] = orow[f];
+  }
+}
+
+template <typename T>
+inline void tile_store(value_t* orow, const value_t* acc, index_t n) {
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::storeu(orow + f, T::load(acc + f));
+  }
+  if constexpr (T::kHasMask) {
+    if (f < n) {
+      T::mask_storeu(orow + f, T::tail_mask(static_cast<int>(n - f)),
+                     T::load(acc + f));
+    }
+  } else {
+    for (; f < n; ++f) orow[f] = acc[f];
+  }
+}
+
+/// acc[f] += val (the order-1 degenerate body).
+template <typename T>
+inline void tile_add_const(value_t* acc, value_t val, index_t n) {
+  const typename T::Vec v = T::set1(val);
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::store(acc + f, T::add(T::load(acc + f), v));
+  }
+  for (; f < n; ++f) acc[f] = acc[f] + val;
+}
+
+/// acc[f] += val * r0[f].
+template <typename T>
+inline void tile_axpy(value_t* acc, value_t val, const value_t* r0,
+                      index_t n) {
+  const typename T::Vec v = T::set1(val);
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::store(acc + f,
+             T::add(T::load(acc + f), T::mul(v, T::loadu(r0 + f))));
+  }
+  if constexpr (T::kHasMask) {
+    if (f < n) {
+      const auto m = T::tail_mask(static_cast<int>(n - f));
+      T::store(acc + f,
+               T::add(T::load(acc + f), T::mul(v, T::maskz_loadu(m, r0 + f))));
+    }
+  } else {
+    for (; f < n; ++f) acc[f] = acc[f] + val * r0[f];
+  }
+}
+
+/// acc[f] += (val * r0[f]) * r1[f] — left-associated like the scalar
+/// reference.
+template <typename T>
+inline void tile_axpy2(value_t* acc, value_t val, const value_t* r0,
+                       const value_t* r1, index_t n) {
+  const typename T::Vec v = T::set1(val);
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::store(acc + f,
+             T::add(T::load(acc + f),
+                    T::mul(T::mul(v, T::loadu(r0 + f)), T::loadu(r1 + f))));
+  }
+  if constexpr (T::kHasMask) {
+    if (f < n) {
+      const auto m = T::tail_mask(static_cast<int>(n - f));
+      T::store(acc + f,
+               T::add(T::load(acc + f),
+                      T::mul(T::mul(v, T::maskz_loadu(m, r0 + f)),
+                             T::maskz_loadu(m, r1 + f))));
+    }
+  } else {
+    for (; f < n; ++f) acc[f] = acc[f] + (val * r0[f]) * r1[f];
+  }
+}
+
+/// had[f] = val * r0[f].
+template <typename T>
+inline void tile_scale(value_t* had, value_t val, const value_t* r0,
+                       index_t n) {
+  const typename T::Vec v = T::set1(val);
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::store(had + f, T::mul(v, T::loadu(r0 + f)));
+  }
+  if constexpr (T::kHasMask) {
+    if (f < n) {
+      const auto m = T::tail_mask(static_cast<int>(n - f));
+      T::store(had + f, T::mul(v, T::maskz_loadu(m, r0 + f)));
+    }
+  } else {
+    for (; f < n; ++f) had[f] = val * r0[f];
+  }
+}
+
+/// had[f] *= rk[f].
+template <typename T>
+inline void tile_mul(value_t* had, const value_t* rk, index_t n) {
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::store(had + f, T::mul(T::load(had + f), T::loadu(rk + f)));
+  }
+  if constexpr (T::kHasMask) {
+    if (f < n) {
+      const auto m = T::tail_mask(static_cast<int>(n - f));
+      T::store(had + f, T::mul(T::load(had + f), T::maskz_loadu(m, rk + f)));
+    }
+  } else {
+    for (; f < n; ++f) had[f] = had[f] * rk[f];
+  }
+}
+
+/// acc[f] += had[f] (both tiles local — full-width through the slack).
+template <typename T>
+inline void tile_accum(value_t* acc, const value_t* had, index_t n) {
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::store(acc + f, T::add(T::load(acc + f), T::load(had + f)));
+  }
+  for (; f < n; ++f) acc[f] = acc[f] + had[f];
+}
+
+// --- the span kernel -------------------------------------------------
+
+/// Rank-tiled kernel over the whole span, accumulating into `out`.
+/// Index arrays and factor bases are hoisted to raw pointers once; per
+/// rank tile, each *run* of entries sharing an output row accumulates
+/// into the aligned stack tile seeded from the row and stored back once
+/// — the per-column addition order is exactly the reference's (runs
+/// degenerate to length 1 on ungrouped input, which reproduces the
+/// naive kernel). NF = 0/1/2 are the fused low-order bodies; NF = -1 is
+/// the general-order body with a Hadamard scratch tile. On gather views
+/// the next entries' index words and factor rows are software-
+/// prefetched (the permutation makes both access streams random).
+template <typename T, int NF, typename Map>
+void span_tiled(const CooSpan& t, const FactorList& factors, order_t mode,
+                DenseMatrix& out, Map at) {
+  constexpr bool kGather = std::is_same_v<Map, GatherMap>;
+  const index_t rank = factors[mode].cols();
+  const order_t order = t.order();
+  const nnz_t n = t.nnz();
+  const value_t* vals = t.value_base();
+  const index_t* oidx = t.index_base(mode);
+
+  const index_t* idx[kMaxOrder] = {};
+  const value_t* fdata[kMaxOrder] = {};
+  order_t nf = 0;
+  for (order_t m = 0; m < order; ++m) {
+    if (m == mode) continue;
+    idx[nf] = t.index_base(m);
+    fdata[nf] = factors[m].data();
+    ++nf;
+  }
+
+  alignas(kTileAlign) value_t acc[kRankTile];
+  alignas(kTileAlign) value_t had[kRankTile];  // general-order scratch
+  for (index_t f0 = 0; f0 < rank; f0 += kRankTile) {
+    const index_t tw = std::min<index_t>(kRankTile, rank - f0);
+    nnz_t e = 0;
+    while (e < n) {
+      const index_t row = oidx[at(e)];
+      value_t* orow = out.row(row) + f0;
+      tile_seed<T>(acc, orow, tw);
+      do {
+        if constexpr (kGather) {
+          const nnz_t pi = e + 2 * kPrefetchRows;
+          if (pi < n) {
+            const nnz_t qi = at(pi);
+            __builtin_prefetch(vals + qi, 0, 1);
+            __builtin_prefetch(oidx + qi, 0, 1);
+            for (order_t k = 0; k < nf; ++k) {
+              __builtin_prefetch(idx[k] + qi, 0, 1);
+            }
+          }
+          const nnz_t pr = e + kPrefetchRows;
+          if (pr < n) {
+            const nnz_t q = at(pr);
+            for (order_t k = 0; k < nf; ++k) {
+              __builtin_prefetch(
+                  fdata[k] + static_cast<std::size_t>(idx[k][q]) * rank + f0,
+                  0, 1);
+            }
+          }
+        }
+        const nnz_t p = at(e);
+        const value_t val = vals[p];
+        if constexpr (NF == 0) {
+          tile_add_const<T>(acc, val, tw);
+        } else if constexpr (NF == 1) {
+          tile_axpy<T>(acc, val,
+                       fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank +
+                           f0,
+                       tw);
+        } else if constexpr (NF == 2) {
+          tile_axpy2<T>(acc, val,
+                        fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank +
+                            f0,
+                        fdata[1] + static_cast<std::size_t>(idx[1][p]) * rank +
+                            f0,
+                        tw);
+        } else {
+          tile_scale<T>(had, val,
+                        fdata[0] + static_cast<std::size_t>(idx[0][p]) * rank +
+                            f0,
+                        tw);
+          for (order_t k = 1; k < nf; ++k) {
+            tile_mul<T>(had,
+                        fdata[k] + static_cast<std::size_t>(idx[k][p]) * rank +
+                            f0,
+                        tw);
+          }
+          tile_accum<T>(acc, had, tw);
+        }
+        ++e;
+      } while (e < n && oidx[at(e)] == row);
+      tile_store<T>(orow, acc, tw);
+    }
+  }
+}
+
+template <typename T, typename Map>
+void span_dispatch(const CooSpan& t, const FactorList& factors, order_t mode,
+                   DenseMatrix& out, Map at) {
+  switch (t.order() - 1) {
+    case 0:
+      span_tiled<T, 0>(t, factors, mode, out, at);
+      return;
+    case 1:
+      span_tiled<T, 1>(t, factors, mode, out, at);
+      return;
+    case 2:
+      span_tiled<T, 2>(t, factors, mode, out, at);
+      return;
+    default:
+      span_tiled<T, -1>(t, factors, mode, out, at);
+      return;
+  }
+}
+
+template <typename T>
+void mttkrp_span_impl(const CooSpan& t, const FactorList& factors,
+                      order_t mode, DenseMatrix& out) {
+  if (t.nnz() == 0) return;
+  if (t.is_gather()) {
+    span_dispatch<T>(t, factors, mode, out, GatherMap{t.permutation()});
+  } else {
+    span_dispatch<T>(t, factors, mode, out, IdentityMap{});
+  }
+}
+
+// --- flat-array kernels ----------------------------------------------
+
+/// dst[i] += src[i] — the PrivateReduce row reduction.
+template <typename T>
+void rows_add_impl(value_t* dst, const value_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + T::kLanes <= n; i += T::kLanes) {
+    T::storeu(dst + i, T::add(T::loadu(dst + i), T::loadu(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = dst[i] + src[i];
+}
+
+/// acc[i] += a * b[i], double accumulators over float input — the
+/// matmul_tn / gram rank-1 update.
+template <typename T>
+void axpy_widen_impl(double* acc, double a, const value_t* b, std::size_t n) {
+  const typename T::DVec va = T::dset1(a);
+  std::size_t i = 0;
+  for (; i + T::kDLanes <= n; i += T::kDLanes) {
+    T::dstoreu(acc + i, T::dadd(T::dloadu(acc + i), T::dmul(va, T::widen(b + i))));
+  }
+  for (; i < n; ++i) acc[i] = acc[i] + a * static_cast<double>(b[i]);
+}
+
+/// a[i] *= b[i] — hadamard_inplace.
+template <typename T>
+void mul_inplace_impl(value_t* a, const value_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + T::kLanes <= n; i += T::kLanes) {
+    T::storeu(a + i, T::mul(T::loadu(a + i), T::loadu(b + i)));
+  }
+  for (; i < n; ++i) a[i] = a[i] * b[i];
+}
+
+template <typename T>
+KernelTable make_table(HostIsa isa, const char* name) {
+  KernelTable kt;
+  kt.isa = isa;
+  kt.name = name;
+  kt.lanes = T::kLanes;
+  kt.mttkrp_span = &mttkrp_span_impl<T>;
+  kt.rows_add = &rows_add_impl<T>;
+  kt.axpy_widen = &axpy_widen_impl<T>;
+  kt.mul_inplace = &mul_inplace_impl<T>;
+  return kt;
+}
+
+}  // namespace scalfrag::simd::body

@@ -1,0 +1,58 @@
+// AVX2 kernel table: 8 float lanes (4 double lanes), scalar tails.
+// This TU alone is compiled with -mavx2 -ffp-contract=off (see
+// src/CMakeLists.txt); when the toolchain lacks -mavx2 the table is
+// absent and avx2_kernels() returns nullptr.
+
+#include "tensor/simd/microkernels.hpp"
+
+#if defined(SCALFRAG_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "tensor/simd/kernel_body.hpp"
+
+namespace scalfrag::simd {
+
+namespace {
+
+struct Avx2Traits {
+  static constexpr int kLanes = 8;
+  using Vec = __m256;
+  static Vec loadu(const value_t* p) noexcept { return _mm256_loadu_ps(p); }
+  static Vec load(const value_t* p) noexcept { return _mm256_load_ps(p); }
+  static void storeu(value_t* p, Vec v) noexcept { _mm256_storeu_ps(p, v); }
+  static void store(value_t* p, Vec v) noexcept { _mm256_store_ps(p, v); }
+  static Vec set1(value_t x) noexcept { return _mm256_set1_ps(x); }
+  static Vec add(Vec a, Vec b) noexcept { return _mm256_add_ps(a, b); }
+  static Vec mul(Vec a, Vec b) noexcept { return _mm256_mul_ps(a, b); }
+  static constexpr bool kHasMask = false;
+
+  static constexpr int kDLanes = 4;
+  using DVec = __m256d;
+  static DVec dloadu(const double* p) noexcept { return _mm256_loadu_pd(p); }
+  static void dstoreu(double* p, DVec v) noexcept { _mm256_storeu_pd(p, v); }
+  static DVec dset1(double x) noexcept { return _mm256_set1_pd(x); }
+  static DVec dadd(DVec a, DVec b) noexcept { return _mm256_add_pd(a, b); }
+  static DVec dmul(DVec a, DVec b) noexcept { return _mm256_mul_pd(a, b); }
+  static DVec widen(const value_t* p) noexcept {
+    return _mm256_cvtps_pd(_mm_loadu_ps(p));
+  }
+};
+
+}  // namespace
+
+const KernelTable* avx2_kernels() {
+  static const KernelTable table =
+      body::make_table<Avx2Traits>(HostIsa::Avx2, "avx2");
+  return &table;
+}
+
+}  // namespace scalfrag::simd
+
+#else  // !SCALFRAG_HAVE_AVX2
+
+namespace scalfrag::simd {
+const KernelTable* avx2_kernels() { return nullptr; }
+}  // namespace scalfrag::simd
+
+#endif

@@ -1,0 +1,72 @@
+// AVX-512 kernel table: 16 float lanes (8 double lanes), masked tails —
+// a non-multiple-of-16 rank tail runs as one maskz-load/mask-store
+// vector op whose active lanes are element-wise identical to the scalar
+// loop. This TU alone is compiled with -mavx512f -ffp-contract=off (see
+// src/CMakeLists.txt); when the toolchain lacks -mavx512f the table is
+// absent and avx512_kernels() returns nullptr.
+
+#include "tensor/simd/microkernels.hpp"
+
+#if defined(SCALFRAG_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include "tensor/simd/kernel_body.hpp"
+
+namespace scalfrag::simd {
+
+namespace {
+
+struct Avx512Traits {
+  static constexpr int kLanes = 16;
+  using Vec = __m512;
+  static Vec loadu(const value_t* p) noexcept { return _mm512_loadu_ps(p); }
+  static Vec load(const value_t* p) noexcept { return _mm512_load_ps(p); }
+  static void storeu(value_t* p, Vec v) noexcept { _mm512_storeu_ps(p, v); }
+  static void store(value_t* p, Vec v) noexcept { _mm512_store_ps(p, v); }
+  static Vec set1(value_t x) noexcept { return _mm512_set1_ps(x); }
+  static Vec add(Vec a, Vec b) noexcept { return _mm512_add_ps(a, b); }
+  static Vec mul(Vec a, Vec b) noexcept { return _mm512_mul_ps(a, b); }
+
+  static constexpr bool kHasMask = true;
+  using Mask = __mmask16;
+  /// Low-n-lanes mask; n in [1, kLanes - 1] at every call site.
+  static Mask tail_mask(int n) noexcept {
+    return static_cast<Mask>((1u << n) - 1u);
+  }
+  static Vec maskz_loadu(Mask m, const value_t* p) noexcept {
+    return _mm512_maskz_loadu_ps(m, p);
+  }
+  static void mask_storeu(value_t* p, Mask m, Vec v) noexcept {
+    _mm512_mask_storeu_ps(p, m, v);
+  }
+
+  static constexpr int kDLanes = 8;
+  using DVec = __m512d;
+  static DVec dloadu(const double* p) noexcept { return _mm512_loadu_pd(p); }
+  static void dstoreu(double* p, DVec v) noexcept { _mm512_storeu_pd(p, v); }
+  static DVec dset1(double x) noexcept { return _mm512_set1_pd(x); }
+  static DVec dadd(DVec a, DVec b) noexcept { return _mm512_add_pd(a, b); }
+  static DVec dmul(DVec a, DVec b) noexcept { return _mm512_mul_pd(a, b); }
+  static DVec widen(const value_t* p) noexcept {
+    return _mm512_cvtps_pd(_mm256_loadu_ps(p));
+  }
+};
+
+}  // namespace
+
+const KernelTable* avx512_kernels() {
+  static const KernelTable table =
+      body::make_table<Avx512Traits>(HostIsa::Avx512, "avx512");
+  return &table;
+}
+
+}  // namespace scalfrag::simd
+
+#else  // !SCALFRAG_HAVE_AVX512
+
+namespace scalfrag::simd {
+const KernelTable* avx512_kernels() { return nullptr; }
+}  // namespace scalfrag::simd
+
+#endif

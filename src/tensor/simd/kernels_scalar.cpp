@@ -1,0 +1,45 @@
+// Guaranteed-portable kernel table: Traits with kLanes == 1 degenerate
+// every loop in kernel_body.hpp to plain scalar code. This TU is built
+// with -ffp-contract=off (and NO -m<isa> flags), so it runs on any CPU
+// the build targets and is the bit-identity reference the vector tables
+// are checked against.
+
+#include "tensor/simd/kernel_body.hpp"
+
+namespace scalfrag::simd {
+
+namespace {
+
+struct ScalarTraits {
+  static constexpr int kLanes = 1;
+  using Vec = value_t;
+  static Vec loadu(const value_t* p) noexcept { return *p; }
+  static Vec load(const value_t* p) noexcept { return *p; }
+  static void storeu(value_t* p, Vec v) noexcept { *p = v; }
+  static void store(value_t* p, Vec v) noexcept { *p = v; }
+  static Vec set1(value_t x) noexcept { return x; }
+  static Vec add(Vec a, Vec b) noexcept { return a + b; }
+  static Vec mul(Vec a, Vec b) noexcept { return a * b; }
+  static constexpr bool kHasMask = false;
+
+  static constexpr int kDLanes = 1;
+  using DVec = double;
+  static DVec dloadu(const double* p) noexcept { return *p; }
+  static void dstoreu(double* p, DVec v) noexcept { *p = v; }
+  static DVec dset1(double x) noexcept { return x; }
+  static DVec dadd(DVec a, DVec b) noexcept { return a + b; }
+  static DVec dmul(DVec a, DVec b) noexcept { return a * b; }
+  static DVec widen(const value_t* p) noexcept {
+    return static_cast<double>(*p);
+  }
+};
+
+}  // namespace
+
+const KernelTable* scalar_kernels() {
+  static const KernelTable table =
+      body::make_table<ScalarTraits>(HostIsa::Scalar, "scalar");
+  return &table;
+}
+
+}  // namespace scalfrag::simd

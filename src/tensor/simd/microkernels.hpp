@@ -1,0 +1,81 @@
+#pragma once
+// Explicit SIMD microkernels for the rank-tile inner loops of the host
+// MTTKRP engine and the dense CPD-ALS hot spots (matmul_tn / gram /
+// hadamard), with runtime ISA dispatch.
+//
+// Three kernel tables exist — scalar, AVX2, AVX-512 — each compiled in
+// its own translation unit with its own ISA flags (-mavx2 / -mavx512f;
+// see src/CMakeLists.txt), so the binary stays portable even when
+// SCALFRAG_NATIVE_ARCH=OFF: only the table the running CPU supports is
+// ever entered, selected once via CPUID (common/cpu_caps.hpp).
+//
+// Bit-identity contract: every table computes the exact same FP
+// operation sequence per output element — full-width vector lanes are
+// element-wise identical to the scalar loop, tails run masked (AVX-512)
+// or scalar with the same multiply/add order, and all three TUs are
+// compiled with -ffp-contract=off so no table fuses a multiply+add the
+// others keep separate. The conformance table memcmps the three paths
+// (tests: "coo_par/isa_*" rows; ranks 1/3/7/63/65 exercise the tails).
+
+#include "common/cpu_caps.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag::simd {
+
+/// Rank-tile width of the host kernels: the accumulator tile lives in
+/// registers/L1 (64 floats = 4 cache lines) while one output row's run
+/// of entries streams through — the host-side mirror of the paper's
+/// shared-memory factor staging. 64 divides or exceeds every rank the
+/// drivers use, so the tail tile is rare.
+inline constexpr index_t kRankTile = 64;
+
+/// Lanes of the widest table (AVX-512, 16 floats); the scratch tiles
+/// are aligned to one full vector of this width.
+inline constexpr int kMaxLanes = 16;
+inline constexpr std::size_t kTileAlign = kMaxLanes * sizeof(value_t);
+
+static_assert(kRankTile % kMaxLanes == 0,
+              "kRankTile must be a multiple of the widest vector width: "
+              "every full tile then runs lane-exact with no tail, and the "
+              "alignas(kTileAlign) scratch tiles stay vector-aligned");
+
+/// One ISA's kernel set. All function pointers are non-null in a table
+/// returned by kernels_for().
+struct KernelTable {
+  HostIsa isa = HostIsa::Scalar;
+  const char* name = "scalar";
+  /// value_t lanes per vector (1 / 8 / 16).
+  int lanes = 1;
+
+  /// Rank-tiled MTTKRP over the whole span (identity and gather views
+  /// dispatched internally), accumulating into `out`. The serial
+  /// kernel body of mttkrp_coo_par.
+  void (*mttkrp_span)(const CooSpan& t, const FactorList& factors,
+                      order_t mode, DenseMatrix& out) = nullptr;
+
+  /// dst[i] += src[i] for i < n — the PrivateReduce row reduction.
+  void (*rows_add)(value_t* dst, const value_t* src, std::size_t n) = nullptr;
+
+  /// acc[i] += a * b[i] with double accumulators over float input — the
+  /// matmul_tn/gram inner loop (k-major rank-1 update).
+  void (*axpy_widen)(double* acc, double a, const value_t* b,
+                     std::size_t n) = nullptr;
+
+  /// a[i] *= b[i] — hadamard_inplace.
+  void (*mul_inplace)(value_t* a, const value_t* b, std::size_t n) = nullptr;
+};
+
+/// Table for an ISA; HostIsa::Auto resolves through detect_host_isa()
+/// (which honors $SCALFRAG_HOST_ISA). Throws scalfrag::Error when the
+/// requested ISA is not supported by this build/CPU.
+const KernelTable& kernels_for(HostIsa isa);
+
+/// Per-TU tables; nullptr when the ISA was not compiled in. Prefer
+/// kernels_for() — these exist for the dispatch layer and tests.
+const KernelTable* scalar_kernels();
+const KernelTable* avx2_kernels();
+const KernelTable* avx512_kernels();
+
+}  // namespace scalfrag::simd

@@ -141,6 +141,59 @@ const std::vector<ExecPath>& build_table() {
           });
     }
 
+    // SIMD kernel tables (src/tensor/simd/): each ISA forced explicitly
+    // under the Serial strategy, so the only varying piece is the
+    // vector table itself; supports() skips ISAs this build/CPU lacks.
+    for (HostIsa isa : {HostIsa::Scalar, HostIsa::Avx2, HostIsa::Avx512}) {
+      add(std::string("coo_par/isa_") + host_isa_name(isa),
+          [isa](const CooTensor& t, const FactorList& f, order_t mode) {
+            HostExecParams opt;
+            opt.strategy = HostStrategy::Serial;
+            opt.grain_nnz = 1;
+            opt.isa = isa;
+            return mttkrp_coo_par(t, f, mode, opt);
+          },
+          [isa](const CooTensor&, order_t) {
+            return host_isa_supported(isa);
+          });
+    }
+    // The bit-identity contract itself: every supported vector table
+    // must memcmp-equal the scalar table, on the contiguous span AND on
+    // a gather view (the masked/prefetched path). FP tolerance would
+    // mask a lane-order bug, so this is exact.
+    add("coo_par/isa_bit_identical",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          auto run_isa = [&](const CooSpan& v, HostIsa isa) {
+            HostExecParams opt;
+            opt.strategy = HostStrategy::Serial;
+            opt.grain_nnz = 1;
+            opt.isa = isa;
+            return mttkrp_coo_par(v, f, mode, opt);
+          };
+          CooSpan flat(t);
+          flat.assume_sorted_by(mode);
+          const ModeViews views(t);
+          const CooSpan gather = views.view(mode);
+          const DenseMatrix want_flat = run_isa(flat, HostIsa::Scalar);
+          const DenseMatrix want_gather = run_isa(gather, HostIsa::Scalar);
+          for (HostIsa isa : {HostIsa::Avx2, HostIsa::Avx512}) {
+            if (!host_isa_supported(isa)) continue;
+            const DenseMatrix got_flat = run_isa(flat, isa);
+            SF_CHECK(std::memcmp(got_flat.data(), want_flat.data(),
+                                 want_flat.size() * sizeof(value_t)) == 0,
+                     std::string(host_isa_name(isa)) +
+                         " is not bit-identical to scalar on the "
+                         "contiguous span");
+            const DenseMatrix got_gather = run_isa(gather, isa);
+            SF_CHECK(std::memcmp(got_gather.data(), want_gather.data(),
+                                 want_gather.size() * sizeof(value_t)) == 0,
+                     std::string(host_isa_name(isa)) +
+                         " is not bit-identical to scalar on the "
+                         "gather view");
+          }
+          return want_flat;
+        });
+
     // Tree formats: plain CSF, the parallel CSF walker, and the
     // slice-split balanced variant.
     add("csf_ref", [](const CooTensor& t, const FactorList& f, order_t mode) {

@@ -1,0 +1,288 @@
+// Runtime ISA dispatch self-tests: the SIMD kernel tables
+// (src/tensor/simd/) must (a) resolve to something this build/CPU
+// supports, (b) produce BIT-identical MTTKRP results across scalar,
+// AVX2 and AVX-512 on a rank table covering full-width and masked/
+// scalar tails, (c) report the selected kernel and pinning policy in
+// the metrics an engine call records, and (d) forward the ExecConfig
+// knobs (host_isa_override / host_pinning) into HostExecParams.
+//
+// The CI release job runs this suite explicitly (`ctest -R
+// SimdDispatch`) and the generic-arch job re-runs the full suite with
+// SCALFRAG_HOST_ISA=scalar through the portable fallback table.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "scalfrag/exec_config.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/linalg.hpp"
+#include "tensor/mode_views.hpp"
+#include "tensor/mttkrp_par.hpp"
+#include "tensor/simd/microkernels.hpp"
+
+namespace scalfrag {
+namespace {
+
+constexpr HostIsa kAllIsas[] = {HostIsa::Scalar, HostIsa::Avx2,
+                                HostIsa::Avx512};
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+CooTensor small_tensor(int order, nnz_t nnz, std::uint64_t seed) {
+  GeneratorConfig g;
+  for (int m = 0; m < order; ++m) {
+    g.dims.push_back(static_cast<index_t>(20 + 9 * m));
+    g.skew.push_back(1.0 + 0.3 * m);
+  }
+  g.nnz = nnz;
+  g.seed = seed;
+  return generate_coo(g);
+}
+
+DenseMatrix run_forced(const CooSpan& t, const FactorList& f, order_t mode,
+                       HostIsa isa) {
+  HostExecParams opt;
+  opt.strategy = HostStrategy::Serial;
+  opt.grain_nnz = 1;
+  opt.isa = isa;
+  return mttkrp_coo_par(t, f, mode, opt);
+}
+
+TEST(SimdDispatch, DetectedIsaIsSupportedAndConsistent) {
+  const HostIsa isa = detect_host_isa();
+  EXPECT_NE(isa, HostIsa::Auto);
+  EXPECT_TRUE(host_isa_supported(isa));
+  const simd::KernelTable& kt = simd::kernels_for(HostIsa::Auto);
+  EXPECT_EQ(kt.isa, isa);
+  EXPECT_STREQ(kt.name, host_isa_name(isa));
+  EXPECT_EQ(kt.lanes, host_isa_lanes(isa));
+  EXPECT_NE(kt.mttkrp_span, nullptr);
+  EXPECT_NE(kt.rows_add, nullptr);
+  EXPECT_NE(kt.axpy_widen, nullptr);
+  EXPECT_NE(kt.mul_inplace, nullptr);
+  // The scalar fallback is guaranteed on every build and CPU.
+  EXPECT_TRUE(host_isa_supported(HostIsa::Scalar));
+  EXPECT_EQ(simd::kernels_for(HostIsa::Scalar).lanes, 1);
+}
+
+TEST(SimdDispatch, UnsupportedForcedIsaThrows) {
+  EXPECT_THROW(host_isa_from_name("sse9"), Error);
+  bool any_unsupported = false;
+  for (HostIsa isa : {HostIsa::Avx2, HostIsa::Avx512}) {
+    if (!host_isa_supported(isa)) {
+      any_unsupported = true;
+      EXPECT_THROW(simd::kernels_for(isa), Error);
+      HostExecParams opt;
+      opt.isa = isa;
+      const CooTensor t = small_tensor(3, 50, 1);
+      const auto f = random_factors(t, 4, 2);
+      EXPECT_THROW(mttkrp_coo_par(t, f, 0, opt), Error);
+    }
+  }
+  if (!any_unsupported) {
+    GTEST_SKIP() << "every vector ISA is supported on this machine";
+  }
+}
+
+// Bit-identity across every supported table, on a rank sweep hitting
+// full vector widths and the masked/scalar tails: 1 and 3 (sub-lane),
+// 7 (no width divides it), 8 (one AVX2 vector), 63 (full AVX-512 lanes
+// + 15-wide tail), 64 (exactly one rank tile), 65 (tile boundary +
+// 1-wide tail tile). Contiguous span and gather view both checked.
+TEST(SimdDispatch, BitIdenticalAcrossIsasAndTailRanks) {
+  CooTensor t = small_tensor(3, 400, 7);
+  t.sort_by_mode(0);
+  const ModeViews views(t);
+  for (const index_t rank : {1, 3, 7, 8, 63, 64, 65}) {
+    const auto f = random_factors(t, rank, 100 + rank);
+    for (const order_t mode : {order_t{0}, order_t{1}}) {
+      const CooSpan view = views.view(mode);
+      const DenseMatrix want_flat = run_forced(t, f, mode, HostIsa::Scalar);
+      const DenseMatrix want_gather =
+          run_forced(view, f, mode, HostIsa::Scalar);
+      for (HostIsa isa : {HostIsa::Avx2, HostIsa::Avx512}) {
+        if (!host_isa_supported(isa)) continue;
+        const DenseMatrix got_flat = run_forced(t, f, mode, isa);
+        ASSERT_EQ(std::memcmp(got_flat.data(), want_flat.data(),
+                              want_flat.size() * sizeof(value_t)),
+                  0)
+            << host_isa_name(isa) << " diverges from scalar at rank " << rank
+            << " mode " << int(mode) << " (contiguous)";
+        const DenseMatrix got_gather = run_forced(view, f, mode, isa);
+        ASSERT_EQ(std::memcmp(got_gather.data(), want_gather.data(),
+                              want_gather.size() * sizeof(value_t)),
+                  0)
+            << host_isa_name(isa) << " diverges from scalar at rank " << rank
+            << " mode " << int(mode) << " (gather view)";
+      }
+    }
+  }
+}
+
+// The flat-array kernels (PrivateReduce reduction, matmul_tn rank-1
+// update, hadamard) must also be bit-identical to their scalar loops,
+// including non-multiple-of-width tails.
+TEST(SimdDispatch, FlatKernelsBitIdentical) {
+  Rng rng(13);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{16},
+                              std::size_t{33}, std::size_t{130}}) {
+    std::vector<value_t> a(n), b(n);
+    for (auto& x : a) x = rng.next_float();
+    for (auto& x : b) x = rng.next_float();
+    for (HostIsa isa : {HostIsa::Avx2, HostIsa::Avx512}) {
+      if (!host_isa_supported(isa)) continue;
+      const simd::KernelTable& kt = simd::kernels_for(isa);
+
+      std::vector<value_t> want = a, got = a;
+      for (std::size_t i = 0; i < n; ++i) want[i] = want[i] + b[i];
+      kt.rows_add(got.data(), b.data(), n);
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(value_t)), 0)
+          << "rows_add " << host_isa_name(isa) << " n=" << n;
+
+      // Reference from the scalar TABLE, not a raw loop here: this TU
+      // may be compiled with FMA contraction, the kernel TUs never are.
+      std::vector<double> dwant(n, 0.25), dgot(n, 0.25);
+      const double s = 1.5;
+      simd::kernels_for(HostIsa::Scalar).axpy_widen(dwant.data(), s, b.data(),
+                                                    n);
+      kt.axpy_widen(dgot.data(), s, b.data(), n);
+      EXPECT_EQ(std::memcmp(dgot.data(), dwant.data(), n * sizeof(double)), 0)
+          << "axpy_widen " << host_isa_name(isa) << " n=" << n;
+
+      want = a;
+      got = a;
+      for (std::size_t i = 0; i < n; ++i) want[i] = want[i] * b[i];
+      kt.mul_inplace(got.data(), b.data(), n);
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(value_t)), 0)
+          << "mul_inplace " << host_isa_name(isa) << " n=" << n;
+    }
+  }
+}
+
+// Forcing each ISA through the engine must be observable: the metrics
+// registry records host/isa/<name> for the table actually used.
+TEST(SimdDispatch, ForcedIsaReportedInMetrics) {
+  const CooTensor t = small_tensor(3, 300, 21);
+  const auto f = random_factors(t, 8, 22);
+  for (HostIsa isa : kAllIsas) {
+    if (!host_isa_supported(isa)) continue;
+    obs::MetricsRegistry reg;
+    HostExecParams opt;
+    opt.isa = isa;
+    opt.metrics = &reg;
+    mttkrp_coo_par(t, f, 0, opt);
+    EXPECT_EQ(reg.counter(std::string("host/isa/") + host_isa_name(isa)), 1u)
+        << host_isa_name(isa);
+  }
+  // Auto resolves to the detected best and reports THAT name.
+  obs::MetricsRegistry reg;
+  HostExecParams opt;
+  opt.metrics = &reg;
+  mttkrp_coo_par(t, f, 0, opt);
+  EXPECT_EQ(reg.counter(std::string("host/isa/") +
+                        host_isa_name(detect_host_isa())),
+            1u);
+}
+
+TEST(SimdDispatch, TopologyIsSane) {
+  const CpuTopology& topo = cpu_topology();
+  EXPECT_GE(topo.logical_cpus, 1);
+  EXPECT_GE(topo.numa_nodes, 1);
+  EXPECT_EQ(topo.node_of_cpu.size(),
+            static_cast<std::size_t>(topo.logical_cpus));
+  for (const int node : topo.node_of_cpu) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, topo.numa_nodes);
+  }
+}
+
+TEST(SimdDispatch, PinningAppliedAndReported) {
+  ThreadPool& pool = ThreadPool::global();
+  const CooTensor t = small_tensor(3, 300, 31);
+  const auto f = random_factors(t, 8, 32);
+  for (const PinPolicy policy : {PinPolicy::Compact, PinPolicy::Scatter}) {
+    obs::MetricsRegistry reg;
+    HostExecParams opt;
+    opt.pinning = policy;
+    opt.metrics = &reg;
+    const DenseMatrix out = mttkrp_coo_par(t, f, 0, opt);
+    EXPECT_EQ(pool.pinning(), policy);
+    EXPECT_EQ(reg.counter(std::string("host/pinning/") +
+                          pin_policy_name(policy)),
+              1u);
+    // Pinning must not change results (same kernels, same order).
+    const DenseMatrix want = mttkrp_coo_par(t, f, 0, HostExecParams{});
+    EXPECT_EQ(std::memcmp(out.data(), want.data(),
+                          want.size() * sizeof(value_t)),
+              0);
+  }
+  pool.apply_pinning(PinPolicy::None);  // restore full-machine affinity
+  EXPECT_EQ(pool.pinning(), PinPolicy::None);
+}
+
+TEST(SimdDispatch, ExecConfigForwardsIsaAndPinning) {
+  const ExecConfig cfg = ExecConfig{}
+                             .host_isa_override(HostIsa::Scalar)
+                             .host_pinning(PinPolicy::Compact)
+                             .threads(2);
+  const HostExecParams h = cfg.host_for_run();
+  EXPECT_EQ(h.isa, HostIsa::Scalar);
+  EXPECT_EQ(h.pinning, PinPolicy::Compact);
+  EXPECT_EQ(h.threads, 2u);
+  // Defaults stay non-forcing.
+  EXPECT_EQ(ExecConfig{}.host_for_run().isa, HostIsa::Auto);
+  EXPECT_EQ(ExecConfig{}.host_for_run().pinning, PinPolicy::None);
+}
+
+// matmul_tn/gram/hadamard now route through the auto table; pin their
+// agreement with the scalar table at bit level so the dense CPD-ALS
+// hot spots inherit the same cross-ISA reproducibility. The reference
+// uses the scalar table's axpy_widen (its TU is built with
+// -ffp-contract=off) rather than a raw loop in this TU, which the
+// compiler is free to FMA-contract.
+TEST(SimdDispatch, LinalgMatchesScalarBitwise) {
+  Rng rng(43);
+  DenseMatrix a(37, 19), b(37, 11);
+  a.randomize(rng);
+  b.randomize(rng);
+  const DenseMatrix tn = linalg::matmul_tn(a, b);
+  // Scalar-table recomputation with the identical double-accumulator
+  // order matmul_tn uses internally.
+  const simd::KernelTable& sk = simd::kernels_for(HostIsa::Scalar);
+  std::vector<double> acc(static_cast<std::size_t>(a.cols()) * b.cols(), 0.0);
+  for (index_t k = 0; k < a.rows(); ++k) {
+    const value_t* arow = a.row(k);
+    const value_t* brow = b.row(k);
+    for (index_t i = 0; i < a.cols(); ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      sk.axpy_widen(acc.data() + static_cast<std::size_t>(i) * b.cols(), av,
+                    brow, b.cols());
+    }
+  }
+  for (index_t i = 0; i < tn.rows(); ++i) {
+    for (index_t j = 0; j < tn.cols(); ++j) {
+      EXPECT_EQ(tn(i, j),
+                static_cast<value_t>(
+                    acc[static_cast<std::size_t>(i) * tn.cols() + j]))
+          << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scalfrag
