@@ -7,6 +7,7 @@
 //   fuzz_mttkrp --seed 42 --iters 200              # full sweep
 //   fuzz_mttkrp --archetype mega_slice --iters 50  # one archetype
 //   fuzz_mttkrp --paths pipeline --iters 100       # one path family
+//   fuzz_mttkrp --paths csf_tiled --iters 36       # the CSF tiled rows
 //   fuzz_mttkrp --list                             # show table + corpus
 //
 // Every case is reproducible from the printed (archetype, seed, mode,

@@ -1,6 +1,8 @@
 // Format comparison (paper §II-D background + §VI-A's SpTFS): storage
 // footprint and host MTTKRP time of COO / CSF / HiCOO / F-COO on every
-// Table III stand-in, plus the trained format selector's pick.
+// Table III stand-in, plus the trained format selector's pick, the CSF
+// tiled engine's measured time, and the joint (format, launch) backend
+// decision drivers dispatch on.
 
 #include <cstdio>
 
@@ -28,9 +30,10 @@ int main() {
               cfg.corpus_size, train_s);
 
   obs::BenchRunner runner("tabformat_compare");
+  const JointSelector joint(&selector, nullptr);
   ConsoleTable t({"Tensor", "COO bytes", "CSF", "HiCOO", "F-COO",
-                  "COO ms", "CSF ms", "HiCOO ms", "F-COO ms", "measured",
-                  "predicted", "regret"});
+                  "COO ms", "CSF ms", "CSF-tiled ms", "HiCOO ms", "F-COO ms",
+                  "measured", "predicted", "joint pick", "regret"});
   int agree = 0, total = 0;
   double worst_regret = 0.0;
   for (const auto& p : frostt_profiles()) {
@@ -42,6 +45,24 @@ int main() {
     const FcooTensor fcoo = FcooTensor::build(x, 0);
     const FormatTiming timing = measure_formats(x, 0, kRank, 3);
     const SparseFormat predicted = selector.predict(feat);
+    // The runnable CSF engine (sync-tiled), measured like the reference
+    // kernels above, plus the joint (format, launch) decision drivers
+    // actually dispatch on.
+    const JointChoice pick = joint.choose(feat, kRank);
+    double csf_tiled_ms = 0.0;
+    {
+      DenseMatrix out(x.dim(0), kRank);
+      const FactorList f = random_factors(x, kRank, 7);
+      CsfTiledOptions topt;
+      topt.variant = pick.format == SparseFormat::Csf
+                         ? pick.variant
+                         : CsfTiledVariant::Sync;
+      WallTimer timer;
+      for (int rep = 0; rep < 3; ++rep) {
+        mttkrp_csf_tiled(csf, f, out, /*accumulate=*/false, topt);
+      }
+      csf_tiled_ms = timer.seconds() * 1e3 / 3;
+    }
     agree += predicted == timing.best;
     ++total;
     // Regret: how much slower the predicted format runs vs the best —
@@ -61,8 +82,10 @@ int main() {
         {p.name, human_bytes(x.bytes()), rel(csf.bytes()),
          rel(hicoo.bytes()), rel(fcoo.bytes()),
          fmt_double(timing.ms[0], 2), fmt_double(timing.ms[1], 2),
+         fmt_double(csf_tiled_ms, 2),
          fmt_double(timing.ms[2], 2), fmt_double(timing.ms[3], 2),
          sparse_format_name(timing.best), sparse_format_name(predicted),
+         pick.backend,
          "+" + fmt_double(100.0 * regret, 1) + "%"});
     // Storage ratios are deterministic; host-side ms are wall clock
     // (machine-dependent) and the regret depends on them — info only.
@@ -79,7 +102,8 @@ int main() {
              static_cast<double>(fcoo.bytes()) /
                  static_cast<double>(x.bytes()),
              "x", obs::Direction::kLowerIsBetter)
-        .set("regret_pct", 100.0 * regret, "%", obs::Direction::kInfo);
+        .set("regret_pct", 100.0 * regret, "%", obs::Direction::kInfo)
+        .set("csf_tiled_ms", csf_tiled_ms, "ms", obs::Direction::kInfo);
   }
   t.print();
   std::printf(

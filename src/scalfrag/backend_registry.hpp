@@ -1,0 +1,109 @@
+#pragma once
+// Named backend registry — drivers resolve MTTKRP execution backends by
+// config string instead of hard-coded enums (the openbr-style plugin
+// pattern the ROADMAP asks for; the SIMD KernelTable was its seed).
+//
+// Built-in names:
+//
+//   "coo"              the classic tiled GPU pipeline (run_pipeline)
+//   "coo_host"         the host engine alone (mttkrp_coo_par)
+//   "csf_tiled"        alias of "csf_tiled_sync"
+//   "csf_tiled_sync"   CSF sync-tiled schedule
+//   "csf_tiled_coop"   CSF coop-tiled schedule
+//   "csf_tiled_serial" CSF leaf-ordered serial walk
+//   "auto"             joint (format, launch) selection, then dispatch
+//
+// Unknown names throw UnknownBackendError (also from
+// ExecConfig::validate(), so a typo fails before any work is done).
+// New backends self-register inside BackendRegistry's constructor —
+// static-library builds cannot rely on per-TU static initializers the
+// linker is free to drop.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "scalfrag/exec_config.hpp"
+#include "scalfrag/format_select.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+
+namespace gpusim {
+class SimDevice;
+}
+class LaunchSelector;
+
+/// Typed rejection of a backend name the registry does not know.
+class UnknownBackendError : public Error {
+ public:
+  UnknownBackendError(std::string name, std::vector<std::string> known);
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<std::string>& known() const noexcept { return known_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> known_;
+};
+
+/// One execution backend. `t` must be the mode-sorted (slice-grouped)
+/// view of the tensor — the exchange convention of every driver.
+class MttkrpBackend {
+ public:
+  virtual ~MttkrpBackend() = default;
+  virtual const std::string& name() const noexcept = 0;
+  virtual DenseMatrix run(gpusim::SimDevice& dev, const CooSpan& t,
+                          const FactorList& factors, order_t mode,
+                          const ExecConfig& cfg,
+                          const LaunchSelector* selector) const = 0;
+};
+
+class BackendRegistry {
+ public:
+  /// The process-wide registry, with the built-ins registered.
+  static BackendRegistry& instance();
+
+  /// Register a backend under its name() plus optional aliases.
+  /// Throws on a name collision.
+  void add(std::shared_ptr<const MttkrpBackend> backend,
+           std::vector<std::string> aliases = {});
+
+  bool contains(const std::string& name) const;
+
+  /// Throws UnknownBackendError for unregistered names.
+  const MttkrpBackend& resolve(const std::string& name) const;
+
+  /// All registered names (aliases included), sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const MttkrpBackend>> by_name_;
+};
+
+/// Outcome of a dispatched run: the output plus what actually ran.
+struct BackendRun {
+  DenseMatrix output;
+  /// Resolved backend name ("auto" reports the concrete choice).
+  std::string backend;
+  /// The joint decision (meaningful when the config said "auto").
+  JointChoice choice;
+};
+
+/// Resolve cfg.backend_name in the registry and run it. For "auto" the
+/// joint selector decides first: `joint` when given, else the built-in
+/// heuristic; a predicted COO launch lands in launch_override unless
+/// the caller already forced one. `t` must be mode-sorted for `mode`.
+BackendRun run_mttkrp_backend(gpusim::SimDevice& dev, const CooSpan& t,
+                              const FactorList& factors, order_t mode,
+                              const ExecConfig& cfg = {},
+                              const LaunchSelector* selector = nullptr,
+                              const JointSelector* joint = nullptr);
+
+}  // namespace scalfrag

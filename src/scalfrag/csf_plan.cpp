@@ -1,0 +1,71 @@
+#include "scalfrag/csf_plan.hpp"
+
+#include "common/timer.hpp"
+#include "tensor/mode_views.hpp"
+
+namespace scalfrag {
+
+namespace {
+
+CsfTiledVariant variant_from_backend(const std::string& name) {
+  if (name == "csf_tiled_serial") return CsfTiledVariant::Serial;
+  if (name == "csf_tiled_coop") return CsfTiledVariant::Coop;
+  return CsfTiledVariant::Sync;  // "csf_tiled"/"csf_tiled_sync"/others
+}
+
+}  // namespace
+
+CsfPlan::CsfPlan(const CooTensor& x, ExecConfig config)
+    : cfg_(std::move(config)) {
+  cfg_.validate();
+  SF_CHECK(cfg_.num_devices == 1,
+           "CsfPlan is a host plan — multi-device configs run the COO "
+           "pipeline");
+  variant_ = variant_from_backend(cfg_.backend_name);
+
+  WallTimer timer;
+  const order_t order = x.order();
+  csf_.reserve(order);
+  tilings_.reserve(order);
+  // One canonical sort + counting permutations; the views die with this
+  // scope — only the trees stay resident.
+  ModeViews views(x, cfg_.metrics_sink);
+  nnz_t budget = cfg_.csf_fiber_budget;
+  for (order_t m = 0; m < order; ++m) {
+    csf_.push_back(CsfTensor::build(views.view(m), m));
+    tilings_.push_back(CsfTiling::build(
+        csf_.back(),
+        budget != 0 ? budget
+                    : CsfTiling::auto_budget(csf_.back(),
+                                             cfg_.host_exec.threads)));
+  }
+  prepare_seconds_ = timer.seconds();
+  if (cfg_.metrics_sink != nullptr) {
+    cfg_.metrics_sink->count("csf_plan/builds");
+    cfg_.metrics_sink->count("csf_plan/resident_bytes", resident_bytes());
+  }
+}
+
+std::size_t CsfPlan::resident_bytes() const noexcept {
+  std::size_t b = 0;
+  for (const auto& t : csf_) b += t.bytes();
+  return b;
+}
+
+void CsfPlan::run(const FactorList& factors, order_t mode, DenseMatrix& out,
+                  bool accumulate) const {
+  CsfTiledOptions opt;
+  opt.variant = variant_;
+  opt.fiber_budget = cfg_.csf_fiber_budget;
+  opt.host = cfg_.host_for_run();
+  mttkrp_csf_tiled(csf_.at(mode), tilings_.at(mode), factors, out, accumulate,
+                   opt);
+}
+
+DenseMatrix CsfPlan::run(const FactorList& factors, order_t mode) const {
+  DenseMatrix out(csf_.at(mode).dims()[mode], factors.at(mode).cols());
+  run(factors, mode, out, /*accumulate=*/false);
+  return out;
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,56 @@
+#pragma once
+// CsfPlan — the CSF-tiled counterpart of MttkrpPlan: per-mode CSF trees
+// and fiber tilings built once, replayed by every CPD iteration.
+//
+// Construction goes through ModeViews (one canonical sort + counting
+// permutations) rather than N full sorts; the views are transient —
+// what stays resident is exactly the per-mode CsfTensor arrays and the
+// tilings, reported by resident_bytes().
+
+#include <vector>
+
+#include "scalfrag/exec_config.hpp"
+#include "tensor/csf_tiled.hpp"
+
+namespace scalfrag {
+
+class CsfPlan {
+ public:
+  /// Build every mode's tree + tiling. The config is copied by value;
+  /// backend_name picks the schedule ("csf_tiled_serial" /
+  /// "csf_tiled_coop" / anything else = sync) and csf_fiber_budget the
+  /// tile size (0 = auto). Multi-device configs are rejected — the CSF
+  /// tiled engine is a host backend.
+  explicit CsfPlan(const CooTensor& x, ExecConfig config = {});
+
+  order_t order() const noexcept {
+    return static_cast<order_t>(csf_.size());
+  }
+  const ExecConfig& config() const noexcept { return cfg_; }
+  CsfTiledVariant variant() const noexcept { return variant_; }
+
+  const CsfTensor& csf(order_t mode) const { return csf_.at(mode); }
+  const CsfTiling& tiling(order_t mode) const { return tilings_.at(mode); }
+
+  /// Bytes held resident (all modes' CSF arrays; tilings are O(tiles)).
+  std::size_t resident_bytes() const noexcept;
+
+  /// One-off preprocessing wall time (views + trees + tilings).
+  double prepare_seconds() const noexcept { return prepare_seconds_; }
+
+  /// Mode-`mode` MTTKRP into `out` (shape dims[mode] × F).
+  void run(const FactorList& factors, order_t mode, DenseMatrix& out,
+           bool accumulate = false) const;
+
+  /// Convenience overload allocating the output.
+  DenseMatrix run(const FactorList& factors, order_t mode) const;
+
+ private:
+  ExecConfig cfg_;
+  CsfTiledVariant variant_ = CsfTiledVariant::Sync;
+  std::vector<CsfTensor> csf_;       // [mode]
+  std::vector<CsfTiling> tilings_;   // [mode]
+  double prepare_seconds_ = 0.0;
+};
+
+}  // namespace scalfrag

@@ -1,6 +1,7 @@
 #include "scalfrag/exec_config.hpp"
 
 #include "common/error.hpp"
+#include "scalfrag/backend_registry.hpp"
 
 namespace scalfrag {
 
@@ -11,6 +12,15 @@ void ExecConfig::validate() const {
   SF_CHECK(num_devices == 1 || hybrid_cpu_threshold == 0,
            "the CPU hybrid split is single-device only — clear "
            "hybrid_cpu_threshold when devices > 1");
+  // Typed rejection of unknown backend names: a typo'd
+  // .backend("csf_tield") fails here, not at dispatch depth.
+  if (!BackendRegistry::instance().contains(backend_name)) {
+    throw UnknownBackendError(backend_name,
+                              BackendRegistry::instance().names());
+  }
+  SF_CHECK(num_devices == 1 || backend_name == "coo",
+           "multi-device execution is a COO-pipeline feature — backend "
+           "must be \"coo\" when devices > 1");
 }
 
 }  // namespace scalfrag

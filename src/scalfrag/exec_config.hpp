@@ -21,6 +21,7 @@
 // that convert to ExecConfig — see docs/api.md for the migration map.
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "gpusim/device_group.hpp"
@@ -30,6 +31,15 @@
 namespace scalfrag {
 
 struct ExecConfig {
+  // --- backend ---------------------------------------------------------
+  /// Execution backend, resolved by name in the BackendRegistry
+  /// (src/scalfrag/backend_registry.hpp). "coo" is the classic tiled
+  /// pipeline; "csf_tiled" (alias of "csf_tiled_sync"),
+  /// "csf_tiled_coop", "csf_tiled_serial" run the CSF tiled engine;
+  /// "coo_host" is the host engine alone; "auto" asks the joint
+  /// format×launch selector. validate() rejects unknown names with a
+  /// typed UnknownBackendError.
+  std::string backend_name = "coo";
   // --- device group (multi-device sharding) ---------------------------
   /// Simulated devices to shard segments across. 1 = the classic
   /// single-device pipeline; N > 1 runs the MultiPipelineExecutor.
@@ -69,6 +79,9 @@ struct ExecConfig {
   /// Engine knobs for every functional kernel body a driver runs
   /// (segment kernels, hybrid CPU share, reference backends).
   HostExecParams host_exec;
+  /// CSF tile budget (fibers per tile) for the csf_tiled backends;
+  /// 0 = CsfTiling::auto_budget.
+  nnz_t csf_fiber_budget = 0;
 
   // --- observability ---------------------------------------------------
   /// Optional sink: executors record phase spans, plan counters, and
@@ -79,6 +92,16 @@ struct ExecConfig {
   obs::MetricsRegistry* metrics_sink = nullptr;
 
   // --- fluent builders -------------------------------------------------
+  ExecConfig& backend(std::string name) {
+    backend_name = std::move(name);
+    return *this;
+  }
+  /// Fibers per CSF tile for the csf_tiled backends; 0 = auto (about
+  /// four tiles per worker). Ignored by the COO backends.
+  ExecConfig& csf_budget(nnz_t fibers) {
+    csf_fiber_budget = fibers;
+    return *this;
+  }
   ExecConfig& devices(int n) { num_devices = n; return *this; }
   ExecConfig& reduction(gpusim::ReduceSchedule s) {
     reduce_schedule = s;

@@ -1,8 +1,10 @@
 #include "scalfrag/format_select.hpp"
 
 #include <cmath>
+#include <fstream>
 
 #include "common/timer.hpp"
+#include "scalfrag/autotune.hpp"
 #include "tensor/csf.hpp"
 #include "tensor/fcoo.hpp"
 #include "tensor/generator.hpp"
@@ -137,6 +139,107 @@ SparseFormat FormatSelector::predict(const TensorFeatures& feat) const {
     }
   }
   return best;
+}
+
+namespace {
+constexpr const char* kFormatModelMagic = "scalfrag-format-selector v1";
+}
+
+void FormatSelector::save(const std::string& path) const {
+  SF_CHECK(trained(), "save before train()");
+  std::ofstream out(path);
+  SF_CHECK(out.good(), "cannot open model file for writing: " + path);
+  out << kFormatModelMagic << "\n";
+  for (const auto& m : models_) m->save(out);
+  SF_CHECK(out.good(), "short write to model file: " + path);
+}
+
+FormatSelector FormatSelector::load(const std::string& path) {
+  std::ifstream in(path);
+  SF_CHECK(in.good(), "cannot open model file: " + path);
+  std::string magic;
+  std::getline(in, magic);
+  SF_CHECK(magic == kFormatModelMagic,
+           "not a format-selector model file: " + path);
+  FormatSelector sel;
+  for (auto& m : sel.models_) {
+    m = std::make_unique<ml::DecisionTreeRegressor>(
+        ml::DecisionTreeRegressor::load(in));
+  }
+  return sel;
+}
+
+// --- joint (format, launch) selection ---------------------------------
+
+JointChoice heuristic_joint_choice(const TensorFeatures& feat, index_t rank) {
+  (void)rank;  // the heuristic is rank-free; the models are not
+  JointChoice c;
+  // CSF pays off when fibers amortize index reads: each level-(order-2)
+  // fiber's factor row is touched once per fiber instead of once per
+  // nnz. Below ~2 nnz per fiber the tree walk is pure overhead, and a
+  // 2-order tensor has no interior fiber level to amortize.
+  if (feat.order >= 3 && feat.avg_nnz_per_fiber >= 2.0) {
+    c.format = SparseFormat::Csf;
+    // Heavy slice skew starves the sync schedule's owner tiles; coop
+    // splits every slice's fibers across all workers.
+    c.variant = feat.cv_nnz_per_slice > 1.5 ? CsfTiledVariant::Coop
+                                            : CsfTiledVariant::Sync;
+    c.backend = c.variant == CsfTiledVariant::Coop ? "csf_tiled_coop"
+                                                   : "csf_tiled_sync";
+  }
+  return c;
+}
+
+JointSelector::JointSelector(const FormatSelector* formats,
+                             const LaunchSelector* launch)
+    : formats_(formats), launch_(launch) {}
+
+JointSelector JointSelector::from_model_file(const std::string& path,
+                                             const LaunchSelector* launch) {
+  JointSelector sel;
+  sel.launch_ = launch;
+  try {
+    auto owned = std::make_shared<FormatSelector>(FormatSelector::load(path));
+    sel.formats_ = owned.get();
+    sel.owned_ = std::move(owned);
+  } catch (const Error&) {
+    // Missing/corrupt model file: degrade to the heuristic. Cold starts
+    // (no offline training yet) must not take the service down.
+  }
+  return sel;
+}
+
+bool JointSelector::model_backed() const noexcept {
+  return formats_ != nullptr && formats_->trained();
+}
+
+JointChoice JointSelector::choose(const TensorFeatures& feat,
+                                  index_t rank) const {
+  JointChoice c = heuristic_joint_choice(feat, rank);
+  if (model_backed()) {
+    const double coo_ms = formats_->predict_ms(feat, SparseFormat::Coo);
+    const double csf_ms = formats_->predict_ms(feat, SparseFormat::Csf);
+    c.from_model = true;
+    if (csf_ms < coo_ms && feat.order >= 2) {
+      c.format = SparseFormat::Csf;
+      c.predicted_ms = csf_ms;
+      // The model ranks formats; the schedule within CSF stays the
+      // skew heuristic (both schedules share the format's cost row).
+      c.variant = feat.cv_nnz_per_slice > 1.5 ? CsfTiledVariant::Coop
+                                              : CsfTiledVariant::Sync;
+      c.backend = c.variant == CsfTiledVariant::Coop ? "csf_tiled_coop"
+                                                     : "csf_tiled_sync";
+    } else {
+      c.format = SparseFormat::Coo;
+      c.backend = "coo";
+      c.predicted_ms = coo_ms;
+    }
+  }
+  if (launch_ != nullptr && c.format == SparseFormat::Coo) {
+    c.launch = launch_->select(feat).config;
+    c.has_launch = true;
+  }
+  return c;
 }
 
 }  // namespace scalfrag

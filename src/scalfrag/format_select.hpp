@@ -14,11 +14,16 @@
 
 #include <array>
 #include <memory>
+#include <string>
 
+#include "gpusim/launch.hpp"
 #include "ml/dtree.hpp"
+#include "tensor/csf_tiled.hpp"
 #include "tensor/features.hpp"
 
 namespace scalfrag {
+
+class LaunchSelector;
 
 enum class SparseFormat : std::uint8_t { Coo, Csf, HiCoo, FCoo };
 inline constexpr std::array<SparseFormat, 4> kAllFormats = {
@@ -63,9 +68,74 @@ class FormatSelector {
   /// Predicted host milliseconds for one (features, format) pair.
   double predict_ms(const TensorFeatures& feat, SparseFormat f) const;
 
+  /// Persist / restore the four per-format trees (one file, versioned
+  /// header). save() requires trained(); load() throws scalfrag::Error
+  /// on a missing or malformed file — JointSelector::from_model_file
+  /// wraps that in a heuristic fallback.
+  void save(const std::string& path) const;
+  static FormatSelector load(const std::string& path);
+
  private:
   FormatSelectorConfig cfg_;
   std::array<std::unique_ptr<ml::DecisionTreeRegressor>, 4> models_;
+};
+
+// --- joint (format, launch) selection ---------------------------------
+//
+// The ScalFrag launch model and the SpTFS-style format model consume
+// the same TensorFeatures; the joint selector asks both at once so
+// drivers get one (backend, launch) decision instead of bolting format
+// choice onto a launch that was tuned for a different data structure.
+
+/// One joint decision. `backend` is a BackendRegistry name, directly
+/// usable as ExecConfig::backend(...).
+struct JointChoice {
+  SparseFormat format = SparseFormat::Coo;
+  std::string backend = "coo";
+  /// CSF path: the tiled schedule to run.
+  CsfTiledVariant variant = CsfTiledVariant::Sync;
+  /// COO path: the predicted launch (meaningful when has_launch).
+  gpusim::LaunchConfig launch{};
+  bool has_launch = false;
+  /// Model-predicted host ms of the chosen format (0 under heuristic).
+  double predicted_ms = 0.0;
+  /// True when a trained format model made the call (vs the heuristic).
+  bool from_model = false;
+};
+
+/// Deterministic model-free fallback: CSF-tiled when fibers amortize
+/// index reads (order >= 3 and >= 2 nnz per fiber on average), coop for
+/// slice-skewed tensors, COO otherwise.
+JointChoice heuristic_joint_choice(const TensorFeatures& feat, index_t rank);
+
+/// Joint (format, launch) predictor over non-owning model pointers.
+/// Deterministic for fixed features: both underlying models are frozen
+/// trees. Only the two first-class execution backends (COO pipeline,
+/// CSF tiled) are candidates — HiCOO/F-COO have reference kernels but
+/// no tiled engine, so predicting them would leave nothing to run.
+class JointSelector {
+ public:
+  /// Pure heuristic (no models).
+  JointSelector() = default;
+  /// Use a trained format model and, optionally, the launch model.
+  /// Pointers are non-owning and must outlive the selector.
+  JointSelector(const FormatSelector* formats, const LaunchSelector* launch);
+
+  /// Load the format model from `path`. A missing or unreadable file
+  /// degrades to the heuristic selector — it never throws for absence
+  /// (the documented cold-start behavior).
+  static JointSelector from_model_file(const std::string& path,
+                                       const LaunchSelector* launch = nullptr);
+
+  /// True when choose() consults a trained format model.
+  bool model_backed() const noexcept;
+
+  JointChoice choose(const TensorFeatures& feat, index_t rank) const;
+
+ private:
+  const FormatSelector* formats_ = nullptr;
+  std::shared_ptr<const FormatSelector> owned_;  // from_model_file storage
+  const LaunchSelector* launch_ = nullptr;
 };
 
 }  // namespace scalfrag

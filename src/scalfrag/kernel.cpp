@@ -64,6 +64,65 @@ gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat, index_t rank,
   return p;
 }
 
+gpusim::KernelProfile csf_tiled_profile(const CsfTensor& csf,
+                                        const CsfTiling& tiling, index_t rank,
+                                        CsfTiledVariant variant) {
+  gpusim::KernelProfile p;
+  const std::uint64_t nnz = csf.nnz();
+  const order_t order = csf.order();
+  const std::uint64_t fbytes = sizeof(value_t) * rank;
+  if (nnz == 0) return p;
+
+  // Interior fold work: one ⊙-accumulate per internal node (levels
+  // 1..order-2) on top of the per-leaf axpy — the factored schedule's
+  // flop count, which undercuts COO's (order-1) multiplies per nnz
+  // whenever fibers have >1 leaf.
+  std::uint64_t interior = 0;
+  for (order_t l = 1; l + 1 < order; ++l) interior += csf.num_nodes(l);
+  p.work_items = order >= 2 ? csf.num_nodes(1) : nnz;  // fibers
+  p.flops = 2ull * rank * (nnz + interior);
+
+  // Index traffic is the exact tree footprint (fids/fptr/values) —
+  // the compression vs COO's nnz*(order*idx+val) is the format's
+  // bandwidth win. Factor rows: one read per node at levels >= 1.
+  std::uint64_t factor_rows = 0;
+  for (order_t l = 1; l < order; ++l) factor_rows += csf.num_nodes(l);
+  const std::uint64_t slices = csf.num_nodes(0);
+  const std::uint64_t out_bytes = slices * fbytes * 2;  // seed + flush
+  p.dram_bytes = csf.bytes() + factor_rows * fbytes + out_bytes;
+  // Tree walks gather rows fiber-by-fiber: better locality than raw
+  // COO (0.40) but below the shared-mem staged kernel (0.55).
+  p.coalescing = 0.50;
+
+  std::uint64_t shared = 0;
+  for (const CsfTile& t : tiling.tiles) shared += t.first_slice_shared;
+  switch (variant) {
+    case CsfTiledVariant::Serial:
+      p.atomic_updates = 0;
+      p.atomic_max_chain = 1.0;
+      break;
+    case CsfTiledVariant::Sync:
+      // One partial-row fold per tile that enters a slice mid-way.
+      p.atomic_updates = shared * rank;
+      p.atomic_max_chain =
+          1.0 + (slices > 0 ? static_cast<double>(shared) /
+                                  static_cast<double>(slices)
+                            : 0.0);
+      p.dram_bytes += shared * fbytes * 2;
+      break;
+    case CsfTiledVariant::Coop:
+      // Per-tile block reduction: every tile's slice rows are read and
+      // folded once per tile, serialized at tile barriers.
+      p.atomic_updates =
+          (slices + shared) * rank;
+      p.atomic_max_chain = 1.0 + static_cast<double>(
+                                     tiling.tiles.empty() ? 0 : 1);
+      p.dram_bytes += (slices + shared) * fbytes * 2;
+      break;
+  }
+  return p;
+}
+
 void mttkrp_exec(const CooSpan& segment, const FactorList& factors,
                  order_t mode, DenseMatrix& out,
                  const HostExecParams& opt) {

@@ -16,6 +16,7 @@
 // exactly what makes blockSize a real tuning knob (occupancy cliff).
 
 #include "gpusim/cost_model.hpp"
+#include "tensor/csf_tiled.hpp"
 #include "tensor/features.hpp"
 #include "tensor/mttkrp_par.hpp"
 #include "tensor/mttkrp_ref.hpp"
@@ -50,6 +51,16 @@ inline gpusim::KernelProfile mttkrp_profile(const TensorFeatures& feat,
   return mttkrp_profile(feat, rank, opt.use_shared_mem);
 }
 #pragma GCC diagnostic pop
+
+/// Cost-model profile of the CSF tiled kernel (fig9's CSF-tiled
+/// series). Deterministic in the tree's node counts: index traffic is
+/// the exact CSF array footprint, factor reads are amortized to one row
+/// per tree node (the whole point of the format), and the schedule adds
+/// its own synchronization term — sync pays one cross-tile partial fold
+/// per shared boundary slice, coop pays the per-tile block reduction.
+gpusim::KernelProfile csf_tiled_profile(const CsfTensor& csf,
+                                        const CsfTiling& tiling, index_t rank,
+                                        CsfTiledVariant variant);
 
 /// Functional kernel body: accumulate mode-`mode` MTTKRP of the segment
 /// into `out` (commutative adds; cross-segment accumulation safe). The

@@ -73,6 +73,10 @@ PipelineResult PipelineExecutor::run(const CooSpan& t,
   SF_CHECK(opt.num_devices == 1,
            "PipelineExecutor is single-device; use MultiPipelineExecutor "
            "for ExecConfig::devices > 1");
+  SF_CHECK(opt.backend_name == "coo",
+           "ExecConfig names backend \"" + opt.backend_name +
+               "\" but was routed to the COO pipeline — dispatch through "
+               "run_mttkrp_backend (scalfrag/backend_registry.hpp)");
 
   PipelineResult res;
   res.output = DenseMatrix(t.dim(mode), rank);

@@ -18,7 +18,9 @@
 #include "gpusim/sim_metrics.hpp"
 #include "gpusim/trace.hpp"
 #include "scalfrag/autotune.hpp"
+#include "scalfrag/backend_registry.hpp"
 #include "scalfrag/cpd.hpp"
+#include "scalfrag/csf_plan.hpp"
 #include "scalfrag/exec_config.hpp"
 #include "scalfrag/format_select.hpp"
 #include "scalfrag/hybrid.hpp"
@@ -33,6 +35,7 @@
 #include "tensor/arith.hpp"
 #include "tensor/bcsf.hpp"
 #include "tensor/csf.hpp"
+#include "tensor/csf_tiled.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/fcoo.hpp"
 #include "tensor/features.hpp"

@@ -4,32 +4,55 @@ namespace scalfrag {
 
 CsfTensor CsfTensor::build(const CooTensor& coo, order_t mode) {
   SF_CHECK(mode < coo.order(), "mode out of range");
-  const CooTensor* src = &coo;
-  CooTensor sorted;
   if (!coo.is_sorted_by_mode(mode)) {
-    sorted = coo;
+    CooTensor sorted = coo;
     sorted.sort_by_mode(mode);
-    src = &sorted;
+    return build(CooSpan(sorted), mode);
   }
+  return build(CooSpan(coo), mode);
+}
+
+CsfTensor CsfTensor::build(const CooSpan& src, order_t mode) {
+  SF_CHECK(mode < src.order(), "mode out of range");
 
   CsfTensor csf;
-  csf.dims_ = src->dims();
+  csf.dims_ = src.dims();
   csf.mode_order_.push_back(mode);
-  for (order_t m = 0; m < src->order(); ++m) {
+  for (order_t m = 0; m < src.order(); ++m) {
     if (m != mode) csf.mode_order_.push_back(m);
   }
-  const order_t order = src->order();
+  const order_t order = src.order();
   csf.fids_.resize(order);
   csf.fptr_.resize(order > 0 ? order - 1 : 0);
-  csf.vals_ = src->values();
 
-  if (src->nnz() == 0) return csf;
+  if (src.nnz() == 0) return csf;
+
+  const nnz_t n = src.nnz();
+  csf.vals_.resize(n);
+  for (nnz_t e = 0; e < n; ++e) csf.vals_[e] = src.value(e);
+
+  // Spans cannot be sorted in place, so the required logical order is a
+  // precondition — verify it rather than silently building a corrupt
+  // tree (duplicate fids at every level).
+  for (nnz_t e = 1; e < n; ++e) {
+    bool ok = false, tied = true;
+    for (order_t l = 0; l < order && tied; ++l) {
+      const order_t m = csf.mode_order_[l];
+      const index_t a = src.index(m, e - 1), b = src.index(m, e);
+      if (a != b) {
+        ok = a < b;
+        tied = false;
+      }
+    }
+    SF_CHECK(tied || ok,
+             "CsfTensor::build(span): span is not mode-sorted for the "
+             "requested mode");
+  }
 
   // A node at level l is a maximal run of entries sharing the coordinate
   // prefix (levels 0..l). Because the tensor is sorted in exactly this
   // key order, runs are contiguous, and each level's nodes partition the
   // previous level's runs.
-  const nnz_t n = src->nnz();
   for (order_t l = 0; l < order; ++l) {
     const order_t m = csf.mode_order_[l];
     auto& fids = csf.fids_[l];
@@ -43,14 +66,14 @@ CsfTensor CsfTensor::build(const CooTensor& coo, order_t mode) {
         // New node when any coordinate in levels 0..l changed.
         for (order_t ll = 0; ll <= l; ++ll) {
           const order_t mm = csf.mode_order_[ll];
-          if (src->index(mm, e) != src->index(mm, e - 1)) {
+          if (src.index(mm, e) != src.index(mm, e - 1)) {
             is_new = true;
             break;
           }
         }
       }
       if (is_new) {
-        fids.push_back(src->index(m, e));
+        fids.push_back(src.index(m, e));
         starts.push_back(e);
       }
     }
@@ -67,7 +90,7 @@ CsfTensor CsfTensor::build(const CooTensor& coo, order_t mode) {
         if (!is_new) {
           for (order_t ll = 0; ll + 1 <= l; ++ll) {
             const order_t mm = csf.mode_order_[ll];
-            if (src->index(mm, e) != src->index(mm, e - 1)) {
+            if (src.index(mm, e) != src.index(mm, e - 1)) {
               is_new = true;
               break;
             }

@@ -22,6 +22,12 @@ class CsfTensor {
   /// CooTensor::sort_by_mode). The input is copied and sorted if needed.
   static CsfTensor build(const CooTensor& coo, order_t mode);
 
+  /// Build from a zero-copy span (contiguous or gather view). The span's
+  /// logical entry order must already be mode-sorted for `mode` — spans
+  /// cannot be sorted in place; this is verified (throws on violation).
+  /// ModeViews gather views satisfy it by construction.
+  static CsfTensor build(const CooSpan& span, order_t mode);
+
   order_t order() const noexcept {
     return static_cast<order_t>(mode_order_.size());
   }

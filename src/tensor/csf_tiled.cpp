@@ -1,0 +1,251 @@
+#include "tensor/csf_tiled.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/thread_pool.hpp"
+#include "tensor/simd/microkernels.hpp"
+
+namespace scalfrag {
+
+const char* csf_tiled_variant_name(CsfTiledVariant v) {
+  switch (v) {
+    case CsfTiledVariant::Serial:
+      return "serial";
+    case CsfTiledVariant::Sync:
+      return "sync";
+    case CsfTiledVariant::Coop:
+      return "coop";
+  }
+  return "?";
+}
+
+CsfTiling CsfTiling::build(const CsfTensor& t, nnz_t unit_budget) {
+  SF_CHECK(unit_budget > 0, "tile budget must be positive");
+  CsfTiling tl;
+  tl.unit_budget = unit_budget;
+  const order_t order = t.order();
+  if (order == 0 || t.nnz() == 0) return tl;
+  tl.tile_level = order >= 2 ? 1 : 0;
+  const nnz_t units = t.num_nodes(tl.tile_level);
+
+  if (order == 1) {
+    // Root nodes are the leaves (one per entry): tiles are plain node
+    // ranges, never sharing a node.
+    for (nnz_t u0 = 0; u0 < units; u0 += unit_budget) {
+      const nnz_t u1 = std::min<nnz_t>(u0 + unit_budget, units);
+      CsfTile tile;
+      tile.unit_begin = u0;
+      tile.unit_end = u1;
+      tile.slice_begin = u0;
+      tile.slice_end = u1;
+      tile.leaf_begin = u0;
+      tile.leaf_end = u1;
+      tl.tiles.push_back(tile);
+    }
+    return tl;
+  }
+
+  // Leaf offset of fiber u: follow first-child pointers down the tree.
+  // Monotone in u, so consecutive tiles partition [0, nnz).
+  auto leaf_of = [&](nnz_t u) {
+    nnz_t o = u;
+    for (order_t l = 1; l + 1 < order; ++l) o = t.fptr(l)[o];
+    return o;
+  };
+
+  const auto& f0 = t.fptr(0);
+  nnz_t s = 0;   // slice containing the tile's first fiber
+  nnz_t u0 = 0;
+  while (u0 < units) {
+    const nnz_t u1 = std::min<nnz_t>(u0 + unit_budget, units);
+    while (f0[s + 1] <= u0) ++s;
+    CsfTile tile;
+    tile.unit_begin = u0;
+    tile.unit_end = u1;
+    tile.slice_begin = s;
+    tile.first_slice_shared = u0 > f0[s];
+    nnz_t se = s;  // slice containing fiber u1-1
+    while (f0[se + 1] < u1) ++se;
+    tile.slice_end = se + 1;
+    tile.leaf_begin = leaf_of(u0);
+    tile.leaf_end = u1 == units ? t.nnz() : leaf_of(u1);
+    tl.tiles.push_back(tile);
+    u0 = u1;
+  }
+  return tl;
+}
+
+nnz_t CsfTiling::auto_budget(const CsfTensor& t, std::size_t threads) {
+  if (threads == 0) threads = ThreadPool::global().size();
+  threads = std::max<std::size_t>(1, threads);
+  const order_t order = t.order();
+  const nnz_t units =
+      order >= 2 ? t.num_nodes(1) : (order == 1 ? t.num_nodes(0) : 0);
+  if (units == 0) return 1;
+  // ~4 tiles per worker balances without flooding the scheduler; the
+  // 4096 cap bounds coop's private blocks (≤ budget+1 slice rows each).
+  const nnz_t per = (units + threads * 4 - 1) / (threads * 4);
+  return std::clamp<nnz_t>(per, 1, 4096);
+}
+
+void mttkrp_csf_tiled(const CsfTensor& t, const FactorList& factors,
+                      DenseMatrix& out, bool accumulate,
+                      const CsfTiledOptions& opt) {
+  nnz_t budget = opt.fiber_budget;
+  if (budget == 0) budget = CsfTiling::auto_budget(t, opt.host.threads);
+  mttkrp_csf_tiled(t, CsfTiling::build(t, budget), factors, out, accumulate,
+                   opt);
+}
+
+namespace {
+
+std::size_t effective_threads(const HostExecParams& opt) {
+  const std::size_t pool = ThreadPool::global().size();
+  return std::max<std::size_t>(1, opt.threads == 0 ? pool : opt.threads);
+}
+
+}  // namespace
+
+void mttkrp_csf_tiled(const CsfTensor& t, const CsfTiling& tiling,
+                      const FactorList& factors, DenseMatrix& out,
+                      bool accumulate, const CsfTiledOptions& opt) {
+  SF_CHECK(factors.size() == t.order(), "one factor per mode");
+  const index_t rank = factors[0].cols();
+  for (const auto& f : factors) {
+    SF_CHECK(f.cols() == rank, "all factors must share rank F");
+  }
+  const order_t root_mode = t.mode_order()[0];
+  SF_CHECK(out.rows() == t.dims()[root_mode] && out.cols() == rank,
+           "output shape must be dims[root] × F");
+  if (!accumulate) out.set_zero();
+  if (t.nnz() == 0) return;
+
+  const simd::KernelTable& kt = simd::kernels_for(opt.host.isa);
+  ThreadPool& pool = ThreadPool::global();
+  if (opt.host.pinning != PinPolicy::None) pool.apply_pinning(opt.host.pinning);
+  const std::size_t threads = effective_threads(opt.host);
+  const nnz_t slices = t.num_nodes(0);
+  const std::size_t n_tiles = tiling.tiles.size();
+
+  // The parallel schedules need the factored fiber kernel (order >= 2)
+  // and more than one tile's worth of work to pay for themselves.
+  CsfTiledVariant variant = opt.variant;
+  if (t.order() < 2 || threads <= 1 || n_tiles <= 1 ||
+      t.nnz() < opt.host.grain_nnz) {
+    variant = CsfTiledVariant::Serial;
+  }
+
+  std::optional<obs::MetricsRegistry::ScopedSpan> span;
+  if (opt.host.metrics != nullptr) {
+    opt.host.metrics->count("csf_tiled/calls");
+    opt.host.metrics->count("csf_tiled/nnz", t.nnz());
+    opt.host.metrics->count("csf_tiled/tiles", n_tiles);
+    opt.host.metrics->count(std::string("csf_tiled/variant/") +
+                            csf_tiled_variant_name(variant));
+    opt.host.metrics->count(std::string("csf_tiled/isa/") + kt.name);
+    span.emplace(*opt.host.metrics, "csf_tiled/mttkrp");
+  }
+
+  switch (variant) {
+    case CsfTiledVariant::Serial:
+      kt.csf_slices_leaf(t, factors, 0, slices, out);
+      return;
+
+    case CsfTiledVariant::Sync: {
+      // Tiles in parallel. Each tile writes its owned slices straight
+      // into `out` (the owner is the tile where the slice's first fiber
+      // lives, so owners never collide); the single slice a tile enters
+      // mid-way goes to a private partial row, folded in tile order
+      // after the join — a deterministic stand-in for the paper's
+      // inter-tile synchronization.
+      std::vector<DenseMatrix> partials(n_tiles);
+      pool.parallel_for(
+          0, n_tiles,
+          [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              const CsfTile& tile = tiling.tiles[i];
+              nnz_t own_begin = tile.slice_begin;
+              if (tile.first_slice_shared) {
+                // First-touch the partial inside the worker (NUMA).
+                partials[i] = DenseMatrix(1, rank);
+                kt.csf_fibers_factored(t, factors, tile.slice_begin,
+                                       tile.slice_begin + 1, tile.unit_begin,
+                                       tile.unit_end, partials[i],
+                                       /*node_rows=*/true);
+                ++own_begin;
+              }
+              kt.csf_fibers_factored(t, factors, own_begin, tile.slice_end,
+                                     tile.unit_begin, tile.unit_end, out,
+                                     /*node_rows=*/false);
+            }
+          },
+          /*grain=*/1);
+      const index_t* fids0 = t.fids(0).data();
+      for (std::size_t i = 0; i < n_tiles; ++i) {
+        const CsfTile& tile = tiling.tiles[i];
+        if (!tile.first_slice_shared) continue;
+        kt.rows_add(out.row(fids0[tile.slice_begin]), partials[i].row(0),
+                    static_cast<std::size_t>(rank));
+      }
+      return;
+    }
+
+    case CsfTiledVariant::Coop: {
+      // One tile at a time; all workers cooperate on disjoint fiber
+      // chunks into private slice-row blocks, then the blocks reduce in
+      // chunk order (parallel over rows — rows are disjoint, and the
+      // per-row fold order is fixed, so the result is deterministic).
+      const index_t* fids0 = t.fids(0).data();
+      std::vector<DenseMatrix> blocks(threads);
+      for (const CsfTile& tile : tiling.tiles) {
+        const nnz_t units = tile.units();
+        std::size_t chunks = static_cast<std::size_t>(
+            std::min<nnz_t>(static_cast<nnz_t>(threads), units));
+        if (tile.leaves() < opt.host.grain_nnz) chunks = 1;
+        if (chunks <= 1) {
+          kt.csf_fibers_factored(t, factors, tile.slice_begin, tile.slice_end,
+                                 tile.unit_begin, tile.unit_end, out,
+                                 /*node_rows=*/false);
+          continue;
+        }
+        const index_t rows = static_cast<index_t>(tile.slice_end -
+                                                  tile.slice_begin);
+        const nnz_t per = (units + chunks - 1) / chunks;
+        pool.parallel_for(
+            0, chunks,
+            [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t c = lo; c < hi; ++c) {
+                const nnz_t fb = tile.unit_begin + c * per;
+                const nnz_t fe =
+                    std::min<nnz_t>(tile.unit_end, fb + per);
+                if (fb >= fe) continue;
+                blocks[c] = DenseMatrix(rows, rank);
+                kt.csf_fibers_factored(t, factors, tile.slice_begin,
+                                       tile.slice_end, fb, fe, blocks[c],
+                                       /*node_rows=*/true);
+              }
+            },
+            /*grain=*/1);
+        pool.parallel_for(
+            0, static_cast<std::size_t>(rows),
+            [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t r = lo; r < hi; ++r) {
+                value_t* orow =
+                    out.row(fids0[tile.slice_begin + r]);
+                for (std::size_t c = 0; c < chunks; ++c) {
+                  if (blocks[c].rows() == 0) continue;  // empty tail chunk
+                  kt.rows_add(orow, blocks[c].row(static_cast<index_t>(r)),
+                              static_cast<std::size_t>(rank));
+                }
+              }
+            },
+            /*grain=*/16);
+        for (std::size_t c = 0; c < chunks; ++c) blocks[c] = DenseMatrix();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace scalfrag

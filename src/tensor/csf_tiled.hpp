@@ -1,0 +1,93 @@
+#pragma once
+// CSF tiled MTTKRP — the SPLATT-style peer backend of the COO path.
+//
+// The tensor is cut into contiguous *fiber tiles* (level-1 node ranges
+// of at most `fiber_budget` fibers; the host-side analogue of the
+// paper's shared-memory tile). Two parallel schedules run over them:
+//
+//   Sync-tiled  Tiles run concurrently. A root slice is owned by the
+//               tile containing its first fiber and written directly;
+//               the at-most-one slice a tile *enters mid-way* (its
+//               first, shared with the previous tile) accumulates into
+//               a per-tile partial row, folded serially in tile order
+//               after the join — deterministic for a fixed tiling.
+//
+//   Coop-tiled  Tiles run one at a time; all workers cooperate inside
+//               the tile on disjoint fiber chunks into private
+//               slice-row blocks, then reduce the blocks in chunk
+//               order (parallel over rows) — also deterministic.
+//
+//   Serial      The leaf-ordered walk: per-entry op sequence identical
+//               to the COO serial kernel (memcmp bit-identity on
+//               duplicate-free inputs; see the conformance table).
+//
+// Rank-tile inner loops route through the runtime-dispatched SIMD
+// KernelTable (csf_slices_leaf / csf_fibers_factored), so all ISA
+// tables stay bit-identical per variant.
+
+#include <vector>
+
+#include "tensor/csf.hpp"
+#include "tensor/mttkrp_par.hpp"
+
+namespace scalfrag {
+
+enum class CsfTiledVariant { Serial, Sync, Coop };
+
+const char* csf_tiled_variant_name(CsfTiledVariant v);
+
+/// One fiber tile. Units are level-1 nodes (fibers) for order >= 2 and
+/// root nodes for order 1; slice/leaf ranges are derived, with
+/// [leaf_begin, leaf_end) partitioning [0, nnz) across the tiling.
+struct CsfTile {
+  nnz_t unit_begin = 0, unit_end = 0;    // fiber (tile-unit) range
+  nnz_t slice_begin = 0, slice_end = 0;  // root slices touched
+  nnz_t leaf_begin = 0, leaf_end = 0;    // nnz range
+  /// True when slice_begin started in an earlier tile — the sync
+  /// schedule must privatize this tile's contribution to it.
+  bool first_slice_shared = false;
+
+  nnz_t units() const noexcept { return unit_end - unit_begin; }
+  nnz_t leaves() const noexcept { return leaf_end - leaf_begin; }
+};
+
+/// The tile decomposition of one CsfTensor. Reusable across runs and
+/// factor updates (CsfPlan caches one per mode).
+struct CsfTiling {
+  order_t tile_level = 0;  // 1 for order >= 2, 0 for order 1
+  nnz_t unit_budget = 0;
+  std::vector<CsfTile> tiles;
+
+  /// Greedy contiguous tiling: every tile gets at most `unit_budget`
+  /// fibers, tiles cover all fibers in order.
+  static CsfTiling build(const CsfTensor& t, nnz_t unit_budget);
+
+  /// Default budget: about four tiles per worker for balance, clamped
+  /// to [1, 4096] so coop's private blocks (≤ budget+1 slice rows) stay
+  /// cache-sized. `threads` = 0 means ThreadPool::global().size().
+  static nnz_t auto_budget(const CsfTensor& t, std::size_t threads = 0);
+};
+
+struct CsfTiledOptions {
+  CsfTiledVariant variant = CsfTiledVariant::Sync;
+  /// Fibers per tile; 0 derives CsfTiling::auto_budget from the host
+  /// thread count. Ignored when an explicit CsfTiling is passed.
+  nnz_t fiber_budget = 0;
+  /// Thread count / grain / metrics / ISA / pinning, shared with the
+  /// COO engine. strategy is ignored (the variant is the schedule).
+  HostExecParams host;
+};
+
+/// Mode-`mode_order()[0]` MTTKRP of the CSF tensor into `out` (shape
+/// dims[root] × F; zeroed first unless `accumulate`). Builds a tiling
+/// per call — use the CsfTiling overload (or CsfPlan) to amortize it.
+void mttkrp_csf_tiled(const CsfTensor& t, const FactorList& factors,
+                      DenseMatrix& out, bool accumulate = false,
+                      const CsfTiledOptions& opt = {});
+
+/// Same, over a prebuilt tiling (must have been built from `t`).
+void mttkrp_csf_tiled(const CsfTensor& t, const CsfTiling& tiling,
+                      const FactorList& factors, DenseMatrix& out,
+                      bool accumulate, const CsfTiledOptions& opt);
+
+}  // namespace scalfrag

@@ -194,6 +194,34 @@ inline void tile_accum(value_t* acc, const value_t* had, index_t n) {
   for (; f < n; ++f) acc[f] = acc[f] + had[f];
 }
 
+/// acc[f] += sub[f] * rk[f] — folding a CSF child-subtree sum (`sub`, a
+/// local tile) through the child's factor row (`rk`, foreign memory).
+template <typename T>
+inline void tile_mul_accum(value_t* acc, const value_t* sub,
+                           const value_t* rk, index_t n) {
+  index_t f = 0;
+  for (; f + T::kLanes <= n; f += T::kLanes) {
+    T::store(acc + f,
+             T::add(T::load(acc + f), T::mul(T::load(sub + f), T::loadu(rk + f))));
+  }
+  if constexpr (T::kHasMask) {
+    if (f < n) {
+      const auto m = T::tail_mask(static_cast<int>(n - f));
+      T::store(acc + f,
+               T::add(T::load(acc + f),
+                      T::mul(T::load(sub + f), T::maskz_loadu(m, rk + f))));
+    }
+  } else {
+    for (; f < n; ++f) acc[f] = acc[f] + sub[f] * rk[f];
+  }
+}
+
+/// Zero the whole tile including the slack past n, so later full-width
+/// aligned loads of the tile read defined values.
+inline void tile_zero(value_t* tile) {
+  for (index_t f = 0; f < kRankTile; ++f) tile[f] = 0;
+}
+
 // --- the span kernel -------------------------------------------------
 
 /// Rank-tiled kernel over the whole span, accumulating into `out`.
@@ -322,6 +350,159 @@ void mttkrp_span_impl(const CooSpan& t, const FactorList& factors,
   }
 }
 
+// --- CSF walkers -----------------------------------------------------
+
+/// Hoisted raw pointers of one CsfTensor + the factor rows per tree
+/// level, shared by both CSF kernel bodies. rank is the factor column
+/// count; f0/tw select the current rank tile.
+template <typename T>
+struct CsfWalk {
+  const index_t* fids[kMaxOrder] = {};
+  const nnz_t* fptr[kMaxOrder] = {};
+  const value_t* fdata[kMaxOrder] = {};  // factor data, indexed by LEVEL
+  const value_t* vals = nullptr;
+  std::size_t rank = 0;
+  order_t order = 0;
+  index_t f0 = 0, tw = 0;
+
+  CsfWalk(const CsfTensor& t, const FactorList& factors) {
+    order = t.order();
+    rank = factors[t.mode_order()[0]].cols();
+    vals = t.values().data();
+    for (order_t l = 0; l < order; ++l) {
+      fids[l] = t.fids(l).data();
+      fdata[l] = factors[t.mode_order()[l]].data();
+      if (l + 1 < order) fptr[l] = t.fptr(l).data();
+    }
+  }
+
+  const value_t* row(order_t level, nnz_t node) const {
+    return fdata[level] + static_cast<std::size_t>(fids[level][node]) * rank +
+           f0;
+  }
+
+  /// Leaf-ordered accumulation of every leaf under (level, node) into
+  /// acc, with the exact per-entry op order of span_tiled: NF==1 is
+  /// tile_axpy, NF==2 tile_axpy2 (level-1 row then leaf row — CSF level
+  /// order IS the span kernel's increasing-mode order), general order
+  /// scales/muls through the had scratch. rows[] carries the ancestor
+  /// factor-row pointers for levels 1..level.
+  void leaf_ordered(order_t level, nnz_t node, const value_t** rows,
+                    value_t* acc, value_t* had) const {
+    const order_t leaf = static_cast<order_t>(order - 1);
+    if (level == leaf) {
+      const value_t val = vals[node];
+      if (order == 1) {
+        tile_add_const<T>(acc, val, tw);
+        return;
+      }
+      const value_t* rl = row(leaf, node);
+      if (order == 2) {
+        tile_axpy<T>(acc, val, rl, tw);
+        return;
+      }
+      if (order == 3) {
+        tile_axpy2<T>(acc, val, rows[1], rl, tw);
+        return;
+      }
+      tile_scale<T>(had, val, rows[1], tw);
+      for (order_t l = 2; l < leaf; ++l) tile_mul<T>(had, rows[l], tw);
+      tile_mul<T>(had, rl, tw);
+      tile_accum<T>(acc, had, tw);
+      return;
+    }
+    if (level > 0) rows[level] = row(level, node);
+    for (nnz_t c = fptr[level][node]; c < fptr[level][node + 1]; ++c) {
+      leaf_ordered(static_cast<order_t>(level + 1), c, rows, acc, had);
+    }
+  }
+
+  /// Factored subtree sum: acc += Σ_children subtree(child) ⊙ child_row,
+  /// SPLATT-style — each internal node's factor row is multiplied in
+  /// once per node, not once per leaf. scratch holds one tile per level.
+  void factored(order_t level, nnz_t node, value_t* acc,
+                value_t (*scratch)[kRankTile]) const {
+    const order_t leaf = static_cast<order_t>(order - 1);
+    const nnz_t cb = fptr[level][node], ce = fptr[level][node + 1];
+    if (level + 1 == leaf) {
+      for (nnz_t c = cb; c < ce; ++c) {
+        tile_axpy<T>(acc, vals[c], row(leaf, c), tw);
+      }
+      return;
+    }
+    value_t* child = scratch[level + 1];
+    for (nnz_t c = cb; c < ce; ++c) {
+      tile_zero(child);
+      factored(static_cast<order_t>(level + 1), c, child, scratch);
+      tile_mul_accum<T>(acc, child, row(static_cast<order_t>(level + 1), c),
+                        tw);
+    }
+  }
+};
+
+template <typename T>
+void csf_slices_leaf_impl(const CsfTensor& t, const FactorList& factors,
+                          nnz_t slice_begin, nnz_t slice_end,
+                          DenseMatrix& out) {
+  if (slice_begin >= slice_end) return;
+  CsfWalk<T> w(t, factors);
+  const value_t* rows[kMaxOrder] = {};
+  alignas(kTileAlign) value_t acc[kRankTile];
+  alignas(kTileAlign) value_t had[kRankTile];
+  const index_t rank = static_cast<index_t>(w.rank);
+  for (index_t f0 = 0; f0 < rank; f0 += kRankTile) {
+    w.f0 = f0;
+    w.tw = std::min<index_t>(kRankTile, rank - f0);
+    for (nnz_t s = slice_begin; s < slice_end; ++s) {
+      value_t* orow = out.row(w.fids[0][s]) + f0;
+      tile_seed<T>(acc, orow, w.tw);
+      w.leaf_ordered(0, s, rows, acc, had);
+      tile_store<T>(orow, acc, w.tw);
+    }
+  }
+}
+
+template <typename T>
+void csf_fibers_factored_impl(const CsfTensor& t, const FactorList& factors,
+                              nnz_t slice_begin, nnz_t slice_end,
+                              nnz_t fiber_begin, nnz_t fiber_end,
+                              DenseMatrix& out, bool node_rows) {
+  if (slice_begin >= slice_end || fiber_begin >= fiber_end) return;
+  CsfWalk<T> w(t, factors);
+  alignas(kTileAlign) value_t acc[kRankTile];
+  alignas(kTileAlign) value_t scratch[kMaxOrder][kRankTile];
+  const index_t rank = static_cast<index_t>(w.rank);
+  const order_t leaf = static_cast<order_t>(w.order - 1);
+  for (index_t f0 = 0; f0 < rank; f0 += kRankTile) {
+    w.f0 = f0;
+    w.tw = std::min<index_t>(kRankTile, rank - f0);
+    for (nnz_t s = slice_begin; s < slice_end; ++s) {
+      const nnz_t cb = std::max<nnz_t>(w.fptr[0][s], fiber_begin);
+      const nnz_t ce = std::min<nnz_t>(w.fptr[0][s + 1], fiber_end);
+      if (cb >= ce) continue;
+      value_t* orow =
+          out.row(node_rows ? static_cast<index_t>(s - slice_begin)
+                            : w.fids[0][s]) +
+          f0;
+      tile_seed<T>(acc, orow, w.tw);
+      if (leaf == 1) {
+        // Order 2: the root's children ARE the leaves.
+        for (nnz_t c = cb; c < ce; ++c) {
+          tile_axpy<T>(acc, w.vals[c], w.row(1, c), w.tw);
+        }
+      } else {
+        value_t* sub = scratch[1];
+        for (nnz_t c = cb; c < ce; ++c) {
+          tile_zero(sub);
+          w.factored(1, c, sub, scratch);
+          tile_mul_accum<T>(acc, sub, w.row(1, c), w.tw);
+        }
+      }
+      tile_store<T>(orow, acc, w.tw);
+    }
+  }
+}
+
 // --- flat-array kernels ----------------------------------------------
 
 /// dst[i] += src[i] — the PrivateReduce row reduction.
@@ -366,6 +547,8 @@ KernelTable make_table(HostIsa isa, const char* name) {
   kt.rows_add = &rows_add_impl<T>;
   kt.axpy_widen = &axpy_widen_impl<T>;
   kt.mul_inplace = &mul_inplace_impl<T>;
+  kt.csf_slices_leaf = &csf_slices_leaf_impl<T>;
+  kt.csf_fibers_factored = &csf_fibers_factored_impl<T>;
   return kt;
 }
 

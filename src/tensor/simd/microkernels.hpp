@@ -19,6 +19,7 @@
 
 #include "common/cpu_caps.hpp"
 #include "tensor/coo.hpp"
+#include "tensor/csf.hpp"
 #include "tensor/dense_matrix.hpp"
 #include "tensor/mttkrp_ref.hpp"
 
@@ -65,6 +66,29 @@ struct KernelTable {
 
   /// a[i] *= b[i] — hadamard_inplace.
   void (*mul_inplace)(value_t* a, const value_t* b, std::size_t n) = nullptr;
+
+  /// Leaf-ordered CSF walk over root slices [slice_begin, slice_end):
+  /// every leaf under a slice is applied to the slice's accumulator tile
+  /// with the exact per-entry op sequence of mttkrp_span on the same
+  /// (mode-sorted) entries — this is the CSF-tiled serial body, and the
+  /// basis of the csf_tiled/serial memcmp bit-identity conformance row.
+  /// Accumulates into out.row(fids(0)[s]); any order >= 1.
+  void (*csf_slices_leaf)(const CsfTensor& t, const FactorList& factors,
+                          nnz_t slice_begin, nnz_t slice_end,
+                          DenseMatrix& out) = nullptr;
+
+  /// Fiber-factored CSF walk over root slices [slice_begin, slice_end)
+  /// with each slice's child-fiber range clamped to
+  /// [fiber_begin, fiber_end) — the sync-tiled / coop-tiled parallel
+  /// body (subtree sums are folded through the fiber row, SPLATT-style,
+  /// so a fiber's factor row is read once however many leaves it has).
+  /// node_rows=false accumulates into out.row(fids(0)[s]) (slice-owner
+  /// tiles); node_rows=true into out.row(s - slice_begin) (a private
+  /// per-tile block, reduced by the caller). Requires order >= 2.
+  void (*csf_fibers_factored)(const CsfTensor& t, const FactorList& factors,
+                              nnz_t slice_begin, nnz_t slice_end,
+                              nnz_t fiber_begin, nnz_t fiber_end,
+                              DenseMatrix& out, bool node_rows) = nullptr;
 };
 
 /// Table for an ISA; HostIsa::Auto resolves through detect_host_isa()

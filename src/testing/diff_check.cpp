@@ -5,9 +5,11 @@
 
 #include "common/rng.hpp"
 #include "parti/parti_executor.hpp"
+#include "scalfrag/backend_registry.hpp"
 #include "scalfrag/multi_pipeline.hpp"
 #include "scalfrag/pipeline.hpp"
 #include "tensor/bcsf.hpp"
+#include "tensor/csf_tiled.hpp"
 #include "tensor/fcoo.hpp"
 #include "tensor/hicoo.hpp"
 #include "tensor/mode_views.hpp"
@@ -74,6 +76,34 @@ DenseMatrix run_multidev(const CooSpan& t, const FactorList& f, order_t mode,
                        .grain(64);
   if (sched) cfg.reduction(*sched);
   return run_multi_pipeline(group, t, f, mode, cfg).output;
+}
+
+DenseMatrix run_csf_tiled(const CooTensor& t, const FactorList& f,
+                          order_t mode, CsfTiledVariant variant,
+                          std::size_t threads, nnz_t fiber_budget) {
+  const CsfTensor csf = CsfTensor::build(t, mode);
+  DenseMatrix out(t.dim(mode), f[0].cols());
+  CsfTiledOptions opt;
+  opt.variant = variant;
+  opt.fiber_budget = fiber_budget;  // tiny so fuzz tensors multi-tile
+  opt.host.threads = threads;
+  opt.host.grain_nnz = 1;  // keep the tiled schedules live at fuzz sizes
+  mttkrp_csf_tiled(csf, f, out, /*accumulate=*/false, opt);
+  return out;
+}
+
+/// True when the (sorted) tensor holds two entries with identical
+/// coordinates in every mode. The CSF-serial / COO-serial bit-identity
+/// contract only covers duplicate-free inputs.
+bool has_duplicate_coords(const CooTensor& t) {
+  for (nnz_t e = 1; e < t.nnz(); ++e) {
+    bool same = true;
+    for (order_t m = 0; m < t.order() && same; ++m) {
+      same = t.index(m, e) == t.index(m, e - 1);
+    }
+    if (same) return true;
+  }
+  return false;
 }
 
 /// Threshold one above the mean slice size — a skewed tensor then
@@ -212,6 +242,60 @@ const std::vector<ExecPath>& build_table() {
           mttkrp_csf_par(csf, f, out, /*accumulate=*/false, opt);
           return out;
         });
+    // The CSF tiled backend: every schedule against the oracle, the
+    // serial fallback additionally against the COO serial kernel
+    // BIT-FOR-BIT on duplicate-free inputs (CSF leaves enumerate the
+    // entries in exactly the sorted COO order and both paths route
+    // through the same rank-tile microkernels, so any difference is a
+    // walk-order or seed/store bug that FP tolerance would mask).
+    add("csf_tiled/serial",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          const DenseMatrix got =
+              run_csf_tiled(t, f, mode, CsfTiledVariant::Serial, 1, 0);
+          if (!has_duplicate_coords(t)) {
+            const DenseMatrix want =
+                run_host_engine(t, f, mode, HostStrategy::Serial, 1);
+            SF_CHECK(got.rows() == want.rows() && got.cols() == want.cols(),
+                     "csf_tiled/serial output shape mismatch");
+            SF_CHECK(std::memcmp(got.data(), want.data(),
+                                 got.size() * sizeof(value_t)) == 0,
+                     "CSF-tiled serial walk is not bit-identical to the "
+                     "COO serial kernel on a duplicate-free input");
+          }
+          return got;
+        });
+    add("csf_tiled/sync/t4",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_csf_tiled(t, f, mode, CsfTiledVariant::Sync, 4, 3);
+        });
+    add("csf_tiled/coop/t4",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_csf_tiled(t, f, mode, CsfTiledVariant::Coop, 4, 3);
+        });
+    // CSF built from a ModeViews gather span must match the build from
+    // the materialized copy bit-for-bit (run_on_views asserts it).
+    add("csf_tiled/views",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_on_views(t, mode, [&](const CooSpan& v) {
+            const CsfTensor csf = CsfTensor::build(v, mode);
+            DenseMatrix out(t.dim(mode), f[0].cols());
+            CsfTiledOptions opt;
+            opt.fiber_budget = 3;
+            opt.host.threads = 4;
+            opt.host.grain_nnz = 1;
+            mttkrp_csf_tiled(csf, f, out, /*accumulate=*/false, opt);
+            return out;
+          });
+        });
+    // The joint (format, launch) auto dispatch end to end: whatever
+    // backend the selector picks must still match the oracle.
+    add("backend/auto_joint",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+          const ExecConfig cfg = ExecConfig{}.backend("auto").grain(1);
+          return run_mttkrp_backend(dev, t, f, mode, cfg).output;
+        });
+
     add("bcsf", [](const CooTensor& t, const FactorList& f, order_t mode) {
       // Cap low enough that fuzz-sized mega-slices actually split.
       const nnz_t cap = std::max<nnz_t>(2, t.nnz() / 7);

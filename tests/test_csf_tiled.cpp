@@ -1,0 +1,321 @@
+// CSF tiled backend: tiling invariants (every leaf in exactly one
+// tile, budgets respected, shared-slice flags consistent), schedule
+// conformance against the COO reference across variants × threads ×
+// orders, run-to-run determinism, gather-view bit-identity, the
+// serial/COO bit-identity contract, the duplicate-coordinate
+// accumulation regression, and the CsfPlan replay path.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "scalfrag/csf_plan.hpp"
+#include "tensor/csf_tiled.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/mode_views.hpp"
+#include "tensor/mttkrp_par.hpp"
+#include "tensor/mttkrp_ref.hpp"
+
+namespace scalfrag {
+namespace {
+
+CooTensor gen_tensor(int order, nnz_t nnz, std::uint64_t seed) {
+  GeneratorConfig g;
+  for (int m = 0; m < order; ++m) {
+    g.dims.push_back(16 + 4 * m);
+    g.skew.push_back(1.5);
+  }
+  g.nnz = nnz;
+  g.seed = seed;
+  return generate_coo(g);
+}
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+/// Fully sorted copy with exact coordinate duplicates removed — the
+/// precondition of the serial bit-identity contract.
+CooTensor dedup(const CooTensor& t) {
+  CooTensor s = t;
+  s.sort_by_mode(0);
+  CooTensor out(s.dims());
+  std::vector<index_t> c(s.order());
+  for (nnz_t e = 0; e < s.nnz(); ++e) {
+    bool same = e > 0;
+    for (order_t m = 0; m < s.order() && same; ++m) {
+      same = s.index(m, e) == s.index(m, e - 1);
+    }
+    if (same) continue;
+    for (order_t m = 0; m < s.order(); ++m) c[m] = s.index(m, e);
+    out.push(std::span<const index_t>(c.data(), c.size()), s.value(e));
+  }
+  return out;
+}
+
+DenseMatrix run_tiled(const CsfTensor& c, const FactorList& f, index_t rank,
+                      CsfTiledVariant variant, std::size_t threads,
+                      nnz_t budget) {
+  DenseMatrix out(c.dims()[c.mode_order()[0]], rank);
+  CsfTiledOptions opt;
+  opt.variant = variant;
+  opt.fiber_budget = budget;
+  opt.host.threads = threads;
+  opt.host.grain_nnz = 1;  // small test tensors must still tile
+  mttkrp_csf_tiled(c, f, out, /*accumulate=*/false, opt);
+  return out;
+}
+
+bool bit_equal(const DenseMatrix& a, const DenseMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(value_t)) == 0;
+}
+
+// --- tiling invariants -------------------------------------------------
+
+TEST(CsfTiledTiling, PartitionsEveryLeafExactlyOnce) {
+  for (int order : {1, 2, 3, 4}) {
+    const CooTensor t = gen_tensor(order, 600, 77 + order);
+    const CsfTensor c = CsfTensor::build(t, 0);
+    const nnz_t units =
+        c.order() >= 2 ? c.num_nodes(1) : c.num_nodes(0);
+    for (nnz_t budget : {nnz_t{1}, nnz_t{2}, nnz_t{5}, nnz_t{1} << 20}) {
+      const CsfTiling tl = CsfTiling::build(c, budget);
+      ASSERT_FALSE(tl.tiles.empty());
+      EXPECT_EQ(tl.unit_budget, budget);
+      nnz_t prev_unit = 0, prev_leaf = 0;
+      for (const CsfTile& tile : tl.tiles) {
+        // Contiguous unit/leaf cover: no gap, no overlap.
+        EXPECT_EQ(tile.unit_begin, prev_unit);
+        EXPECT_EQ(tile.leaf_begin, prev_leaf);
+        EXPECT_GT(tile.units(), 0u);
+        EXPECT_LE(tile.units(), budget);
+        EXPECT_LT(tile.slice_begin, tile.slice_end);
+        EXPECT_LE(tile.leaf_begin, tile.leaf_end);
+        prev_unit = tile.unit_end;
+        prev_leaf = tile.leaf_end;
+      }
+      EXPECT_EQ(prev_unit, units);
+      EXPECT_EQ(prev_leaf, c.nnz());  // every nnz in exactly one tile
+    }
+  }
+}
+
+TEST(CsfTiledTiling, SharedFlagMatchesSliceBoundaries) {
+  const CooTensor t = gen_tensor(3, 500, 99);
+  const CsfTensor c = CsfTensor::build(t, 0);
+  const CsfTiling tl = CsfTiling::build(c, 2);
+  ASSERT_GT(tl.tiles.size(), 1u);
+  const auto& f0 = c.fptr(0);
+  for (std::size_t i = 0; i < tl.tiles.size(); ++i) {
+    const CsfTile& tile = tl.tiles[i];
+    // slice_begin really contains the tile's first fiber...
+    EXPECT_LE(f0[tile.slice_begin], tile.unit_begin);
+    EXPECT_GT(f0[tile.slice_begin + 1], tile.unit_begin);
+    // ...and the flag is set exactly when that fiber is not the
+    // slice's first, which for a contiguous tiling is the same as
+    // overlapping the previous tile's last slice.
+    EXPECT_EQ(tile.first_slice_shared, tile.unit_begin > f0[tile.slice_begin]);
+    const bool overlaps_prev =
+        i > 0 && tl.tiles[i - 1].slice_end - 1 == tile.slice_begin;
+    EXPECT_EQ(tile.first_slice_shared, overlaps_prev);
+  }
+}
+
+TEST(CsfTiledTiling, AutoBudgetIsClampedAndCoversAllUnits) {
+  const CooTensor t = gen_tensor(3, 400, 17);
+  const CsfTensor c = CsfTensor::build(t, 0);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const nnz_t b = CsfTiling::auto_budget(c, threads);
+    EXPECT_GE(b, 1u);
+    EXPECT_LE(b, 4096u);
+    const CsfTiling tl = CsfTiling::build(c, b);
+    EXPECT_EQ(tl.tiles.back().unit_end, c.num_nodes(1));
+  }
+}
+
+TEST(CsfTiledTiling, RejectsZeroBudget) {
+  const CooTensor t = gen_tensor(2, 50, 5);
+  const CsfTensor c = CsfTensor::build(t, 0);
+  EXPECT_THROW(CsfTiling::build(c, 0), Error);
+}
+
+// --- conformance over variants × threads × orders ----------------------
+
+class CsfTiledConformance
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CsfTiledConformance, MatchesCooReference) {
+  const auto [variant, threads, order] = GetParam();
+  const CooTensor t = gen_tensor(order, 700, 1234 + order);
+  const order_t mode = static_cast<order_t>(order > 1 ? 1 : 0);
+  const index_t rank = 9;  // odd rank: exercises the SIMD tail lanes
+  const FactorList f = random_factors(t, rank, 5);
+  const DenseMatrix want = mttkrp_coo_ref(t, f, mode);
+  const CsfTensor c = CsfTensor::build(t, mode);
+  const DenseMatrix got =
+      run_tiled(c, f, rank, static_cast<CsfTiledVariant>(variant),
+                static_cast<std::size_t>(threads), /*budget=*/4);
+  EXPECT_LT(DenseMatrix::max_abs_diff(want, got), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CsfTiledSweep, CsfTiledConformance,
+    ::testing::Combine(::testing::Values(0, 1, 2),  // serial, sync, coop
+                       ::testing::Values(1, 4), ::testing::Values(1, 2, 3, 4)));
+
+// Both parallel schedules are deterministic for a fixed tiling: two
+// runs must agree BIT-FOR-BIT, not just within tolerance.
+TEST(CsfTiledDeterminism, ParallelSchedulesAreRunToRunBitIdentical) {
+  const CooTensor t = gen_tensor(3, 900, 2024);
+  const FactorList f = random_factors(t, 16, 3);
+  const CsfTensor c = CsfTensor::build(t, 0);
+  for (CsfTiledVariant v : {CsfTiledVariant::Sync, CsfTiledVariant::Coop}) {
+    const DenseMatrix a = run_tiled(c, f, 16, v, 4, 3);
+    const DenseMatrix b = run_tiled(c, f, 16, v, 4, 3);
+    EXPECT_TRUE(bit_equal(a, b)) << csf_tiled_variant_name(v);
+  }
+}
+
+TEST(CsfTiledAccumulate, AddsOntoExistingOutput) {
+  const CooTensor t = gen_tensor(3, 300, 31);
+  const FactorList f = random_factors(t, 8, 9);
+  const CsfTensor c = CsfTensor::build(t, 0);
+  const DenseMatrix once = mttkrp_coo_ref(t, f, 0);
+  DenseMatrix out = once;  // pre-seeded
+  CsfTiledOptions opt;
+  opt.variant = CsfTiledVariant::Sync;
+  opt.fiber_budget = 3;
+  opt.host.threads = 4;
+  opt.host.grain_nnz = 1;
+  mttkrp_csf_tiled(c, f, out, /*accumulate=*/true, opt);
+  for (index_t r = 0; r < out.rows(); ++r) {
+    for (index_t col = 0; col < out.cols(); ++col) {
+      EXPECT_NEAR(out(r, col), 2.0f * once(r, col), 2e-3);
+    }
+  }
+}
+
+// --- gather-view identity ----------------------------------------------
+
+TEST(CsfTiledViews, GatherSpanBuildBitIdenticalToMaterialized) {
+  const CooTensor t = gen_tensor(3, 800, 321);
+  const FactorList f = random_factors(t, 8, 7);
+  const ModeViews views(t);
+  for (order_t mode = 0; mode < t.order(); ++mode) {
+    const CooSpan v = views.view(mode);
+    const CsfTensor from_view = CsfTensor::build(v, mode);
+
+    const CooTensor mat = v.materialize();
+    CooSpan flat(mat);
+    flat.assume_sorted_by(mode);
+    const CsfTensor from_copy = CsfTensor::build(flat, mode);
+
+    const DenseMatrix a =
+        run_tiled(from_view, f, 8, CsfTiledVariant::Sync, 4, 3);
+    const DenseMatrix b =
+        run_tiled(from_copy, f, 8, CsfTiledVariant::Sync, 4, 3);
+    EXPECT_TRUE(bit_equal(a, b)) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(CsfTiledViews, SpanBuildRejectsUnsortedInput) {
+  CooTensor t({4, 4});
+  t.push({3, 0}, 1.0f);
+  t.push({0, 1}, 2.0f);  // not sorted by mode 0
+  CooSpan v(t);
+  EXPECT_THROW(CsfTensor::build(v, 0), Error);
+}
+
+// --- serial bit-identity + duplicate accumulation ----------------------
+
+TEST(CsfTiledBitIdentity, SerialWalkMatchesCooSerialExactly) {
+  const CooTensor base = dedup(gen_tensor(3, 700, 555));
+  const FactorList f = random_factors(base, 10, 13);
+  for (order_t mode = 0; mode < base.order(); ++mode) {
+    CooTensor t = base;
+    t.sort_by_mode(mode);
+    const CsfTensor c = CsfTensor::build(t, mode);
+    const DenseMatrix got =
+        run_tiled(c, f, 10, CsfTiledVariant::Serial, 1, 0);
+
+    HostExecParams serial;
+    serial.strategy = HostStrategy::Serial;
+    serial.threads = 1;
+    serial.grain_nnz = 1;
+    const DenseMatrix want = mttkrp_coo_par(t, f, mode, serial);
+    EXPECT_TRUE(bit_equal(got, want)) << "mode " << static_cast<int>(mode);
+  }
+}
+
+// PR 2 regression: repeated coordinates stay distinct leaves and every
+// occurrence accumulates — including entries canceling to zero.
+TEST(CsfTiledDuplicates, AccumulatesRepeatedCoordinates) {
+  CooTensor t({4, 5, 6});
+  t.push({1, 2, 3}, 0.5f);
+  t.push({1, 2, 3}, 0.25f);
+  t.push({1, 2, 3}, 0.125f);
+  t.push({0, 0, 0}, 1.0f);
+  t.push({3, 4, 5}, 2.0f);
+  t.push({3, 4, 5}, -2.0f);
+  const FactorList f = random_factors(t, 8, 11);
+  for (order_t mode = 0; mode < t.order(); ++mode) {
+    const DenseMatrix want = mttkrp_coo_ref(t, f, mode);
+    const CsfTensor c = CsfTensor::build(t, mode);
+    EXPECT_EQ(c.num_nodes(c.order() - 1), t.nnz());  // one leaf per entry
+    for (CsfTiledVariant v : {CsfTiledVariant::Serial, CsfTiledVariant::Sync,
+                              CsfTiledVariant::Coop}) {
+      const DenseMatrix got = run_tiled(c, f, 8, v, 4, 1);
+      EXPECT_LT(DenseMatrix::max_abs_diff(want, got), 1e-4)
+          << csf_tiled_variant_name(v) << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(CsfTiledEmpty, EmptyTensorYieldsZeroOutput) {
+  CooTensor t({3, 4, 5});
+  const FactorList f = random_factors(t, 8, 1);
+  const CsfTensor c = CsfTensor::build(t, 0);
+  const DenseMatrix out = run_tiled(c, f, 8, CsfTiledVariant::Sync, 4, 2);
+  for (index_t r = 0; r < out.rows(); ++r) {
+    for (index_t col = 0; col < out.cols(); ++col) {
+      EXPECT_EQ(out(r, col), 0.0f);
+    }
+  }
+}
+
+// --- CsfPlan replay ----------------------------------------------------
+
+TEST(CsfTiledPlan, BuildsAllModesAndMatchesReference) {
+  const CooTensor t = gen_tensor(3, 600, 808);
+  const FactorList f = random_factors(t, 8, 2);
+  CsfPlan plan(t, ExecConfig{}.backend("csf_tiled_coop"));
+  EXPECT_EQ(plan.order(), t.order());
+  EXPECT_EQ(plan.variant(), CsfTiledVariant::Coop);
+  EXPECT_GT(plan.resident_bytes(), 0u);
+  EXPECT_GE(plan.prepare_seconds(), 0.0);
+  for (order_t m = 0; m < t.order(); ++m) {
+    const DenseMatrix want = mttkrp_coo_ref(t, f, m);
+    const DenseMatrix got = plan.run(f, m);
+    EXPECT_LT(DenseMatrix::max_abs_diff(want, got), 2e-3)
+        << "mode " << static_cast<int>(m);
+  }
+}
+
+TEST(CsfTiledPlan, RejectsMultiDeviceConfigs) {
+  const CooTensor t = gen_tensor(3, 100, 6);
+  EXPECT_THROW(CsfPlan(t, ExecConfig{}.backend("csf_tiled").devices(2)),
+               Error);
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,204 @@
+// Joint (format × launch) selection and the named backend registry:
+// deterministic predictions, graceful degradation when the model file
+// is absent, single-file model persistence, typed rejection of unknown
+// backend names, and end-to-end dispatch through every built-in.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "gpusim/engine.hpp"
+#include "scalfrag/backend_registry.hpp"
+#include "scalfrag/format_select.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+FactorList random_factors(const CooTensor& t, index_t rank,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), rank);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  return f;
+}
+
+/// Long clustered fibers: the tensor shape the CSF heuristic must pick.
+CooTensor fibrous_tensor() {
+  CooTensor t({8, 8, 256});
+  for (index_t i = 0; i < 8; ++i) {
+    for (index_t k = 0; k < 128; ++k) {
+      t.push({i, static_cast<index_t>(i % 4), k}, 1.0f);
+    }
+  }
+  return t;
+}
+
+bool same_choice(const JointChoice& a, const JointChoice& b) {
+  return a.format == b.format && a.backend == b.backend &&
+         a.variant == b.variant && a.has_launch == b.has_launch &&
+         a.from_model == b.from_model;
+}
+
+// --- heuristic ---------------------------------------------------------
+
+TEST(JointSelect, HeuristicIsDeterministic) {
+  const CooTensor t = fibrous_tensor();
+  const auto feat = TensorFeatures::extract(t, 0);
+  const JointChoice a = heuristic_joint_choice(feat, 16);
+  const JointChoice b = heuristic_joint_choice(feat, 16);
+  EXPECT_TRUE(same_choice(a, b));
+  EXPECT_FALSE(a.from_model);
+  // Whatever it picks must be runnable by name.
+  EXPECT_TRUE(BackendRegistry::instance().contains(a.backend));
+}
+
+TEST(JointSelect, HeuristicPrefersCsfOnFibrousTensors) {
+  const CooTensor t = fibrous_tensor();
+  const auto feat = TensorFeatures::extract(t, 0);
+  const JointChoice c = heuristic_joint_choice(feat, 16);
+  EXPECT_EQ(c.format, SparseFormat::Csf);
+  EXPECT_EQ(c.backend.rfind("csf_tiled", 0), 0u) << c.backend;
+}
+
+TEST(JointSelect, HeuristicFallsBackToCooForMatrices) {
+  GeneratorConfig g;
+  g.dims = {64, 64};
+  g.skew = {1.0, 1.0};
+  g.nnz = 500;
+  g.seed = 7;
+  const CooTensor t = generate_coo(g);
+  const auto feat = TensorFeatures::extract(t, 0);
+  const JointChoice c = heuristic_joint_choice(feat, 16);
+  EXPECT_EQ(c.format, SparseFormat::Coo);
+  EXPECT_EQ(c.backend, "coo");
+}
+
+// --- model degradation + persistence -----------------------------------
+
+TEST(JointSelect, MissingModelFileDegradesToHeuristic) {
+  const JointSelector sel = JointSelector::from_model_file(
+      "/nonexistent/dir/scalfrag-format-model.bin");
+  EXPECT_FALSE(sel.model_backed());
+  const CooTensor t = fibrous_tensor();
+  const auto feat = TensorFeatures::extract(t, 0);
+  const JointChoice got = sel.choose(feat, 16);
+  const JointChoice want = heuristic_joint_choice(feat, 16);
+  EXPECT_TRUE(same_choice(got, want));
+}
+
+TEST(JointSelect, LoadRejectsMalformedFile) {
+  const std::string path =
+      ::testing::TempDir() + "scalfrag_bad_format_model.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a model";
+  }
+  EXPECT_THROW(FormatSelector::load(path), Error);
+  // from_model_file must also swallow corruption, not just absence.
+  EXPECT_FALSE(JointSelector::from_model_file(path).model_backed());
+  std::remove(path.c_str());
+}
+
+TEST(JointSelect, ModelRoundTripPredictsIdentically) {
+  FormatSelectorConfig cfg;
+  cfg.corpus_size = 8;  // keep the measuring loop short in CI
+  cfg.reps = 1;
+  cfg.rank = 8;
+  FormatSelector sel(cfg);
+  sel.train();
+  ASSERT_TRUE(sel.trained());
+
+  const std::string path =
+      ::testing::TempDir() + "scalfrag_format_model.bin";
+  sel.save(path);
+  const FormatSelector loaded = FormatSelector::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.trained());
+
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 4096, 71);
+  const auto feat = TensorFeatures::extract(t, 0);
+  for (SparseFormat f : kAllFormats) {
+    EXPECT_DOUBLE_EQ(sel.predict_ms(feat, f), loaded.predict_ms(feat, f));
+  }
+  EXPECT_EQ(sel.predict(feat), loaded.predict(feat));
+
+  // The model-backed joint selector is deterministic too, and says so.
+  const JointSelector joint(&loaded, nullptr);
+  EXPECT_TRUE(joint.model_backed());
+  const JointChoice a = joint.choose(feat, 8);
+  const JointChoice b = joint.choose(feat, 8);
+  EXPECT_TRUE(same_choice(a, b));
+  EXPECT_TRUE(a.from_model);
+  EXPECT_GT(a.predicted_ms, 0.0);
+}
+
+TEST(JointSelect, SaveBeforeTrainThrows) {
+  const FormatSelector sel;
+  EXPECT_THROW(sel.save(::testing::TempDir() + "never_written.bin"), Error);
+}
+
+// --- backend registry --------------------------------------------------
+
+TEST(BackendRegistry, ListsEveryBuiltin) {
+  const auto names = BackendRegistry::instance().names();
+  for (const char* want :
+       {"coo", "coo_host", "csf_tiled", "csf_tiled_sync", "csf_tiled_coop",
+        "csf_tiled_serial", "auto"}) {
+    EXPECT_TRUE(BackendRegistry::instance().contains(want)) << want;
+    EXPECT_NE(std::find(names.begin(), names.end(), want), names.end());
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(BackendRegistry, RejectsUnknownNamesWithTypedError) {
+  try {
+    BackendRegistry::instance().resolve("csf_tilde");
+    FAIL() << "resolve() accepted an unknown backend";
+  } catch (const UnknownBackendError& e) {
+    EXPECT_EQ(e.name(), "csf_tilde");
+    EXPECT_FALSE(e.known().empty());
+  }
+  // A typo in ExecConfig fails in validate(), before any work runs.
+  EXPECT_THROW(ExecConfig{}.backend("coo_hots").validate(),
+               UnknownBackendError);
+}
+
+TEST(BackendRegistry, MultiDeviceOnlyRunsTheCooPipeline) {
+  EXPECT_NO_THROW(ExecConfig{}.devices(2).validate());
+  EXPECT_THROW(ExecConfig{}.devices(2).backend("csf_tiled").validate(),
+               Error);
+}
+
+TEST(BackendRegistry, DispatchMatchesReferenceAcrossBackends) {
+  GeneratorConfig g;
+  g.dims = {20, 24, 28};
+  g.skew = {1.5, 1.5, 1.5};
+  g.nnz = 600;
+  g.seed = 99;
+  CooTensor t = generate_coo(g);
+  const order_t mode = 1;
+  t.sort_by_mode(mode);
+  const FactorList f = random_factors(t, 8, 3);
+  const DenseMatrix want = mttkrp_coo_ref(t, f, mode);
+
+  gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+  for (const char* name : {"coo", "coo_host", "csf_tiled", "csf_tiled_sync",
+                           "csf_tiled_coop", "csf_tiled_serial", "auto"}) {
+    const ExecConfig cfg = ExecConfig{}.backend(name).grain(1);
+    const BackendRun run = run_mttkrp_backend(dev, t, f, mode, cfg);
+    EXPECT_LT(DenseMatrix::max_abs_diff(want, run.output), 2e-3) << name;
+    // "auto" must report the concrete backend it dispatched to.
+    EXPECT_NE(run.backend, "auto") << name;
+    EXPECT_TRUE(BackendRegistry::instance().contains(run.backend)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace scalfrag
