@@ -68,6 +68,59 @@ class MetricsRegistry {
     return ScopedSpan(*this, std::move(stage));
   }
 
+  /// RAII resident-bytes registration: adds `bytes` to the gauge on
+  /// construction and subtracts them on destruction, so the matching
+  /// `_peak` gauge records the high-water mark of whatever buffers the
+  /// holder kept alive. A null registry makes every operation a no-op
+  /// (the usual optional-metrics contract). Movable so residents can
+  /// live in containers; `resize` re-registers a grown buffer.
+  class ScopedResident {
+   public:
+    ScopedResident() = default;
+    ScopedResident(MetricsRegistry* reg, std::string name, std::size_t bytes)
+        : reg_(reg), name_(std::move(name)) {
+      resize(bytes);
+    }
+    ScopedResident(ScopedResident&& o) noexcept
+        : reg_(o.reg_), name_(std::move(o.name_)), bytes_(o.bytes_) {
+      o.reg_ = nullptr;
+      o.bytes_ = 0;
+    }
+    ScopedResident& operator=(ScopedResident&& o) noexcept {
+      if (this == &o) return *this;
+      release();
+      reg_ = o.reg_;
+      name_ = std::move(o.name_);
+      bytes_ = o.bytes_;
+      o.reg_ = nullptr;
+      o.bytes_ = 0;
+      return *this;
+    }
+    ScopedResident(const ScopedResident&) = delete;
+    ScopedResident& operator=(const ScopedResident&) = delete;
+    ~ScopedResident() { release(); }
+
+    void resize(std::size_t bytes) {
+      if (reg_ != nullptr && bytes != bytes_) {
+        reg_->add_resident(name_, static_cast<std::int64_t>(bytes) -
+                                      static_cast<std::int64_t>(bytes_));
+      }
+      bytes_ = bytes;
+    }
+    void release() {
+      if (reg_ != nullptr && bytes_ != 0) {
+        reg_->add_resident(name_, -static_cast<std::int64_t>(bytes_));
+      }
+      bytes_ = 0;
+    }
+    std::size_t bytes() const noexcept { return bytes_; }
+
+   private:
+    MetricsRegistry* reg_ = nullptr;
+    std::string name_;
+    std::size_t bytes_ = 0;
+  };
+
   // Snapshots (copies — safe to iterate without holding the lock).
   std::map<std::string, std::uint64_t> counters() const;
   std::map<std::string, double> gauges() const;

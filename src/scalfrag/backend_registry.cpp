@@ -5,6 +5,7 @@
 
 #include "scalfrag/autotune.hpp"
 #include "scalfrag/pipeline.hpp"
+#include "scalfrag/streaming.hpp"
 #include "tensor/csf_tiled.hpp"
 
 namespace scalfrag {
@@ -77,6 +78,24 @@ class CsfTiledBackend final : public MttkrpBackend {
   CsfTiledVariant variant_;
 };
 
+/// The out-of-core pipeline: external sort under
+/// ExecConfig::memory_budget_bytes, then chunk-at-a-time execution
+/// through the classic pipeline (scalfrag/streaming.hpp).
+class CooStreamBackend final : public MttkrpBackend {
+ public:
+  const std::string& name() const noexcept override {
+    static const std::string n = "coo_stream";
+    return n;
+  }
+  DenseMatrix run(gpusim::SimDevice& dev, const CooSpan& t,
+                  const FactorList& factors, order_t mode,
+                  const ExecConfig& cfg,
+                  const LaunchSelector* selector) const override {
+    StreamingPlan plan(dev, selector);
+    return plan.run(t, factors, mode, cfg).output;
+  }
+};
+
 /// Joint format×launch selection with the built-in heuristic. The
 /// model-backed path lives in run_mttkrp_backend (a JointSelector does
 /// not fit the virtual signature); this backend exists so "auto" is a
@@ -115,6 +134,7 @@ BackendRegistry::BackendRegistry() {
                                         CsfTiledVariant::Coop));
   add(std::make_shared<CsfTiledBackend>("csf_tiled_serial",
                                         CsfTiledVariant::Serial));
+  add(std::make_shared<CooStreamBackend>());
   add(std::make_shared<AutoBackend>());
 }
 

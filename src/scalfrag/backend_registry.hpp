@@ -7,6 +7,8 @@
 //
 //   "coo"              the classic tiled GPU pipeline (run_pipeline)
 //   "coo_host"         the host engine alone (mttkrp_coo_par)
+//   "coo_stream"       out-of-core: external sort + chunked pipeline
+//                      under ExecConfig::memory_budget_bytes
 //   "csf_tiled"        alias of "csf_tiled_sync"
 //   "csf_tiled_sync"   CSF sync-tiled schedule
 //   "csf_tiled_coop"   CSF coop-tiled schedule

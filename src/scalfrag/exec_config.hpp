@@ -36,9 +36,10 @@ struct ExecConfig {
   /// (src/scalfrag/backend_registry.hpp). "coo" is the classic tiled
   /// pipeline; "csf_tiled" (alias of "csf_tiled_sync"),
   /// "csf_tiled_coop", "csf_tiled_serial" run the CSF tiled engine;
-  /// "coo_host" is the host engine alone; "auto" asks the joint
-  /// format×launch selector. validate() rejects unknown names with a
-  /// typed UnknownBackendError.
+  /// "coo_host" is the host engine alone; "coo_stream" is the
+  /// out-of-core pipeline bounded by memory_budget_bytes; "auto" asks
+  /// the joint format×launch selector. validate() rejects unknown names
+  /// with a typed UnknownBackendError.
   std::string backend_name = "coo";
   // --- device group (multi-device sharding) ---------------------------
   /// Simulated devices to shard segments across. 1 = the classic
@@ -83,6 +84,14 @@ struct ExecConfig {
   /// 0 = CsfTiling::auto_budget.
   nnz_t csf_fiber_budget = 0;
 
+  // --- out-of-core streaming ------------------------------------------
+  /// Peak host residency target (bytes) for the out-of-core
+  /// "coo_stream" backend: ingest windows, sort scratch, and execution
+  /// chunks are all sized from it (docs/outofcore.md has the split).
+  /// 0 = the 64 MiB default (scalfrag::kDefaultMemoryBudget). In-core
+  /// backends ignore it.
+  std::size_t memory_budget_bytes = 0;
+
   // --- observability ---------------------------------------------------
   /// Optional sink: executors record phase spans, plan counters, and
   /// device-timeline breakdowns here. LIFETIME: the registry must
@@ -100,6 +109,11 @@ struct ExecConfig {
   /// four tiles per worker). Ignored by the COO backends.
   ExecConfig& csf_budget(nnz_t fibers) {
     csf_fiber_budget = fibers;
+    return *this;
+  }
+  /// Host residency budget for "coo_stream"; 0 = the 64 MiB default.
+  ExecConfig& memory_budget(std::size_t bytes) {
+    memory_budget_bytes = bytes;
     return *this;
   }
   ExecConfig& devices(int n) { num_devices = n; return *this; }

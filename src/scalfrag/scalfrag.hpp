@@ -30,6 +30,7 @@
 #include "scalfrag/plan.hpp"
 #include "scalfrag/segmenter.hpp"
 #include "scalfrag/shard.hpp"
+#include "scalfrag/streaming.hpp"
 #include "scalfrag/tucker.hpp"
 #include "gpusim/energy.hpp"
 #include "tensor/arith.hpp"
@@ -37,10 +38,12 @@
 #include "tensor/csf.hpp"
 #include "tensor/csf_tiled.hpp"
 #include "tensor/dense_tensor.hpp"
+#include "tensor/external_sort.hpp"
 #include "tensor/fcoo.hpp"
 #include "tensor/features.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/hicoo.hpp"
+#include "tensor/io_stream.hpp"
 #include "tensor/io_tns.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/mttkrp_ref.hpp"

@@ -1,0 +1,181 @@
+#include "scalfrag/streaming.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <istream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "tensor/external_sort.hpp"
+#include "tensor/io_stream.hpp"
+#include "tensor/io_tns.hpp"
+
+namespace scalfrag {
+
+namespace {
+
+constexpr const char* kWindowsCounter = "oocore/windows";
+constexpr const char* kChunksCounter = "oocore/chunks";
+
+struct BudgetSplit {
+  std::size_t window_bytes;
+  std::size_t chunk_bytes;
+};
+
+/// A quarter of the budget funds the ingest window (the window itself
+/// plus sort_with's permutation + apply scratch roughly double it),
+/// half funds the execution chunk; the rest absorbs merge read buffers
+/// and the output accumulator. Floors keep degenerate budgets runnable.
+BudgetSplit split_budget(const ExecConfig& cfg) {
+  const std::size_t budget = cfg.memory_budget_bytes != 0
+                                 ? cfg.memory_budget_bytes
+                                 : kDefaultMemoryBudget;
+  return {std::max<std::size_t>(std::size_t{1} << 10, budget / 4),
+          std::max<std::size_t>(std::size_t{1} << 10, budget / 2)};
+}
+
+/// Merge the spilled runs and run every chunk through the classic
+/// pipeline, accumulating the per-chunk outputs elementwise. Chunks are
+/// slice-aligned, so each output row comes from exactly one chunk and
+/// the accumulation adds it to exact zeros — bit-preserving.
+StreamingResult execute_sorted(gpusim::SimDevice& dev,
+                               const LaunchSelector* selector,
+                               ExternalSorter& sorter, std::size_t windows,
+                               const std::vector<index_t>& discovered,
+                               const FactorList& factors, order_t mode,
+                               const ExecConfig& cfg,
+                               std::size_t chunk_bytes) {
+  const order_t order = static_cast<order_t>(discovered.size());
+  SF_CHECK(order > 0, "cannot stream an empty tensor source");
+  SF_CHECK(mode < order, "mode out of range");
+  SF_CHECK(factors.size() == discovered.size(),
+           "factor count must match tensor order");
+
+  // Output height follows the factors (the in-core convention); the
+  // data may legitimately leave trailing slices empty.
+  std::vector<index_t> dims(order);
+  for (order_t m = 0; m < order; ++m) {
+    SF_CHECK(factors.at(m).rows() >= discovered[m],
+             "mode-" + std::to_string(m) + " factor has " +
+                 std::to_string(factors.at(m).rows()) +
+                 " rows but the data reaches index " +
+                 std::to_string(discovered[m]));
+    dims[m] = factors.at(m).rows();
+  }
+  const index_t rank = factors.at(mode).cols();
+
+  ExecConfig sub = cfg;
+  sub.backend_name = "coo";  // each chunk runs the classic pipeline
+  sub.validate();
+
+  StreamingResult res;
+  res.windows = windows;
+  res.entries = sorter.entries();
+  res.output = DenseMatrix(dims[mode], rank);
+  obs::MetricsRegistry::ScopedResident acc_resident(
+      cfg.metrics_sink, kLoaderResidentGauge, res.output.bytes());
+
+  sorter.merge(dims, chunk_bytes, [&](CooTensor&& chunk) {
+    obs::MetricsRegistry::ScopedResident chunk_resident(
+        cfg.metrics_sink, kLoaderResidentGauge, chunk.bytes());
+    CooSpan view = chunk.span();
+    view.assume_sorted_by(mode);  // the merge emits mode-sort order
+    PipelineResult pr =
+        run_pipeline(dev, view, factors, mode, sub, selector);
+    res.total_ns += pr.total_ns;
+    ++res.chunks;
+    value_t* acc = res.output.data();
+    const value_t* part = pr.output.data();
+    for (std::size_t i = 0; i < res.output.size(); ++i) acc[i] += part[i];
+  });
+
+  res.spill_bytes = sorter.spill_bytes();
+  res.merge_passes = sorter.merge_passes();
+  if (cfg.metrics_sink != nullptr) {
+    cfg.metrics_sink->count(kWindowsCounter, windows);
+    cfg.metrics_sink->count(kChunksCounter, res.chunks);
+  }
+  return res;
+}
+
+}  // namespace
+
+StreamingResult StreamingPlan::run(const CooSpan& t,
+                                   const FactorList& factors, order_t mode,
+                                   const ExecConfig& cfg) {
+  cfg.validate();
+  const order_t order = t.order();
+  SF_CHECK(order > 0, "cannot stream a null span");
+  SF_CHECK(mode < order, "mode out of range");
+
+  const BudgetSplit budget = split_budget(cfg);
+  ExternalSortOptions sopt;
+  sopt.mode = mode;
+  sopt.metrics = cfg.metrics_sink;
+  ExternalSorter sorter(sopt);
+
+  const std::size_t entry_bytes =
+      order * sizeof(index_t) + sizeof(value_t);
+  const nnz_t cap =
+      std::max<nnz_t>(1, budget.window_bytes / entry_bytes);
+
+  std::size_t windows = 0;
+  std::array<index_t, kMaxOrder> coord{};
+  nnz_t e = 0;
+  while (e < t.nnz()) {
+    const nnz_t end = std::min<nnz_t>(t.nnz(), e + cap);
+    obs::MetricsRegistry::ScopedResident window_resident(
+        cfg.metrics_sink, kLoaderResidentGauge,
+        static_cast<std::size_t>(end - e) * entry_bytes);
+    CooTensor window(t.dims());
+    window.reserve(end - e);
+    for (; e < end; ++e) {
+      for (order_t m = 0; m < order; ++m) coord[m] = t.index(m, e);
+      window.push(std::span<const index_t>(coord.data(), order),
+                  t.value(e));
+    }
+    window_resident.release();  // add_window registers its own footprint
+    sorter.add_window(std::move(window));
+    ++windows;
+  }
+  return execute_sorted(*dev_, selector_, sorter, windows, t.dims(),
+                        factors, mode, cfg, budget.chunk_bytes);
+}
+
+StreamingResult StreamingPlan::run_stream(std::istream& in,
+                                          const FactorList& factors,
+                                          order_t mode,
+                                          const ExecConfig& cfg) {
+  cfg.validate();
+  const BudgetSplit budget = split_budget(cfg);
+  ExternalSortOptions sopt;
+  sopt.mode = mode;
+  sopt.metrics = cfg.metrics_sink;
+  ExternalSorter sorter(sopt);
+
+  TnsChunkOptions ropt;
+  ropt.max_chunk_bytes = budget.window_bytes;
+  ropt.metrics = cfg.metrics_sink;
+  TnsChunkReader reader(in, ropt);
+
+  std::size_t windows = 0;
+  CooTensor window;
+  while (reader.next(window)) {
+    sorter.add_window(std::move(window));
+    ++windows;
+  }
+  return execute_sorted(*dev_, selector_, sorter, windows, reader.dims(),
+                        factors, mode, cfg, budget.chunk_bytes);
+}
+
+StreamingResult StreamingPlan::run_file(const std::string& path,
+                                        const FactorList& factors,
+                                        order_t mode,
+                                        const ExecConfig& cfg) {
+  std::ifstream in(path);
+  SF_CHECK(in.good(), "cannot open " + path);
+  return run_stream(in, factors, mode, cfg);
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,77 @@
+#pragma once
+// Out-of-core MTTKRP driver — plans and executes one mode-n MTTKRP
+// segment-at-a-time under a host-memory budget (docs/outofcore.md).
+//
+// The in-core drivers assume the whole mode-sorted tensor is resident;
+// StreamingPlan removes that assumption without touching the kernels:
+//
+//   ingest   bounded windows   (TnsChunkReader, or windowing a span)
+//   order    external merge sort per window → spill → k-way merge
+//   execute  slice-aligned sorted chunks, each through run_pipeline
+//   combine  per-chunk outputs accumulated elementwise
+//
+// Chunks never split a mode slice, so each output row is produced by
+// exactly one chunk: the elementwise combine adds every row to exact
+// zeros, and for duplicate-free input under a non-reassociating host
+// strategy (Serial or SliceOwner) the final matrix is bit-identical to
+// the in-core "coo" backend's. Peak residency is bounded by
+// ExecConfig::memory_budget_bytes (0 = 64 MiB): a quarter funds the
+// ingest window and its sort scratch, half funds the execution chunk,
+// and the remainder absorbs merge line buffers and the accumulator.
+//
+// "coo_stream" in the backend registry routes here, so any driver can
+// opt in by name; the file/stream entry points below exist for tensors
+// that never fit in memory at all.
+
+#include <iosfwd>
+#include <string>
+
+#include "scalfrag/pipeline.hpp"
+
+namespace scalfrag {
+
+/// Default ExecConfig::memory_budget_bytes when the config leaves it 0.
+inline constexpr std::size_t kDefaultMemoryBudget = std::size_t{64} << 20;
+
+struct StreamingResult {
+  DenseMatrix output;
+  /// Ingest windows spilled (== sorted runs before merge folding).
+  std::size_t windows = 0;
+  /// Slice-aligned execution chunks the merge delivered.
+  std::size_t chunks = 0;
+  nnz_t entries = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t merge_passes = 0;
+  /// Summed simulated device time across the per-chunk pipelines.
+  sim_ns total_ns = 0;
+};
+
+class StreamingPlan {
+ public:
+  explicit StreamingPlan(gpusim::SimDevice& dev,
+                         const LaunchSelector* selector = nullptr)
+      : dev_(&dev), selector_(selector) {}
+
+  /// Out-of-core run over a resident tensor view (the "coo_stream"
+  /// registry backend). `t` need not be mode-sorted — ordering is the
+  /// sorter's job — but must match the factor shapes.
+  StreamingResult run(const CooSpan& t, const FactorList& factors,
+                      order_t mode, const ExecConfig& cfg = {});
+
+  /// Out-of-core run straight from a .tns stream/file: one pass of
+  /// chunked ingestion, so the tensor is never resident at once. Mode
+  /// sizes are discovered while reading; each factor must have at least
+  /// as many rows as its discovered mode size (output height follows
+  /// the factors, as in every in-core driver).
+  StreamingResult run_stream(std::istream& in, const FactorList& factors,
+                             order_t mode, const ExecConfig& cfg = {});
+  StreamingResult run_file(const std::string& path,
+                           const FactorList& factors, order_t mode,
+                           const ExecConfig& cfg = {});
+
+ private:
+  gpusim::SimDevice* dev_;
+  const LaunchSelector* selector_;
+};
+
+}  // namespace scalfrag

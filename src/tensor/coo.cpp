@@ -27,6 +27,13 @@ void CooTensor::push(std::span<const index_t> idx, value_t val) {
   vals_.push_back(val);
 }
 
+void CooTensor::grow_dims(std::span<const index_t> idx) {
+  SF_CHECK(idx.size() == dims_.size(), "coordinate arity mismatch");
+  for (order_t m = 0; m < order(); ++m) {
+    if (idx[m] >= dims_[m]) dims_[m] = idx[m] + 1;
+  }
+}
+
 namespace {
 /// Mode comparison order: `mode` first, then remaining modes ascending.
 std::vector<order_t> key_order(order_t order, order_t mode) {
@@ -44,7 +51,11 @@ template <typename Less>
 void CooTensor::sort_with(Less&& less) {
   std::vector<nnz_t> perm(nnz());
   std::iota(perm.begin(), perm.end(), nnz_t{0});
-  std::sort(perm.begin(), perm.end(), less);
+  // Stable: entries with identical keys (duplicate coordinates) keep
+  // their current relative order, so a sort of an already-sorted copy
+  // reproduces the stable counting-sort permutation views bit-for-bit
+  // and duplicate accumulation order is reproducible.
+  std::stable_sort(perm.begin(), perm.end(), less);
 
   // Apply the permutation to every index array and the values.
   auto apply = [&](auto& vec) {

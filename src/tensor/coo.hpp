@@ -32,6 +32,10 @@ class CooTensor {
 
   /// Append one non-zero; `idx` must have exactly order() entries.
   void push(std::span<const index_t> idx, value_t val);
+  /// Grow mode sizes so `idx` is in range (dims_[m] ≥ idx[m]+1).
+  /// Loaders that discover mode sizes while reading call this before
+  /// push instead of staging the whole file to find the max indices.
+  void grow_dims(std::span<const index_t> idx);
   void push(std::initializer_list<index_t> idx, value_t val) {
     push(std::span<const index_t>(idx.begin(), idx.size()), val);
   }

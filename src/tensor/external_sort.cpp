@@ -1,0 +1,307 @@
+#include "tensor/external_sort.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "tensor/io_tns.hpp"
+#include "tensor/io_tns_detail.hpp"
+
+namespace scalfrag {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::atomic<std::uint64_t> g_sorter_seq{0};
+
+/// The sort_by_mode key order: `mode` first, remaining modes ascending.
+/// Must match coo.cpp's key_order exactly — the merge reproduces the
+/// in-core sort bit-for-bit only if both rank coordinates identically.
+std::vector<order_t> key_order(order_t order, order_t mode) {
+  std::vector<order_t> keys;
+  keys.reserve(order);
+  keys.push_back(mode);
+  for (order_t m = 0; m < order; ++m) {
+    if (m != mode) keys.push_back(m);
+  }
+  return keys;
+}
+
+std::size_t entry_bytes(std::size_t order) {
+  return order * sizeof(index_t) + sizeof(value_t);
+}
+
+}  // namespace
+
+/// Sequential reader over one spilled run. Runs are .tns text written
+/// by this process, so anything malformed means the file was tampered
+/// with or truncated after spill — every anomaly is a typed error.
+struct ExternalSorter::RunReader {
+  std::ifstream in;
+  std::string path;
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t order;
+
+  RunReader(std::string p, std::size_t ord)
+      : in(p), path(std::move(p)), order(ord) {
+    SF_CHECK(in.good(), "spill run missing or unreadable: " + path);
+  }
+
+  bool next(std::array<index_t, kMaxOrder>& idx, value_t& val) {
+    while (std::getline(in, line)) {
+      ++lineno;
+      const auto tokens = tns_detail::tokenize(line);
+      if (tokens.empty()) continue;
+      SF_CHECK(tokens.size() == order + 1,
+               "corrupt spill run " + path + ", " +
+                   tns_detail::at_line(lineno) + "expected " +
+                   std::to_string(order + 1) + " fields, got " +
+                   std::to_string(tokens.size()));
+      for (std::size_t m = 0; m < order; ++m) {
+        idx[m] = tns_detail::parse_index(tokens[m], lineno, m);
+      }
+      val = tns_detail::parse_value(tokens[order], lineno);
+      return true;
+    }
+    SF_CHECK(in.eof(), "stream error while reading spill run " + path);
+    return false;
+  }
+};
+
+ExternalSorter::ExternalSorter(ExternalSortOptions opt)
+    : opt_(std::move(opt)) {
+  SF_CHECK(opt_.max_open_runs >= 2, "merge fan-in must be at least 2");
+  const fs::path base = opt_.temp_dir.empty()
+                            ? fs::temp_directory_path()
+                            : fs::path(opt_.temp_dir);
+  const fs::path dir =
+      base / ("scalfrag-xsort-" + std::to_string(::getpid()) + "-" +
+              std::to_string(
+                  g_sorter_seq.fetch_add(1, std::memory_order_relaxed)));
+  fs::create_directories(dir);
+  dir_ = dir.string();
+}
+
+ExternalSorter::~ExternalSorter() { remove_run_files(); }
+
+void ExternalSorter::remove_run_files() {
+  std::error_code ec;  // best-effort cleanup; never throw from here
+  fs::remove_all(dir_, ec);
+  runs_.clear();
+}
+
+std::string ExternalSorter::spill_path(std::size_t id) const {
+  return (fs::path(dir_) / ("run-" + std::to_string(id) + ".tns")).string();
+}
+
+void ExternalSorter::add_window(CooTensor window) {
+  if (window.nnz() == 0) return;
+  if (order_ == 0) {
+    order_ = window.order();
+    SF_CHECK(opt_.mode < order_, "sort mode out of range for window order");
+  }
+  SF_CHECK(window.order() == order_, "window order mismatch across windows");
+
+  // Residency during this phase: the window itself plus the sort
+  // scratch sort_with allocates (a permutation array and one array-wide
+  // copy while applying it).
+  const std::size_t scratch =
+      window.nnz() * (sizeof(nnz_t) +
+                      std::max(sizeof(index_t), sizeof(value_t)));
+  obs::MetricsRegistry::ScopedResident resident(
+      opt_.metrics, kLoaderResidentGauge, window.bytes() + scratch);
+
+  window.sort_by_mode(opt_.mode);
+  entries_ += window.nnz();
+  spill_run(window);
+}
+
+void ExternalSorter::spill_run(const CooTensor& window) {
+  const std::string path = spill_path(next_run_id_++);
+  std::ofstream out(path);
+  SF_CHECK(out.good(), "cannot create spill run " + path);
+  write_tns(out, window);
+  const auto pos = out.tellp();
+  out.close();
+  SF_CHECK(out.good(), "short write while spilling run " + path);
+  runs_.push_back(path);
+  const auto bytes = static_cast<std::uint64_t>(pos);
+  spill_bytes_ += bytes;
+  if (opt_.metrics != nullptr) {
+    opt_.metrics->count(kSpillBytesCounter, bytes);
+    opt_.metrics->count(kSpillRunsCounter, 1);
+  }
+}
+
+void ExternalSorter::fold_runs(std::size_t take) {
+  const auto keys = key_order(order_, opt_.mode);
+
+  struct HeapEntry {
+    std::array<index_t, kMaxOrder> idx;
+    value_t val;
+    std::size_t run;
+  };
+  // Min-heap: `greater` orders by the mode-sort key, run id as the tie
+  // break so duplicate coordinates across runs pop deterministically.
+  auto greater = [&keys](const HeapEntry& a, const HeapEntry& b) {
+    for (order_t k : keys) {
+      if (a.idx[k] != b.idx[k]) return a.idx[k] > b.idx[k];
+    }
+    return a.run > b.run;
+  };
+
+  std::vector<RunReader> readers;
+  readers.reserve(take);
+  for (std::size_t r = 0; r < take; ++r) {
+    readers.emplace_back(runs_[r], order_);
+  }
+
+  std::vector<HeapEntry> heap;
+  heap.reserve(take);
+  for (std::size_t r = 0; r < take; ++r) {
+    HeapEntry e;
+    e.run = r;
+    if (readers[r].next(e.idx, e.val)) heap.push_back(e);
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+
+  const std::string path = spill_path(next_run_id_++);
+  std::ofstream out(path);
+  SF_CHECK(out.good(), "cannot create spill run " + path);
+  out.precision(std::numeric_limits<value_t>::max_digits10);
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    HeapEntry e = heap.back();
+    heap.pop_back();
+    for (std::size_t m = 0; m < order_; ++m) {
+      out << (e.idx[m] + 1) << ' ';
+    }
+    out << e.val << '\n';
+    if (readers[e.run].next(e.idx, e.val)) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  const auto pos = out.tellp();
+  out.close();
+  SF_CHECK(out.good(), "short write while spilling run " + path);
+
+  readers.clear();
+  std::error_code ec;
+  for (std::size_t r = 0; r < take; ++r) fs::remove(runs_[r], ec);
+  runs_.erase(runs_.begin(),
+              runs_.begin() + static_cast<std::ptrdiff_t>(take));
+  runs_.push_back(path);
+
+  const auto bytes = static_cast<std::uint64_t>(pos);
+  spill_bytes_ += bytes;
+  ++merge_passes_;
+  if (opt_.metrics != nullptr) {
+    opt_.metrics->count(kSpillBytesCounter, bytes);
+    opt_.metrics->count(kMergePassesCounter, 1);
+  }
+}
+
+void ExternalSorter::merge(const std::vector<index_t>& dims,
+                           std::size_t chunk_bytes,
+                           const std::function<void(CooTensor&&)>& consume) {
+  if (runs_.empty()) return;
+  SF_CHECK(dims.size() == order_, "merge dims order mismatch");
+  SF_CHECK(chunk_bytes > 0, "chunk budget must be positive");
+
+  // Fold down to the fan-in cap first; each fold is a full extra pass
+  // over the folded entries.
+  while (runs_.size() > opt_.max_open_runs) {
+    fold_runs(std::min(opt_.max_open_runs, runs_.size() - 1));
+  }
+
+  const auto keys = key_order(order_, opt_.mode);
+  struct HeapEntry {
+    std::array<index_t, kMaxOrder> idx;
+    value_t val;
+    std::size_t run;
+  };
+  auto greater = [&keys](const HeapEntry& a, const HeapEntry& b) {
+    for (order_t k : keys) {
+      if (a.idx[k] != b.idx[k]) return a.idx[k] > b.idx[k];
+    }
+    return a.run > b.run;
+  };
+
+  // Open every reader before emitting anything: a vanished run file is
+  // detected here, so the typed error precedes the first consume call
+  // and the caller never sees partial output.
+  std::vector<RunReader> readers;
+  readers.reserve(runs_.size());
+  for (const auto& path : runs_) {
+    readers.emplace_back(path, order_);
+  }
+
+  std::vector<HeapEntry> heap;
+  heap.reserve(readers.size());
+  for (std::size_t r = 0; r < readers.size(); ++r) {
+    HeapEntry e;
+    e.run = r;
+    if (readers[r].next(e.idx, e.val)) heap.push_back(e);
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+
+  ++merge_passes_;
+  if (opt_.metrics != nullptr) {
+    opt_.metrics->count(kMergePassesCounter, 1);
+  }
+
+  const nnz_t cap =
+      std::max<nnz_t>(1, chunk_bytes / entry_bytes(order_));
+  CooTensor chunk(dims);
+  obs::MetricsRegistry::ScopedResident resident(
+      opt_.metrics, kLoaderResidentGauge, 0);
+  nnz_t in_chunk = 0;
+  index_t last_slice = 0;
+
+  auto flush = [&]() {
+    if (in_chunk == 0) return;
+    if (in_chunk > cap && opt_.metrics != nullptr) {
+      opt_.metrics->count(kBudgetOverrunsCounter, 1);
+    }
+    resident.release();  // ownership moves to the consumer's accounting
+    consume(std::move(chunk));
+    chunk = CooTensor(dims);
+    in_chunk = 0;
+  };
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    HeapEntry e = heap.back();
+    heap.pop_back();
+
+    // Cut only between slices: an over-budget chunk keeps absorbing
+    // entries until the slice in progress completes.
+    if (in_chunk >= cap && e.idx[opt_.mode] != last_slice) flush();
+
+    chunk.push(std::span<const index_t>(e.idx.data(), order_), e.val);
+    resident.resize(chunk.bytes());
+    last_slice = e.idx[opt_.mode];
+    ++in_chunk;
+
+    if (readers[e.run].next(e.idx, e.val)) {
+      heap.push_back(e);
+      std::push_heap(heap.begin(), heap.end(), greater);
+    }
+  }
+  flush();
+
+  readers.clear();
+  remove_run_files();
+}
+
+}  // namespace scalfrag

@@ -1,0 +1,104 @@
+#pragma once
+// Windowed external merge sort over COO entries — the ordering stage of
+// the out-of-core streaming pipeline (docs/outofcore.md).
+//
+// Every mode-n kernel wants the tensor in mode-n lexicographic order,
+// but sort_by_mode needs the whole tensor resident. The external sorter
+// reproduces exactly that order under a byte budget instead: each
+// bounded window is sorted in-core and spilled as a `.tns` run (the
+// full-precision serializer of io_tns.hpp, so spill→restore is
+// value-exact), then a k-way merge streams the runs back as
+// slice-aligned sorted chunks. For duplicate-free input the merged
+// entry sequence is bit-for-bit the sort_by_mode order — chunk
+// boundaries never split a mode slice, so downstream per-slice kernels
+// see each output row's entries contiguously and in canonical order.
+//
+// Peak residency: one window during add_window (plus its sort scratch,
+// which is registered too), then one forming chunk plus a line buffer
+// per open run during merge. When the run count exceeds the merge
+// fan-in, intermediate passes fold runs together first (the classic
+// polyphase compromise: more spill traffic, bounded open files).
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+struct ExternalSortOptions {
+  /// Sort key: mode-`mode` lexicographic order (the sort_by_mode(mode)
+  /// order every mode-`mode` kernel and the segmenter assume).
+  order_t mode = 0;
+  /// Spill directory; empty picks std::filesystem::temp_directory_path.
+  std::string temp_dir;
+  /// K-way merge fan-in cap. More runs than this trigger intermediate
+  /// merge passes (each pass re-spills what it folds).
+  std::size_t max_open_runs = 64;
+  /// Optional sink: window/chunk residency lands on "mem/resident_bytes"
+  /// and spill traffic on the "oocore/..." counters (see metric names
+  /// below).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Counter names the sorter records when given a metrics registry.
+inline constexpr const char* kSpillBytesCounter = "oocore/spill_bytes";
+inline constexpr const char* kMergePassesCounter = "oocore/merge_passes";
+inline constexpr const char* kSpillRunsCounter = "oocore/runs";
+inline constexpr const char* kBudgetOverrunsCounter =
+    "oocore/budget_overruns";
+
+class ExternalSorter {
+ public:
+  explicit ExternalSorter(ExternalSortOptions opt = {});
+  ~ExternalSorter();
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Sort one window in-core by the configured mode and spill it as a
+  /// run file. The window (and its sort scratch) is the phase's whole
+  /// residency; it is released before return.
+  void add_window(CooTensor window);
+
+  /// K-way merge of all spilled runs. Entries stream out in global
+  /// mode-sorted order, packed into chunks of ≈ `chunk_bytes` (cut only
+  /// on slice boundaries: a chunk overruns the budget rather than split
+  /// the slice in progress — kBudgetOverrunsCounter counts those) and
+  /// handed to `consume` in order. `dims` re-dimensions every chunk to
+  /// the final mode sizes. Runs deleted between spill and merge raise a
+  /// typed error before any chunk is delivered. One-shot: the spilled
+  /// runs are consumed by the merge.
+  void merge(const std::vector<index_t>& dims, std::size_t chunk_bytes,
+             const std::function<void(CooTensor&&)>& consume);
+
+  nnz_t entries() const noexcept { return entries_; }
+  std::size_t runs() const noexcept { return runs_.size(); }
+  std::uint64_t spill_bytes() const noexcept { return spill_bytes_; }
+  std::uint64_t merge_passes() const noexcept { return merge_passes_; }
+
+ private:
+  struct RunReader;
+
+  std::string spill_path(std::size_t id) const;
+  void spill_run(const CooTensor& window);
+  /// Fold `runs_[0 .. take)` into one new run (an intermediate pass).
+  void fold_runs(std::size_t take);
+  void remove_run_files();
+
+  ExternalSortOptions opt_;
+  std::string dir_;
+  std::vector<std::string> runs_;
+  std::size_t next_run_id_ = 0;
+  order_t order_ = 0;
+  nnz_t entries_ = 0;
+  std::uint64_t spill_bytes_ = 0;
+  std::uint64_t merge_passes_ = 0;
+};
+
+}  // namespace scalfrag

@@ -1,0 +1,114 @@
+#include "tensor/io_stream.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "tensor/io_tns.hpp"
+#include "tensor/io_tns_detail.hpp"
+
+namespace scalfrag {
+
+using tns_detail::at_line;
+using tns_detail::parse_index;
+using tns_detail::parse_value;
+using tns_detail::tokenize;
+
+TnsChunkReader::TnsChunkReader(std::istream& in, TnsChunkOptions opt)
+    : in_(&in), opt_(std::move(opt)) {
+  SF_CHECK(opt_.dims_hint.size() <= kMaxOrder,
+           "dims_hint order exceeds kMaxOrder");
+  SF_CHECK(opt_.max_chunk_bytes > 0 || opt_.max_chunk_nnz > 0,
+           "chunk budget must be positive");
+  if (!opt_.dims_hint.empty()) {
+    order_ = opt_.dims_hint.size();
+    dims_ = opt_.dims_hint;
+    coord_.resize(order_);
+  }
+}
+
+nnz_t TnsChunkReader::chunk_cap() const {
+  if (opt_.max_chunk_nnz > 0) return opt_.max_chunk_nnz;
+  const std::size_t entry_bytes =
+      order_ * sizeof(index_t) + sizeof(value_t);
+  return std::max<nnz_t>(1, opt_.max_chunk_bytes / entry_bytes);
+}
+
+bool TnsChunkReader::next(CooTensor& chunk) {
+  if (done_) return false;
+
+  CooTensor out;
+  obs::MetricsRegistry::ScopedResident resident;
+  const bool grow = opt_.dims_hint.empty();
+  nnz_t in_chunk = 0;
+
+  while (true) {
+    if (in_chunk > 0 && in_chunk >= chunk_cap()) break;
+    if (!std::getline(*in_, line_)) {
+      SF_CHECK(in_->eof(), "stream error while reading .tns input");
+      done_ = true;
+      SF_CHECK(order_ > 0, "empty .tns input");
+      SF_CHECK(!opt_.expected_nnz || entries_ == *opt_.expected_nnz,
+               "nnz mismatch: header/caller expected " +
+                   std::to_string(opt_.expected_nnz.value_or(0)) +
+                   " entries, read " + std::to_string(entries_));
+      break;
+    }
+    ++lineno_;
+    const std::vector<std::string_view> tokens = tokenize(line_);
+    if (tokens.empty()) continue;  // blank or comment-only line
+
+    if (order_ == 0) {
+      SF_CHECK(tokens.size() >= 2,
+               at_line(lineno_) + "truncated line: need at least one index "
+                                  "and a value, got " +
+                   std::to_string(tokens.size()) + " field(s)");
+      order_ = tokens.size() - 1;
+      SF_CHECK(order_ <= kMaxOrder,
+               at_line(lineno_) + "order " + std::to_string(order_) +
+                   " exceeds kMaxOrder");
+      dims_.assign(order_, 1);
+      coord_.resize(order_);
+    }
+    SF_CHECK(tokens.size() == order_ + 1,
+             at_line(lineno_) + "expected " + std::to_string(order_ + 1) +
+                 " fields (order " + std::to_string(order_) +
+                 " + value), got " + std::to_string(tokens.size()));
+    for (std::size_t m = 0; m < order_; ++m) {
+      const index_t i = parse_index(tokens[m], lineno_, m);
+      if (!grow) {
+        SF_CHECK(i < dims_[m],
+                 at_line(lineno_) + "mode-" + std::to_string(m) +
+                     " index " + std::to_string(i + 1) +
+                     " exceeds dimension " + std::to_string(dims_[m]));
+      } else if (i >= dims_[m]) {
+        dims_[m] = i + 1;
+      }
+      coord_[m] = i;
+    }
+    const value_t val = parse_value(tokens[order_], lineno_);
+    if (out.order() == 0) {
+      out = CooTensor(dims_);
+      resident = obs::MetricsRegistry::ScopedResident(
+          opt_.metrics, kLoaderResidentGauge, 0);
+    }
+    const std::span<const index_t> c(coord_.data(), order_);
+    if (grow) out.grow_dims(c);
+    out.push(c, val);
+    resident.resize(out.bytes());
+    ++in_chunk;
+    ++entries_;
+  }
+
+  if (in_chunk == 0) return false;
+  chunk = std::move(out);
+  return true;
+}
+
+TnsFileChunkReader::TnsFileChunkReader(const std::string& path,
+                                       TnsChunkOptions opt)
+    : in_(path) {
+  SF_CHECK(in_.good(), "cannot open " + path);
+  reader_.emplace(in_, std::move(opt));
+}
+
+}  // namespace scalfrag

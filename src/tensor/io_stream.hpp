@@ -1,0 +1,111 @@
+#pragma once
+// Chunked .tns/COO ingestion — the entry gate of the out-of-core
+// streaming pipeline (docs/outofcore.md).
+//
+// read_tns() must hold the whole tensor to return it; a billion-nnz
+// FROSTT file therefore caps at host memory before any planning can
+// happen. TnsChunkReader makes one pass over the same format and hands
+// out bounded-size CooTensor chunks instead, so peak ingest residency
+// is one chunk (plus the line buffer), whatever the file size. The
+// external merge sort (external_sort.hpp) consumes these chunks as its
+// sort windows; StreamingPlan (scalfrag/streaming.hpp) drives both.
+//
+// Format contract, error taxonomy, and CRLF handling are identical to
+// read_tns — both readers share the line parser (io_tns_detail.hpp).
+// A truncated final line (EOF mid-entry) is a typed error, never a
+// silently short tensor.
+
+#include <fstream>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+
+namespace scalfrag {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+struct TnsChunkOptions {
+  /// Per-line index validation bound when non-empty; otherwise mode
+  /// sizes grow with the data (dims() is the running maximum).
+  std::vector<index_t> dims_hint;
+  /// Total entry count the file must deliver (checked at EOF).
+  std::optional<nnz_t> expected_nnz;
+  /// Chunk size cap in storage bytes (index+value footprint of the
+  /// chunk's entries). The entry-count cap is derived from the order
+  /// once the first data line fixes it.
+  std::size_t max_chunk_bytes = std::size_t{16} << 20;
+  /// Explicit entry cap; 0 derives it from max_chunk_bytes.
+  nnz_t max_chunk_nnz = 0;
+  /// Optional sink: the reader registers each chunk's bytes under
+  /// "mem/resident_bytes" while the chunk is being filled.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// One-pass chunked reader. Typical loop:
+///
+///   TnsChunkReader reader(in, opt);
+///   CooTensor chunk;
+///   while (reader.next(chunk)) consume(std::move(chunk));
+///   const auto& dims = reader.dims();  // final sizes, after EOF
+///
+/// Chunks carry the dims known *so far* (every contained entry is in
+/// range); only after next() returns false are dims() the whole-file
+/// mode sizes. Consumers that need final dims before touching entries
+/// either pass dims_hint or re-dimension per chunk (CooTensor dims only
+/// grow, so earlier chunks stay valid).
+class TnsChunkReader {
+ public:
+  explicit TnsChunkReader(std::istream& in, TnsChunkOptions opt = {});
+
+  /// Fill `chunk` with the next ≤ cap entries. Returns false — with an
+  /// untouched `chunk` — once the stream is cleanly exhausted. Throws
+  /// the read_tns error taxonomy on malformed input, and a typed error
+  /// on a stream failure that is not EOF.
+  bool next(CooTensor& chunk);
+
+  /// Tensor order; 0 until the first data line has been read.
+  order_t order() const noexcept { return static_cast<order_t>(order_); }
+  /// Mode sizes seen so far (== dims_hint when one was given).
+  const std::vector<index_t>& dims() const noexcept { return dims_; }
+  nnz_t entries_read() const noexcept { return entries_; }
+  bool exhausted() const noexcept { return done_; }
+
+ private:
+  nnz_t chunk_cap() const;
+
+  std::istream* in_;
+  TnsChunkOptions opt_;
+  std::size_t order_ = 0;
+  std::vector<index_t> dims_;
+  std::vector<index_t> coord_;
+  std::string line_;
+  std::size_t lineno_ = 0;
+  nnz_t entries_ = 0;
+  bool done_ = false;
+};
+
+/// File-backed convenience wrapper owning its stream.
+class TnsFileChunkReader {
+ public:
+  explicit TnsFileChunkReader(const std::string& path,
+                              TnsChunkOptions opt = {});
+
+  bool next(CooTensor& chunk) { return reader_->next(chunk); }
+  order_t order() const noexcept { return reader_->order(); }
+  const std::vector<index_t>& dims() const noexcept {
+    return reader_->dims();
+  }
+  nnz_t entries_read() const noexcept { return reader_->entries_read(); }
+  bool exhausted() const noexcept { return reader_->exhausted(); }
+
+ private:
+  std::ifstream in_;
+  std::optional<TnsChunkReader> reader_;
+};
+
+}  // namespace scalfrag

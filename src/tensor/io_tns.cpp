@@ -1,73 +1,51 @@
 #include "tensor/io_tns.hpp"
 
-#include <charconv>
-#include <cmath>
 #include <fstream>
+#include <ios>
 #include <limits>
-#include <vector>
+
+#include "obs/metrics.hpp"
+#include "tensor/io_tns_detail.hpp"
 
 namespace scalfrag {
 namespace {
 
-std::string at_line(std::size_t lineno) {
-  return "line " + std::to_string(lineno) + ": ";
-}
+using tns_detail::at_line;
+using tns_detail::parse_index;
+using tns_detail::parse_value;
+using tns_detail::tokenize;
 
-/// Split on ASCII whitespace. A '#' starts a comment through end of line.
-std::vector<std::string_view> tokenize(std::string_view line) {
-  const auto hash = line.find('#');
-  if (hash != std::string_view::npos) line = line.substr(0, hash);
-  std::vector<std::string_view> tokens;
-  std::size_t i = 0;
-  while (i < line.size()) {
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
-    std::size_t start = i;
-    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
-    if (i > start) tokens.push_back(line.substr(start, i - start));
-  }
-  return tokens;
-}
-
-/// A 1-based index: decimal digits only, full token consumed, fits the
-/// index type after conversion to 0-based.
-index_t parse_index(std::string_view tok, std::size_t lineno,
-                    std::size_t field) {
-  std::uint64_t raw = 0;
-  const auto [end, ec] =
-      std::from_chars(tok.data(), tok.data() + tok.size(), raw);
-  SF_CHECK(ec == std::errc{} && end == tok.data() + tok.size(),
-           at_line(lineno) + "index field " + std::to_string(field + 1) +
-               " is not a non-negative integer: '" + std::string(tok) + "'");
-  SF_CHECK(raw >= 1,
-           at_line(lineno) + "index field " + std::to_string(field + 1) +
-               " must be >= 1 (.tns indices are 1-based)");
-  SF_CHECK(raw - 1 <= std::numeric_limits<index_t>::max(),
-           at_line(lineno) + "index field " + std::to_string(field + 1) +
-               " overflows the index type: " + std::string(tok));
-  return static_cast<index_t>(raw - 1);
-}
-
-value_t parse_value(std::string_view tok, std::size_t lineno) {
-  double raw = 0.0;
-  const auto [end, ec] =
-      std::from_chars(tok.data(), tok.data() + tok.size(), raw);
-  SF_CHECK(ec == std::errc{} && end == tok.data() + tok.size(),
-           at_line(lineno) + "value field is not a number: '" +
-               std::string(tok) + "'");
-  SF_CHECK(std::isfinite(raw),
-           at_line(lineno) + "value must be finite, got '" +
-               std::string(tok) + "'");
-  return static_cast<value_t>(raw);
-}
+/// How often the loader refreshes its resident-bytes registration.
+/// Registering per entry would take the registry lock once per line;
+/// every 64Ki entries keeps the gauge within ~1 MiB of truth for free.
+constexpr nnz_t kResidentRefreshMask = (nnz_t{1} << 16) - 1;
 
 }  // namespace
 
 CooTensor read_tns(std::istream& in, const std::vector<index_t>& dims_hint,
-                   std::optional<nnz_t> expected_nnz) {
-  std::vector<std::vector<index_t>> idx;
-  std::vector<value_t> vals;
+                   std::optional<nnz_t> expected_nnz,
+                   obs::MetricsRegistry* metrics) {
   std::size_t order = dims_hint.size();
   SF_CHECK(order <= kMaxOrder, "dims_hint order exceeds kMaxOrder");
+
+  // Entries land directly in the tensor — the historical per-mode
+  // staging vectors held a second full copy of every index and value
+  // at peak, exactly doubling load-time residency. Dims start at the
+  // hint (validated per line) or at 1 per mode and grow with the data.
+  CooTensor t;
+  std::vector<index_t> coord;
+  const bool grow = dims_hint.empty();
+
+  std::size_t registered = 0;
+  auto refresh_resident = [&](bool final_entry) {
+    if (metrics == nullptr) return;
+    if (!final_entry && (t.nnz() & kResidentRefreshMask) != 0) return;
+    const std::size_t now = t.bytes();
+    metrics->add_resident(kLoaderResidentGauge,
+                          static_cast<std::int64_t>(now) -
+                              static_cast<std::int64_t>(registered));
+    registered = now;
+  };
 
   std::string line;
   std::size_t lineno = 0;
@@ -90,64 +68,73 @@ CooTensor read_tns(std::istream& in, const std::vector<index_t>& dims_hint,
              at_line(lineno) + "expected " + std::to_string(order + 1) +
                  " fields (order " + std::to_string(order) +
                  " + value), got " + std::to_string(tokens.size()));
-    if (idx.empty()) idx.resize(order);
+    if (t.order() == 0) {
+      t = CooTensor(grow ? std::vector<index_t>(order, 1) : dims_hint);
+      coord.resize(order);
+    }
     for (std::size_t m = 0; m < order; ++m) {
       const index_t i = parse_index(tokens[m], lineno, m);
-      if (!dims_hint.empty()) {
+      if (!grow) {
         SF_CHECK(i < dims_hint[m],
                  at_line(lineno) + "mode-" + std::to_string(m) + " index " +
                      std::to_string(i + 1) + " exceeds dimension " +
                      std::to_string(dims_hint[m]));
       }
-      idx[m].push_back(i);
+      coord[m] = i;
     }
-    vals.push_back(parse_value(tokens[order], lineno));
+    const value_t val = parse_value(tokens[order], lineno);
+    const std::span<const index_t> c(coord.data(), order);
+    if (grow) t.grow_dims(c);
+    t.push(c, val);
+    refresh_resident(/*final_entry=*/false);
   }
   SF_CHECK(in.eof(), "stream error while reading .tns input");
   SF_CHECK(order > 0, "empty .tns input");
-  SF_CHECK(!expected_nnz || vals.size() == *expected_nnz,
+  // A hinted stream with zero data lines is a valid empty tensor.
+  if (t.order() == 0) t = CooTensor(dims_hint);
+  SF_CHECK(!expected_nnz || t.nnz() == *expected_nnz,
            "nnz mismatch: header/caller expected " +
                std::to_string(expected_nnz.value_or(0)) + " entries, read " +
-               std::to_string(vals.size()));
-
-  std::vector<index_t> dims = dims_hint;
-  if (dims.empty()) {
-    dims.assign(order, 1);
-    for (std::size_t m = 0; m < order; ++m) {
-      for (index_t i : idx[m]) dims[m] = std::max(dims[m], i + 1);
-    }
-  }
-  CooTensor t(dims);
-  t.reserve(vals.size());
-  std::vector<index_t> coord(order);
-  for (std::size_t e = 0; e < vals.size(); ++e) {
-    for (std::size_t m = 0; m < order; ++m) coord[m] = idx[m][e];
-    t.push(std::span<const index_t>(coord.data(), order), vals[e]);
+               std::to_string(t.nnz()));
+  refresh_resident(/*final_entry=*/true);
+  if (metrics != nullptr && registered != 0) {
+    // The caller owns the tensor from here; the loader's registration
+    // ends (the _peak gauge keeps the load-time high-water mark).
+    metrics->add_resident(kLoaderResidentGauge,
+                          -static_cast<std::int64_t>(registered));
   }
   return t;
 }
 
 CooTensor read_tns_file(const std::string& path,
                         const std::vector<index_t>& dims_hint,
-                        std::optional<nnz_t> expected_nnz) {
+                        std::optional<nnz_t> expected_nnz,
+                        obs::MetricsRegistry* metrics) {
   std::ifstream in(path);
   SF_CHECK(in.good(), "cannot open " + path);
-  return read_tns(in, dims_hint, expected_nnz);
+  return read_tns(in, dims_hint, expected_nnz, metrics);
 }
 
 void write_tns(std::ostream& out, const CooTensor& t) {
+  // max_digits10 makes the write→read round-trip value-exact — the
+  // default 6-significant-digit ostream precision silently perturbs
+  // values, which is fatal for the external-sort spill/restore path.
+  const std::streamsize old_precision =
+      out.precision(std::numeric_limits<value_t>::max_digits10);
   for (nnz_t e = 0; e < t.nnz(); ++e) {
     for (order_t m = 0; m < t.order(); ++m) {
       out << (t.index(m, e) + 1) << ' ';
     }
     out << t.value(e) << '\n';
   }
+  out.precision(old_precision);
 }
 
 void write_tns_file(const std::string& path, const CooTensor& t) {
   std::ofstream out(path);
   SF_CHECK(out.good(), "cannot open " + path + " for writing");
   write_tns(out, t);
+  out.flush();
   SF_CHECK(out.good(), "write failure on " + path);
 }
 

@@ -4,7 +4,9 @@
 // Each non-comment line is `i_1 i_2 ... i_N value` with 1-based indices;
 // `#` starts a comment. This is the format the paper's datasets ship in
 // (frostt.io), so real tensors can be dropped into any bench or example
-// in place of the synthetic profiles.
+// in place of the synthetic profiles. For files too large to hold
+// resident, the chunked reader in io_stream.hpp consumes the same
+// format a bounded window at a time.
 
 #include <iosfwd>
 #include <optional>
@@ -14,23 +16,41 @@
 
 namespace scalfrag {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+/// Resident-bytes gauge the loader reports under when given a metrics
+/// registry (same gauge ModeViews uses, so "mem/resident_bytes_peak"
+/// covers load and plan phases alike).
+inline constexpr const char* kLoaderResidentGauge = "mem/resident_bytes";
+
 /// Parse a .tns stream. Mode sizes are the max index seen per mode
 /// unless `dims_hint` is non-empty (then every index is validated
 /// against it). When `expected_nnz` is set, the entry count must match
-/// it exactly. Throws scalfrag::Error on malformed input: truncated
-/// lines, non-numeric fields, trailing garbage in a field, zero or
+/// it exactly. Entries are pushed straight into the returned tensor —
+/// peak load residency is one tensor, not the historical 2× staging
+/// copy — and with `metrics` the loader tracks its footprint under
+/// kLoaderResidentGauge (released on return; the _peak gauge survives).
+/// Throws scalfrag::Error on malformed input: truncated lines,
+/// non-numeric fields, trailing garbage in a field, zero or
 /// out-of-range indices, index-type overflow, non-finite values, or an
 /// entry-count mismatch.
 CooTensor read_tns(std::istream& in,
                    const std::vector<index_t>& dims_hint = {},
-                   std::optional<nnz_t> expected_nnz = std::nullopt);
+                   std::optional<nnz_t> expected_nnz = std::nullopt,
+                   obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience: open and parse a file.
 CooTensor read_tns_file(const std::string& path,
                         const std::vector<index_t>& dims_hint = {},
-                        std::optional<nnz_t> expected_nnz = std::nullopt);
+                        std::optional<nnz_t> expected_nnz = std::nullopt,
+                        obs::MetricsRegistry* metrics = nullptr);
 
-/// Write in .tns format (1-based indices, `%g` values).
+/// Write in .tns format (1-based indices). Values are emitted at
+/// std::numeric_limits<value_t>::max_digits10 significant digits, so a
+/// write→read round-trip reproduces every value bit-exactly (the
+/// external-sort spill files depend on this).
 void write_tns(std::ostream& out, const CooTensor& t);
 void write_tns_file(const std::string& path, const CooTensor& t);
 

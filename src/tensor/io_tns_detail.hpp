@@ -1,0 +1,72 @@
+#pragma once
+// Line-level .tns parsing shared by the whole-file reader (io_tns.cpp)
+// and the chunked streaming reader (io_stream.cpp). Internal header —
+// everything here is an implementation detail of the two readers; the
+// public contracts live in io_tns.hpp / io_stream.hpp.
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace scalfrag::tns_detail {
+
+inline std::string at_line(std::size_t lineno) {
+  return "line " + std::to_string(lineno) + ": ";
+}
+
+/// Split on ASCII whitespace. A '#' starts a comment through end of
+/// line. '\r' is whitespace, so CRLF files tokenize identically to LF.
+inline std::vector<std::string_view> tokenize(std::string_view line) {
+  const auto hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// A 1-based index: decimal digits only, full token consumed, fits the
+/// index type after conversion to 0-based.
+inline index_t parse_index(std::string_view tok, std::size_t lineno,
+                           std::size_t field) {
+  std::uint64_t raw = 0;
+  const auto [end, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), raw);
+  SF_CHECK(ec == std::errc{} && end == tok.data() + tok.size(),
+           at_line(lineno) + "index field " + std::to_string(field + 1) +
+               " is not a non-negative integer: '" + std::string(tok) + "'");
+  SF_CHECK(raw >= 1,
+           at_line(lineno) + "index field " + std::to_string(field + 1) +
+               " must be >= 1 (.tns indices are 1-based)");
+  SF_CHECK(raw - 1 <= std::numeric_limits<index_t>::max(),
+           at_line(lineno) + "index field " + std::to_string(field + 1) +
+               " overflows the index type: " + std::string(tok));
+  return static_cast<index_t>(raw - 1);
+}
+
+inline value_t parse_value(std::string_view tok, std::size_t lineno) {
+  double raw = 0.0;
+  const auto [end, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), raw);
+  SF_CHECK(ec == std::errc{} && end == tok.data() + tok.size(),
+           at_line(lineno) + "value field is not a number: '" +
+               std::string(tok) + "'");
+  SF_CHECK(std::isfinite(raw),
+           at_line(lineno) + "value must be finite, got '" +
+               std::string(tok) + "'");
+  return static_cast<value_t>(raw);
+}
+
+}  // namespace scalfrag::tns_detail

@@ -17,10 +17,12 @@ ModeViews::ModeViews(const CooTensor& x, obs::MetricsRegistry* metrics,
   const nnz_t n = canonical_.nnz();
   if (n > gather_limit) {
     // perm_t cannot address every entry: keep the old per-mode copies.
-    copies_.resize(ord);
+    // Mode 0 is the canonical copy itself, so only ord-1 slots exist —
+    // copies_[m-1] serves mode m.
+    copies_.resize(ord - 1);
     for (order_t m = 1; m < ord; ++m) {
-      copies_[m] = canonical_;
-      copies_[m].sort_by_mode(m);
+      copies_[m - 1] = canonical_;
+      copies_[m - 1].sort_by_mode(m);
     }
   } else {
     perms_.resize(ord);
@@ -78,7 +80,7 @@ CooSpan ModeViews::view(order_t mode) const {
     return s;
   }
   if (!copies_.empty()) {
-    CooSpan s(copies_[mode]);
+    CooSpan s(copies_[mode - 1]);
     s.assume_sorted_by(mode);
     return s;
   }

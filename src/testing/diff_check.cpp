@@ -287,6 +287,41 @@ const std::vector<ExecPath>& build_table() {
             return out;
           });
         });
+    // The out-of-core streaming backend under a deliberately tiny
+    // budget, so fuzz-sized tensors actually window, spill, and chunk.
+    // Slice-aligned chunks + elementwise combine preserve every bit, so
+    // on duplicate-free inputs the result must memcmp-equal the in-core
+    // "coo" backend under the same Serial strategy (PrivateReduce would
+    // reassociate the per-row sums; FP tolerance would mask a chunk
+    // boundary bug).
+    add("backend/coo_stream",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          ExecConfig cfg = ExecConfig{}
+                               .segments(2)
+                               .streams(2)
+                               .strategy(HostStrategy::Serial)
+                               .grain(1)
+                               .memory_budget(std::size_t{1} << 12);
+          gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
+          cfg.backend("coo_stream");
+          const DenseMatrix got =
+              run_mttkrp_backend(dev, t, f, mode, cfg).output;
+          if (!has_duplicate_coords(t)) {
+            gpusim::SimDevice dev2(gpusim::DeviceSpec::rtx3090());
+            cfg.backend("coo");
+            const DenseMatrix want =
+                run_mttkrp_backend(dev2, t, f, mode, cfg).output;
+            SF_CHECK(got.rows() == want.rows() && got.cols() == want.cols(),
+                     "coo_stream output shape mismatch");
+            SF_CHECK(std::memcmp(got.data(), want.data(),
+                                 got.size() * sizeof(value_t)) == 0,
+                     "out-of-core streaming result is not bit-identical "
+                     "to the in-core coo backend on a duplicate-free "
+                     "input");
+          }
+          return got;
+        });
+
     // The joint (format, launch) auto dispatch end to end: whatever
     // backend the selector picks must still match the oracle.
     add("backend/auto_joint",
@@ -414,6 +449,29 @@ const std::vector<ExecPath>& build_table() {
           return run_on_views(t, mode, [&](const CooSpan& v) {
             return run_pipeline(v, f, mode, 2, 2, thr);
           });
+        });
+    // The gather_limit fallback (per-mode materialized copies) forced
+    // via gather_limit=0: the same engine fed the fallback view must be
+    // bit-identical to the gather-view path — the two present the same
+    // logical order, so any difference is a fallback indexing bug.
+    add("views/materialized_fallback",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          const ModeViews fallback(t, nullptr, /*gather_limit=*/0);
+          SF_CHECK(t.nnz() == 0 || t.order() == 1 || fallback.materialized(),
+                   "gather_limit=0 must force the materialized fallback");
+          const ModeViews gathered(t);
+          auto exec = [&](const CooSpan& v) {
+            return run_host_engine(v, f, mode, HostStrategy::Serial, 1);
+          };
+          const DenseMatrix got = exec(fallback.view(mode));
+          const DenseMatrix want = exec(gathered.view(mode));
+          SF_CHECK(got.rows() == want.rows() && got.cols() == want.cols(),
+                   "fallback view output shape mismatch");
+          SF_CHECK(std::memcmp(got.data(), want.data(),
+                               got.size() * sizeof(value_t)) == 0,
+                   "materialized-fallback view result is not "
+                   "bit-identical to the gather-view result");
+          return got;
         });
     add("views/multidev/d2",
         [](const CooTensor& t, const FactorList& f, order_t mode) {

@@ -1,0 +1,193 @@
+// External merge sort tests (suite ExternalSort): windowed spill +
+// k-way merge reproduces sort_by_mode bit-for-bit, chunks cut only on
+// slice boundaries, fan-in overflow triggers extra merge passes, and a
+// spill run deleted between write and merge is a typed error with no
+// partial output.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "obs/metrics.hpp"
+#include "tensor/external_sort.hpp"
+#include "tensor/generator.hpp"
+
+namespace scalfrag {
+namespace {
+
+namespace fs = std::filesystem;
+
+CooTensor test_tensor(std::uint64_t seed, nnz_t nnz = 4000) {
+  GeneratorConfig g{.dims = {32, 48, 24},
+                    .nnz = nnz,
+                    .skew = {1.4, 1.0, 1.1},
+                    .seed = seed};
+  return generate_coo(g);
+}
+
+/// Feed `t` to the sorter as `windows` interleaved slabs (so no window
+/// is presorted relative to the others), then merge into chunks.
+std::vector<CooTensor> sort_in_windows(ExternalSorter& sorter,
+                                       const CooTensor& t,
+                                       std::size_t windows,
+                                       std::size_t chunk_bytes) {
+  const nnz_t per = (t.nnz() + windows - 1) / windows;
+  // Reverse window order: window 0 gets the highest entry range, so a
+  // merge that just concatenated runs would be badly unsorted.
+  for (std::size_t w = windows; w-- > 0;) {
+    const nnz_t begin = std::min<nnz_t>(w * per, t.nnz());
+    const nnz_t end = std::min<nnz_t>(begin + per, t.nnz());
+    if (begin < end) sorter.add_window(t.extract(begin, end));
+  }
+  std::vector<CooTensor> chunks;
+  sorter.merge(t.dims(), chunk_bytes,
+               [&](CooTensor&& c) { chunks.push_back(std::move(c)); });
+  return chunks;
+}
+
+CooTensor concat(const std::vector<CooTensor>& chunks,
+                 const std::vector<index_t>& dims) {
+  CooTensor all(dims);
+  std::vector<index_t> c(dims.size());
+  for (const CooTensor& p : chunks) {
+    for (nnz_t e = 0; e < p.nnz(); ++e) {
+      for (order_t m = 0; m < p.order(); ++m) c[m] = p.index(m, e);
+      all.push(std::span<const index_t>(c.data(), c.size()), p.value(e));
+    }
+  }
+  return all;
+}
+
+void expect_equals_mode_sort(const std::vector<CooTensor>& chunks,
+                             const CooTensor& t, order_t mode) {
+  CooTensor want = t;
+  want.sort_by_mode(mode);
+  const CooTensor got = concat(chunks, t.dims());
+  ASSERT_EQ(got.nnz(), want.nnz());
+  for (order_t m = 0; m < t.order(); ++m) {
+    EXPECT_EQ(got.mode_indices(m), want.mode_indices(m))
+        << "mode " << static_cast<int>(m);
+  }
+  // Spill runs are full-precision .tns text: the values must survive
+  // the round trip BIT-exactly, so memcmp, not tolerance.
+  EXPECT_EQ(std::memcmp(got.values().data(), want.values().data(),
+                        want.nnz() * sizeof(value_t)),
+            0);
+}
+
+TEST(ExternalSort, MergeReproducesModeSortBitExactly) {
+  const CooTensor t = test_tensor(901);
+  for (order_t mode = 0; mode < t.order(); ++mode) {
+    ExternalSortOptions opt;
+    opt.mode = mode;
+    ExternalSorter sorter(opt);
+    const auto chunks = sort_in_windows(sorter, t, 5, 1 << 13);
+    EXPECT_GT(chunks.size(), 1u);
+    EXPECT_EQ(sorter.entries(), t.nnz());
+    expect_equals_mode_sort(chunks, t, mode);
+  }
+}
+
+TEST(ExternalSort, ChunksCutOnlyOnSliceBoundaries) {
+  const CooTensor t = test_tensor(902);
+  const order_t mode = 1;
+  ExternalSortOptions opt;
+  opt.mode = mode;
+  ExternalSorter sorter(opt);
+  const auto chunks = sort_in_windows(sorter, t, 4, 1 << 12);
+  ASSERT_GT(chunks.size(), 2u);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    const CooTensor& prev = chunks[i - 1];
+    const CooTensor& cur = chunks[i];
+    ASSERT_GT(prev.nnz(), 0u);
+    ASSERT_GT(cur.nnz(), 0u);
+    // A mode slice never straddles two chunks.
+    EXPECT_NE(prev.index(mode, prev.nnz() - 1), cur.index(mode, 0));
+  }
+}
+
+TEST(ExternalSort, FanInOverflowAddsMergePasses) {
+  const CooTensor t = test_tensor(903);
+  obs::MetricsRegistry met;
+  ExternalSortOptions opt;
+  opt.mode = 0;
+  opt.max_open_runs = 2;
+  opt.metrics = &met;
+  ExternalSorter sorter(opt);
+  const auto chunks = sort_in_windows(sorter, t, 6, 1 << 13);
+  // 6 runs at fan-in 2 need intermediate folds before the final pass.
+  EXPECT_GT(sorter.merge_passes(), 1u);
+  EXPECT_EQ(met.counter(kMergePassesCounter), sorter.merge_passes());
+  expect_equals_mode_sort(chunks, t, 0);
+}
+
+TEST(ExternalSort, RecordsSpillMetrics) {
+  const CooTensor t = test_tensor(904, 1000);
+  obs::MetricsRegistry met;
+  ExternalSortOptions opt;
+  opt.mode = 0;
+  opt.metrics = &met;
+  ExternalSorter sorter(opt);
+  const auto chunks = sort_in_windows(sorter, t, 3, 1 << 20);
+  EXPECT_EQ(met.counter(kSpillRunsCounter), 3u);
+  EXPECT_GT(sorter.spill_bytes(), 0u);
+  EXPECT_EQ(met.counter(kSpillBytesCounter), sorter.spill_bytes());
+  EXPECT_GE(chunks.size(), 1u);
+}
+
+TEST(ExternalSort, DeletedSpillRunIsTypedErrorWithNoPartialOutput) {
+  const CooTensor t = test_tensor(905, 600);
+  const std::string dir = ::testing::TempDir() + "scalfrag_xsort_del";
+  fs::create_directories(dir);
+  ExternalSortOptions opt;
+  opt.mode = 0;
+  opt.temp_dir = dir;
+  ExternalSorter sorter(opt);
+  sorter.add_window(t.extract(0, t.nnz() / 2));
+  sorter.add_window(t.extract(t.nnz() / 2, t.nnz()));
+  ASSERT_EQ(sorter.runs(), 2u);
+
+  // Simulate the spill directory being swept between write and merge.
+  bool removed = false;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    if (e.path().filename() == "run-0.tns") {
+      fs::remove(e.path());
+      removed = true;
+    }
+  }
+  ASSERT_TRUE(removed);
+
+  std::size_t delivered = 0;
+  EXPECT_THROW(sorter.merge(t.dims(), 1 << 20,
+                            [&](CooTensor&&) { ++delivered; }),
+               Error);
+  // Typed error, no partial output: the merge opens every run before
+  // it emits anything.
+  EXPECT_EQ(delivered, 0u);
+  fs::remove_all(dir);
+}
+
+TEST(ExternalSort, TempFilesAreRemovedAfterMerge) {
+  const CooTensor t = test_tensor(906, 500);
+  const std::string dir = ::testing::TempDir() + "scalfrag_xsort_tmp";
+  fs::create_directories(dir);
+  {
+    ExternalSortOptions opt;
+    opt.mode = 0;
+    opt.temp_dir = dir;
+    ExternalSorter sorter(opt);
+    sort_in_windows(sorter, t, 3, 1 << 20);
+  }
+  // Destructor + merge cleanup: nothing of ours is left behind.
+  std::size_t residue = 0;
+  for (const auto& e : fs::recursive_directory_iterator(dir)) {
+    (void)e;
+    ++residue;
+  }
+  EXPECT_EQ(residue, 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace scalfrag

@@ -1,0 +1,174 @@
+// Chunked .tns ingestion tests (suite OutOfCore): bounded chunks
+// reassemble to the whole tensor, malformed input is a typed error in
+// the read_tns taxonomy, CRLF files parse, and chunk residency is
+// bounded by the chunk cap rather than the file size.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/io_stream.hpp"
+#include "tensor/io_tns.hpp"
+
+namespace scalfrag {
+namespace {
+
+/// Reassemble every chunk into one tensor dimensioned by final dims.
+CooTensor drain(TnsChunkReader& reader, std::size_t* chunks = nullptr) {
+  std::vector<CooTensor> parts;
+  CooTensor chunk;
+  while (reader.next(chunk)) parts.push_back(std::move(chunk));
+  if (chunks != nullptr) *chunks = parts.size();
+  SF_CHECK(reader.order() > 0, "no data read");
+  CooTensor all(reader.dims());
+  std::vector<index_t> c(reader.order());
+  for (const CooTensor& p : parts) {
+    for (nnz_t e = 0; e < p.nnz(); ++e) {
+      for (order_t m = 0; m < p.order(); ++m) c[m] = p.index(m, e);
+      all.push(std::span<const index_t>(c.data(), c.size()), p.value(e));
+    }
+  }
+  return all;
+}
+
+TEST(OutOfCore, ChunksReassembleToWholeTensor) {
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 4096, 31);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+
+  TnsChunkOptions opt;
+  opt.max_chunk_nnz = 37;  // force many ragged chunks
+  TnsChunkReader reader(in, opt);
+  std::size_t chunks = 0;
+  const CooTensor all = drain(reader, &chunks);
+
+  EXPECT_GT(chunks, 1u);
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(reader.entries_read(), t.nnz());
+  ASSERT_EQ(all.nnz(), t.nnz());
+  for (order_t m = 0; m < t.order(); ++m) {
+    EXPECT_EQ(all.mode_indices(m), t.mode_indices(m));
+  }
+  EXPECT_EQ(std::memcmp(all.values().data(), t.values().data(),
+                        t.nnz() * sizeof(value_t)),
+            0);
+}
+
+TEST(OutOfCore, ByteBudgetDerivesChunkCap) {
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 4096, 32);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+
+  TnsChunkOptions opt;
+  opt.max_chunk_bytes = 1024;  // 64 entries for an order-3 tensor
+  TnsChunkReader reader(in, opt);
+  const std::size_t entry_bytes =
+      t.order() * sizeof(index_t) + sizeof(value_t);
+  CooTensor chunk;
+  while (reader.next(chunk)) {
+    EXPECT_LE(chunk.bytes(), opt.max_chunk_bytes + entry_bytes);
+  }
+  EXPECT_EQ(reader.entries_read(), t.nnz());
+}
+
+TEST(OutOfCore, CrlfFileParsesIdentically) {
+  std::istringstream in(
+      "# crlf file\r\n"
+      "1 1 1 1.5\r\n"
+      "2 3 1 -2.0\r\n"
+      "4 2 2 0.25\r\n");
+  TnsChunkReader reader(in);
+  const CooTensor t = drain(reader);
+  ASSERT_EQ(t.nnz(), 3u);
+  EXPECT_EQ(t.dims(), (std::vector<index_t>{4, 3, 2}));
+  EXPECT_FLOAT_EQ(t.value(1), -2.0f);
+}
+
+TEST(OutOfCore, TruncatedFinalLineIsTypedError) {
+  // EOF arrives mid-entry: the last line lost its value field. This
+  // must be an error, never a silently short tensor.
+  std::istringstream in(
+      "1 1 1 1.0\n"
+      "2 2 2\n");
+  TnsChunkReader reader(in);
+  CooTensor chunk;
+  EXPECT_THROW(
+      {
+        while (reader.next(chunk)) {
+        }
+      },
+      Error);
+}
+
+TEST(OutOfCore, SingleFieldFinalLineIsTypedError) {
+  std::istringstream in("3\n");
+  TnsChunkReader reader(in);
+  CooTensor chunk;
+  EXPECT_THROW(reader.next(chunk), Error);
+}
+
+TEST(OutOfCore, EmptyInputIsTypedError) {
+  std::istringstream in("# comments only\n\n");
+  TnsChunkReader reader(in);
+  CooTensor chunk;
+  EXPECT_THROW(reader.next(chunk), Error);
+}
+
+TEST(OutOfCore, ExpectedNnzMismatchIsTypedError) {
+  std::istringstream in("1 1 1.0\n2 2 2.0\n");
+  TnsChunkOptions opt;
+  opt.expected_nnz = 3;
+  TnsChunkReader reader(in, opt);
+  CooTensor chunk;
+  EXPECT_THROW(
+      {
+        while (reader.next(chunk)) {
+        }
+      },
+      Error);
+}
+
+TEST(OutOfCore, DimsHintValidatesEachLine) {
+  std::istringstream in("9 1 2.0\n");
+  TnsChunkOptions opt;
+  opt.dims_hint = {5, 5};
+  TnsChunkReader reader(in, opt);
+  CooTensor chunk;
+  EXPECT_THROW(reader.next(chunk), Error);
+}
+
+TEST(OutOfCore, ChunkResidencyIsBoundedByCapNotFileSize) {
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 4096, 33);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+
+  obs::MetricsRegistry met;
+  TnsChunkOptions opt;
+  opt.max_chunk_nnz = 64;
+  opt.metrics = &met;
+  TnsChunkReader reader(in, opt);
+  CooTensor chunk;
+  while (reader.next(chunk)) {
+    chunk = CooTensor();  // drop it, as a streaming consumer would
+  }
+  const std::size_t entry_bytes =
+      t.order() * sizeof(index_t) + sizeof(value_t);
+  const double peak =
+      met.gauge(std::string(kLoaderResidentGauge) + "_peak");
+  ASSERT_GT(t.nnz(), 64u * 4);  // the bound below is meaningfully small
+  EXPECT_LE(peak, static_cast<double>(65 * entry_bytes));
+  EXPECT_EQ(met.gauge(kLoaderResidentGauge), 0.0);
+}
+
+TEST(OutOfCore, MissingFileThrows) {
+  EXPECT_THROW(TnsFileChunkReader("/nonexistent/dir/x.tns"), Error);
+}
+
+}  // namespace
+}  // namespace scalfrag

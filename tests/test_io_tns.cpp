@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/io_tns.hpp"
 
@@ -63,6 +67,70 @@ TEST(IoTns, RoundTripPreservesEntries) {
     }
     EXPECT_NEAR(back.value(e), t.value(e), 1e-5);
   }
+}
+
+TEST(IoTns, RandomizedRoundTripIsBitExact) {
+  // Values across ~18 orders of magnitude, both signs. write_tns emits
+  // max_digits10 significant digits, so the write→read round trip must
+  // reproduce every float BIT-exactly — EXPECT_NEAR would mask the old
+  // 6-digit truncation this guards against.
+  Rng rng(771);
+  CooTensor t({40, 30, 20});
+  std::vector<index_t> c(3);
+  for (int e = 0; e < 1000; ++e) {
+    c[0] = static_cast<index_t>(rng.next_below(40));
+    c[1] = static_cast<index_t>(rng.next_below(30));
+    c[2] = static_cast<index_t>(rng.next_below(20));
+    const int exponent = static_cast<int>(rng.next_below(61)) - 30;
+    const float v =
+        std::ldexp(rng.next_float() - 0.5f, exponent);
+    t.push(std::span<const index_t>(c.data(), c.size()), v);
+  }
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+  const CooTensor back = read_tns(in, t.dims());
+  ASSERT_EQ(back.nnz(), t.nnz());
+  for (order_t m = 0; m < t.order(); ++m) {
+    EXPECT_EQ(back.mode_indices(m), t.mode_indices(m));
+  }
+  EXPECT_EQ(std::memcmp(back.values().data(), t.values().data(),
+                        t.nnz() * sizeof(value_t)),
+            0);
+}
+
+TEST(IoTns, WritePrecisionDoesNotLeakToLaterOutput) {
+  CooTensor t({2});
+  t.push({0}, 0.123456789f);
+  std::ostringstream out;
+  const std::streamsize before = out.precision();
+  write_tns(out, t);
+  EXPECT_EQ(out.precision(), before);
+}
+
+TEST(IoTns, LoaderPeakResidencyStaysNearFinalBytes) {
+  const CooTensor t = make_frostt_tensor("uber", 1.0 / 2048, 21);
+  std::ostringstream out;
+  write_tns(out, t);
+  std::istringstream in(out.str());
+  obs::MetricsRegistry met;
+  const CooTensor back = read_tns(in, t.dims(), t.nnz(), &met);
+  ASSERT_EQ(back.nnz(), t.nnz());
+  const double peak =
+      met.gauge(std::string(kLoaderResidentGauge) + "_peak");
+  // Direct-push loading: peak is one tensor, not the historical 2×
+  // staging copy. 1.25× slack covers refresh granularity.
+  EXPECT_GE(peak, static_cast<double>(back.bytes()) * 0.9);
+  EXPECT_LE(peak, static_cast<double>(back.bytes()) * 1.25);
+  // The loader's registration ends with the call; the peak survives.
+  EXPECT_EQ(met.gauge(kLoaderResidentGauge), 0.0);
+}
+
+TEST(IoTns, EmptyStreamWithHintYieldsEmptyTensor) {
+  std::istringstream in("# nothing but comments\n");
+  const CooTensor t = read_tns(in, {4, 5});
+  EXPECT_EQ(t.dims(), (std::vector<index_t>{4, 5}));
+  EXPECT_EQ(t.nnz(), 0u);
 }
 
 TEST(IoTns, FileRoundTrip) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -84,6 +85,42 @@ TEST(ModeViews, GatherLimitFallsBackToMaterializedCopies) {
   }
   // No saving in the fallback: the footprint matches the legacy bound.
   EXPECT_GE(views.resident_bytes(), ModeViews::legacy_copies_bytes(t));
+}
+
+TEST(ModeViews, FallbackIsBitIdenticalToGatherViews) {
+  const CooTensor t = skewed_tensor(607);
+  // gather_limit 0 forces the materialized fallback on any input.
+  const ModeViews fallback(t, nullptr, /*gather_limit=*/0);
+  ASSERT_TRUE(fallback.materialized());
+  const ModeViews gathered(t);
+  ASSERT_FALSE(gathered.materialized());
+
+  // Exactly the canonical copy plus order-1 sorted copies — the
+  // fallback used to allocate a dead (empty) slot for mode 0.
+  EXPECT_EQ(fallback.resident_bytes(),
+            static_cast<std::size_t>(t.order()) * t.bytes());
+
+  Rng rng(608);
+  FactorList f;
+  for (order_t m = 0; m < t.order(); ++m) {
+    DenseMatrix a(t.dim(m), 8);
+    a.randomize(rng);
+    f.push_back(std::move(a));
+  }
+  HostExecParams opt;
+  opt.strategy = HostStrategy::Serial;
+  for (order_t m = 0; m < t.order(); ++m) {
+    // Same logical entry order through the same serial kernel: any
+    // difference is a fallback indexing bug, so compare bit-for-bit.
+    const DenseMatrix got = mttkrp_coo_par(fallback.view(m), f, m, opt);
+    const DenseMatrix want = mttkrp_coo_par(gathered.view(m), f, m, opt);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                          got.size() * sizeof(value_t)),
+              0)
+        << "mode " << static_cast<int>(m);
+  }
 }
 
 TEST(ModeViews, HalvesResidentBytesForThreeModes) {
