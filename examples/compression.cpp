@@ -34,19 +34,17 @@ int main(int argc, char** argv) {
 
   ConsoleTable t({"core", "model bytes", "ratio", "fit", "iters"});
   for (index_t r : {2u, 4u, 8u, 16u}) {
-    TuckerOptions opt;
-    opt.core_dims.assign(x.order(), r);
+    std::vector<index_t> dims(x.order(), r);
     for (order_t m = 0; m < x.order(); ++m) {
-      opt.core_dims[m] = std::min<index_t>(opt.core_dims[m], x.dim(m));
+      dims[m] = std::min<index_t>(dims[m], x.dim(m));
     }
-    opt.max_iters = 8;
-    opt.tol = 1e-4;
-    const TuckerResult model = tucker_hooi(x, opt);
+    const TuckerResult model = tucker_hooi(
+        x, ExecConfig{}.core_dims(dims).max_iters(8).tol(1e-4));
 
     std::string core;
-    for (std::size_t m = 0; m < opt.core_dims.size(); ++m) {
-      core += std::to_string(opt.core_dims[m]);
-      if (m + 1 < opt.core_dims.size()) core += "x";
+    for (std::size_t m = 0; m < dims.size(); ++m) {
+      core += std::to_string(dims[m]);
+      if (m + 1 < dims.size()) core += "x";
     }
     const std::size_t bytes = model_bytes(model);
     t.add_row({core, human_bytes(bytes),

@@ -90,13 +90,13 @@ int main() {
   tuner.train();
   const LaunchSelector selector = tuner.selector();
 
-  CpdOptions opt;
-  opt.rank = 12;
-  opt.max_iters = 20;
-  opt.tol = 1e-5;
-  opt.backend = CpdBackend::ScalFrag;
-  opt.exec.hybrid_cpu_threshold = 4;  // scan slices are tiny: CPU them
-  const CpdResult model = cpd_als(traffic, opt, &dev, &selector);
+  const auto cfg = ExecConfig{}
+                       .backend("coo")
+                       .rank(12)
+                       .max_iters(20)
+                       .tol(1e-5)
+                       .hybrid_threshold(4);  // scan slices are tiny: CPU them
+  const CpdResult model = cpd_als(traffic, cfg, &dev, &selector);
   std::printf("benign-structure CPD fit %.4f (%d iterations)\n\n",
               model.final_fit, model.iterations);
 

@@ -85,16 +85,17 @@ int main() {
   tuner.train();
   const LaunchSelector selector = tuner.selector();
 
-  CpdOptions opt;
   // Slightly overcomplete rank: ALS from a random start can park two
   // components on one phenotype; spare components absorb that without
-  // leaving any phenotype uncovered.
-  opt.rank = kPhenotypes + 2;
-  opt.max_iters = 25;
-  opt.tol = 1e-5;
-  opt.nonnegative = true;  // counts → parts-based factors
-  opt.backend = CpdBackend::ScalFrag;
-  const CpdResult model = cpd_als(ehr, opt, &dev, &selector);
+  // leaving any phenotype uncovered. nonneg(): counts → parts-based
+  // factors.
+  const auto cfg = ExecConfig{}
+                       .backend("coo")
+                       .rank(kPhenotypes + 2)
+                       .max_iters(25)
+                       .tol(1e-5)
+                       .nonneg();
+  const CpdResult model = cpd_als(ehr, cfg, &dev, &selector);
   std::printf("non-negative CPD fit %.4f (%d iterations, %.2f ms simulated "
               "MTTKRP)\n\n",
               model.final_fit, model.iterations, model.mttkrp_sim_ns / 1e6);

@@ -44,14 +44,13 @@ int main() {
       r.total_ns / 1e3, r.plan.size(), r.launches.at(0).str().c_str(),
       r.breakdown.overlap_saved() / 1e3);
 
-  // 4. Full CPD on the simulated device.
-  CpdOptions opt;
-  opt.rank = 8;
-  opt.max_iters = 10;
-  opt.backend = CpdBackend::ScalFrag;
-  const CpdResult model = cpd_als(x, opt, &dev, &selector);
-  std::printf("CPD: fit %.4f after %d iterations, %.2f ms simulated MTTKRP\n",
-              model.final_fit, model.iterations,
-              model.mttkrp_sim_ns / 1e6);
+  // 4. Full CPD on the simulated device — one ExecConfig carries the
+  // backend and every decomposition knob (v2 driver surface).
+  const auto cfg = ExecConfig{}.backend("coo").rank(8).max_iters(10);
+  const CpdResult model = cpd_als(x, cfg, &dev, &selector);
+  std::printf("CPD: fit %.4f after %d iterations, %.2f ms simulated MTTKRP "
+              "(backend %s)\n",
+              model.final_fit, model.iterations, model.mttkrp_sim_ns / 1e6,
+              model.info.backend.c_str());
   return 0;
 }

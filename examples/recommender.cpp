@@ -72,12 +72,9 @@ int main() {
   tuner.train();
   const LaunchSelector selector = tuner.selector();
 
-  CpdOptions opt;
-  opt.rank = 12;
-  opt.max_iters = 15;
-  opt.tol = 1e-5;
-  opt.backend = CpdBackend::ScalFrag;
-  const CpdResult model = cpd_als(ratings, opt, &dev, &selector);
+  const auto cfg =
+      ExecConfig{}.backend("coo").rank(12).max_iters(15).tol(1e-5);
+  const CpdResult model = cpd_als(ratings, cfg, &dev, &selector);
   std::printf("CPD fit %.4f in %d iterations (%.2f ms simulated MTTKRP)\n\n",
               model.final_fit, model.iterations, model.mttkrp_sim_ns / 1e6);
 

@@ -153,23 +153,21 @@ int cmd_mttkrp(const Args& a) {
 
 int cmd_cpd(const Args& a) {
   CooTensor t = load_input(a);
-  CpdOptions opt;
-  opt.rank = static_cast<index_t>(a.get_long("rank", 16));
-  opt.max_iters = static_cast<int>(a.get_long("iters", 10));
-  opt.nonnegative = a.has("nonneg");
+  auto cfg = ExecConfig{}
+                 .rank(static_cast<index_t>(a.get_long("rank", 16)))
+                 .max_iters(static_cast<int>(a.get_long("iters", 10)))
+                 .nonneg(a.has("nonneg"));
   const std::string backend = a.get("backend", "scalfrag");
   gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
 
   if (backend == "reference") {
-    opt.backend = CpdBackend::Reference;
-    const auto r = cpd_als(t, opt);
+    const auto r = cpd_als(t, cfg.backend("coo_host"));
     std::printf("CPD fit %.4f in %d iterations (host reference)\n",
                 r.final_fit, r.iterations);
     return 0;
   }
   if (backend == "parti") {
-    opt.backend = CpdBackend::ParTI;
-    const auto r = cpd_als(t, opt, &dev);
+    const auto r = cpd_als(t, cfg.backend("parti"), &dev);
     std::printf("CPD fit %.4f in %d iterations, %.2f ms simulated MTTKRP "
                 "(%d calls)\n",
                 r.final_fit, r.iterations, r.mttkrp_sim_ns / 1e6,
@@ -177,15 +175,14 @@ int cmd_cpd(const Args& a) {
     return 0;
   }
   SF_CHECK(backend == "scalfrag", "unknown backend: " + backend);
-  opt.backend = CpdBackend::ScalFrag;
-  AutoTuner tuner(dev.spec(), {.rank = opt.rank});
+  AutoTuner tuner(dev.spec(), {.rank = cfg.decomp_rank});
   tuner.train();
   const LaunchSelector sel = tuner.selector();
-  const auto r = cpd_als(t, opt, &dev, &sel);
+  const auto r = cpd_als(t, cfg.backend("coo"), &dev, &sel);
   std::printf("CPD fit %.4f in %d iterations, %.2f ms simulated MTTKRP "
-              "(%d calls)\n",
+              "(%d calls, backend %s)\n",
               r.final_fit, r.iterations, r.mttkrp_sim_ns / 1e6,
-              r.mttkrp_calls);
+              r.mttkrp_calls, r.info.backend.c_str());
   return 0;
 }
 

@@ -1,0 +1,148 @@
+// scalfrag_serve — the multi-tenant decomposition service, driven from
+// the command line: submit a batch of CPD / Tucker / MTTKRP jobs from
+// multiple weighted tenants against a shared simulated device group,
+// with admission control and a plan cache amortizing preparation
+// across jobs.
+//
+// Usage:
+//   scalfrag_serve [--devices N] [--jobs specs.json] [--budget-mib M]
+//                  [--report out.json]
+//
+// `--jobs` takes a JSON array of JobSpec objects (docs/service.md has
+// the schema; JobSpec::to_json prints it). Without it, a built-in
+// demo mix runs: two tenants with 3:1 weights sharing tensors, so the
+// output shows WRR interleaving, admission verdicts, and cache hits.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scalfrag/scalfrag.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace scalfrag;
+using namespace scalfrag::service;
+
+std::vector<JobSpec> demo_mix() {
+  std::vector<JobSpec> jobs;
+  const auto add = [&](const std::string& tenant, int weight, JobKind kind,
+                       const std::string& tensor, ExecConfig cfg) {
+    JobSpec s;
+    s.tenant = tenant;
+    s.weight = weight;
+    s.kind = kind;
+    s.tensor = tensor;
+    s.scale = 1.0 / 512;
+    s.exec = std::move(cfg);
+    jobs.push_back(std::move(s));
+  };
+
+  // Tenant "prod" (weight 3): repeated CPD + MTTKRP on the same two
+  // recipes — the plan cache pays off from the second job on.
+  add("prod", 3, JobKind::Cpd, "nips",
+      ExecConfig{}.backend("coo").rank(16).max_iters(5));
+  add("prod", 3, JobKind::Mttkrp, "nips", ExecConfig{}.backend("coo").rank(16));
+  add("prod", 3, JobKind::Cpd, "uber",
+      ExecConfig{}.backend("auto").rank(16).max_iters(5));
+  add("prod", 3, JobKind::Mttkrp, "nips", ExecConfig{}.backend("coo").rank(16));
+  add("prod", 3, JobKind::Cpd, "nips",
+      ExecConfig{}.backend("coo").rank(16).max_iters(5));
+
+  // Tenant "research" (weight 1): a Tucker job, an auto-selected
+  // MTTKRP, and one job sized to fail admission.
+  // Scaled nips is {21, 24, 118, 2}: core dims must fit each mode.
+  add("research", 1, JobKind::Tucker, "nips",
+      ExecConfig{}.core_dims({4, 4, 4, 2}).max_iters(4));
+  add("research", 1, JobKind::Mttkrp, "uber",
+      ExecConfig{}.backend("auto").rank(16));
+  add("research", 1, JobKind::Mttkrp, "vast",
+      ExecConfig{}.backend("coo").rank(64).memory_budget(1 << 20));
+  return jobs;
+}
+
+std::vector<JobSpec> load_jobs(const std::string& path) {
+  const obs::JsonValue v = obs::JsonValue::parse_file(path);
+  std::vector<JobSpec> jobs;
+  for (const obs::JsonValue& j : v.as_array()) {
+    jobs.push_back(JobSpec::from_json(j));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int devices = 2;
+  std::string jobs_path;
+  std::string report_path;
+  std::size_t budget_bytes = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    const auto need = [&](const char* opt) {
+      SF_CHECK(i + 1 < argc, std::string(opt) + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (s == "--devices") {
+      devices = std::stoi(need("--devices"));
+    } else if (s == "--jobs") {
+      jobs_path = need("--jobs");
+    } else if (s == "--budget-mib") {
+      budget_bytes = std::stoull(need("--budget-mib")) << 20;
+    } else if (s == "--report") {
+      report_path = need("--report");
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", s.c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<JobSpec> jobs =
+      jobs_path.empty() ? demo_mix() : load_jobs(jobs_path);
+  std::printf("scalfrag_serve: %zu jobs, %d simulated device(s)\n\n",
+              jobs.size(), devices);
+
+  DecompositionService svc({.num_devices = devices,
+                            .device_budget_bytes = budget_bytes});
+  const std::vector<JobResult> results = svc.run_batch(jobs);
+
+  std::printf("%4s %-10s %-7s %-7s %-10s %4s %5s %5s %10s  %s\n", "seq",
+              "tenant", "kind", "tensor", "backend", "dev", "tcach",
+              "pcach", "sim (us)", "state");
+  for (const JobResult& r : results) {
+    std::printf("%4llu %-10s %-7s %-7s %-10s %4d %5s %5s %10.1f  %s%s%s\n",
+                static_cast<unsigned long long>(r.dispatch_seq),
+                r.spec.tenant.c_str(), job_kind_name(r.spec.kind),
+                r.spec.tensor.c_str(),
+                r.info.backend.empty() ? "-" : r.info.backend.c_str(),
+                r.device, r.tensor_cache_hit ? "hit" : "-",
+                r.plan_cache_hit ? "hit" : "-",
+                static_cast<double>(r.sim_cost_ns) / 1e3,
+                job_state_name(r.state), r.error.empty() ? "" : ": ",
+                r.error.c_str());
+  }
+
+  const ServiceStats st = svc.stats();
+  std::printf(
+      "\ncompleted %llu  rejected %llu  failed %llu  "
+      "plan-cache %llu hit / %llu miss\n"
+      "sim makespan %.1f us  jobs/s (sim) %.1f  "
+      "p50 %.1f us  p99 %.1f us\n",
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.failed),
+      static_cast<unsigned long long>(st.cache_hits),
+      static_cast<unsigned long long>(st.cache_misses),
+      static_cast<double>(st.makespan_ns) / 1e3, st.jobs_per_sec_sim,
+      static_cast<double>(st.p50_latency_ns) / 1e3,
+      static_cast<double>(st.p99_latency_ns) / 1e3);
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << svc.report_json();
+    std::printf("\nwrote %s\n", report_path.c_str());
+  }
+  return st.failed == 0 ? 0 : 1;
+}

@@ -36,6 +36,43 @@ DeviceGroup::DeviceGroup(DeviceSpec spec, int num_devices, LinkSpec link)
   for (int i = 0; i < num_devices; ++i) {
     devices_.push_back(std::make_unique<SimDevice>(spec_));
   }
+  leased_.assign(static_cast<std::size_t>(num_devices), false);
+}
+
+int DeviceGroup::try_lease() {
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  for (std::size_t i = 0; i < leased_.size(); ++i) {
+    if (!leased_[i]) {
+      leased_[i] = true;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void DeviceGroup::lease(int i) {
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  SF_CHECK(i >= 0 && static_cast<std::size_t>(i) < leased_.size(),
+           "device index out of range");
+  SF_CHECK(!leased_[static_cast<std::size_t>(i)],
+           "device " + std::to_string(i) + " is already leased");
+  leased_[static_cast<std::size_t>(i)] = true;
+}
+
+void DeviceGroup::release(int i) {
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  SF_CHECK(i >= 0 && static_cast<std::size_t>(i) < leased_.size(),
+           "device index out of range");
+  SF_CHECK(leased_[static_cast<std::size_t>(i)],
+           "device " + std::to_string(i) + " is not leased");
+  leased_[static_cast<std::size_t>(i)] = false;
+}
+
+int DeviceGroup::leased() const {
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  int n = 0;
+  for (const bool b : leased_) n += b ? 1 : 0;
+  return n;
 }
 
 sim_ns DeviceGroup::hop_ns(std::size_t bytes) const {

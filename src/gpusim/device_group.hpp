@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/types.hpp"
@@ -71,11 +72,29 @@ class DeviceGroup {
   /// reset_timeline() on every member.
   void reset_timelines();
 
+  // --- exclusive leases -------------------------------------------------
+  // Service-style ownership over members: a long-running multi-tenant
+  // scheduler leases a device per job so two jobs never interleave ops
+  // on one timeline. Leases are advisory bookkeeping (device(i) still
+  // hands out references) — the SF_CHECKs turn double-lease bugs into
+  // immediate failures instead of corrupted timelines.
+
+  /// Lease the lowest-indexed free device; -1 when all are leased.
+  int try_lease();
+  /// Lease device `i`. Throws if `i` is already leased.
+  void lease(int i);
+  /// Return device `i`. Throws if `i` was not leased.
+  void release(int i);
+  /// Number of currently leased devices.
+  int leased() const;
+
  private:
   DeviceSpec spec_;
   LinkSpec link_;
   // unique_ptr for stable references while threads hold SimDevice&.
   std::vector<std::unique_ptr<SimDevice>> devices_;
+  mutable std::mutex lease_mu_;
+  std::vector<bool> leased_;
 };
 
 }  // namespace scalfrag::gpusim

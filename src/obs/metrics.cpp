@@ -64,6 +64,14 @@ StageStat MetricsRegistry::stage(const std::string& name) const {
   return it == stages_.end() ? StageStat{} : it->second;
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  s.counters = counters();
+  s.gauges = gauges();
+  s.stages = stages();
+  return s;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   // Snapshot first so self-merge and lock ordering are non-issues.
   const auto counters = other.counters();

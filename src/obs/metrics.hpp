@@ -36,6 +36,25 @@ struct StageStat {
   }
 };
 
+/// A point-in-time copy of a registry's contents — the value type a
+/// driver result (RunInfo) embeds so "what this run recorded" survives
+/// after the live registry moves on or is cleared. Copies are taken
+/// under the registry lock; the snapshot itself is a plain value.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, StageStat> stages;
+
+  std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  double gauge(const std::string& name) const {
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? 0.0 : it->second;
+  }
+};
+
 class MetricsRegistry {
  public:
   /// Monotonic counter (events, bytes, segments, ...).
@@ -129,6 +148,10 @@ class MetricsRegistry {
   std::uint64_t counter(const std::string& name) const;
   double gauge(const std::string& name) const;
   StageStat stage(const std::string& name) const;
+
+  /// Counters + gauges + stages copied under one lock acquisition per
+  /// section — the consistent view RunInfo embeds.
+  MetricsSnapshot snapshot() const;
 
   /// Fold another registry into this one (counters add, gauges
   /// overwrite, stage stats merge).

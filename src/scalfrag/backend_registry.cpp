@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/timer.hpp"
+#include "parti/parti_executor.hpp"
 #include "scalfrag/autotune.hpp"
 #include "scalfrag/pipeline.hpp"
 #include "scalfrag/streaming.hpp"
@@ -78,6 +80,26 @@ class CsfTiledBackend final : public MttkrpBackend {
   CsfTiledVariant variant_;
 };
 
+/// The ParTI baseline flow (one whole-tensor H2D + one kernel under the
+/// static default launch) — the comparison point every figure bench
+/// plots, now reachable by name so the CpdBackend::ParTI shim converts
+/// onto the registry like every other legacy enum value.
+class PartiBackend final : public MttkrpBackend {
+ public:
+  const std::string& name() const noexcept override {
+    static const std::string n = "parti";
+    return n;
+  }
+  DenseMatrix run(gpusim::SimDevice& dev, const CooSpan& t,
+                  const FactorList& factors, order_t mode,
+                  const ExecConfig& cfg,
+                  const LaunchSelector*) const override {
+    parti::ExecOptions opt;
+    opt.launch = cfg.launch_override;
+    return parti::run_mttkrp(dev, t, factors, mode, opt).output;
+  }
+};
+
 /// The out-of-core pipeline: external sort under
 /// ExecConfig::memory_budget_bytes, then chunk-at-a-time execution
 /// through the classic pipeline (scalfrag/streaming.hpp).
@@ -134,6 +156,7 @@ BackendRegistry::BackendRegistry() {
                                         CsfTiledVariant::Coop));
   add(std::make_shared<CsfTiledBackend>("csf_tiled_serial",
                                         CsfTiledVariant::Serial));
+  add(std::make_shared<PartiBackend>());
   add(std::make_shared<CooStreamBackend>());
   add(std::make_shared<AutoBackend>());
 }
@@ -188,27 +211,38 @@ BackendRun run_mttkrp_backend(gpusim::SimDevice& dev, const CooSpan& t,
   cfg.validate();
   BackendRun run;
   ExecConfig sub = cfg;
+  // Host-only backends never touch the device timeline; device backends
+  // reset it at entry. Comparing the makespan before/after tells the
+  // two apart without a per-backend table.
+  const sim_ns sim_before = dev.breakdown().makespan;
+  WallTimer prep_timer;
   if (cfg.backend_name == "auto") {
     const TensorFeatures feat = TensorFeatures::extract(t, mode);
     const index_t rank = factors.at(mode).cols();
     run.choice = joint != nullptr ? joint->choose(feat, rank)
                                   : heuristic_joint_choice(feat, rank);
-    sub.backend_name = run.choice.backend;
-    if (run.choice.has_launch && !sub.launch_override.has_value()) {
-      sub.launch_override = run.choice.launch;
-    }
+    apply_joint_choice(sub, run.choice);
+    run.info.auto_selected = true;
+    run.info.choice = run.choice;
     if (cfg.metrics_sink != nullptr) {
       cfg.metrics_sink->count(std::string("backend/auto/") +
                               run.choice.backend);
     }
   }
+  run.info.prepare_seconds = prep_timer.seconds();
   const MttkrpBackend& backend =
       BackendRegistry::instance().resolve(sub.backend_name);
   run.backend = sub.backend_name;
+  run.info.backend = run.backend;
   if (cfg.metrics_sink != nullptr) {
     cfg.metrics_sink->count(std::string("backend/run/") + run.backend);
   }
   run.output = backend.run(dev, t, factors, mode, sub, selector);
+  const sim_ns sim_after = dev.breakdown().makespan;
+  run.info.sim_total_ns = sim_after == sim_before ? 0 : sim_after;
+  if (cfg.metrics_sink != nullptr) {
+    run.info.metrics = cfg.metrics_sink->snapshot();
+  }
   return run;
 }
 

@@ -30,6 +30,7 @@
 #include "common/error.hpp"
 #include "scalfrag/exec_config.hpp"
 #include "scalfrag/format_select.hpp"
+#include "scalfrag/run_info.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/mttkrp_ref.hpp"
 
@@ -96,6 +97,9 @@ struct BackendRun {
   std::string backend;
   /// The joint decision (meaningful when the config said "auto").
   JointChoice choice;
+  /// Uniform driver record (backend/choice duplicated there plus the
+  /// metrics snapshot) — scalfrag/run_info.hpp.
+  RunInfo info;
 };
 
 /// Resolve cfg.backend_name in the registry and run it. For "auto" the

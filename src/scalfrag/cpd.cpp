@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "common/timer.hpp"
 #include "parti/parti_executor.hpp"
+#include "scalfrag/backend_registry.hpp"
 #include "tensor/linalg.hpp"
 #include "tensor/mode_views.hpp"
 
@@ -16,6 +18,18 @@ const char* cpd_backend_name(CpdBackend b) {
       return "ParTI";
     case CpdBackend::ScalFrag:
       return "ScalFrag";
+  }
+  return "?";
+}
+
+const char* cpd_backend_registry_name(CpdBackend b) {
+  switch (b) {
+    case CpdBackend::Reference:
+      return "coo_host";
+    case CpdBackend::ParTI:
+      return "parti";
+    case CpdBackend::ScalFrag:
+      return "coo";
   }
   return "?";
 }
@@ -34,39 +48,84 @@ DenseMatrix gram_hadamard(const FactorList& factors,
   return v;
 }
 
+/// How one ALS sweep executes its MTTKRPs.
+enum class CpdPath { Host, Parti, CooPlan, CooMulti, Csf, Generic };
+
+bool is_csf_backend(const std::string& name) {
+  return name.rfind("csf_tiled", 0) == 0;
+}
+
 }  // namespace
 
-CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
-                  gpusim::SimDevice* dev, const LaunchSelector* selector) {
-  SF_CHECK(opt.rank > 0, "rank must be positive");
-  SF_CHECK(opt.max_iters > 0, "max_iters must be positive");
+CpdResult cpd_als(const CooTensor& x, const ExecConfig& cfg,
+                  gpusim::SimDevice* dev, const LaunchSelector* selector,
+                  const SharedPlans& shared) {
   SF_CHECK(x.nnz() > 0, "cannot decompose an empty tensor");
-  if (opt.backend != CpdBackend::Reference) {
-    SF_CHECK(dev != nullptr,
-             "ParTI/ScalFrag backends need a simulated device");
-  }
+  cfg.validate();
+  const index_t rank = cfg.decomp_rank;
+  const int max_iters =
+      cfg.decomp_max_iters > 0 ? cfg.decomp_max_iters : 10;
+  const double tol = cfg.decomp_tol >= 0.0 ? cfg.decomp_tol : 1e-4;
+  const std::uint64_t seed = cfg.decomp_seed != 0 ? cfg.decomp_seed : 5;
 
   const order_t order = x.order();
-  const index_t rank = opt.rank;
-  obs::MetricsRegistry* const met = opt.exec.metrics_sink;
-  const bool multidev =
-      opt.backend == CpdBackend::ScalFrag && opt.exec.num_devices > 1;
+  obs::MetricsRegistry* const met = cfg.metrics_sink;
 
-  // One canonical sort shared by every backend (MTTKRP kernels require
-  // mode order): a single sorted copy plus per-mode gather permutations
-  // instead of the old one-fully-sorted-copy-per-mode. The
-  // single-device ScalFrag backend moves the views into its MttkrpPlan;
-  // the other backends run straight off ModeViews::view(mode).
+  CpdResult res;
+  WallTimer prep_timer;
+
+  // One canonical sort shared by every backend that walks mode views
+  // (MTTKRP kernels require mode order): a single sorted copy plus
+  // per-mode gather permutations. The single-device "coo" backend moves
+  // the views into its MttkrpPlan; backends replaying a SharedPlans
+  // entry (or the CSF plans, which sort internally) skip the sort
+  // entirely — that skip is the service's cache-hit fast path.
+  std::string backend = cfg.backend_name;
+  const bool multidev = backend == "coo" && cfg.num_devices > 1;
+  auto needs_views = [&](const std::string& name) {
+    if (name == "coo") return multidev || shared.coo == nullptr;
+    if (is_csf_backend(name)) return false;
+    return true;  // coo_host, parti, coo_stream, future generics, auto
+  };
+
   std::optional<ModeViews> views;
-  {
+  auto ensure_views = [&] {
+    if (views) return;
     std::optional<obs::MetricsRegistry::ScopedSpan> span;
     if (met != nullptr) span.emplace(*met, "cpd/sort_modes");
     views.emplace(x, met);
-  }
+  };
+  if (needs_views(backend)) ensure_views();
 
-  CpdResult res;
+  // "auto": one joint decision from mode-0 features, then dispatch on
+  // the concrete name like any explicit config.
+  if (backend == "auto") {
+    res.info.choice = heuristic_joint_choice(
+        TensorFeatures::extract(views->view(0), 0), rank);
+    res.info.auto_selected = true;
+    backend = res.info.choice.backend;
+    if (met != nullptr) met->count("backend/auto/" + backend);
+  }
+  res.info.backend = backend;
+
+  CpdPath path;
+  if (backend == "coo_host") {
+    path = CpdPath::Host;
+  } else if (backend == "parti") {
+    path = CpdPath::Parti;
+  } else if (backend == "coo") {
+    path = multidev ? CpdPath::CooMulti : CpdPath::CooPlan;
+  } else if (is_csf_backend(backend)) {
+    path = CpdPath::Csf;
+  } else {
+    path = CpdPath::Generic;
+  }
+  const bool host_only = path == CpdPath::Host || path == CpdPath::Csf;
+  SF_CHECK(host_only || dev != nullptr,
+           "backend \"" + backend + "\" needs a simulated device");
+
   res.factors.reserve(order);
-  Rng rng(opt.seed);
+  Rng rng(seed);
   for (order_t m = 0; m < order; ++m) {
     DenseMatrix f(x.dim(m), rank);
     f.randomize(rng);
@@ -83,45 +142,81 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
   }
   const double norm_x = std::sqrt(norm_x_sq);
 
-  // ScalFrag backend, single device: plan once (per-mode sorting,
-  // segmentation, and launch selection are factor-independent), replay
-  // every iteration. Sharded: a DeviceGroup cloned from the driver
-  // device's spec runs each MTTKRP through MultiPipelineExecutor.
-  std::optional<MttkrpPlan> plan;
+  // "coo" single device: plan once (per-mode sorting, segmentation, and
+  // launch selection are factor-independent), replay every iteration —
+  // unless the caller already holds a cached plan. Sharded: a
+  // DeviceGroup cloned from the driver device's spec runs each MTTKRP
+  // through MultiPipelineExecutor. CSF: per-mode trees + tilings, built
+  // or injected the same way.
+  std::optional<MttkrpPlan> own_coo_plan;
+  std::optional<CsfPlan> own_csf_plan;
+  const MttkrpPlan* coo_plan = shared.coo;
+  const CsfPlan* csf_plan = shared.csf;
   std::optional<gpusim::DeviceGroup> group;
-  if (opt.backend == CpdBackend::ScalFrag) {
-    if (multidev) {
-      group.emplace(dev->spec(), opt.exec.num_devices, opt.exec.link);
+  if (path == CpdPath::CooPlan) {
+    if (coo_plan != nullptr) {
+      SF_CHECK(coo_plan->rank() == rank,
+               "shared MttkrpPlan rank does not match cfg.decomp_rank");
+      if (met != nullptr) met->count("cpd/plan_reuse");
     } else {
       std::optional<obs::MetricsRegistry::ScopedSpan> span;
       if (met != nullptr) span.emplace(*met, "cpd/plan");
-      plan.emplace(std::move(*views), rank, *dev, selector, opt.exec);
+      ExecConfig plan_cfg = cfg;
+      plan_cfg.backend_name = "coo";
+      own_coo_plan.emplace(std::move(*views), rank, *dev, selector,
+                           plan_cfg);
       views.reset();
+      coo_plan = &*own_coo_plan;
     }
+  } else if (path == CpdPath::Csf) {
+    if (csf_plan != nullptr) {
+      if (met != nullptr) met->count("cpd/plan_reuse");
+    } else {
+      std::optional<obs::MetricsRegistry::ScopedSpan> span;
+      if (met != nullptr) span.emplace(*met, "cpd/plan");
+      ExecConfig plan_cfg = cfg;
+      plan_cfg.backend_name = backend;
+      own_csf_plan.emplace(x, plan_cfg);
+      csf_plan = &*own_csf_plan;
+    }
+  } else if (path == CpdPath::CooMulti) {
+    group.emplace(dev->spec(), cfg.num_devices, cfg.link);
   }
+  res.info.prepare_seconds = prep_timer.seconds();
 
   auto run_mttkrp = [&](order_t mode) -> DenseMatrix {
-    switch (opt.backend) {
-      case CpdBackend::Reference:
+    switch (path) {
+      case CpdPath::Host:
         return mttkrp_coo_par(views->view(mode), res.factors, mode,
-                              opt.exec.host_for_run());
-      case CpdBackend::ParTI: {
+                              cfg.host_for_run());
+      case CpdPath::Parti: {
         auto r = parti::run_mttkrp(*dev, views->view(mode), res.factors,
                                    mode);
         res.mttkrp_sim_ns += r.total_ns;
         ++res.mttkrp_calls;
         return std::move(r.output);
       }
-      case CpdBackend::ScalFrag: {
-        if (multidev) {
-          auto r = run_multi_pipeline(*group, views->view(mode), res.factors,
-                                      mode, opt.exec, selector);
-          res.mttkrp_sim_ns += r.total_ns;
-          ++res.mttkrp_calls;
-          return std::move(r.output);
-        }
-        auto r = plan->run(res.factors, mode);
+      case CpdPath::CooMulti: {
+        auto r = run_multi_pipeline(*group, views->view(mode), res.factors,
+                                    mode, cfg, selector);
         res.mttkrp_sim_ns += r.total_ns;
+        ++res.mttkrp_calls;
+        return std::move(r.output);
+      }
+      case CpdPath::CooPlan: {
+        auto r = coo_plan->run_on(*dev, res.factors, mode, met);
+        res.mttkrp_sim_ns += r.total_ns;
+        ++res.mttkrp_calls;
+        return std::move(r.output);
+      }
+      case CpdPath::Csf:
+        return csf_plan->run_on(res.factors, mode, met);
+      case CpdPath::Generic: {
+        ExecConfig sub = cfg;
+        sub.backend_name = backend;
+        auto r = run_mttkrp_backend(*dev, views->view(mode), res.factors,
+                                    mode, sub, selector);
+        res.mttkrp_sim_ns += r.info.sim_total_ns;
         ++res.mttkrp_calls;
         return std::move(r.output);
       }
@@ -130,7 +225,7 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
   };
 
   double prev_fit = 0.0;
-  for (int it = 0; it < opt.max_iters; ++it) {
+  for (int it = 0; it < max_iters; ++it) {
     std::optional<obs::MetricsRegistry::ScopedSpan> it_span;
     if (met != nullptr) it_span.emplace(*met, "cpd/iteration");
     DenseMatrix last_m;  // MTTKRP result of the final mode (fit calc)
@@ -139,7 +234,7 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
       const DenseMatrix v = gram_hadamard(res.factors, grams, mode);
       DenseMatrix updated = linalg::matmul(m, linalg::pinv_spd(v));
 
-      if (opt.nonnegative) {
+      if (cfg.cpd_nonnegative) {
         // Projected ALS: clamp to the non-negative orthant (a small
         // positive floor keeps Gram matrices from going singular when
         // whole columns would otherwise zero out).
@@ -191,11 +286,12 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
     const double fit = 1.0 - std::sqrt(resid_sq) / norm_x;
     res.fit_history.push_back(fit);
     res.iterations = it + 1;
-    if (it > 0 && std::abs(fit - prev_fit) < opt.tol) break;
+    if (it > 0 && std::abs(fit - prev_fit) < tol) break;
     prev_fit = fit;
   }
 
   res.final_fit = res.fit_history.empty() ? 0.0 : res.fit_history.back();
+  res.info.sim_total_ns = res.mttkrp_sim_ns;
   if (met != nullptr) {
     met->count("cpd/runs");
     met->count("cpd/iterations", static_cast<std::uint64_t>(res.iterations));
@@ -203,6 +299,7 @@ CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
                static_cast<std::uint64_t>(res.mttkrp_calls));
     met->set("cpd/final_fit", res.final_fit);
     met->set("cpd/mttkrp_sim_ns", static_cast<double>(res.mttkrp_sim_ns));
+    res.info.metrics = met->snapshot();
   }
   return res;
 }

@@ -1,14 +1,21 @@
 #pragma once
 // CPD-ALS (paper Algorithm 1): alternating least squares for the
-// canonical polyadic decomposition, with MTTKRP pluggable across three
-// backends — the host reference, the ParTI baseline flow, and the
-// ScalFrag pipeline. This is the application that motivates the whole
-// paper ("the computation of the CPD for a sparse tensor is
-// predominantly influenced by the MTTKRP operation").
+// canonical polyadic decomposition, with MTTKRP pluggable across the
+// backend registry — the host engine, the ParTI baseline flow, the
+// ScalFrag pipeline (single- or multi-device), and the CSF tiled
+// engine. This is the application that motivates the whole paper ("the
+// computation of the CPD for a sparse tensor is predominantly
+// influenced by the MTTKRP operation").
+//
+// Configuration is one ExecConfig: backend by registry name, rank /
+// max_iters / tol / seed through the decomposition knobs
+// (ExecConfig::rank(r).max_iters(n).tol(t)). CpdOptions survives below
+// only as a deprecated conversion shim.
 
 #include <optional>
 
 #include "gpusim/engine.hpp"
+#include "scalfrag/csf_plan.hpp"
 #include "scalfrag/multi_pipeline.hpp"
 #include "scalfrag/pipeline.hpp"
 #include "scalfrag/plan.hpp"
@@ -20,25 +27,35 @@ enum class CpdBackend { Reference, ParTI, ScalFrag };
 
 const char* cpd_backend_name(CpdBackend b);
 
-struct CpdOptions {
+/// Registry backend name the legacy enum maps onto.
+const char* cpd_backend_registry_name(CpdBackend b);
+
+/// Legacy CPD options. Thin conversion shim: every field maps onto an
+/// ExecConfig decomposition knob (see docs/api.md). In-tree code must
+/// not use it — CI builds with -Werror=deprecated-declarations.
+struct [[deprecated(
+    "use scalfrag::ExecConfig rank()/max_iters()/tol()/seed()/nonneg() "
+    "and backend(name) (docs/api.md)")]] CpdOptions {
   index_t rank = 16;
   int max_iters = 10;
   /// Stop when the fit improves by less than this between iterations.
   double tol = 1e-4;
   std::uint64_t seed = 5;
   CpdBackend backend = CpdBackend::Reference;
-  /// Project factors onto the non-negative orthant after each update
-  /// (projected ALS). For inherently non-negative data (counts,
-  /// ratings) this yields interpretable parts-based factors at a small
-  /// fit cost.
+  /// Project factors onto the non-negative orthant after each update.
   bool nonnegative = false;
-  /// Execution config shared by every backend: the ScalFrag backend
-  /// reads all of it (exec.devices(n) with n > 1 shards each MTTKRP
-  /// across a simulated DeviceGroup); the Reference backend uses the
-  /// host-engine block (exec.threads/grain/strategy — strategy Serial
-  /// reproduces the single-threaded reference exactly); every backend
-  /// reports through exec.metrics(&reg).
   ExecConfig exec;
+
+  operator ExecConfig() const {
+    ExecConfig cfg = exec;
+    cfg.backend_name = cpd_backend_registry_name(backend);
+    cfg.decomp_rank = rank;
+    cfg.decomp_max_iters = max_iters;
+    cfg.decomp_tol = tol;
+    cfg.decomp_seed = seed;
+    cfg.cpd_nonnegative = nonnegative;
+    return cfg;
+  }
 };
 
 struct CpdResult {
@@ -49,16 +66,34 @@ struct CpdResult {
   int iterations = 0;
 
   /// Simulated accelerator time spent in MTTKRP across the run
-  /// (Reference backend leaves this 0).
+  /// (host-only backends leave this 0).
   sim_ns mttkrp_sim_ns = 0;
   int mttkrp_calls = 0;
+
+  /// Uniform driver record (scalfrag/run_info.hpp).
+  RunInfo info;
 };
 
-/// Run CPD-ALS on `x`. For the ParTI/ScalFrag backends a SimDevice is
-/// required; `selector` enables adaptive launching for ScalFrag.
-CpdResult cpd_als(const CooTensor& x, const CpdOptions& opt,
+/// Prebuilt per-tensor plans a caller injects so cpd_als skips the
+/// canonical sort and plan construction — the decomposition service's
+/// PlanCache hands these out across jobs. Non-owning; the plans must
+/// outlive the call and match the tensor and cfg.decomp_rank.
+struct SharedPlans {
+  const MttkrpPlan* coo = nullptr;  // backend "coo", single-device
+  const CsfPlan* csf = nullptr;     // the csf_tiled backends
+};
+
+/// Run CPD-ALS on `x` under `cfg`. Backends that execute on the
+/// simulated device ("coo", "parti", "coo_stream", and "auto" when it
+/// resolves to one) require `dev`; "coo_host" and the csf_tiled
+/// backends are host-only. `selector` enables adaptive launching for
+/// the COO pipeline. "auto" resolves through the built-in heuristic
+/// from mode-0 features — callers holding a JointSelector (the
+/// service) resolve the choice themselves and pass a concrete name.
+CpdResult cpd_als(const CooTensor& x, const ExecConfig& cfg = {},
                   gpusim::SimDevice* dev = nullptr,
-                  const LaunchSelector* selector = nullptr);
+                  const LaunchSelector* selector = nullptr,
+                  const SharedPlans& shared = {});
 
 /// Reconstruct one tensor entry from the factors (model evaluation):
 /// x̂(i…) = Σ_f λ_f Π_m A⁽ᵐ⁾(i_m, f).

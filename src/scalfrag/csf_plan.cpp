@@ -68,4 +68,19 @@ DenseMatrix CsfPlan::run(const FactorList& factors, order_t mode) const {
   return out;
 }
 
+DenseMatrix CsfPlan::run_on(const FactorList& factors, order_t mode,
+                            obs::MetricsRegistry* sink) const {
+  CsfTiledOptions opt;
+  opt.variant = variant_;
+  opt.fiber_budget = cfg_.csf_fiber_budget;
+  opt.host = cfg_.host_exec;
+  if (sink != nullptr && opt.host.metrics == nullptr) {
+    opt.host.metrics = sink;
+  }
+  DenseMatrix out(csf_.at(mode).dims()[mode], factors.at(mode).cols());
+  mttkrp_csf_tiled(csf_.at(mode), tilings_.at(mode), factors, out,
+                   /*accumulate=*/false, opt);
+  return out;
+}
+
 }  // namespace scalfrag

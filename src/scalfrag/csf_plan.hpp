@@ -45,6 +45,13 @@ class CsfPlan {
   /// Convenience overload allocating the output.
   DenseMatrix run(const FactorList& factors, order_t mode) const;
 
+  /// Cache-friendly replay with a per-run metrics override: identical
+  /// execution to run(), reporting into `sink` instead of the config's
+  /// baked-in pointer (how the service's shared PlanCache reports into
+  /// per-job registries).
+  DenseMatrix run_on(const FactorList& factors, order_t mode,
+                     obs::MetricsRegistry* sink) const;
+
  private:
   ExecConfig cfg_;
   CsfTiledVariant variant_ = CsfTiledVariant::Sync;

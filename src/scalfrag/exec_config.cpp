@@ -21,6 +21,11 @@ void ExecConfig::validate() const {
   SF_CHECK(num_devices == 1 || backend_name == "coo",
            "multi-device execution is a COO-pipeline feature — backend "
            "must be \"coo\" when devices > 1");
+  SF_CHECK(decomp_rank > 0, "decomposition rank must be positive");
+  SF_CHECK(decomp_max_iters >= 0,
+           "decomp_max_iters must be >= 0 (0 = driver default)");
+  // decomp_tol: any negative value means "driver default"; 0 disables
+  // the early stop — both are valid, so there is nothing to reject.
 }
 
 }  // namespace scalfrag

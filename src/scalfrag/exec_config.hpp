@@ -92,6 +92,27 @@ struct ExecConfig {
   /// backends ignore it.
   std::size_t memory_budget_bytes = 0;
 
+  // --- decomposition drivers ------------------------------------------
+  /// CP rank / per-call MTTKRP rank for the decomposition drivers
+  /// (cpd_als; also what JobSpec carries for MTTKRP service jobs).
+  index_t decomp_rank = 16;
+  /// ALS/HOOI iteration cap. 0 = the driver's default (CPD 10,
+  /// Tucker 15) so one config can drive either decomposition.
+  int decomp_max_iters = 0;
+  /// Fit-improvement stopping tolerance. Negative = driver default
+  /// (CPD 1e-4, Tucker 1e-5); 0 is meaningful — it disables the early
+  /// stop so every iteration runs.
+  double decomp_tol = -1.0;
+  /// Factor-initialization seed. 0 = driver default (CPD 5, Tucker 7 —
+  /// the legacy option-struct defaults, so converted shims reproduce
+  /// legacy runs bit-for-bit).
+  std::uint64_t decomp_seed = 0;
+  /// Projected ALS: clamp CPD factors to the non-negative orthant.
+  bool cpd_nonnegative = false;
+  /// Tucker core size per mode (rₙ). Required by tucker_hooi; ignored
+  /// by every other driver.
+  std::vector<index_t> tucker_core_dims;
+
   // --- observability ---------------------------------------------------
   /// Optional sink: executors record phase spans, plan counters, and
   /// device-timeline breakdowns here. LIFETIME: the registry must
@@ -173,6 +194,15 @@ struct ExecConfig {
   }
   ExecConfig& metrics(obs::MetricsRegistry* reg) {
     metrics_sink = reg;
+    return *this;
+  }
+  ExecConfig& rank(index_t r) { decomp_rank = r; return *this; }
+  ExecConfig& max_iters(int n) { decomp_max_iters = n; return *this; }
+  ExecConfig& tol(double t) { decomp_tol = t; return *this; }
+  ExecConfig& seed(std::uint64_t s) { decomp_seed = s; return *this; }
+  ExecConfig& nonneg(bool on = true) { cpd_nonnegative = on; return *this; }
+  ExecConfig& core_dims(std::vector<index_t> dims) {
+    tucker_core_dims = std::move(dims);
     return *this;
   }
 

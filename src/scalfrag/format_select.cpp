@@ -5,6 +5,7 @@
 
 #include "common/timer.hpp"
 #include "scalfrag/autotune.hpp"
+#include "scalfrag/exec_config.hpp"
 #include "tensor/csf.hpp"
 #include "tensor/fcoo.hpp"
 #include "tensor/generator.hpp"
@@ -240,6 +241,13 @@ JointChoice JointSelector::choose(const TensorFeatures& feat,
     c.has_launch = true;
   }
   return c;
+}
+
+void apply_joint_choice(ExecConfig& cfg, const JointChoice& choice) {
+  cfg.backend_name = choice.backend;
+  if (choice.has_launch && !cfg.launch_override.has_value()) {
+    cfg.launch_override = choice.launch;
+  }
 }
 
 }  // namespace scalfrag

@@ -108,6 +108,15 @@ struct JointChoice {
 /// slice-skewed tensors, COO otherwise.
 JointChoice heuristic_joint_choice(const TensorFeatures& feat, index_t rank);
 
+struct ExecConfig;
+
+/// Imprint a (possibly cached) joint decision onto a config: backend
+/// name always, predicted launch as launch_override when the choice
+/// carries one and the caller hasn't forced a launch already. This is
+/// the replay half of joint selection — the service's plan cache stores
+/// the JointChoice once and re-applies it per job, skipping inference.
+void apply_joint_choice(ExecConfig& cfg, const JointChoice& choice);
+
 /// Joint (format, launch) predictor over non-owning model pointers.
 /// Deterministic for fixed features: both underlying models are frozen
 /// trees. Only the two first-class execution backends (COO pipeline,

@@ -246,6 +246,9 @@ PipelineResult PipelineExecutor::run(const CooSpan& t,
     gpusim::record_timeline(*dev_, *met, "gpu");
     met->set("pipeline/selection_seconds", res.selection_seconds);
   }
+  res.info.backend = "coo";
+  res.info.prepare_seconds = res.selection_seconds;
+  res.info.sim_total_ns = res.total_ns;
   return res;
 }
 
@@ -254,7 +257,11 @@ PipelineResult run_pipeline(gpusim::SimDevice& dev, const CooSpan& t,
                             const ExecConfig& cfg,
                             const LaunchSelector* selector) {
   PipelineExecutor exec(dev, selector);
-  return exec.run(t, factors, mode, cfg);
+  PipelineResult res = exec.run(t, factors, mode, cfg);
+  if (cfg.metrics_sink != nullptr) {
+    res.info.metrics = cfg.metrics_sink->snapshot();
+  }
+  return res;
 }
 
 }  // namespace scalfrag

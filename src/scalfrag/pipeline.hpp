@@ -19,6 +19,7 @@
 #include "scalfrag/exec_config.hpp"
 #include "scalfrag/hybrid.hpp"
 #include "scalfrag/kernel.hpp"
+#include "scalfrag/run_info.hpp"
 #include "scalfrag/segmenter.hpp"
 
 namespace scalfrag {
@@ -65,6 +66,12 @@ struct PipelineResult {
   double selection_seconds = 0.0;  // host time spent in the selector
   nnz_t cpu_nnz = 0;               // hybrid share
   sim_ns cpu_task_ns = 0;
+
+  /// Uniform driver record (scalfrag/run_info.hpp). The executor fills
+  /// backend/timing; the free run_pipeline driver also snapshots the
+  /// metrics sink (plan replays skip the snapshot — they run per
+  /// iteration and the sink is shared).
+  RunInfo info;
 };
 
 /// The auto-segmentation rule (ExecConfig::num_segments == 0): pick the

@@ -83,12 +83,22 @@ void MttkrpPlan::prepare() {
 
 PipelineResult MttkrpPlan::run(const FactorList& factors,
                                order_t mode) const {
+  return run_on(*dev_, factors, mode, options_.metrics_sink);
+}
+
+PipelineResult MttkrpPlan::run_on(gpusim::SimDevice& dev,
+                                  const FactorList& factors, order_t mode,
+                                  obs::MetricsRegistry* sink) const {
   SF_CHECK(mode < order(), "mode out of range");
+  SF_CHECK(dev.spec().name == dev_->spec().name,
+           "MttkrpPlan replay requires a device of the spec the plan "
+           "was built for (\"" + dev_->spec().name + "\")");
   const ModePlan& plan = modes_[mode];
   ExecConfig opt = options_;
   opt.num_segments = static_cast<int>(plan.segments.size());
   opt.launch_schedule = plan.launch_schedule;
-  PipelineExecutor exec(*dev_, selector_);
+  opt.metrics_sink = sink;
+  PipelineExecutor exec(dev, selector_);
   return exec.run(views_.view(mode), factors, mode, opt);
 }
 

@@ -70,6 +70,17 @@ class MttkrpPlan {
   /// sunk; result.selection_seconds stays 0).
   PipelineResult run(const FactorList& factors, order_t mode) const;
 
+  /// Cache-friendly replay: execute the precomputed mode-`mode`
+  /// schedule on `dev` — any device of the same spec as the one the
+  /// plan was built against (segmentation and launch prediction depend
+  /// on the spec, not the device instance, so the replay is
+  /// bit-identical wherever it lands). `sink` overrides the plan's
+  /// baked-in metrics pointer for this run, which is how the service's
+  /// shared PlanCache reports into per-job registries.
+  PipelineResult run_on(gpusim::SimDevice& dev, const FactorList& factors,
+                        order_t mode,
+                        obs::MetricsRegistry* sink = nullptr) const;
+
   /// Total one-off preprocessing wall time (sorting + selection).
   double prepare_seconds() const noexcept { return prepare_seconds_; }
 

@@ -1,0 +1,39 @@
+#pragma once
+// RunInfo — the uniform "what actually ran" record every driver entry
+// point embeds in its result (run_pipeline, run_mttkrp_backend,
+// cpd_als, tucker_hooi). The decomposition service reports jobs through
+// this one shape instead of per-driver result spelunking: resolved
+// backend name, the joint-selector decision (when one was consulted),
+// one-off prepare cost, simulated device time, and a snapshot of the
+// metrics the run recorded.
+
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "scalfrag/format_select.hpp"
+
+namespace scalfrag {
+
+struct RunInfo {
+  /// Resolved BackendRegistry name of what executed ("auto" reports the
+  /// concrete choice, never the literal "auto").
+  std::string backend;
+  /// The joint (format, launch) decision. Meaningful when
+  /// auto_selected; default-constructed otherwise.
+  JointChoice choice;
+  /// True when the backend came from joint selection rather than from
+  /// an explicit ExecConfig::backend(name).
+  bool auto_selected = false;
+  /// One-off wall-clock preprocessing (sort/plan/selection) this call
+  /// paid. Plan replays report 0 — the cost was sunk at plan build.
+  double prepare_seconds = 0.0;
+  /// Simulated device nanoseconds attributable to this run (0 for
+  /// host-only backends).
+  sim_ns sim_total_ns = 0;
+  /// Snapshot of the run's metrics sink at completion (empty when the
+  /// caller passed no sink).
+  obs::MetricsSnapshot metrics;
+};
+
+}  // namespace scalfrag

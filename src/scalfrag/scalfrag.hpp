@@ -9,8 +9,12 @@
 //   scalfrag::AutoTuner tuner(dev.spec());
 //   tuner.train();
 //   auto selector = tuner.selector();
-//   scalfrag::CpdOptions opt{.backend = scalfrag::CpdBackend::ScalFrag};
-//   auto model = scalfrag::cpd_als(t, opt, &dev, &selector);
+//   auto cfg = scalfrag::ExecConfig{}.backend("coo").rank(16);
+//   auto model = scalfrag::cpd_als(t, cfg, &dev, &selector);
+//
+// The multi-tenant decomposition service (src/service/) is deliberately
+// NOT pulled in here — include "service/service.hpp" explicitly and
+// link sf_service when embedding the server.
 
 #include "common/format.hpp"
 #include "gpusim/device_group.hpp"

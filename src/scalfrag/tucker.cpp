@@ -7,6 +7,10 @@
 
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "parti/parti_kernel.hpp"
+#include "scalfrag/format_select.hpp"
+#include "scalfrag/kernel.hpp"
+#include "tensor/features.hpp"
 #include "tensor/linalg.hpp"
 
 namespace scalfrag {
@@ -99,14 +103,18 @@ DenseMatrix ttm_chain_all_but(const CooTensor& x, const FactorList& factors,
   return w;
 }
 
-TuckerResult tucker_hooi(const CooTensor& input, const TuckerOptions& opt) {
+TuckerResult tucker_hooi(const CooTensor& input, const ExecConfig& cfg,
+                         gpusim::SimDevice* dev, const JointSelector* joint) {
   SF_CHECK(input.nnz() > 0, "cannot decompose an empty tensor");
-  SF_CHECK(opt.core_dims.size() == input.order(),
+  SF_CHECK(cfg.tucker_core_dims.size() == input.order(),
            "need one core dimension per mode");
-  SF_CHECK(opt.max_iters > 0, "max_iters must be positive");
-  opt.exec.validate();
-  obs::MetricsRegistry* const met = opt.exec.metrics_sink;
-  const HostExecParams host = opt.exec.host_for_run();
+  cfg.validate();
+  const std::vector<index_t>& core_dims = cfg.tucker_core_dims;
+  const int max_iters = cfg.decomp_max_iters > 0 ? cfg.decomp_max_iters : 15;
+  const double tol = cfg.decomp_tol >= 0.0 ? cfg.decomp_tol : 1e-5;
+  const std::uint64_t seed = cfg.decomp_seed != 0 ? cfg.decomp_seed : 7;
+  obs::MetricsRegistry* const met = cfg.metrics_sink;
+  const HostExecParams host = cfg.host_for_run();
   const order_t order = input.order();
 
   // One canonical sort up front (the same ordering ModeViews keys on):
@@ -122,24 +130,71 @@ TuckerResult tucker_hooi(const CooTensor& input, const TuckerOptions& opt) {
   }
   const CooTensor& x = canonical ? *canonical : input;
   for (order_t n = 0; n < order; ++n) {
-    SF_CHECK(opt.core_dims[n] > 0 && opt.core_dims[n] <= x.dim(n),
+    SF_CHECK(core_dims[n] > 0 && core_dims[n] <= x.dim(n),
              "core dims must be in [1, mode size]");
     std::size_t s = 1;
     for (order_t m = 0; m < order; ++m) {
-      if (m != n) s *= opt.core_dims[m];
+      if (m != n) s *= core_dims[m];
     }
-    SF_CHECK(opt.core_dims[n] <= s,
+    SF_CHECK(core_dims[n] <= s,
              "core dim exceeds the rank the projection can provide");
   }
 
+  // Device-timeline modeling (the fix for service jobs silently
+  // constructing private devices): with a shared `dev`, every
+  // projection runs as a cost-modeled kernel on its timeline. The
+  // launch-relevant inputs are factor-independent, so per-mode features
+  // and launches are computed once up front. A mode-n projection has
+  // the same per-nnz shape as a rank-s MTTKRP with s = Π_{m≠n} r_m,
+  // which is exactly what mttkrp_profile models.
+  std::vector<TensorFeatures> mode_feats;
+  std::vector<gpusim::LaunchConfig> mode_launch;
+  std::vector<gpusim::KernelProfile> mode_prof;
+  gpusim::StreamId dev_stream{};
+  if (dev != nullptr) {
+    std::optional<obs::MetricsRegistry::ScopedSpan> span;
+    if (met != nullptr) span.emplace(*met, "tucker/launch_prep");
+    dev->reset_timeline();
+    dev_stream = dev->create_stream();
+    for (order_t n = 0; n < order; ++n) {
+      std::size_t s = 1;
+      for (order_t m = 0; m < order; ++m) {
+        if (m != n) s *= core_dims[m];
+      }
+      const auto width = static_cast<index_t>(s);
+      mode_feats.push_back(TensorFeatures::extract(x, n));
+      const JointChoice choice =
+          joint != nullptr
+              ? joint->choose(mode_feats.back(), width)
+              : heuristic_joint_choice(mode_feats.back(), width);
+      mode_launch.push_back(choice.has_launch
+                                ? choice.launch
+                                : parti::default_launch(dev->spec(), x.nnz()));
+      mode_prof.push_back(
+          mttkrp_profile(mode_feats.back(), width, /*use_shared_mem=*/false));
+    }
+  }
+
   TuckerResult res;
-  Rng rng(opt.seed);
+  Rng rng(seed);
   for (order_t n = 0; n < order; ++n) {
-    DenseMatrix u(x.dim(n), opt.core_dims[n]);
+    DenseMatrix u(x.dim(n), core_dims[n]);
     u.randomize(rng);
     linalg::gram_schmidt(u, rng.next_u64());
     res.factors.push_back(std::move(u));
   }
+
+  // Projection wrapper: host compute always (numerics independent of
+  // the device), charged to the device timeline when one is shared.
+  auto project = [&](order_t n) -> DenseMatrix {
+    if (dev == nullptr) return ttm_chain_all_but(x, res.factors, n, host);
+    DenseMatrix w;
+    dev->launch_kernel(
+        dev_stream, mode_launch[n], mode_prof[n],
+        [&] { w = ttm_chain_all_but(x, res.factors, n, host); },
+        "tucker projection mode " + std::to_string(n));
+    return w;
+  };
 
   double norm_x_sq = 0.0;
   for (value_t v : x.values()) {
@@ -148,7 +203,7 @@ TuckerResult tucker_hooi(const CooTensor& input, const TuckerOptions& opt) {
   const double norm_x = std::sqrt(norm_x_sq);
 
   double prev_fit = -1.0;
-  for (int it = 0; it < opt.max_iters; ++it) {
+  for (int it = 0; it < max_iters; ++it) {
     std::optional<obs::MetricsRegistry::ScopedSpan> it_span;
     if (met != nullptr) it_span.emplace(*met, "tucker/iteration");
     for (order_t n = 0; n < order; ++n) {
@@ -156,7 +211,7 @@ TuckerResult tucker_hooi(const CooTensor& input, const TuckerOptions& opt) {
       {
         std::optional<obs::MetricsRegistry::ScopedSpan> span;
         if (met != nullptr) span.emplace(*met, "tucker/projection");
-        w = ttm_chain_all_but(x, res.factors, n, host);
+        w = project(n);
       }
       // Top-rₙ left singular vectors of W via the small Gram matrix:
       // WᵀW = V Σ² Vᵀ  →  U = W V Σ⁻¹ (columns sorted by σ desc).
@@ -168,8 +223,8 @@ TuckerResult tucker_hooi(const CooTensor& input, const TuckerOptions& opt) {
       std::sort(order_idx.begin(), order_idx.end(),
                 [&](index_t a, index_t b) { return evals[a] > evals[b]; });
 
-      DenseMatrix u(x.dim(n), opt.core_dims[n]);
-      for (index_t k = 0; k < opt.core_dims[n]; ++k) {
+      DenseMatrix u(x.dim(n), core_dims[n]);
+      for (index_t k = 0; k < core_dims[n]; ++k) {
         const index_t src = order_idx[k];
         const double sigma = std::sqrt(std::max(0.0, evals[src]));
         if (sigma > 1e-8) {
@@ -193,7 +248,7 @@ TuckerResult tucker_hooi(const CooTensor& input, const TuckerOptions& opt) {
 
     // Core + fit. G = X ×_1 U¹ᵀ ⋯: reuse the projection of mode 0 and
     // contract the remaining mode-0 factor.
-    const DenseMatrix w0 = ttm_chain_all_but(x, res.factors, 0, host);
+    const DenseMatrix w0 = project(0);
     const DenseMatrix core_mat = linalg::matmul_tn(res.factors[0], w0);
     double norm_g_sq = 0.0;
     for (std::size_t i = 0; i < core_mat.size(); ++i) {
@@ -204,26 +259,36 @@ TuckerResult tucker_hooi(const CooTensor& input, const TuckerOptions& opt) {
     const double fit = 1.0 - resid / norm_x;
     res.fit_history.push_back(fit);
     res.iterations = it + 1;
-    if (prev_fit >= 0.0 && std::abs(fit - prev_fit) < opt.tol) break;
+    if (prev_fit >= 0.0 && std::abs(fit - prev_fit) < tol) break;
     prev_fit = fit;
   }
 
   // Materialize the core tensor from the final factors. core_mat is
   // r₀ × Π_{m>0} r_m with the same mixed-radix layout (highest mode
   // fastest) DenseTensor uses — a direct copy.
-  const DenseMatrix w0 = ttm_chain_all_but(x, res.factors, 0, host);
+  const DenseMatrix w0 = project(0);
   const DenseMatrix core_mat = linalg::matmul_tn(res.factors[0], w0);
-  res.core = DenseTensor(opt.core_dims);
+  res.core = DenseTensor(core_dims);
   SF_ASSERT(res.core.size() == core_mat.size(), "core layout mismatch");
   std::copy(core_mat.data(), core_mat.data() + core_mat.size(),
             res.core.data());
 
   res.final_fit = res.fit_history.empty() ? 0.0 : res.fit_history.back();
+  if (dev != nullptr) {
+    res.projection_sim_ns = dev->synchronize();
+  }
+  res.info.backend = "tucker_hooi";
+  res.info.sim_total_ns = res.projection_sim_ns;
   if (met != nullptr) {
     met->count("tucker/runs");
     met->count("tucker/iterations",
                static_cast<std::uint64_t>(res.iterations));
     met->set("tucker/final_fit", res.final_fit);
+    if (dev != nullptr) {
+      met->set("tucker/projection_sim_ns",
+               static_cast<double>(res.projection_sim_ns));
+    }
+    res.info.metrics = met->snapshot();
   }
   return res;
 }

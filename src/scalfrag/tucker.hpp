@@ -11,26 +11,44 @@
 // Wₙ = X₍ₙ₎ (⊗_{m≠n} U⁽ᵐ⁾)), then set U⁽ⁿ⁾ to Wₙ's top-rₙ left
 // singular vectors. Because the factors are orthonormal, the fit is
 // computable from ‖G‖ alone: ‖X−X̂‖² = ‖X‖² − ‖G‖².
+//
+// Configuration is one ExecConfig: core dims / max_iters / tol / seed
+// through the decomposition knobs (core_dims({...}).max_iters(n)).
+// TuckerOptions survives below only as a deprecated conversion shim.
 
+#include "gpusim/engine.hpp"
 #include "scalfrag/exec_config.hpp"
+#include "scalfrag/run_info.hpp"
 #include "tensor/coo.hpp"
 #include "tensor/dense_tensor.hpp"
 #include "tensor/mttkrp_ref.hpp"
 
 namespace scalfrag {
 
-struct TuckerOptions {
+class JointSelector;
+
+/// Legacy Tucker options. Thin conversion shim: every field maps onto
+/// an ExecConfig decomposition knob (see docs/api.md). In-tree code
+/// must not use it — CI builds with -Werror=deprecated-declarations.
+struct [[deprecated(
+    "use scalfrag::ExecConfig core_dims()/max_iters()/tol()/seed() "
+    "(docs/api.md)")]] TuckerOptions {
   /// Core size per mode (rₙ); must satisfy rₙ ≤ Iₙ and
   /// rₙ ≤ Π_{m≠n} r_m (else Wₙ cannot have rank rₙ).
   std::vector<index_t> core_dims;
   int max_iters = 15;
   double tol = 1e-5;
   std::uint64_t seed = 7;
-  /// Execution config: the projection kernel runs on the host engine
-  /// (exec.threads/grain/strategy; strategy Serial reproduces the
-  /// single-threaded chain bit-exactly) and the driver reports
-  /// iteration spans and fit gauges through exec.metrics(&reg).
   ExecConfig exec;
+
+  operator ExecConfig() const {
+    ExecConfig cfg = exec;
+    cfg.tucker_core_dims = core_dims;
+    cfg.decomp_max_iters = max_iters;
+    cfg.decomp_tol = tol;
+    cfg.decomp_seed = seed;
+    return cfg;
+  }
 };
 
 struct TuckerResult {
@@ -39,10 +57,29 @@ struct TuckerResult {
   std::vector<double> fit_history;
   double final_fit = 0.0;
   int iterations = 0;
+
+  /// Simulated accelerator time across all projection kernels (0 when
+  /// no device was passed — the run was host-only).
+  sim_ns projection_sim_ns = 0;
+
+  /// Uniform driver record (scalfrag/run_info.hpp).
+  RunInfo info;
 };
 
-/// Run HOOI on `x`. Throws on inconsistent core dims.
-TuckerResult tucker_hooi(const CooTensor& x, const TuckerOptions& opt);
+/// Run HOOI on `x` under `cfg` (core dims from cfg.tucker_core_dims).
+/// Throws on inconsistent core dims.
+///
+/// The projection kernel always computes on the host engine
+/// (cfg.threads/grain/strategy; strategy Serial reproduces the
+/// single-threaded chain bit-exactly) — numerics are independent of
+/// `dev`. When a shared `dev` is passed, each projection additionally
+/// runs as a cost-modeled kernel on that device's timeline (the launch
+/// predicted by `joint` from per-mode features when given), so service
+/// jobs account simulated time against the shared DeviceGroup instead
+/// of silently constructing private devices.
+TuckerResult tucker_hooi(const CooTensor& x, const ExecConfig& cfg = {},
+                         gpusim::SimDevice* dev = nullptr,
+                         const JointSelector* joint = nullptr);
 
 /// Reconstruct one entry: X̂(i…) = Σ_r G(r…) Π_n U⁽ⁿ⁾(i_n, r_n).
 double tucker_predict(const TuckerResult& model,

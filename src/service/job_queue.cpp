@@ -1,0 +1,101 @@
+#include "service/job_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace scalfrag::service {
+
+void JobQueue::push(QueuedJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SF_CHECK(!closed_, "cannot submit to a closed job queue");
+    Tenant* t = nullptr;
+    for (auto& cand : tenants_) {
+      if (cand.name == job.spec.tenant) {
+        t = &cand;
+        break;
+      }
+    }
+    if (t == nullptr) {
+      Tenant fresh;
+      fresh.name = job.spec.tenant;
+      fresh.weight = job.spec.weight < 1 ? 1 : job.spec.weight;
+      tenants_.push_back(std::move(fresh));
+      t = &tenants_.back();
+    }
+    t->fifo.push_back(std::move(job));
+    ++size_;
+  }
+  cv_.notify_all();
+}
+
+JobQueue::Tenant* JobQueue::pick_locked() {
+  // Smooth WRR over tenants that currently have work: each active
+  // tenant's current += weight, the max-current tenant wins (first-seen
+  // order breaks ties) and pays back the active total. Tenants with
+  // empty FIFOs neither accumulate nor compete, so a returning tenant
+  // does not burst from credit saved while idle.
+  std::int64_t active_total = 0;
+  Tenant* best = nullptr;
+  for (auto& t : tenants_) {
+    if (t.fifo.empty()) continue;
+    active_total += t.weight;
+    t.current += t.weight;
+    if (best == nullptr || t.current > best->current) best = &t;
+  }
+  if (best != nullptr) best->current -= active_total;
+  return best;
+}
+
+std::optional<QueuedJob> JobQueue::pop_blocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Closed queues drain even while paused (shutdown overrides pause).
+  cv_.wait(lock, [&] { return (!paused_ && size_ > 0) || closed_; });
+  if (size_ == 0 && closed_) return std::nullopt;
+  Tenant* t = pick_locked();
+  SF_CHECK(t != nullptr, "WRR pick failed on a non-empty queue");
+  QueuedJob job = std::move(t->fifo.front());
+  t->fifo.pop_front();
+  --size_;
+  return job;
+}
+
+void JobQueue::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void JobQueue::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+std::vector<std::string> JobQueue::tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& t : tenants_) names.push_back(t.name);
+  return names;
+}
+
+}  // namespace scalfrag::service

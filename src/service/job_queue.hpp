@@ -1,0 +1,82 @@
+#pragma once
+// JobQueue — the multi-tenant admission queue feeding the service
+// scheduler: per-tenant FIFOs multiplexed by smooth weighted round
+// robin (the nginx/LVS algorithm), so a weight-3 tenant gets three
+// dispatches for every one a weight-1 tenant gets, interleaved
+// (A A B A …) rather than bursted (A A A B …).
+//
+// Starvation-freedom: every tenant with queued work has strictly
+// increasing current-weight, so it is picked at least once per
+// sum-of-active-weights dispatches; within one tenant jobs leave in
+// submission order. Both properties are what tests/test_service.cpp
+// asserts under a 2-tenant weighted load.
+//
+// pop_blocking() is the scheduler's only entry point; pause() parks it
+// (used by run_batch to make the dispatch order independent of
+// submission timing) and close() drains: queued jobs still pop, then
+// nullopt signals shutdown.
+
+#include <cstdint>
+#include <deque>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/job_spec.hpp"
+
+namespace scalfrag::service {
+
+struct QueuedJob {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  /// Wall-clock submit stamp (steady epoch), for queue-wait metrics.
+  std::uint64_t submit_ns = 0;
+};
+
+class JobQueue {
+ public:
+  /// Enqueue under the spec's tenant. First submission of a tenant
+  /// fixes the tenant's WRR weight; later jobs' weight fields are
+  /// ignored (documented in docs/service.md).
+  void push(QueuedJob job);
+
+  /// Next job by smooth WRR, blocking while the queue is empty or
+  /// paused. Returns nullopt only when closed and fully drained.
+  std::optional<QueuedJob> pop_blocking();
+
+  /// Park pop_blocking() until resume(); already-queued and newly
+  /// pushed jobs wait.
+  void pause();
+  void resume();
+
+  /// No further pushes; queued jobs still drain through pop_blocking.
+  void close();
+  bool closed() const;
+
+  std::size_t size() const;
+  /// Tenants in first-seen order (stable tie-break order of the WRR).
+  std::vector<std::string> tenants() const;
+
+ private:
+  struct Tenant {
+    std::string name;
+    int weight = 1;
+    // Smooth WRR state: bumped by `weight` each round the tenant has
+    // work, decremented by the active total when picked.
+    std::int64_t current = 0;
+    std::deque<QueuedJob> fifo;
+  };
+
+  Tenant* pick_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Tenant> tenants_;  // first-seen order
+  std::size_t size_ = 0;
+  bool paused_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace scalfrag::service

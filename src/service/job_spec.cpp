@@ -1,0 +1,149 @@
+#include "service/job_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace scalfrag::service {
+
+const char* job_kind_name(JobKind k) {
+  switch (k) {
+    case JobKind::Mttkrp:
+      return "mttkrp";
+    case JobKind::Cpd:
+      return "cpd";
+    case JobKind::Tucker:
+      return "tucker";
+  }
+  return "?";
+}
+
+JobKind job_kind_from_name(const std::string& name) {
+  if (name == "mttkrp") return JobKind::Mttkrp;
+  if (name == "cpd") return JobKind::Cpd;
+  if (name == "tucker") return JobKind::Tucker;
+  throw Error("unknown job kind '" + name + "' (mttkrp|cpd|tucker)");
+}
+
+void JobSpec::validate() const {
+  SF_CHECK(!tenant.empty(), "job tenant must be non-empty");
+  SF_CHECK(weight >= 1, "tenant weight must be >= 1");
+  SF_CHECK(!tensor.empty(), "job tensor profile must be non-empty");
+  SF_CHECK(scale > 0.0, "tensor scale must be positive");
+  if (kind == JobKind::Tucker) {
+    SF_CHECK(!exec.tucker_core_dims.empty(),
+             "tucker jobs need exec.core_dims({...})");
+  }
+}
+
+void JobSpec::write_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.kv("tenant", tenant);
+  w.kv("weight", weight);
+  w.kv("kind", job_kind_name(kind));
+  w.kv("tensor", tensor);
+  w.kv("scale", scale);
+  w.kv("tensor_seed", static_cast<std::uint64_t>(tensor_seed));
+  w.kv("mode", static_cast<std::int64_t>(mode));
+  w.kv("factor_seed", static_cast<std::uint64_t>(factor_seed));
+  // The execution subset a service job can carry. Device-group and
+  // launch-override knobs are deliberately absent: the service owns the
+  // device group, and launches come from the (cached) joint choice.
+  w.key("exec").begin_object();
+  w.kv("backend", exec.backend_name);
+  w.kv("rank", static_cast<std::int64_t>(exec.decomp_rank));
+  w.kv("max_iters", exec.decomp_max_iters);
+  w.kv("tol", exec.decomp_tol);
+  w.kv("seed", static_cast<std::uint64_t>(exec.decomp_seed));
+  w.kv("nonnegative", exec.cpd_nonnegative);
+  w.key("core_dims").begin_array();
+  for (const index_t d : exec.tucker_core_dims) {
+    w.value(static_cast<std::int64_t>(d));
+  }
+  w.end_array();
+  w.kv("segments", exec.num_segments);
+  w.kv("streams", exec.num_streams);
+  w.kv("threads", static_cast<std::uint64_t>(exec.host_exec.threads));
+  w.kv("memory_budget_bytes",
+       static_cast<std::uint64_t>(exec.memory_budget_bytes));
+  w.kv("csf_fiber_budget", static_cast<std::uint64_t>(exec.csf_fiber_budget));
+  w.kv("use_shared_mem", exec.use_shared_mem);
+  w.kv("adaptive_launch", exec.adaptive_launch);
+  w.end_object();
+  w.end_object();
+}
+
+std::string JobSpec::to_json() const {
+  obs::JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+namespace {
+
+double num_or(const obs::JsonValue& v, std::string_view key, double dflt) {
+  const obs::JsonValue* m = v.find(key);
+  return m == nullptr ? dflt : m->as_number();
+}
+
+bool bool_or(const obs::JsonValue& v, std::string_view key, bool dflt) {
+  const obs::JsonValue* m = v.find(key);
+  return m == nullptr ? dflt : m->as_bool();
+}
+
+std::string str_or(const obs::JsonValue& v, std::string_view key,
+                   std::string dflt) {
+  const obs::JsonValue* m = v.find(key);
+  return m == nullptr ? dflt : m->as_string();
+}
+
+}  // namespace
+
+JobSpec JobSpec::from_json(const obs::JsonValue& v) {
+  SF_CHECK(v.is_object(), "job spec must be a JSON object");
+  JobSpec s;
+  s.tenant = str_or(v, "tenant", s.tenant);
+  s.weight = static_cast<int>(num_or(v, "weight", s.weight));
+  s.kind = job_kind_from_name(str_or(v, "kind", job_kind_name(s.kind)));
+  s.tensor = str_or(v, "tensor", s.tensor);
+  s.scale = num_or(v, "scale", s.scale);
+  s.tensor_seed = static_cast<std::uint64_t>(
+      num_or(v, "tensor_seed", static_cast<double>(s.tensor_seed)));
+  s.mode = static_cast<order_t>(num_or(v, "mode", s.mode));
+  s.factor_seed = static_cast<std::uint64_t>(
+      num_or(v, "factor_seed", static_cast<double>(s.factor_seed)));
+  if (const obs::JsonValue* e = v.find("exec"); e != nullptr) {
+    SF_CHECK(e->is_object(), "job spec 'exec' must be an object");
+    ExecConfig& c = s.exec;
+    c.backend_name = str_or(*e, "backend", c.backend_name);
+    c.decomp_rank = static_cast<index_t>(num_or(*e, "rank", c.decomp_rank));
+    c.decomp_max_iters =
+        static_cast<int>(num_or(*e, "max_iters", c.decomp_max_iters));
+    c.decomp_tol = num_or(*e, "tol", c.decomp_tol);
+    c.decomp_seed = static_cast<std::uint64_t>(
+        num_or(*e, "seed", static_cast<double>(c.decomp_seed)));
+    c.cpd_nonnegative = bool_or(*e, "nonnegative", c.cpd_nonnegative);
+    if (const obs::JsonValue* cd = e->find("core_dims"); cd != nullptr) {
+      c.tucker_core_dims.clear();
+      for (const obs::JsonValue& d : cd->as_array()) {
+        c.tucker_core_dims.push_back(static_cast<index_t>(d.as_number()));
+      }
+    }
+    c.num_segments = static_cast<int>(num_or(*e, "segments", c.num_segments));
+    c.num_streams = static_cast<int>(num_or(*e, "streams", c.num_streams));
+    c.host_exec.threads = static_cast<std::size_t>(
+        num_or(*e, "threads", static_cast<double>(c.host_exec.threads)));
+    c.memory_budget_bytes = static_cast<std::size_t>(num_or(
+        *e, "memory_budget_bytes", static_cast<double>(c.memory_budget_bytes)));
+    c.csf_fiber_budget = static_cast<nnz_t>(num_or(
+        *e, "csf_fiber_budget", static_cast<double>(c.csf_fiber_budget)));
+    c.use_shared_mem = bool_or(*e, "use_shared_mem", c.use_shared_mem);
+    c.adaptive_launch = bool_or(*e, "adaptive_launch", c.adaptive_launch);
+  }
+  s.validate();
+  return s;
+}
+
+JobSpec JobSpec::parse(std::string_view text) {
+  return from_json(obs::JsonValue::parse(text));
+}
+
+}  // namespace scalfrag::service

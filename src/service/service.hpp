@@ -1,0 +1,233 @@
+#pragma once
+// DecompositionService — the long-running multi-tenant front end over
+// the whole driver stack: a JobQueue of serializable JobSpecs, a
+// PlanCache amortizing preparation across jobs, admission control
+// against per-device memory budgets, and a shared gpusim::DeviceGroup
+// whose members are leased one job at a time.
+//
+// Architecture (docs/service.md has the full walkthrough):
+//
+//   submit() ──> JobQueue (per-tenant FIFO, smooth WRR)
+//                   │ pop_blocking
+//             scheduler thread (ONE): admission + preparation
+//                   │  - tensor + features via PlanCache level 1
+//                   │  - predicted resident bytes vs budget → reject?
+//                   │  - "auto" resolved via cached JointChoice
+//                   │  - MttkrpPlan/CsfPlan via PlanCache level 2
+//                   │  - device = argmin committed predicted work
+//                   ▼
+//             per-device worker threads: lease → execute → release
+//                   │  (plan replay / cpd_als with SharedPlans /
+//                   │   tucker_hooi on the leased device)
+//                   ▼
+//             JobResult + per-job obs metrics, merged into the
+//             service registry
+//
+// Determinism: everything CI gates lives in the simulated-time domain.
+// The single scheduler thread makes admission verdicts, cache contents,
+// dispatch order, and device assignment pure functions of the
+// submission order; per-device sim clocks advance only by each job's
+// simulated cost in dispatch order. Wall-clock numbers (queue wait,
+// exec seconds, wall jobs/s) are reported for information only.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device_group.hpp"
+#include "obs/metrics.hpp"
+#include "scalfrag/cpd.hpp"
+#include "scalfrag/format_select.hpp"
+#include "scalfrag/tucker.hpp"
+#include "service/job_queue.hpp"
+#include "service/plan_cache.hpp"
+
+namespace scalfrag::service {
+
+struct ServiceOptions {
+  /// The shared device group every admitted device job runs on.
+  int num_devices = 1;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::rtx3090();
+  gpusim::LinkSpec link = gpusim::LinkSpec::pcie4_p2p();
+
+  /// Admission bound per device, in bytes. A job's own
+  /// exec.memory_budget_bytes (when set) takes precedence; 0 here
+  /// falls back to the device spec's global memory.
+  std::size_t device_budget_bytes = 0;
+
+  /// PlanCache capacity (entries per level).
+  std::size_t cache_capacity = 32;
+
+  /// Construct paused: submissions queue up and nothing dispatches
+  /// until resume() — what run_batch uses so WRR order is independent
+  /// of submission timing.
+  bool start_paused = false;
+
+  /// Optional model-backed selectors ("auto" backend, adaptive
+  /// launches). Null = built-in heuristics. Non-owning; must outlive
+  /// the service.
+  const JointSelector* joint = nullptr;
+  const LaunchSelector* launch = nullptr;
+};
+
+enum class JobState { Queued, Running, Completed, Rejected, Failed };
+
+const char* job_state_name(JobState s);
+
+/// Everything the service knows about one finished (or refused) job.
+struct JobResult {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::Queued;
+  /// Reject/fail reason (admission verdict or exception text).
+  std::string error;
+
+  // --- admission & preparation ---------------------------------------
+  std::size_t predicted_bytes = 0;  // admission estimate
+  std::size_t budget_bytes = 0;     // bound it was checked against
+  bool tensor_cache_hit = false;
+  bool plan_cache_hit = false;
+  /// Preparation wall time charged to THIS job: 0 on cache hits —
+  /// the observable half of "a hit skips feature extraction,
+  /// selection, and plan construction".
+  double prepare_seconds = 0.0;
+
+  // --- scheduling -----------------------------------------------------
+  std::uint64_t dispatch_seq = 0;  // global WRR dispatch order (1-based)
+  int device = -1;                 // group index it executed on
+
+  // --- execution ------------------------------------------------------
+  /// Simulated device time this job consumed (0 for host-only work).
+  sim_ns sim_cost_ns = 0;
+  /// Leased device's sim clock at start / finish — finish is the job's
+  /// deterministic completion stamp, the basis of p50/p99 latency.
+  sim_ns sim_start_ns = 0;
+  sim_ns sim_finish_ns = 0;
+  double queue_wait_seconds = 0.0;  // wall, info-only
+  double exec_seconds = 0.0;        // wall, info-only
+
+  /// Uniform driver record + per-job metrics snapshot.
+  RunInfo info;
+
+  /// Kind-specific payloads (bit-identity checks key on these).
+  DenseMatrix mttkrp_output;
+  std::optional<CpdResult> cpd;
+  std::optional<TuckerResult> tucker;
+
+  bool terminal() const noexcept {
+    return state == JobState::Completed || state == JobState::Rejected ||
+           state == JobState::Failed;
+  }
+};
+
+/// Aggregate counters in the deterministic sim domain (plus wall info).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;    // plan-cache hits (level 2)
+  std::uint64_t cache_misses = 0;  // plan-cache misses (level 2)
+
+  /// Max device sim clock = simulated makespan of everything executed.
+  sim_ns makespan_ns = 0;
+  /// completed / makespan — the throughput number CI gates. Jobs with
+  /// zero device cost (host-only backends) still count completions, so
+  /// an all-host mix reports 0 makespan and jobs_per_sec_sim stays 0.
+  double jobs_per_sec_sim = 0.0;
+  /// Percentiles of completed jobs' sim_finish_ns stamps.
+  sim_ns p50_latency_ns = 0;
+  sim_ns p99_latency_ns = 0;
+};
+
+class DecompositionService {
+ public:
+  explicit DecompositionService(ServiceOptions opts = {});
+  /// Destructor shuts down gracefully (drains queued jobs first).
+  ~DecompositionService();
+
+  DecompositionService(const DecompositionService&) = delete;
+  DecompositionService& operator=(const DecompositionService&) = delete;
+
+  /// Enqueue; returns the job id. Throws scalfrag::Error on a spec
+  /// that fails structural validation or after shutdown.
+  std::uint64_t submit(JobSpec spec);
+
+  /// Block until job `id` reaches a terminal state; returns a copy.
+  JobResult wait(std::uint64_t id);
+
+  /// Deterministic batch: pause, submit all, resume, wait for all.
+  /// Results come back in submission order (not completion order).
+  std::vector<JobResult> run_batch(std::vector<JobSpec> specs);
+
+  void pause();
+  void resume();
+
+  /// Block until every submitted job is terminal (queue empty, workers
+  /// idle). The service stays open for more submissions.
+  void drain();
+
+  /// Graceful shutdown: stop accepting, drain everything queued, join
+  /// all threads. Idempotent; implied by the destructor.
+  void shutdown();
+
+  ServiceStats stats() const;
+  /// Schema "scalfrag-service" v1 report: options, per-job records,
+  /// aggregate stats, merged metrics.
+  std::string report_json() const;
+
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  gpusim::DeviceGroup& devices() noexcept { return group_; }
+  PlanCache& cache() noexcept { return cache_; }
+
+ private:
+  struct WorkItem {
+    QueuedJob job;
+    std::shared_ptr<const TensorEntry> tensor;
+    std::shared_ptr<const PlanEntry> plan;  // null for plan-less paths
+    ExecConfig cfg;                         // backend resolved, validated
+  };
+
+  void scheduler_loop();
+  void worker_loop(int device_index);
+  void admit_and_dispatch(QueuedJob job);
+  void execute(int device_index, WorkItem item);
+  void finalize(JobResult result);
+  std::size_t predict_bytes(const JobSpec& spec, const CooTensor& t) const;
+
+  ServiceOptions opts_;
+  gpusim::DeviceGroup group_;
+  obs::MetricsRegistry metrics_;
+  PlanCache cache_;
+  JobQueue queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dispatch_seq_ = 0;
+  std::uint64_t pending_ = 0;  // submitted, not yet terminal
+  bool shutdown_ = false;
+  std::map<std::uint64_t, JobResult> results_;
+  std::vector<sim_ns> device_clock_;
+
+  // Scheduler-side committed predicted work per device (argmin target).
+  std::vector<double> committed_;
+
+  struct WorkerQueue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<WorkItem> fifo;
+    bool closed = false;
+  };
+  std::vector<std::unique_ptr<WorkerQueue>> worker_queues_;
+  std::vector<std::thread> workers_;
+  std::thread scheduler_;
+};
+
+}  // namespace scalfrag::service

@@ -60,21 +60,17 @@ CooTensor planted_low_rank(std::vector<index_t> dims, index_t r,
 
 TEST(Cpd, RecoversPlantedRank2Structure) {
   const CooTensor t = planted_low_rank({30, 25, 20}, 2, 8, 101);
-  CpdOptions opt;
-  opt.rank = 4;
-  opt.max_iters = 30;
-  opt.tol = 1e-7;
-  const CpdResult res = cpd_als(t, opt);
+  const auto cfg =
+      ExecConfig{}.backend("coo_host").rank(4).max_iters(30).tol(1e-7);
+  const CpdResult res = cpd_als(t, cfg);
   EXPECT_GT(res.final_fit, 0.95);
 }
 
 TEST(Cpd, FitHistoryIsMostlyIncreasing) {
   const CooTensor t = planted_low_rank({24, 24, 24}, 3, 8, 102);
-  CpdOptions opt;
-  opt.rank = 4;
-  opt.max_iters = 15;
-  opt.tol = 0.0;  // run all iterations
-  const CpdResult res = cpd_als(t, opt);
+  const auto cfg = ExecConfig{}.backend("coo_host").rank(4).max_iters(15).tol(
+      0.0);  // tol 0 disables the early stop: run all iterations
+  const CpdResult res = cpd_als(t, cfg);
   ASSERT_GE(res.fit_history.size(), 5u);
   // ALS is monotone in exact arithmetic; allow tiny float wiggle.
   for (std::size_t i = 1; i < res.fit_history.size(); ++i) {
@@ -84,20 +80,16 @@ TEST(Cpd, FitHistoryIsMostlyIncreasing) {
 
 TEST(Cpd, ToleranceStopsEarly) {
   const CooTensor t = planted_low_rank({20, 20, 20}, 1, 8, 103);
-  CpdOptions opt;
-  opt.rank = 2;
-  opt.max_iters = 50;
-  opt.tol = 1e-3;
-  const CpdResult res = cpd_als(t, opt);
+  const auto cfg =
+      ExecConfig{}.backend("coo_host").rank(2).max_iters(50).tol(1e-3);
+  const CpdResult res = cpd_als(t, cfg);
   EXPECT_LT(res.iterations, 50);
 }
 
 TEST(Cpd, FactorsAreColumnNormalized) {
   const CooTensor t = planted_low_rank({16, 16, 16}, 2, 8, 104);
-  CpdOptions opt;
-  opt.rank = 3;
-  opt.max_iters = 5;
-  const CpdResult res = cpd_als(t, opt);
+  const auto cfg = ExecConfig{}.backend("coo_host").rank(3).max_iters(5);
+  const CpdResult res = cpd_als(t, cfg);
   for (const auto& f : res.factors) {
     const auto norms = linalg::column_norms(f);
     for (double n : norms) EXPECT_NEAR(n, 1.0, 0.05);
@@ -107,11 +99,9 @@ TEST(Cpd, FactorsAreColumnNormalized) {
 
 TEST(Cpd, PredictReconstructsKnownEntries) {
   const CooTensor t = planted_low_rank({30, 25, 20}, 2, 8, 105);
-  CpdOptions opt;
-  opt.rank = 4;
-  opt.max_iters = 30;
-  opt.tol = 1e-7;
-  const CpdResult res = cpd_als(t, opt);
+  const auto cfg =
+      ExecConfig{}.backend("coo_host").rank(4).max_iters(30).tol(1e-7);
+  const CpdResult res = cpd_als(t, cfg);
   double err = 0.0, norm = 0.0;
   for (nnz_t e = 0; e < t.nnz(); e += 97) {
     const index_t coord[3] = {t.index(0, e), t.index(1, e), t.index(2, e)};
@@ -124,20 +114,13 @@ TEST(Cpd, PredictReconstructsKnownEntries) {
 
 TEST(Cpd, BackendsAgreeOnFit) {
   const CooTensor t = planted_low_rank({20, 18, 16}, 2, 8, 106);
-  CpdOptions ref_opt;
-  ref_opt.rank = 3;
-  ref_opt.max_iters = 8;
-  ref_opt.tol = 0.0;
-  const CpdResult ref = cpd_als(t, ref_opt);
+  const auto base = ExecConfig{}.rank(3).max_iters(8).tol(0.0);
+  const CpdResult ref = cpd_als(t, ExecConfig{base}.backend("coo_host"));
 
   gpusim::SimDevice dev(gpusim::DeviceSpec::rtx3090());
-  CpdOptions parti_opt = ref_opt;
-  parti_opt.backend = CpdBackend::ParTI;
-  const CpdResult parti = cpd_als(t, parti_opt, &dev);
-
-  CpdOptions sf_opt = ref_opt;
-  sf_opt.backend = CpdBackend::ScalFrag;
-  const CpdResult sf = cpd_als(t, sf_opt, &dev);
+  const CpdResult parti =
+      cpd_als(t, ExecConfig{base}.backend("parti"), &dev);
+  const CpdResult sf = cpd_als(t, ExecConfig{base}.backend("coo"), &dev);
 
   EXPECT_NEAR(ref.final_fit, parti.final_fit, 5e-3);
   EXPECT_NEAR(ref.final_fit, sf.final_fit, 5e-3);
@@ -150,29 +133,22 @@ TEST(Cpd, BackendsAgreeOnFit) {
 
 TEST(Cpd, AcceleratedBackendRequiresDevice) {
   const CooTensor t = planted_low_rank({8, 8, 8}, 1, 4, 107);
-  CpdOptions opt;
-  opt.backend = CpdBackend::ParTI;
-  EXPECT_THROW(cpd_als(t, opt, nullptr), Error);
+  EXPECT_THROW(cpd_als(t, ExecConfig{}.backend("parti"), nullptr), Error);
 }
 
 TEST(Cpd, InputValidation) {
   CooTensor empty({4, 4});
-  EXPECT_THROW(cpd_als(empty, {}), Error);
+  EXPECT_THROW(cpd_als(empty, ExecConfig{}.backend("coo_host")), Error);
   const CooTensor t = planted_low_rank({8, 8, 8}, 1, 4, 108);
-  CpdOptions bad;
-  bad.rank = 0;
-  EXPECT_THROW(cpd_als(t, bad), Error);
-  bad.rank = 2;
-  bad.max_iters = 0;
-  EXPECT_THROW(cpd_als(t, bad), Error);
+  EXPECT_THROW(cpd_als(t, ExecConfig{}.backend("coo_host").rank(0)), Error);
+  EXPECT_THROW(cpd_als(t, ExecConfig{}.backend("coo_host").max_iters(-1)),
+               Error);
 }
 
 TEST(Cpd, PredictValidatesCoordinates) {
   const CooTensor t = planted_low_rank({8, 8, 8}, 1, 4, 109);
-  CpdOptions opt;
-  opt.rank = 2;
-  opt.max_iters = 2;
-  const CpdResult res = cpd_als(t, opt);
+  const CpdResult res =
+      cpd_als(t, ExecConfig{}.backend("coo_host").rank(2).max_iters(2));
   const index_t bad[3] = {100, 0, 0};
   EXPECT_THROW(cpd_predict(res, bad), Error);
   const index_t wrong_arity[2] = {0, 0};
@@ -187,11 +163,8 @@ TEST(Cpd, BackendNames) {
 
 TEST(Cpd, NonnegativeProjectionKeepsFactorsNonnegative) {
   const CooTensor t = planted_low_rank({16, 16, 16}, 2, 8, 111);
-  CpdOptions opt;
-  opt.rank = 3;
-  opt.max_iters = 15;
-  opt.nonnegative = true;
-  const CpdResult res = cpd_als(t, opt);
+  const CpdResult res = cpd_als(
+      t, ExecConfig{}.backend("coo_host").rank(3).max_iters(15).nonneg());
   for (const auto& f : res.factors) {
     for (std::size_t i = 0; i < f.size(); ++i) {
       EXPECT_GE(f.data()[i], 0.0f);
@@ -203,25 +176,18 @@ TEST(Cpd, NonnegativeProjectionKeepsFactorsNonnegative) {
 
 TEST(Cpd, NonnegativeFitNoBetterThanUnconstrained) {
   const CooTensor t = planted_low_rank({20, 20, 20}, 2, 8, 112);
-  CpdOptions free_opt;
-  free_opt.rank = 3;
-  free_opt.max_iters = 12;
-  free_opt.tol = 0.0;
-  CpdOptions nn_opt = free_opt;
-  nn_opt.nonnegative = true;
-  const double free_fit = cpd_als(t, free_opt).final_fit;
-  const double nn_fit = cpd_als(t, nn_opt).final_fit;
+  const auto free_cfg =
+      ExecConfig{}.backend("coo_host").rank(3).max_iters(12).tol(0.0);
+  const double free_fit = cpd_als(t, free_cfg).final_fit;
+  const double nn_fit = cpd_als(t, ExecConfig{free_cfg}.nonneg()).final_fit;
   EXPECT_LE(nn_fit, free_fit + 1e-3);
   EXPECT_GT(nn_fit, 0.5);
 }
 
 TEST(Cpd, WorksOn4dTensors) {
   const CooTensor t = planted_low_rank({12, 10, 8, 6}, 2, 3, 110);
-  CpdOptions opt;
-  opt.rank = 3;
-  opt.max_iters = 20;
-  opt.tol = 1e-6;
-  const CpdResult res = cpd_als(t, opt);
+  const CpdResult res = cpd_als(
+      t, ExecConfig{}.backend("coo_host").rank(3).max_iters(20).tol(1e-6));
   EXPECT_GT(res.final_fit, 0.9);
   EXPECT_EQ(res.factors.size(), 4u);
 }

@@ -11,6 +11,7 @@
 #include "scalfrag/exec_config.hpp"
 #include "scalfrag/multi_pipeline.hpp"
 #include "scalfrag/pipeline.hpp"
+#include "scalfrag/tucker.hpp"
 #include "tensor/generator.hpp"
 #include "tensor/mttkrp_par.hpp"
 
@@ -147,21 +148,100 @@ TEST(ExecConfig, LegacyHostExecOptionsAliasIsTheSameType) {
   EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(value_t)), 0);
 }
 
+// CpdOptions is now a pure conversion shim: driving cpd_als through
+// the legacy struct and through the equivalent ExecConfig builders
+// must be the same run, bit for bit (factors, weights, fit, timeline).
+TEST(ExecConfig, LegacyCpdOptionsShimIsBitIdentical) {
+  const CooTensor x = make_frostt_tensor("nips", 1.0 / 2048, 706);
+  gpusim::SimDevice dev(kSpec);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  CpdOptions legacy;
+  legacy.rank = 6;
+  legacy.max_iters = 4;
+  legacy.tol = 0.0;  // legacy "run every iteration" spelling
+  legacy.seed = 9;
+  legacy.backend = CpdBackend::ScalFrag;
+  legacy.nonnegative = true;
+  const ExecConfig converted = legacy;
+#pragma GCC diagnostic pop
+
+  const ExecConfig direct = ExecConfig{}
+                                .backend("coo")
+                                .rank(6)
+                                .max_iters(4)
+                                .tol(0.0)
+                                .seed(9)
+                                .nonneg();
+
+  gpusim::SimDevice dev2(kSpec);
+  const CpdResult a = cpd_als(x, converted, &dev);
+  const CpdResult b = cpd_als(x, direct, &dev2);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.iterations, 4);  // tol 0 disables the early stop
+  EXPECT_EQ(a.mttkrp_sim_ns, b.mttkrp_sim_ns);
+  EXPECT_DOUBLE_EQ(a.final_fit, b.final_fit);
+  ASSERT_EQ(a.factors.size(), b.factors.size());
+  for (std::size_t m = 0; m < a.factors.size(); ++m) {
+    EXPECT_EQ(std::memcmp(a.factors[m].data(), b.factors[m].data(),
+                          a.factors[m].size() * sizeof(value_t)),
+              0)
+        << "factor " << m;
+  }
+  EXPECT_EQ(a.lambda, b.lambda);
+
+  // Unset decomposition knobs resolve to the legacy defaults, so a
+  // default-constructed ExecConfig reproduces a default CpdOptions run.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const ExecConfig legacy_defaults = CpdOptions{};
+#pragma GCC diagnostic pop
+  EXPECT_EQ(legacy_defaults.decomp_seed, 5u);
+  EXPECT_DOUBLE_EQ(legacy_defaults.decomp_tol, 1e-4);
+}
+
+TEST(ExecConfig, LegacyTuckerOptionsShimIsBitIdentical) {
+  const CooTensor x = make_frostt_tensor("uber", 1.0 / 2048, 707);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  TuckerOptions legacy;
+  legacy.core_dims = {2, 2, 2, 2};
+  legacy.max_iters = 3;
+  legacy.tol = 0.0;
+  legacy.seed = 13;
+  const ExecConfig converted = legacy;
+#pragma GCC diagnostic pop
+
+  const ExecConfig direct =
+      ExecConfig{}.core_dims({2, 2, 2, 2}).max_iters(3).tol(0.0).seed(13);
+
+  const TuckerResult a = tucker_hooi(x, converted);
+  const TuckerResult b = tucker_hooi(x, direct);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_DOUBLE_EQ(a.final_fit, b.final_fit);
+  ASSERT_EQ(a.factors.size(), b.factors.size());
+  for (std::size_t m = 0; m < a.factors.size(); ++m) {
+    EXPECT_EQ(std::memcmp(a.factors[m].data(), b.factors[m].data(),
+                          a.factors[m].size() * sizeof(value_t)),
+              0)
+        << "factor " << m;
+  }
+  EXPECT_EQ(std::memcmp(a.core.data(), b.core.data(),
+                        a.core.size() * sizeof(value_t)),
+            0);
+}
+
 TEST(ExecConfig, CpdDriverShardsWhenDevicesExceedOne) {
   const CooTensor x = make_frostt_tensor("vast", 1.0 / 2048, 705);
   gpusim::SimDevice dev(kSpec);
   obs::MetricsRegistry met;
 
-  CpdOptions opt;
-  opt.rank = 8;
-  opt.max_iters = 3;
-  opt.backend = CpdBackend::ScalFrag;
-  opt.exec = ExecConfig{}.devices(2).metrics(&met);
-  const CpdResult multi = cpd_als(x, opt, &dev);
-
-  CpdOptions single = opt;
-  single.exec = ExecConfig{};
-  const CpdResult base = cpd_als(x, single, &dev);
+  const auto base_cfg = ExecConfig{}.backend("coo").rank(8).max_iters(3);
+  const CpdResult multi =
+      cpd_als(x, ExecConfig{base_cfg}.devices(2).metrics(&met), &dev);
+  const CpdResult base = cpd_als(x, base_cfg, &dev);
 
   // Same ALS math, reassociated reduction: fits agree tightly.
   EXPECT_NEAR(multi.final_fit, base.final_fit, 1e-3);

@@ -87,10 +87,8 @@ TEST(FailureInjection, CpdErrorsPropagateWithoutCorruption) {
   tiny.global_mem_bytes = 1 << 12;
   gpusim::SimDevice dev(tiny);
   const CooTensor t = make_frostt_tensor("nips", 1.0 / 4096, 407);
-  CpdOptions opt;
-  opt.rank = 8;
-  opt.backend = CpdBackend::ParTI;
-  EXPECT_THROW(cpd_als(t, opt, &dev), DeviceOutOfMemory);
+  EXPECT_THROW(cpd_als(t, ExecConfig{}.backend("parti").rank(8), &dev),
+               DeviceOutOfMemory);
   EXPECT_EQ(dev.allocator().used(), 0u);
 }
 

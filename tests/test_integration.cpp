@@ -121,12 +121,9 @@ TEST(Integration, CpdWithFullScalFragStackConverges) {
   gpusim::SimDevice dev(kSpec);
 
   CooTensor t = make_frostt_tensor("nips", 1.0 / 2048, 15);
-  CpdOptions opt;
-  opt.rank = 8;
-  opt.max_iters = 5;
-  opt.backend = CpdBackend::ScalFrag;
-  opt.exec.hybrid_cpu_threshold = 4;
-  const CpdResult res = cpd_als(t, opt, &dev, &sel);
+  const auto cfg =
+      ExecConfig{}.backend("coo").rank(8).max_iters(5).hybrid_threshold(4);
+  const CpdResult res = cpd_als(t, cfg, &dev, &sel);
   EXPECT_GT(res.final_fit, 0.0);
   EXPECT_GT(res.mttkrp_sim_ns, 0u);
   EXPECT_EQ(res.mttkrp_calls, 5 * 4);

@@ -104,23 +104,19 @@ TEST(TtmChain, MatchesBruteForceProjection) {
 
 TEST(Tucker, ValidatesOptions) {
   const CooTensor x = block_tensor(2, 3, 304);
-  TuckerOptions opt;
-  EXPECT_THROW(tucker_hooi(x, opt), Error);  // missing core dims
-  opt.core_dims = {2, 2};                    // wrong arity
-  EXPECT_THROW(tucker_hooi(x, opt), Error);
-  opt.core_dims = {2, 2, 100};  // exceeds mode size
-  EXPECT_THROW(tucker_hooi(x, opt), Error);
+  EXPECT_THROW(tucker_hooi(x, ExecConfig{}), Error);  // missing core dims
+  EXPECT_THROW(tucker_hooi(x, ExecConfig{}.core_dims({2, 2})),  // wrong arity
+               Error);
+  EXPECT_THROW(tucker_hooi(x, ExecConfig{}.core_dims({2, 2, 100})),  // > dim
+               Error);
   CooTensor empty({4, 4, 4});
-  opt.core_dims = {2, 2, 2};
-  EXPECT_THROW(tucker_hooi(empty, opt), Error);
+  EXPECT_THROW(tucker_hooi(empty, ExecConfig{}.core_dims({2, 2, 2})), Error);
 }
 
 TEST(Tucker, FactorsAreOrthonormal) {
   const CooTensor x = block_tensor(3, 4, 305);
-  TuckerOptions opt;
-  opt.core_dims = {3, 3, 3};
-  opt.max_iters = 6;
-  const TuckerResult res = tucker_hooi(x, opt);
+  const TuckerResult res =
+      tucker_hooi(x, ExecConfig{}.core_dims({3, 3, 3}).max_iters(6));
   ASSERT_EQ(res.factors.size(), 3u);
   for (const auto& u : res.factors) expect_orthonormal(u);
   EXPECT_EQ(res.core.dims(), (std::vector<index_t>{3, 3, 3}));
@@ -128,11 +124,8 @@ TEST(Tucker, FactorsAreOrthonormal) {
 
 TEST(Tucker, RecoversPlantedMultilinearRank) {
   const CooTensor x = block_tensor(3, 4, 306);
-  TuckerOptions opt;
-  opt.core_dims = {3, 3, 3};
-  opt.max_iters = 20;
-  opt.tol = 1e-8;
-  const TuckerResult res = tucker_hooi(x, opt);
+  const TuckerResult res = tucker_hooi(
+      x, ExecConfig{}.core_dims({3, 3, 3}).max_iters(20).tol(1e-8));
   EXPECT_GT(res.final_fit, 0.95);
 }
 
@@ -141,23 +134,17 @@ TEST(Tucker, FitImprovesWithCoreSize) {
       .dims = {24, 24, 24}, .nnz = 2000, .skew = {2.0, 2.0, 2.0},
       .seed = 307};
   const CooTensor x = generate_coo(g);
-  TuckerOptions small;
-  small.core_dims = {2, 2, 2};
-  small.max_iters = 8;
-  TuckerOptions big = small;
-  big.core_dims = {8, 8, 8};
+  const auto small = ExecConfig{}.core_dims({2, 2, 2}).max_iters(8);
   const double fit_small = tucker_hooi(x, small).final_fit;
-  const double fit_big = tucker_hooi(x, big).final_fit;
+  const double fit_big =
+      tucker_hooi(x, ExecConfig{small}.core_dims({8, 8, 8})).final_fit;
   EXPECT_GT(fit_big, fit_small);
 }
 
 TEST(Tucker, FitHistoryMostlyIncreases) {
   const CooTensor x = block_tensor(2, 4, 308);
-  TuckerOptions opt;
-  opt.core_dims = {2, 2, 2};
-  opt.max_iters = 10;
-  opt.tol = 0.0;
-  const TuckerResult res = tucker_hooi(x, opt);
+  const TuckerResult res = tucker_hooi(
+      x, ExecConfig{}.core_dims({2, 2, 2}).max_iters(10).tol(0.0));
   for (std::size_t i = 1; i < res.fit_history.size(); ++i) {
     EXPECT_GT(res.fit_history[i], res.fit_history[i - 1] - 1e-3);
   }
@@ -165,11 +152,8 @@ TEST(Tucker, FitHistoryMostlyIncreases) {
 
 TEST(Tucker, PredictReconstructsPlantedEntries) {
   const CooTensor x = block_tensor(2, 4, 309);
-  TuckerOptions opt;
-  opt.core_dims = {2, 2, 2};
-  opt.max_iters = 20;
-  opt.tol = 1e-8;
-  const TuckerResult res = tucker_hooi(x, opt);
+  const TuckerResult res = tucker_hooi(
+      x, ExecConfig{}.core_dims({2, 2, 2}).max_iters(20).tol(1e-8));
   double err = 0.0, norm = 0.0;
   for (nnz_t e = 0; e < x.nnz(); e += 7) {
     const index_t coord[3] = {x.index(0, e), x.index(1, e), x.index(2, e)};
@@ -182,10 +166,8 @@ TEST(Tucker, PredictReconstructsPlantedEntries) {
 
 TEST(Tucker, PredictValidatesCoordinates) {
   const CooTensor x = block_tensor(2, 3, 310);
-  TuckerOptions opt;
-  opt.core_dims = {2, 2, 2};
-  opt.max_iters = 2;
-  const TuckerResult res = tucker_hooi(x, opt);
+  const TuckerResult res =
+      tucker_hooi(x, ExecConfig{}.core_dims({2, 2, 2}).max_iters(2));
   const index_t bad[3] = {100, 0, 0};
   EXPECT_THROW(tucker_predict(res, bad), Error);
 }
@@ -202,10 +184,8 @@ TEST(Tucker, WorksOn4dTensors) {
       }
     }
   }
-  TuckerOptions opt;
-  opt.core_dims = {4, 4, 4, 4};
-  opt.max_iters = 10;
-  const TuckerResult res = tucker_hooi(x, opt);
+  const TuckerResult res =
+      tucker_hooi(x, ExecConfig{}.core_dims({4, 4, 4, 4}).max_iters(10));
   // The dense 4⁴ sub-block lives in a 4-dim subspace per mode, so a
   // (4,4,4,4) core captures it exactly.
   EXPECT_GT(res.final_fit, 0.95);
