@@ -6,8 +6,21 @@
 // end-to-end time strictly decreases from 1 to 4 devices on every
 // tensor (compute shrinks ~1/N while the reduction grows only with the
 // output matrix), with 8 devices flattening on the smaller tensors.
+//
+// Second sweep: heterogeneous 3x3090 + 1x3060 groups at an HBM-bound
+// rank, stepping the feature ladder — nnz-uniform barrier (the PR 4
+// behaviour pinned to a mixed group) -> weighted shards -> + overlapped
+// reduction -> + work stealing. The per-profile ladder is figure data:
+// profiles with huge mode sizes (nell-1, flickr, deli) are bound by the
+// replicated-factor H2D broadcast, a fixed per-device floor no
+// sharding policy can shrink, so their ladder gains are modest by
+// construction. The hard gate runs on a compute-bound case (nell-2 at
+// 8x the bench scale, whose nnz/row-count density puts the kernels
+// well above the broadcast): there the full ladder must beat the
+// nnz-uniform barrier by >= 1.2x simulated makespan.
 
 #include <cstdio>
+#include <string_view>
 
 #include "bench_common.hpp"
 
@@ -62,6 +75,10 @@ int main() {
                "count", obs::Direction::kInfo)
           .set("max_shard_nnz",
                static_cast<double>(res.plan.max_shard_nnz()), "nnz",
+               obs::Direction::kInfo)
+          // nnz balance says nothing about time balance on a mixed
+          // group — report the predicted-time imbalance alongside.
+          .set("pred_imbalance", res.pred_imbalance, "ratio",
                obs::Direction::kInfo);
     }
   }
@@ -69,6 +86,100 @@ int main() {
   std::printf("\nStrong scaling 1 -> 4 devices strictly decreasing: %s\n",
               scaling_ok ? "yes" : "NO (regression!)");
   runner.metrics().set("scaling_1_to_4_monotone", scaling_ok ? 1.0 : 0.0);
+
+  // --- Heterogeneous sweep: 3x RTX 3090 + 1x RTX 3060 ------------------
+  // Feature ladder against the PR 4 behaviour (nnz-uniform shards +
+  // global reduction barrier) pinned onto the mixed group. Rank 64 so
+  // the kernels are HBM-bandwidth-bound (~2.6x gap between the specs);
+  // at rank 16 the pipeline is PCIe-copy-bound and both specs share the
+  // same PCIe generation, which hides the heterogeneity this sweep is
+  // about.
+  constexpr index_t kHeteroRank = 64;
+  constexpr int kHeteroSegments = 16;  // enough tail for stealing to act
+  constexpr double kHeteroGate = 1.2;
+
+  struct HeteroCfg {
+    const char* name;
+    ExecConfig cfg;
+  };
+  const ExecConfig hbase = ExecConfig{}.devices(4).segments(kHeteroSegments);
+  const HeteroCfg ladder[] = {
+      {"nnz_barrier",
+       ExecConfig(hbase).weighted_shards(false).overlap_reduce(false).steal(
+           false)},
+      {"weighted", ExecConfig(hbase).overlap_reduce(false).steal(false)},
+      {"weighted_ovl", ExecConfig(hbase).steal(false)},
+      {"full", hbase},
+  };
+
+  std::printf(
+      "\nFigure X (cont.) — Heterogeneous group 3x3090 + 1x3060 "
+      "(rank %u)\n\n",
+      static_cast<unsigned>(kHeteroRank));
+  ConsoleTable htable({"Tensor", "Config", "Total (us)", "Compute (us)",
+                       "Imbalance", "Steals", "Overlap (us)", "Speedup"});
+
+  // Runs the four-rung ladder on one tensor; returns the speedup of
+  // the "full" rung over the "nnz_barrier" rung.
+  const auto run_ladder = [&](const std::string& tensor_label,
+                              const CooTensor& x, const FactorList& f) {
+    gpusim::DeviceGroup group = gpusim::DeviceGroup::mixed_3090_3060();
+    const LaunchSelector hsel = make_selector(group.spec(0));
+    sim_ns barrier_ns = 0;
+    double full_speedup = 0.0;
+    for (const auto& step : ladder) {
+      const auto res = run_multi_pipeline(group, x, f, 0, step.cfg, &hsel);
+      if (std::string_view(step.name) == "nnz_barrier")
+        barrier_ns = res.total_ns;
+      const double speedup =
+          static_cast<double>(barrier_ns) / static_cast<double>(res.total_ns);
+      if (std::string_view(step.name) == "full") full_speedup = speedup;
+
+      htable.add_row({tensor_label.c_str(), step.name, us(res.total_ns),
+                      us(res.compute_ns), fmt_double(res.pred_imbalance, 2),
+                      std::to_string(res.steals.size()),
+                      us(res.overlap_saved_ns), fmt_double(speedup, 2) + "x"});
+      runner
+          .with_case(std::string(tensor_label) + "/hetero_" + step.name)
+          .set("total_us", us_val(res.total_ns), "us",
+               obs::Direction::kLowerIsBetter)
+          .set("compute_us", us_val(res.compute_ns), "us",
+               obs::Direction::kLowerIsBetter)
+          .set("speedup_vs_barrier", speedup, "x",
+               obs::Direction::kHigherIsBetter)
+          .set("pred_imbalance", res.pred_imbalance, "ratio",
+               obs::Direction::kInfo)
+          .set("steals", static_cast<double>(res.steals.size()), "count",
+               obs::Direction::kInfo)
+          .set("overlap_us", us_val(res.overlap_saved_ns), "us",
+               obs::Direction::kInfo);
+    }
+    return full_speedup;
+  };
+
+  for (const auto& p : frostt_profiles()) {
+    CooTensor x = make_frostt_tensor(p.name);
+    x.sort_by_mode(0);
+    run_ladder(p.name, x, random_factors(x, kHeteroRank, 9));
+  }
+
+  // The gated case: nell-2 at 8x the bench scale is kernel-bound on
+  // both specs, so the ~2.6x HBM gap is fully exposed and the ladder
+  // must recover it.
+  CooTensor gate_x = make_frostt_tensor("nell-2", 8.0 * kDefaultScale);
+  gate_x.sort_by_mode(0);
+  const double gate_speedup =
+      run_ladder("nell-2_x8", gate_x, random_factors(gate_x, kHeteroRank, 9));
+  const bool hetero_ok = gate_speedup >= kHeteroGate;
+
+  htable.print();
+  std::printf(
+      "\nHetero full ladder on compute-bound nell-2_x8: %.2fx vs "
+      "nnz-uniform barrier (gate >= %.1fx): %s\n",
+      gate_speedup, kHeteroGate, hetero_ok ? "yes" : "NO (regression!)");
+  runner.metrics().set("hetero_gate_ok", hetero_ok ? 1.0 : 0.0);
+  runner.metrics().set("hetero_gate_speedup", gate_speedup);
+
   write_bench_json(runner);
-  return scaling_ok ? 0 : 1;
+  return (scaling_ok && hetero_ok) ? 0 : 1;
 }

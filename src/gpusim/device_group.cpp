@@ -28,15 +28,39 @@ LinkSpec LinkSpec::nvlink_bridge() {
 }
 
 DeviceGroup::DeviceGroup(DeviceSpec spec, int num_devices, LinkSpec link)
-    : spec_(std::move(spec)), link_(std::move(link)) {
-  SF_CHECK(num_devices >= 1, "a device group needs at least one device");
+    : DeviceGroup(std::vector<DeviceSpec>(
+                      static_cast<std::size_t>(std::max(num_devices, 0)),
+                      std::move(spec)),
+                  std::move(link)) {}
+
+DeviceGroup::DeviceGroup(std::vector<DeviceSpec> specs, LinkSpec link)
+    : specs_(std::move(specs)), link_(std::move(link)) {
+  SF_CHECK(!specs_.empty(), "a device group needs at least one device");
   SF_CHECK(link_.bandwidth_gbps > 0.0 && link_.latency_us >= 0.0,
            "link spec must have positive bandwidth");
-  devices_.reserve(static_cast<std::size_t>(num_devices));
-  for (int i = 0; i < num_devices; ++i) {
-    devices_.push_back(std::make_unique<SimDevice>(spec_));
+  devices_.reserve(specs_.size());
+  for (const auto& s : specs_) {
+    devices_.push_back(std::make_unique<SimDevice>(s));
   }
-  leased_.assign(static_cast<std::size_t>(num_devices), false);
+  leased_.assign(specs_.size(), false);
+}
+
+DeviceGroup DeviceGroup::mixed_3090_3060(int num_3090, int num_3060,
+                                         LinkSpec link) {
+  SF_CHECK(num_3090 >= 0 && num_3060 >= 0 && num_3090 + num_3060 >= 1,
+           "mixed group needs at least one device");
+  std::vector<DeviceSpec> specs;
+  specs.reserve(static_cast<std::size_t>(num_3090 + num_3060));
+  for (int i = 0; i < num_3090; ++i) specs.push_back(DeviceSpec::rtx3090());
+  for (int i = 0; i < num_3060; ++i) specs.push_back(DeviceSpec::rtx3060());
+  return DeviceGroup(std::move(specs), std::move(link));
+}
+
+bool DeviceGroup::uniform() const noexcept {
+  for (std::size_t i = 1; i < specs_.size(); ++i) {
+    if (!(specs_[i] == specs_.front())) return false;
+  }
+  return true;
 }
 
 int DeviceGroup::try_lease() {

@@ -52,11 +52,28 @@ class DeviceGroup {
   DeviceGroup(DeviceSpec spec, int num_devices,
               LinkSpec link = LinkSpec::pcie4_p2p());
 
+  /// Heterogeneous group: one device per entry of `specs`, in order.
+  /// Mixed specs feed the cost-weighted shard planner — see
+  /// scalfrag::make_shard_plan and docs/multidev.md.
+  explicit DeviceGroup(std::vector<DeviceSpec> specs,
+                       LinkSpec link = LinkSpec::pcie4_p2p());
+
+  /// Mixed 3090 + 3060 preset (the fast devices come first): the
+  /// canonical skewed testbed for the heterogeneous sweeps.
+  static DeviceGroup mixed_3090_3060(int num_3090 = 3, int num_3060 = 1,
+                                     LinkSpec link = LinkSpec::pcie4_p2p());
+
   int size() const noexcept { return static_cast<int>(devices_.size()); }
   SimDevice& device(int i) { return *devices_.at(i); }
   const SimDevice& device(int i) const { return *devices_.at(i); }
   const LinkSpec& link() const noexcept { return link_; }
-  const DeviceSpec& spec() const noexcept { return spec_; }
+  /// Spec of the first member (the only one for uniform groups —
+  /// legacy callers that assume one shared spec read this).
+  const DeviceSpec& spec() const noexcept { return specs_.front(); }
+  /// Spec of member `i`.
+  const DeviceSpec& spec(int i) const { return specs_.at(i); }
+  /// True when every member shares one spec (PR 4's model).
+  bool uniform() const noexcept;
 
   /// Cost of moving `bytes` across one peer hop (latency + wire).
   sim_ns hop_ns(std::size_t bytes) const;
@@ -89,7 +106,7 @@ class DeviceGroup {
   int leased() const;
 
  private:
-  DeviceSpec spec_;
+  std::vector<DeviceSpec> specs_;  // one per member, in device order
   LinkSpec link_;
   // unique_ptr for stable references while threads hold SimDevice&.
   std::vector<std::unique_ptr<SimDevice>> devices_;

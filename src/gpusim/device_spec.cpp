@@ -27,6 +27,29 @@ DeviceSpec DeviceSpec::rtx3090() {
   return s;
 }
 
+DeviceSpec DeviceSpec::rtx3060() {
+  DeviceSpec s;
+  s.name = "NVIDIA GeForce RTX 3060 (simulated)";
+  s.num_sms = 28;
+  s.cuda_cores = 3584;
+  s.core_clock_ghz = 1.32;
+  s.warp_size = 32;
+  s.max_threads_per_sm = 1536;  // GA106 keeps the Ampere limit
+  s.max_blocks_per_sm = 16;
+  s.max_threads_per_block = 1024;
+  s.shared_mem_per_sm = 100 * 1024;
+  s.shared_mem_per_block = 99 * 1024;
+  s.l2_bytes = 3 * 1024 * 1024;
+  s.global_mem_bytes = 12ull * 1024 * 1024 * 1024;
+  s.hbm_bandwidth_gbps = 360.0;  // 192-bit GDDR6
+  s.pcie_bandwidth_gbps = 24.3;  // same host link as the 3090 testbed
+  s.pcie_latency_us = 4.0;
+  s.kernel_launch_us = 4.0;
+  s.per_block_sched_ns = 40.0;
+  s.atomic_ns = 0.6;
+  return s;
+}
+
 CpuSpec CpuSpec::i7_11700k() {
   CpuSpec c;
   c.name = "Intel Core i7-11700K (simulated)";

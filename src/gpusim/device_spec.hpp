@@ -46,8 +46,15 @@ struct DeviceSpec {
     return 2.0 * static_cast<double>(cuda_cores) * core_clock_ghz;
   }
 
+  bool operator==(const DeviceSpec&) const = default;
+
   /// The paper's platform: RTX 3090 (GA102), Table II values.
   static DeviceSpec rtx3090();
+
+  /// Cut-down mainstream sibling (GA106-class): ~1/3 the SMs and ~2.6×
+  /// less memory bandwidth than rtx3090(). Exists to exercise
+  /// heterogeneous DeviceGroups — see DeviceGroup::mixed_3090_3060().
+  static DeviceSpec rtx3060();
 };
 
 struct CpuSpec {

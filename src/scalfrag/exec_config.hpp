@@ -50,6 +50,22 @@ struct ExecConfig {
   std::optional<gpusim::ReduceSchedule> reduce_schedule;
   /// Peer link the reduction cost model uses.
   gpusim::LinkSpec link = gpusim::LinkSpec::pcie4_p2p();
+  /// Cost-weighted uneven sharding for heterogeneous groups: shard cuts
+  /// target equal *predicted time* per device instead of equal nnz.
+  /// Uniform groups are unaffected — the planner detects equal weights
+  /// and takes the exact nnz-balanced integer path.
+  bool weighted_sharding = true;
+  /// Overlap the chunked cross-device reduction with the compute tail:
+  /// each boundary row-block starts its peer exchange as soon as both
+  /// neighbouring shards have finished, instead of waiting for the
+  /// global barrier. Off reproduces the barrier accounting
+  /// (total_ns == compute_ns + reduce_ns) exactly.
+  bool overlap_reduction = true;
+  /// Segment-granularity work stealing: a device that drains its shard
+  /// takes whole segments from the tail of the most-loaded predicted
+  /// timeline. Deterministic (decisions are serialized in simulated-
+  /// time order) and bit-identical to the non-stealing run.
+  bool work_stealing = true;
 
   // --- segmentation / pipeline ----------------------------------------
   /// 0 = auto: pick a segment count so each segment's copy is large
@@ -144,6 +160,18 @@ struct ExecConfig {
   }
   ExecConfig& peer_link(gpusim::LinkSpec l) {
     link = std::move(l);
+    return *this;
+  }
+  ExecConfig& weighted_shards(bool on) {
+    weighted_sharding = on;
+    return *this;
+  }
+  ExecConfig& overlap_reduce(bool on) {
+    overlap_reduction = on;
+    return *this;
+  }
+  ExecConfig& steal(bool on) {
+    work_stealing = on;
     return *this;
   }
   ExecConfig& segments(int n) { num_segments = n; return *this; }

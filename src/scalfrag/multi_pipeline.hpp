@@ -4,20 +4,29 @@
 // independent pipelined timeline (its own streams, its own H2D/kernel
 // overlap), driven by a real host thread per device — the SimDevice
 // simulators are independent, so the per-device timelines advance
-// concurrently exactly like N GPUs would. The partial outputs are then
-// reduced across the peer link; the reduction cost comes from the
-// group's link model (tree or ring schedule, auto-picked by size).
-// Because contiguous mode-sorted shards own disjoint output-slice
-// ranges, the collective payload is only the rows of slices split
-// across a shard boundary — zero when every cut is slice-aligned (the
-// disjoint blocks are gathered by the per-device D2H already on the
-// timelines).
+// concurrently exactly like N GPUs would.
 //
-//   total_ns = max over devices of the shard makespan + reduce_ns
+// On top of the PR 4 barrier design this executor adds (docs/multidev.md):
+//  * work stealing (ExecConfig::work_stealing): a device that drains
+//    its shard takes whole segments from the tail of the most-loaded
+//    predicted timeline. Only segments whose slice range is not shared
+//    with a neighbour may move (re-associating a split slice's partial
+//    sums would change low bits); decisions are serialized in
+//    simulated-time order, so the steal sequence is deterministic
+//    regardless of host thread scheduling, and stolen contributions
+//    fold back into the owner's partial in segment order —
+//    bit-identical outputs.
+//  * overlapped reduction (ExecConfig::overlap_reduction): the
+//    cross-device reduction is chunked per boundary row-block and each
+//    chunk starts as soon as both neighbouring shards finish, so the
+//    collective hides under the compute tail instead of serializing
+//    after a global barrier. Off reproduces
+//    total_ns == compute_ns + reduce_ns exactly.
 //
 // Functional semantics: every device accumulates into its own partial
-// output matrix, and the partials are summed in device order — a
-// deterministic reduction, independent of thread scheduling.
+// output matrix (stolen segments into per-segment scratch), and the
+// partials are summed in device order — a deterministic reduction,
+// independent of thread scheduling and of whether stealing triggered.
 
 #include <vector>
 
@@ -28,12 +37,24 @@
 
 namespace scalfrag {
 
+/// One work-stealing event: `thief` took global segment `segment` from
+/// the tail of `victim`'s queue at simulated time `decision_ns`.
+/// The records appear in decision order — a deterministic sequence.
+struct StealRecord {
+  int segment = 0;
+  int victim = 0;
+  int thief = 0;
+  sim_ns decision_ns = 0;
+};
+
 /// Per-device slice of a multi-device run's report.
 struct DeviceRunStats {
   int device = 0;
-  int segments = 0;
-  nnz_t nnz = 0;
-  sim_ns total_ns = 0;  // this device's shard makespan
+  int segments = 0;       // segments owned by the shard plan
+  nnz_t nnz = 0;          // nnz owned by the shard plan
+  int stolen_segments = 0;  // segments this device stole and executed
+  nnz_t stolen_nnz = 0;
+  sim_ns total_ns = 0;  // this device's timeline makespan (0 if idle)
   gpusim::TimelineBreakdown breakdown;
   double selection_seconds = 0.0;
 };
@@ -42,11 +63,21 @@ struct MultiPipelineResult {
   DenseMatrix output;  // reduced (full) mode-m factor update
   ShardPlan plan;
   std::vector<DeviceRunStats> devices;  // in device order
+  std::vector<StealRecord> steals;      // in decision order
 
   gpusim::ReduceSchedule reduce_schedule = gpusim::ReduceSchedule::Tree;
-  sim_ns compute_ns = 0;  // max over devices of shard makespan
-  sim_ns reduce_ns = 0;   // modeled inter-device reduction
-  sim_ns total_ns = 0;    // compute_ns + reduce_ns
+  sim_ns compute_ns = 0;  // max over devices of timeline makespan
+  sim_ns reduce_ns = 0;   // modeled inter-device reduction work
+  /// End-to-end makespan. Barrier mode: compute_ns + reduce_ns.
+  /// Overlapped mode: max(compute_ns, last reduction chunk end) — at
+  /// most compute_ns + reduce_ns, less whenever chunks hid under the
+  /// compute tail.
+  sim_ns total_ns = 0;
+  /// Reduction time hidden under compute: compute_ns + reduce_ns -
+  /// total_ns. Zero in barrier mode.
+  sim_ns overlap_saved_ns = 0;
+  /// ShardPlan::pred_time_imbalance() of the executed plan.
+  double pred_imbalance = 1.0;
 };
 
 class MultiPipelineExecutor {

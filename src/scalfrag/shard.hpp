@@ -36,6 +36,16 @@ struct DeviceShard {
   std::vector<gpusim::LaunchConfig> launches;
   double selection_seconds = 0.0;  // host time spent in the selector
 
+  /// Cost-model-predicted time per owned segment on this device
+  /// (max of kernel and H2D, the pipelined bottleneck), aligned with
+  /// `launches`; feeds the work-stealing victim rule.
+  std::vector<sim_ns> seg_pred_ns;
+  /// Sum of seg_pred_ns — the shard's predicted busy time.
+  sim_ns predicted_ns = 0;
+  /// Relative throughput weight the planner cut this shard with
+  /// (device 0 == 1.0). 1.0 everywhere for nnz-balanced plans.
+  double weight = 1.0;
+
   int num_segments() const noexcept { return seg_end - seg_begin; }
   bool empty() const noexcept { return seg_begin == seg_end; }
 };
@@ -44,9 +54,21 @@ struct ShardPlan {
   order_t mode = 0;
   SegmentPlan plan;                 // global realized segmentation
   std::vector<DeviceShard> shards;  // one per device, in device order
+  /// True when cost-weighted (uneven-by-design) cuts were used; nnz
+  /// balance is then *not* the quality metric — read
+  /// pred_time_imbalance() instead of max_shard_nnz().
+  bool weighted = false;
 
-  /// Max over shards of nnz (inter-device balance quality).
+  /// Max over shards of nnz. Only meaningful as a balance metric for
+  /// nnz-balanced plans (weighted == false); heterogeneous plans are
+  /// uneven in nnz on purpose.
   nnz_t max_shard_nnz() const noexcept;
+  /// Max over shards of predicted shard time.
+  sim_ns max_shard_pred_ns() const noexcept;
+  /// max / mean over *all* devices of predicted shard time (1.0 =
+  /// perfectly balanced; idle devices count toward the mean). This is
+  /// the balance metric that stays honest for weighted plans.
+  double pred_time_imbalance() const noexcept;
 };
 
 /// Partition a mode-sorted view across `group`'s devices. Segment

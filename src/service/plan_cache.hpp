@@ -57,11 +57,16 @@ struct PlanKey {
   std::array<double, TensorFeatures::kVectorSize> features{};
   index_t rank = 0;
   std::string backend;
+  /// Spec name of the device the plan targets: launch prediction and
+  /// replay are per-spec, so a heterogeneous group caches one plan per
+  /// member kind (uniform groups share a single entry as before).
+  std::string device;
 
   bool operator<(const PlanKey& o) const {
     if (features != o.features) return features < o.features;
     if (rank != o.rank) return rank < o.rank;
-    return backend < o.backend;
+    if (backend != o.backend) return backend < o.backend;
+    return device < o.device;
   }
 };
 

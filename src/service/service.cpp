@@ -52,9 +52,20 @@ const char* job_state_name(JobState s) {
   return "?";
 }
 
+namespace {
+
+gpusim::DeviceGroup make_group(const ServiceOptions& o) {
+  if (!o.device_specs.empty()) {
+    return gpusim::DeviceGroup(o.device_specs, o.link);
+  }
+  return gpusim::DeviceGroup(o.device, o.num_devices, o.link);
+}
+
+}  // namespace
+
 DecompositionService::DecompositionService(ServiceOptions opts)
     : opts_(std::move(opts)),
-      group_(opts_.device, opts_.num_devices, opts_.link),
+      group_(make_group(opts_)),
       cache_(opts_.cache_capacity, &metrics_) {
   const int n = group_.size();
   device_clock_.assign(static_cast<std::size_t>(n), 0);
@@ -249,11 +260,28 @@ void DecompositionService::admit_and_dispatch(QueuedJob job) {
     }
 
     // Admission: predicted resident footprint vs the per-device budget.
+    // With an explicit budget (job or service) every member is held to
+    // the same bound; without one, each member's own global memory is
+    // the bound — on a heterogeneous group a job can be admissible on
+    // the big card but not the small one, and assignment below only
+    // considers members it fits on.
     const std::size_t predicted = predict_bytes(spec, t);
     std::size_t budget = cfg.memory_budget_bytes;
     if (budget == 0) budget = opts_.device_budget_bytes;
-    if (budget == 0) budget = group_.spec().global_mem_bytes;
-    if (predicted > budget) {
+    std::vector<bool> fits(static_cast<std::size_t>(group_.size()), true);
+    bool any_fit;
+    if (budget != 0) {
+      any_fit = predicted <= budget;
+    } else {
+      any_fit = false;
+      for (int d = 0; d < group_.size(); ++d) {
+        const std::size_t cap = group_.spec(d).global_mem_bytes;
+        fits[static_cast<std::size_t>(d)] = predicted <= cap;
+        any_fit = any_fit || predicted <= cap;
+        budget = std::max(budget, cap);  // reported bound
+      }
+    }
+    if (!any_fit) {
       metrics_.count("service/admission_rejects");
       reject("admission: predicted resident " + std::to_string(predicted) +
                  " bytes exceeds budget " + std::to_string(budget),
@@ -280,7 +308,39 @@ void DecompositionService::admit_and_dispatch(QueuedJob job) {
     }
     cfg.validate();  // typed UnknownBackendError for bad names
 
-    // Level 2: the prepared plan (hit skips sort/segment/selection).
+    // Device assignment: argmin of projected completion (a pure
+    // function of dispatch order — deterministic load balancing).
+    // Committed work is counted in predicted *time* — flops over the
+    // member's peak throughput — so on a heterogeneous group the fast
+    // cards absorb proportionally more jobs instead of a 1/N split.
+    // Uniform groups reproduce the PR 9 argmin-flops assignments
+    // exactly (a constant speed divisor preserves the ordering).
+    int iters = 1;
+    if (spec.kind == JobKind::Cpd) {
+      iters = cfg.decomp_max_iters > 0 ? cfg.decomp_max_iters : 10;
+    } else if (spec.kind == JobKind::Tucker) {
+      iters = cfg.decomp_max_iters > 0 ? cfg.decomp_max_iters : 15;
+    }
+    const double cost = static_cast<double>(t.nnz()) *
+                        static_cast<double>(t.order()) *
+                        static_cast<double>(rank) *
+                        static_cast<double>(iters);
+    int dev = -1;
+    double best = 0.0;
+    for (int d = 0; d < group_.size(); ++d) {
+      if (!fits[static_cast<std::size_t>(d)]) continue;
+      const double finish = committed_[static_cast<std::size_t>(d)] +
+                            cost / group_.spec(d).peak_gflops();
+      if (dev < 0 || finish < best) {
+        dev = d;
+        best = finish;
+      }
+    }
+    SF_CHECK(dev >= 0, "admission passed but no member fits the job");
+    // Level 2: the prepared plan (hit skips sort/segment/selection),
+    // built for — and cached per — the assigned member's spec: launch
+    // prediction and replay are spec-bound, so a heterogeneous group
+    // keeps one entry per member kind.
     const bool wants_coo_plan = cfg.backend_name == "coo";
     const bool wants_csf_plan = is_csf_backend(cfg.backend_name);
     bool plan_hit = false;
@@ -289,6 +349,7 @@ void DecompositionService::admit_and_dispatch(QueuedJob job) {
       key.features = item.tensor->features.to_vector();
       key.rank = rank;
       key.backend = cfg.backend_name;
+      key.device = group_.spec(dev).name;
       item.plan = cache_.plan(
           key,
           [&] {
@@ -298,7 +359,7 @@ void DecompositionService::admit_and_dispatch(QueuedJob job) {
             plan_cfg.metrics_sink = &metrics_;
             if (wants_coo_plan) {
               pe.coo = std::make_shared<MttkrpPlan>(
-                  t, rank, group_.device(0), opts_.launch, plan_cfg);
+                  t, rank, group_.device(dev), opts_.launch, plan_cfg);
             } else {
               pe.csf = std::make_shared<CsfPlan>(t, plan_cfg);
             }
@@ -315,26 +376,10 @@ void DecompositionService::admit_and_dispatch(QueuedJob job) {
       return;
     }
 
-    // Device assignment: argmin of committed predicted work (a pure
-    // function of dispatch order — deterministic load balancing).
-    int iters = 1;
-    if (spec.kind == JobKind::Cpd) {
-      iters = cfg.decomp_max_iters > 0 ? cfg.decomp_max_iters : 10;
-    } else if (spec.kind == JobKind::Tucker) {
-      iters = cfg.decomp_max_iters > 0 ? cfg.decomp_max_iters : 15;
-    }
-    const double cost = static_cast<double>(t.nnz()) *
-                        static_cast<double>(t.order()) *
-                        static_cast<double>(rank) *
-                        static_cast<double>(iters);
-    int dev = 0;
-    for (int d = 1; d < group_.size(); ++d) {
-      if (committed_[static_cast<std::size_t>(d)] <
-          committed_[static_cast<std::size_t>(dev)]) {
-        dev = d;
-      }
-    }
-    committed_[static_cast<std::size_t>(dev)] += cost;
+    // Commit the job's predicted time only now that preparation can no
+    // longer reject it.
+    committed_[static_cast<std::size_t>(dev)] +=
+        cost / group_.spec(dev).peak_gflops();
 
     item.cfg = std::move(cfg);
     {

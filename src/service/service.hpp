@@ -55,6 +55,11 @@ struct ServiceOptions {
   int num_devices = 1;
   gpusim::DeviceSpec device = gpusim::DeviceSpec::rtx3090();
   gpusim::LinkSpec link = gpusim::LinkSpec::pcie4_p2p();
+  /// Heterogeneous group: one member per entry, overriding `device` /
+  /// `num_devices` when non-empty. Admission checks each member's own
+  /// memory and the assignment argmin weighs committed work by each
+  /// member's peak throughput — see docs/multidev.md.
+  std::vector<gpusim::DeviceSpec> device_specs = {};
 
   /// Admission bound per device, in bytes. A job's own
   /// exec.memory_budget_bytes (when set) takes precedence; 0 here

@@ -78,6 +78,39 @@ DenseMatrix run_multidev(const CooSpan& t, const FactorList& f, order_t mode,
   return run_multi_pipeline(group, t, f, mode, cfg).output;
 }
 
+/// Alternating 3090/3060 group: runs the full feature set (weighted
+/// sharding + overlapped reduction + work stealing) and cross-checks
+/// the result BIT-FOR-BIT against the barrier/no-steal run on the same
+/// group — overlap and stealing are scheduling-only by contract, so
+/// any byte of difference is a fold-order bug tolerance would mask.
+DenseMatrix run_multidev_hetero(const CooSpan& t, const FactorList& f,
+                                order_t mode, int devices, int segments) {
+  std::vector<gpusim::DeviceSpec> specs;
+  specs.reserve(static_cast<std::size_t>(devices));
+  for (int d = 0; d < devices; ++d) {
+    specs.push_back(d % 2 == 0 ? gpusim::DeviceSpec::rtx3090()
+                               : gpusim::DeviceSpec::rtx3060());
+  }
+  gpusim::DeviceGroup group(specs);
+  const ExecConfig cfg = ExecConfig{}
+                             .devices(devices)
+                             .segments(segments)
+                             .streams(2)
+                             .grain(64);
+  const DenseMatrix full = run_multi_pipeline(group, t, f, mode, cfg).output;
+  const DenseMatrix barrier =
+      run_multi_pipeline(group, t, f, mode,
+                         ExecConfig(cfg).overlap_reduce(false).steal(false))
+          .output;
+  SF_CHECK(full.rows() == barrier.rows() && full.cols() == barrier.cols(),
+           "hetero multidev output shape mismatch");
+  SF_CHECK(std::memcmp(full.data(), barrier.data(),
+                       full.size() * sizeof(value_t)) == 0,
+           "overlapped/stealing heterogeneous run is not bit-identical "
+           "to the barrier run");
+  return full;
+}
+
 DenseMatrix run_csf_tiled(const CooTensor& t, const FactorList& f,
                           order_t mode, CsfTiledVariant variant,
                           std::size_t threads, nnz_t fiber_budget) {
@@ -497,6 +530,18 @@ const std::vector<ExecPath>& build_table() {
         [](const CooTensor& t, const FactorList& f, order_t mode) {
           return run_multidev(t, f, mode, 4, 8,
                               gpusim::ReduceSchedule::Ring);
+        });
+
+    // Heterogeneous groups (alternating 3090/3060): weighted sharding,
+    // overlapped reduction, and stealing all on, memcmp'd inside the
+    // row against the barrier/no-steal run on the same group.
+    add("multidev/hetero/d2",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_multidev_hetero(t, f, mode, 2, 0);
+        });
+    add("multidev/hetero/d4",
+        [](const CooTensor& t, const FactorList& f, order_t mode) {
+          return run_multidev_hetero(t, f, mode, 4, 8);
         });
 
     return paths;

@@ -111,9 +111,29 @@ TEST(DeviceGroup, ValidatesConstruction) {
   gpusim::LinkSpec bad;
   bad.bandwidth_gbps = 0.0;
   EXPECT_THROW(gpusim::DeviceGroup(kSpec, 2, bad), Error);
+  EXPECT_THROW(gpusim::DeviceGroup(std::vector<gpusim::DeviceSpec>{}), Error);
   gpusim::DeviceGroup g(kSpec, 3);
   EXPECT_EQ(g.size(), 3);
   EXPECT_EQ(g.spec().name, kSpec.name);
+  EXPECT_TRUE(g.uniform());
+}
+
+TEST(DeviceGroup, HeterogeneousSpecsAndPresets) {
+  gpusim::DeviceGroup pair(
+      {gpusim::DeviceSpec::rtx3090(), gpusim::DeviceSpec::rtx3060()});
+  EXPECT_EQ(pair.size(), 2);
+  EXPECT_FALSE(pair.uniform());
+  EXPECT_EQ(pair.spec(0).name, gpusim::DeviceSpec::rtx3090().name);
+  EXPECT_EQ(pair.spec(1).name, gpusim::DeviceSpec::rtx3060().name);
+  // The 3060 is the slower part on both axes the planner weighs.
+  EXPECT_LT(pair.spec(1).peak_gflops(), pair.spec(0).peak_gflops());
+  EXPECT_LT(pair.spec(1).hbm_bandwidth_gbps, pair.spec(0).hbm_bandwidth_gbps);
+
+  gpusim::DeviceGroup mixed = gpusim::DeviceGroup::mixed_3090_3060();
+  EXPECT_EQ(mixed.size(), 4);
+  EXPECT_FALSE(mixed.uniform());
+  EXPECT_EQ(mixed.spec(0).name, gpusim::DeviceSpec::rtx3090().name);
+  EXPECT_EQ(mixed.spec(3).name, gpusim::DeviceSpec::rtx3060().name);
 }
 
 // ---------------------------------------------------------------------
@@ -223,6 +243,56 @@ TEST(ShardPlan, SelectorPickIsSanityCheckedByCostModel) {
   }
 }
 
+TEST(ShardPlan, UniformGroupReproducesNnzBalancedCuts) {
+  // Weighted sharding on a uniform group must detect equal unit costs
+  // and take the exact nnz-balanced integer path — identical cuts to
+  // weighted_shards(false).
+  const CooTensor t = sorted_frostt("nell-2", 1.0 / 1024, 630);
+  gpusim::DeviceGroup g(kSpec, 4);
+  const ShardPlan w = make_shard_plan(g, t, 0, 16, ExecConfig{}.devices(4));
+  const ShardPlan u = make_shard_plan(
+      g, t, 0, 16, ExecConfig{}.devices(4).weighted_shards(false));
+  EXPECT_FALSE(w.weighted);
+  EXPECT_FALSE(u.weighted);
+  ASSERT_EQ(w.shards.size(), u.shards.size());
+  for (std::size_t d = 0; d < w.shards.size(); ++d) {
+    EXPECT_EQ(w.shards[d].seg_begin, u.shards[d].seg_begin);
+    EXPECT_EQ(w.shards[d].seg_end, u.shards[d].seg_end);
+    EXPECT_EQ(w.shards[d].nnz, u.shards[d].nnz);
+    EXPECT_EQ(w.shards[d].weight, 1.0);
+  }
+}
+
+TEST(ShardPlan, WeightedCutsSkewTowardFasterDevices) {
+  // Rank 64 keeps the kernels HBM-bound — the axis where the 3060 is
+  // ~2.6x slower. (At tiny ranks the pipeline is PCIe-bound and the
+  // mixed pair rightly degenerates to uniform cuts.)
+  const CooTensor t = sorted_frostt("nell-2", 1.0 / 1024, 631);
+  gpusim::DeviceGroup g(
+      {gpusim::DeviceSpec::rtx3090(), gpusim::DeviceSpec::rtx3060()});
+  const ShardPlan w = make_shard_plan(g, t, 0, 64, ExecConfig{}.devices(2));
+  const ShardPlan u = make_shard_plan(
+      g, t, 0, 64, ExecConfig{}.devices(2).weighted_shards(false));
+  EXPECT_TRUE(w.weighted);
+  EXPECT_FALSE(u.weighted);
+  // The nnz-balanced cut halves the tensor; the weighted cut gives the
+  // ~3x-faster 3090 the larger share and evens out predicted time.
+  EXPECT_GT(w.shards[0].nnz, u.shards[0].nnz);
+  EXPECT_GT(w.shards[0].nnz, w.shards[1].nnz);
+  EXPECT_EQ(w.shards[0].weight, 1.0);
+  EXPECT_LT(w.shards[1].weight, 1.0);
+  EXPECT_LT(w.pred_time_imbalance(), u.pred_time_imbalance());
+  // The per-segment predictions the stealing rule reads tally up.
+  for (const ShardPlan* sp : {&w, &u}) {
+    for (const auto& sh : sp->shards) {
+      sim_ns sum = 0;
+      for (const sim_ns p : sh.seg_pred_ns) sum += p;
+      EXPECT_EQ(sum, sh.predicted_ns);
+    }
+    EXPECT_GT(sp->max_shard_pred_ns(), 0u);
+  }
+}
+
 // ---------------------------------------------------------------------
 // MultiPipelineExecutor
 // ---------------------------------------------------------------------
@@ -236,7 +306,12 @@ TEST(MultiPipeline, MatchesReferenceOnEveryDeviceCount) {
     const auto res = run_multi_pipeline(g, t, f, 0, ExecConfig{}.devices(n));
     EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3)
         << n << " devices";
-    EXPECT_EQ(res.total_ns, res.compute_ns + res.reduce_ns);
+    // Overlapped reduction contract: never worse than the barrier, never
+    // faster than the slowest device's compute.
+    EXPECT_GE(res.total_ns, res.compute_ns);
+    EXPECT_LE(res.total_ns, res.compute_ns + res.reduce_ns);
+    EXPECT_EQ(res.overlap_saved_ns,
+              res.compute_ns + res.reduce_ns - res.total_ns);
     sim_ns max_dev = 0;
     ASSERT_EQ(static_cast<int>(res.devices.size()), n);
     for (const auto& st : res.devices) max_dev = std::max(max_dev, st.total_ns);
@@ -287,15 +362,21 @@ TEST(MultiPipeline, SplitSliceChargesTheLinkModel) {
   const CooTensor t = mega_slice_tensor(4096);
   const auto f = random_factors(t, 8, 616);
   gpusim::DeviceGroup g(kSpec, 2);
-  const auto res = run_multi_pipeline(
-      g, t, f, 0,
-      ExecConfig{}.devices(2).segments(4).reduction(
-          gpusim::ReduceSchedule::Ring));
+  const ExecConfig cfg = ExecConfig{}.devices(2).segments(4).reduction(
+      gpusim::ReduceSchedule::Ring);
+  const auto res = run_multi_pipeline(g, t, f, 0, cfg);
   EXPECT_EQ(res.reduce_schedule, gpusim::ReduceSchedule::Ring);
   EXPECT_GT(res.reduce_ns, 0u);
-  EXPECT_EQ(res.total_ns, res.compute_ns + res.reduce_ns);
+  EXPECT_GE(res.total_ns, res.compute_ns);
+  EXPECT_LE(res.total_ns, res.compute_ns + res.reduce_ns);
   EXPECT_LT(DenseMatrix::max_abs_diff(res.output, mttkrp_coo_ref(t, f, 0)),
             2e-3);
+  // overlap off pins the PR 4 barrier accounting exactly.
+  const auto barrier =
+      run_multi_pipeline(g, t, f, 0, ExecConfig(cfg).overlap_reduce(false));
+  EXPECT_GT(barrier.reduce_ns, 0u);
+  EXPECT_EQ(barrier.total_ns, barrier.compute_ns + barrier.reduce_ns);
+  EXPECT_EQ(barrier.overlap_saved_ns, 0u);
 }
 
 TEST(MultiPipeline, StrongScalingOnComputeBoundTensor) {
@@ -312,6 +393,122 @@ TEST(MultiPipeline, StrongScalingOnComputeBoundTensor) {
   }
 }
 
+TEST(MultiPipeline, HeterogeneousGroupMatchesReference) {
+  const CooTensor t = sorted_frostt("nips", 1.0 / 1024, 640);
+  const auto f = random_factors(t, 16, 641);
+  const DenseMatrix expect = mttkrp_coo_ref(t, f, 0);
+  {
+    gpusim::DeviceGroup g(
+        {gpusim::DeviceSpec::rtx3090(), gpusim::DeviceSpec::rtx3060()});
+    const auto res = run_multi_pipeline(g, t, f, 0, ExecConfig{}.devices(2));
+    EXPECT_LT(DenseMatrix::max_abs_diff(res.output, expect), 2e-3);
+    EXPECT_TRUE(res.plan.weighted);
+  }
+  {
+    gpusim::DeviceGroup g = gpusim::DeviceGroup::mixed_3090_3060();
+    const auto full = run_multi_pipeline(g, t, f, 0, ExecConfig{}.devices(4));
+    EXPECT_LT(DenseMatrix::max_abs_diff(full.output, expect), 2e-3);
+    // Stealing + overlap never change the bits: same weighted plan, so
+    // the barrier/no-steal run must match byte for byte.
+    const auto barrier = run_multi_pipeline(
+        g, t, f, 0,
+        ExecConfig{}.devices(4).overlap_reduce(false).steal(false));
+    ASSERT_EQ(full.output.size(), barrier.output.size());
+    EXPECT_EQ(std::memcmp(full.output.data(), barrier.output.data(),
+                          full.output.size() * sizeof(value_t)),
+              0);
+  }
+}
+
+TEST(MultiPipeline, StealingIsDeterministicAndBitIdentical) {
+  // nnz-uniform cuts on a mixed pair at a rank that keeps the kernels
+  // HBM-bound leave the 3060 with ~2.6x the predicted time, so the
+  // drained 3090 steals from its tail.
+  const CooTensor t = sorted_frostt("nell-2", 1.0 / 1024, 642);
+  const auto f = random_factors(t, 64, 643);
+  gpusim::DeviceGroup g(
+      {gpusim::DeviceSpec::rtx3090(), gpusim::DeviceSpec::rtx3060()});
+  // Enough segments that the straggler still has an unissued tail once
+  // the fast device drains (issue runs num_streams segments ahead).
+  const ExecConfig cfg =
+      ExecConfig{}.devices(2).segments(16).weighted_shards(false);
+  const auto a = run_multi_pipeline(g, t, f, 0, cfg);
+  ASSERT_FALSE(a.steals.empty());
+  for (const auto& s : a.steals) {
+    EXPECT_EQ(s.victim, 1);
+    EXPECT_EQ(s.thief, 0);
+  }
+  int stolen = 0;
+  for (const auto& st : a.devices) stolen += st.stolen_segments;
+  EXPECT_EQ(stolen, static_cast<int>(a.steals.size()));
+  EXPECT_GT(a.devices[0].stolen_nnz, 0u);
+
+  // Deterministic: the full decision sequence replays exactly.
+  const auto b = run_multi_pipeline(g, t, f, 0, cfg);
+  ASSERT_EQ(a.steals.size(), b.steals.size());
+  for (std::size_t i = 0; i < a.steals.size(); ++i) {
+    EXPECT_EQ(a.steals[i].segment, b.steals[i].segment);
+    EXPECT_EQ(a.steals[i].victim, b.steals[i].victim);
+    EXPECT_EQ(a.steals[i].thief, b.steals[i].thief);
+    EXPECT_EQ(a.steals[i].decision_ns, b.steals[i].decision_ns);
+  }
+  EXPECT_EQ(a.total_ns, b.total_ns);
+  ASSERT_EQ(a.output.size(), b.output.size());
+  EXPECT_EQ(std::memcmp(a.output.data(), b.output.data(),
+                        a.output.size() * sizeof(value_t)),
+            0);
+
+  // Bit-identical to the no-stealing run, and faster: the stolen tail
+  // comes off the straggler's critical path.
+  const auto off = run_multi_pipeline(g, t, f, 0, ExecConfig(cfg).steal(false));
+  EXPECT_TRUE(off.steals.empty());
+  ASSERT_EQ(a.output.size(), off.output.size());
+  EXPECT_EQ(std::memcmp(a.output.data(), off.output.data(),
+                        a.output.size() * sizeof(value_t)),
+            0);
+  EXPECT_LT(a.compute_ns, off.compute_ns);
+  EXPECT_LT(a.total_ns, off.total_ns);
+}
+
+TEST(MultiPipeline, OverlappedReductionHidesUnderComputeTail) {
+  // One mega slice split eight ways across a 3+1 mixed group with
+  // nnz-uniform shards: at an HBM-bound rank the three 3090s drain
+  // early, so the boundary chunks between them ride the 3060
+  // straggler's compute tail and only the last chunk extends the
+  // makespan.
+  const CooTensor t = mega_slice_tensor(65536);
+  const auto f = random_factors(t, 64, 644);
+  gpusim::DeviceGroup g = gpusim::DeviceGroup::mixed_3090_3060();
+  const ExecConfig cfg =
+      ExecConfig{}.devices(4).segments(8).weighted_shards(false).steal(false);
+  const auto on = run_multi_pipeline(g, t, f, 0, cfg);
+  EXPECT_GT(on.reduce_ns, 0u);
+  EXPECT_GT(on.overlap_saved_ns, 0u);
+  EXPECT_GE(on.total_ns, on.compute_ns);
+  EXPECT_LT(on.total_ns, on.compute_ns + on.reduce_ns);
+
+  const auto off =
+      run_multi_pipeline(g, t, f, 0, ExecConfig(cfg).overlap_reduce(false));
+  EXPECT_EQ(off.total_ns, off.compute_ns + off.reduce_ns);
+  EXPECT_EQ(off.overlap_saved_ns, 0u);
+  EXPECT_EQ(on.compute_ns, off.compute_ns);
+  // Overlap is pure scheduling — the bits never move.
+  ASSERT_EQ(on.output.size(), off.output.size());
+  EXPECT_EQ(std::memcmp(on.output.data(), off.output.data(),
+                        on.output.size() * sizeof(value_t)),
+            0);
+  // 64k products fold into one output row, so compare against the
+  // reference relatively: the entries are O(thousands) and only summed
+  // in a different order.
+  const DenseMatrix expect = mttkrp_coo_ref(t, f, 0);
+  value_t max_mag = 0.0f;
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    max_mag = std::max(max_mag, std::abs(expect.data()[i]));
+  }
+  ASSERT_GT(max_mag, 0.0f);
+  EXPECT_LT(DenseMatrix::max_abs_diff(on.output, expect) / max_mag, 1e-4);
+}
+
 TEST(MultiPipeline, ReportsMergedMetrics) {
   const CooTensor t = sorted_frostt("uber", 1.0 / 1024, 619);
   const auto f = random_factors(t, 8, 620);
@@ -325,6 +522,13 @@ TEST(MultiPipeline, ReportsMergedMetrics) {
             static_cast<double>(res.total_ns));
   EXPECT_EQ(met.gauge("multidev/gpu0/nnz"),
             static_cast<double>(res.devices[0].nnz));
+  EXPECT_EQ(met.gauge("multidev/imbalance"), res.pred_imbalance);
+  EXPECT_EQ(met.gauge("multidev/overlap_ns"),
+            static_cast<double>(res.overlap_saved_ns));
+  EXPECT_EQ(met.counter("multidev/steals"), res.steals.size());
+  EXPECT_EQ(met.gauge("multidev/gpu0/stolen_segments"),
+            static_cast<double>(res.devices[0].stolen_segments));
+  EXPECT_GT(met.gauge("multidev/max_shard_pred_ns"), 0.0);
   EXPECT_GT(met.stage("host/shard_planning").count, 0u);
   // Per-device timelines land under the gpuN prefix.
   EXPECT_GT(met.counter("gpu0/kernel_launches"), 0u);

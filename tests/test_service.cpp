@@ -197,6 +197,51 @@ TEST(ServiceAdmission, RejectsJobsOverTheMemoryBudget) {
             1u);
 }
 
+TEST(ServiceAdmission, PerDeviceMemoryFallbackRoutesToFittingMember) {
+  // Heterogeneous group, no explicit budget: admission falls back to
+  // each member's own memory and the argmin only considers members the
+  // job fits on — so a near-zero-memory member is skipped, not fatal.
+  gpusim::DeviceSpec tiny = gpusim::DeviceSpec::rtx3090();
+  tiny.name = "tiny";
+  tiny.global_mem_bytes = 1024;
+  ServiceOptions opts;
+  opts.device_specs = {tiny, gpusim::DeviceSpec::rtx3090()};
+  DecompositionService svc(opts);
+  const JobResult r = svc.wait(svc.submit(mttkrp_spec("a", 1)));
+  ASSERT_EQ(r.state, JobState::Completed) << r.error;
+  EXPECT_EQ(r.device, 1);
+
+  // When no member fits, the job is rejected outright.
+  ServiceOptions none;
+  none.device_specs = {tiny, tiny};
+  DecompositionService cramped(none);
+  const JobResult rej = cramped.wait(cramped.submit(mttkrp_spec("a", 1)));
+  EXPECT_EQ(rej.state, JobState::Rejected);
+  EXPECT_NE(rej.error.find("budget"), std::string::npos) << rej.error;
+}
+
+TEST(ServiceScheduling, ArgminWeighsCommittedWorkByThroughput) {
+  // A member with a quarter of the cores accrues 4x the committed time
+  // per identical job, so a stream of identical jobs splits toward the
+  // fast device roughly in proportion to throughput.
+  gpusim::DeviceSpec slow = gpusim::DeviceSpec::rtx3090();
+  slow.name = "slow";
+  slow.cuda_cores /= 4;
+  ServiceOptions opts;
+  opts.device_specs = {gpusim::DeviceSpec::rtx3090(), slow};
+  DecompositionService svc(opts);
+  std::vector<JobSpec> specs(10, mttkrp_spec("a", 1));
+  const auto results = svc.run_batch(std::move(specs));
+  int fast_n = 0;
+  int slow_n = 0;
+  for (const JobResult& r : results) {
+    ASSERT_EQ(r.state, JobState::Completed) << r.error;
+    (r.device == 0 ? fast_n : slow_n) += 1;
+  }
+  EXPECT_GT(fast_n, slow_n);
+  EXPECT_GE(slow_n, 1);  // the slow member still shares the load
+}
+
 TEST(ServiceAdmission, RejectsPlanlessMttkrpBackends) {
   DecompositionService svc({.num_devices = 1});
   const JobResult r =
